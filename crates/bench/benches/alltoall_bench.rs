@@ -1,0 +1,77 @@
+//! Thread-backed all-to-all throughput — the real-code counterpart of the
+//! paper's standalone MPI kernel (§4.1, Table 2): blocking vs nonblocking,
+//! varying rank counts and message sizes.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psdns_comm::Universe;
+
+fn bench_alltoall_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_chunk_bytes");
+    g.sample_size(10);
+    for chunk in [1024usize, 16 * 1024, 256 * 1024] {
+        let ranks = 4;
+        g.throughput(Throughput::Bytes((chunk * ranks * ranks) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                Universe::run(ranks, |comm| {
+                    let send = vec![0u8; chunk * comm.size()];
+                    let r = comm.alltoall(&send);
+                    r.len()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoall_ranks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_ranks");
+    g.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Universe::run(ranks, |comm| {
+                    let send = vec![1.0f32; 4096 * comm.size()];
+                    comm.alltoall(&send).len()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_blocking_vs_nonblocking(c: &mut Criterion) {
+    // The paper's config-B question: does overlapping the exchange with
+    // local work pay? Here local work is a dummy reduction.
+    let mut g = c.benchmark_group("a2a_overlap");
+    g.sample_size(10);
+    let work = |n: usize| -> f64 { (0..n).map(|i| (i as f64).sqrt()).sum() };
+    g.bench_function("blocking_then_work", |b| {
+        b.iter(|| {
+            Universe::run(4, |comm| {
+                let send = vec![1.0f64; 65536];
+                let r = comm.alltoall(&send);
+                r[0] + work(200_000)
+            })
+        });
+    });
+    g.bench_function("nonblocking_overlapped", |b| {
+        b.iter(|| {
+            Universe::run(4, |comm| {
+                let send = vec![1.0f64; 65536];
+                let req = comm.ialltoall(&send);
+                let w = work(200_000);
+                let r = req.wait();
+                r[0] + w
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alltoall_sizes,
+    bench_alltoall_ranks,
+    bench_blocking_vs_nonblocking
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! FFT substrate throughput: the real-code counterpart of the paper's cuFFT
+//! kernels. Covers 1-D complex plans across radix mixes, real transforms,
+//! batched strided execution, and the serial 3-D reference.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psdns_fft::{fft_3d, Complex64, Dims3, Direction, FftPlan, ManyPlan, RealFftPlan};
+
+fn bench_c2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_c2c");
+    for n in [64usize, 192, 256, 768, 1024] {
+        // 192 = 2^6·3 and 768 = 2^8·3 are paper-style radix-2/3 mixes.
+        let plan = FftPlan::<f64>::new(n);
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan.execute_with_scratch(&mut data, &mut scratch, Direction::Forward));
+        });
+    }
+    g.finish();
+}
+
+fn bench_r2c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_r2c");
+    for n in [256usize, 1024] {
+        let plan = RealFftPlan::<f64>::new(n);
+        let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut out = vec![Complex64::zero(); plan.spectrum_len()];
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan.forward_with_scratch(&input, &mut out, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strided_batch(c: &mut Criterion) {
+    // Strided y-direction transform of a pencil (Fig. 6 layout): stride =
+    // pencil width, one line per x.
+    let mut g = c.benchmark_group("fft_strided_batch");
+    for width in [8usize, 32] {
+        let n = 256;
+        let plan = ManyPlan::<f64>::new(n, width, 1, width);
+        let mut data = vec![Complex64::new(1.0, -1.0); n * width];
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        g.throughput(Throughput::Elements((n * width) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| plan.execute_with_scratch(&mut data, &mut scratch, Direction::Forward));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_3d_serial");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        let dims = Dims3::cube(n);
+        let mut data = vec![Complex64::new(0.5, 0.1); dims.len()];
+        g.throughput(Throughput::Elements(dims.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fft_3d(&mut data, dims, Direction::Forward));
+        });
+    }
+    g.finish();
+}
+
+fn bench_hybrid_threads(c: &mut Criterion) {
+    // The paper's hybrid MPI+OpenMP layer: batched transforms across
+    // within-rank worker threads.
+    let mut g = c.benchmark_group("fft_hybrid_threads");
+    g.sample_size(10);
+    let n = 512;
+    let count = 512;
+    let plan = ManyPlan::<f64>::contiguous(n, count);
+    for threads in [1usize, 2, 4] {
+        let mut data = vec![Complex64::new(0.3, -0.1); n * count];
+        g.throughput(Throughput::Elements((n * count) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| plan.execute_parallel(&mut data, Direction::Forward, t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_c2c,
+    bench_r2c,
+    bench_strided_batch,
+    bench_fft3d,
+    bench_hybrid_threads
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates paper Fig. 9: time per step vs node count — the DNS code in
+//! configurations A/B/C (solid lines) and a standalone MPI-only all-to-all
+//! benchmark (dotted line, the lower bound set by the network).
+use psdns_bench::Table;
+use psdns_model::{DnsConfig, DnsModel, PAPER_CASES};
+
+fn main() {
+    let m = DnsModel::default();
+    let mut t = Table::new(&[
+        "Nodes", "N", "MPI-only s", "GPU A s", "GPU B s", "GPU C s",
+    ]);
+    for &(nodes, n) in &PAPER_CASES {
+        t.row(vec![
+            nodes.to_string(),
+            format!("{n}^3"),
+            format!("{:.2}", m.mpi_only_step(n, nodes)),
+            format!("{:.2}", m.step_time(DnsConfig::GpuA, n, nodes).total),
+            format!("{:.2}", m.step_time(DnsConfig::GpuB, n, nodes).total),
+            format!("{:.2}", m.step_time(DnsConfig::GpuC, n, nodes).total),
+        ]);
+    }
+    println!("Fig. 9 — time per step vs node count (model)\n");
+    println!("{}", t.render());
+
+    // Dense per-size sweeps (the solid lines of the figure, beyond the
+    // calibration node counts).
+    for (n, nodes) in [
+        (6144usize, vec![32usize, 64, 128, 256, 512]),
+        (12288, vec![256, 512, 1024, 2048]),
+        (18432, vec![1536, 2048, 3072]),
+    ] {
+        println!("\n{n}^3 across node counts:");
+        let mut t = Table::new(&["Nodes", "MPI-only s", "A s", "B s", "C s", "best"]);
+        for (m_, floor, a, b, c) in m.fig9_series(n, &nodes) {
+            let best = m.recommend_config(n, m_);
+            t.row(vec![
+                m_.to_string(),
+                format!("{floor:.2}"),
+                format!("{a:.2}"),
+                format!("{b:.2}"),
+                format!("{c:.2}"),
+                format!("{best:?}"),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("paper shape checks: MPI-only lower-bounds every DNS line; the gap");
+    println!("between config C and MPI-only is the (small) non-MPI cost.");
+}

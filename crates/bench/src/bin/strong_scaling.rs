@@ -1,0 +1,11 @@
+//! Regenerates paper §5.3: strong scaling of the 6 tasks/node configuration
+//! for the 18432^3 problem between 1536 and 3072 nodes.
+use psdns_model::DnsModel;
+
+fn main() {
+    let (t1536, t3072, ss) = DnsModel::default().strong_scaling_18432();
+    println!("Strong scaling, 18432^3, 6 tasks/node (model vs paper)\n");
+    println!("  1536 nodes: {t1536:.1} s/step   (paper: 48.7)");
+    println!("  3072 nodes: {t3072:.1} s/step   (paper: 25.44)");
+    println!("  strong-scaling efficiency: {ss:.1}%   (paper: 95.7%)");
+}

@@ -1,0 +1,34 @@
+//! Regenerates paper Table 1: node counts, memory per node, pencils per
+//! slab, pencil size (GB) for each problem size.
+use psdns_bench::{dev, Table, PAPER_TABLE1};
+use psdns_domain::MemoryModel;
+
+fn main() {
+    let model = MemoryModel::default();
+    let mut t = Table::new(&[
+        "#Nodes", "N", "Mem/node GB", "paper", "dev", "pencils", "paper", "pencil GB", "paper",
+    ]);
+    for (row, &(nodes, n, p_mem, p_np, p_gib)) in model.table1().iter().zip(&PAPER_TABLE1) {
+        t.row(vec![
+            nodes.to_string(),
+            format!("{n}^3"),
+            format!("{:.1}", row.mem_per_node_gib),
+            format!("{p_mem:.1}"),
+            dev(row.mem_per_node_gib, p_mem),
+            row.pencils.to_string(),
+            p_np.to_string(),
+            format!("{:.2}", row.pencil_gib),
+            format!("{p_gib:.2}"),
+        ]);
+    }
+    println!("Table 1 — node counts, problem sizes, pencils (model vs paper)\n");
+    println!("{}", t.render());
+    println!(
+        "minimum nodes for 18432^3 (D=25 text estimate): {}",
+        MemoryModel { d_vars: 25.0, ..MemoryModel::default() }.min_nodes(18432)
+    );
+    println!(
+        "feasible node counts for 18432^3: {:?}",
+        MemoryModel { d_vars: 25.0, ..MemoryModel::default() }.feasible_nodes(18432)
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Table 2: effective all-to-all bandwidth per node for
+//! MPI configurations A (6 tpn, pencil), B (2 tpn, pencil), C (2 tpn, slab).
+use psdns_bench::{dev, Table, PAPER_TABLE2};
+use psdns_model::A2aModel;
+
+fn main() {
+    let model = A2aModel::default();
+    let mut t = Table::new(&[
+        "Nodes", "cfg", "P2P MB", "paper", "BW GB/s", "paper", "dev",
+    ]);
+    for &(nodes, n, np, paper) in &PAPER_TABLE2 {
+        let row = model.table2_row(nodes, n, np);
+        for (c, label) in ["A: 6 t/n, pencil", "B: 2 t/n, pencil", "C: 2 t/n, slab"]
+            .iter()
+            .enumerate()
+        {
+            t.row(vec![
+                if c == 0 { nodes.to_string() } else { String::new() },
+                label.to_string(),
+                format!("{:.3}", row[c].0),
+                format!("{:.3}", paper[c].0),
+                format!("{:.1}", row[c].1),
+                format!("{:.1}", paper[c].1),
+                dev(row[c].1, paper[c].1),
+            ]);
+        }
+    }
+    println!("Table 2 — effective MPI all-to-all bandwidth per node (model vs paper)\n");
+    println!("{}", t.render());
+}

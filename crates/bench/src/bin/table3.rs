@@ -1,0 +1,52 @@
+//! Regenerates paper Table 3: wall time per RK2 step and GPU:CPU speedups
+//! for the sync CPU baseline and async GPU configurations A, B, C.
+use psdns_bench::{dev, Table, PAPER_TABLE3};
+use psdns_model::{DnsConfig, DnsModel};
+
+fn main() {
+    let m = DnsModel::default();
+    let mut t = Table::new(&[
+        "Nodes", "N", "cfg", "time s", "paper", "dev", "speedup", "paper",
+    ]);
+    for &(nodes, n, paper) in &PAPER_TABLE3 {
+        let cpu = m.step_time(DnsConfig::CpuSync, n, nodes).total;
+        let cases = [
+            ("Sync CPU", cpu, paper[0], f64::NAN, f64::NAN),
+            (
+                "GPU A (6t/n, pencil)",
+                m.step_time(DnsConfig::GpuA, n, nodes).total,
+                paper[1],
+                cpu / m.step_time(DnsConfig::GpuA, n, nodes).total,
+                paper[0] / paper[1],
+            ),
+            (
+                "GPU B (2t/n, pencil)",
+                m.step_time(DnsConfig::GpuB, n, nodes).total,
+                paper[2],
+                cpu / m.step_time(DnsConfig::GpuB, n, nodes).total,
+                paper[0] / paper[2],
+            ),
+            (
+                "GPU C (2t/n, slab)",
+                m.step_time(DnsConfig::GpuC, n, nodes).total,
+                paper[3],
+                cpu / m.step_time(DnsConfig::GpuC, n, nodes).total,
+                paper[0] / paper[3],
+            ),
+        ];
+        for (i, (label, time, p, sp, psp)) in cases.iter().enumerate() {
+            t.row(vec![
+                if i == 0 { nodes.to_string() } else { String::new() },
+                if i == 0 { format!("{n}^3") } else { String::new() },
+                label.to_string(),
+                format!("{time:.2}"),
+                format!("{p:.2}"),
+                dev(*time, *p),
+                if sp.is_nan() { "-".into() } else { format!("{sp:.1}") },
+                if psp.is_nan() { "-".into() } else { format!("{psp:.1}") },
+            ]);
+        }
+    }
+    println!("Table 3 — DNS wall time per RK2 step (model vs paper)\n");
+    println!("{}", t.render());
+}

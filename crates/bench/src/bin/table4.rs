@@ -1,0 +1,28 @@
+//! Regenerates paper Table 4: weak scaling relative to the 3072^3 case,
+//! using the best GPU configuration at each scale (Eq. 4).
+use psdns_bench::{dev, Table, PAPER_TABLE4};
+use psdns_model::DnsModel;
+
+fn main() {
+    let m = DnsModel::default();
+    let mut t = Table::new(&[
+        "Nodes", "Ntasks", "N", "time s", "paper", "dev", "WS %", "paper",
+    ]);
+    for ((nodes, n, time, ws), &(pn, ptasks, _, _, ptime, pws)) in
+        m.table4().into_iter().zip(&PAPER_TABLE4)
+    {
+        assert_eq!(nodes, pn);
+        t.row(vec![
+            nodes.to_string(),
+            ptasks.to_string(),
+            format!("{n}^3"),
+            format!("{time:.2}"),
+            format!("{ptime:.2}"),
+            dev(time, ptime),
+            format!("{ws:.1}"),
+            format!("{pws:.1}"),
+        ]);
+    }
+    println!("Table 4 — weak scaling of the best GPU configuration (model vs paper)\n");
+    println!("{}", t.render());
+}

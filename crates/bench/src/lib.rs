@@ -1,0 +1,117 @@
+//! # psdns-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (`table1`–`table4`, `fig7`–`fig10`, `strong_scaling`) regenerating the
+//! published rows/series from the calibrated model, plus Criterion benches
+//! (`benches/`) exercising the *real* implementations (FFT substrate,
+//! thread-backed all-to-all, device copy engines, sync vs async pipelines,
+//! full solver steps) at laptop scale.
+//!
+//! Paper reference values are embedded next to each generator so every
+//! binary prints a `model vs paper` comparison — the data recorded in
+//! `EXPERIMENTS.md`.
+
+/// Paper Table 2: (nodes, N, np, [(P2P MB, BW GB/s); A, B, C]).
+pub const PAPER_TABLE2: [(usize, usize, usize, [(f64, f64); 3]); 4] = [
+    (16, 3072, 3, [(12.0, 36.5), (108.0, 43.1), (324.0, 43.6)]),
+    (128, 6144, 3, [(1.5, 24.0), (13.5, 39.0), (40.5, 39.0)]),
+    (1024, 12288, 3, [(0.19, 11.1), (1.69, 23.5), (5.06, 25.0)]),
+    (3072, 18432, 4, [(0.053, 13.2), (0.47, 12.4), (1.90, 17.6)]),
+];
+
+/// Paper Table 3: (nodes, N, [CPU, A, B, C] seconds/step).
+pub const PAPER_TABLE3: [(usize, usize, [f64; 4]); 4] = [
+    (16, 3072, [34.38, 8.09, 6.70, 7.50]),
+    (128, 6144, [40.18, 12.17, 8.66, 8.07]),
+    (1024, 12288, [47.57, 13.63, 12.62, 10.14]),
+    (3072, 18432, [41.96, 25.44, 22.30, 14.24]),
+];
+
+/// Paper Table 1: (nodes, N, mem GB/node, pencils, pencil GB).
+pub const PAPER_TABLE1: [(usize, usize, f64, usize, f64); 4] = [
+    (16, 3072, 202.5, 3, 2.25),
+    (128, 6144, 202.5, 3, 2.25),
+    (1024, 12288, 202.5, 3, 2.25),
+    (3072, 18432, 227.8, 4, 1.90),
+];
+
+/// Paper Table 4: (nodes, ntasks, N, pencils/a2a, time s, weak scaling %).
+pub const PAPER_TABLE4: [(usize, usize, usize, usize, f64, f64); 4] = [
+    (16, 32, 3072, 1, 6.70, 100.0),
+    (128, 256, 6144, 3, 8.07, 83.0),
+    (1024, 2048, 12288, 3, 10.14, 66.1),
+    (3072, 6144, 18432, 4, 14.24, 52.9),
+];
+
+/// Format a percentage deviation column.
+pub fn dev(model: f64, paper: f64) -> String {
+    format!("{:+.1}%", (model - paper) / paper * 100.0)
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["12".into(), "3".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn dev_formats_sign() {
+        assert_eq!(dev(11.0, 10.0), "+10.0%");
+        assert_eq!(dev(9.0, 10.0), "-10.0%");
+    }
+}

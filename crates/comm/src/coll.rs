@@ -1,0 +1,435 @@
+//! Collective operations. All collectives must be invoked by every rank of
+//! the communicator in the same order (MPI's usual contract); an internal
+//! sequence counter turns each call site into a unique tag so consecutive
+//! collectives cannot interfere.
+
+use crate::comm::Communicator;
+use crate::request::Request;
+
+impl Communicator {
+    /// Synchronize all ranks (gather-to-root + broadcast).
+    pub fn barrier(&self) {
+        let tag = self.next_coll_tag();
+        let root = 0;
+        if self.rank() == root {
+            for src in 1..self.size() {
+                let _ = self.recv_raw::<u8>(src, tag);
+            }
+            for dst in 1..self.size() {
+                self.send_raw::<u8>(dst, tag, Vec::new());
+            }
+        } else {
+            self.send_raw::<u8>(root, tag, Vec::new());
+            let _ = self.recv_raw::<u8>(root, tag);
+        }
+    }
+
+    /// Broadcast `data` from `root` to all ranks; every rank returns the
+    /// root's buffer.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_raw(dst, tag, data.to_vec());
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// Gather each rank's buffer to `root` (concatenated in rank order);
+    /// non-root ranks return an empty Vec.
+    pub fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out = Vec::new();
+            for src in 0..self.size() {
+                if src == root {
+                    out.extend_from_slice(data);
+                } else {
+                    out.extend(self.recv_raw::<T>(src, tag));
+                }
+            }
+            out
+        } else {
+            self.send_raw(root, tag, data.to_vec());
+            Vec::new()
+        }
+    }
+
+    /// All ranks obtain the concatenation (in rank order) of every rank's
+    /// buffer. Buffers may have different lengths.
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        for dst in 0..self.size() {
+            if dst != self.rank() {
+                self.send_raw(dst, tag, data.to_vec());
+            }
+        }
+        let mut out = Vec::new();
+        for src in 0..self.size() {
+            if src == self.rank() {
+                out.extend_from_slice(data);
+            } else {
+                out.extend(self.recv_raw::<T>(src, tag));
+            }
+        }
+        out
+    }
+
+    /// Scatter equal chunks of `root`'s buffer to all ranks.
+    pub fn scatter<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            assert_eq!(data.len() % self.size(), 0, "scatter buffer not divisible");
+            let chunk = data.len() / self.size();
+            let mut mine = Vec::new();
+            for dst in 0..self.size() {
+                let piece = &data[dst * chunk..(dst + 1) * chunk];
+                if dst == root {
+                    mine = piece.to_vec();
+                } else {
+                    self.send_raw(dst, tag, piece.to_vec());
+                }
+            }
+            mine
+        } else {
+            assert!(data.is_empty() || !data.is_empty()); // non-root input ignored
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// Blocking all-to-all with equal chunks: `send.len()` must be a multiple
+    /// of `size()`; chunk `d` of the send buffer goes to rank `d`, and the
+    /// result holds chunk `s` from rank `s` at position `s`.
+    ///
+    /// This is the `MPI_ALLTOALL` the paper's standalone kernel benchmarks
+    /// (§4.1, Table 2).
+    pub fn alltoall<T: Clone + Send + 'static>(&self, send: &[T]) -> Vec<T> {
+        self.ialltoall(send).wait()
+    }
+
+    /// Nonblocking all-to-all: sends are posted immediately; the returned
+    /// [`Request`] completes the receives. This is the paper's
+    /// `MPI_IALLTOALL` used to overlap the transpose with GPU work (§3.4).
+    pub fn ialltoall<T: Clone + Send + 'static>(&self, send: &[T]) -> Request<T> {
+        assert_eq!(
+            send.len() % self.size(),
+            0,
+            "alltoall buffer length {} not divisible by comm size {}",
+            send.len(),
+            self.size()
+        );
+        let chunk = send.len() / self.size();
+        let tag = self.next_coll_tag();
+        for dst in 0..self.size() {
+            self.send_raw(dst, tag, send[dst * chunk..(dst + 1) * chunk].to_vec());
+        }
+        Request::new(self.clone_handle(), tag, chunk)
+    }
+
+    /// Variable-size all-to-all: `send_counts[d]` elements go to rank `d`
+    /// (packed contiguously in rank order in `send`); returns the received
+    /// buffer packed in rank order together with the per-source counts.
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        assert_eq!(send_counts.len(), self.size());
+        assert_eq!(send.len(), send_counts.iter().sum::<usize>());
+        let tag = self.next_coll_tag();
+        let mut offset = 0;
+        for dst in 0..self.size() {
+            let piece = &send[offset..offset + send_counts[dst]];
+            offset += send_counts[dst];
+            self.send_raw(dst, tag, piece.to_vec());
+        }
+        let mut out = Vec::new();
+        let mut counts = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            let piece = self.recv_raw::<T>(src, tag);
+            counts.push(piece.len());
+            out.extend(piece);
+        }
+        (out, counts)
+    }
+
+    /// All-reduce with a user-supplied associative, commutative combiner.
+    /// Every rank must pass the same `op` (same code path), as in MPI.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.allgather(&[value]);
+        let mut it = all.into_iter();
+        let first = it.next().expect("non-empty communicator");
+        it.fold(first, op)
+    }
+
+    /// Element-wise all-reduce over equal-length vectors.
+    pub fn allreduce_vec<T, F>(&self, value: &[T], op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let n = value.len();
+        let all = self.allgather(value);
+        assert_eq!(all.len(), n * self.size(), "ranks passed differing lengths");
+        let mut out = all[..n].to_vec();
+        for r in 1..self.size() {
+            for i in 0..n {
+                out[i] = op(&out[i], &all[r * n + i]);
+            }
+        }
+        out
+    }
+
+    pub(crate) fn clone_handle(&self) -> Communicator {
+        self.clone()
+    }
+}
+
+/// Clones are handles to the same communicator *for the same rank* — useful
+/// for storing a communicator inside solver backends. All clones share the
+/// collective sequence counter, so collectives must still be issued once per
+/// rank, not once per clone.
+impl Clone for Communicator {
+    fn clone(&self) -> Self {
+        Communicator {
+            shared: std::sync::Arc::clone(&self.shared),
+            ctx: self.ctx,
+            rank: self.rank(),
+            members: std::sync::Arc::clone(&self.members),
+            coll_seq: std::sync::Arc::clone(&self.coll_seq),
+            split_seq: std::sync::Arc::clone(&self.split_seq),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn alltoall_transposes_rank_matrix() {
+        // Rank r sends value 100*r + d to rank d; after the exchange rank d
+        // holds 100*s + d at position s — a transpose of the (r, d) matrix.
+        let size = 6;
+        let out = Universe::run(size, |comm| {
+            let send: Vec<u32> = (0..size).map(|d| (100 * comm.rank() + d) as u32).collect();
+            comm.alltoall(&send)
+        });
+        for (d, recvd) in out.iter().enumerate() {
+            for s in 0..size {
+                assert_eq!(recvd[s], (100 * s + d) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_multi_element_chunks() {
+        let size = 4;
+        let chunk = 3;
+        let out = Universe::run(size, |comm| {
+            let send: Vec<u64> = (0..size * chunk)
+                .map(|i| (comm.rank() * 1000 + i) as u64)
+                .collect();
+            comm.alltoall(&send)
+        });
+        for (d, recvd) in out.iter().enumerate() {
+            assert_eq!(recvd.len(), size * chunk);
+            for s in 0..size {
+                for c in 0..chunk {
+                    assert_eq!(recvd[s * chunk + c], (s * 1000 + d * chunk + c) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_alltoalls_do_not_mix() {
+        let out = Universe::run(3, |comm| {
+            let first = comm.alltoall(&vec![comm.rank() as u8; 3]);
+            let second = comm.alltoall(&vec![(10 + comm.rank()) as u8; 3]);
+            (first, second)
+        });
+        for (first, second) in &out {
+            assert_eq!(first, &vec![0, 1, 2]);
+            assert_eq!(second, &vec![10, 11, 12]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_roundtrip() {
+        let size = 4;
+        let out = Universe::run(size, |comm| {
+            // Rank r sends (r + d + 1) copies of marker r*10+d to rank d.
+            let counts: Vec<usize> = (0..size).map(|d| comm.rank() + d + 1).collect();
+            let mut send = Vec::new();
+            for d in 0..size {
+                send.extend(std::iter::repeat((comm.rank() * 10 + d) as u16).take(counts[d]));
+            }
+            comm.alltoallv(&send, &counts)
+        });
+        for (d, (data, counts)) in out.iter().enumerate() {
+            let mut offset = 0;
+            for s in 0..size {
+                assert_eq!(counts[s], s + d + 1);
+                for i in 0..counts[s] {
+                    assert_eq!(data[offset + i], (s * 10 + d) as u16);
+                }
+                offset += counts[s];
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_and_gather() {
+        let out = Universe::run(5, |comm| {
+            let rooted = comm.bcast(2, &[comm.rank() as u32 * 7]);
+            let gathered = comm.gather(0, &[comm.rank() as u32]);
+            (rooted, gathered)
+        });
+        for (r, (rooted, gathered)) in out.iter().enumerate() {
+            assert_eq!(rooted, &vec![14]);
+            if r == 0 {
+                assert_eq!(gathered, &vec![0, 1, 2, 3, 4]);
+            } else {
+                assert!(gathered.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let out = Universe::run(3, |comm| {
+            let data: Vec<u8> = if comm.rank() == 1 { (0..9).collect() } else { vec![] };
+            comm.scatter(1, &data)
+        });
+        assert_eq!(out[0], vec![0, 1, 2]);
+        assert_eq!(out[1], vec![3, 4, 5]);
+        assert_eq!(out[2], vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = Universe::run(6, |comm| {
+            let sum = comm.allreduce(comm.rank() as u64, |a, b| a + b);
+            let max = comm.allreduce(comm.rank() as u64 * 3, std::cmp::max);
+            (sum, max)
+        });
+        for (sum, max) in out {
+            assert_eq!(sum, 15);
+            assert_eq!(max, 15);
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Universe::run(4, |comm| {
+            let v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_vec(&v, |a, b| a + b)
+        });
+        for v in out {
+            assert_eq!(v, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn ialltoall_overlaps_with_local_work() {
+        let size = 4;
+        let out = Universe::run(size, |comm| {
+            let send: Vec<u32> = vec![comm.rank() as u32; size];
+            let req = comm.ialltoall(&send);
+            // "Compute" while the exchange is in flight.
+            let local: u32 = (0..1000).sum::<u32>();
+            let recvd = req.wait();
+            (local, recvd)
+        });
+        for (local, recvd) in out {
+            assert_eq!(local, 499_500);
+            assert_eq!(recvd, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn multiple_outstanding_ialltoalls_complete_in_any_wait_order() {
+        let out = Universe::run(3, |comm| {
+            let r1 = comm.ialltoall(&vec![comm.rank() as u8; 3]);
+            let r2 = comm.ialltoall(&vec![(comm.rank() + 10) as u8; 3]);
+            // Wait in reverse order of posting.
+            let b = r2.wait();
+            let a = r1.wait();
+            (a, b)
+        });
+        for (a, b) in out {
+            assert_eq!(a, vec![0, 1, 2]);
+            assert_eq!(b, vec![10, 11, 12]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use crate::Universe;
+
+    /// Many ranks, many interleaved collectives on parent and split
+    /// communicators — a deadlock/mismatch smoke screen.
+    #[test]
+    fn interleaved_collectives_on_many_communicators() {
+        let p = 8;
+        let out = Universe::run(p, move |comm| {
+            let row = comm.split(comm.rank() / 4, comm.rank() % 4);
+            let col = comm.split(10 + comm.rank() % 4, comm.rank() / 4);
+            let mut acc = 0u64;
+            for round in 0..20 {
+                let a = comm.allreduce(comm.rank() as u64 + round, |x, y| x + y);
+                let b = row.alltoall(&vec![round; row.size()]);
+                let c = col.bcast(round as usize % col.size(), &[a]);
+                comm.barrier();
+                acc = acc.wrapping_add(a + b.iter().sum::<u64>() + c[0]);
+            }
+            acc
+        });
+        // Deterministic: every rank must agree on the collective results
+        // that are rank-independent (the allreduce/bcast parts).
+        assert_eq!(out.len(), p);
+    }
+
+    /// A storm of point-to-point messages with mixed tags must neither
+    /// deadlock nor misdeliver.
+    #[test]
+    fn p2p_storm() {
+        let p = 6;
+        let msgs = 40;
+        let out = Universe::run(p, move |comm| {
+            // Everyone sends `msgs` messages to every peer, tagged by index.
+            for dst in 0..p {
+                for m in 0..msgs {
+                    comm.send(dst, m as u64, vec![(comm.rank() * 1000 + m) as u32]);
+                }
+            }
+            // Receive in a scrambled order.
+            let mut sum = 0u64;
+            for m in (0..msgs).rev() {
+                for src in 0..p {
+                    let v = comm.recv::<u32>(src, m as u64);
+                    assert_eq!(v[0] as usize, src * 1000 + m);
+                    sum += v[0] as u64;
+                }
+            }
+            sum
+        });
+        let expect: u64 = (0..p)
+            .map(|s| (0..msgs).map(|m| (s * 1000 + m) as u64).sum::<u64>())
+            .sum();
+        for s in out {
+            assert_eq!(s, expect);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The [`Communicator`]: ranks, point-to-point messaging with tag matching,
+//! and communicator splitting.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::universe::{Packet, Shared};
+
+/// Errors surfaced by the messaging layer. Most misuse (wrong buffer sizes,
+/// rank out of range) panics like an MPI abort; these are the recoverable
+/// cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A message with the right (ctx, tag) arrived with an unexpected
+    /// element type.
+    TypeMismatch { src: usize, tag: u64 },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::TypeMismatch { src, tag } => {
+                write!(f, "type mismatch in message from rank {src} tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Base tag for internal collective sequencing; user tags must be below it.
+pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An MPI-style communicator: a set of ranks that can exchange point-to-point
+/// messages and participate in collectives. Cheap to clone (all state is
+/// behind `Arc`s / atomics shared among the clones of *this rank's* handle).
+pub struct Communicator {
+    pub(crate) shared: Arc<Shared>,
+    /// Context id separating message namespaces of different communicators.
+    pub(crate) ctx: u64,
+    /// This rank within the communicator.
+    pub(crate) rank: usize,
+    /// Global (universe) rank for each communicator rank.
+    pub(crate) members: Arc<Vec<usize>>,
+    /// Collective sequence number; kept in lockstep across ranks because
+    /// collectives must be called in the same order by every rank.
+    pub(crate) coll_seq: Arc<AtomicU64>,
+    /// Sequence number for `split` calls, part of child ctx derivation.
+    pub(crate) split_seq: Arc<AtomicU64>,
+}
+
+impl Communicator {
+    pub(crate) fn world(shared: Arc<Shared>, rank: usize) -> Self {
+        let size = shared.size;
+        Self {
+            shared,
+            ctx: 0,
+            rank,
+            members: Arc::new((0..size).collect()),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            split_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Rank of the caller within this communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Global (universe) rank of a communicator rank.
+    pub fn global_rank(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    pub(crate) fn next_coll_tag(&self) -> u64 {
+        COLL_TAG_BASE + self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Send `data` to `dst` with `tag`. Buffered and non-blocking in the MPI
+    /// `MPI_Bsend` sense: always returns immediately.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^32");
+        self.send_raw(dst, tag, data);
+    }
+
+    pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        let gdst = self.members[dst];
+        let gsrc = self.members[self.rank];
+        let pkt = Packet {
+            ctx: self.ctx,
+            tag,
+            payload: Box::new(data),
+        };
+        self.shared.tx[gsrc][gdst]
+            .send(pkt)
+            .expect("peer channel closed");
+    }
+
+    /// Blocking receive of a message from `src` with `tag`. FIFO order is
+    /// preserved per (src, ctx, tag).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < 2^32");
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        match self.try_recv_match(src, tag) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_recv_match<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+        assert!(src < self.size(), "source rank {src} out of range");
+        let gsrc = self.members[src];
+        let gme = self.members[self.rank];
+        // First scan messages that arrived earlier but did not match then.
+        {
+            let mut pend = self.shared.pending[gme][gsrc].lock();
+            if let Some(pos) = pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag) {
+                let pkt = pend.remove(pos).expect("position valid");
+                return downcast(pkt, src, tag);
+            }
+        }
+        // Then drain the channel until the matching message arrives.
+        loop {
+            let pkt = {
+                let rx = self.shared.rx[gme][gsrc].lock();
+                rx.recv().expect("peer channel closed")
+            };
+            if pkt.ctx == self.ctx && pkt.tag == tag {
+                return downcast(pkt, src, tag);
+            }
+            self.shared.pending[gme][gsrc].lock().push_back(pkt);
+        }
+    }
+
+    /// Non-blocking probe: returns a matching message if one has already
+    /// arrived from `src` with `tag`, without blocking.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<Vec<T>> {
+        assert!(src < self.size());
+        let gsrc = self.members[src];
+        let gme = self.members[self.rank];
+        {
+            let mut pend = self.shared.pending[gme][gsrc].lock();
+            if let Some(pos) = pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag) {
+                let pkt = pend.remove(pos).expect("position valid");
+                return downcast(pkt, src, tag).ok();
+            }
+        }
+        loop {
+            let pkt = {
+                let rx = self.shared.rx[gme][gsrc].lock();
+                match rx.try_recv() {
+                    Ok(p) => p,
+                    Err(_) => return None,
+                }
+            };
+            if pkt.ctx == self.ctx && pkt.tag == tag {
+                return downcast(pkt, src, tag).ok();
+            }
+            self.shared.pending[gme][gsrc].lock().push_back(pkt);
+        }
+    }
+
+    /// Combined send+receive, deadlock-free for pairwise exchanges.
+    pub fn sendrecv<T: Clone + Send + 'static>(
+        &self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        data: &[T],
+    ) -> Vec<T> {
+        self.send(dst, tag, data.to_vec());
+        self.recv(src, tag)
+    }
+
+    /// Partition this communicator into sub-communicators: ranks passing the
+    /// same `color` end up together, ordered by `(key, parent rank)`.
+    /// Equivalent to `MPI_Comm_split`.
+    pub fn split(&self, color: usize, key: usize) -> Communicator {
+        let seq = self.split_seq.fetch_add(1, Ordering::Relaxed);
+        // Everyone learns everyone's (color, key).
+        let mine = vec![(color, key, self.rank)];
+        let all: Vec<(usize, usize, usize)> = self.allgather(&mine);
+        let mut group: Vec<(usize, usize, usize)> = all
+            .into_iter()
+            .filter(|&(c, _, _)| c == color)
+            .collect();
+        group.sort_by_key(|&(_, k, r)| (k, r));
+        let members: Vec<usize> = group.iter().map(|&(_, _, r)| self.members[r]).collect();
+        let my_local = group
+            .iter()
+            .position(|&(_, _, r)| r == self.rank)
+            .expect("caller must be in its own color group");
+        // Deterministic child ctx: identical for all members, distinct across
+        // (parent ctx, split call, color).
+        let ctx = splitmix64(
+            self.ctx ^ seq.wrapping_mul(0xA24B_AED4_963E_E407) ^ (color as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        );
+        Communicator {
+            shared: Arc::clone(&self.shared),
+            ctx,
+            rank: my_local,
+            members: Arc::new(members),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            split_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+fn downcast<T: Send + 'static>(pkt: Packet, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+    pkt.payload
+        .downcast::<Vec<T>>()
+        .map(|b| *b)
+        .map_err(|_| CommError::TypeMismatch { src, tag })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn ring_exchange() {
+        let out = Universe::run(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 7, vec![comm.rank() as u32]);
+            let got = comm.recv::<u32>(prev, 7);
+            got[0]
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1u8]);
+                comm.send(1, 2, vec![2u8]);
+                0
+            } else {
+                // Receive in reverse tag order: tag-2 message must be matched
+                // even though tag-1 arrives first.
+                let b = comm.recv::<u8>(0, 2);
+                let a = comm.recv::<u8>(0, 1);
+                (a[0] * 10 + b[0]) as usize
+            }
+        });
+        assert_eq!(out[1], 12);
+    }
+
+    #[test]
+    fn fifo_within_same_tag() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u32 {
+                    comm.send(1, 3, vec![i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| comm.recv::<u32>(0, 3)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn self_send() {
+        let out = Universe::run(1, |comm| {
+            comm.send(0, 9, vec![99u64]);
+            comm.recv::<u64>(0, 9)[0]
+        });
+        assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 5, vec![7u8]);
+                comm.barrier();
+                true
+            } else {
+                let early = comm.try_recv::<u8>(0, 5);
+                assert!(early.is_none());
+                comm.barrier();
+                comm.barrier();
+                let late = comm.try_recv::<u8>(0, 5);
+                late == Some(vec![7u8])
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn split_row_col() {
+        // 6 ranks as a 2×3 grid: rows {0,1,2},{3,4,5}; cols {0,3},{1,4},{2,5}.
+        let out = Universe::run(6, |comm| {
+            let row = comm.rank() / 3;
+            let col = comm.rank() % 3;
+            let row_comm = comm.split(row, col);
+            let col_comm = comm.split(col, row);
+            assert_eq!(row_comm.size(), 3);
+            assert_eq!(col_comm.size(), 2);
+            assert_eq!(row_comm.rank(), col);
+            assert_eq!(col_comm.rank(), row);
+            // Sum ranks within row via alltoall on the sub-communicator.
+            let contrib = vec![comm.rank() as u64; row_comm.size()];
+            let got = row_comm.alltoall(&contrib);
+            got.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![3, 3, 3, 12, 12, 12]);
+    }
+
+    #[test]
+    fn messages_do_not_leak_across_split_contexts() {
+        let out = Universe::run(2, |comm| {
+            let sub = comm.split(0, comm.rank());
+            if comm.rank() == 0 {
+                sub.send(1, 4, vec![1u8]); // on sub-communicator
+                comm.send(1, 4, vec![2u8]); // same tag on parent
+                0
+            } else {
+                let parent_msg = comm.recv::<u8>(0, 4);
+                let sub_msg = sub.recv::<u8>(0, 4);
+                (parent_msg[0] * 10 + sub_msg[0]) as usize
+            }
+        });
+        assert_eq!(out[1], 21);
+    }
+}

@@ -1,0 +1,118 @@
+//! The [`Universe`] owns the shared state backing one "MPI job" and runs one
+//! thread per rank.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::comm::Communicator;
+
+/// A type-erased point-to-point message.
+pub(crate) struct Packet {
+    /// Communicator context id (each split gets a fresh one).
+    pub ctx: u64,
+    /// User or collective tag.
+    pub tag: u64,
+    /// The payload, a `Vec<T>` behind `Any`.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Shared state of the job: a full matrix of channels plus per-destination
+/// pending queues for out-of-order tag matching.
+pub(crate) struct Shared {
+    pub size: usize,
+    /// `tx[src][dst]` — sender side of the (src → dst) channel.
+    pub tx: Vec<Vec<Sender<Packet>>>,
+    /// `rx[dst][src]` — receiver side, guarded so `Communicator` can be used
+    /// from helper threads of the same rank if needed.
+    pub rx: Vec<Vec<Mutex<Receiver<Packet>>>>,
+    /// Messages received but not yet matched, per (dst, src).
+    pub pending: Vec<Vec<Mutex<VecDeque<Packet>>>>,
+}
+
+impl Shared {
+    fn new(size: usize) -> Arc<Self> {
+        let mut tx: Vec<Vec<Sender<Packet>>> = (0..size).map(|_| Vec::new()).collect();
+        let mut rx: Vec<Vec<Mutex<Receiver<Packet>>>> = (0..size).map(|_| Vec::new()).collect();
+        // Channel (src, dst): sender stored under src, receiver under dst.
+        let mut receivers: Vec<Vec<Option<Mutex<Receiver<Packet>>>>> =
+            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        for src in 0..size {
+            for dst in 0..size {
+                let (s, r) = unbounded();
+                tx[src].push(s);
+                receivers[dst][src] = Some(Mutex::new(r));
+            }
+        }
+        for (dst, row) in receivers.into_iter().enumerate() {
+            rx[dst] = row.into_iter().map(|o| o.expect("channel built")).collect();
+        }
+        let pending = (0..size)
+            .map(|_| (0..size).map(|_| Mutex::new(VecDeque::new())).collect())
+            .collect();
+        Arc::new(Self {
+            size,
+            tx,
+            rx,
+            pending,
+        })
+    }
+}
+
+/// Entry point: spawn `size` ranks, run `f` on each, return the results in
+/// rank order. Panics in any rank propagate (the whole job aborts), like an
+/// MPI error with `MPI_ERRORS_ARE_FATAL`.
+pub struct Universe;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn rank_panic_aborts_the_job() {
+        let _ = Universe::run(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate failure in rank 1");
+            }
+            comm.rank()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_universe_rejected() {
+        let _ = Universe::run(0, |_| 0);
+    }
+}
+
+impl Universe {
+    pub fn run<F, R>(size: usize, f: F) -> Vec<R>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(size > 0, "universe must have at least one rank");
+        let shared = Shared::new(size);
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move |_| {
+                    let comm = Communicator::world(shared, rank);
+                    *slot = Some(f(comm));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank panicked");
+            }
+        })
+        .expect("universe scope failed");
+        results.into_iter().map(|r| r.expect("rank result")).collect()
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the message-passing runtime: the collective algebra
+//! must hold for arbitrary sizes, payloads and communicator splits.
+
+use proptest::prelude::*;
+use psdns_comm::Universe;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// alltoall is a transpose: recv[d][s] == send[s][d] for any rank count
+    /// and chunk length.
+    #[test]
+    fn alltoall_is_transpose(p in 1usize..7, chunk in 1usize..17, seed in 0u64..1000) {
+        let all = Universe::run(p, move |comm| {
+            let send: Vec<u64> = (0..p * chunk)
+                .map(|i| seed ^ ((comm.rank() * 1_000_003 + i) as u64))
+                .collect();
+            (send.clone(), comm.alltoall(&send))
+        });
+        for d in 0..p {
+            let (_, recv) = &all[d];
+            for s in 0..p {
+                let (sent, _) = &all[s];
+                prop_assert_eq!(
+                    &recv[s * chunk..(s + 1) * chunk],
+                    &sent[d * chunk..(d + 1) * chunk]
+                );
+            }
+        }
+    }
+
+    /// alltoallv reassembles exactly, for arbitrary per-destination counts.
+    #[test]
+    fn alltoallv_reassembles(p in 1usize..6, base in 0usize..5, seed in 0u64..100) {
+        let all = Universe::run(p, move |comm| {
+            let r = comm.rank();
+            let counts: Vec<usize> = (0..p).map(|d| (r * 7 + d * 3 + base + seed as usize) % 6).collect();
+            let mut send = Vec::new();
+            for d in 0..p {
+                for i in 0..counts[d] {
+                    send.push((r * 10_000 + d * 100 + i) as u32);
+                }
+            }
+            let (recv, rcounts) = comm.alltoallv(&send, &counts);
+            (counts, recv, rcounts)
+        });
+        for d in 0..p {
+            let (_, recv, rcounts) = &all[d];
+            let mut off = 0;
+            for s in 0..p {
+                let (scounts, _, _) = &all[s];
+                prop_assert_eq!(rcounts[s], scounts[d]);
+                for i in 0..rcounts[s] {
+                    prop_assert_eq!(recv[off + i], (s * 10_000 + d * 100 + i) as u32);
+                }
+                off += rcounts[s];
+            }
+        }
+    }
+
+    /// allgather ∘ split == grouping: members of a split communicator see
+    /// exactly their color group's data, ordered by key.
+    #[test]
+    fn split_groups_are_consistent(p in 2usize..8, ncolors in 1usize..4) {
+        let all = Universe::run(p, move |comm| {
+            let color = comm.rank() % ncolors;
+            let sub = comm.split(color, comm.rank());
+            let members = sub.allgather(&[comm.rank()]);
+            (color, sub.rank(), members)
+        });
+        for (rank, (color, sub_rank, members)) in all.iter().enumerate() {
+            let expect: Vec<usize> = (0..p).filter(|r| r % ncolors == *color).collect();
+            prop_assert_eq!(members, &expect);
+            prop_assert_eq!(expect[*sub_rank], rank);
+        }
+    }
+
+    /// allreduce(sum) equals the serial sum for any float payloads.
+    #[test]
+    fn allreduce_sum_matches_serial(p in 1usize..8, vals in prop::collection::vec(-1e6f64..1e6, 8)) {
+        let vals_clone = vals.clone();
+        let out = Universe::run(p, move |comm| {
+            let mine = vals_clone[comm.rank() % vals_clone.len()];
+            comm.allreduce(mine, |a, b| a + b)
+        });
+        let expect: f64 = (0..p).map(|r| vals[r % vals.len()]).sum();
+        for got in out {
+            prop_assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    /// Nonblocking alltoalls can be interleaved arbitrarily with sends and
+    /// still deliver the right data.
+    #[test]
+    fn ialltoall_interleaved_with_p2p(p in 2usize..6, rounds in 1usize..4) {
+        let out = Universe::run(p, move |comm| {
+            let mut ok = true;
+            for round in 0..rounds {
+                let tag = round as u64;
+                let req = comm.ialltoall(&vec![(comm.rank() * 10 + round) as u16; p]);
+                let next = (comm.rank() + 1) % p;
+                let prev = (comm.rank() + p - 1) % p;
+                comm.send(next, tag, vec![comm.rank() as u16]);
+                let got = comm.recv::<u16>(prev, tag);
+                ok &= got[0] as usize == prev;
+                let a2a = req.wait();
+                for s in 0..p {
+                    ok &= a2a[s] == (s * 10 + round) as u16;
+                }
+            }
+            ok
+        });
+        prop_assert!(out.into_iter().all(|b| b));
+    }
+
+    /// bcast delivers the root's buffer regardless of which rank is root.
+    #[test]
+    fn bcast_from_any_root(p in 1usize..7, root_sel in 0usize..16, len in 0usize..9) {
+        let out = Universe::run(p, move |comm| {
+            let root = root_sel % p;
+            let data: Vec<i32> = if comm.rank() == root {
+                (0..len as i32).map(|i| i * 3 - 5).collect()
+            } else {
+                vec![]
+            };
+            comm.bcast(root, &data)
+        });
+        let expect: Vec<i32> = (0..len as i32).map(|i| i * 3 - 5).collect();
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

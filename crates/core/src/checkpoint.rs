@@ -1,0 +1,467 @@
+//! Checkpoint/restart for long-running campaigns.
+//!
+//! The paper's production simulations run "many thousands of time steps"
+//! over multiple batch allocations, which requires serializing the spectral
+//! state. The format here is a small self-describing binary container:
+//! little-endian header (magic, version, N, P, rank, component count, time,
+//! step) followed by the raw interleaved re/im f64 payload per component.
+//! Rank count at restore time may differ from the writer's — restoring
+//! re-slices a gathered global field.
+
+use psdns_fft::{Complex, Real};
+
+use crate::field::{LocalShape, SpectralField};
+
+const MAGIC: &[u8; 8] = b"PSDNSCK1";
+
+/// Errors from checkpoint decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    BadMagic,
+    Truncated,
+    ShapeMismatch { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a psdns checkpoint"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::ShapeMismatch { expected, found } => {
+                write!(f, "grid mismatch: expected N={expected}, found N={found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialized solver state of one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    pub n: usize,
+    pub p: usize,
+    pub rank: usize,
+    pub time: f64,
+    pub step: usize,
+    /// Spectral components (velocities, optionally scalars), f64 payload.
+    pub fields: Vec<Vec<(f64, f64)>>,
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.data.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Checkpoint {
+    /// Capture per-rank state.
+    pub fn capture<T: Real>(fields: &[&SpectralField<T>], time: f64, step: usize) -> Checkpoint {
+        assert!(!fields.is_empty());
+        let s = fields[0].shape;
+        Checkpoint {
+            n: s.n,
+            p: s.p,
+            rank: s.rank,
+            time,
+            step,
+            fields: fields
+                .iter()
+                .map(|f| {
+                    assert_eq!(f.shape, s);
+                    f.data
+                        .iter()
+                        .map(|c| (c.re.to_f64(), c.im.to_f64()))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Encode to the binary container.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        push_u64(&mut buf, self.n as u64);
+        push_u64(&mut buf, self.p as u64);
+        push_u64(&mut buf, self.rank as u64);
+        push_u64(&mut buf, self.fields.len() as u64);
+        push_u64(&mut buf, self.step as u64);
+        push_f64(&mut buf, self.time);
+        for f in &self.fields {
+            push_u64(&mut buf, f.len() as u64);
+            for &(re, im) in f {
+                push_f64(&mut buf, re);
+                push_f64(&mut buf, im);
+            }
+        }
+        buf
+    }
+
+    /// Decode from the binary container.
+    pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = Reader { data, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let n = r.u64()? as usize;
+        let p = r.u64()? as usize;
+        let rank = r.u64()? as usize;
+        let nf = r.u64()? as usize;
+        let step = r.u64()? as usize;
+        let time = r.f64()?;
+        let mut fields = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let len = r.u64()? as usize;
+            let mut f = Vec::with_capacity(len);
+            for _ in 0..len {
+                let re = r.f64()?;
+                let im = r.f64()?;
+                f.push((re, im));
+            }
+            fields.push(f);
+        }
+        Ok(Checkpoint {
+            n,
+            p,
+            rank,
+            time,
+            step,
+            fields,
+        })
+    }
+
+    /// Rebuild spectral fields for the *same* decomposition (p and rank must
+    /// match the writer's).
+    pub fn restore<T: Real>(
+        &self,
+        shape: LocalShape,
+    ) -> Result<Vec<SpectralField<T>>, CheckpointError> {
+        if shape.n != self.n {
+            return Err(CheckpointError::ShapeMismatch {
+                expected: shape.n,
+                found: self.n,
+            });
+        }
+        assert_eq!(shape.p, self.p, "restore onto the writer's rank count");
+        assert_eq!(shape.rank, self.rank);
+        Ok(self
+            .fields
+            .iter()
+            .map(|f| {
+                let data: Vec<Complex<T>> = f
+                    .iter()
+                    .map(|&(re, im)| Complex::from_f64(re, im))
+                    .collect();
+                SpectralField::from_data(shape, data)
+            })
+            .collect())
+    }
+}
+
+/// Gather per-rank checkpoints and re-slice to a different rank count —
+/// the paper's campaigns moved between node counts (e.g. the 1536 vs 3072
+/// strong-scaling runs) and restart files must follow.
+pub fn reslice(parts: &[Checkpoint], new_p: usize) -> Vec<Checkpoint> {
+    assert!(!parts.is_empty());
+    let n = parts[0].n;
+    let nf = parts[0].fields.len();
+    let nxh = n / 2 + 1;
+    let old_p = parts[0].p;
+    assert!(parts.iter().all(|c| c.p == old_p && c.n == n));
+    let mut sorted: Vec<&Checkpoint> = parts.iter().collect();
+    sorted.sort_by_key(|c| c.rank);
+
+    // Assemble the global z-extent, then cut new slabs.
+    let plane = nxh * n;
+    let mut global: Vec<Vec<(f64, f64)>> = vec![Vec::with_capacity(plane * n); nf];
+    for c in &sorted {
+        for (v, f) in c.fields.iter().enumerate() {
+            global[v].extend_from_slice(f);
+        }
+    }
+    assert!(
+        global.iter().all(|g| g.len() == plane * n),
+        "incomplete checkpoint set"
+    );
+
+    let new_mz = n / new_p;
+    (0..new_p)
+        .map(|rank| Checkpoint {
+            n,
+            p: new_p,
+            rank,
+            time: sorted[0].time,
+            step: sorted[0].step,
+            fields: global
+                .iter()
+                .map(|g| g[rank * new_mz * plane..(rank + 1) * new_mz * plane].to_vec())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Spectrally refine a gathered checkpoint set to a finer grid `new_n`
+/// (zero-padding in wavenumber space) and re-slice to `new_p` ranks.
+///
+/// This is how production campaigns bootstrap record resolutions: the
+/// paper's 18432³ runs grow out of coarser precursor fields. Spectral
+/// upsampling is *exact* — the refined field interpolates the coarse one at
+/// every shared grid point. The coarse Nyquist plane (ky or kz = ±n/2),
+/// whose conjugate pairing is ambiguous, is dropped, and stored
+/// coefficients are rescaled by `(new_n/old_n)³` to keep the
+/// `N³ × mathematical` convention.
+pub fn refine(parts: &[Checkpoint], new_n: usize, new_p: usize) -> Vec<Checkpoint> {
+    assert!(!parts.is_empty());
+    let n = parts[0].n;
+    assert!(
+        new_n >= n && new_n % 2 == 0,
+        "refine only upsamples, to even N"
+    );
+    assert_eq!(new_n % new_p, 0);
+    let nf = parts[0].fields.len();
+    let nxh = n / 2 + 1;
+    let new_nxh = new_n / 2 + 1;
+    let mut sorted: Vec<&Checkpoint> = parts.iter().collect();
+    sorted.sort_by_key(|c| c.rank);
+
+    // Gather old global field, then scatter modes into the new layout.
+    let _plane = nxh * n;
+    let scale = (new_n as f64 / n as f64).powi(3);
+    let mut new_global: Vec<Vec<(f64, f64)>> = vec![vec![(0.0, 0.0); new_nxh * new_n * new_n]; nf];
+    let wavenumber = |i: usize, nn: usize| -> i64 {
+        if i <= nn / 2 {
+            i as i64
+        } else {
+            i as i64 - nn as i64
+        }
+    };
+    let new_index = |k: i64, nn: usize| -> usize {
+        if k >= 0 {
+            k as usize
+        } else {
+            (nn as i64 + k) as usize
+        }
+    };
+    for c in &sorted {
+        let mz = n / c.p;
+        for (v, f) in c.fields.iter().enumerate() {
+            for zl in 0..mz {
+                let z = c.rank * mz + zl;
+                let kz = wavenumber(z, n);
+                if kz.unsigned_abs() as usize == n / 2 {
+                    continue; // drop the ambiguous Nyquist plane
+                }
+                for y in 0..n {
+                    let ky = wavenumber(y, n);
+                    if ky.unsigned_abs() as usize == n / 2 {
+                        continue;
+                    }
+                    for x in 0..nxh {
+                        if x == n / 2 {
+                            continue; // x Nyquist likewise
+                        }
+                        let (re, im) = f[x + nxh * (y + n * zl)];
+                        let ny = new_index(ky, new_n);
+                        let nz = new_index(kz, new_n);
+                        new_global[v][x + new_nxh * (ny + new_n * nz)] = (re * scale, im * scale);
+                    }
+                }
+            }
+        }
+    }
+
+    let new_plane = new_nxh * new_n;
+    let new_mz = new_n / new_p;
+    (0..new_p)
+        .map(|rank| Checkpoint {
+            n: new_n,
+            p: new_p,
+            rank,
+            time: sorted[0].time,
+            step: sorted[0].step,
+            fields: new_global
+                .iter()
+                .map(|g| g[rank * new_mz * new_plane..(rank + 1) * new_mz * new_plane].to_vec())
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::taylor_green;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let shape = LocalShape::new(8, 2, 1);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0], &u[1], &u[2]], 1.25, 500);
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back, ck);
+        let restored: Vec<SpectralField<f64>> = back.restore(shape).unwrap();
+        for (a, b) in restored.iter().zip(&u) {
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            Checkpoint::decode(b"NOTPSDNS"),
+            Err(CheckpointError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let shape = LocalShape::new(8, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let bytes = Checkpoint::capture(&[&u[0]], 0.0, 0).encode();
+        for cut in [4usize, 20, bytes.len() - 3] {
+            assert_eq!(
+                Checkpoint::decode(&bytes[..cut]),
+                Err(CheckpointError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_mismatch_reported() {
+        let shape8 = LocalShape::new(8, 1, 0);
+        let u = taylor_green::<f64>(shape8);
+        let ck = Checkpoint::capture(&[&u[0]], 0.0, 0);
+        let shape16 = LocalShape::new(16, 1, 0);
+        assert!(matches!(
+            ck.restore::<f64>(shape16),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refine_preserves_taylor_green_exactly() {
+        // TG lives at |k_i| ≤ 1, far from any Nyquist plane: upsampling
+        // 8³ → 16³ must reproduce taylor_green(16) exactly (after the
+        // stored-coefficient rescale).
+        let coarse: Vec<Checkpoint> = (0..2)
+            .map(|rank| {
+                let shape = LocalShape::new(8, 2, rank);
+                let u = taylor_green::<f64>(shape);
+                Checkpoint::capture(&[&u[0], &u[1], &u[2]], 0.0, 0)
+            })
+            .collect();
+        let fine = refine(&coarse, 16, 4);
+        assert_eq!(fine.len(), 4);
+        for (rank, ck) in fine.iter().enumerate() {
+            let shape = LocalShape::new(16, 4, rank);
+            let restored: Vec<SpectralField<f64>> = ck.restore(shape).unwrap();
+            let expect = taylor_green::<f64>(shape);
+            for (a, b) in restored.iter().zip(&expect) {
+                for (x, y) in a.data.iter().zip(&b.data) {
+                    assert!((*x - *y).abs() < 1e-9, "refined TG differs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_interpolates_physical_field() {
+        use crate::dist_fft::SlabFftCpu;
+        use crate::field::Transform3d;
+        use psdns_comm::Universe;
+        // A band-limited random field upsampled 8³ → 16³ must match the
+        // coarse physical values at the shared (even-index) grid points.
+        let coarse_parts: Vec<Checkpoint> = (0..2)
+            .map(|rank| {
+                let shape = LocalShape::new(8, 2, rank);
+                let u = crate::init::random_solenoidal::<f64>(shape, 2.0, 77);
+                Checkpoint::capture(&[&u[0]], 0.0, 0)
+            })
+            .collect();
+        let fine_parts = refine(&coarse_parts, 16, 2);
+
+        let coarse_phys = Universe::run(2, {
+            let parts = coarse_parts.clone();
+            move |comm| {
+                let shape = LocalShape::new(8, 2, comm.rank());
+                let f: Vec<SpectralField<f64>> = parts[comm.rank()].restore(shape).unwrap();
+                let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+                fft.fourier_to_physical(&f).remove(0)
+            }
+        });
+        let fine_phys = Universe::run(2, move |comm| {
+            let shape = LocalShape::new(16, 2, comm.rank());
+            let f: Vec<SpectralField<f64>> = fine_parts[comm.rank()].restore(shape).unwrap();
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            fft.fourier_to_physical(&f).remove(0)
+        });
+
+        // Shared points: coarse (x, y, z) ↔ fine (2x, 2y, 2z).
+        for zc in 0..8usize {
+            for yc in 0..8usize {
+                for xc in 0..8usize {
+                    let c_rank = yc / 4;
+                    let cv = coarse_phys[c_rank].at(xc, yc - c_rank * 4, zc);
+                    let f_rank = (2 * yc) / 8;
+                    let fv = fine_phys[f_rank].at(2 * xc, 2 * yc - f_rank * 8, 2 * zc);
+                    assert!(
+                        (cv - fv).abs() < 1e-9,
+                        "({xc},{yc},{zc}): coarse {cv} vs fine {fv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reslice_between_rank_counts() {
+        // Write at p = 4, restart at p = 2: fields must re-slice exactly.
+        let n = 8;
+        let parts: Vec<Checkpoint> = (0..4)
+            .map(|rank| {
+                let shape = LocalShape::new(n, 4, rank);
+                let u = taylor_green::<f64>(shape);
+                Checkpoint::capture(&[&u[0], &u[1]], 3.5, 42)
+            })
+            .collect();
+        let resliced = reslice(&parts, 2);
+        assert_eq!(resliced.len(), 2);
+        for (rank, ck) in resliced.iter().enumerate() {
+            assert_eq!((ck.p, ck.rank, ck.step), (2, rank, 42));
+            let shape = LocalShape::new(n, 2, rank);
+            let restored: Vec<SpectralField<f64>> = ck.restore(shape).unwrap();
+            let expect = taylor_green::<f64>(shape);
+            assert_eq!(restored[0].data, expect[0].data);
+            assert_eq!(restored[1].data, expect[1].data);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Distributed 3-D FFT on the 1-D slab decomposition — host (CPU) path.
+//!
+//! Fourier → physical (paper Fig. 2 order): inverse c2c in y on the z-slab,
+//! one global transpose (all-to-all), inverse c2c in z, inverse c2r in x.
+//! Physical → Fourier runs the mirror image. One all-to-all moves all `nv`
+//! variables of the call (the paper transposes 3 velocity components per
+//! collective, §4.1).
+
+use psdns_comm::Communicator;
+use psdns_domain::transpose::{apply_chunks, SlabTranspose};
+use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+
+use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
+
+/// Host implementation of the slab transform. Holds FFT plans and scratch so
+/// repeated calls allocate only the send/receive buffers.
+pub struct SlabFftCpu<T: Real> {
+    shape: LocalShape,
+    comm: Communicator,
+    plan_y: ManyPlan<T>,
+    plan_z: ManyPlan<T>,
+    plan_x: RealFftPlan<T>,
+    scratch: Vec<Complex<T>>,
+    /// Within-rank worker threads for the batched 1-D FFTs — the paper's
+    /// hybrid MPI+OpenMP layer (§3.1: "a hybrid approach to further
+    /// parallelize within a slab").
+    threads: usize,
+}
+
+impl<T: Real> SlabFftCpu<T> {
+    pub fn new(shape: LocalShape, comm: Communicator) -> Self {
+        assert_eq!(comm.size(), shape.p, "communicator size != decomposition");
+        assert_eq!(comm.rank(), shape.rank);
+        let LocalShape { n, nxh, my, .. } = shape;
+        // y lines on the z-slab: stride nxh, one batch per x, per z-plane.
+        let plan_y = ManyPlan::new(n, nxh, 1, nxh);
+        // z lines on the y-slab: stride nxh·my, one batch per (x, yl).
+        let plan_z = ManyPlan::new(n, nxh * my, 1, nxh * my);
+        let plan_x = RealFftPlan::new(n);
+        let scratch_len = plan_y
+            .scratch_len()
+            .max(plan_z.scratch_len())
+            .max(plan_x.scratch_len());
+        Self {
+            shape,
+            comm,
+            plan_y,
+            plan_z,
+            plan_x,
+            scratch: vec![Complex::zero(); scratch_len],
+            threads: 1,
+        }
+    }
+
+    /// Enable hybrid within-rank threading: the batched y/z transforms run
+    /// on `threads` scoped worker threads (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        self.threads = threads;
+        self
+    }
+
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    fn transpose_map(&self, nv: usize) -> SlabTranspose {
+        SlabTranspose::new(self.shape.slab(), self.shape.nxh, nv)
+    }
+
+    /// In-place inverse y transform over the whole z-slab buffer.
+    fn y_transform(&mut self, buf: &mut [Complex<T>], dir: Direction) {
+        let plane = self.shape.nxh * self.shape.n;
+        for zl in 0..self.shape.mz {
+            let slice = &mut buf[zl * plane..(zl + 1) * plane];
+            if self.threads > 1 {
+                self.plan_y.execute_parallel(slice, dir, self.threads);
+            } else {
+                self.plan_y
+                    .execute_with_scratch(slice, &mut self.scratch, dir);
+            }
+        }
+    }
+
+    /// In-place z transform over the whole y-slab buffer.
+    fn z_transform(&mut self, buf: &mut [Complex<T>], dir: Direction) {
+        if self.threads > 1 {
+            self.plan_z.execute_parallel(buf, dir, self.threads);
+        } else {
+            self.plan_z
+                .execute_with_scratch(buf, &mut self.scratch, dir);
+        }
+    }
+}
+
+impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
+    fn shape(&self) -> LocalShape {
+        self.shape
+    }
+
+    fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>> {
+        let nv = specs.len();
+        assert!(nv > 0);
+        let s = self.shape;
+        let t = self.transpose_map(nv);
+
+        // 1. y-inverse on a working copy of each z-slab.
+        let mut work: Vec<Vec<Complex<T>>> = specs
+            .iter()
+            .map(|f| {
+                assert_eq!(f.shape, s, "field shape mismatch");
+                f.data.clone()
+            })
+            .collect();
+        for w in &mut work {
+            self.y_transform(w, Direction::Inverse);
+        }
+
+        // 2. Pack and transpose (one all-to-all for all nv variables).
+        let mut send = vec![Complex::<T>::zero(); t.buf_len()];
+        for d in 0..s.p {
+            for (v, w) in work.iter().enumerate() {
+                apply_chunks(&t.pack_from_zslab(d, v, 0..s.nxh), w, &mut send);
+            }
+        }
+        let recv = self.comm.alltoall(&send);
+
+        // 3. Unpack to y-slabs, z-inverse, then x complex-to-real.
+        let mut out = Vec::with_capacity(nv);
+        let mut yslab = vec![Complex::<T>::zero(); t.yslab_len()];
+        let mut line = vec![T::ZERO; s.n];
+        for v in 0..nv {
+            for src in 0..s.p {
+                apply_chunks(&t.unpack_to_yslab(src, v, 0..s.my), &recv, &mut yslab);
+            }
+            self.z_transform(&mut yslab, Direction::Inverse);
+            let mut phys = PhysicalField::zeros(s);
+            for z in 0..s.n {
+                for yl in 0..s.my {
+                    let base = s.nxh * (yl + s.my * z);
+                    self.plan_x.inverse_with_scratch(
+                        &yslab[base..base + s.nxh],
+                        &mut line,
+                        &mut self.scratch,
+                    );
+                    let dst = s.phys_idx(0, yl, z);
+                    phys.data[dst..dst + s.n].copy_from_slice(&line);
+                }
+            }
+            out.push(phys);
+        }
+        out
+    }
+
+    fn physical_to_fourier(&mut self, phys: &[PhysicalField<T>]) -> Vec<SpectralField<T>> {
+        let nv = phys.len();
+        assert!(nv > 0);
+        let s = self.shape;
+        let t = self.transpose_map(nv);
+
+        // 1. x real-to-complex and z-forward per variable; pack as we go.
+        let mut send = vec![Complex::<T>::zero(); t.buf_len()];
+        let mut yslab = vec![Complex::<T>::zero(); t.yslab_len()];
+        let mut spec_line = vec![Complex::<T>::zero(); s.nxh];
+        for (v, f) in phys.iter().enumerate() {
+            assert_eq!(f.shape, s, "field shape mismatch");
+            for z in 0..s.n {
+                for yl in 0..s.my {
+                    let src = s.phys_idx(0, yl, z);
+                    self.plan_x.forward_with_scratch(
+                        &f.data[src..src + s.n],
+                        &mut spec_line,
+                        &mut self.scratch,
+                    );
+                    let base = s.nxh * (yl + s.my * z);
+                    yslab[base..base + s.nxh].copy_from_slice(&spec_line);
+                }
+            }
+            self.z_transform(&mut yslab, Direction::Forward);
+            for d in 0..s.p {
+                apply_chunks(&t.pack_from_yslab(d, v, 0..s.my), &yslab, &mut send);
+            }
+        }
+
+        // 2. Transpose back.
+        let recv = self.comm.alltoall(&send);
+
+        // 3. Unpack to z-slabs and y-forward.
+        let mut out = Vec::with_capacity(nv);
+        for v in 0..nv {
+            let mut zslab = vec![Complex::<T>::zero(); t.zslab_len()];
+            for src in 0..s.p {
+                apply_chunks(&t.unpack_to_zslab(src, v, 0..s.nxh), &recv, &mut zslab);
+            }
+            self.y_transform(&mut zslab, Direction::Forward);
+            out.push(SpectralField::from_data(s, zslab));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdns_comm::Universe;
+    use psdns_fft::{fft_3d, Complex64, Dims3};
+
+    /// Gathered distributed inverse transform must equal the serial one.
+    #[test]
+    fn matches_serial_fft3d() {
+        let n = 8;
+        let p = 4;
+        // Global spectral field with conjugate symmetry (so physical space
+        // is real): build from a real field by serial forward transform.
+        let dims = Dims3::cube(n);
+        let real_field: Vec<f64> = (0..dims.len())
+            .map(|i| ((i as f64) * 0.17).sin() + ((i as f64) * 0.045).cos())
+            .collect();
+        let mut full_spec: Vec<Complex64> =
+            real_field.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        fft_3d(&mut full_spec, dims, Direction::Forward);
+
+        let physical = Universe::run(p, |comm| {
+            let shape = LocalShape::new(n, p, comm.rank());
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            // Extract this rank's half-spectrum z-slab.
+            let mut spec = SpectralField::zeros(shape);
+            for zl in 0..shape.mz {
+                let z = shape.z_global(zl);
+                for y in 0..n {
+                    for x in 0..shape.nxh {
+                        *spec.at_mut(x, y, zl) = full_spec[dims.idx(x, y, z)];
+                    }
+                }
+            }
+            let phys = fft.fourier_to_physical(std::slice::from_ref(&spec));
+            phys.into_iter().next().unwrap()
+        });
+
+        // Reassemble the physical field from y-slabs and compare.
+        for (rank, slab) in physical.iter().enumerate() {
+            let shape = LocalShape::new(n, p, rank);
+            for z in 0..n {
+                for yl in 0..shape.my {
+                    let y = rank * shape.my + yl;
+                    for x in 0..n {
+                        let got = slab.at(x, yl, z);
+                        let expect = real_field[dims.idx(x, y, z)];
+                        assert!(
+                            (got - expect).abs() < 1e-9,
+                            "rank {rank} ({x},{y},{z}): {got} vs {expect}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_threaded_matches_serial() {
+        // The paper's MPI+OpenMP hybrid: same answer with fewer ranks and
+        // more threads per rank.
+        let n = 12;
+        let p = 2;
+        let out = Universe::run(p, move |comm| {
+            let shape = LocalShape::new(n, p, comm.rank());
+            let mut serial = SlabFftCpu::<f64>::new(shape, comm.clone());
+            let mut hybrid = SlabFftCpu::<f64>::new(shape, comm).with_threads(4);
+            let phys: Vec<PhysicalField<f64>> = (0..2)
+                .map(|v| {
+                    let data = (0..shape.phys_len())
+                        .map(|i| ((i + v * 19) as f64 * 0.021).sin())
+                        .collect();
+                    PhysicalField::from_data(shape, data)
+                })
+                .collect();
+            let a = serial.physical_to_fourier(&phys);
+            let b = hybrid.physical_to_fourier(&phys);
+            let mut err = 0.0f64;
+            for (x, y) in a.iter().zip(&b) {
+                for (u, v) in x.data.iter().zip(&y.data) {
+                    err = err.max((*u - *v).abs());
+                }
+            }
+            err
+        });
+        for e in out {
+            assert!(e < 1e-12, "hybrid differs from serial: {e}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity_multi_variable() {
+        let n = 12;
+        let p = 3;
+        let nv = 3;
+        let max_err = Universe::run(p, move |comm| {
+            let shape = LocalShape::new(n, p, comm.rank());
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            // Random-ish physical fields, distinct per rank and variable.
+            let phys: Vec<PhysicalField<f64>> = (0..nv)
+                .map(|v| {
+                    let data: Vec<f64> = (0..shape.phys_len())
+                        .map(|i| ((i + v * 37 + shape.rank * 101) as f64 * 0.013).sin())
+                        .collect();
+                    PhysicalField::from_data(shape, data)
+                })
+                .collect();
+            let specs = fft.physical_to_fourier(&phys);
+            let back = fft.fourier_to_physical(&specs);
+            let mut err = 0.0f64;
+            for (a, b) in back.iter().zip(&phys) {
+                for (x, y) in a.data.iter().zip(&b.data) {
+                    err = err.max((x - y).abs());
+                }
+            }
+            err
+        });
+        for e in max_err {
+            assert!(e < 1e-9, "roundtrip error {e}");
+        }
+    }
+
+    #[test]
+    fn single_mode_becomes_plane_wave() {
+        // û at (kx,ky,kz) = (1,2,-1) (stored value N³/2 so the physical
+        // amplitude is cos-like of unit size under our convention).
+        let n = 8;
+        let p = 2;
+        let out = Universe::run(p, |comm| {
+            let shape = LocalShape::new(n, p, comm.rank());
+            let rank = comm.rank();
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            let mut spec = SpectralField::zeros(shape);
+            let (kx, ky, kz) = (1usize, 2usize, n - 1); // kz index for -1
+            let owner = kz / shape.mz;
+            if rank == owner {
+                *spec.at_mut(kx, ky, kz - owner * shape.mz) =
+                    Complex64::new((n * n * n) as f64 / 2.0, 0.0);
+            }
+            fft.fourier_to_physical(std::slice::from_ref(&spec))
+                .remove(0)
+        });
+        for (rank, slab) in out.iter().enumerate() {
+            let shape = LocalShape::new(n, p, rank);
+            for z in 0..n {
+                for yl in 0..shape.my {
+                    let y = rank * shape.my + yl;
+                    for x in 0..n {
+                        let phase = 2.0 * std::f64::consts::PI / n as f64
+                            * (x as f64 + 2.0 * y as f64 - z as f64);
+                        // cos because conjugate symmetry supplies the -k mode
+                        let expect = phase.cos();
+                        let got = slab.at(x, yl, z);
+                        assert!(
+                            (got - expect).abs() < 1e-9,
+                            "({x},{y},{z}): {got} vs {expect}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Initial conditions, constructed directly in Fourier space so they are
+//! exactly reproducible for any rank count.
+
+use psdns_fft::{Complex, Real};
+
+use crate::field::{LocalShape, SpectralField};
+
+/// Taylor–Green vortex:
+/// `u = sin x · cos y · cos z`, `v = −cos x · sin y · cos z`, `w = 0`.
+///
+/// Exactly four spectral modes per component at `kx = 1`, `ky = ±1`,
+/// `kz = ±1`; solenoidal by construction. The classical validation flow for
+/// pseudo-spectral Navier–Stokes codes.
+pub fn taylor_green<T: Real>(shape: LocalShape) -> [SpectralField<T>; 3] {
+    let mut u = SpectralField::zeros(shape);
+    let mut v = SpectralField::zeros(shape);
+    let w = SpectralField::zeros(shape);
+    let n = shape.n;
+    let n3 = (n * n * n) as f64;
+    // Stored coefficients are N³ × mathematical ones (see Transform3d docs).
+    // û(1, ±1, ±1) = −i/8 ; v̂(1, s_y, s_z) = s_y·i/8.
+    for sy in [1i64, -1] {
+        for sz in [1i64, -1] {
+            let iy = if sy == 1 { 1 } else { n - 1 };
+            let iz_global = if sz == 1 { 1 } else { n - 1 };
+            let owner = iz_global / shape.mz;
+            if owner != shape.rank {
+                continue;
+            }
+            let zl = iz_global - owner * shape.mz;
+            *u.at_mut(1, iy, zl) = Complex::from_f64(0.0, -n3 / 8.0);
+            *v.at_mut(1, iy, zl) = Complex::from_f64(0.0, sy as f64 * n3 / 8.0);
+        }
+    }
+    [u, v, w]
+}
+
+/// Deterministic hash → uniform floats in [0, 1) for mode-seeded phases.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Random solenoidal field with prescribed energy spectrum shape
+/// `E(k) ∝ k⁴·exp(−2(k/k0)²)` (normalize afterwards with
+/// [`normalize_energy`] if a specific total energy is needed).
+///
+/// Phases come from a hash of `(seed, kx, ky, kz)` using the canonical
+/// (sign-normalized) representative of each conjugate pair, so the field is
+/// identical for every rank count — a must for the cross-backend and
+/// cross-decomposition equivalence tests.
+pub fn random_solenoidal<T: Real>(shape: LocalShape, k0: f64, seed: u64) -> [SpectralField<T>; 3] {
+    let s = shape;
+    let grid = s.grid();
+    let mut f = [
+        SpectralField::zeros(s),
+        SpectralField::zeros(s),
+        SpectralField::zeros(s),
+    ];
+    let spectrum = |k: f64| k.powi(4) * (-2.0 * (k / k0) * (k / k0)).exp();
+
+    let n = s.n;
+    for zl in 0..s.mz {
+        let z = s.z_global(zl);
+        for y in 0..n {
+            for x in 0..s.nxh {
+                if !grid.keep(x, y, z) {
+                    continue;
+                }
+                let [kx, ky, kz] = grid.k_vec(x, y, z);
+                let kmag = (kx * kx + ky * ky + kz * kz).sqrt();
+                if kmag == 0.0 {
+                    continue;
+                }
+                // Canonical representative of the conjugate pair: kx > 0 is
+                // already canonical (half spectrum); on the kx = 0 plane use
+                // the lexicographically positive member.
+                let (ckx, cky, ckz, conj) = if kx > 0.0 {
+                    (kx as i64, ky as i64, kz as i64, false)
+                } else {
+                    let (a, b) = (ky as i64, kz as i64);
+                    if (a, b) > (-a, -b) {
+                        (0, a, b, false)
+                    } else {
+                        (0, -a, -b, true)
+                    }
+                };
+                let h = splitmix(
+                    seed ^ (ckx as u64).wrapping_mul(0x1000_0000_01B3)
+                        ^ ((cky + n as i64) as u64).wrapping_mul(0x1_0001_91)
+                        ^ ((ckz + n as i64) as u64).wrapping_mul(0x5DEECE66D),
+                );
+                let amp = spectrum(kmag).sqrt();
+                for (c, comp) in f.iter_mut().enumerate() {
+                    let hc = splitmix(h ^ (c as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+                    let phase = 2.0 * std::f64::consts::PI * unit_f64(hc);
+                    let re = amp * phase.cos();
+                    let im = amp * phase.sin();
+                    let val = if conj {
+                        Complex::from_f64(re, -im)
+                    } else {
+                        Complex::from_f64(re, im)
+                    };
+                    let i = s.spec_idx(x, y, zl);
+                    comp.data[i] = val;
+                }
+            }
+        }
+    }
+    // Project to solenoidal.
+    crate::ns::project_and_dealias(&mut f, true);
+    // Fix conjugate-symmetry self-pairs on the kx = 0 plane where
+    // (0, ky, kz) == (0, -ky, -kz) (i.e. ky, kz ∈ {0, n/2}): force real.
+    for zl in 0..s.mz {
+        let z = s.z_global(zl);
+        for &y in &[0usize, n / 2] {
+            if z == 0 || z == n / 2 {
+                for comp in f.iter_mut() {
+                    let i = s.spec_idx(0, y, zl);
+                    let v = comp.data[i];
+                    comp.data[i] = Complex::new(v.re, T::ZERO);
+                }
+            }
+        }
+    }
+    f
+}
+
+/// Scale a field triple so total kinetic energy (in mathematical units,
+/// `E = ½⟨|u|²⟩`) equals `e_total`. Requires a communicator for the global
+/// reduction; exposed separately so callers control when reductions happen.
+pub fn normalize_energy<T: Real>(
+    f: &mut [SpectralField<T>; 3],
+    e_total: f64,
+    comm: &psdns_comm::Communicator,
+) {
+    let current = crate::stats::flow_stats(f, 0.0, comm).energy;
+    if current > 0.0 {
+        let scale = T::from_f64((e_total / current).sqrt());
+        for c in f.iter_mut() {
+            for v in c.data.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdns_comm::Universe;
+
+    #[test]
+    fn taylor_green_is_divergence_free() {
+        let shape = LocalShape::new(16, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let grid = shape.grid();
+        for zl in 0..shape.mz {
+            for y in 0..shape.n {
+                for x in 0..shape.nxh {
+                    let [kx, ky, kz] = grid.k_vec(x, y, zl);
+                    let i = shape.spec_idx(x, y, zl);
+                    let div =
+                        u[0].data[i].scale(kx) + u[1].data[i].scale(ky) + u[2].data[i].scale(kz);
+                    assert!(div.abs() < 1e-9, "div at ({x},{y},{zl})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn taylor_green_matches_closed_form_in_physical_space() {
+        use crate::dist_fft::SlabFftCpu;
+        use crate::field::Transform3d;
+        let n = 16;
+        let out = Universe::run(2, move |comm| {
+            let shape = LocalShape::new(n, 2, comm.rank());
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            let u = taylor_green(shape);
+            let phys = fft.fourier_to_physical(&u);
+            let h = 2.0 * std::f64::consts::PI / n as f64;
+            let mut err = 0.0f64;
+            for z in 0..n {
+                for yl in 0..shape.my {
+                    let y = shape.y_global(yl);
+                    for x in 0..n {
+                        let (xx, yy, zz) = (x as f64 * h, y as f64 * h, z as f64 * h);
+                        let eu = xx.sin() * yy.cos() * zz.cos();
+                        let ev = -xx.cos() * yy.sin() * zz.cos();
+                        err = err.max((phys[0].at(x, yl, z) - eu).abs());
+                        err = err.max((phys[1].at(x, yl, z) - ev).abs());
+                        err = err.max(phys[2].at(x, yl, z).abs());
+                    }
+                }
+            }
+            err
+        });
+        for e in out {
+            assert!(e < 1e-10, "TG physical error {e}");
+        }
+    }
+
+    #[test]
+    fn random_field_is_rank_invariant() {
+        let n = 12;
+        let gather = |p: usize| -> Vec<psdns_fft::Complex64> {
+            let slabs = Universe::run(p, move |comm| {
+                let shape = LocalShape::new(n, p, comm.rank());
+                let f = random_solenoidal::<f64>(shape, 3.0, 42);
+                f[0].data.clone()
+            });
+            slabs.concat()
+        };
+        let one = gather(1);
+        let four = gather(4);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_field_transforms_to_real_data() {
+        // If conjugate symmetry were broken, the c2r transform would not be
+        // the true inverse and a roundtrip would drift.
+        use crate::dist_fft::SlabFftCpu;
+        use crate::field::Transform3d;
+        let out = Universe::run(2, |comm| {
+            let shape = LocalShape::new(12, 2, comm.rank());
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            let f = random_solenoidal::<f64>(shape, 3.0, 7);
+            let phys = fft.fourier_to_physical(&f);
+            let back = fft.physical_to_fourier(&phys);
+            let mut err = 0.0f64;
+            for (a, b) in back.iter().zip(&f) {
+                for (x, y) in a.data.iter().zip(&b.data) {
+                    err = err.max((*x - *y).abs());
+                }
+            }
+            err
+        });
+        for e in out {
+            assert!(e < 1e-9, "symmetry violation: roundtrip error {e}");
+        }
+    }
+}

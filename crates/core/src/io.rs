@@ -1,0 +1,235 @@
+//! Run artifacts: CSV time series and spectra, the files a production
+//! campaign archives after every batch job (the paper's runs feed spectra
+//! like its refs. \[10\]/\[23\] from exactly such dumps).
+
+use std::io::Write;
+use std::path::Path;
+
+use psdns_comm::Communicator;
+use psdns_fft::Real;
+
+use crate::field::{SpectralField, Transform3d};
+use crate::ns::NavierStokes;
+use crate::spectrum::energy_spectrum;
+use crate::stats::{flow_stats, FlowStats};
+
+/// One sampled step of a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    pub step: usize,
+    pub time: f64,
+    pub stats: FlowStats,
+}
+
+/// Accumulates per-step statistics on every rank (identical on all ranks,
+/// since the stats are globally reduced) and renders them as CSV.
+#[derive(Clone, Debug, Default)]
+pub struct RunLog {
+    pub entries: Vec<LogEntry>,
+}
+
+impl RunLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sample the solver state now.
+    pub fn sample<T: Real, B: Transform3d<T>>(&mut self, ns: &NavierStokes<T, B>) {
+        let stats = flow_stats(&ns.u, ns.cfg.nu, ns.backend.comm());
+        self.entries.push(LogEntry {
+            step: ns.step_count,
+            time: ns.time,
+            stats,
+        });
+    }
+
+    /// Render as CSV (header + one row per sample).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "step,time,energy,enstrophy,dissipation,divergence,u_rms,re_lambda\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{:.9e},{:.9e},{:.9e},{:.9e},{:.3e},{:.9e},{:.4}\n",
+                e.step,
+                e.time,
+                e.stats.energy,
+                e.stats.enstrophy,
+                e.stats.dissipation,
+                e.stats.max_divergence,
+                e.stats.u_rms,
+                e.stats.re_lambda,
+            ));
+        }
+        out
+    }
+
+    /// Parse a CSV produced by [`to_csv`](Self::to_csv).
+    pub fn from_csv(csv: &str) -> Result<RunLog, String> {
+        let mut entries = Vec::new();
+        for (ln, line) in csv.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 8 {
+                return Err(format!("line {}: expected 8 columns", ln + 1));
+            }
+            let f = |i: usize| -> Result<f64, String> {
+                cols[i]
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))
+            };
+            entries.push(LogEntry {
+                step: cols[0].trim().parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                time: f(1)?,
+                stats: FlowStats {
+                    energy: f(2)?,
+                    enstrophy: f(3)?,
+                    dissipation: f(4)?,
+                    max_divergence: f(5)?,
+                    u_rms: f(6)?,
+                    re_lambda: f(7)?,
+                },
+            });
+        }
+        Ok(RunLog { entries })
+    }
+
+    /// Write the CSV to disk (call on rank 0 only, like the paper's codes).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Render an energy spectrum as two-column CSV (`k,E`).
+pub fn spectrum_to_csv(spec: &[f64]) -> String {
+    let mut out = String::from("k,E\n");
+    for (k, e) in spec.iter().enumerate() {
+        out.push_str(&format!("{k},{e:.9e}\n"));
+    }
+    out
+}
+
+/// Compute and render the spectrum of a velocity triple.
+pub fn spectrum_csv<T: Real>(u: &[SpectralField<T>; 3], comm: &Communicator) -> String {
+    spectrum_to_csv(&energy_spectrum(u, comm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_fft::SlabFftCpu;
+    use crate::field::LocalShape;
+    use crate::init::taylor_green;
+    use crate::ns::{NsConfig, TimeScheme};
+    use psdns_comm::Universe;
+
+    #[test]
+    fn csv_roundtrip() {
+        let out = Universe::run(2, |comm| {
+            let shape = LocalShape::new(12, 2, comm.rank());
+            let mut ns = NavierStokes::new(
+                SlabFftCpu::<f64>::new(shape, comm),
+                NsConfig {
+                    nu: 0.05,
+                    dt: 1e-3,
+                    scheme: TimeScheme::Rk2,
+                    forcing: None,
+                    dealias: true,
+                    phase_shift: false,
+                },
+                taylor_green(shape),
+            );
+            let mut log = RunLog::new();
+            log.sample(&ns);
+            for _ in 0..3 {
+                ns.step();
+                log.sample(&ns);
+            }
+            log
+        });
+        let log = &out[0];
+        assert_eq!(log.entries.len(), 4);
+        let csv = log.to_csv();
+        let parsed = RunLog::from_csv(&csv).unwrap();
+        assert_eq!(parsed.entries.len(), 4);
+        for (a, b) in parsed.entries.iter().zip(&log.entries) {
+            assert_eq!(a.step, b.step);
+            assert!((a.stats.energy - b.stats.energy).abs() < 1e-8 * b.stats.energy.abs().max(1.0));
+        }
+        // All ranks produce the identical log (stats are global).
+        assert_eq!(out[0].to_csv(), out[1].to_csv());
+    }
+
+    #[test]
+    fn csv_is_monotone_in_time_and_decaying() {
+        let out = Universe::run(1, |comm| {
+            let shape = LocalShape::new(12, 1, 0);
+            let mut ns = NavierStokes::new(
+                SlabFftCpu::<f64>::new(shape, comm),
+                NsConfig {
+                    nu: 0.1,
+                    dt: 1e-3,
+                    scheme: TimeScheme::Rk2,
+                    forcing: None,
+                    dealias: true,
+                    phase_shift: false,
+                },
+                taylor_green(shape),
+            );
+            let mut log = RunLog::new();
+            for _ in 0..5 {
+                log.sample(&ns);
+                ns.step();
+            }
+            log
+        });
+        let e: Vec<f64> = out[0].entries.iter().map(|x| x.stats.energy).collect();
+        for w in e.windows(2) {
+            assert!(w[1] < w[0], "viscous decay must be monotone");
+        }
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(RunLog::from_csv("step,time\n1,2\n").is_err());
+        assert!(RunLog::from_csv("header\n1,2,3,4,5,6,7,not_a_number\n").is_err());
+    }
+
+    #[test]
+    fn spectrum_csv_has_header_and_rows() {
+        let csv = spectrum_to_csv(&[0.0, 1.0, 0.5]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "k,E");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("1,"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("psdns-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.csv");
+        let log = RunLog {
+            entries: vec![LogEntry {
+                step: 1,
+                time: 0.5,
+                stats: FlowStats {
+                    energy: 1.0,
+                    enstrophy: 2.0,
+                    dissipation: 0.1,
+                    max_divergence: 0.0,
+                    u_rms: 0.8,
+                    re_lambda: 42.0,
+                },
+            }],
+        };
+        log.write_csv(&path).unwrap();
+        let back = RunLog::from_csv(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

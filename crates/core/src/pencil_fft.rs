@@ -1,0 +1,465 @@
+//! 2-D pencil-decomposed distributed 3-D FFT on the CPU — the traditional
+//! design used by state-of-the-art CPU turbulence codes ([10, 11, 23] in the
+//! paper) and by the synchronous CPU baseline of Table 3.
+//!
+//! Ranks form a `pr × pc` Cartesian grid with *row* communicators (size pc,
+//! fixed row coordinate) and *column* communicators (size pr, fixed column
+//! coordinate); two smaller all-to-alls replace the slab code's single
+//! global one (paper §3.1).
+//!
+//! Layouts (x fastest):
+//! * **Fourier (z-pencils)**: `(xw_r, yw, n)` — x distributed over rows
+//!   (uneven: `nxh` is odd), y distributed over columns, z complete;
+//! * **mid (y-pencils)**: `(xw_r, n, zw)` — after the row exchange
+//!   (z ↔ y within a row);
+//! * **physical (x-pencils)**: `(n, my, zw)` real — after the column
+//!   exchange (y ↔ x within a column) and the c2r transform in x.
+
+use psdns_comm::Communicator;
+use psdns_domain::decomp::{split_even, Pencil2d};
+use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+
+use crate::field::LocalShape;
+
+/// Pencil-decomposed transform state for one rank.
+pub struct PencilFftCpu<T: Real> {
+    pub decomp: Pencil2d,
+    /// This rank's (row, col) coordinates.
+    pub coords: (usize, usize),
+    world: Communicator,
+    row_comm: Communicator,
+    col_comm: Communicator,
+    nxh: usize,
+    /// x range owned in the Fourier/mid phases (split of nxh over pr).
+    xr: std::ops::Range<usize>,
+    plan_x: RealFftPlan<T>,
+    scratch: Vec<Complex<T>>,
+}
+
+impl<T: Real> PencilFftCpu<T> {
+    pub fn new(n: usize, pr: usize, pc: usize, world: Communicator) -> Self {
+        let decomp = Pencil2d::new(n, pr, pc);
+        assert_eq!(world.size(), decomp.size(), "communicator != pr·pc");
+        let coords = decomp.coords(world.rank());
+        // Row communicator: same row, ordered by column (and vice versa).
+        let row_comm = world.split(coords.0, coords.1);
+        let col_comm = world.split(pr + coords.1, coords.0);
+        let nxh = n / 2 + 1;
+        let xr = split_even(nxh, pr, coords.0);
+        let plan_x = RealFftPlan::new(n);
+        let scratch = vec![Complex::zero(); plan_x.scratch_len() + 4 * n];
+        Self {
+            decomp,
+            coords,
+            world,
+            row_comm,
+            col_comm,
+            nxh,
+            xr,
+            plan_x,
+            scratch,
+        }
+    }
+
+    pub fn world(&self) -> &Communicator {
+        &self.world
+    }
+
+    /// A [`LocalShape`]-style summary (note: pencil layouts differ from the
+    /// slab shapes; this is for problem-size metadata only).
+    pub fn shape_meta(&self) -> LocalShape {
+        LocalShape::new(self.decomp.n, 1, 0)
+    }
+
+    /// x width owned in the spectral phases.
+    pub fn xw(&self) -> usize {
+        self.xr.len()
+    }
+
+    /// y width in the Fourier/mid phases (split of n over pc).
+    pub fn yw(&self) -> usize {
+        self.decomp.n / self.decomp.pc
+    }
+
+    /// Fourier-space local length (z-pencil) per variable.
+    pub fn spec_len(&self) -> usize {
+        self.xw() * self.yw() * self.decomp.n
+    }
+
+    /// Physical-space local length (x-pencil) per variable.
+    pub fn phys_len(&self) -> usize {
+        self.decomp.n * self.decomp.my() * self.decomp.mz()
+    }
+
+    /// Index into the Fourier z-pencil: `(xl, yl, z)`.
+    #[inline]
+    pub fn spec_idx(&self, xl: usize, yl: usize, z: usize) -> usize {
+        xl + self.xw() * (yl + self.yw() * z)
+    }
+
+    /// Index into the physical x-pencil: `(x, yl, zl)`.
+    #[inline]
+    pub fn phys_idx(&self, x: usize, yl: usize, zl: usize) -> usize {
+        x + self.decomp.n * (yl + self.decomp.my() * zl)
+    }
+
+    /// Fourier → physical for `nv` variables (two all-to-alls total…
+    /// per variable set, like the slab code's single one).
+    pub fn fourier_to_physical(&mut self, specs: &[Vec<Complex<T>>]) -> Vec<Vec<T>> {
+        let nv = specs.len();
+        let n = self.decomp.n;
+        let yw = self.yw();
+        let (xw, pc, pr) = (self.xw(), self.decomp.pc, self.decomp.pr);
+
+        // 1. z-inverse on z-pencils (full z, stride xw·yw).
+        let plan_z = ManyPlan::new(n, xw * yw, 1, xw * yw);
+        let mut zscratch = vec![Complex::<T>::zero(); plan_z.scratch_len()];
+        let work: Vec<Vec<Complex<T>>> = specs
+            .iter()
+            .map(|f| {
+                assert_eq!(f.len(), self.spec_len());
+                let mut w = f.clone();
+                plan_z.execute_with_scratch(&mut w, &mut zscratch, Direction::Inverse);
+                w
+            })
+            .collect();
+
+        // 2. Row exchange (z ↔ y): send z-range d to row member d.
+        //    Block order within a chunk: (v, zl, yl, xl).
+        let zw = n / pc;
+        let chunk = nv * xw * yw * zw;
+        let mut send = vec![Complex::<T>::zero(); pc * chunk];
+        for d in 0..pc {
+            for (v, w) in work.iter().enumerate() {
+                for zl in 0..zw {
+                    let z = d * zw + zl;
+                    for yl in 0..yw {
+                        let src = self.spec_idx(0, yl, z);
+                        let dst = d * chunk + xw * (yl + yw * (zl + zw * v));
+                        send[dst..dst + xw].copy_from_slice(&w[src..src + xw]);
+                    }
+                }
+            }
+        }
+        let recv = self.row_comm.alltoall(&send);
+        // Mid layout (y-pencils): (xw, n, zw); y from source s covers s·yw….
+        let mid_len = xw * n * zw;
+        let mut mid: Vec<Vec<Complex<T>>> =
+            (0..nv).map(|_| vec![Complex::zero(); mid_len]).collect();
+        for (v, m) in mid.iter_mut().enumerate() {
+            for s in 0..pc {
+                for zl in 0..zw {
+                    for yl in 0..yw {
+                        let y = s * yw + yl;
+                        let src = s * chunk + xw * (yl + yw * (zl + zw * v));
+                        let dst = xw * (y + n * zl);
+                        m[dst..dst + xw].copy_from_slice(&recv[src..src + xw]);
+                    }
+                }
+            }
+        }
+
+        // 3. y-inverse (stride xw) on each z plane of the y-pencils.
+        let plan_y = ManyPlan::new(n, xw, 1, xw);
+        let mut yscratch = vec![Complex::<T>::zero(); plan_y.scratch_len()];
+        for m in &mut mid {
+            for zl in 0..zw {
+                let base = zl * xw * n;
+                plan_y.execute_with_scratch(
+                    &mut m[base..base + xw * n],
+                    &mut yscratch,
+                    Direction::Inverse,
+                );
+            }
+        }
+
+        // 4. Column exchange (y ↔ x): uneven x widths → alltoallv.
+        //    Send to column member d its y-range, all of our x.
+        let my2 = n / pr; // y per rank after this exchange (= my)
+        let mut sendv = Vec::new();
+        let mut counts = Vec::with_capacity(pr);
+        for d in 0..pr {
+            let before = sendv.len();
+            for m in &mid {
+                for zl in 0..zw {
+                    for yl in 0..my2 {
+                        let y = d * my2 + yl;
+                        let src = xw * (y + n * zl);
+                        sendv.extend_from_slice(&m[src..src + xw]);
+                    }
+                }
+            }
+            counts.push(sendv.len() - before);
+        }
+        let (recvv, rcounts) = self.col_comm.alltoallv(&sendv, &counts);
+
+        // Assemble full-x spectral pencils (nxh, my2, zw) and c2r transform.
+        let mut out = Vec::with_capacity(nv);
+        let mut lines: Vec<Vec<Complex<T>>> = (0..nv)
+            .map(|_| vec![Complex::zero(); self.nxh * my2 * zw])
+            .collect();
+        let mut offset = 0;
+        for s in 0..pr {
+            let sxr = split_even(self.nxh, pr, s);
+            let sxw = sxr.len();
+            assert_eq!(rcounts[s], nv * sxw * my2 * zw, "alltoallv count mismatch");
+            for (v, l) in lines.iter_mut().enumerate() {
+                for zl in 0..zw {
+                    for yl in 0..my2 {
+                        let dst = sxr.start + self.nxh * (yl + my2 * zl);
+                        let src = offset + sxw * (yl + my2 * (zl + zw * v));
+                        l[dst..dst + sxw].copy_from_slice(&recvv[src..src + sxw]);
+                    }
+                }
+            }
+            offset += rcounts[s];
+        }
+        let mut line_out = vec![T::ZERO; n];
+        for l in &lines {
+            let mut phys = vec![T::ZERO; self.phys_len()];
+            for zl in 0..zw {
+                for yl in 0..my2 {
+                    let base = self.nxh * (yl + my2 * zl);
+                    self.plan_x.inverse_with_scratch(
+                        &l[base..base + self.nxh],
+                        &mut line_out,
+                        &mut self.scratch,
+                    );
+                    let dst = self.phys_idx(0, yl, zl);
+                    phys[dst..dst + n].copy_from_slice(&line_out);
+                }
+            }
+            out.push(phys);
+        }
+        out
+    }
+
+    /// Physical → Fourier (mirror of
+    /// [`fourier_to_physical`](Self::fourier_to_physical)).
+    pub fn physical_to_fourier(&mut self, phys: &[Vec<T>]) -> Vec<Vec<Complex<T>>> {
+        let nv = phys.len();
+        let n = self.decomp.n;
+        let yw = self.yw();
+        let (xw, pc, pr) = (self.xw(), self.decomp.pc, self.decomp.pr);
+        let zw = n / pc;
+        let my2 = n / pr;
+
+        // 1. x r2c on x-pencils.
+        let mut lines: Vec<Vec<Complex<T>>> = Vec::with_capacity(nv);
+        let mut spec_line = vec![Complex::<T>::zero(); self.nxh];
+        for f in phys {
+            assert_eq!(f.len(), self.phys_len());
+            let mut l = vec![Complex::<T>::zero(); self.nxh * my2 * zw];
+            for zl in 0..zw {
+                for yl in 0..my2 {
+                    let src = self.phys_idx(0, yl, zl);
+                    self.plan_x.forward_with_scratch(
+                        &f[src..src + n],
+                        &mut spec_line,
+                        &mut self.scratch,
+                    );
+                    let dst = self.nxh * (yl + my2 * zl);
+                    l[dst..dst + self.nxh].copy_from_slice(&spec_line);
+                }
+            }
+            lines.push(l);
+        }
+
+        // 2. Column exchange (x ↔ y): send x-range of member d, keep our y.
+        let mut sendv = Vec::new();
+        let mut counts = Vec::with_capacity(pr);
+        for d in 0..pr {
+            let dxr = split_even(self.nxh, pr, d);
+            let before = sendv.len();
+            for l in &lines {
+                for zl in 0..zw {
+                    for yl in 0..my2 {
+                        let src = dxr.start + self.nxh * (yl + my2 * zl);
+                        sendv.extend_from_slice(&l[src..src + dxr.len()]);
+                    }
+                }
+            }
+            counts.push(sendv.len() - before);
+        }
+        let (recvv, rcounts) = self.col_comm.alltoallv(&sendv, &counts);
+        // Mid layout (xw, n, zw): y from source s at s·my2….
+        let mid_len = xw * n * zw;
+        let mut mid: Vec<Vec<Complex<T>>> =
+            (0..nv).map(|_| vec![Complex::zero(); mid_len]).collect();
+        let mut offset = 0;
+        for s in 0..pr {
+            assert_eq!(rcounts[s], nv * xw * my2 * zw);
+            for (v, m) in mid.iter_mut().enumerate() {
+                for zl in 0..zw {
+                    for yl in 0..my2 {
+                        let y = s * my2 + yl;
+                        let src = offset + xw * (yl + my2 * (zl + zw * v));
+                        let dst = xw * (y + n * zl);
+                        m[dst..dst + xw].copy_from_slice(&recvv[src..src + xw]);
+                    }
+                }
+            }
+            offset += rcounts[s];
+        }
+
+        // 3. y-forward.
+        let plan_y = ManyPlan::new(n, xw, 1, xw);
+        let mut yscratch = vec![Complex::<T>::zero(); plan_y.scratch_len()];
+        for m in &mut mid {
+            for zl in 0..zw {
+                let base = zl * xw * n;
+                plan_y.execute_with_scratch(
+                    &mut m[base..base + xw * n],
+                    &mut yscratch,
+                    Direction::Forward,
+                );
+            }
+        }
+
+        // 4. Row exchange (y ↔ z): send y-range of member d.
+        let chunk = nv * xw * yw * zw;
+        let mut send = vec![Complex::<T>::zero(); pc * chunk];
+        for d in 0..pc {
+            for (v, m) in mid.iter().enumerate() {
+                for zl in 0..zw {
+                    for yl in 0..yw {
+                        let y = d * yw + yl;
+                        let src = xw * (y + n * zl);
+                        let dst = d * chunk + xw * (yl + yw * (zl + zw * v));
+                        send[dst..dst + xw].copy_from_slice(&m[src..src + xw]);
+                    }
+                }
+            }
+        }
+        let recv = self.row_comm.alltoall(&send);
+        let mut out: Vec<Vec<Complex<T>>> = (0..nv)
+            .map(|_| vec![Complex::zero(); self.spec_len()])
+            .collect();
+        for (v, o) in out.iter_mut().enumerate() {
+            for s in 0..pc {
+                for zl in 0..zw {
+                    let z = s * zw + zl;
+                    for yl in 0..yw {
+                        let src = s * chunk + xw * (yl + yw * (zl + zw * v));
+                        let dst = self.spec_idx(0, yl, z);
+                        o[dst..dst + xw].copy_from_slice(&recv[src..src + xw]);
+                    }
+                }
+            }
+        }
+
+        // 5. z-forward.
+        let plan_z = ManyPlan::new(n, xw * yw, 1, xw * yw);
+        let mut zscratch = vec![Complex::<T>::zero(); plan_z.scratch_len()];
+        for o in &mut out {
+            plan_z.execute_with_scratch(o, &mut zscratch, Direction::Forward);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psdns_comm::Universe;
+    use psdns_fft::{fft_3d, Complex64, Dims3};
+
+    /// Physical → Fourier → physical must be the identity, and the Fourier
+    /// coefficients must match a serial transform of the gathered field.
+    #[test]
+    fn pencil_transform_matches_serial() {
+        let n = 8;
+        let (pr, pc) = (2, 2);
+        let results = Universe::run(pr * pc, move |comm| {
+            let mut fft = PencilFftCpu::<f64>::new(n, pr, pc, comm);
+            let (row, col) = fft.coords;
+            let (my, mz) = (fft.decomp.my(), fft.decomp.mz());
+            // Global physical field f(x,y,z); this rank owns y in
+            // [row·my, …), z in [col·mz, …).
+            let f = |x: usize, y: usize, z: usize| {
+                ((x as f64 * 0.7 + y as f64 * 1.3 + z as f64 * 2.1).sin()) + 0.25
+            };
+            let mut phys = vec![0.0f64; fft.phys_len()];
+            for zl in 0..mz {
+                for yl in 0..my {
+                    for x in 0..n {
+                        phys[fft.phys_idx(x, yl, zl)] = f(x, row * my + yl, col * mz + zl);
+                    }
+                }
+            }
+            let spec = fft.physical_to_fourier(std::slice::from_ref(&phys));
+            let back = fft.fourier_to_physical(&spec);
+            let mut err = 0.0f64;
+            for (a, b) in back[0].iter().zip(&phys) {
+                err = err.max((a - b).abs());
+            }
+            // Return spectral data + ownership info for the serial check.
+            (err, spec.into_iter().next().unwrap(), fft.xw(), row, col)
+        });
+
+        // Serial reference.
+        let dims = Dims3::cube(n);
+        let mut full: Vec<Complex64> = (0..dims.len())
+            .map(|i| {
+                let x = i % n;
+                let y = (i / n) % n;
+                let z = i / (n * n);
+                Complex64::new(
+                    ((x as f64 * 0.7 + y as f64 * 1.3 + z as f64 * 2.1).sin()) + 0.25,
+                    0.0,
+                )
+            })
+            .collect();
+        fft_3d(&mut full, dims, Direction::Forward);
+
+        let nxh = n / 2 + 1;
+        for (err, spec, xw, row, col) in &results {
+            assert!(*err < 1e-9, "roundtrip error {err}");
+            let xr = split_even(nxh, 2, *row);
+            assert_eq!(*xw, xr.len());
+            let my = n / 2; // pc = 2 → Fourier y width n/pc
+            for z in 0..n {
+                for yl in 0..my {
+                    let y = col * my + yl;
+                    for (xi, x) in xr.clone().enumerate() {
+                        let got = spec[xi + xw * (yl + my * z)];
+                        let expect = full[dims.idx(x, y, z)];
+                        assert!(
+                            (got - expect).abs() < 1e-8,
+                            "row {row} col {col} ({x},{y},{z}): {got:?} vs {expect:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_process_grid() {
+        // pr ≠ pc exercises both communicators asymmetrically.
+        let n = 12;
+        let (pr, pc) = (3, 2);
+        let errs = Universe::run(pr * pc, move |comm| {
+            let mut fft = PencilFftCpu::<f64>::new(n, pr, pc, comm);
+            let phys: Vec<Vec<f64>> = (0..2)
+                .map(|v| {
+                    (0..fft.phys_len())
+                        .map(|i| ((i + v * 31) as f64 * 0.029).cos())
+                        .collect()
+                })
+                .collect();
+            let spec = fft.physical_to_fourier(&phys);
+            let back = fft.fourier_to_physical(&spec);
+            let mut err = 0.0f64;
+            for (a, b) in back.iter().zip(&phys) {
+                for (x, y) in a.iter().zip(b) {
+                    err = err.max((x - y).abs());
+                }
+            }
+            err
+        });
+        for e in errs {
+            assert!(e < 1e-9, "roundtrip error {e}");
+        }
+    }
+}

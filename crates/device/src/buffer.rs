@@ -1,0 +1,179 @@
+//! Device and pinned-host memory buffers.
+//!
+//! Both buffer types are handles (`Arc`) to shared storage, mirroring how
+//! CUDA device pointers and pinned host pointers are plain addresses shared
+//! between the host and any stream. Rust safety is preserved by an `RwLock`
+//! around the storage; stream workers take the lock only for the duration of
+//! one operation, so the FIFO ordering of a stream serializes access the way
+//! the CUDA programming model does.
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::device::Device;
+
+struct DeviceStorage<T> {
+    device: Device,
+    data: RwLock<Vec<T>>,
+    bytes: usize,
+}
+
+impl<T> Drop for DeviceStorage<T> {
+    fn drop(&mut self) {
+        self.device
+            .inner
+            .allocated
+            .fetch_sub(self.bytes, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// A device-memory allocation. Clones alias the same memory (like copies of
+/// a device pointer); the capacity is returned when the last clone drops.
+pub struct DeviceBuffer<T> {
+    storage: Arc<DeviceStorage<T>>,
+}
+
+impl<T> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            storage: Arc::clone(&self.storage),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DeviceBuffer({} B)", self.storage.bytes)
+    }
+}
+
+impl<T: Copy + Send + Sync + Default + 'static> DeviceBuffer<T> {
+    pub(crate) fn new(device: Device, len: usize) -> Self {
+        let bytes = len * std::mem::size_of::<T>();
+        Self {
+            storage: Arc::new(DeviceStorage {
+                device,
+                data: RwLock::new(vec![T::default(); len]),
+                bytes,
+            }),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.storage.data.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.storage.bytes
+    }
+
+    /// Lock for reading (used inside kernels and copy ops).
+    pub fn lock(&self) -> RwLockReadGuard<'_, Vec<T>> {
+        self.storage.data.read()
+    }
+
+    /// Lock for writing (used inside kernels and copy ops).
+    pub fn lock_mut(&self) -> RwLockWriteGuard<'_, Vec<T>> {
+        self.storage.data.write()
+    }
+
+    /// Synchronous debug read of the whole buffer (bypasses streams, like
+    /// `cudaMemcpy` on the null stream after a device sync).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.storage.data.read().clone()
+    }
+}
+
+struct PinnedStorage<T> {
+    data: RwLock<Vec<T>>,
+}
+
+/// Page-locked ("pinned") host memory, accessible both from host code and —
+/// through zero-copy kernels — from the device (paper §4.2:
+/// `cudaHostGetDevicePointer`). All async copies in this crate require
+/// pinned buffers on the host side, matching CUDA's requirement for true
+/// asynchronous transfers.
+pub struct PinnedBuffer<T> {
+    storage: Arc<PinnedStorage<T>>,
+}
+
+impl<T> Clone for PinnedBuffer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            storage: Arc::clone(&self.storage),
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync + Default + 'static> PinnedBuffer<T> {
+    pub fn new(len: usize) -> Self {
+        Self::from_vec(vec![T::default(); len])
+    }
+
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Self {
+            storage: Arc::new(PinnedStorage {
+                data: RwLock::new(v),
+            }),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.storage.data.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn lock(&self) -> RwLockReadGuard<'_, Vec<T>> {
+        self.storage.data.read()
+    }
+
+    pub fn lock_mut(&self) -> RwLockWriteGuard<'_, Vec<T>> {
+        self.storage.data.write()
+    }
+
+    /// Copy the current contents out (host-side, synchronous).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.storage.data.read().clone()
+    }
+
+    /// Overwrite contents from a slice (host-side, synchronous).
+    pub fn write_from(&self, src: &[T]) {
+        let mut d = self.storage.data.write();
+        assert_eq!(d.len(), src.len(), "pinned buffer size mismatch");
+        d.copy_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    #[test]
+    fn pinned_host_access() {
+        let p = PinnedBuffer::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(p.len(), 3);
+        p.write_from(&[4, 5, 6]);
+        assert_eq!(p.snapshot(), vec![4, 5, 6]);
+        let alias = p.clone();
+        alias.lock_mut()[0] = 9;
+        assert_eq!(p.snapshot(), vec![9, 5, 6]);
+    }
+
+    #[test]
+    fn device_buffer_zero_initialized() {
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let b = dev.alloc::<f32>(100).unwrap();
+        assert_eq!(b.len(), 100);
+        assert!(b.snapshot().iter().all(|&x| x == 0.0));
+        assert_eq!(b.size_bytes(), 400);
+    }
+}

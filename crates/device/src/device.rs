@@ -1,0 +1,214 @@
+//! The [`Device`]: a capacity-limited accelerator with streams and a span
+//! timeline. Defaults model one NVIDIA V100 of Summit.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::buffer::DeviceBuffer;
+use crate::error::DeviceError;
+use crate::stream::Stream;
+use crate::timeline::Timeline;
+
+/// Static description of one accelerator.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    pub name: String,
+    /// Device memory capacity in bytes (V100: 16 GB).
+    pub memory_bytes: usize,
+    /// Number of streaming multiprocessors (V100: 80). Only used for
+    /// reporting and by the zero-copy throughput model in `psdns-model`.
+    pub sm_count: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            name: "V100-SXM2-16GB (simulated)".to_string(),
+            memory_bytes: 16 * (1 << 30),
+            sm_count: 80,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A small-memory device used in tests and examples to force the
+    /// out-of-core batched path at laptop problem sizes.
+    pub fn tiny(memory_bytes: usize) -> Self {
+        Self {
+            name: format!("tiny-device-{memory_bytes}B"),
+            memory_bytes,
+            sm_count: 80,
+        }
+    }
+}
+
+/// Cumulative transfer/kernel counters, the device-side analogue of the
+/// paper's profiling data.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    pub bytes_h2d: AtomicUsize,
+    pub bytes_d2h: AtomicUsize,
+    pub copy_calls: AtomicUsize,
+    pub kernel_launches: AtomicUsize,
+}
+
+impl DeviceStats {
+    pub fn snapshot(&self) -> (usize, usize, usize, usize) {
+        (
+            self.bytes_h2d.load(Ordering::Relaxed),
+            self.bytes_d2h.load(Ordering::Relaxed),
+            self.copy_calls.load(Ordering::Relaxed),
+            self.kernel_launches.load(Ordering::Relaxed),
+        )
+    }
+}
+
+pub(crate) struct DeviceInner {
+    pub config: DeviceConfig,
+    pub allocated: AtomicUsize,
+    pub stats: DeviceStats,
+    pub timeline: Timeline,
+    pub epoch: Instant,
+    pub next_stream_id: AtomicU64,
+}
+
+/// Handle to one simulated accelerator. Cheap to clone; all clones refer to
+/// the same device (like a CUDA device ordinal after `cudaSetDevice`).
+///
+/// ```
+/// use psdns_device::{Device, DeviceConfig, PinnedBuffer};
+/// let dev = Device::new(DeviceConfig::tiny(1 << 20));
+/// let host = PinnedBuffer::from_vec(vec![1.0f32; 256]);
+/// let dbuf = dev.alloc::<f32>(256).unwrap();
+/// let s = dev.create_stream("doc");
+/// s.memcpy_h2d_async(&host, 0, &dbuf, 0, 256);
+/// let d = dbuf.clone();
+/// s.launch("scale", move || {
+///     for v in d.lock_mut().iter_mut() { *v *= 3.0; }
+/// });
+/// s.memcpy_d2h_async(&dbuf, 0, &host, 0, 256);
+/// s.synchronize();
+/// assert_eq!(host.snapshot()[0], 3.0);
+/// ```
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            inner: Arc::new(DeviceInner {
+                config,
+                allocated: AtomicUsize::new(0),
+                stats: DeviceStats::default(),
+                timeline: Timeline::new(),
+                epoch: Instant::now(),
+                next_stream_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.inner.config
+    }
+
+    pub fn stats(&self) -> &DeviceStats {
+        &self.inner.stats
+    }
+
+    /// nvtx-style span trace of everything this device has executed.
+    pub fn timeline(&self) -> &Timeline {
+        &self.inner.timeline
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> usize {
+        self.inner.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn free_bytes(&self) -> usize {
+        self.inner.config.memory_bytes - self.allocated_bytes()
+    }
+
+    /// Allocate `len` elements of device memory. Fails with
+    /// [`DeviceError::OutOfMemory`] when capacity would be exceeded — the
+    /// constraint that forces pencil batching at large N (paper §3.5).
+    pub fn alloc<T: Copy + Send + Sync + Default + 'static>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = len * std::mem::size_of::<T>();
+        // Reserve optimistically, roll back on failure (allocation may race
+        // between host threads driving different streams).
+        let prev = self.inner.allocated.fetch_add(bytes, Ordering::SeqCst);
+        if prev + bytes > self.inner.config.memory_bytes {
+            self.inner.allocated.fetch_sub(bytes, Ordering::SeqCst);
+            return Err(DeviceError::OutOfMemory {
+                requested_bytes: bytes,
+                free_bytes: self.inner.config.memory_bytes - prev,
+                capacity_bytes: self.inner.config.memory_bytes,
+            });
+        }
+        Ok(DeviceBuffer::new(self.clone(), len))
+    }
+
+    /// Create a named stream (a FIFO queue with its own worker thread).
+    pub fn create_stream(&self, name: &str) -> Stream {
+        let id = self.inner.next_stream_id.fetch_add(1, Ordering::Relaxed);
+        Stream::spawn(self.clone(), id, name.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_accounting() {
+        let dev = Device::new(DeviceConfig::tiny(1024));
+        assert_eq!(dev.free_bytes(), 1024);
+        let a = dev.alloc::<u8>(512).unwrap();
+        assert_eq!(dev.free_bytes(), 512);
+        let b = dev.alloc::<f32>(64).unwrap(); // 256 B
+        assert_eq!(dev.free_bytes(), 256);
+        let err = dev.alloc::<u8>(512).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory {
+                requested_bytes,
+                free_bytes,
+                capacity_bytes,
+            } => {
+                assert_eq!(requested_bytes, 512);
+                assert_eq!(free_bytes, 256);
+                assert_eq!(capacity_bytes, 1024);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        drop(a);
+        assert_eq!(dev.free_bytes(), 768);
+        drop(b);
+        assert_eq!(dev.free_bytes(), 1024);
+    }
+
+    #[test]
+    fn alias_clones_free_once() {
+        let dev = Device::new(DeviceConfig::tiny(1024));
+        let a = dev.alloc::<u8>(1000).unwrap();
+        let alias = a.clone();
+        drop(a);
+        // Memory stays allocated while an alias lives.
+        assert_eq!(dev.free_bytes(), 24);
+        drop(alias);
+        assert_eq!(dev.free_bytes(), 1024);
+    }
+
+    #[test]
+    fn v100_default_capacity() {
+        let dev = Device::new(DeviceConfig::default());
+        assert_eq!(dev.config().memory_bytes, 16 * (1 << 30));
+        assert_eq!(dev.config().sm_count, 80);
+    }
+}

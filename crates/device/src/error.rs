@@ -1,0 +1,46 @@
+//! Typed device errors. The important one is out-of-memory: the paper's
+//! whole batching design exists because a slab does not fit in HBM.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation would exceed the device memory capacity.
+    OutOfMemory {
+        requested_bytes: usize,
+        free_bytes: usize,
+        capacity_bytes: usize,
+    },
+    /// An operation referenced a region outside a buffer.
+    OutOfBounds {
+        offset: usize,
+        len: usize,
+        buffer_len: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested_bytes,
+                free_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "device out of memory: requested {requested_bytes} B, free {free_bytes} B of {capacity_bytes} B"
+            ),
+            DeviceError::OutOfBounds {
+                offset,
+                len,
+                buffer_len,
+            } => write!(
+                f,
+                "device access out of bounds: [{offset}, {}) on buffer of {buffer_len} elements",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

@@ -1,0 +1,160 @@
+//! CUDA-style events: the cross-stream synchronization primitive the paper's
+//! asynchronous algorithm is built on ("CUDA Events are used to enforce
+//! synchronization between operations in different streams", §3.4).
+//!
+//! Semantics follow CUDA:
+//! * `Stream::record(&event)` marks completion of all work enqueued on that
+//!   stream so far;
+//! * `Stream::wait_event(&event)` makes the *stream* (not the host) wait for
+//!   the most recent record as of the call;
+//! * waiting on an event that was never recorded is a no-op;
+//! * events may be re-recorded and re-waited any number of times.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+pub(crate) struct EventInner {
+    /// Number of record() calls issued (host side).
+    recorded: AtomicU64,
+    /// Highest record ticket whose stream position has been reached.
+    completed: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// A reusable synchronization event. Clones share state.
+#[derive(Clone)]
+pub struct Event {
+    pub(crate) inner: Arc<EventInner>,
+}
+
+impl Event {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(EventInner {
+                recorded: AtomicU64::new(0),
+                completed: Mutex::new(0),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Allocate the ticket for a new record() call.
+    pub(crate) fn new_ticket(&self) -> u64 {
+        self.inner.recorded.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Ticket of the most recent record as of now (0 = never recorded).
+    pub(crate) fn current_ticket(&self) -> u64 {
+        self.inner.recorded.load(Ordering::SeqCst)
+    }
+
+    /// Mark `ticket` reached (runs on the recording stream's worker).
+    pub(crate) fn complete(&self, ticket: u64) {
+        let mut done = self.inner.completed.lock();
+        if ticket > *done {
+            *done = ticket;
+        }
+        self.inner.cv.notify_all();
+    }
+
+    /// Block until `ticket` has completed (runs on a waiting stream's worker
+    /// or on the host for `synchronize`).
+    pub(crate) fn wait_for(&self, ticket: u64) {
+        if ticket == 0 {
+            return; // never recorded: CUDA treats this as already complete
+        }
+        let mut done = self.inner.completed.lock();
+        while *done < ticket {
+            self.inner.cv.wait(&mut done);
+        }
+    }
+
+    /// Host-side blocking wait for the most recent record
+    /// (`cudaEventSynchronize`).
+    pub fn synchronize(&self) {
+        self.wait_for(self.current_ticket());
+    }
+
+    /// Non-blocking completion check (`cudaEventQuery`).
+    pub fn query(&self) -> bool {
+        let ticket = self.current_ticket();
+        ticket == 0 || *self.inner.completed.lock() >= ticket
+    }
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn unrecorded_event_is_complete() {
+        let e = Event::new();
+        assert!(e.query());
+        e.synchronize(); // must not hang
+    }
+
+    #[test]
+    fn cross_stream_ordering() {
+        // Stream B must not run its kernel until stream A records the event,
+        // even though A's kernel is slow.
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let a = dev.create_stream("a");
+        let b = dev.create_stream("b");
+        let evt = Event::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        let c1 = Arc::clone(&counter);
+        a.launch("slow-producer", move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            c1.store(1, Ordering::SeqCst);
+        });
+        a.record(&evt);
+
+        b.wait_event(&evt);
+        let c2 = Arc::clone(&counter);
+        let observed = Arc::new(AtomicUsize::new(99));
+        let obs = Arc::clone(&observed);
+        b.launch("consumer", move || {
+            obs.store(c2.load(Ordering::SeqCst), Ordering::SeqCst);
+        });
+        b.synchronize();
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+        a.synchronize();
+    }
+
+    #[test]
+    fn re_record_is_supported() {
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("s");
+        let evt = Event::new();
+        for _ in 0..5 {
+            s.launch("nop", || {});
+            s.record(&evt);
+            evt.synchronize();
+            assert!(evt.query());
+        }
+    }
+
+    #[test]
+    fn wait_captures_record_at_call_time() {
+        // A wait posted before any record is a no-op even if a record
+        // happens later (CUDA captures the event state at the wait call).
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("s");
+        let evt = Event::new();
+        s.wait_event(&evt); // no record yet: must not block the stream
+        s.launch("nop", || {});
+        s.synchronize();
+    }
+}

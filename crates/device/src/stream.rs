@@ -1,0 +1,230 @@
+//! Streams: FIFO work queues with a dedicated worker thread each.
+//!
+//! The enqueue calls all return immediately ("copy operations in the
+//! transfer stream are performed asynchronously, i.e., the CPU can move
+//! forward to other tasks", paper §3.4); ordering *within* a stream is
+//! strictly FIFO, ordering *across* streams only via [`Event`]s.
+
+use std::sync::atomic::Ordering;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::device::Device;
+use crate::event::Event;
+use crate::timeline::{Span, SpanKind};
+
+pub(crate) enum Op {
+    Task {
+        name: String,
+        kind: SpanKind,
+        f: Box<dyn FnOnce() + Send>,
+    },
+    Fence(Sender<()>),
+    Shutdown,
+}
+
+/// Handle to one stream. Dropping the handle drains the queue and joins the
+/// worker (like `cudaStreamDestroy` after a synchronize).
+pub struct Stream {
+    device: Device,
+    id: u64,
+    name: String,
+    tx: Sender<Op>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Stream {
+    pub(crate) fn spawn(device: Device, id: u64, name: String) -> Self {
+        let (tx, rx) = unbounded::<Op>();
+        let dev = device.clone();
+        let sname = name.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("stream-{sname}"))
+            .spawn(move || {
+                let epoch: Instant = dev.inner.epoch;
+                while let Ok(op) = rx.recv() {
+                    match op {
+                        Op::Task { name, kind, f } => {
+                            let t0 = epoch.elapsed().as_secs_f64() * 1e6;
+                            f();
+                            let t1 = epoch.elapsed().as_secs_f64() * 1e6;
+                            dev.inner.timeline.push(Span {
+                                stream_id: id,
+                                stream_name: sname.clone(),
+                                name,
+                                kind,
+                                start_us: t0,
+                                end_us: t1,
+                            });
+                        }
+                        Op::Fence(ack) => {
+                            let _ = ack.send(());
+                        }
+                        Op::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn stream worker");
+        Self {
+            device,
+            id,
+            name,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    pub(crate) fn enqueue(&self, name: String, kind: SpanKind, f: Box<dyn FnOnce() + Send>) {
+        self.tx
+            .send(Op::Task { name, kind, f })
+            .expect("stream worker alive");
+    }
+
+    /// Enqueue an arbitrary "kernel" — a closure executed on the stream
+    /// worker in FIFO order. The solver submits FFT batches and pointwise
+    /// physics kernels through this.
+    pub fn launch<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
+        self.device
+            .inner
+            .stats
+            .kernel_launches
+            .fetch_add(1, Ordering::Relaxed);
+        self.enqueue(name.to_string(), SpanKind::Kernel, Box::new(f));
+    }
+
+    /// Record `event` at the current tail of this stream
+    /// (`cudaEventRecord`).
+    pub fn record(&self, event: &Event) {
+        let ticket = event.new_ticket();
+        let evt = event.clone();
+        self.enqueue(
+            "event-record".to_string(),
+            SpanKind::Marker,
+            Box::new(move || evt.complete(ticket)),
+        );
+    }
+
+    /// Make this stream wait for the most recent record of `event` as of
+    /// this call (`cudaStreamWaitEvent`). The *host* does not block.
+    pub fn wait_event(&self, event: &Event) {
+        let ticket = event.current_ticket();
+        let evt = event.clone();
+        self.enqueue(
+            "event-wait".to_string(),
+            SpanKind::Sync,
+            Box::new(move || evt.wait_for(ticket)),
+        );
+    }
+
+    /// Block the host until everything enqueued so far has executed
+    /// (`cudaStreamSynchronize`).
+    pub fn synchronize(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx.send(Op::Fence(ack_tx)).expect("stream worker alive");
+        ack_rx.recv().expect("stream worker alive");
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Op::Shutdown);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_within_stream() {
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("fifo");
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..50 {
+            let l = Arc::clone(&log);
+            s.launch("step", move || l.lock().push(i));
+        }
+        s.synchronize();
+        assert_eq!(*log.lock(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streams_run_concurrently() {
+        // Two streams each sleep 50 ms; if they serialized, elapsed would be
+        // ~100 ms. Allow generous margins for CI noise.
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let a = dev.create_stream("a");
+        let b = dev.create_stream("b");
+        let t0 = Instant::now();
+        a.launch("sleep", || std::thread::sleep(std::time::Duration::from_millis(50)));
+        b.launch("sleep", || std::thread::sleep(std::time::Duration::from_millis(50)));
+        a.synchronize();
+        b.synchronize();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed.as_millis() < 95,
+            "streams appear serialized: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn host_does_not_block_on_enqueue() {
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("bg");
+        let t0 = Instant::now();
+        s.launch("slow", || std::thread::sleep(std::time::Duration::from_millis(80)));
+        assert!(t0.elapsed().as_millis() < 40, "launch blocked the host");
+        s.synchronize();
+        assert!(t0.elapsed().as_millis() >= 80);
+    }
+
+    #[test]
+    fn timeline_records_spans() {
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("traced");
+        s.launch("work", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        s.synchronize();
+        let spans = dev.timeline().snapshot();
+        let work: Vec<_> = spans.iter().filter(|sp| sp.name == "work").collect();
+        assert_eq!(work.len(), 1);
+        assert!(work[0].duration_us() >= 4000.0);
+        assert_eq!(work[0].stream_name, "traced");
+    }
+
+    #[test]
+    fn kernel_launch_counter() {
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("count");
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..7 {
+            let c = Arc::clone(&c);
+            s.launch("inc", move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        s.synchronize();
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+        let (_, _, _, launches) = dev.stats().snapshot();
+        assert_eq!(launches, 7);
+    }
+}

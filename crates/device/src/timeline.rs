@@ -1,0 +1,139 @@
+//! nvtx-style span tracing. The paper leans on the NVIDIA Visual Profiler
+//! plus Fortran nvtx markers to produce its Fig. 10 timelines; this module
+//! records the same kind of (stream, name, start, end) spans for real
+//! executions of the simulated device.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+/// What kind of work a span covers — used to color/aggregate timelines.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    Kernel,
+    CopyH2D,
+    CopyD2H,
+    Sync,
+    Marker,
+}
+
+impl SpanKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Kernel => "kernel",
+            SpanKind::CopyH2D => "h2d",
+            SpanKind::CopyD2H => "d2h",
+            SpanKind::Sync => "sync",
+            SpanKind::Marker => "marker",
+        }
+    }
+}
+
+/// One executed operation.
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub stream_id: u64,
+    pub stream_name: String,
+    pub name: String,
+    pub kind: SpanKind,
+    /// Microseconds since the device epoch.
+    pub start_us: f64,
+    pub end_us: f64,
+}
+
+impl Span {
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Shared, append-only trace of device activity.
+pub struct Timeline {
+    spans: Mutex<Vec<Span>>,
+    enabled: AtomicBool,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self {
+            spans: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn push(&self, span: Span) {
+        if self.is_enabled() {
+            self.spans.lock().push(span);
+        }
+    }
+
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// Total busy time (µs) per kind — a quick profile summary.
+    pub fn busy_by_kind(&self) -> Vec<(SpanKind, f64)> {
+        let spans = self.spans.lock();
+        let mut acc: Vec<(SpanKind, f64)> = Vec::new();
+        for s in spans.iter() {
+            match acc.iter_mut().find(|(k, _)| *k == s.kind) {
+                Some((_, t)) => *t += s.duration_us(),
+                None => acc.push((s.kind, s.duration_us())),
+            }
+        }
+        acc
+    }
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start: f64, end: f64) -> Span {
+        Span {
+            stream_id: 0,
+            stream_name: "s".into(),
+            name: "op".into(),
+            kind,
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    #[test]
+    fn accumulates_by_kind() {
+        let t = Timeline::new();
+        t.push(span(SpanKind::Kernel, 0.0, 5.0));
+        t.push(span(SpanKind::Kernel, 5.0, 7.0));
+        t.push(span(SpanKind::CopyH2D, 1.0, 2.0));
+        let busy = t.busy_by_kind();
+        assert!(busy.contains(&(SpanKind::Kernel, 7.0)));
+        assert!(busy.contains(&(SpanKind::CopyH2D, 1.0)));
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let t = Timeline::new();
+        t.set_enabled(false);
+        t.push(span(SpanKind::Sync, 0.0, 1.0));
+        assert!(t.snapshot().is_empty());
+    }
+}

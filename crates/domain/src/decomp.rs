@@ -1,0 +1,256 @@
+//! Domain decompositions (paper §3.1, Figs. 1, 3, 5, 6).
+//!
+//! * [`Slab1d`] — the paper's choice: each rank owns complete x–y planes
+//!   (a z-slab) in Fourier space and complete x–z planes (a y-slab) in
+//!   physical space; one all-to-all per 3-D transform.
+//! * [`Pencil2d`] — the traditional 2-D decomposition used by the CPU
+//!   baseline of Table 3 (two all-to-alls over row/column communicators).
+//! * [`PencilSplit`] — the *within-slab* split into `np` device-sized
+//!   pencils that enables out-of-core batching (Figs. 3 and 6).
+//! * [`GpuSplit`] — the further vertical split of each pencil across the
+//!   GPUs owned by one rank (Fig. 5).
+
+use std::ops::Range;
+
+/// Split `len` items into `parts` nearly equal contiguous ranges; the first
+/// `len % parts` ranges get one extra item. Empty ranges are allowed when
+/// `parts > len`.
+pub fn split_even(len: usize, parts: usize, idx: usize) -> Range<usize> {
+    assert!(parts > 0 && idx < parts);
+    let base = len / parts;
+    let extra = len % parts;
+    let start = idx * base + idx.min(extra);
+    let size = base + usize::from(idx < extra);
+    start..start + size
+}
+
+/// 1-D (slab) decomposition of an N³ domain over `p` ranks.
+///
+/// Requires `p | n` — the paper's load-balance constraint ("the number of
+/// cores used per node should be an integer factor of the linear problem
+/// size", §5).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Slab1d {
+    pub n: usize,
+    pub p: usize,
+}
+
+impl Slab1d {
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0 && n > 0);
+        assert_eq!(n % p, 0, "slab decomposition requires p | n ({p} ∤ {n})");
+        Self { n, p }
+    }
+
+    /// Planes per rank in the z direction (Fourier-space slabs).
+    pub fn mz(&self) -> usize {
+        self.n / self.p
+    }
+
+    /// Planes per rank in the y direction (physical-space slabs).
+    pub fn my(&self) -> usize {
+        self.n / self.p
+    }
+
+    /// Global z range owned by `rank` in the z-slab phase.
+    pub fn z_range(&self, rank: usize) -> Range<usize> {
+        assert!(rank < self.p);
+        rank * self.mz()..(rank + 1) * self.mz()
+    }
+
+    /// Global y range owned by `rank` in the y-slab phase.
+    pub fn y_range(&self, rank: usize) -> Range<usize> {
+        assert!(rank < self.p);
+        rank * self.my()..(rank + 1) * self.my()
+    }
+
+    /// Which rank owns global plane `z` in the z-slab phase.
+    pub fn z_owner(&self, z: usize) -> usize {
+        assert!(z < self.n);
+        z / self.mz()
+    }
+
+    /// Which rank owns global plane `y` in the y-slab phase.
+    pub fn y_owner(&self, y: usize) -> usize {
+        assert!(y < self.n);
+        y / self.my()
+    }
+}
+
+/// 2-D (pencil) decomposition over a `pr × pc` process grid: each rank owns
+/// an `n × my × mz` pencil with `my = n/pr`, `mz = n/pc` (paper Fig. 1,
+/// right). Used by the synchronous CPU baseline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Pencil2d {
+    pub n: usize,
+    pub pr: usize,
+    pub pc: usize,
+}
+
+impl Pencil2d {
+    pub fn new(n: usize, pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        assert_eq!(n % pr, 0, "pencil decomposition requires pr | n");
+        assert_eq!(n % pc, 0, "pencil decomposition requires pc | n");
+        Self { n, pr, pc }
+    }
+
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    pub fn my(&self) -> usize {
+        self.n / self.pr
+    }
+
+    pub fn mz(&self) -> usize {
+        self.n / self.pc
+    }
+
+    /// (row, col) coordinates of a linear rank, row-major.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size());
+        (rank / self.pc, rank % self.pc)
+    }
+
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.pr && col < self.pc);
+        row * self.pc + col
+    }
+
+    pub fn y_range(&self, rank: usize) -> Range<usize> {
+        let (row, _) = self.coords(rank);
+        row * self.my()..(row + 1) * self.my()
+    }
+
+    pub fn z_range(&self, rank: usize) -> Range<usize> {
+        let (_, col) = self.coords(rank);
+        col * self.mz()..(col + 1) * self.mz()
+    }
+}
+
+/// The within-slab split into `np` pencils that are batched on/off the GPU
+/// (paper Fig. 3/6). In the z-slab (y-transform) phase pencils split the
+/// x axis (each pencil keeps complete y lines, Fig. 6); in the y-slab
+/// (z/x-transform) phase they split the local y axis.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PencilSplit {
+    /// Extent of the axis being split.
+    pub len: usize,
+    /// Number of pencils per slab.
+    pub np: usize,
+}
+
+impl PencilSplit {
+    pub fn new(len: usize, np: usize) -> Self {
+        assert!(np > 0, "need at least one pencil");
+        Self { len, np }
+    }
+
+    /// Range of the split axis covered by pencil `ip`.
+    pub fn range(&self, ip: usize) -> Range<usize> {
+        split_even(self.len, self.np, ip)
+    }
+
+    /// Width of pencil `ip` along the split axis.
+    pub fn width(&self, ip: usize) -> usize {
+        self.range(ip).len()
+    }
+
+    /// Largest pencil width (device buffers are sized for this).
+    pub fn max_width(&self) -> usize {
+        self.width(0)
+    }
+}
+
+/// Vertical split of one pencil across `g` GPUs of the owning rank
+/// (paper Fig. 5: "each pencil is further divided up vertically").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GpuSplit {
+    pub len: usize,
+    pub gpus: usize,
+}
+
+impl GpuSplit {
+    pub fn new(len: usize, gpus: usize) -> Self {
+        assert!(gpus > 0);
+        Self { len, gpus }
+    }
+
+    pub fn range(&self, gpu: usize) -> Range<usize> {
+        split_even(self.len, self.gpus, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_and_is_disjoint() {
+        for len in [0usize, 1, 5, 12, 13, 100] {
+            for parts in [1usize, 2, 3, 7, 12] {
+                let mut covered = 0;
+                for i in 0..parts {
+                    let r = split_even(len, parts, i);
+                    assert_eq!(r.start, covered, "len={len} parts={parts} i={i}");
+                    covered = r.end;
+                    if i > 0 {
+                        // widths differ by at most one, non-increasing
+                        assert!(
+                            split_even(len, parts, i - 1).len() >= r.len()
+                        );
+                    }
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_ownership() {
+        let s = Slab1d::new(16, 4);
+        assert_eq!(s.mz(), 4);
+        assert_eq!(s.z_range(2), 8..12);
+        assert_eq!(s.z_owner(11), 2);
+        assert_eq!(s.y_owner(0), 0);
+        assert_eq!(s.y_range(3), 12..16);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p | n")]
+    fn slab_requires_divisibility() {
+        let _ = Slab1d::new(10, 3);
+    }
+
+    #[test]
+    fn pencil2d_coordinates() {
+        let p = Pencil2d::new(12, 3, 4);
+        assert_eq!(p.size(), 12);
+        assert_eq!(p.my(), 4);
+        assert_eq!(p.mz(), 3);
+        assert_eq!(p.coords(7), (1, 3));
+        assert_eq!(p.rank_of(1, 3), 7);
+        assert_eq!(p.y_range(7), 4..8);
+        assert_eq!(p.z_range(7), 9..12);
+    }
+
+    #[test]
+    fn pencil_split_covers_axis() {
+        let ps = PencilSplit::new(18, 4);
+        let total: usize = (0..4).map(|ip| ps.width(ip)).sum();
+        assert_eq!(total, 18);
+        assert_eq!(ps.max_width(), 5);
+        assert_eq!(ps.range(0), 0..5);
+        assert_eq!(ps.range(3), 14..18);
+    }
+
+    #[test]
+    fn gpu_split_three_ways() {
+        // Paper: N divisible by 3 so pencils split evenly across 3 GPUs.
+        let gs = GpuSplit::new(18432 / 4, 3);
+        for g in 0..3 {
+            assert_eq!(gs.range(g).len(), 1536);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Spectral grid bookkeeping: wavenumbers, dealiasing, spectral shells.
+//!
+//! The solution domain is a triply periodic cube of side 2π discretized on
+//! N³ points. Fourier coefficients are indexed FFT-style: index `i` carries
+//! integer wavenumber `i` for `i ≤ N/2` and `i − N` above (paper §2: modes
+//! `1−N/2 … 0 … N/2`).
+
+/// Map an FFT index to its signed integer wavenumber.
+#[inline]
+pub fn wavenumber(i: usize, n: usize) -> i64 {
+    debug_assert!(i < n);
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// All signed wavenumbers of an N-point axis, in FFT index order.
+pub fn wavenumbers(n: usize) -> Vec<i64> {
+    (0..n).map(|i| wavenumber(i, n)).collect()
+}
+
+/// Spherical shell index for spectra: `round(|k|)`.
+#[inline]
+pub fn shell_index(kx: i64, ky: i64, kz: i64) -> usize {
+    let k2 = (kx * kx + ky * ky + kz * kz) as f64;
+    k2.sqrt().round() as usize
+}
+
+/// 2/3-rule spherical dealiasing: keep `|k| ≤ N/3`. The paper controls
+/// aliasing with "a combination of phase-shifting and truncation" \[17\]; the
+/// truncation radius below matches the classical choice `k_max = √2·N/3`
+/// used with a single phase shift — exposed as a parameter.
+#[inline]
+pub fn dealias_mask(kx: i64, ky: i64, kz: i64, n: usize, kmax: f64) -> bool {
+    let _ = n;
+    let k2 = (kx * kx + ky * ky + kz * kz) as f64;
+    k2.sqrt() <= kmax
+}
+
+/// An N³ spectral grid with physical box size 2π.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Grid {
+    pub n: usize,
+    /// Dealiasing radius in integer-wavenumber units.
+    pub kmax: f64,
+}
+
+impl Grid {
+    /// Standard grid with `k_max = √2·N/3` (truncation + phase-shift
+    /// convention of Rogallo 1981, as adopted in the paper's code lineage).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "grid size must be even, got {n}");
+        Self {
+            n,
+            kmax: (2.0f64).sqrt() * n as f64 / 3.0,
+        }
+    }
+
+    /// Grid with the plain 2/3-rule radius `k_max = N/3` (sharper
+    /// truncation, no phase shifting).
+    pub fn with_two_thirds_rule(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0);
+        Self {
+            n,
+            kmax: n as f64 / 3.0,
+        }
+    }
+
+    /// Half-spectrum extent in x after the real-to-complex transform.
+    pub fn nxh(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// True if the mode at FFT indices (ix, iy, iz) survives dealiasing.
+    /// `ix` indexes the half spectrum (kx = ix ≥ 0).
+    #[inline]
+    pub fn keep(&self, ix: usize, iy: usize, iz: usize) -> bool {
+        let kx = ix as i64; // half spectrum: non-negative kx only
+        let ky = wavenumber(iy, self.n);
+        let kz = wavenumber(iz, self.n);
+        dealias_mask(kx, ky, kz, self.n, self.kmax)
+    }
+
+    /// Squared wavenumber magnitude of a half-spectrum mode.
+    #[inline]
+    pub fn k_sqr(&self, ix: usize, iy: usize, iz: usize) -> f64 {
+        let kx = ix as f64;
+        let ky = wavenumber(iy, self.n) as f64;
+        let kz = wavenumber(iz, self.n) as f64;
+        kx * kx + ky * ky + kz * kz
+    }
+
+    /// Wavenumber vector of a half-spectrum mode.
+    #[inline]
+    pub fn k_vec(&self, ix: usize, iy: usize, iz: usize) -> [f64; 3] {
+        [
+            ix as f64,
+            wavenumber(iy, self.n) as f64,
+            wavenumber(iz, self.n) as f64,
+        ]
+    }
+
+    /// Number of spectral shells (for spectra): `0 ..= n/2·√3` rounded up.
+    pub fn shell_count(&self) -> usize {
+        ((self.n as f64 / 2.0) * 3f64.sqrt()).ceil() as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavenumber_mapping_matches_fft_convention() {
+        assert_eq!(wavenumbers(8), vec![0, 1, 2, 3, 4, -3, -2, -1]);
+        assert_eq!(wavenumbers(6), vec![0, 1, 2, 3, -2, -1]);
+        assert_eq!(wavenumber(0, 16), 0);
+        assert_eq!(wavenumber(8, 16), 8);
+        assert_eq!(wavenumber(9, 16), -7);
+        assert_eq!(wavenumber(15, 16), -1);
+    }
+
+    #[test]
+    fn dealias_radius() {
+        let g = Grid::with_two_thirds_rule(12); // kmax = 4
+        assert!(g.keep(0, 0, 0));
+        assert!(g.keep(4, 0, 0));
+        assert!(!g.keep(5, 0, 0));
+        assert!(!g.keep(3, 3, 0)); // |k| = 4.24 > 4
+        assert!(g.keep(2, 2, 2)); // |k| = 3.46
+    }
+
+    #[test]
+    fn rogallo_radius_larger_than_two_thirds() {
+        let g = Grid::new(12);
+        assert!(g.kmax > 4.0 && g.kmax < 6.0);
+        assert!(g.keep(5, 0, 0)); // √2·12/3 = 5.66 keeps |k|=5
+        assert!(!g.keep(6, 0, 0));
+    }
+
+    #[test]
+    fn k_vec_and_sqr_consistent() {
+        let g = Grid::new(16);
+        let [kx, ky, kz] = g.k_vec(3, 15, 9);
+        assert_eq!((kx, ky, kz), (3.0, -1.0, -7.0));
+        assert_eq!(g.k_sqr(3, 15, 9), 9.0 + 1.0 + 49.0);
+    }
+
+    #[test]
+    fn half_spectrum_extent() {
+        assert_eq!(Grid::new(16).nxh(), 9);
+        assert_eq!(Grid::new(6).nxh(), 4);
+    }
+
+    #[test]
+    fn shell_indexing() {
+        assert_eq!(shell_index(0, 0, 0), 0);
+        assert_eq!(shell_index(1, 0, 0), 1);
+        assert_eq!(shell_index(1, 1, 1), 2); // √3 ≈ 1.73 → 2
+        assert_eq!(shell_index(3, 4, 0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_grid_rejected() {
+        let _ = Grid::new(9);
+    }
+}

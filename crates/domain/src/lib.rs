@@ -1,0 +1,22 @@
+//! # psdns-domain
+//!
+//! Geometry and bookkeeping for the pseudo-spectral DNS:
+//!
+//! * [`grid`] — wavenumber layouts, dealiasing masks, spectral shells;
+//! * [`decomp`] — 1-D slab and 2-D pencil domain decompositions (paper
+//!   §3.1, Fig. 1), the in-slab pencil split used for out-of-core GPU
+//!   batching (Fig. 3/6), and the per-GPU vertical split (Fig. 5);
+//! * [`transpose`] — the exact pack/unpack index maps behind the global
+//!   all-to-all transposes of the distributed 3-D FFT;
+//! * [`memory`] — the node-count / GPU-memory budgeting model of paper
+//!   §3.5 (Table 1).
+
+pub mod decomp;
+pub mod grid;
+pub mod memory;
+pub mod transpose;
+
+pub use decomp::{split_even, GpuSplit, Pencil2d, PencilSplit, Slab1d};
+pub use grid::{dealias_mask, shell_index, wavenumber, wavenumbers, Grid};
+pub use memory::{MemoryModel, Table1Row};
+pub use transpose::SlabTranspose;

@@ -1,0 +1,209 @@
+//! Memory budgeting: paper §3.5 and Table 1.
+//!
+//! The model answers two questions for a problem size N³ on M nodes:
+//! 1. does the CPU-resident state fit in node DDR? (`4·D·N³/M` bytes with
+//!    D variables at single precision; OS reserve subtracted);
+//! 2. how many pencils `np` must each slab be split into so that the 27
+//!    pencil-sized device buffers (9 compute buffers × 3 for asynchronous
+//!    triple buffering) fit in the GPUs' aggregate HBM?
+//!
+//! Calibration note: the paper's *text* derives D ≈ 25; the "Mem. occ. per
+//! node" column of Table 1 is consistent with an effective D = 30 (in GiB
+//! units), the difference being auxiliary arrays not counted in the text's
+//! detailed tally. We default to the table-calibrated value so `table1()`
+//! reproduces the published rows, and expose the knob.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of paper Table 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    pub nodes: usize,
+    pub n: usize,
+    pub mem_per_node_gib: f64,
+    pub pencils: usize,
+    pub pencil_gib: f64,
+}
+
+/// The budgeting model with Summit defaults.
+///
+/// ```
+/// use psdns_domain::MemoryModel;
+/// let m = MemoryModel::default();
+/// // Paper §3.5: each 18432³ slab must be split into ≥4 pencils on 3072
+/// // nodes to fit the V100s.
+/// assert_eq!(m.required_np(18432, 3072), 4);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Effective number of single-precision variables resident per grid
+    /// point (velocities, nonlinear terms, send/receive pinned buffers…).
+    pub d_vars: f64,
+    /// DDR per node, GiB (Summit: 512).
+    pub node_ddr_gib: f64,
+    /// Memory claimed by the OS per node, GiB (paper estimate: 64).
+    pub os_reserve_gib: f64,
+    /// User-accessible GPU memory per node, GiB (6 × 16 GB, paper: 96).
+    pub gpu_hbm_per_node_gib: f64,
+    /// Pencil-sized device buffers: 9 compute buffers tripled for async
+    /// execution (paper §3.5).
+    pub gpu_pencil_buffers: f64,
+    /// Bytes per word (single precision: 4).
+    pub word_bytes: f64,
+    /// Total nodes in the system (Summit: ~4608).
+    pub system_nodes: usize,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self {
+            d_vars: 30.0, // Table 1 calibration; text tally gives ≈25
+            node_ddr_gib: 512.0,
+            os_reserve_gib: 64.0,
+            gpu_hbm_per_node_gib: 96.0,
+            gpu_pencil_buffers: 27.0,
+            word_bytes: 4.0,
+            system_nodes: 4608,
+        }
+    }
+}
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+impl MemoryModel {
+    /// DDR available to the application per node, GiB (paper: 448).
+    pub fn usable_ddr_gib(&self) -> f64 {
+        self.node_ddr_gib - self.os_reserve_gib
+    }
+
+    /// CPU memory occupied per node for an N³ problem on M nodes, GiB.
+    pub fn mem_per_node_gib(&self, n: usize, m: usize) -> f64 {
+        self.word_bytes * self.d_vars * (n as f64).powi(3) / m as f64 / GIB
+    }
+
+    /// Smallest node count whose DDR holds the problem (before the
+    /// divisibility constraint). Paper: M = 1302 for N = 18432 with D = 25.
+    pub fn min_nodes(&self, n: usize) -> usize {
+        let bytes = self.word_bytes * self.d_vars * (n as f64).powi(3);
+        (bytes / (self.usable_ddr_gib() * GIB)).ceil() as usize
+    }
+
+    /// Node counts that are feasible for N³: enough memory, within the
+    /// system size, and such that even the densest MPI configuration
+    /// (6 ranks/node, one per GPU) load-balances, i.e. `6·M | N`. This
+    /// reproduces the paper's conclusion that only M = 1536 and M = 3072
+    /// work for N = 18432 (§3.5).
+    pub fn feasible_nodes(&self, n: usize) -> Vec<usize> {
+        let min = self.min_nodes(n);
+        (min..=self.system_nodes.min(n))
+            .filter(|m| n % (6 * m) == 0)
+            .collect()
+    }
+
+    /// Nominal (fractional) pencils-per-slab demanded by GPU memory:
+    /// `4·27·N³/(M·np)` bytes must fit in the per-node HBM (paper §3.5
+    /// gives np = 2.13 for N = 18432, M = 3072).
+    pub fn nominal_np(&self, n: usize, m: usize) -> f64 {
+        self.word_bytes * self.gpu_pencil_buffers * (n as f64).powi(3)
+            / (m as f64 * self.gpu_hbm_per_node_gib * GIB)
+    }
+
+    /// Practical pencil count: the nominal requirement plus one pencil of
+    /// headroom for "further needs … from other smaller arrays" (§3.5 —
+    /// this reproduces Table 1's np = 3 at nominal 1.9 and np = 4 at
+    /// nominal 2.13).
+    pub fn required_np(&self, n: usize, m: usize) -> usize {
+        (self.nominal_np(n, m).ceil() as usize + 1).max(1)
+    }
+
+    /// Size of one pencil for one variable, GiB (Table 1 last column).
+    pub fn pencil_gib(&self, n: usize, m: usize, np: usize) -> f64 {
+        self.word_bytes * (n as f64).powi(3) / (m as f64 * np as f64) / GIB
+    }
+
+    /// Reproduce paper Table 1.
+    pub fn table1(&self) -> Vec<Table1Row> {
+        [(16usize, 3072usize), (128, 6144), (1024, 12288), (3072, 18432)]
+            .iter()
+            .map(|&(nodes, n)| {
+                let pencils = self.required_np(n, nodes);
+                Table1Row {
+                    nodes,
+                    n,
+                    mem_per_node_gib: self.mem_per_node_gib(n, nodes),
+                    pencils,
+                    pencil_gib: self.pencil_gib(n, nodes, pencils),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs()
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        // Paper Table 1 rows: (nodes, N, mem/node GB, pencils, pencil GB).
+        let expect = [
+            (16usize, 3072usize, 202.5, 3usize, 2.25),
+            (128, 6144, 202.5, 3, 2.25),
+            (1024, 12288, 202.5, 3, 2.25),
+            (3072, 18432, 227.8, 4, 1.90),
+        ];
+        let rows = MemoryModel::default().table1();
+        for (row, &(nodes, n, mem, np, pgib)) in rows.iter().zip(&expect) {
+            assert_eq!(row.nodes, nodes);
+            assert_eq!(row.n, n);
+            assert!(
+                close(row.mem_per_node_gib, mem, 0.01),
+                "mem {} vs {mem}",
+                row.mem_per_node_gib
+            );
+            assert_eq!(row.pencils, np, "pencils at N={n}");
+            assert!(
+                close(row.pencil_gib, pgib, 0.01),
+                "pencil {} vs {pgib}",
+                row.pencil_gib
+            );
+        }
+    }
+
+    #[test]
+    fn min_nodes_matches_paper_estimate() {
+        // Paper: with D = 25 the minimum node count for 18432³ is 1302.
+        let m = MemoryModel {
+            d_vars: 25.0,
+            ..MemoryModel::default()
+        };
+        assert_eq!(m.min_nodes(18432), 1302);
+    }
+
+    #[test]
+    fn feasible_nodes_for_18432_are_1536_and_3072() {
+        // Paper: "the only 2 possible values of M are thus 1536 and 3072"
+        // (with the D=25 text estimate).
+        let m = MemoryModel {
+            d_vars: 25.0,
+            ..MemoryModel::default()
+        };
+        assert_eq!(m.feasible_nodes(18432), vec![1536, 3072]);
+    }
+
+    #[test]
+    fn nominal_np_matches_paper() {
+        let m = MemoryModel::default();
+        let np = m.nominal_np(18432, 3072);
+        assert!((np - 2.13).abs() < 0.02, "np = {np}");
+    }
+
+    #[test]
+    fn usable_ddr() {
+        assert_eq!(MemoryModel::default().usable_ddr_gib(), 448.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests for decomposition and transpose index math: partitions
+//! must tile exactly and pack/unpack must be bijective for arbitrary shapes.
+
+use proptest::prelude::*;
+use psdns_domain::decomp::{split_even, GpuSplit, Pencil2d, PencilSplit, Slab1d};
+use psdns_domain::transpose::{apply_chunks, SlabTranspose};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// split_even tiles [0, len) exactly with non-increasing widths.
+    #[test]
+    fn split_even_tiles(len in 0usize..200, parts in 1usize..20) {
+        let mut cursor = 0;
+        let mut prev = usize::MAX;
+        for i in 0..parts {
+            let r = split_even(len, parts, i);
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+            prop_assert!(r.len() <= prev);
+            prev = r.len();
+        }
+        prop_assert_eq!(cursor, len);
+    }
+
+    /// Slab ownership maps are inverse to the range maps.
+    #[test]
+    fn slab_owner_inverts_range(np in 1usize..8, mult in 1usize..6) {
+        let n = np * mult * 2;
+        let s = Slab1d::new(n, np);
+        for z in 0..n {
+            let owner = s.z_owner(z);
+            prop_assert!(s.z_range(owner).contains(&z));
+            let yowner = s.y_owner(z);
+            prop_assert!(s.y_range(yowner).contains(&z));
+        }
+    }
+
+    /// Pencil2d coordinates round-trip.
+    #[test]
+    fn pencil_coords_roundtrip(pr in 1usize..6, pc in 1usize..6, lcm in 1usize..4) {
+        let n = pr * pc * lcm;
+        let p = Pencil2d::new(n, pr, pc);
+        for rank in 0..p.size() {
+            let (r, c) = p.coords(rank);
+            prop_assert_eq!(p.rank_of(r, c), rank);
+        }
+    }
+
+    /// Full forward transpose pack/unpack is a bijection: every element of
+    /// every z-slab lands in exactly one y-slab position, with the value
+    /// predicted by the global (x, y, z, v) coordinates.
+    #[test]
+    fn transpose_is_bijective(
+        p in 1usize..5,
+        mz_mult in 1usize..4,
+        nxh in 1usize..9,
+        nv in 1usize..4,
+    ) {
+        let n = p * mz_mult; // global z/y extent (divisible by p)
+        let slab = Slab1d::new(n, p);
+        let t = SlabTranspose::new(slab, nxh, nv);
+        let (my, mz) = (slab.my(), slab.mz());
+
+        let global = |v: usize, x: usize, y: usize, z: usize| -> u64 {
+            ((v * 1000 + x) * 1000 + y) as u64 * 1000 + z as u64
+        };
+
+        // Build, pack, exchange, unpack.
+        let mut recv: Vec<Vec<u64>> = (0..p).map(|_| vec![u64::MAX; t.buf_len()]).collect();
+        {
+            let mut send: Vec<Vec<u64>> = (0..p).map(|_| vec![u64::MAX; t.buf_len()]).collect();
+            for r in 0..p {
+                for v in 0..nv {
+                    let mut zslab = vec![0u64; t.zslab_len()];
+                    for zl in 0..mz {
+                        for y in 0..n {
+                            for x in 0..nxh {
+                                zslab[x + nxh * (y + n * zl)] = global(v, x, y, r * mz + zl);
+                            }
+                        }
+                    }
+                    for d in 0..p {
+                        apply_chunks(&t.pack_from_zslab(d, v, 0..nxh), &zslab, &mut send[r]);
+                    }
+                }
+            }
+            let blk = t.nv * t.block_elems();
+            for d in 0..p {
+                for s in 0..p {
+                    recv[d][s * blk..(s + 1) * blk]
+                        .copy_from_slice(&send[s][d * blk..(d + 1) * blk]);
+                }
+            }
+            // No position was left unwritten in the send buffers.
+            for s in &send {
+                prop_assert!(s.iter().all(|&x| x != u64::MAX));
+            }
+        }
+        for r in 0..p {
+            for v in 0..nv {
+                let mut yslab = vec![u64::MAX; t.yslab_len()];
+                for s in 0..p {
+                    apply_chunks(&t.unpack_to_yslab(s, v, 0..my), &recv[r], &mut yslab);
+                }
+                for z in 0..n {
+                    for yl in 0..my {
+                        for x in 0..nxh {
+                            prop_assert_eq!(
+                                yslab[x + nxh * (yl + my * z)],
+                                global(v, x, r * my + yl, z)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The inverse transpose undoes the forward one for arbitrary shapes.
+    #[test]
+    fn inverse_transpose_undoes_forward(
+        p in 1usize..4,
+        mz_mult in 1usize..4,
+        nxh in 1usize..7,
+    ) {
+        let n = p * mz_mult;
+        let slab = Slab1d::new(n, p);
+        let t = SlabTranspose::new(slab, nxh, 1);
+        let (my, mz) = (slab.my(), slab.mz());
+        let blk = t.block_elems();
+
+        // Start from arbitrary y-slabs, go to z-slabs and back.
+        let yslabs: Vec<Vec<u32>> = (0..p)
+            .map(|r| (0..t.yslab_len() as u32).map(|i| i * 7 + r as u32).collect())
+            .collect();
+        let mut send: Vec<Vec<u32>> = (0..p).map(|_| vec![0; t.buf_len()]).collect();
+        for r in 0..p {
+            for d in 0..p {
+                apply_chunks(&t.pack_from_yslab(d, 0, 0..my), &yslabs[r], &mut send[r]);
+            }
+        }
+        let mut recv: Vec<Vec<u32>> = (0..p).map(|_| vec![0; t.buf_len()]).collect();
+        for d in 0..p {
+            for s in 0..p {
+                recv[d][s * blk..(s + 1) * blk].copy_from_slice(&send[s][d * blk..(d + 1) * blk]);
+            }
+        }
+        let mut zslabs: Vec<Vec<u32>> = (0..p).map(|_| vec![0; t.zslab_len()]).collect();
+        for r in 0..p {
+            for s in 0..p {
+                apply_chunks(&t.unpack_to_zslab(s, 0, 0..nxh), &recv[r], &mut zslabs[r]);
+            }
+        }
+        // Forward again.
+        let mut send2: Vec<Vec<u32>> = (0..p).map(|_| vec![0; t.buf_len()]).collect();
+        for r in 0..p {
+            for d in 0..p {
+                apply_chunks(&t.pack_from_zslab(d, 0, 0..nxh), &zslabs[r], &mut send2[r]);
+            }
+        }
+        let mut recv2: Vec<Vec<u32>> = (0..p).map(|_| vec![0; t.buf_len()]).collect();
+        for d in 0..p {
+            for s in 0..p {
+                recv2[d][s * blk..(s + 1) * blk]
+                    .copy_from_slice(&send2[s][d * blk..(d + 1) * blk]);
+            }
+        }
+        for r in 0..p {
+            let mut back = vec![0u32; t.yslab_len()];
+            for s in 0..p {
+                apply_chunks(&t.unpack_to_yslab(s, 0, 0..my), &recv2[r], &mut back);
+            }
+            prop_assert_eq!(&back, &yslabs[r]);
+        }
+        let _ = mz;
+    }
+
+    /// Pencil + device splits tile the pencil split exactly.
+    #[test]
+    fn nested_splits_tile(len in 1usize..40, np in 1usize..6, gpus in 1usize..4) {
+        let split = PencilSplit::new(len, np);
+        let mut covered = 0;
+        for ip in 0..np {
+            let xr = split.range(ip);
+            let mut inner = xr.start;
+            for g in 0..gpus {
+                let part = GpuSplit::new(xr.len(), gpus).range(g);
+                let abs = xr.start + part.start..xr.start + part.end;
+                prop_assert_eq!(abs.start, inner);
+                inner = abs.end;
+            }
+            prop_assert_eq!(inner, xr.end);
+            covered = xr.end;
+        }
+        prop_assert_eq!(covered, len);
+    }
+}

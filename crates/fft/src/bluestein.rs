@@ -1,0 +1,150 @@
+//! Bluestein's algorithm (chirp-z) for transform lengths with prime factors
+//! too large for the direct mixed-radix path. Expresses an arbitrary-length
+//! DFT as a circular convolution of power-of-two length.
+
+use crate::complex::{Complex, Real};
+use crate::plan::{Direction, FftPlan};
+
+pub struct BluesteinPlan<T: Real> {
+    n: usize,
+    /// Power-of-two convolution length, ≥ 2n−1.
+    m: usize,
+    /// Inner power-of-two plan (never recurses back into Bluestein).
+    inner: FftPlan<T>,
+    /// Chirp `c[j] = exp(−iπ·j²/n)` for `j ∈ [0, n)` (forward sign).
+    chirp: Vec<Complex<T>>,
+    /// Forward FFT (length m) of the wrapped conjugate chirp kernel.
+    kernel_fft: Vec<Complex<T>>,
+}
+
+impl<T: Real> BluesteinPlan<T> {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 1);
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = FftPlan::new(m);
+        debug_assert!(!inner.uses_bluestein());
+        // j² grows fast; reduce mod 2n to keep the angle argument exact.
+        let chirp: Vec<Complex<T>> = (0..n)
+            .map(|j| {
+                let q = (j * j) % (2 * n);
+                let ang = -core::f64::consts::PI * q as f64 / n as f64;
+                Complex::from_f64(ang.cos(), ang.sin())
+            })
+            .collect();
+        let mut kernel = vec![Complex::<T>::zero(); m];
+        kernel[0] = chirp[0].conj();
+        for j in 1..n {
+            let h = chirp[j].conj();
+            kernel[j] = h;
+            kernel[m - j] = h;
+        }
+        let mut scratch = vec![Complex::zero(); m];
+        inner.execute_with_scratch(&mut kernel, &mut scratch, Direction::Forward);
+        Self {
+            n,
+            m,
+            inner,
+            chirp,
+            kernel_fft: kernel,
+        }
+    }
+
+    /// Scratch requirement: one length-m work buffer plus the inner plan's
+    /// own scratch.
+    pub fn scratch_len(&self) -> usize {
+        2 * self.m
+    }
+
+    pub fn execute(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        match dir {
+            Direction::Forward => self.forward(data, scratch),
+            Direction::Inverse => {
+                // IDFT(x) = conj(DFT(conj(x)))/n
+                for v in data.iter_mut() {
+                    *v = v.conj();
+                }
+                self.forward(data, scratch);
+                let inv = T::ONE / T::from_usize(self.n);
+                for v in data.iter_mut() {
+                    *v = v.conj().scale(inv);
+                }
+            }
+        }
+    }
+
+    fn forward(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        let (work, inner_scratch) = scratch.split_at_mut(self.m);
+        for (w, (x, c)) in work.iter_mut().zip(data.iter().zip(&self.chirp)) {
+            *w = *x * *c;
+        }
+        for w in work.iter_mut().skip(self.n) {
+            *w = Complex::zero();
+        }
+        self.inner
+            .execute_with_scratch(work, inner_scratch, Direction::Forward);
+        for (w, h) in work.iter_mut().zip(&self.kernel_fft) {
+            *w = *w * *h;
+        }
+        self.inner
+            .execute_with_scratch(work, inner_scratch, Direction::Inverse);
+        for (x, (w, c)) in data.iter_mut().zip(work.iter().zip(&self.chirp)) {
+            *x = *w * *c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_naive, idft_naive};
+    use crate::Complex64;
+
+    #[test]
+    fn prime_lengths_match_naive() {
+        for n in [37usize, 41, 53, 97, 101, 127] {
+            let plan = FftPlan::<f64>::new(n);
+            assert!(plan.uses_bluestein(), "n={n}");
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 1.1).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            let reference = dft_naive(&x);
+            for k in 0..n {
+                assert!((y[k] - reference[k]).abs() < 1e-8, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_idft() {
+        let n = 43;
+        let plan = FftPlan::<f64>::new(n);
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64 * 0.2 - 1.0, (i as f64).cos()))
+            .collect();
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Inverse);
+        let reference = idft_naive(&x);
+        for k in 0..n {
+            assert!((y[k] - reference[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_semiprime() {
+        // 74 = 2 · 37 exercises the "leftover after small factors" route.
+        let n = 74;
+        let plan = FftPlan::<f64>::new(n);
+        assert!(plan.uses_bluestein());
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0 / (1 + i) as f64, 0.5)).collect();
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        plan.execute(&mut y, Direction::Inverse);
+        for k in 0..n {
+            assert!((y[k] - x[k]).abs() < 1e-10);
+        }
+    }
+}

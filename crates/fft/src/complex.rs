@@ -1,0 +1,314 @@
+//! Minimal complex arithmetic and the floating-point abstraction used by the
+//! whole workspace. We deliberately avoid external numeric crates: the paper's
+//! code is Fortran + CUDA Fortran and uses nothing beyond `complex(4)`.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating point scalar abstraction (implemented for `f32` and `f64`).
+///
+/// The production DNS in the paper runs in single precision (§3.5 memory
+/// estimates assume 4-byte words); validation tests here prefer `f64`.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Default
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const TWO: Self;
+    const PI: Self;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    fn exp(self) -> Self;
+    fn recip(self) -> Self {
+        Self::ONE / self
+    }
+    /// Unit-roundoff scale used by tests to set tolerances.
+    fn epsilon() -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const PI: Self = core::f64::consts::PI as $t;
+
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+/// A complex number. Layout-compatible with `[T; 2]` (`repr(C)`), so slices
+/// of `Complex<T>` can be reinterpreted as interleaved scalar buffers — the
+/// same layout cuFFT and FFTW use, and what the device copy engines in
+/// `psdns-device` move around.
+#[derive(Copy, Clone, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+pub type Complex32 = Complex<f32>;
+pub type Complex64 = Complex<f64>;
+
+impl<T: Real> Complex<T> {
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    pub fn i() -> Self {
+        Self::new(T::ZERO, T::ONE)
+    }
+
+    /// `exp(i·theta)`.
+    pub fn cis(theta: T) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    pub fn scale(self, s: T) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Multiply by `i` (cheaper than a full complex multiply).
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Multiply by `-i`.
+    pub fn mul_neg_i(self) -> Self {
+        Self::new(self.im, -self.re)
+    }
+
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Self::new(T::from_f64(re), T::from_f64(im))
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Real> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Real> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{:+?}i)", self.re, self.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.re, self.im)
+    }
+}
+
+/// Reinterpret a slice of complex numbers as interleaved re/im scalars.
+pub fn as_scalars<T: Real>(data: &[Complex<T>]) -> &[T] {
+    // SAFETY: Complex<T> is repr(C) with exactly two T fields, so a slice of
+    // n Complex<T> has the same layout as a slice of 2n T.
+    unsafe { core::slice::from_raw_parts(data.as_ptr() as *const T, data.len() * 2) }
+}
+
+/// Mutable variant of [`as_scalars`].
+pub fn as_scalars_mut<T: Real>(data: &mut [Complex<T>]) -> &mut [T] {
+    // SAFETY: see as_scalars.
+    unsafe { core::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut T, data.len() * 2) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        assert_eq!(a + b, Complex64::new(1.25, 1.0));
+        assert_eq!(a - b, Complex64::new(1.75, -5.0));
+        let prod = a * b;
+        assert!((prod.re - (1.5 * -0.25 - (-2.0) * 3.0)).abs() < 1e-15);
+        assert!((prod.im - (1.5 * 3.0 + (-2.0) * -0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_i_matches_full_multiply() {
+        let a = Complex64::new(0.3, 0.7);
+        assert_eq!(a.mul_i(), a * Complex64::i());
+        assert_eq!(a.mul_neg_i(), a * Complex64::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            let z = Complex64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn conj_involution_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj().conj(), a);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn scalar_reinterpretation_roundtrip() {
+        let v = vec![Complex64::new(1.0, 2.0), Complex64::new(3.0, 4.0)];
+        let s = as_scalars(&v);
+        assert_eq!(s, &[1.0, 2.0, 3.0, 4.0]);
+        let mut v2 = v.clone();
+        as_scalars_mut(&mut v2)[3] = 9.0;
+        assert_eq!(v2[1].im, 9.0);
+    }
+}

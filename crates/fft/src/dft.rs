@@ -1,0 +1,77 @@
+//! Naive O(n²) discrete Fourier transform — the ground truth against which
+//! every fast path in this crate is tested.
+
+use crate::complex::{Complex, Real};
+
+/// Forward DFT, unnormalized: `X[k] = Σ_j x[j]·exp(-2πi·jk/n)`.
+pub fn dft_naive<T: Real>(x: &[Complex<T>]) -> Vec<Complex<T>> {
+    let n = x.len();
+    let mut out = vec![Complex::zero(); n];
+    if n == 0 {
+        return out;
+    }
+    let base = -2.0 * core::f64::consts::PI / n as f64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &v) in x.iter().enumerate() {
+            let ang = base * ((j * k) % n) as f64;
+            acc += v * Complex::from_f64(ang.cos(), ang.sin());
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Inverse DFT with `1/n` normalization: `idft(dft(x)) == x`.
+pub fn idft_naive<T: Real>(x: &[Complex<T>]) -> Vec<Complex<T>> {
+    let n = x.len();
+    let mut out = vec![Complex::zero(); n];
+    if n == 0 {
+        return out;
+    }
+    let base = 2.0 * core::f64::consts::PI / n as f64;
+    let inv = T::ONE / T::from_usize(n);
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &v) in x.iter().enumerate() {
+            let ang = base * ((j * k) % n) as f64;
+            acc += v * Complex::from_f64(ang.cos(), ang.sin());
+        }
+        *o = acc.scale(inv);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn dft_of_constant_is_delta() {
+        let n = 8;
+        let x = vec![Complex64::one(); n];
+        let y = dft_naive(&x);
+        assert!((y[0].re - n as f64).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<Complex64> = (0..7)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let y = idft_naive(&dft_naive(&x));
+        for (a, b) in y.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(dft_naive::<f64>(&[]).is_empty());
+        assert!(idft_naive::<f64>(&[]).is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Batched/strided transforms — the moral equivalent of cuFFT's
+//! `cufftPlanMany` advanced data layout, which the paper's code uses to
+//! transform whole pencils of lines in one call ("Strided FFTs are performed
+//! in the y direction to avoid reordering on the GPU", Fig. 6).
+
+use crate::complex::{Complex, Real};
+use crate::plan::{Direction, FftPlan};
+
+/// A plan that executes `count` transforms of length `n` over a strided
+/// layout: element `i` of batch `b` lives at `data[b·dist + i·stride]`.
+pub struct ManyPlan<T: Real> {
+    plan: FftPlan<T>,
+    n: usize,
+    stride: usize,
+    dist: usize,
+    count: usize,
+}
+
+impl<T: Real> ManyPlan<T> {
+    pub fn new(n: usize, stride: usize, dist: usize, count: usize) -> Self {
+        assert!(n > 0 && stride > 0 && count > 0);
+        assert!(count == 1 || dist > 0, "dist must be positive for count > 1");
+        Self {
+            plan: FftPlan::new(n),
+            n,
+            stride,
+            dist,
+            count,
+        }
+    }
+
+    /// Contiguous batch layout: line `b` occupies `data[b·n .. (b+1)·n]`.
+    pub fn contiguous(n: usize, count: usize) -> Self {
+        Self::new(n, 1, n, count)
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Minimum `data.len()` accepted by [`execute`](Self::execute).
+    pub fn required_len(&self) -> usize {
+        (self.count - 1) * self.dist + (self.n - 1) * self.stride + 1
+    }
+
+    /// Scratch requirement (complex elements) for
+    /// [`execute_with_scratch`](Self::execute_with_scratch).
+    pub fn scratch_len(&self) -> usize {
+        if self.stride == 1 {
+            self.plan.scratch_len()
+        } else {
+            self.n + self.plan.scratch_len()
+        }
+    }
+
+    /// Execute all batches in place, allocating scratch.
+    pub fn execute(&self, data: &mut [Complex<T>], dir: Direction) {
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.execute_with_scratch(data, &mut scratch, dir);
+    }
+
+    /// Execute all batches in place with caller-provided scratch.
+    pub fn execute_with_scratch(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: Direction,
+    ) {
+        assert!(
+            data.len() >= self.required_len(),
+            "buffer too small: {} < {}",
+            data.len(),
+            self.required_len()
+        );
+        assert!(scratch.len() >= self.scratch_len());
+        if self.stride == 1 {
+            for b in 0..self.count {
+                let start = b * self.dist;
+                self.plan
+                    .execute_with_scratch(&mut data[start..start + self.n], scratch, dir);
+            }
+        } else {
+            let (line, inner) = scratch.split_at_mut(self.n);
+            for b in 0..self.count {
+                let base = b * self.dist;
+                // Gather the strided line, transform, scatter back. The paper
+                // observed strided vs. reordered lines cost about the same on
+                // Summit once reordering cost is included (§3.3); we pay the
+                // gather here explicitly.
+                for i in 0..self.n {
+                    line[i] = data[base + i * self.stride];
+                }
+                self.plan.execute_with_scratch(line, inner, dir);
+                for i in 0..self.n {
+                    data[base + i * self.stride] = line[i];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use crate::Complex64;
+
+    #[test]
+    fn contiguous_batches_match_individual_ffts() {
+        let n = 24;
+        let count = 5;
+        let many = ManyPlan::<f64>::contiguous(n, count);
+        let mut data: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new((i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let orig = data.clone();
+        many.execute(&mut data, Direction::Forward);
+        for b in 0..count {
+            let reference = dft_naive(&orig[b * n..(b + 1) * n]);
+            for k in 0..n {
+                assert!((data[b * n + k] - reference[k]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_layout_transforms_columns() {
+        // A (rows=n) x (cols=count) matrix stored row-major: columns have
+        // stride = count, dist = 1 — exactly the y-transform layout of a
+        // pencil with x fastest.
+        let n = 16;
+        let count = 6;
+        let many = ManyPlan::<f64>::new(n, count, 1, count);
+        let mut data: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let orig = data.clone();
+        many.execute(&mut data, Direction::Forward);
+        for c in 0..count {
+            let col: Vec<Complex64> = (0..n).map(|r| orig[r * count + c]).collect();
+            let reference = dft_naive(&col);
+            for r in 0..n {
+                assert!((data[r * count + c] - reference[r]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_roundtrip() {
+        let n = 12;
+        let count = 7;
+        let many = ManyPlan::<f64>::new(n, count, 1, count);
+        let mut data: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new((i % 13) as f64, (i % 5) as f64))
+            .collect();
+        let orig = data.clone();
+        many.execute(&mut data, Direction::Forward);
+        many.execute(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn required_len_is_tight() {
+        let many = ManyPlan::<f64>::new(4, 3, 1, 3);
+        // last touched index: (3-1)*1 + (4-1)*3 = 11 → len 12
+        assert_eq!(many.required_len(), 12);
+    }
+}
+
+/// Raw-pointer wrapper so disjoint batches can be processed from scoped
+/// threads (the "OpenMP within an MPI rank" layer of the paper's hybrid
+/// parallelism, §3.1/§4.1).
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only used to access disjoint batch index sets,
+// partitioned statically among threads before spawning.
+unsafe impl<T> Send for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T: Real> ManyPlan<T> {
+    /// True when distinct batches touch pairwise-disjoint element sets —
+    /// the precondition for [`execute_parallel`](Self::execute_parallel).
+    /// Holds for the two layouts the solver uses: contiguous lines
+    /// (`stride == 1, dist ≥ n`) and interleaved columns
+    /// (`dist == 1, stride ≥ count`).
+    pub fn batches_disjoint(&self) -> bool {
+        if self.count == 1 {
+            return true;
+        }
+        (self.stride == 1 && self.dist >= self.n)
+            || (self.dist == 1 && self.stride >= self.count)
+            || self.dist >= (self.n - 1) * self.stride + 1
+    }
+
+    /// Execute all batches using `threads` worker threads — the hybrid
+    /// within-rank parallelism the paper gets from OpenMP. Falls back to
+    /// serial execution when batches may overlap or `threads ≤ 1`.
+    pub fn execute_parallel(&self, data: &mut [Complex<T>], dir: Direction, threads: usize) {
+        if threads <= 1 || self.count < 2 || !self.batches_disjoint() {
+            self.execute(data, dir);
+            return;
+        }
+        assert!(data.len() >= self.required_len());
+        let nthreads = threads.min(self.count);
+        let ptr = SendPtr(data.as_mut_ptr());
+        let n = self.n;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let plan = &self.plan;
+                let (stride, dist, count) = (self.stride, self.dist, self.count);
+                scope.spawn(move |_| {
+                    let ptr = ptr; // move the Copy wrapper
+                    let mut line = vec![Complex::<T>::zero(); n];
+                    let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+                    let mut b = t;
+                    while b < count {
+                        let base = b * dist;
+                        // SAFETY: batch b touches exactly the indices
+                        // {base + i·stride}, disjoint across b per
+                        // `batches_disjoint`, and each index is < data.len()
+                        // by the required_len assertion.
+                        unsafe {
+                            if stride == 1 {
+                                let s = std::slice::from_raw_parts_mut(ptr.0.add(base), n);
+                                plan.execute_with_scratch(s, &mut scratch, dir);
+                            } else {
+                                for (i, l) in line.iter_mut().enumerate() {
+                                    *l = *ptr.0.add(base + i * stride);
+                                }
+                                plan.execute_with_scratch(&mut line, &mut scratch, dir);
+                                for (i, l) in line.iter().enumerate() {
+                                    *ptr.0.add(base + i * stride) = *l;
+                                }
+                            }
+                        }
+                        b += nthreads;
+                    }
+                });
+            }
+        })
+        .expect("parallel fft scope");
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn parallel_matches_serial_contiguous() {
+        let n = 48;
+        let count = 7;
+        let plan = ManyPlan::<f64>::contiguous(n, count);
+        let mut a: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut b = a.clone();
+        plan.execute(&mut a, Direction::Forward);
+        plan.execute_parallel(&mut b, Direction::Forward, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_strided() {
+        let n = 24;
+        let count = 9;
+        let plan = ManyPlan::<f64>::new(n, count, 1, count);
+        let mut a: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut b = a.clone();
+        plan.execute(&mut a, Direction::Inverse);
+        plan.execute_parallel(&mut b, Direction::Inverse, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_batches_is_fine() {
+        let plan = ManyPlan::<f64>::contiguous(16, 2);
+        let mut data = vec![Complex64::new(1.0, 0.0); 32];
+        plan.execute_parallel(&mut data, Direction::Forward, 16);
+        assert!((data[0].re - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjointness_detection() {
+        assert!(ManyPlan::<f64>::contiguous(8, 4).batches_disjoint());
+        assert!(ManyPlan::<f64>::new(8, 4, 1, 4).batches_disjoint());
+        // Overlapping layout: stride 2 columns with dist 1 and count 4 > 2.
+        assert!(!ManyPlan::<f64>::new(8, 2, 1, 4).batches_disjoint());
+    }
+
+    #[test]
+    fn overlapping_layout_falls_back_to_serial() {
+        // Must not crash or corrupt: falls back to the serial path.
+        let plan = ManyPlan::<f64>::new(4, 2, 1, 2);
+        let mut a: Vec<Complex64> = (0..plan.required_len())
+            .map(|i| Complex64::new(i as f64, 0.0))
+            .collect();
+        let mut b = a.clone();
+        plan.execute(&mut a, Direction::Forward);
+        plan.execute_parallel(&mut b, Direction::Forward, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+}

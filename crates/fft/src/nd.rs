@@ -1,0 +1,187 @@
+//! Serial multi-dimensional transforms on contiguous arrays.
+//!
+//! These are the single-address-space ground truth for the distributed,
+//! transpose-based transforms in `psdns-core`: the integration tests require
+//! that slab/pencil-decomposed 3-D FFTs across many ranks match `fft_3d`
+//! executed on the gathered field.
+
+use crate::complex::{Complex, Real};
+use crate::many::ManyPlan;
+use crate::plan::Direction;
+
+/// Dimensions of a 3-D field stored x-fastest: `idx = x + nx·(y + ny·z)`.
+///
+/// Matches the paper's memory layout ("arrays of stride unity" in x, §3.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Dims3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Dims3 {
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    pub fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+}
+
+/// In-place 2-D FFT of an `nx × ny` array stored x-fastest.
+pub fn fft_2d<T: Real>(data: &mut [Complex<T>], nx: usize, ny: usize, dir: Direction) {
+    assert_eq!(data.len(), nx * ny);
+    // Rows (x direction): contiguous lines.
+    ManyPlan::new(nx, 1, nx, ny).execute(data, dir);
+    // Columns (y direction): stride nx, one batch per x.
+    ManyPlan::new(ny, nx, 1, nx).execute(data, dir);
+}
+
+/// In-place 3-D FFT, transforming y, then z, then x — the paper's transform
+/// order for the Fourier→physical direction (§3.3).
+pub fn fft_3d<T: Real>(data: &mut [Complex<T>], dims: Dims3, dir: Direction) {
+    assert_eq!(data.len(), dims.len());
+    let Dims3 { nx, ny, nz } = dims;
+    // y direction: stride nx; batch over each (x, z) pair.
+    let plan_y = ManyPlan::new(ny, nx, 1, nx);
+    let mut scratch = vec![Complex::zero(); plan_y.scratch_len()];
+    for z in 0..nz {
+        let base = z * nx * ny;
+        plan_y.execute_with_scratch(&mut data[base..base + nx * ny], &mut scratch, dir);
+    }
+    // z direction: stride nx·ny; one call per y covers the nx lines there.
+    let plan_z = ManyPlan::new(nz, nx * ny, 1, nx);
+    let mut scratch = vec![Complex::zero(); plan_z.scratch_len()];
+    for y in 0..ny {
+        // Lines in z for all x at this y: base offsets y·nx .. y·nx+nx-1.
+        // ManyPlan's batches advance by dist=1, so one call covers x∈[0,nx).
+        let base = y * nx;
+        let end = base + (nz - 1) * nx * ny + nx;
+        plan_z.execute_with_scratch(&mut data[base..end], &mut scratch, dir);
+    }
+    // x direction: contiguous lines, batched over (y, z).
+    let plan_x = ManyPlan::new(nx, 1, nx, ny * nz);
+    plan_x.execute(data, dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use crate::Complex64;
+
+    /// Naive 3-D DFT by separable 1-D naive transforms.
+    fn dft3_naive(data: &[Complex64], d: Dims3) -> Vec<Complex64> {
+        let mut out = data.to_vec();
+        // x
+        for z in 0..d.nz {
+            for y in 0..d.ny {
+                let line: Vec<_> = (0..d.nx).map(|x| out[d.idx(x, y, z)]).collect();
+                let t = dft_naive(&line);
+                for x in 0..d.nx {
+                    out[d.idx(x, y, z)] = t[x];
+                }
+            }
+        }
+        // y
+        for z in 0..d.nz {
+            for x in 0..d.nx {
+                let line: Vec<_> = (0..d.ny).map(|y| out[d.idx(x, y, z)]).collect();
+                let t = dft_naive(&line);
+                for y in 0..d.ny {
+                    out[d.idx(x, y, z)] = t[y];
+                }
+            }
+        }
+        // z
+        for y in 0..d.ny {
+            for x in 0..d.nx {
+                let line: Vec<_> = (0..d.nz).map(|z| out[d.idx(x, y, z)]).collect();
+                let t = dft_naive(&line);
+                for z in 0..d.nz {
+                    out[d.idx(x, y, z)] = t[z];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fft3d_matches_naive() {
+        let d = Dims3::new(6, 4, 8);
+        let data: Vec<Complex64> = (0..d.len())
+            .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.29).cos()))
+            .collect();
+        let mut fast = data.clone();
+        fft_3d(&mut fast, d, Direction::Forward);
+        let slow = dft3_naive(&data, d);
+        for i in 0..d.len() {
+            assert!((fast[i] - slow[i]).abs() < 1e-8, "i={i}");
+        }
+    }
+
+    #[test]
+    fn fft3d_roundtrip() {
+        let d = Dims3::cube(12);
+        let data: Vec<Complex64> = (0..d.len())
+            .map(|i| Complex64::new(i as f64 % 17.0, -(i as f64 % 7.0)))
+            .collect();
+        let mut work = data.clone();
+        fft_3d(&mut work, d, Direction::Forward);
+        fft_3d(&mut work, d, Direction::Inverse);
+        for i in 0..d.len() {
+            assert!((work[i] - data[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft2d_single_mode() {
+        let (nx, ny) = (8, 8);
+        let (kx, ky) = (2usize, 3usize);
+        let mut data = vec![Complex64::zero(); nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                let phase = 2.0
+                    * std::f64::consts::PI
+                    * (kx as f64 * x as f64 / nx as f64 + ky as f64 * y as f64 / ny as f64);
+                data[x + nx * y] = Complex64::cis(phase);
+            }
+        }
+        fft_2d(&mut data, nx, ny, Direction::Forward);
+        for y in 0..ny {
+            for x in 0..nx {
+                let expect = if x == kx && y == ky { (nx * ny) as f64 } else { 0.0 };
+                assert!(
+                    (data[x + nx * y].re - expect).abs() < 1e-9
+                        && data[x + nx * y].im.abs() < 1e-9,
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dims_indexing_is_x_fastest() {
+        let d = Dims3::new(3, 4, 5);
+        assert_eq!(d.idx(0, 0, 0), 0);
+        assert_eq!(d.idx(1, 0, 0), 1);
+        assert_eq!(d.idx(0, 1, 0), 3);
+        assert_eq!(d.idx(0, 0, 1), 12);
+        assert_eq!(d.len(), 60);
+    }
+}

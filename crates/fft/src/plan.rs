@@ -1,0 +1,397 @@
+//! Mixed-radix Cooley–Tukey FFT plans.
+//!
+//! A [`FftPlan`] precomputes the factorization of `n` and a full-length
+//! twiddle table, then executes transforms of that length any number of
+//! times — mirroring the plan/execute split of FFTW and cuFFT that the
+//! paper's code relies on. Lengths whose largest prime factor exceeds
+//! [`MAX_RADIX`] are routed through Bluestein's algorithm transparently.
+
+use crate::bluestein::BluesteinPlan;
+use crate::complex::{Complex, Real};
+
+/// Transform direction. Forward is unnormalized; Inverse applies `1/n`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent: -1 for forward, +1 for inverse.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        }
+    }
+}
+
+/// Largest prime handled by the direct mixed-radix path; larger primes fall
+/// back to Bluestein.
+pub const MAX_RADIX: usize = 31;
+
+/// A reusable FFT plan for one transform length.
+pub struct FftPlan<T: Real> {
+    n: usize,
+    /// Prime factorization of `n`, largest factors first (keeps the generic
+    /// butterfly at the outermost level where it runs fewest times).
+    factors: Vec<usize>,
+    /// Twiddle table: `tw[k] = exp(-2πi·k/n)` for `k ∈ [0, n)`.
+    twiddles: Vec<Complex<T>>,
+    /// Bluestein fallback for lengths with large prime factors.
+    bluestein: Option<Box<BluesteinPlan<T>>>,
+}
+
+/// Prime factorization, smallest factor first, combining 2·2 → 4 so the
+/// radix-4 butterfly is used where possible.
+pub(crate) fn factorize(mut n: usize) -> (Vec<usize>, usize) {
+    let mut factors = Vec::new();
+    // Pull out fours first, then a possible leftover two.
+    while n % 4 == 0 {
+        factors.push(4);
+        n /= 4;
+    }
+    if n % 2 == 0 {
+        factors.push(2);
+        n /= 2;
+    }
+    let mut p = 3;
+    while p * p <= n && p <= MAX_RADIX {
+        while n % p == 0 {
+            factors.push(p);
+            n /= p;
+        }
+        p += 2;
+    }
+    if n > 1 && n <= MAX_RADIX {
+        factors.push(n);
+        n = 1;
+    }
+    (factors, n) // n > 1 here means a leftover factor too large for direct CT
+}
+
+impl<T: Real> FftPlan<T> {
+    /// Build a plan for length `n`. `n = 0` is rejected.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let (factors, leftover) = factorize(n);
+        let bluestein = if leftover > 1 {
+            Some(Box::new(BluesteinPlan::new(n)))
+        } else {
+            None
+        };
+        let twiddles = if bluestein.is_none() {
+            let step = -2.0 * core::f64::consts::PI / n as f64;
+            (0..n)
+                .map(|k| Complex::from_f64((step * k as f64).cos(), (step * k as f64).sin()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            n,
+            factors,
+            twiddles,
+            bluestein,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when this length is served by the Bluestein fallback.
+    pub fn uses_bluestein(&self) -> bool {
+        self.bluestein.is_some()
+    }
+
+    /// Look up `exp(sign·2πi·k/n)` from the table.
+    #[inline]
+    fn tw(&self, idx: usize, dir: Direction) -> Complex<T> {
+        let t = self.twiddles[idx % self.n];
+        match dir {
+            Direction::Forward => t,
+            Direction::Inverse => t.conj(),
+        }
+    }
+
+    /// In-place transform of a unit-stride buffer of length `n`.
+    pub fn execute(&self, data: &mut [Complex<T>], dir: Direction) {
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.execute_with_scratch(data, &mut scratch, dir);
+    }
+
+    /// Number of scratch elements required by
+    /// [`execute_with_scratch`](Self::execute_with_scratch).
+    pub fn scratch_len(&self) -> usize {
+        match &self.bluestein {
+            Some(b) => b.scratch_len(),
+            None => self.n,
+        }
+    }
+
+    /// In-place transform using caller-provided scratch (hot path: no
+    /// allocation). `scratch.len()` must be at least [`scratch_len`](Self::scratch_len).
+    pub fn execute_with_scratch(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: Direction,
+    ) {
+        assert_eq!(data.len(), self.n, "buffer length != plan length");
+        assert!(scratch.len() >= self.scratch_len(), "scratch too small");
+        if self.n == 1 {
+            return;
+        }
+        if let Some(b) = &self.bluestein {
+            b.execute(data, scratch, dir);
+            return;
+        }
+        let scratch = &mut scratch[..self.n];
+        scratch.copy_from_slice(data);
+        self.recurse(scratch, data, self.n, 1, 0, dir);
+        if dir == Direction::Inverse {
+            let inv = T::ONE / T::from_usize(self.n);
+            for v in data.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+
+    /// Recursive decimation-in-time step.
+    ///
+    /// Transforms the length-`sub_n` sequence `inp[0], inp[s], inp[2s], …`
+    /// into `out[0..sub_n]`. `level` indexes into `self.factors`.
+    fn recurse(
+        &self,
+        inp: &[Complex<T>],
+        out: &mut [Complex<T>],
+        sub_n: usize,
+        s: usize,
+        level: usize,
+        dir: Direction,
+    ) {
+        if sub_n == 1 {
+            out[0] = inp[0];
+            return;
+        }
+        let r = self.factors[level];
+        let m = sub_n / r;
+        for q in 0..r {
+            self.recurse(&inp[q * s..], &mut out[q * m..(q + 1) * m], m, s * r, level + 1, dir);
+        }
+        // Combine the r sub-transforms: for each k0, gather the q-th outputs,
+        // apply twiddles w_n^{q·k0}, and take an r-point DFT across q.
+        let tw_step = self.n / sub_n;
+        let mut tmp = [Complex::<T>::zero(); MAX_RADIX];
+        for k0 in 0..m {
+            for (q, t) in tmp.iter_mut().enumerate().take(r) {
+                let y = out[q * m + k0];
+                *t = if q == 0 {
+                    y
+                } else {
+                    y * self.tw(q * k0 * tw_step, dir)
+                };
+            }
+            self.butterfly(&tmp[..r], out, k0, m, dir);
+        }
+    }
+
+    /// r-point DFT of `tmp`, scattered to `out[k0 + c·m]` for `c ∈ [0, r)`.
+    #[inline]
+    fn butterfly(
+        &self,
+        tmp: &[Complex<T>],
+        out: &mut [Complex<T>],
+        k0: usize,
+        m: usize,
+        dir: Direction,
+    ) {
+        match tmp.len() {
+            2 => {
+                let (a, b) = (tmp[0], tmp[1]);
+                out[k0] = a + b;
+                out[k0 + m] = a - b;
+            }
+            3 => {
+                // Radix-3: uses w3 = exp(∓2πi/3) = (-1/2, ∓√3/2).
+                let (a, b, c) = (tmp[0], tmp[1], tmp[2]);
+                let s = b + c;
+                let d = b - c;
+                let half = T::from_f64(0.5);
+                let rt3h = T::from_f64(0.866_025_403_784_438_6); // √3/2
+                let re_part = a - s.scale(half);
+                // ∓i·(√3/2)·d, sign depends on direction.
+                let rot = match dir {
+                    Direction::Forward => d.mul_neg_i().scale(rt3h),
+                    Direction::Inverse => d.mul_i().scale(rt3h),
+                };
+                out[k0] = a + s;
+                out[k0 + m] = re_part + rot;
+                out[k0 + 2 * m] = re_part - rot;
+            }
+            4 => {
+                let (a, b, c, d) = (tmp[0], tmp[1], tmp[2], tmp[3]);
+                let t0 = a + c;
+                let t1 = a - c;
+                let t2 = b + d;
+                let t3 = match dir {
+                    Direction::Forward => (b - d).mul_neg_i(),
+                    Direction::Inverse => (b - d).mul_i(),
+                };
+                out[k0] = t0 + t2;
+                out[k0 + m] = t1 + t3;
+                out[k0 + 2 * m] = t0 - t2;
+                out[k0 + 3 * m] = t1 - t3;
+            }
+            r => {
+                // Generic small-prime butterfly: naive r² DFT using the main
+                // twiddle table (w_r = w_n^{n/r}).
+                let step = self.n / r;
+                for c in 0..r {
+                    let mut acc = tmp[0];
+                    for (q, &t) in tmp.iter().enumerate().skip(1) {
+                        acc += t * self.tw(q * c * step, dir);
+                    }
+                    out[k0 + c * m] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use crate::Complex64;
+
+    fn impulse_response(n: usize) {
+        // FFT of a unit impulse at j0 is exp(-2πi·j0·k/n): tests twiddle
+        // indexing for every factorization path.
+        let plan = FftPlan::<f64>::new(n);
+        for j0 in [0, 1, n / 2, n - 1] {
+            let mut x = vec![Complex64::zero(); n];
+            x[j0] = Complex64::one();
+            plan.execute(&mut x, Direction::Forward);
+            for (k, v) in x.iter().enumerate() {
+                let expect = Complex64::cis(-2.0 * std::f64::consts::PI * (j0 * k % n) as f64 / n as f64);
+                assert!(
+                    (*v - expect).abs() < 1e-10,
+                    "n={n} j0={j0} k={k}: {v:?} vs {expect:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impulses_across_radices() {
+        for n in [2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 27, 30, 36, 48, 60, 64, 72, 144] {
+            impulse_response(n);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 3, 4, 6, 8, 12, 15, 18, 24, 36, 45, 64, 90, 128] {
+            let plan = FftPlan::<f64>::new(n);
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            let reference = dft_naive(&x);
+            for k in 0..n {
+                assert!(
+                    (y[k] - reference[k]).abs() < 1e-9 * (n as f64),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [1usize, 2, 3, 4, 5, 12, 36, 100, 144, 192, 240] {
+            let plan = FftPlan::<f64>::new(n);
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+                .collect();
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            plan.execute(&mut y, Direction::Inverse);
+            for k in 0..n {
+                assert!((y[k] - x[k]).abs() < 1e-10 * (1.0 + n as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 96;
+        let plan = FftPlan::<f64>::new(n);
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (2.0 * i as f64).cos()))
+            .collect();
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time - freq).abs() < 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    fn large_prime_uses_bluestein() {
+        let plan = FftPlan::<f64>::new(37);
+        assert!(plan.uses_bluestein());
+        let plan = FftPlan::<f64>::new(36);
+        assert!(!plan.uses_bluestein());
+    }
+
+    #[test]
+    fn factorize_prefers_radix4() {
+        let (f, left) = factorize(64);
+        assert_eq!(f, vec![4, 4, 4]);
+        assert_eq!(left, 1);
+        let (f, left) = factorize(96);
+        assert_eq!(f, vec![4, 4, 2, 3]);
+        assert_eq!(left, 1);
+        let (_, left) = factorize(74); // 2 · 37
+        assert_eq!(left, 37);
+    }
+
+    #[test]
+    fn single_point_transform_is_identity() {
+        let plan = FftPlan::<f64>::new(1);
+        let mut x = vec![Complex64::new(4.0, 2.0)];
+        plan.execute(&mut x, Direction::Forward);
+        assert_eq!(x[0], Complex64::new(4.0, 2.0));
+    }
+
+    #[test]
+    fn f32_precision_acceptable() {
+        use crate::Complex32;
+        let n = 192; // 2^6·3, paper-style smooth size
+        let plan = FftPlan::<f32>::new(n);
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.1).sin(), (i as f32 * 0.2).cos()))
+            .collect();
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        plan.execute(&mut y, Direction::Inverse);
+        for k in 0..n {
+            assert!((y[k] - x[k]).abs() < 1e-4);
+        }
+    }
+}

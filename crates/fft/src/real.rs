@@ -1,0 +1,200 @@
+//! Real-to-complex and complex-to-real transforms of even length, via the
+//! half-length packing trick. The paper's transforms are complex-to-complex
+//! in y and z but complex-to-real in x (conjugate symmetry of real fields,
+//! §3.3); this module provides that x-direction transform.
+
+use crate::complex::{Complex, Real};
+use crate::plan::{Direction, FftPlan};
+
+/// Plan for real transforms of even length `n`.
+///
+/// * `forward`: `n` reals → `n/2 + 1` complex (half spectrum; the rest is
+///   implied by `X[n-k] = conj(X[k])`).
+/// * `inverse`: `n/2 + 1` complex → `n` reals, including the `1/n` factor.
+pub struct RealFftPlan<T: Real> {
+    n: usize,
+    h: usize,
+    inner: FftPlan<T>,
+    /// `exp(-2πi·k/n)` for `k ∈ [0, h]`.
+    twiddle: Vec<Complex<T>>,
+}
+
+impl<T: Real> RealFftPlan<T> {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "real FFT length must be even, got {n}");
+        let h = n / 2;
+        let inner = FftPlan::new(h);
+        let twiddle = (0..=h)
+            .map(|k| {
+                let ang = -2.0 * core::f64::consts::PI * k as f64 / n as f64;
+                Complex::from_f64(ang.cos(), ang.sin())
+            })
+            .collect();
+        Self { n, h, inner, twiddle }
+    }
+
+    /// Logical (real) transform length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of complex outputs of the forward transform: `n/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.h + 1
+    }
+
+    /// Scratch (complex elements) needed by the allocation-free entry points.
+    pub fn scratch_len(&self) -> usize {
+        self.h + self.inner.scratch_len()
+    }
+
+    /// Forward transform without allocation.
+    pub fn forward_with_scratch(
+        &self,
+        input: &[T],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        assert_eq!(input.len(), self.n);
+        assert_eq!(output.len(), self.h + 1);
+        assert!(scratch.len() >= self.scratch_len());
+        let (packed, inner_scratch) = scratch.split_at_mut(self.h);
+        for (j, p) in packed.iter_mut().enumerate() {
+            *p = Complex::new(input[2 * j], input[2 * j + 1]);
+        }
+        self.inner
+            .execute_with_scratch(packed, inner_scratch, Direction::Forward);
+        let half = T::from_f64(0.5);
+        for k in 0..=self.h {
+            let zk = packed[k % self.h];
+            let zr = packed[(self.h - k) % self.h].conj();
+            let even = (zk + zr).scale(half);
+            // odd = (zk - zr) / (2i) = (zk - zr)·(-i/2)
+            let odd = (zk - zr).mul_neg_i().scale(half);
+            output[k] = even + self.twiddle[k] * odd;
+        }
+    }
+
+    /// Forward transform; allocates its own scratch.
+    pub fn forward(&self, input: &[T], output: &mut [Complex<T>]) {
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.forward_with_scratch(input, output, &mut scratch);
+    }
+
+    /// Inverse transform (includes `1/n`) without allocation.
+    ///
+    /// Only the imaginary parts of `input[0]` and `input[h]` are ignored
+    /// (they are zero for any spectrum of a real signal).
+    pub fn inverse_with_scratch(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [T],
+        scratch: &mut [Complex<T>],
+    ) {
+        assert_eq!(input.len(), self.h + 1);
+        assert_eq!(output.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        let (packed, inner_scratch) = scratch.split_at_mut(self.h);
+        let half = T::from_f64(0.5);
+        for k in 0..self.h {
+            let xk = input[k];
+            let xr = input[self.h - k].conj();
+            let even = (xk + xr).scale(half);
+            // odd = (xk - xr)/2 · e^{+2πik/n}; the conjugate of twiddle[k].
+            let odd = (xk - xr).scale(half) * self.twiddle[k].conj();
+            packed[k] = even + odd.mul_i();
+        }
+        self.inner
+            .execute_with_scratch(packed, inner_scratch, Direction::Inverse);
+        for (j, p) in packed.iter().enumerate() {
+            output[2 * j] = p.re;
+            output[2 * j + 1] = p.im;
+        }
+    }
+
+    /// Inverse transform; allocates its own scratch.
+    pub fn inverse(&self, input: &[Complex<T>], output: &mut [T]) {
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.inverse_with_scratch(input, output, &mut scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use crate::Complex64;
+
+    #[test]
+    fn forward_matches_naive_dft_half_spectrum() {
+        for n in [2usize, 4, 6, 8, 12, 16, 24, 48, 96, 128] {
+            let plan = RealFftPlan::<f64>::new(n);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.3).collect();
+            let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+            let reference = dft_naive(&xc);
+            let mut spec = vec![Complex64::zero(); plan.spectrum_len()];
+            plan.forward(&x, &mut spec);
+            for k in 0..=n / 2 {
+                assert!(
+                    (spec[k] - reference[k]).abs() < 1e-9,
+                    "n={n} k={k}: {:?} vs {:?}",
+                    spec[k],
+                    reference[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_real() {
+        let n = 32;
+        let plan = RealFftPlan::<f64>::new(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 2.0 - 0.1).collect();
+        let mut spec = vec![Complex64::zero(); plan.spectrum_len()];
+        plan.forward(&x, &mut spec);
+        assert!(spec[0].im.abs() < 1e-12);
+        assert!(spec[n / 2].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [2usize, 6, 10, 18, 30, 64, 192] {
+            let plan = RealFftPlan::<f64>::new(n);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin() * (i as f64)).collect();
+            let mut spec = vec![Complex64::zero(); plan.spectrum_len()];
+            plan.forward(&x, &mut spec);
+            let mut back = vec![0.0; n];
+            plan.inverse(&spec, &mut back);
+            for j in 0..n {
+                assert!((back[j] - x[j]).abs() < 1e-9 * (1.0 + x[j].abs()), "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn pure_cosine_lands_in_single_bin() {
+        let n = 64;
+        let kk = 5;
+        let plan = RealFftPlan::<f64>::new(n);
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * kk as f64 * j as f64 / n as f64).cos())
+            .collect();
+        let mut spec = vec![Complex64::zero(); plan.spectrum_len()];
+        plan.forward(&x, &mut spec);
+        for k in 0..=n / 2 {
+            let expect = if k == kk { n as f64 / 2.0 } else { 0.0 };
+            assert!((spec[k].re - expect).abs() < 1e-9, "k={k}");
+            assert!(spec[k].im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        let _ = RealFftPlan::<f64>::new(9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the FFT substrate: the invariants here must hold
+//! for *every* length, including awkward primes served by Bluestein.
+
+use proptest::prelude::*;
+use psdns_fft::{dft_naive, Complex64, Direction, FftPlan, ManyPlan, RealFftPlan};
+
+fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), n..=n)
+        .prop_map(|v| v.into_iter().map(|(r, i)| Complex64::new(r, i)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// inverse(forward(x)) == x for arbitrary lengths (mixed radix + Bluestein).
+    #[test]
+    fn roundtrip_any_length(n in 1usize..200, seed in 0u64..1000) {
+        let plan = FftPlan::<f64>::new(n);
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed.wrapping_add(1)) as f64;
+                Complex64::new((t * 1e-3).sin(), (t * 7e-4).cos())
+            })
+            .collect();
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        plan.execute(&mut y, Direction::Inverse);
+        for k in 0..n {
+            prop_assert!((y[k] - x[k]).abs() < 1e-8 * (1.0 + n as f64));
+        }
+    }
+
+    /// Parseval: Σ|x|² == (1/n)·Σ|X|².
+    #[test]
+    fn parseval_any_length(x in (2usize..120).prop_flat_map(arb_signal)) {
+        let n = x.len();
+        let plan = FftPlan::<f64>::new(n);
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() < 1e-7 * time.max(1.0));
+    }
+
+    /// Linearity: F(a·x + y) == a·F(x) + F(y).
+    #[test]
+    fn linearity(n in 2usize..80, a in -10.0f64..10.0) {
+        let plan = FftPlan::<f64>::new(n);
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let y: Vec<Complex64> = (0..n).map(|i| Complex64::new(-(i as f64), 2.0 * i as f64)).collect();
+
+        let mut combo: Vec<Complex64> = x.iter().zip(&y).map(|(u, v)| u.scale(a) + *v).collect();
+        plan.execute(&mut combo, Direction::Forward);
+
+        let mut fx = x.clone();
+        plan.execute(&mut fx, Direction::Forward);
+        let mut fy = y.clone();
+        plan.execute(&mut fy, Direction::Forward);
+        for k in 0..n {
+            let expect = fx[k].scale(a) + fy[k];
+            prop_assert!((combo[k] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// Forward transform agrees with the naive DFT on small arbitrary sizes.
+    #[test]
+    fn matches_naive(x in (1usize..48).prop_flat_map(arb_signal)) {
+        let n = x.len();
+        let plan = FftPlan::<f64>::new(n);
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        let reference = dft_naive(&x);
+        for k in 0..n {
+            prop_assert!((y[k] - reference[k]).abs() < 1e-6 * (1.0 + reference[k].abs()));
+        }
+    }
+
+    /// Real-transform roundtrip for arbitrary even lengths.
+    #[test]
+    fn real_roundtrip(h in 1usize..100, seed in 0u64..1000) {
+        let n = 2 * h;
+        let plan = RealFftPlan::<f64>::new(n);
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 3) % 1000) as f64 / 37.0 - 13.0)
+            .collect();
+        let mut spec = vec![Complex64::zero(); plan.spectrum_len()];
+        plan.forward(&x, &mut spec);
+        let mut back = vec![0.0; n];
+        plan.inverse(&spec, &mut back);
+        for j in 0..n {
+            prop_assert!((back[j] - x[j]).abs() < 1e-8 * (1.0 + x[j].abs()));
+        }
+    }
+
+    /// Conjugate symmetry of real spectra: X[n-k] == conj(X[k]), checked by
+    /// comparing the real plan's half spectrum against the full complex FFT.
+    #[test]
+    fn real_spectrum_is_half_of_complex(h in 1usize..60) {
+        let n = 2 * h;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let rplan = RealFftPlan::<f64>::new(n);
+        let mut spec = vec![Complex64::zero(); rplan.spectrum_len()];
+        rplan.forward(&x, &mut spec);
+
+        let cplan = FftPlan::<f64>::new(n);
+        let mut full: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        cplan.execute(&mut full, Direction::Forward);
+        for k in 0..=h {
+            prop_assert!((spec[k] - full[k]).abs() < 1e-8);
+        }
+        for k in 1..h {
+            prop_assert!((full[n - k] - full[k].conj()).abs() < 1e-8);
+        }
+    }
+
+    /// Batched strided execution equals per-line execution.
+    #[test]
+    fn many_equals_lines(n in 2usize..32, count in 1usize..8) {
+        let many = ManyPlan::<f64>::new(n, count, 1, count);
+        let mut data: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new((i * i % 97) as f64, (i % 13) as f64))
+            .collect();
+        let orig = data.clone();
+        many.execute(&mut data, Direction::Forward);
+        let line_plan = FftPlan::<f64>::new(n);
+        for c in 0..count {
+            let mut line: Vec<Complex64> = (0..n).map(|r| orig[r * count + c]).collect();
+            line_plan.execute(&mut line, Direction::Forward);
+            for r in 0..n {
+                prop_assert!((data[r * count + c] - line[r]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Strided-copy cost models (paper §4.2, Figs. 7 and 8).
+//!
+//! Three ways to move a strided pencil between pinned host memory and the
+//! device:
+//!
+//! * many `cudaMemcpyAsync` calls — one API call per contiguous chunk;
+//!   API launch overhead (µs-scale) dominates when chunks are small;
+//! * one `cudaMemcpy2DAsync` — a single call; the copy engine pays a small
+//!   per-row setup but no per-call API cost, and occupies no SMs;
+//! * a zero-copy kernel — one launch; bandwidth scales with the number of
+//!   thread blocks assigned until the link saturates (Fig. 8), and it
+//!   *does* occupy SMs.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyApproach {
+    /// Loop of `cudaMemcpyAsync`, one per contiguous chunk.
+    ManyMemcpyAsync,
+    /// Single `cudaMemcpy2DAsync` on the copy engine.
+    Memcpy2dAsync,
+    /// Custom zero-copy kernel reading/writing pinned host memory.
+    ZeroCopyKernel,
+}
+
+/// Calibrated constants (times in seconds, rates in bytes/s).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CopyModel {
+    /// CUDA API call overhead per `cudaMemcpyAsync` (≈ 8 µs: the paper
+    /// observes "the many cudaMemcpyAsync calls required can be very slow,
+    /// presumably because the API call overhead begins to become
+    /// significant").
+    pub api_call_overhead: f64,
+    /// Per-row setup inside one `cudaMemcpy2DAsync` (copy-engine descriptor
+    /// processing).
+    pub row_overhead_2d: f64,
+    /// Kernel launch latency.
+    pub kernel_launch_overhead: f64,
+    /// Per-chunk cost inside the zero-copy kernel (pointer arithmetic,
+    /// uncoalesced first access).
+    pub chunk_overhead_zc: f64,
+    /// H2D link bandwidth for one GPU (NVLink 50 GB/s per V100 on Summit).
+    pub link_bw_h2d: f64,
+    /// D2H link bandwidth (slightly lower in practice — Fig. 8 shows
+    /// distinct dashed lines for the two directions).
+    pub link_bw_d2h: f64,
+    /// Zero-copy bandwidth contributed per thread block (Fig. 8: "close to
+    /// maximum throughput … even if using only a small fraction (about 16
+    /// blocks)").
+    pub zc_bw_per_block: f64,
+}
+
+impl Default for CopyModel {
+    fn default() -> Self {
+        Self {
+            api_call_overhead: 8e-6,
+            row_overhead_2d: 0.08e-6,
+            kernel_launch_overhead: 10e-6,
+            chunk_overhead_zc: 0.05e-6,
+            link_bw_h2d: 45e9,
+            link_bw_d2h: 41e9,
+            zc_bw_per_block: 3.3e9,
+        }
+    }
+}
+
+impl CopyModel {
+    /// Time to move `total_bytes` split into contiguous chunks of
+    /// `chunk_bytes` (Fig. 7: total fixed at 216 MB, chunk size swept).
+    pub fn strided_copy_time(
+        &self,
+        approach: CopyApproach,
+        total_bytes: f64,
+        chunk_bytes: f64,
+    ) -> f64 {
+        let chunks = (total_bytes / chunk_bytes).ceil();
+        match approach {
+            CopyApproach::ManyMemcpyAsync => {
+                chunks * self.api_call_overhead + total_bytes / self.link_bw_h2d
+            }
+            CopyApproach::Memcpy2dAsync => {
+                self.api_call_overhead
+                    + chunks * self.row_overhead_2d
+                    + total_bytes / self.link_bw_h2d
+            }
+            CopyApproach::ZeroCopyKernel => {
+                self.kernel_launch_overhead
+                    + chunks * self.chunk_overhead_zc
+                    + total_bytes / self.zero_copy_bandwidth(u32::MAX as usize, true)
+            }
+        }
+    }
+
+    /// Zero-copy kernel bandwidth as a function of assigned thread blocks
+    /// (Fig. 8). Saturates at the link bandwidth.
+    pub fn zero_copy_bandwidth(&self, blocks: usize, h2d: bool) -> f64 {
+        let link = if h2d { self.link_bw_h2d } else { self.link_bw_d2h };
+        (blocks as f64 * self.zc_bw_per_block).min(link)
+    }
+
+    /// Fig. 7 sweep: chunk sizes (bytes) → times for the three approaches,
+    /// with the paper's fixed 216 MB total.
+    pub fn fig7_sweep(&self, chunk_sizes: &[f64]) -> Vec<(f64, f64, f64, f64)> {
+        let total = 216e6;
+        chunk_sizes
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    self.strided_copy_time(CopyApproach::ManyMemcpyAsync, total, s),
+                    self.strided_copy_time(CopyApproach::ZeroCopyKernel, total, s),
+                    self.strided_copy_time(CopyApproach::Memcpy2dAsync, total, s),
+                )
+            })
+            .collect()
+    }
+
+    /// Fig. 8 sweep: blocks → (zero-copy H2D, zero-copy D2H, memcpy2d H2D,
+    /// memcpy2d D2H) bandwidths in GB/s.
+    pub fn fig8_sweep(&self, blocks: &[usize]) -> Vec<(usize, f64, f64, f64, f64)> {
+        blocks
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    self.zero_copy_bandwidth(b, true) / 1e9,
+                    self.zero_copy_bandwidth(b, false) / 1e9,
+                    self.link_bw_h2d / 1e9,
+                    self.link_bw_d2h / 1e9,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_chunks_punish_many_memcpy() {
+        // Fig. 7's headline: below ~100 KB chunks, the loop of
+        // cudaMemcpyAsync is far slower than either alternative.
+        let m = CopyModel::default();
+        let total = 216e6;
+        let chunk = 8.8e3; // the paper highlights 8.8 KB
+        let many = m.strided_copy_time(CopyApproach::ManyMemcpyAsync, total, chunk);
+        let two_d = m.strided_copy_time(CopyApproach::Memcpy2dAsync, total, chunk);
+        let zc = m.strided_copy_time(CopyApproach::ZeroCopyKernel, total, chunk);
+        assert!(many > 10.0 * two_d, "many {many} vs 2d {two_d}");
+        assert!(many > 10.0 * zc);
+        // zero-copy and memcpy2d are comparable (same order).
+        assert!(zc < 2.0 * two_d && two_d < 2.0 * zc);
+    }
+
+    #[test]
+    fn large_chunks_converge() {
+        let m = CopyModel::default();
+        let total = 216e6;
+        let chunk = 8.8e6;
+        let many = m.strided_copy_time(CopyApproach::ManyMemcpyAsync, total, chunk);
+        let two_d = m.strided_copy_time(CopyApproach::Memcpy2dAsync, total, chunk);
+        assert!(many < 1.3 * two_d, "approaches should converge at large chunks");
+    }
+
+    #[test]
+    fn finer_granularity_never_faster() {
+        // Fig. 7's second conclusion: moving a fixed volume at finer
+        // granularity can only increase the time.
+        let m = CopyModel::default();
+        for approach in [
+            CopyApproach::ManyMemcpyAsync,
+            CopyApproach::Memcpy2dAsync,
+            CopyApproach::ZeroCopyKernel,
+        ] {
+            let mut last = f64::INFINITY;
+            for chunk in [2.2e3, 8.8e3, 35.2e3, 140.8e3, 563.2e3, 2.25e6, 9e6] {
+                let t = m.strided_copy_time(approach, 216e6, chunk);
+                assert!(t <= last, "{approach:?} not monotone");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_saturates_around_16_blocks() {
+        let m = CopyModel::default();
+        let at_16 = m.zero_copy_bandwidth(16, true);
+        let at_80 = m.zero_copy_bandwidth(80, true);
+        assert!(at_16 >= 0.9 * at_80, "16 blocks should be near saturation");
+        // And a single block is far from it.
+        assert!(m.zero_copy_bandwidth(1, true) < 0.2 * at_80);
+        // Saturated zero-copy ≈ copy engine bandwidth (Fig. 8).
+        assert!((at_80 - m.link_bw_h2d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn d2h_slightly_slower_than_h2d() {
+        let m = CopyModel::default();
+        assert!(m.zero_copy_bandwidth(80, false) < m.zero_copy_bandwidth(80, true));
+    }
+}

@@ -1,0 +1,527 @@
+//! Cost model of one RK2 DNS time step, reproducing paper Table 3 (wall
+//! time per step for the synchronous pencil CPU baseline and the three GPU
+//! configurations), Table 4 (weak scaling), Fig. 9 and §5.3 strong scaling.
+//!
+//! ## Structure
+//!
+//! A step performs `a2a_per_step` logical transposes of `nv = 3` variables
+//! (the paper's transform count: velocities out, nonlinear terms back, per
+//! RK substage). Each transpose costs:
+//!
+//! * **MPI**: per-node bytes `2·4·nv·N³/M` over the calibrated all-to-all
+//!   bandwidth ([`crate::A2aModel`]) at the mode's message size, times a
+//!   *DNS interference factor* — the paper measures that MPI inside the
+//!   DNS is slower than the standalone kernel ("reasons … are not fully
+//!   understood", §5.2), and for overlapped modes adds a stall term
+//!   proportional to the GPU transfer time (host DDR contention between
+//!   NVLink and the NIC, §3.2/§5.2);
+//! * **GPU**: H2D/D2H transfers over the rank's NVLink share, strided-pack
+//!   `memcpy2d` API overhead (∝ ranks × planes × pencils — the paper's
+//!   "3X more copies at 6 tasks/node"), FFT kernels at an effective rate,
+//!   and host staging passes over DDR. Transfer and compute overlap across
+//!   pencils (two streams), so the per-transform GPU cost is
+//!   `max(transfer+pack, compute) + host`, plus a pipeline-fill residue of
+//!   one pencil.
+//!
+//! The CPU baseline uses the 2-D pencil decomposition: an on-node row
+//! transpose (DDR-limited) plus an off-node column transpose through the
+//! same bandwidth model, and FFTs at an effective per-core rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::SummitConfig;
+use crate::network::{p2p_message_bytes, A2aModel};
+
+/// The paper's execution configurations (Table 3 columns).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsConfig {
+    /// Pencil-decomposed synchronous CPU code (the baseline of \[23\]).
+    CpuSync,
+    /// Async GPU, 6 tasks/node, 1 pencil per (nonblocking) all-to-all.
+    GpuA,
+    /// Async GPU, 2 tasks/node, 1 pencil per (nonblocking) all-to-all.
+    GpuB,
+    /// Async GPU, 2 tasks/node, 1 slab per (blocking) all-to-all.
+    GpuC,
+}
+
+impl DnsConfig {
+    pub fn label(self) -> &'static str {
+        match self {
+            DnsConfig::CpuSync => "Sync CPU",
+            DnsConfig::GpuA => "Async GPU, 6 tasks/node, 1 pencil/A2A",
+            DnsConfig::GpuB => "Async GPU, 2 tasks/node, 1 pencil/A2A",
+            DnsConfig::GpuC => "Async GPU, 2 tasks/node, 1 slab/A2A",
+        }
+    }
+
+    pub fn tasks_per_node(self) -> Option<usize> {
+        match self {
+            DnsConfig::CpuSync => None, // one rank per usable core
+            DnsConfig::GpuA => Some(6),
+            DnsConfig::GpuB | DnsConfig::GpuC => Some(2),
+        }
+    }
+}
+
+/// Fitted constants. Everything hardware-derived lives in
+/// [`SummitConfig`]; everything *fitted to Table 3* lives here, documented.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DnsModelKnobs {
+    /// Logical 3-variable transposes per RK2 step (2 substages × velocities
+    /// forward + nonlinear back).
+    pub a2a_per_step: usize,
+    /// Variables per transpose (paper Table 2: 3).
+    pub nv: usize,
+    /// Effective FP32 FFT throughput per V100, flops/s (≈ 10 % of peak —
+    /// bandwidth-bound batched 1-D transforms).
+    pub gpu_fft_flops: f64,
+    /// Effective FFT+pack throughput per POWER9 core, flops/s.
+    pub cpu_core_flops: f64,
+    /// `cudaMemcpy2DAsync` API overhead per call (pack path).
+    pub pack_api_overhead: f64,
+    /// Host staging passes over each word per transform (pinned-buffer
+    /// copies).
+    pub host_passes: f64,
+    /// DNS-vs-standalone MPI interference ratios, per configuration, as a
+    /// function of node count (log-interpolated). The paper *measures* that
+    /// all-to-alls inside the DNS differ from the standalone kernel —
+    /// slower under host-memory contention ("if GPUs and the network card
+    /// were requesting data movement, the MPI bandwidth suffered
+    /// significantly", §5.2; "reasons … are not fully understood"), but
+    /// sometimes faster when several nonblocking pencil exchanges pipeline
+    /// (case A at 1024 nodes, §4.1). These tables quantify those measured
+    /// gaps; they are the model's honestly-declared empirical layer.
+    pub mpi_ratio_a: Vec<(f64, f64)>,
+    pub mpi_ratio_b: Vec<(f64, f64)>,
+    pub mpi_ratio_c: Vec<(f64, f64)>,
+    pub mpi_ratio_cpu: Vec<(f64, f64)>,
+    /// On-node message aggregation advantage of many-rank CPU a2a (the
+    /// effective message size is boosted by concurrent per-core streams).
+    pub cpu_msg_aggregation: f64,
+}
+
+impl Default for DnsModelKnobs {
+    fn default() -> Self {
+        Self {
+            a2a_per_step: 4,
+            nv: 3,
+            gpu_fft_flops: 1.5e12,
+            cpu_core_flops: 4.6e9,
+            pack_api_overhead: 2e-6,
+            host_passes: 1.0,
+            mpi_ratio_a: vec![(16.0, 1.58), (128.0, 1.72), (1024.0, 0.94), (3072.0, 1.74)],
+            mpi_ratio_b: vec![(16.0, 1.53), (128.0, 1.77), (1024.0, 1.62), (3072.0, 1.38)],
+            mpi_ratio_c: vec![(16.0, 1.50), (128.0, 1.48), (1024.0, 1.21), (3072.0, 1.08)],
+            mpi_ratio_cpu: vec![(16.0, 1.66), (128.0, 2.16), (1024.0, 2.16), (3072.0, 0.85)],
+            cpu_msg_aggregation: 16.0,
+        }
+    }
+}
+
+/// Piecewise log–log interpolation over node count (flat extrapolation).
+pub(crate) fn interp_ratio(points: &[(f64, f64)], x: f64) -> f64 {
+    interp(points, x)
+}
+
+fn interp(points: &[(f64, f64)], x: f64) -> f64 {
+    if x <= points[0].0 {
+        return points[0].1;
+    }
+    for w in points.windows(2) {
+        if x <= w[1].0 {
+            let t = (x.ln() - w[0].0.ln()) / (w[1].0.ln() - w[0].0.ln());
+            return w[0].1 + t * (w[1].1 - w[0].1);
+        }
+    }
+    points.last().unwrap().1
+}
+
+/// Per-step time decomposition (seconds).
+#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StepBreakdown {
+    pub mpi: f64,
+    pub gpu_transfer: f64,
+    pub gpu_compute: f64,
+    pub pack_overhead: f64,
+    pub host: f64,
+    pub cpu_compute: f64,
+    pub total: f64,
+}
+
+/// The composed model.
+///
+/// ```
+/// use psdns_model::{DnsModel, DnsConfig};
+/// let m = DnsModel::default();
+/// // The paper's headline: 18432³ on 3072 nodes under 15 s per RK2 step.
+/// let t = m.step_time(DnsConfig::GpuC, 18432, 3072).total;
+/// assert!(t < 15.0);
+/// // And the best configuration at scale is the bulk slab exchange.
+/// assert_eq!(m.recommend_config(18432, 3072), DnsConfig::GpuC);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DnsModel {
+    pub machine: SummitConfig,
+    pub a2a: A2aModel,
+    pub knobs: DnsModelKnobs,
+}
+
+impl DnsModel {
+    /// Pencils per slab for (N, nodes) — Table 1 logic.
+    pub fn pencils(&self, n: usize, nodes: usize) -> usize {
+        psdns_domain::MemoryModel::default().required_np(n, nodes)
+    }
+
+    /// Wall-clock seconds per RK2 step for a configuration.
+    pub fn step_time(&self, cfg: DnsConfig, n: usize, nodes: usize) -> StepBreakdown {
+        match cfg {
+            DnsConfig::CpuSync => self.cpu_step(n, nodes),
+            _ => self.gpu_step(cfg, n, nodes),
+        }
+    }
+
+    /// Standalone MPI-only time per step (the dotted green line of Fig. 9):
+    /// just the blocking slab all-to-alls, no compute, no GPU movement.
+    pub fn mpi_only_step(&self, n: usize, nodes: usize) -> f64 {
+        let k = &self.knobs;
+        let tpn = 2;
+        let ranks = nodes * tpn;
+        let p2p = p2p_message_bytes(n, ranks, 1, k.nv);
+        k.a2a_per_step as f64 * self.a2a.a2a_time(p2p, nodes, tpn)
+    }
+
+    fn per_node_bytes_per_transpose(&self, n: usize, nodes: usize) -> f64 {
+        2.0 * 4.0 * self.knobs.nv as f64 * (n as f64).powi(3) / nodes as f64
+    }
+
+    fn gpu_step(&self, cfg: DnsConfig, n: usize, nodes: usize) -> StepBreakdown {
+        let k = &self.knobs;
+        let m = &self.machine;
+        let tpn = cfg.tasks_per_node().expect("gpu config");
+        let ranks = nodes * tpn;
+        let np = self.pencils(n, nodes);
+        let gpr = m.gpus_per_rank(tpn) as f64;
+
+        // Per-rank physical points and per-transform component times.
+        let w = (n as f64).powi(3) / ranks as f64;
+        let bytes_rank = k.nv as f64 * w * 4.0;
+        // H2D + D2H across both transform phases.
+        let t_xfer = 4.0 * bytes_rank / m.nvlink_per_rank(tpn);
+        let flops = k.nv as f64 * 5.0 * w * (n as f64).powi(3).log2();
+        let t_comp = flops / (gpr * k.gpu_fft_flops);
+        // Pack memcpy2d calls per rank per transform ≈ ranks·mz·nv·np = nv·N·np.
+        let t_pack = k.nv as f64 * n as f64 * np as f64 * k.pack_api_overhead / gpr;
+        let t_host = k.host_passes * bytes_rank / m.ddr_per_rank(tpn);
+        let t_gpu = (t_xfer + t_pack).max(t_comp) + t_host;
+
+        // MPI per transform: raw bandwidth-model time times the measured
+        // DNS-vs-standalone interference ratio for this configuration.
+        let bytes_node = self.per_node_bytes_per_transpose(n, nodes);
+        let (t_mpi, overlapped) = match cfg {
+            DnsConfig::GpuC => {
+                let p2p = p2p_message_bytes(n, ranks, 1, k.nv);
+                let ratio = interp(&k.mpi_ratio_c, nodes as f64);
+                (bytes_node / self.a2a.bandwidth(p2p, nodes) * ratio, false)
+            }
+            DnsConfig::GpuA | DnsConfig::GpuB => {
+                let p2p = p2p_message_bytes(n, ranks, np, k.nv);
+                let table = if cfg == DnsConfig::GpuA {
+                    &k.mpi_ratio_a
+                } else {
+                    &k.mpi_ratio_b
+                };
+                let ratio = interp(table, nodes as f64);
+                (bytes_node / self.a2a.bandwidth(p2p, nodes) * ratio, true)
+            }
+            DnsConfig::CpuSync => unreachable!(),
+        };
+
+        let calls = k.a2a_per_step as f64;
+        let total = if overlapped {
+            // MPI hides GPU work; pay a one-pencil pipeline-fill residue.
+            calls * t_mpi.max(t_gpu) + calls * t_gpu / np as f64
+        } else {
+            calls * (t_mpi + t_gpu)
+        };
+        StepBreakdown {
+            mpi: calls * t_mpi,
+            gpu_transfer: calls * t_xfer,
+            gpu_compute: calls * t_comp,
+            pack_overhead: calls * t_pack,
+            host: calls * t_host,
+            cpu_compute: 0.0,
+            total,
+        }
+    }
+
+    fn cpu_step(&self, n: usize, nodes: usize) -> StepBreakdown {
+        let k = &self.knobs;
+        let m = &self.machine;
+        let cores = m.usable_cores(n);
+        let ranks = nodes * cores;
+        let w = (n as f64).powi(3) / ranks as f64;
+
+        // FFT + local data handling at the effective per-core rate.
+        let flops = k.nv as f64 * 5.0 * w * (n as f64).powi(3).log2();
+        let t_comp = flops / k.cpu_core_flops;
+
+        // 2-D decomposition: pr = ranks/node (on-node row transpose),
+        // pc = nodes (off-node column transpose).
+        let bytes_node = self.per_node_bytes_per_transpose(n, nodes);
+        let t_row = bytes_node / (m.ddr_bw_per_socket * m.sockets_per_node as f64 * 0.5);
+        let p2p_col = 4.0 * k.nv as f64 * w / nodes as f64;
+        // Many ranks per node aggregate small messages better than the
+        // 2-rank GPU cases the bandwidth model was calibrated on.
+        let bw_col = self.a2a.bandwidth(p2p_col * k.cpu_msg_aggregation, nodes);
+        let t_col = bytes_node / bw_col;
+        let t_mpi = (t_row + t_col) * interp(&k.mpi_ratio_cpu, nodes as f64);
+
+        let calls = k.a2a_per_step as f64;
+        StepBreakdown {
+            mpi: calls * t_mpi,
+            gpu_transfer: 0.0,
+            gpu_compute: 0.0,
+            pack_overhead: 0.0,
+            host: 0.0,
+            cpu_compute: calls * t_comp,
+            total: calls * (t_mpi + t_comp),
+        }
+    }
+
+    /// Table 3: per-case times and speedups vs the CPU baseline.
+    pub fn table3(&self) -> Vec<(usize, usize, [f64; 4], [f64; 3])> {
+        crate::PAPER_CASES
+            .iter()
+            .map(|&(nodes, n)| {
+                let cpu = self.step_time(DnsConfig::CpuSync, n, nodes).total;
+                let a = self.step_time(DnsConfig::GpuA, n, nodes).total;
+                let b = self.step_time(DnsConfig::GpuB, n, nodes).total;
+                let c = self.step_time(DnsConfig::GpuC, n, nodes).total;
+                (nodes, n, [cpu, a, b, c], [cpu / a, cpu / b, cpu / c])
+            })
+            .collect()
+    }
+
+    /// Table 4: weak-scaling % of the best GPU config relative to the
+    /// 16-node case, `WS = (N₂³/N₁³)·(t₁/t₂)·(M₁/M₂)` (Eq. 4).
+    pub fn table4(&self) -> Vec<(usize, usize, f64, f64)> {
+        let best = |nodes: usize, n: usize| {
+            [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC]
+                .iter()
+                .map(|&c| self.step_time(c, n, nodes).total)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let (m1, n1) = crate::PAPER_CASES[0];
+        let t1 = best(m1, n1);
+        crate::PAPER_CASES
+            .iter()
+            .map(|&(m2, n2)| {
+                let t2 = best(m2, n2);
+                let ws = (n2 as f64 / n1 as f64).powi(3) * (t1 / t2) * (m1 as f64 / m2 as f64)
+                    * 100.0;
+                (m2, n2, t2, ws)
+            })
+            .collect()
+    }
+
+    /// Pick the fastest MPI configuration for a given scale — encodes the
+    /// paper's conclusion: overlap (B) wins at small node counts, the bulk
+    /// slab exchange (C) wins beyond ~16 nodes (§5.2).
+    pub fn recommend_config(&self, n: usize, nodes: usize) -> DnsConfig {
+        [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC]
+            .into_iter()
+            .min_by(|&a, &b| {
+                self.step_time(a, n, nodes)
+                    .total
+                    .partial_cmp(&self.step_time(b, n, nodes).total)
+                    .unwrap()
+            })
+            .unwrap()
+    }
+
+    /// Fig. 9-style series: time per step across a range of node counts at
+    /// fixed problem size (the solid lines of the figure, including
+    /// off-calibration node counts by interpolation).
+    pub fn fig9_series(&self, n: usize, node_counts: &[usize]) -> Vec<(usize, f64, f64, f64, f64)> {
+        node_counts
+            .iter()
+            .map(|&m| {
+                (
+                    m,
+                    self.mpi_only_step(n, m),
+                    self.step_time(DnsConfig::GpuA, n, m).total,
+                    self.step_time(DnsConfig::GpuB, n, m).total,
+                    self.step_time(DnsConfig::GpuC, n, m).total,
+                )
+            })
+            .collect()
+    }
+
+    /// §5.3 strong scaling of the 6 tasks/node configuration at 18432³:
+    /// returns (t_1536, t_3072, strong-scaling %).
+    pub fn strong_scaling_18432(&self) -> (f64, f64, f64) {
+        let t1536 = self.step_time(DnsConfig::GpuA, 18432, 1536).total;
+        let t3072 = self.step_time(DnsConfig::GpuA, 18432, 3072).total;
+        let ss = t1536 / (2.0 * t3072) * 100.0;
+        (t1536, t3072, ss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 3 (seconds/step): [CPU, A, B, C] per case.
+    pub const TABLE3: [(usize, usize, [f64; 4]); 4] = [
+        (16, 3072, [34.38, 8.09, 6.70, 7.50]),
+        (128, 6144, [40.18, 12.17, 8.66, 8.07]),
+        (1024, 12288, [47.57, 13.63, 12.62, 10.14]),
+        (3072, 18432, [41.96, 25.44, 22.30, 14.24]),
+    ];
+
+    #[test]
+    fn table3_within_tolerance() {
+        let m = DnsModel::default();
+        for &(nodes, n, expect) in &TABLE3 {
+            let got = [
+                m.step_time(DnsConfig::CpuSync, n, nodes).total,
+                m.step_time(DnsConfig::GpuA, n, nodes).total,
+                m.step_time(DnsConfig::GpuB, n, nodes).total,
+                m.step_time(DnsConfig::GpuC, n, nodes).total,
+            ];
+            for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                let rel = (g - e).abs() / e;
+                assert!(
+                    rel < 0.10,
+                    "nodes {nodes} cfg {i}: {g:.2} vs paper {e:.2} (rel {rel:.2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table3_orderings_hold() {
+        let m = DnsModel::default();
+        for &(nodes, n, _) in &TABLE3 {
+            let cpu = m.step_time(DnsConfig::CpuSync, n, nodes).total;
+            let a = m.step_time(DnsConfig::GpuA, n, nodes).total;
+            let b = m.step_time(DnsConfig::GpuB, n, nodes).total;
+            let c = m.step_time(DnsConfig::GpuC, n, nodes).total;
+            assert!(cpu > a && cpu > b && cpu > c, "GPU beats CPU at {nodes}");
+            assert!(a > b.min(c), "A is never the best GPU config ({nodes})");
+            if nodes == 16 {
+                assert!(b < c, "pencil overlap wins at 16 nodes");
+            } else {
+                assert!(c < b, "slab a2a wins beyond 16 nodes ({nodes})");
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_magnitudes_match_paper_story() {
+        let m = DnsModel::default();
+        // "GPU to CPU speedup of 4.7 for 12288³" and "close to 3X at 18432³".
+        let t = m.table3();
+        let sp12288 = t[2].3[2];
+        let sp18432 = t[3].3[2];
+        assert!(sp12288 > 3.5 && sp12288 < 6.0, "12288³ speedup {sp12288:.1}");
+        assert!(sp18432 > 2.0 && sp18432 < 4.0, "18432³ speedup {sp18432:.1}");
+        assert!(sp12288 > sp18432, "speedup declines at the largest size");
+    }
+
+    #[test]
+    fn weak_scaling_declines_to_about_half() {
+        let m = DnsModel::default();
+        let ws = m.table4();
+        assert!((ws[0].3 - 100.0).abs() < 1e-9);
+        // Paper Table 4: 83.0, 66.1, 52.9.
+        assert!(ws[1].3 > 60.0 && ws[1].3 < 100.0, "128-node WS {}", ws[1].3);
+        assert!(ws[2].3 > 50.0 && ws[2].3 < 90.0, "1024-node WS {}", ws[2].3);
+        assert!(ws[3].3 > 38.0 && ws[3].3 < 70.0, "3072-node WS {}", ws[3].3);
+        assert!(ws[1].3 > ws[2].3 && ws[2].3 > ws[3].3, "monotone decline");
+    }
+
+    #[test]
+    fn strong_scaling_is_high() {
+        // Paper §5.3: 48.7 s at 1536 nodes vs 25.44 s at 3072 → 95.7 %.
+        let (t1536, t3072, ss) = DnsModel::default().strong_scaling_18432();
+        assert!(t1536 > 1.5 * t3072);
+        assert!(ss > 80.0 && ss <= 105.0, "strong scaling {ss:.1}%");
+    }
+
+    #[test]
+    fn mpi_dominates_gpu_configs_at_scale() {
+        // Fig. 10 takeaway: FFT + CPU-GPU movement < 1/7 of runtime at
+        // 1024 nodes in config C; MPI is the bulk.
+        let m = DnsModel::default();
+        let b = m.step_time(DnsConfig::GpuC, 12288, 1024);
+        assert!(b.mpi / b.total > 0.7, "MPI fraction {}", b.mpi / b.total);
+    }
+
+    #[test]
+    fn mpi_only_lower_bounds_dns() {
+        let m = DnsModel::default();
+        for &(nodes, n, _) in &TABLE3 {
+            let floor = m.mpi_only_step(n, nodes);
+            let c = m.step_time(DnsConfig::GpuC, n, nodes).total;
+            assert!(floor < c, "MPI-only must lower-bound config C at {nodes}");
+        }
+    }
+
+    /// The calibration tables cover exactly the paper's four node counts
+    /// and interpolate sanely between them.
+    #[test]
+    fn calibration_tables_are_well_formed() {
+        let knobs = DnsModelKnobs::default();
+        for table in [
+            &knobs.mpi_ratio_a,
+            &knobs.mpi_ratio_b,
+            &knobs.mpi_ratio_c,
+            &knobs.mpi_ratio_cpu,
+        ] {
+            assert_eq!(table.len(), 4);
+            let nodes: Vec<f64> = table.iter().map(|p| p.0).collect();
+            assert_eq!(nodes, vec![16.0, 128.0, 1024.0, 3072.0]);
+            for &(_, ratio) in table.iter() {
+                assert!(ratio > 0.5 && ratio < 3.0, "implausible ratio {ratio}");
+            }
+        }
+        // Interpolation is bounded by the surrounding knots.
+        let mid = interp(&knobs.mpi_ratio_c, 512.0);
+        let lo = knobs.mpi_ratio_c[1].1.min(knobs.mpi_ratio_c[2].1);
+        let hi = knobs.mpi_ratio_c[1].1.max(knobs.mpi_ratio_c[2].1);
+        assert!(mid >= lo && mid <= hi);
+    }
+
+    #[test]
+    fn recommendation_encodes_the_crossover() {
+        let m = DnsModel::default();
+        assert_eq!(m.recommend_config(3072, 16), DnsConfig::GpuB);
+        for &(nodes, n) in &crate::PAPER_CASES[1..] {
+            assert_eq!(m.recommend_config(n, nodes), DnsConfig::GpuC, "at {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn fig9_series_is_complete_and_floored() {
+        let m = DnsModel::default();
+        let series = m.fig9_series(6144, &[64, 128, 256, 512]);
+        assert_eq!(series.len(), 4);
+        for (nodes, floor, a, b, c) in series {
+            assert!(floor > 0.0);
+            for t in [a, b, c] {
+                assert!(t > floor, "DNS below MPI floor at {nodes} nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn pencil_counts_follow_table1() {
+        let m = DnsModel::default();
+        assert_eq!(m.pencils(3072, 16), 3);
+        assert_eq!(m.pencils(6144, 128), 3);
+        assert_eq!(m.pencils(12288, 1024), 3);
+        assert_eq!(m.pencils(18432, 3072), 4);
+    }
+}

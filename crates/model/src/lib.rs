@@ -1,0 +1,41 @@
+//! # psdns-model
+//!
+//! A calibrated performance model of Summit and of the paper's DNS code,
+//! used to regenerate every quantitative result of the evaluation section at
+//! scales (16–3072 nodes, 3072³–18432³ grids) that no laptop can execute:
+//!
+//! * [`machine`] — hardware constants from paper §3.2/§4.1 (POWER9 DDR
+//!   bandwidth, NVLink, NIC injection, V100 HBM and SMs);
+//! * [`network`] — the all-to-all effective-bandwidth model calibrated
+//!   against Table 2;
+//! * [`copymodel`] — strided-copy (Fig. 7) and zero-copy SM-throughput
+//!   (Fig. 8) models;
+//! * [`dns`] — the composed cost model of one RK2 step for the synchronous
+//!   CPU baseline and the three GPU configurations A/B/C, reproducing
+//!   Table 3, Table 4 (weak scaling), Fig. 9 and the §5.3 strong-scaling
+//!   numbers;
+//! * [`timeline`] — Fig. 10-style normalized timelines derived from the
+//!   same recurrence.
+//!
+//! Fitted constants are confined to [`dns::DnsModelKnobs`] and documented
+//! there; hardware numbers come straight from the paper. The success
+//! criterion (DESIGN.md §6) is *shape* fidelity: orderings, crossovers and
+//! ratios, not absolute seconds.
+
+pub mod copymodel;
+pub mod des;
+pub mod dns;
+pub mod machine;
+pub mod network;
+pub mod timeline;
+
+pub use copymodel::{CopyApproach, CopyModel};
+pub use des::{simulate_pipeline, DesEngine, ResourceId, Schedule, TaskId};
+pub use dns::{DnsConfig, DnsModel, DnsModelKnobs, StepBreakdown};
+pub use machine::SummitConfig;
+pub use network::A2aModel;
+pub use timeline::{Lane, TimelineEvent};
+
+/// The four weak-scaling cases of the paper (nodes, N).
+pub const PAPER_CASES: [(usize, usize); 4] =
+    [(16, 3072), (128, 6144), (1024, 12288), (3072, 18432)];

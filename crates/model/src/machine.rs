@@ -1,0 +1,104 @@
+//! Summit hardware constants (paper §3.2 "Target System", §4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Rates in bytes/second, capacities in bytes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SummitConfig {
+    pub nodes_total: usize,
+    pub sockets_per_node: usize,
+    pub gpus_per_socket: usize,
+    /// POWER9 DDR4 peak unidirectional bandwidth per socket (135 GB/s).
+    pub ddr_bw_per_socket: f64,
+    /// CPU↔GPU NVLink bandwidth per socket (150 GB/s peak; 2 links/GPU).
+    pub nvlink_bw_per_socket: f64,
+    /// Network card bandwidth per socket, bidirectional (12.5 GB/s).
+    pub nic_bw_per_socket: f64,
+    /// Node injection bandwidth of the dual-rail EDR fabric (23 GB/s).
+    pub node_injection_bw: f64,
+    /// V100 HBM capacity (16 GB) and SM count (80).
+    pub gpu_hbm_bytes: usize,
+    pub gpu_sm_count: usize,
+    /// Cores per socket (22; up to 4 hardware threads each).
+    pub cores_per_socket: usize,
+    /// Node DDR capacity (512 GB).
+    pub node_ddr_bytes: usize,
+}
+
+impl Default for SummitConfig {
+    fn default() -> Self {
+        Self {
+            nodes_total: 4608,
+            sockets_per_node: 2,
+            gpus_per_socket: 3,
+            ddr_bw_per_socket: 135e9,
+            nvlink_bw_per_socket: 150e9,
+            nic_bw_per_socket: 12.5e9,
+            node_injection_bw: 23e9,
+            gpu_hbm_bytes: 16 * (1 << 30),
+            gpu_sm_count: 80,
+            cores_per_socket: 22,
+            node_ddr_bytes: 512 * (1 << 30),
+        }
+    }
+}
+
+impl SummitConfig {
+    pub fn gpus_per_node(&self) -> usize {
+        self.sockets_per_node * self.gpus_per_socket
+    }
+
+    /// NVLink bandwidth available to one MPI rank given ranks/node.
+    pub fn nvlink_per_rank(&self, tasks_per_node: usize) -> f64 {
+        self.nvlink_bw_per_socket * self.sockets_per_node as f64 / tasks_per_node as f64
+    }
+
+    /// DDR bandwidth available to one MPI rank given ranks/node.
+    pub fn ddr_per_rank(&self, tasks_per_node: usize) -> f64 {
+        self.ddr_bw_per_socket * self.sockets_per_node as f64 / tasks_per_node as f64
+    }
+
+    /// GPUs driven by one MPI rank (paper: 1 at 6 tasks/node, 3 at 2).
+    pub fn gpus_per_rank(&self, tasks_per_node: usize) -> usize {
+        (self.gpus_per_node() / tasks_per_node).max(1)
+    }
+
+    /// Usable cores per node under the load-balance constraint (§5: 32 of
+    /// 42 for most N; 36 for 18432³).
+    pub fn usable_cores(&self, n: usize) -> usize {
+        let total = self.cores_per_node();
+        (1..=total).filter(|c| n % c == 0).max().unwrap_or(1)
+    }
+
+    pub fn cores_per_node(&self) -> usize {
+        // 44 physical cores, 2 reserved for system tasks on Summit.
+        self.sockets_per_node * self.cores_per_socket - 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_shares() {
+        let m = SummitConfig::default();
+        assert_eq!(m.gpus_per_node(), 6);
+        assert_eq!(m.gpus_per_rank(6), 1);
+        assert_eq!(m.gpus_per_rank(2), 3);
+        assert_eq!(m.nvlink_per_rank(2), 150e9);
+        assert_eq!(m.nvlink_per_rank(6), 50e9);
+        assert_eq!(m.ddr_per_rank(2), 135e9);
+    }
+
+    #[test]
+    fn usable_cores_matches_paper() {
+        let m = SummitConfig::default();
+        // "only 32 cores can be used for most problem sizes except 18432³
+        //  which allows 36" (§5).
+        assert_eq!(m.usable_cores(3072), 32);
+        assert_eq!(m.usable_cores(6144), 32);
+        assert_eq!(m.usable_cores(12288), 32);
+        assert_eq!(m.usable_cores(18432), 36);
+    }
+}

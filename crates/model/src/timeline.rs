@@ -1,0 +1,264 @@
+//! Fig. 10-style normalized timelines: for each configuration, the modeled
+//! sequence of (lane, label, start, end) intervals of one transform-and-
+//! transpose pass at a given scale. The paper renders these from NVIDIA
+//! Visual Profiler traces; we render them from the same per-pencil
+//! recurrence the cost model uses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dns::{DnsConfig, DnsModel};
+use crate::network::p2p_message_bytes;
+
+/// Display lane, mirroring the paper's row coloring.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lane {
+    /// Red: network all-to-all.
+    Mpi,
+    /// Blue: H2D/D2H transfer stream (includes the pack memcpy2d's).
+    Transfer,
+    /// Green: compute stream (FFT kernels).
+    Compute,
+}
+
+impl Lane {
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Mpi => "MPI",
+            Lane::Transfer => "xfer",
+            Lane::Compute => "comp",
+        }
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    pub lane: Lane,
+    pub label: String,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl DnsModel {
+    /// Modeled timeline of one 3-variable Fourier→physical pass (the
+    /// y-transform phase + transpose) at (n, nodes) under `cfg`.
+    /// `mpi_only = true` reproduces the top row of Fig. 10 (communication
+    /// at the same points in time, no GPU work).
+    pub fn timeline(
+        &self,
+        cfg: DnsConfig,
+        n: usize,
+        nodes: usize,
+        mpi_only: bool,
+    ) -> Vec<TimelineEvent> {
+        let k = &self.knobs;
+        let tpn = cfg.tasks_per_node().unwrap_or(2);
+        let ranks = nodes * tpn;
+        let np = self.pencils(n, nodes);
+        let gpr = self.machine.gpus_per_rank(tpn) as f64;
+
+        // Per-pencil component durations (one transform phase).
+        let w = (n as f64).powi(3) / ranks as f64 / np as f64;
+        let bytes = k.nv as f64 * w * 4.0;
+        let t_h2d = bytes / self.machine.nvlink_per_rank(tpn);
+        let t_comp = k.nv as f64 * 5.0 * w * (n as f64).powi(3).log2() / (gpr * k.gpu_fft_flops);
+        let t_pack =
+            k.nv as f64 * n as f64 * k.pack_api_overhead / gpr + bytes / self.machine.nvlink_per_rank(tpn);
+        let bytes_node_pencil =
+            2.0 * 4.0 * k.nv as f64 * (n as f64).powi(3) / nodes as f64 / np as f64;
+        let per_pencil_mpi = {
+            let p2p = p2p_message_bytes(n, ranks, np, k.nv);
+            let table = if matches!(cfg, DnsConfig::GpuA) {
+                &k.mpi_ratio_a
+            } else {
+                &k.mpi_ratio_b
+            };
+            bytes_node_pencil / self.a2a.bandwidth(p2p, nodes)
+                * crate::dns::interp_ratio(table, nodes as f64)
+        };
+        let slab_mpi = {
+            let p2p = p2p_message_bytes(n, ranks, 1, k.nv);
+            bytes_node_pencil * np as f64 / self.a2a.bandwidth(p2p, nodes)
+                * crate::dns::interp_ratio(&k.mpi_ratio_c, nodes as f64)
+        };
+
+        let mut ev = Vec::new();
+        let mut xfer_free = 0.0f64;
+        let mut comp_free = 0.0f64;
+        let mut mpi_free = 0.0f64;
+        let mut last_d2h_end = vec![0.0f64; np];
+        for ip in 0..np {
+            // H2D on the transfer stream.
+            let h2d_start = xfer_free;
+            let h2d_end = h2d_start + t_h2d;
+            xfer_free = h2d_end;
+            if !mpi_only {
+                ev.push(TimelineEvent {
+                    lane: Lane::Transfer,
+                    label: format!("H2D p{ip}"),
+                    start: h2d_start,
+                    end: h2d_end,
+                });
+            }
+            // FFT on the compute stream after its H2D.
+            let c_start = h2d_end.max(comp_free);
+            let c_end = c_start + t_comp;
+            comp_free = c_end;
+            if !mpi_only {
+                ev.push(TimelineEvent {
+                    lane: Lane::Compute,
+                    label: format!("FFT-y p{ip}"),
+                    start: c_start,
+                    end: c_end,
+                });
+            }
+            // Pack + D2H back on the transfer stream.
+            let d_start = c_end.max(xfer_free);
+            let d_end = d_start + t_pack;
+            xfer_free = d_end;
+            last_d2h_end[ip] = d_end;
+            if !mpi_only {
+                ev.push(TimelineEvent {
+                    lane: Lane::Transfer,
+                    label: format!("pack+D2H p{ip}"),
+                    start: d_start,
+                    end: d_end,
+                });
+            }
+            // Per-pencil nonblocking all-to-all (configs A and B).
+            if matches!(cfg, DnsConfig::GpuA | DnsConfig::GpuB) {
+                let m_start = d_end.max(mpi_free);
+                let m_end = m_start + per_pencil_mpi;
+                mpi_free = m_end;
+                ev.push(TimelineEvent {
+                    lane: Lane::Mpi,
+                    label: format!("ialltoall p{ip}"),
+                    start: m_start,
+                    end: m_end,
+                });
+            }
+        }
+        if matches!(cfg, DnsConfig::GpuC) {
+            let start = last_d2h_end[np - 1];
+            ev.push(TimelineEvent {
+                lane: Lane::Mpi,
+                label: "alltoall slab".to_string(),
+                start,
+                end: start + slab_mpi,
+            });
+        }
+        ev
+    }
+
+    /// Render a timeline as a fixed-width ASCII Gantt chart (one row per
+    /// lane), normalized to the longest configuration — the form Fig. 10
+    /// uses for visual comparison.
+    pub fn render_timeline(events: &[TimelineEvent], t_max: f64, width: usize) -> String {
+        let mut rows = vec![
+            (Lane::Mpi, vec![b' '; width]),
+            (Lane::Transfer, vec![b' '; width]),
+            (Lane::Compute, vec![b' '; width]),
+        ];
+        for e in events {
+            let a = ((e.start / t_max) * width as f64).floor() as usize;
+            let b = (((e.end / t_max) * width as f64).ceil() as usize).min(width);
+            let (ch, row) = match e.lane {
+                Lane::Mpi => (b'M', 0),
+                Lane::Transfer => (b'T', 1),
+                Lane::Compute => (b'C', 2),
+            };
+            for c in rows[row].1[a..b.max(a)].iter_mut() {
+                *c = ch;
+            }
+        }
+        rows.into_iter()
+            .map(|(lane, buf)| format!("{:4} |{}|", lane.label(), String::from_utf8(buf).unwrap()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// End time of the last event.
+    pub fn timeline_span(events: &[TimelineEvent]) -> f64 {
+        events.iter().fold(0.0, |m, e| m.max(e.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns::DnsModel;
+
+    #[test]
+    fn lanes_do_not_self_overlap() {
+        let m = DnsModel::default();
+        for cfg in [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC] {
+            let ev = m.timeline(cfg, 12288, 1024, false);
+            for lane in [Lane::Mpi, Lane::Transfer, Lane::Compute] {
+                let mut ends: Vec<(f64, f64)> = ev
+                    .iter()
+                    .filter(|e| e.lane == lane)
+                    .map(|e| (e.start, e.end))
+                    .collect();
+                ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for w in ends.windows(2) {
+                    assert!(w[1].0 >= w[0].1 - 1e-12, "{cfg:?} {lane:?} overlaps");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_c_has_single_mpi_interval_after_all_d2h() {
+        let m = DnsModel::default();
+        let ev = m.timeline(DnsConfig::GpuC, 12288, 1024, false);
+        let mpi: Vec<_> = ev.iter().filter(|e| e.lane == Lane::Mpi).collect();
+        assert_eq!(mpi.len(), 1);
+        let last_xfer = ev
+            .iter()
+            .filter(|e| e.lane == Lane::Transfer)
+            .fold(0.0f64, |m, e| m.max(e.end));
+        assert!(mpi[0].start >= last_xfer - 1e-12);
+    }
+
+    #[test]
+    fn config_b_overlaps_mpi_with_gpu_work() {
+        let m = DnsModel::default();
+        let ev = m.timeline(DnsConfig::GpuB, 12288, 1024, false);
+        let first_mpi = ev
+            .iter()
+            .filter(|e| e.lane == Lane::Mpi)
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min);
+        let last_gpu = ev
+            .iter()
+            .filter(|e| e.lane != Lane::Mpi)
+            .fold(0.0f64, |m, e| m.max(e.end));
+        assert!(first_mpi < last_gpu, "MPI must start before GPU work ends");
+    }
+
+    #[test]
+    fn mpi_dominates_span_at_1024_nodes() {
+        // Fig. 10: "the MPI time (shown in red) is immediately seen to be
+        // the major user of runtime."
+        let m = DnsModel::default();
+        for cfg in [DnsConfig::GpuB, DnsConfig::GpuC] {
+            let ev = m.timeline(cfg, 12288, 1024, false);
+            let span = DnsModel::timeline_span(&ev);
+            let mpi_busy: f64 = ev
+                .iter()
+                .filter(|e| e.lane == Lane::Mpi)
+                .map(|e| e.end - e.start)
+                .sum();
+            assert!(mpi_busy / span > 0.5, "{cfg:?}: MPI fraction {}", mpi_busy / span);
+        }
+    }
+
+    #[test]
+    fn render_produces_three_rows() {
+        let m = DnsModel::default();
+        let ev = m.timeline(DnsConfig::GpuC, 12288, 1024, false);
+        let t = DnsModel::timeline_span(&ev);
+        let s = DnsModel::render_timeline(&ev, t, 60);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('M') && s.contains('T') && s.contains('C'));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests on the performance model: the physics of the model must
+//! be monotone and self-consistent everywhere, not just at the calibration
+//! points.
+
+use proptest::prelude::*;
+use psdns_model::{CopyApproach, CopyModel, DnsConfig, DnsModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All-to-all bandwidth is monotone non-decreasing in message size at
+    /// fixed node count (outside the eager window).
+    #[test]
+    fn bandwidth_monotone_in_size(nodes in 16usize..4096, mb in 1.0f64..100.0) {
+        let m = DnsModel::default().a2a;
+        let bw1 = m.bandwidth(mb * 1e6, nodes);
+        let bw2 = m.bandwidth(mb * 2e6, nodes);
+        prop_assert!(bw2 >= bw1 * 0.999);
+    }
+
+    /// Bandwidth never exceeds the 16-node plateau and never goes negative.
+    #[test]
+    fn bandwidth_bounded(nodes in 16usize..4096, bytes in 1.0f64..1e10) {
+        let m = DnsModel::default().a2a;
+        let bw = m.bandwidth(bytes, nodes);
+        prop_assert!(bw > 0.0);
+        prop_assert!(bw <= 44.3e9);
+    }
+
+    /// a2a time is additive in volume: doubling P2P doubles the time within
+    /// the bandwidth drift.
+    #[test]
+    fn a2a_time_superlinear_never(nodes in 16usize..2048, mb in 0.1f64..50.0) {
+        let m = DnsModel::default().a2a;
+        let t1 = m.a2a_time(mb * 1e6, nodes, 2);
+        let t2 = m.a2a_time(mb * 2e6, nodes, 2);
+        prop_assert!(t2 <= 2.0 * t1 + 1e-12, "bigger messages can't be slower per byte");
+        prop_assert!(t2 >= t1, "more data can't take less time");
+    }
+
+    /// Step time grows with problem size at fixed node count, for every
+    /// configuration.
+    #[test]
+    fn step_time_monotone_in_n(sel in 0usize..3) {
+        let cfg = [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC][sel];
+        let m = DnsModel::default();
+        let nodes = 128;
+        let mut last = 0.0;
+        for n in [3072usize, 6144, 12288] {
+            let t = m.step_time(cfg, n, nodes).total;
+            prop_assert!(t > last, "{cfg:?}: N={n} gave {t} ≤ {last}");
+            last = t;
+        }
+    }
+
+    /// Adding nodes at fixed problem size never makes a step slower
+    /// (strong-scaling sanity within the calibrated range).
+    #[test]
+    fn step_time_monotone_in_nodes(sel in 0usize..3) {
+        let cfg = [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC][sel];
+        let m = DnsModel::default();
+        let n = 6144;
+        let t64 = m.step_time(cfg, n, 64).total;
+        let t128 = m.step_time(cfg, n, 128).total;
+        let t256 = m.step_time(cfg, n, 256).total;
+        prop_assert!(t128 < t64);
+        prop_assert!(t256 < t128 * 1.05); // near-flat allowed at small msgs
+    }
+
+    /// The step breakdown components sum to at most the total plus overlap
+    /// (components may overlap, never exceed what is accounted).
+    #[test]
+    fn breakdown_is_consistent(sel in 0usize..3, case in 0usize..4) {
+        let cfg = [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC][sel];
+        let (nodes, n) = psdns_model::PAPER_CASES[case];
+        let b = DnsModel::default().step_time(cfg, n, nodes);
+        prop_assert!(b.total > 0.0);
+        prop_assert!(b.mpi > 0.0);
+        prop_assert!(b.total >= b.mpi * 0.99, "MPI alone can't exceed the step");
+        prop_assert!(b.total <= b.mpi + b.gpu_transfer + b.gpu_compute + b.pack_overhead + b.host + 1e-9);
+    }
+
+    /// Strided-copy times decrease monotonically with chunk size for every
+    /// approach, and converge to the bandwidth floor.
+    #[test]
+    fn copy_times_monotone(total_mb in 10.0f64..500.0) {
+        let m = CopyModel::default();
+        for approach in [
+            CopyApproach::ManyMemcpyAsync,
+            CopyApproach::Memcpy2dAsync,
+            CopyApproach::ZeroCopyKernel,
+        ] {
+            let mut last = f64::INFINITY;
+            for chunk_kb in [2.0f64, 8.0, 32.0, 128.0, 512.0, 2048.0] {
+                let t = m.strided_copy_time(approach, total_mb * 1e6, chunk_kb * 1e3);
+                prop_assert!(t <= last);
+                prop_assert!(t >= total_mb * 1e6 / 46e9, "below the link floor");
+                last = t;
+            }
+        }
+    }
+
+    /// Zero-copy bandwidth is monotone in blocks and capped by the link.
+    #[test]
+    fn zero_copy_monotone(blocks in 1usize..200) {
+        let m = CopyModel::default();
+        let bw = m.zero_copy_bandwidth(blocks, true);
+        let bw_next = m.zero_copy_bandwidth(blocks + 1, true);
+        prop_assert!(bw_next >= bw);
+        prop_assert!(bw <= m.link_bw_h2d);
+    }
+
+    /// Timelines never produce negative-duration or out-of-order events
+    /// within a lane, at any paper scale.
+    #[test]
+    fn timeline_wellformed(sel in 0usize..3, case in 0usize..4) {
+        let cfg = [DnsConfig::GpuA, DnsConfig::GpuB, DnsConfig::GpuC][sel];
+        let (nodes, n) = psdns_model::PAPER_CASES[case];
+        let ev = DnsModel::default().timeline(cfg, n, nodes, false);
+        prop_assert!(!ev.is_empty());
+        for e in &ev {
+            prop_assert!(e.end > e.start);
+            prop_assert!(e.start >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Forced isotropic turbulence — the paper's production workload, in
+//! miniature: random solenoidal initial field, deterministic large-scale
+//! forcing, RK2 with integrating factor, run on the asynchronous GPU
+//! pipeline, reporting the energy spectrum E(k) as the simulation settles
+//! toward stationarity.
+//!
+//! ```text
+//! cargo run --release --example isotropic_turbulence
+//! ```
+
+use psdns::comm::Universe;
+use psdns::core::stats::flow_stats;
+use psdns::core::{
+    energy_spectrum, normalize_energy, random_solenoidal, A2aMode, Forcing, GpuFftConfig,
+    GpuSlabFft, LocalShape, NavierStokes, NsConfig, TimeScheme, Transform3d,
+};
+use psdns::device::{Device, DeviceConfig};
+
+fn main() {
+    let n = 32;
+    let ranks = 2;
+    let nu = 0.01;
+    let dt = 2e-3;
+    let steps = 60;
+
+    println!("forced isotropic turbulence: {n}^3, {ranks} ranks, ν = {nu}, async GPU backend\n");
+
+    let results = Universe::run(ranks, move |comm| {
+        let shape = LocalShape::new(n, ranks, comm.rank());
+        let device = Device::new(DeviceConfig::tiny(64 << 20));
+        device.timeline().set_enabled(false);
+        let backend = GpuSlabFft::<f64>::new(
+            shape,
+            comm.clone(),
+            vec![device],
+            GpuFftConfig {
+                np: 2,
+                a2a_mode: A2aMode::PerSlab,
+            },
+        );
+        let mut u = random_solenoidal(shape, 4.0, 2024);
+        normalize_energy(&mut u, 0.5, &comm);
+        let mut ns = NavierStokes::new(
+            backend,
+            NsConfig {
+                nu,
+                dt,
+                scheme: TimeScheme::Rk2,
+                forcing: Some(Forcing::new(2.5)),
+                dealias: true,
+                phase_shift: false,
+            },
+            u,
+        );
+        let mut trace = Vec::new();
+        for step in 0..=steps {
+            if step % 10 == 0 {
+                let st = flow_stats(&ns.u, nu, ns.backend.comm());
+                trace.push((step, st.energy, st.dissipation, st.re_lambda));
+            }
+            if step < steps {
+                ns.step();
+            }
+        }
+        let spec = energy_spectrum(&ns.u, ns.backend.comm());
+        (trace, spec)
+    });
+
+    let (trace, spec) = &results[0];
+    println!("{:>6} {:>12} {:>14} {:>10}", "step", "energy", "dissipation", "Re_lambda");
+    for (step, e, eps, rel) in trace {
+        println!("{step:>6} {e:>12.5e} {eps:>14.5e} {rel:>10.1}");
+    }
+
+    println!("\nenergy spectrum E(k) at t = {:.2}:", steps as f64 * dt);
+    let emax = spec.iter().cloned().fold(f64::MIN, f64::max);
+    for (k, &e) in spec.iter().enumerate().skip(1) {
+        if e <= 0.0 {
+            continue;
+        }
+        let bar = "#".repeat(((e / emax).log10() + 8.0).max(0.0) as usize * 4);
+        println!("  k={k:>3}  {e:>11.4e}  {bar}");
+    }
+    println!("\nforcing holds the large scales steady while the cascade fills the");
+    println!("dealiased band — the physics the paper runs at 18432^3.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: simulate a decaying Taylor–Green vortex on 4 "MPI" ranks
+//! with the CPU slab backend, and watch the physics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use psdns::comm::Universe;
+use psdns::core::{taylor_green, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme};
+use psdns::core::stats::flow_stats;
+
+fn main() {
+    let n = 32; // grid points per side (2π-periodic cube)
+    let ranks = 4;
+    let nu = 0.05;
+    let dt = 5e-3;
+    let steps = 40;
+
+    println!("Taylor–Green vortex, {n}^3 grid, {ranks} ranks, ν = {nu}, RK2\n");
+    println!("{:>6} {:>10} {:>12} {:>14} {:>12}", "step", "time", "energy", "dissipation", "div");
+
+    // Each closure is one MPI-style rank; they cooperate through the
+    // communicator exactly as the paper's Fortran ranks do.
+    let histories = Universe::run(ranks, |comm| {
+        let shape = LocalShape::new(n, ranks, comm.rank());
+        let backend = SlabFftCpu::<f64>::new(shape, comm);
+        let u0 = taylor_green(shape);
+        let mut ns = NavierStokes::new(
+            backend,
+            NsConfig {
+                nu,
+                dt,
+                scheme: TimeScheme::Rk2,
+                forcing: None,
+                dealias: true,
+                phase_shift: false,
+            },
+            u0,
+        );
+        let mut history = Vec::new();
+        for step in 0..=steps {
+            if step % 5 == 0 {
+                let st = flow_stats(&ns.u, nu, ns.backend.comm());
+                history.push((step, ns.time, st));
+            }
+            if step < steps {
+                ns.step();
+            }
+        }
+        history
+    });
+
+    // All ranks computed identical global statistics; print rank 0's.
+    for (step, time, st) in &histories[0] {
+        println!(
+            "{:>6} {:>10.4} {:>12.6e} {:>14.6e} {:>12.2e}",
+            step, time, st.energy, st.dissipation, st.max_divergence
+        );
+    }
+    let first = &histories[0].first().unwrap().2;
+    let last = &histories[0].last().unwrap().2;
+    println!(
+        "\nenergy decayed {:.1}% over t = {:.2} (viscous dissipation at work; \
+         divergence stayed at round-off)",
+        (1.0 - last.energy / first.energy) * 100.0,
+        steps as f64 * dt,
+    );
+}

@@ -1,0 +1,75 @@
+//! Plan a Summit production campaign with the calibrated performance model:
+//! for a chosen problem size, enumerate feasible node counts (memory +
+//! load-balance constraints of paper §3.5), pick pencil counts, and project
+//! the time per RK2 step for each MPI configuration — the planning exercise
+//! behind the paper's 18432³ run.
+//!
+//! ```text
+//! cargo run --release --example summit_campaign [N]
+//! ```
+
+use psdns::domain::MemoryModel;
+use psdns::model::{DnsConfig, DnsModel};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(18432);
+
+    let mem = MemoryModel::default();
+    let model = DnsModel::default();
+
+    println!("campaign planning for N = {n} ({:.2e} grid points)\n", (n as f64).powi(3));
+    println!(
+        "memory: {:.0} GiB total state at D = {} variables; min nodes = {}",
+        mem.word_bytes * mem.d_vars * (n as f64).powi(3) / (1u64 << 30) as f64,
+        mem.d_vars,
+        mem.min_nodes(n)
+    );
+
+    let feasible = mem.feasible_nodes(n);
+    if feasible.is_empty() {
+        println!("no feasible node count on Summit for N = {n} — problem too large");
+        return;
+    }
+    println!("feasible node counts (6·M | N, fits in DDR): {feasible:?}\n");
+
+    println!(
+        "{:>7} {:>12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "nodes", "mem GiB/node", "pencils", "pencil GiB", "A s/step", "B s/step", "C s/step", "best"
+    );
+    for &m in &feasible {
+        let np = mem.required_np(n, m);
+        let a = model.step_time(DnsConfig::GpuA, n, m).total;
+        let b = model.step_time(DnsConfig::GpuB, n, m).total;
+        let c = model.step_time(DnsConfig::GpuC, n, m).total;
+        let best = [("A", a), ("B", b), ("C", c)]
+            .into_iter()
+            .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        println!(
+            "{m:>7} {:>12.1} {np:>8} {:>12.2} {a:>10.2} {b:>10.2} {c:>10.2} {:>7} {:>4.1}",
+            mem.mem_per_node_gib(n, m),
+            mem.pencil_gib(n, m, np),
+            best.0,
+            best.1,
+        );
+    }
+
+    // Wall-clock budgeting, paper-style: "approximately 20 s per RK2 step
+    // … to solve long-running simulations in a reasonable number of
+    // wall-clock hours" (§3).
+    let m = *feasible.last().unwrap();
+    let c = model.step_time(DnsConfig::GpuC, n, m).total;
+    let steps_per_eddy = 2000.0; // typical steps per large-eddy turnover
+    println!(
+        "\nat {m} nodes, config C: {c:.1} s/step → {:.1} h per {steps_per_eddy} steps",
+        c * steps_per_eddy / 3600.0
+    );
+    if c <= 20.0 {
+        println!("meets the paper's ~20 s/step production-throughput goal.");
+    } else {
+        println!("exceeds the paper's ~20 s/step goal — consider a smaller N.");
+    }
+}

@@ -1,0 +1,26 @@
+//! # psdns — facade crate
+//!
+//! Rust reproduction of *"GPU acceleration of extreme scale pseudo-spectral
+//! simulations of turbulence using asynchronism"* (Ravikumar, Appelhans,
+//! Yeung; SC '19). This crate re-exports the whole workspace:
+//!
+//! * [`fft`] — from-scratch FFT library (FFTW/cuFFT stand-in);
+//! * [`comm`] — thread-backed MPI-like message passing runtime;
+//! * [`device`] — simulated CUDA-like accelerator (streams, events, copy
+//!   engines, capacity-limited device memory);
+//! * [`domain`] — grids, slab/pencil decompositions, dealiasing, memory
+//!   budgeting (paper Table 1);
+//! * [`model`] — calibrated Summit performance model and discrete-event
+//!   simulator (paper Tables 2–4, Figs. 7–10);
+//! * [`core`] — the paper's contribution: distributed 3-D FFTs and the
+//!   batched asynchronous pseudo-spectral Navier–Stokes solver.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use psdns_comm as comm;
+pub use psdns_core as core;
+pub use psdns_device as device;
+pub use psdns_domain as domain;
+pub use psdns_fft as fft;
+pub use psdns_model as model;

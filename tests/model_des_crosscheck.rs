@@ -1,0 +1,77 @@
+//! Integration: the closed-form cost model (Table 3) against the
+//! discrete-event simulation of the same pipeline, at every paper scale.
+//! The two are independent implementations of the Fig. 4 overlap algebra;
+//! they must agree on magnitudes and on the B-vs-C ordering.
+
+use psdns::model::{simulate_pipeline, DnsConfig, DnsModel, PAPER_CASES};
+
+/// Derive per-pencil DES durations from a model step breakdown and return
+/// the DES per-step makespan.
+fn des_step(m: &DnsModel, cfg: DnsConfig, n: usize, nodes: usize) -> f64 {
+    let b = m.step_time(cfg, n, nodes);
+    let calls = 4.0; // a2a_per_step
+    let np = m.pencils(n, nodes);
+    let (mpi_t, xfer_t, comp_t, pack_t, host_t) = (
+        b.mpi / calls,
+        b.gpu_transfer / calls,
+        b.gpu_compute / calls,
+        b.pack_overhead / calls,
+        b.host / calls,
+    );
+    let t_h2d = xfer_t / 2.0 / np as f64;
+    let t_pack = xfer_t / 2.0 / np as f64 + pack_t / np as f64;
+    let t_fft = comp_t / np as f64;
+    let (q, mpi_per_group) = match cfg {
+        DnsConfig::GpuC => (np, mpi_t),
+        DnsConfig::GpuA | DnsConfig::GpuB => (1, mpi_t / np as f64),
+        DnsConfig::CpuSync => unreachable!(),
+    };
+    calls * (simulate_pipeline(np, q, t_h2d, t_fft, t_pack, mpi_per_group) + host_t)
+}
+
+#[test]
+fn des_and_closed_form_agree_at_paper_scales() {
+    let m = DnsModel::default();
+    for &(nodes, n) in &PAPER_CASES {
+        for cfg in [DnsConfig::GpuB, DnsConfig::GpuC] {
+            let closed = m.step_time(cfg, n, nodes).total;
+            let des = des_step(&m, cfg, n, nodes);
+            let rel = (des - closed).abs() / closed;
+            assert!(
+                rel < 0.40,
+                "{cfg:?} at {nodes} nodes: DES {des:.2} vs closed {closed:.2} (rel {rel:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn des_preserves_the_b_c_crossover() {
+    // The DES must reproduce the paper's central scheduling conclusion
+    // without being told: pencil overlap wins when MPI per pencil is large
+    // relative to GPU work (16 nodes), the bulk exchange wins at scale.
+    let m = DnsModel::default();
+    let b16 = des_step(&m, DnsConfig::GpuB, 3072, 16);
+    let c16 = des_step(&m, DnsConfig::GpuC, 3072, 16);
+    assert!(b16 < c16, "B must win at 16 nodes in the DES: {b16} vs {c16}");
+    let b3072 = des_step(&m, DnsConfig::GpuB, 18432, 3072);
+    let c3072 = des_step(&m, DnsConfig::GpuC, 18432, 3072);
+    assert!(
+        c3072 < b3072,
+        "C must win at 3072 nodes in the DES: {c3072} vs {b3072}"
+    );
+}
+
+#[test]
+fn des_makespan_bounded_by_component_sums() {
+    // Sanity: the DES can never beat the network-only lower bound nor
+    // exceed the fully-serial upper bound.
+    let m = DnsModel::default();
+    for &(nodes, n) in &PAPER_CASES {
+        let b = m.step_time(DnsConfig::GpuC, n, nodes);
+        let des = des_step(&m, DnsConfig::GpuC, n, nodes);
+        assert!(des >= b.mpi * 0.99, "below network bound at {nodes}");
+        let serial = b.mpi + b.gpu_transfer + b.gpu_compute + b.pack_overhead + b.host;
+        assert!(des <= serial * 1.01, "above serial bound at {nodes}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration: the calibrated model regenerates every table of the paper's
+//! evaluation within the documented tolerances, and the qualitative
+//! conclusions of the paper hold. This is the executable form of
+//! EXPERIMENTS.md.
+
+use psdns::domain::MemoryModel;
+use psdns::model::{A2aModel, CopyApproach, CopyModel, DnsConfig, DnsModel, PAPER_CASES};
+
+const TABLE2: [(usize, usize, usize, [f64; 3]); 4] = [
+    (16, 3072, 3, [36.5, 43.1, 43.6]),
+    (128, 6144, 3, [24.0, 39.0, 39.0]),
+    (1024, 12288, 3, [11.1, 23.5, 25.0]),
+    (3072, 18432, 4, [13.2, 12.4, 17.6]),
+];
+
+const TABLE3: [(usize, usize, [f64; 4]); 4] = [
+    (16, 3072, [34.38, 8.09, 6.70, 7.50]),
+    (128, 6144, [40.18, 12.17, 8.66, 8.07]),
+    (1024, 12288, [47.57, 13.63, 12.62, 10.14]),
+    (3072, 18432, [41.96, 25.44, 22.30, 14.24]),
+];
+
+#[test]
+fn table1_rows_match() {
+    let rows = MemoryModel::default().table1();
+    let expect = [
+        (16usize, 3072usize, 202.5, 3usize, 2.25),
+        (128, 6144, 202.5, 3, 2.25),
+        (1024, 12288, 202.5, 3, 2.25),
+        (3072, 18432, 227.8, 4, 1.90),
+    ];
+    for (row, (nodes, n, mem, np, pgib)) in rows.iter().zip(expect) {
+        assert_eq!((row.nodes, row.n, row.pencils), (nodes, n, np));
+        assert!((row.mem_per_node_gib - mem).abs() / mem < 0.01);
+        assert!((row.pencil_gib - pgib).abs() / pgib < 0.01);
+    }
+}
+
+#[test]
+fn table2_bandwidths_match_within_20_percent() {
+    let m = A2aModel::default();
+    for (nodes, n, np, expect) in TABLE2 {
+        let row = m.table2_row(nodes, n, np);
+        for ((_, bw), want) in row.iter().zip(expect) {
+            assert!(
+                (bw - want).abs() / want < 0.20,
+                "nodes {nodes}: {bw:.1} vs {want:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_times_match_within_10_percent() {
+    let m = DnsModel::default();
+    for (nodes, n, expect) in TABLE3 {
+        let got = [
+            m.step_time(DnsConfig::CpuSync, n, nodes).total,
+            m.step_time(DnsConfig::GpuA, n, nodes).total,
+            m.step_time(DnsConfig::GpuB, n, nodes).total,
+            m.step_time(DnsConfig::GpuC, n, nodes).total,
+        ];
+        for (g, e) in got.iter().zip(expect) {
+            assert!((g - e).abs() / e < 0.10, "nodes {nodes}: {g:.2} vs {e:.2}");
+        }
+    }
+}
+
+#[test]
+fn headline_claims_hold() {
+    let m = DnsModel::default();
+    // Abstract: "GPU to CPU speedup of 4.7 for a 12288³ problem size".
+    let cpu = m.step_time(DnsConfig::CpuSync, 12288, 1024).total;
+    let best = m.step_time(DnsConfig::GpuC, 12288, 1024).total;
+    assert!((cpu / best - 4.7).abs() < 0.5, "speedup {}", cpu / best);
+    // Abstract/§1: 18432³ at 3072 nodes runs at ~14.5 s/step, under the
+    // 20 s production goal and "only 50% longer" than the 8192³ CPU run.
+    let t = m.step_time(DnsConfig::GpuC, 18432, 3072).total;
+    assert!(t < 20.0 && t > 10.0, "18432³ step {t}");
+    // §5: "speedup close to 3X was observed for the 18432³ problem".
+    let sp = m.step_time(DnsConfig::CpuSync, 18432, 3072).total / t;
+    assert!(sp > 2.3 && sp < 3.5, "18432³ speedup {sp:.1}");
+}
+
+#[test]
+fn table4_weak_scaling_matches() {
+    let ws = DnsModel::default().table4();
+    let paper = [100.0, 83.0, 66.1, 52.9];
+    for ((_, _, _, got), want) in ws.into_iter().zip(paper) {
+        assert!((got - want).abs() < 6.0, "WS {got:.1} vs {want:.1}");
+    }
+}
+
+#[test]
+fn fig9_mpi_only_is_a_floor_with_small_gap_for_config_c() {
+    let m = DnsModel::default();
+    for &(nodes, n) in &PAPER_CASES {
+        let floor = m.mpi_only_step(n, nodes);
+        let c = m.step_time(DnsConfig::GpuC, n, nodes).total;
+        assert!(floor < c);
+        // "Faster GPUs … can at best approach the performance of the dotted
+        // green line": the gap is bounded.
+        assert!(c < 3.0 * floor, "config C too far above MPI floor at {nodes}");
+    }
+}
+
+#[test]
+fn fig7_shape_holds() {
+    let m = CopyModel::default();
+    // At the production chunk size (18 KB, §4.2) the many-memcpy approach
+    // is at least an order of magnitude slower.
+    let total = 216e6;
+    let many = m.strided_copy_time(CopyApproach::ManyMemcpyAsync, total, 18e3);
+    let two_d = m.strided_copy_time(CopyApproach::Memcpy2dAsync, total, 18e3);
+    let zc = m.strided_copy_time(CopyApproach::ZeroCopyKernel, total, 18e3);
+    assert!(many / two_d > 10.0);
+    assert!((zc / two_d) < 2.0 && (two_d / zc) < 2.0);
+}
+
+#[test]
+fn fig8_shape_holds() {
+    let m = CopyModel::default();
+    let sat = m.zero_copy_bandwidth(80, true);
+    assert!(m.zero_copy_bandwidth(16, true) > 0.9 * sat);
+    assert!(m.zero_copy_bandwidth(4, true) < 0.5 * sat);
+}
+
+#[test]
+fn fig10_timeline_fractions() {
+    let m = DnsModel::default();
+    // Config C at 1024 nodes: non-MPI work ≤ ~1/5 of the span (paper: the
+    // FFT + movement cost is "less than one-seventh of the code runtime";
+    // our per-phase timeline is coarser but must show the same dominance).
+    let ev = m.timeline(DnsConfig::GpuC, 12288, 1024, false);
+    let span = DnsModel::timeline_span(&ev);
+    let mpi: f64 = ev
+        .iter()
+        .filter(|e| matches!(e.lane, psdns::model::Lane::Mpi))
+        .map(|e| e.end - e.start)
+        .sum();
+    assert!(mpi / span > 0.6, "MPI fraction {:.2}", mpi / span);
+}
+
+#[test]
+fn conclusion_crossover_beyond_16_nodes() {
+    // "Beyond 16 nodes, waiting to send the entire slab at once is faster
+    // than overlapping computation with communications of a pencil at a
+    // time" (§5.2).
+    let m = DnsModel::default();
+    let b16 = m.step_time(DnsConfig::GpuB, 3072, 16).total;
+    let c16 = m.step_time(DnsConfig::GpuC, 3072, 16).total;
+    assert!(b16 < c16);
+    for &(nodes, n) in &PAPER_CASES[1..] {
+        let b = m.step_time(DnsConfig::GpuB, n, nodes).total;
+        let c = m.step_time(DnsConfig::GpuC, n, nodes).total;
+        assert!(c < b, "crossover must have happened at {nodes} nodes");
+    }
+}
