@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

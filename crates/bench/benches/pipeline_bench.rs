@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psdns_comm::Universe;
 use psdns_core::{
-    A2aMode, GpuFftConfig, GpuSlabFft, GpuSyncSlabFft, LocalShape, PhysicalField, SlabFftCpu,
-    Transform3d,
+    A2aMode, GpuSlabFft, GpuSyncSlabFft, LocalShape, PhysicalField, SlabFftCpu, Transform3d,
 };
 use psdns_device::{Device, DeviceConfig};
 
@@ -61,12 +60,13 @@ fn bench_pipelines(c: &mut Criterion) {
                     let shape = LocalShape::new(N, P, comm.rank());
                     let dev = Device::new(DeviceConfig::tiny(256 << 20));
                     dev.timeline().set_enabled(false);
-                    let mut fft = GpuSlabFft::<f32>::new(
-                        shape,
-                        comm,
-                        vec![dev],
-                        GpuFftConfig { np, a2a_mode: mode },
-                    );
+                    let mut fft = GpuSlabFft::<f32>::builder(shape)
+                        .comm(comm)
+                        .devices(vec![dev])
+                        .np(np)
+                        .a2a_mode(mode)
+                        .build()
+                        .expect("valid pipeline configuration");
                     let phys: Vec<_> = (0..NV).map(|v| make_phys(shape, v)).collect();
                     let spec = fft.physical_to_fourier(&phys);
                     fft.fourier_to_physical(&spec).len()

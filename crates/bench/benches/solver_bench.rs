@@ -3,8 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psdns_comm::Universe;
 use psdns_core::{
-    taylor_green, A2aMode, GpuFftConfig, GpuSlabFft, LocalShape, NavierStokes, NsConfig,
-    SlabFftCpu, TimeScheme,
+    taylor_green, A2aMode, GpuSlabFft, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme,
 };
 use psdns_device::{Device, DeviceConfig};
 
@@ -46,15 +45,13 @@ fn bench_steps(c: &mut Criterion) {
                 let shape = LocalShape::new(N, P, comm.rank());
                 let dev = Device::new(DeviceConfig::tiny(256 << 20));
                 dev.timeline().set_enabled(false);
-                let backend = GpuSlabFft::<f64>::new(
-                    shape,
-                    comm,
-                    vec![dev],
-                    GpuFftConfig {
-                        np: 2,
-                        a2a_mode: A2aMode::PerSlab,
-                    },
-                );
+                let backend = GpuSlabFft::<f64>::builder(shape)
+                    .comm(comm)
+                    .devices(vec![dev])
+                    .np(2)
+                    .a2a_mode(A2aMode::PerSlab)
+                    .build()
+                    .expect("valid pipeline configuration");
                 let mut ns = NavierStokes::new(
                     backend,
                     NsConfig {

@@ -52,7 +52,14 @@ fn main() {
     println!("  exactly the paper's \"surprising\" A > B bandwidth reversal.\n");
 
     println!("Ablation 3 — MPI interference set to 1.0 (ideal overlap)\n");
-    let mut t = Table::new(&["Nodes", "N", "B as measured", "B ideal", "C as measured", "C ideal"]);
+    let mut t = Table::new(&[
+        "Nodes",
+        "N",
+        "B as measured",
+        "B ideal",
+        "C as measured",
+        "C ideal",
+    ]);
     for &(nodes, n) in &PAPER_CASES {
         let mut ideal = base.clone();
         ideal.knobs.mpi_ratio_b = vec![(16.0, 1.0)];

@@ -9,9 +9,21 @@ fn main() {
     let (n, nodes) = (12288, 1024);
     let variants = [
         ("MPI-only kernel (pencil cadence)", DnsConfig::GpuB, true),
-        ("DNS config B: 2 t/n, ialltoall per pencil", DnsConfig::GpuB, false),
-        ("DNS config C: 2 t/n, one slab alltoall", DnsConfig::GpuC, false),
-        ("DNS config A: 6 t/n, ialltoall per pencil", DnsConfig::GpuA, false),
+        (
+            "DNS config B: 2 t/n, ialltoall per pencil",
+            DnsConfig::GpuB,
+            false,
+        ),
+        (
+            "DNS config C: 2 t/n, one slab alltoall",
+            DnsConfig::GpuC,
+            false,
+        ),
+        (
+            "DNS config A: 6 t/n, ialltoall per pencil",
+            DnsConfig::GpuA,
+            false,
+        ),
     ];
     let t_max = variants
         .iter()

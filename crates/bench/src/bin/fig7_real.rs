@@ -24,7 +24,13 @@ fn main() {
     let dbuf = dev.alloc::<f32>(elems).unwrap();
     let stream = dev.create_stream("fig7");
 
-    let mut t = Table::new(&["chunk KB", "chunks", "many memcpy ms", "memcpy2D ms", "zero-copy ms"]);
+    let mut t = Table::new(&[
+        "chunk KB",
+        "chunks",
+        "many memcpy ms",
+        "memcpy2D ms",
+        "zero-copy ms",
+    ]);
     for chunk_elems in [256usize, 1024, 4096, 16384, 65536, 262144] {
         let rows = elems / chunk_elems;
         let pitch = 2 * chunk_elems; // strided source
@@ -77,7 +83,10 @@ fn main() {
             format!("{:.3}", zc * 1e3),
         ]);
     }
-    println!("Fig. 7, real execution — {} MB strided H2D per trial\n", total >> 20);
+    println!(
+        "Fig. 7, real execution — {} MB strided H2D per trial\n",
+        total >> 20
+    );
     println!("{}", t.render());
     println!("shape check (matches the paper and the model): per-op overhead");
     println!("dominates the many-memcpy strategy at small chunks; the one-call");

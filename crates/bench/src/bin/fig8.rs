@@ -8,7 +8,11 @@ fn main() {
     let m = CopyModel::default();
     let blocks = [1usize, 2, 4, 8, 12, 16, 24, 32, 48, 64, 80];
     let mut t = Table::new(&[
-        "blocks", "zc H2D GB/s", "zc D2H GB/s", "2D H2D GB/s", "2D D2H GB/s",
+        "blocks",
+        "zc H2D GB/s",
+        "zc D2H GB/s",
+        "2D H2D GB/s",
+        "2D D2H GB/s",
     ]);
     for (b, zh, zd, mh, md) in m.fig8_sweep(&blocks) {
         t.row(vec![

@@ -6,9 +6,7 @@ use psdns_model::{DnsConfig, DnsModel, PAPER_CASES};
 
 fn main() {
     let m = DnsModel::default();
-    let mut t = Table::new(&[
-        "Nodes", "N", "MPI-only s", "GPU A s", "GPU B s", "GPU C s",
-    ]);
+    let mut t = Table::new(&["Nodes", "N", "MPI-only s", "GPU A s", "GPU B s", "GPU C s"]);
     for &(nodes, n) in &PAPER_CASES {
         t.row(vec![
             nodes.to_string(),

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use psdns_bench::Table;
 use psdns_comm::Universe;
-use psdns_core::{A2aMode, GpuFftConfig, GpuSlabFft, LocalShape, PhysicalField, Transform3d};
+use psdns_core::{A2aMode, GpuSlabFft, LocalShape, PhysicalField, Transform3d};
 use psdns_device::{Device, DeviceConfig};
 
 fn main() {
@@ -22,21 +22,24 @@ fn main() {
     let reps = 3;
 
     println!("Q-grouping ablation, real execution: N = {n}, {ranks} ranks, np = {np}\n");
-    let mut t = Table::new(&["Q (pencils/a2a)", "exchanges", "wall ms/pair", "max err vs host"]);
+    let mut t = Table::new(&[
+        "Q (pencils/a2a)",
+        "exchanges",
+        "wall ms/pair",
+        "max err vs host",
+    ]);
     for q in [1usize, 2, 3, 6] {
         let rows = Universe::run(ranks, move |comm| {
             let shape = LocalShape::new(n, ranks, comm.rank());
             let dev = Device::new(DeviceConfig::tiny(256 << 20));
             dev.timeline().set_enabled(false);
-            let mut gpu = GpuSlabFft::<f32>::new(
-                shape,
-                comm.clone(),
-                vec![dev],
-                GpuFftConfig {
-                    np,
-                    a2a_mode: A2aMode::Grouped(q),
-                },
-            );
+            let mut gpu = GpuSlabFft::<f32>::builder(shape)
+                .comm(comm.clone())
+                .devices(vec![dev])
+                .np(np)
+                .a2a_mode(A2aMode::Grouped(q))
+                .build()
+                .expect("valid pipeline configuration");
             let mut cpu = psdns_core::SlabFftCpu::<f32>::new(shape, comm);
             let phys: Vec<PhysicalField<f32>> = (0..3)
                 .map(|v| {

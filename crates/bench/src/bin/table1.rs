@@ -6,7 +6,15 @@ use psdns_domain::MemoryModel;
 fn main() {
     let model = MemoryModel::default();
     let mut t = Table::new(&[
-        "#Nodes", "N", "Mem/node GB", "paper", "dev", "pencils", "paper", "pencil GB", "paper",
+        "#Nodes",
+        "N",
+        "Mem/node GB",
+        "paper",
+        "dev",
+        "pencils",
+        "paper",
+        "pencil GB",
+        "paper",
     ]);
     for (row, &(nodes, n, p_mem, p_np, p_gib)) in model.table1().iter().zip(&PAPER_TABLE1) {
         t.row(vec![
@@ -25,10 +33,18 @@ fn main() {
     println!("{}", t.render());
     println!(
         "minimum nodes for 18432^3 (D=25 text estimate): {}",
-        MemoryModel { d_vars: 25.0, ..MemoryModel::default() }.min_nodes(18432)
+        MemoryModel {
+            d_vars: 25.0,
+            ..MemoryModel::default()
+        }
+        .min_nodes(18432)
     );
     println!(
         "feasible node counts for 18432^3: {:?}",
-        MemoryModel { d_vars: 25.0, ..MemoryModel::default() }.feasible_nodes(18432)
+        MemoryModel {
+            d_vars: 25.0,
+            ..MemoryModel::default()
+        }
+        .feasible_nodes(18432)
     );
 }

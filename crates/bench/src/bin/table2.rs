@@ -5,9 +5,7 @@ use psdns_model::A2aModel;
 
 fn main() {
     let model = A2aModel::default();
-    let mut t = Table::new(&[
-        "Nodes", "cfg", "P2P MB", "paper", "BW GB/s", "paper", "dev",
-    ]);
+    let mut t = Table::new(&["Nodes", "cfg", "P2P MB", "paper", "BW GB/s", "paper", "dev"]);
     for &(nodes, n, np, paper) in &PAPER_TABLE2 {
         let row = model.table2_row(nodes, n, np);
         for (c, label) in ["A: 6 t/n, pencil", "B: 2 t/n, pencil", "C: 2 t/n, slab"]
@@ -15,7 +13,11 @@ fn main() {
             .enumerate()
         {
             t.row(vec![
-                if c == 0 { nodes.to_string() } else { String::new() },
+                if c == 0 {
+                    nodes.to_string()
+                } else {
+                    String::new()
+                },
                 label.to_string(),
                 format!("{:.3}", row[c].0),
                 format!("{:.3}", paper[c].0),

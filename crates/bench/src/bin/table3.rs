@@ -36,14 +36,30 @@ fn main() {
         ];
         for (i, (label, time, p, sp, psp)) in cases.iter().enumerate() {
             t.row(vec![
-                if i == 0 { nodes.to_string() } else { String::new() },
-                if i == 0 { format!("{n}^3") } else { String::new() },
+                if i == 0 {
+                    nodes.to_string()
+                } else {
+                    String::new()
+                },
+                if i == 0 {
+                    format!("{n}^3")
+                } else {
+                    String::new()
+                },
                 label.to_string(),
                 format!("{time:.2}"),
                 format!("{p:.2}"),
                 dev(*time, *p),
-                if sp.is_nan() { "-".into() } else { format!("{sp:.1}") },
-                if psp.is_nan() { "-".into() } else { format!("{psp:.1}") },
+                if sp.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{sp:.1}")
+                },
+                if psp.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{psp:.1}")
+                },
             ]);
         }
     }

@@ -12,6 +12,7 @@
 //! `EXPERIMENTS.md`.
 
 /// Paper Table 2: (nodes, N, np, [(P2P MB, BW GB/s); A, B, C]).
+#[allow(clippy::type_complexity)]
 pub const PAPER_TABLE2: [(usize, usize, usize, [(f64, f64); 3]); 4] = [
     (16, 3072, 3, [(12.0, 36.5), (108.0, 43.1), (324.0, 43.6)]),
     (128, 6144, 3, [(1.5, 24.0), (13.5, 39.0), (40.5, 39.0)]),

@@ -5,6 +5,11 @@
 
 use crate::comm::Communicator;
 use crate::request::Request;
+use psdns_trace::SpanKind;
+
+/// Track name for communication spans; combined with the span's rank this
+/// yields one network lane per rank in the exported trace.
+pub(crate) const NET_TRACK: &str = "net";
 
 impl Communicator {
     /// Synchronize all ranks (gather-to-root + broadcast).
@@ -125,9 +130,19 @@ impl Communicator {
         );
         let chunk = send.len() / self.size();
         let tag = self.next_coll_tag();
+        let span = self.tracer.as_ref().map(|t| {
+            t.incr_a2a_calls();
+            t.add_bytes_network(std::mem::size_of_val(send));
+            t.span(
+                SpanKind::A2aPost,
+                NET_TRACK,
+                &format!("ialltoall[{}x{chunk}]", self.size()),
+            )
+        });
         for dst in 0..self.size() {
             self.send_raw(dst, tag, send[dst * chunk..(dst + 1) * chunk].to_vec());
         }
+        drop(span);
         Request::new(self.clone_handle(), tag, chunk)
     }
 
@@ -207,6 +222,7 @@ impl Clone for Communicator {
             members: std::sync::Arc::clone(&self.members),
             coll_seq: std::sync::Arc::clone(&self.coll_seq),
             split_seq: std::sync::Arc::clone(&self.split_seq),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -216,6 +232,7 @@ mod tests {
     use crate::Universe;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn alltoall_transposes_rank_matrix() {
         // Rank r sends value 100*r + d to rank d; after the exchange rank d
         // holds 100*s + d at position s — a transpose of the (r, d) matrix.
@@ -254,8 +271,8 @@ mod tests {
     #[test]
     fn consecutive_alltoalls_do_not_mix() {
         let out = Universe::run(3, |comm| {
-            let first = comm.alltoall(&vec![comm.rank() as u8; 3]);
-            let second = comm.alltoall(&vec![(10 + comm.rank()) as u8; 3]);
+            let first = comm.alltoall(&[comm.rank() as u8; 3]);
+            let second = comm.alltoall(&[(10 + comm.rank()) as u8; 3]);
             (first, second)
         });
         for (first, second) in &out {
@@ -265,6 +282,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn alltoallv_roundtrip() {
         let size = 4;
         let out = Universe::run(size, |comm| {
@@ -272,7 +290,10 @@ mod tests {
             let counts: Vec<usize> = (0..size).map(|d| comm.rank() + d + 1).collect();
             let mut send = Vec::new();
             for d in 0..size {
-                send.extend(std::iter::repeat((comm.rank() * 10 + d) as u16).take(counts[d]));
+                send.extend(std::iter::repeat_n(
+                    (comm.rank() * 10 + d) as u16,
+                    counts[d],
+                ));
             }
             comm.alltoallv(&send, &counts)
         });
@@ -308,7 +329,11 @@ mod tests {
     #[test]
     fn scatter_distributes_chunks() {
         let out = Universe::run(3, |comm| {
-            let data: Vec<u8> = if comm.rank() == 1 { (0..9).collect() } else { vec![] };
+            let data: Vec<u8> = if comm.rank() == 1 {
+                (0..9).collect()
+            } else {
+                vec![]
+            };
             comm.scatter(1, &data)
         });
         assert_eq!(out[0], vec![0, 1, 2]);
@@ -360,8 +385,8 @@ mod tests {
     #[test]
     fn multiple_outstanding_ialltoalls_complete_in_any_wait_order() {
         let out = Universe::run(3, |comm| {
-            let r1 = comm.ialltoall(&vec![comm.rank() as u8; 3]);
-            let r2 = comm.ialltoall(&vec![(comm.rank() + 10) as u8; 3]);
+            let r1 = comm.ialltoall(&[comm.rank() as u8; 3]);
+            let r2 = comm.ialltoall(&[(comm.rank() + 10) as u8; 3]);
             // Wait in reverse order of posting.
             let b = r2.wait();
             let a = r1.wait();

@@ -55,6 +55,9 @@ pub struct Communicator {
     pub(crate) coll_seq: Arc<AtomicU64>,
     /// Sequence number for `split` calls, part of child ctx derivation.
     pub(crate) split_seq: Arc<AtomicU64>,
+    /// Optional per-rank trace handle; all-to-alls record spans and byte
+    /// counters on it when attached.
+    pub(crate) tracer: Option<psdns_trace::Tracer>,
 }
 
 impl Communicator {
@@ -67,7 +70,21 @@ impl Communicator {
             members: Arc::new((0..size).collect()),
             coll_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer; subsequent `alltoall`/`ialltoall`/`wait` calls on this
+    /// handle (and its clones) record [`psdns_trace::SpanKind::A2aPost`] /
+    /// [`psdns_trace::SpanKind::A2aWait`] spans plus network byte counters,
+    /// attributed to this communicator's rank.
+    pub fn set_tracer(&mut self, tracer: &psdns_trace::Tracer) {
+        self.tracer = Some(tracer.for_rank(self.rank));
+    }
+
+    /// The attached per-rank tracer, if any.
+    pub fn tracer(&self) -> Option<&psdns_trace::Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Rank of the caller within this communicator.
@@ -197,10 +214,8 @@ impl Communicator {
         // Everyone learns everyone's (color, key).
         let mine = vec![(color, key, self.rank)];
         let all: Vec<(usize, usize, usize)> = self.allgather(&mine);
-        let mut group: Vec<(usize, usize, usize)> = all
-            .into_iter()
-            .filter(|&(c, _, _)| c == color)
-            .collect();
+        let mut group: Vec<(usize, usize, usize)> =
+            all.into_iter().filter(|&(c, _, _)| c == color).collect();
         group.sort_by_key(|&(_, k, r)| (k, r));
         let members: Vec<usize> = group.iter().map(|&(_, _, r)| self.members[r]).collect();
         let my_local = group
@@ -210,7 +225,9 @@ impl Communicator {
         // Deterministic child ctx: identical for all members, distinct across
         // (parent ctx, split call, color).
         let ctx = splitmix64(
-            self.ctx ^ seq.wrapping_mul(0xA24B_AED4_963E_E407) ^ (color as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+            self.ctx
+                ^ seq.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ (color as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
         );
         Communicator {
             shared: Arc::clone(&self.shared),
@@ -219,6 +236,9 @@ impl Communicator {
             members: Arc::new(members),
             coll_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
+            // Re-attribute to the child rank so sub-communicator traffic
+            // still lands on the right per-rank counters.
+            tracer: self.tracer.as_ref().map(|t| t.for_rank(my_local)),
         }
     }
 }

@@ -24,9 +24,21 @@ impl<T: Clone + Send + 'static> Request<T> {
         }
     }
 
+    /// Span guard covering the receive fan-in, when a tracer is attached.
+    fn wait_span(&self) -> Option<psdns_trace::SpanGuard> {
+        self.comm.tracer().map(|t| {
+            t.span(
+                psdns_trace::SpanKind::A2aWait,
+                crate::coll::NET_TRACK,
+                &format!("wait[{}x{}]", self.comm.size(), self.chunk),
+            )
+        })
+    }
+
     /// Block until the exchange completes; returns the received buffer with
     /// rank `s`'s chunk at positions `[s·chunk, (s+1)·chunk)`.
     pub fn wait(self) -> Vec<T> {
+        let _span = self.wait_span();
         let size = self.comm.size();
         let mut out = Vec::with_capacity(size * self.chunk);
         for src in 0..size {
@@ -40,6 +52,7 @@ impl<T: Clone + Send + 'static> Request<T> {
     /// Complete the exchange into a caller-provided buffer of length
     /// `size · chunk` (avoids the concatenation allocation on hot paths).
     pub fn wait_into(self, out: &mut [T]) {
+        let _span = self.wait_span();
         let size = self.comm.size();
         assert_eq!(out.len(), size * self.chunk, "output buffer size mismatch");
         for src in 0..size {
@@ -114,7 +127,7 @@ mod tests {
     #[test]
     fn wait_into_fills_buffer() {
         let out = Universe::run(4, |comm| {
-            let req = comm.ialltoall(&vec![comm.rank() as u16; 4]);
+            let req = comm.ialltoall(&[comm.rank() as u16; 4]);
             let mut buf = vec![0u16; 4];
             req.wait_into(&mut buf);
             buf
@@ -127,7 +140,7 @@ mod tests {
     #[test]
     fn test_eventually_succeeds() {
         let out = Universe::run(2, |comm| {
-            let req = comm.ialltoall(&vec![comm.rank() as u8; 2]);
+            let req = comm.ialltoall(&[comm.rank() as u8; 2]);
             let mut req = match req.test() {
                 Ok(data) => return data,
                 Err(r) => r,

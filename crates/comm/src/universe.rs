@@ -5,8 +5,8 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use psdns_sync::channel::{unbounded, Receiver, Sender};
+use psdns_sync::Mutex;
 
 use crate::comm::Communicator;
 
@@ -38,13 +38,14 @@ impl Shared {
         let mut tx: Vec<Vec<Sender<Packet>>> = (0..size).map(|_| Vec::new()).collect();
         let mut rx: Vec<Vec<Mutex<Receiver<Packet>>>> = (0..size).map(|_| Vec::new()).collect();
         // Channel (src, dst): sender stored under src, receiver under dst.
-        let mut receivers: Vec<Vec<Option<Mutex<Receiver<Packet>>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Mutex<Receiver<Packet>>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
         for src in 0..size {
-            for dst in 0..size {
+            for row in receivers.iter_mut() {
                 let (s, r) = unbounded();
                 tx[src].push(s);
-                receivers[dst][src] = Some(Mutex::new(r));
+                row[src] = Some(Mutex::new(r));
             }
         }
         for (dst, row) in receivers.into_iter().enumerate() {
@@ -67,6 +68,36 @@ impl Shared {
 /// MPI error with `MPI_ERRORS_ARE_FATAL`.
 pub struct Universe;
 
+impl Universe {
+    pub fn run<F, R>(size: usize, f: F) -> Vec<R>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(size > 0, "universe must have at least one rank");
+        let shared = Shared::new(size);
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let comm = Communicator::world(shared, rank);
+                    *slot = Some(f(comm));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank panicked");
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("rank result"))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,33 +117,5 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn empty_universe_rejected() {
         let _ = Universe::run(0, |_| 0);
-    }
-}
-
-impl Universe {
-    pub fn run<F, R>(size: usize, f: F) -> Vec<R>
-    where
-        F: Fn(Communicator) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(size > 0, "universe must have at least one rank");
-        let shared = Shared::new(size);
-        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
-        let f = &f;
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(size);
-            for (rank, slot) in results.iter_mut().enumerate() {
-                let shared = Arc::clone(&shared);
-                handles.push(scope.spawn(move |_| {
-                    let comm = Communicator::world(shared, rank);
-                    *slot = Some(f(comm));
-                }));
-            }
-            for h in handles {
-                h.join().expect("rank panicked");
-            }
-        })
-        .expect("universe scope failed");
-        results.into_iter().map(|r| r.expect("rank result")).collect()
     }
 }

@@ -1,6 +1,8 @@
 //! Property tests for the message-passing runtime: the collective algebra
 //! must hold for arbitrary sizes, payloads and communicator splits.
 
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use psdns_comm::Universe;
 

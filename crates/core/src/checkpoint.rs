@@ -241,7 +241,7 @@ pub fn refine(parts: &[Checkpoint], new_n: usize, new_p: usize) -> Vec<Checkpoin
     assert!(!parts.is_empty());
     let n = parts[0].n;
     assert!(
-        new_n >= n && new_n % 2 == 0,
+        new_n >= n && new_n.is_multiple_of(2),
         "refine only upsamples, to even N"
     );
     assert_eq!(new_n % new_p, 0);

@@ -9,6 +9,7 @@
 use psdns_comm::Communicator;
 use psdns_domain::transpose::{apply_chunks, SlabTranspose};
 use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+use psdns_trace::SpanKind;
 
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
 
@@ -107,8 +108,12 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         assert!(nv > 0);
         let s = self.shape;
         let t = self.transpose_map(nv);
+        let tracer = self.comm.tracer().cloned();
 
         // 1. y-inverse on a working copy of each z-slab.
+        let span = tracer
+            .as_ref()
+            .map(|tr| tr.span(SpanKind::FftCompute, "cpu", "fft-y-inverse"));
         let mut work: Vec<Vec<Complex<T>>> = specs
             .iter()
             .map(|f| {
@@ -119,17 +124,25 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         for w in &mut work {
             self.y_transform(w, Direction::Inverse);
         }
+        drop(span);
 
         // 2. Pack and transpose (one all-to-all for all nv variables).
+        let span = tracer
+            .as_ref()
+            .map(|tr| tr.span(SpanKind::PackUnpack, "cpu", "pack-zslab"));
         let mut send = vec![Complex::<T>::zero(); t.buf_len()];
         for d in 0..s.p {
             for (v, w) in work.iter().enumerate() {
                 apply_chunks(&t.pack_from_zslab(d, v, 0..s.nxh), w, &mut send);
             }
         }
+        drop(span);
         let recv = self.comm.alltoall(&send);
 
         // 3. Unpack to y-slabs, z-inverse, then x complex-to-real.
+        let span = tracer
+            .as_ref()
+            .map(|tr| tr.span(SpanKind::FftCompute, "cpu", "fft-z-inverse+x-c2r"));
         let mut out = Vec::with_capacity(nv);
         let mut yslab = vec![Complex::<T>::zero(); t.yslab_len()];
         let mut line = vec![T::ZERO; s.n];
@@ -153,6 +166,7 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
             }
             out.push(phys);
         }
+        drop(span);
         out
     }
 
@@ -161,8 +175,12 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         assert!(nv > 0);
         let s = self.shape;
         let t = self.transpose_map(nv);
+        let tracer = self.comm.tracer().cloned();
 
         // 1. x real-to-complex and z-forward per variable; pack as we go.
+        let span = tracer
+            .as_ref()
+            .map(|tr| tr.span(SpanKind::FftCompute, "cpu", "fft-x-r2c+z-forward"));
         let mut send = vec![Complex::<T>::zero(); t.buf_len()];
         let mut yslab = vec![Complex::<T>::zero(); t.yslab_len()];
         let mut spec_line = vec![Complex::<T>::zero(); s.nxh];
@@ -186,10 +204,15 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
             }
         }
 
+        drop(span);
+
         // 2. Transpose back.
         let recv = self.comm.alltoall(&send);
 
         // 3. Unpack to z-slabs and y-forward.
+        let span = tracer
+            .as_ref()
+            .map(|tr| tr.span(SpanKind::FftCompute, "cpu", "unpack+fft-y-forward"));
         let mut out = Vec::with_capacity(nv);
         for v in 0..nv {
             let mut zslab = vec![Complex::<T>::zero(); t.zslab_len()];
@@ -199,6 +222,7 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
             self.y_transform(&mut zslab, Direction::Forward);
             out.push(SpectralField::from_data(s, zslab));
         }
+        drop(span);
         out
     }
 }

@@ -1,0 +1,146 @@
+//! Unified error hierarchy for the solver crate.
+//!
+//! The transform backends touch three fallible subsystems — the device
+//! runtime ([`DeviceError`]), the communication runtime ([`CommError`]) and
+//! pipeline configuration ([`PipelineError`]). [`Error`] wraps all of them so
+//! callers of `try_fourier_to_physical` / `try_physical_to_fourier` and
+//! [`crate::GpuFftBuilder::build`] handle one type with `?`.
+
+use std::fmt;
+
+use psdns_comm::CommError;
+use psdns_device::DeviceError;
+
+/// An invalid pipeline configuration, reported by
+/// [`crate::GpuFftBuilder::build`] before any device work starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The builder was never given a communicator.
+    MissingComm,
+    /// The builder was given an empty device list.
+    NoDevices,
+    /// `np` must be at least 1.
+    InvalidNp { np: usize },
+    /// The slot buffers for `np` pencils × `nv` variables do not fit in the
+    /// smallest device's free memory (paper §3.5: the ×3 buffer budget).
+    /// `suggested_np` is the smallest pencil count that would fit, if any
+    /// (see [`crate::GpuSlabFft::auto_np`]).
+    InsufficientDeviceMemory {
+        np: usize,
+        nv: usize,
+        required_bytes: usize,
+        free_bytes: usize,
+        suggested_np: Option<usize>,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MissingComm => write!(f, "pipeline builder needs a communicator"),
+            PipelineError::NoDevices => write!(f, "pipeline builder needs at least one device"),
+            PipelineError::InvalidNp { np } => {
+                write!(f, "invalid pencil count np = {np}; need np >= 1")
+            }
+            PipelineError::InsufficientDeviceMemory {
+                np,
+                nv,
+                required_bytes,
+                free_bytes,
+                suggested_np,
+            } => {
+                write!(
+                    f,
+                    "np = {np} with nv = {nv} needs {required_bytes} B of device memory \
+                     but only {free_bytes} B are free"
+                )?;
+                match suggested_np {
+                    Some(s) => write!(f, "; smallest np that fits is {s}"),
+                    None => write!(f, "; no pencil count fits this device"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Any error a `psdns-core` transform can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    Comm(CommError),
+    Device(DeviceError),
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Comm(e) => write!(f, "communication error: {e}"),
+            Error::Device(e) => write!(f, "device error: {e}"),
+            Error::Pipeline(e) => write!(f, "pipeline configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Comm(e) => Some(e),
+            Error::Device(e) => Some(e),
+            Error::Pipeline(e) => Some(e),
+        }
+    }
+}
+
+impl From<CommError> for Error {
+    fn from(e: CommError) -> Self {
+        Error::Comm(e)
+    }
+}
+
+impl From<DeviceError> for Error {
+    fn from(e: DeviceError) -> Self {
+        Error::Device(e)
+    }
+}
+
+impl From<PipelineError> for Error {
+    fn from(e: PipelineError) -> Self {
+        Error::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_and_source() {
+        let d = DeviceError::OutOfMemory {
+            requested_bytes: 10,
+            free_bytes: 5,
+            capacity_bytes: 5,
+        };
+        let e: Error = d.clone().into();
+        assert_eq!(e, Error::Device(d));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let p: Error = PipelineError::NoDevices.into();
+        assert!(p.to_string().contains("at least one device"));
+    }
+
+    #[test]
+    fn pipeline_error_display_mentions_suggestion() {
+        let e = PipelineError::InsufficientDeviceMemory {
+            np: 1,
+            nv: 3,
+            required_bytes: 1 << 30,
+            free_bytes: 1 << 20,
+            suggested_np: Some(8),
+        };
+        let s = e.to_string();
+        assert!(s.contains("np = 1"), "{s}");
+        assert!(s.contains("smallest np that fits is 8"), "{s}");
+    }
+}

@@ -113,7 +113,7 @@ impl<T: Real> SpectralField<T> {
         for zl in 0..s.mz {
             for y in 0..s.n {
                 for x in 0..s.nxh {
-                    let w = if x == 0 || (s.n % 2 == 0 && x == s.nxh - 1) {
+                    let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
                         1.0
                     } else {
                         2.0
@@ -173,6 +173,14 @@ pub trait Transform3d<T: Real> {
     /// The communicator spanning the decomposition (used by solver-level
     /// reductions: energy, spectra, CFL).
     fn comm(&self) -> &psdns_comm::Communicator;
+
+    /// The tracer recording this backend's activity, if one is attached.
+    /// The default sources it from the communicator (see
+    /// [`psdns_comm::Communicator::set_tracer`]), so every backend that
+    /// traces its transposes also exposes solver-phase spans for free.
+    fn tracer(&self) -> Option<&psdns_trace::Tracer> {
+        self.comm().tracer()
+    }
 
     /// Transform `nv` spectral fields to physical space together (the paper
     /// moves 3 variables per all-to-all; one call = one logical transpose).

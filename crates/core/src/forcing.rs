@@ -47,7 +47,7 @@ impl Forcing {
                 for x in 0..s.nxh {
                     let k2 = grid.k_sqr(x, y, z);
                     if k2 > 0.0 && k2.sqrt() <= self.kf {
-                        let w = if x == 0 || (s.n % 2 == 0 && x == s.nxh - 1) {
+                        let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
                             1.0
                         } else {
                             2.0

@@ -34,12 +34,13 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use psdns_comm::{Communicator, Request};
 use psdns_device::{Copy2d, Device, DeviceBuffer, DeviceError, Event, PinnedBuffer, Stream};
 use psdns_domain::decomp::{GpuSplit, PencilSplit};
 use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+use psdns_sync::Mutex;
 
+use crate::error::{Error, PipelineError};
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
 
 /// Triple buffering, as budgeted in paper §3.5 (9 buffers × 3).
@@ -88,6 +89,169 @@ impl Default for GpuFftConfig {
     }
 }
 
+/// Builder for [`GpuSlabFft`] — the supported construction path.
+///
+/// Validates the pencil count against device memory *before* any device
+/// work starts (paper §3.5: the ×3 slot-buffer budget must fit in HBM) and
+/// optionally wires a [`psdns_trace::Tracer`] through every layer: the
+/// communicator (all-to-all post/wait spans, network bytes), the devices
+/// (stream span bridging, transfer bytes, kernel launches) and the solver
+/// (step/nonlinear/projection phases via [`Transform3d::tracer`]).
+///
+/// ```
+/// use psdns_comm::Universe;
+/// use psdns_core::{A2aMode, GpuSlabFft, LocalShape};
+/// use psdns_device::{Device, DeviceConfig};
+/// let np = Universe::run(1, |comm| {
+///     let shape = LocalShape::new(16, 1, 0);
+///     let fft = GpuSlabFft::<f32>::builder(shape)
+///         .comm(comm)
+///         .devices(vec![Device::new(DeviceConfig::tiny(1 << 20))])
+///         .nv(3) // size slot buffers for 3-variable transforms
+///         .a2a_mode(A2aMode::PerPencil)
+///         .build()
+///         .unwrap(); // np chosen automatically (auto_np)
+///     fft.config().np
+/// });
+/// assert!(np[0] >= 1);
+/// ```
+pub struct GpuFftBuilder<T: Real> {
+    shape: LocalShape,
+    comm: Option<Communicator>,
+    devices: Vec<Device>,
+    np: Option<usize>,
+    a2a_mode: A2aMode,
+    nv: usize,
+    tracer: Option<psdns_trace::Tracer>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Real> GpuFftBuilder<T> {
+    fn new(shape: LocalShape) -> Self {
+        Self {
+            shape,
+            comm: None,
+            devices: Vec::new(),
+            np: None,
+            a2a_mode: A2aMode::PerSlab,
+            nv: 1,
+            tracer: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The communicator spanning the slab decomposition. Required.
+    pub fn comm(mut self, comm: Communicator) -> Self {
+        self.comm = Some(comm);
+        self
+    }
+
+    /// The devices driven by this rank (Fig. 5: pencils split vertically
+    /// across them). Required to be non-empty.
+    pub fn devices(mut self, devices: Vec<Device>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Add one device (may be called repeatedly).
+    pub fn device(mut self, device: Device) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Pencils per slab (`np` in the paper). When not set,
+    /// [`GpuSlabFft::auto_np`] picks the smallest count whose slot buffers
+    /// fit in free device memory for [`nv`](Self::nv) variables.
+    pub fn np(mut self, np: usize) -> Self {
+        self.np = Some(np);
+        self
+    }
+
+    /// All-to-all granularity (paper §4.1). Default: [`A2aMode::PerSlab`].
+    pub fn a2a_mode(mut self, mode: A2aMode) -> Self {
+        self.a2a_mode = mode;
+        self
+    }
+
+    /// Variables per transform call used to size (and validate) the slot
+    /// buffers — the paper moves 3 velocity components per transpose.
+    /// Default 1.
+    pub fn nv(mut self, nv: usize) -> Self {
+        assert!(nv >= 1);
+        self.nv = nv;
+        self
+    }
+
+    /// Attach a tracer: `build` wires a rank-tagged handle into the
+    /// communicator and every device, so a2a, stream and solver activity all
+    /// land in one timeline.
+    pub fn tracer(mut self, tracer: &psdns_trace::Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Validate and construct. Returns [`PipelineError`] on an invalid
+    /// configuration; never panics.
+    pub fn build(self) -> Result<GpuSlabFft<T>, PipelineError> {
+        let mut comm = self.comm.ok_or(PipelineError::MissingComm)?;
+        if self.devices.is_empty() {
+            return Err(PipelineError::NoDevices);
+        }
+        let gpus = self.devices.len();
+        let free = self
+            .devices
+            .iter()
+            .map(|d| d.free_bytes())
+            .min()
+            .expect("non-empty device list");
+        let np = match self.np {
+            Some(0) => return Err(PipelineError::InvalidNp { np: 0 }),
+            Some(np) => {
+                let required =
+                    GpuSlabFft::<T>::required_bytes_per_device(self.shape, self.nv, np, gpus);
+                if required > free {
+                    return Err(PipelineError::InsufficientDeviceMemory {
+                        np,
+                        nv: self.nv,
+                        required_bytes: required,
+                        free_bytes: free,
+                        suggested_np: GpuSlabFft::<T>::auto_np(self.shape, self.nv, gpus, free),
+                    });
+                }
+                np
+            }
+            None => GpuSlabFft::<T>::auto_np(self.shape, self.nv, gpus, free).ok_or_else(|| {
+                let np_max = self.shape.nxh.max(self.shape.my);
+                PipelineError::InsufficientDeviceMemory {
+                    np: np_max,
+                    nv: self.nv,
+                    required_bytes: GpuSlabFft::<T>::required_bytes_per_device(
+                        self.shape, self.nv, np_max, gpus,
+                    ),
+                    free_bytes: free,
+                    suggested_np: None,
+                }
+            })?,
+        };
+        if let Some(t) = &self.tracer {
+            comm.set_tracer(t);
+            let rank_tracer = comm.tracer().cloned().expect("tracer just attached");
+            for d in &self.devices {
+                d.attach_tracer(&rank_tracer);
+            }
+        }
+        Ok(GpuSlabFft::construct(
+            self.shape,
+            comm,
+            self.devices,
+            GpuFftConfig {
+                np,
+                a2a_mode: self.a2a_mode,
+            },
+        ))
+    }
+}
+
 /// The asynchronous out-of-core slab transform.
 ///
 /// ```
@@ -97,10 +261,13 @@ impl Default for GpuFftConfig {
 /// let energy = Universe::run(1, |comm| {
 ///     let shape = LocalShape::new(8, 1, 0);
 ///     let dev = Device::new(DeviceConfig::tiny(1 << 20));
-///     let mut fft = GpuSlabFft::<f64>::new(
-///         shape, comm, vec![dev],
-///         GpuFftConfig { np: 2, a2a_mode: A2aMode::PerPencil },
-///     );
+///     let mut fft = GpuSlabFft::<f64>::builder(shape)
+///         .comm(comm)
+///         .devices(vec![dev])
+///         .np(2)
+///         .a2a_mode(A2aMode::PerPencil)
+///         .build()
+///         .unwrap();
 ///     let spec = SpectralField::zeros(shape);
 ///     let phys = fft.try_fourier_to_physical(&[spec]).unwrap();
 ///     phys[0].data.iter().map(|v| v * v).sum::<f64>()
@@ -115,6 +282,7 @@ pub struct GpuSlabFft<T: Real> {
     streams: Vec<(Stream, Stream)>,
     config: GpuFftConfig,
     plan_x: Arc<RealFftPlan<T>>,
+    #[allow(clippy::type_complexity)]
     plan_cache: Mutex<HashMap<(usize, usize), Arc<ManyPlan<T>>>>,
 }
 
@@ -157,6 +325,17 @@ fn make_groups(split: &PencilSplit, np: usize, q: usize) -> Vec<Group> {
 }
 
 impl<T: Real> GpuSlabFft<T> {
+    /// Start building an asynchronous pipeline for one rank's slab. This is
+    /// the supported construction path: [`GpuFftBuilder::build`] validates
+    /// the configuration (pencil count vs. device memory) and returns typed
+    /// [`PipelineError`]s instead of panicking.
+    pub fn builder(shape: LocalShape) -> GpuFftBuilder<T> {
+        GpuFftBuilder::new(shape)
+    }
+
+    #[deprecated(
+        note = "use GpuSlabFft::builder(shape).comm(..).devices(..).np(..).build() instead"
+    )]
     pub fn new(
         shape: LocalShape,
         comm: Communicator,
@@ -165,6 +344,15 @@ impl<T: Real> GpuSlabFft<T> {
     ) -> Self {
         assert!(!devices.is_empty(), "need at least one device");
         assert!(config.np >= 1);
+        Self::construct(shape, comm, devices, config)
+    }
+
+    fn construct(
+        shape: LocalShape,
+        comm: Communicator,
+        devices: Vec<Device>,
+        config: GpuFftConfig,
+    ) -> Self {
         let streams = devices
             .iter()
             .enumerate()
@@ -276,6 +464,7 @@ impl<T: Real> GpuSlabFft<T> {
     /// group exchange buffer whose lines are `line_w` wide along the split
     /// axis and `rows_y` deep in y.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn group_idx(
         &self,
         nv: usize,
@@ -295,9 +484,16 @@ impl<T: Real> GpuSlabFft<T> {
     pub fn try_fourier_to_physical(
         &mut self,
         specs: &[SpectralField<T>],
-    ) -> Result<Vec<PhysicalField<T>>, DeviceError> {
+    ) -> Result<Vec<PhysicalField<T>>, Error> {
         let nv = specs.len();
         assert!(nv > 0);
+        let _call = self.comm.tracer().map(|t| {
+            t.span(
+                psdns_trace::SpanKind::Other,
+                "pipeline",
+                &format!("fourier_to_physical[nv={nv}]"),
+            )
+        });
         let s = self.shape;
         let (np, gpus) = (self.config.np, self.devices.len());
         let q = self.config.a2a_mode.group_size(np);
@@ -340,6 +536,7 @@ impl<T: Real> GpuSlabFft<T> {
                 let ip = step;
                 let xr = xsplit.range(ip);
                 let slot = ip % SLOTS;
+                #[allow(clippy::needless_range_loop)]
                 for g in 0..gpus {
                     let xg = Self::device_part(&xr, gpus, g);
                     if xg.is_empty() {
@@ -470,6 +667,7 @@ impl<T: Real> GpuSlabFft<T> {
                 let yr = ysplit.range(jp);
                 if !yr.is_empty() {
                     let slot = jp % SLOTS;
+                    #[allow(clippy::needless_range_loop)]
                     for g in 0..gpus {
                         let yg = Self::device_part(&yr, gpus, g);
                         if yg.is_empty() {
@@ -554,6 +752,7 @@ impl<T: Real> GpuSlabFft<T> {
                     continue;
                 }
                 let slot = jp % SLOTS;
+                #[allow(clippy::needless_range_loop)]
                 for g in 0..gpus {
                     let yg = Self::device_part(&yr, gpus, g);
                     if yg.is_empty() {
@@ -620,9 +819,16 @@ impl<T: Real> GpuSlabFft<T> {
     pub fn try_physical_to_fourier(
         &mut self,
         phys: &[PhysicalField<T>],
-    ) -> Result<Vec<SpectralField<T>>, DeviceError> {
+    ) -> Result<Vec<SpectralField<T>>, Error> {
         let nv = phys.len();
         assert!(nv > 0);
+        let _call = self.comm.tracer().map(|t| {
+            t.span(
+                psdns_trace::SpanKind::Other,
+                "pipeline",
+                &format!("physical_to_fourier[nv={nv}]"),
+            )
+        });
         let s = self.shape;
         let (np, gpus) = (self.config.np, self.devices.len());
         let q = self.config.a2a_mode.group_size(np);
@@ -660,6 +866,7 @@ impl<T: Real> GpuSlabFft<T> {
                 let jp = step;
                 let yr = ysplit.range(jp);
                 let slot = jp % SLOTS;
+                #[allow(clippy::needless_range_loop)]
                 for g in 0..gpus {
                     let yg = Self::device_part(&yr, gpus, g);
                     if yg.is_empty() {
@@ -797,6 +1004,7 @@ impl<T: Real> GpuSlabFft<T> {
                 let ip = step;
                 let xr = xsplit.range(ip);
                 let slot = ip % SLOTS;
+                #[allow(clippy::needless_range_loop)]
                 for g in 0..gpus {
                     let xg = Self::device_part(&xr, gpus, g);
                     if xg.is_empty() {
@@ -866,6 +1074,7 @@ impl<T: Real> GpuSlabFft<T> {
                 let ip = step - 1;
                 let xr = xsplit.range(ip);
                 let slot = ip % SLOTS;
+                #[allow(clippy::needless_range_loop)]
                 for g in 0..gpus {
                     let xg = Self::device_part(&xr, gpus, g);
                     if xg.is_empty() {
@@ -952,24 +1161,27 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
         // multi-device split to be correct; one device keeps it simple).
         let dev = &self.devices[0];
         let (tstream, cstream) = &self.streams[0];
-        let bufs: Vec<(psdns_device::DeviceBuffer<T>, psdns_device::DeviceBuffer<T>, Event)> =
-            match (0..SLOTS)
-                .map(|_| {
-                    Ok((
-                        dev.alloc::<T>(6 * chunk)?,
-                        dev.alloc::<T>(3 * chunk)?,
-                        Event::new(),
-                    ))
-                })
-                .collect::<Result<Vec<_>, DeviceError>>()
-            {
-                Ok(b) => b,
-                Err(_) => {
-                    // Not enough device memory even for chunked pointwise
-                    // work: fall back to the host default.
-                    return host_cross_product(s, up, wp);
-                }
-            };
+        let bufs: Vec<(
+            psdns_device::DeviceBuffer<T>,
+            psdns_device::DeviceBuffer<T>,
+            Event,
+        )> = match (0..SLOTS)
+            .map(|_| {
+                Ok((
+                    dev.alloc::<T>(6 * chunk)?,
+                    dev.alloc::<T>(3 * chunk)?,
+                    Event::new(),
+                ))
+            })
+            .collect::<Result<Vec<_>, DeviceError>>()
+        {
+            Ok(b) => b,
+            Err(_) => {
+                // Not enough device memory even for chunked pointwise
+                // work: fall back to the host default.
+                return host_cross_product(s, up, wp);
+            }
+        };
 
         let compute_done: Vec<Event> = (0..np).map(|_| Event::new()).collect();
         for step in 0..=np {
@@ -1067,12 +1279,14 @@ mod tests {
             let devices: Vec<Device> = (0..gpus)
                 .map(|_| Device::new(DeviceConfig::tiny(1 << 22)))
                 .collect();
-            let mut gpu = GpuSlabFft::<f64>::new(
-                shape,
-                comm.clone(),
-                devices,
-                GpuFftConfig { np, a2a_mode: mode },
-            );
+            let mut gpu = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm.clone())
+                .devices(devices)
+                .np(np)
+                .nv(nv)
+                .a2a_mode(mode)
+                .build()
+                .expect("valid test configuration");
             let mut cpu = SlabFftCpu::<f64>::new(shape, comm);
 
             let phys: Vec<PhysicalField<f64>> = (0..nv)
@@ -1177,24 +1391,51 @@ mod tests {
     }
 
     #[test]
-    fn oom_surfaces_when_np_too_small() {
+    fn builder_rejects_np_too_small_for_hbm() {
         let out = Universe::run(1, |comm| {
             let shape = LocalShape::new(16, 1, 0);
             let device = Device::new(DeviceConfig::tiny(8192));
-            let mut gpu = GpuSlabFft::<f64>::new(
-                shape,
-                comm,
-                vec![device],
-                GpuFftConfig {
-                    np: 1,
-                    a2a_mode: A2aMode::PerSlab,
-                },
-            );
-            let spec = SpectralField::zeros(shape);
-            gpu.try_fourier_to_physical(std::slice::from_ref(&spec))
+            GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![device])
+                .np(1)
+                .build()
                 .err()
         });
-        assert!(matches!(out[0], Some(DeviceError::OutOfMemory { .. })));
+        match &out[0] {
+            Some(PipelineError::InsufficientDeviceMemory {
+                np: 1,
+                required_bytes,
+                free_bytes,
+                ..
+            }) => assert!(required_bytes > free_bytes),
+            other => panic!("expected InsufficientDeviceMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oom_surfaces_at_runtime_when_nv_exceeds_hint() {
+        // Slot buffers fit for nv = 1 (the builder's hint) but not for the
+        // 3-variable call actually made: the failure is a typed runtime
+        // error, not a panic.
+        let out = Universe::run(1, |comm| {
+            let shape = LocalShape::new(16, 1, 0);
+            let req1 = GpuSlabFft::<f64>::required_bytes_per_device(shape, 1, 2, 1);
+            let req3 = GpuSlabFft::<f64>::required_bytes_per_device(shape, 3, 2, 1);
+            let device = Device::new(DeviceConfig::tiny((req1 + req3) / 2));
+            let mut gpu = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![device])
+                .np(2)
+                .build()
+                .expect("fits for nv = 1");
+            let specs = vec![SpectralField::zeros(shape); 3];
+            gpu.try_fourier_to_physical(&specs).err()
+        });
+        assert!(matches!(
+            out[0],
+            Some(Error::Device(DeviceError::OutOfMemory { .. }))
+        ));
     }
 
     #[test]
@@ -1202,15 +1443,12 @@ mod tests {
         let out = Universe::run(2, |comm| {
             let shape = LocalShape::new(12, 2, comm.rank());
             let dev = Device::new(DeviceConfig::tiny(1 << 22));
-            let mut gpu = GpuSlabFft::<f64>::new(
-                shape,
-                comm.clone(),
-                vec![dev],
-                GpuFftConfig {
-                    np: 3,
-                    a2a_mode: A2aMode::PerSlab,
-                },
-            );
+            let mut gpu = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm.clone())
+                .devices(vec![dev])
+                .np(3)
+                .build()
+                .expect("valid test configuration");
             let mut cpu = crate::dist_fft::SlabFftCpu::<f64>::new(shape, comm);
             let mk = |seed: usize| -> Vec<PhysicalField<f64>> {
                 (0..3)
@@ -1245,17 +1483,14 @@ mod tests {
         // fallback must still produce correct results.
         let out = Universe::run(1, |comm| {
             let shape = LocalShape::new(8, 1, 0);
-            let dev = Device::new(DeviceConfig::tiny(8192));
-            let _hog = dev.alloc::<u8>(8000).unwrap();
-            let mut gpu = GpuSlabFft::<f64>::new(
-                shape,
-                comm,
-                vec![dev],
-                GpuFftConfig {
-                    np: 2,
-                    a2a_mode: A2aMode::PerSlab,
-                },
-            );
+            let dev = Device::new(DeviceConfig::tiny(1 << 16));
+            let mut gpu = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![dev.clone()])
+                .np(2)
+                .build()
+                .expect("valid test configuration");
+            let _hog = dev.alloc::<u8>(dev.free_bytes() - 64).unwrap();
             let one = PhysicalField::from_data(shape, vec![1.0; shape.phys_len()]);
             let two = PhysicalField::from_data(shape, vec![2.0; shape.phys_len()]);
             let u = vec![one.clone(), two.clone(), one.clone()];

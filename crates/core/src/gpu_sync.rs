@@ -7,10 +7,11 @@
 use std::sync::Arc;
 
 use psdns_comm::Communicator;
-use psdns_device::{Copy2d, Device, DeviceError, PinnedBuffer, Stream};
+use psdns_device::{Copy2d, Device, PinnedBuffer, Stream};
 use psdns_domain::transpose::SlabTranspose;
 use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
 
+use crate::error::Error;
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
 
 /// Synchronous whole-slab GPU transform (Fig. 2).
@@ -43,12 +44,24 @@ impl<T: Real> GpuSyncSlabFft<T> {
         &self.device
     }
 
-    /// Fallible variant: surfaces [`DeviceError::OutOfMemory`] when the slab
-    /// does not fit on the device (the paper's motivation for batching).
+    /// Attach a tracer: wires a rank-tagged handle into this backend's
+    /// communicator (all-to-all spans) and its device (stream span
+    /// bridging), mirroring [`crate::GpuFftBuilder::tracer`].
+    pub fn with_tracer(mut self, tracer: &psdns_trace::Tracer) -> Self {
+        self.comm.set_tracer(tracer);
+        let rank_tracer = self.comm.tracer().cloned().expect("tracer just attached");
+        self.device.attach_tracer(&rank_tracer);
+        self
+    }
+
+    /// Fallible variant: surfaces
+    /// [`Error::Device`]`(`[`psdns_device::DeviceError::OutOfMemory`]`)` when
+    /// the slab does not fit on the device (the paper's motivation for
+    /// batching).
     pub fn try_fourier_to_physical(
         &mut self,
         specs: &[SpectralField<T>],
-    ) -> Result<Vec<PhysicalField<T>>, DeviceError> {
+    ) -> Result<Vec<PhysicalField<T>>, Error> {
         let nv = specs.len();
         assert!(nv > 0);
         let s = self.shape;
@@ -187,7 +200,7 @@ impl<T: Real> GpuSyncSlabFft<T> {
     pub fn try_physical_to_fourier(
         &mut self,
         phys: &[PhysicalField<T>],
-    ) -> Result<Vec<SpectralField<T>>, DeviceError> {
+    ) -> Result<Vec<SpectralField<T>>, Error> {
         let nv = phys.len();
         assert!(nv > 0);
         let s = self.shape;
@@ -406,7 +419,7 @@ mod tests {
                 .err()
         });
         match &out[0] {
-            Some(DeviceError::OutOfMemory { .. }) => {}
+            Some(Error::Device(psdns_device::DeviceError::OutOfMemory { .. })) => {}
             other => panic!("expected OOM, got {other:?}"),
         }
     }

@@ -93,7 +93,7 @@ pub fn random_solenoidal<T: Real>(shape: LocalShape, k0: f64, seed: u64) -> [Spe
                 };
                 let h = splitmix(
                     seed ^ (ckx as u64).wrapping_mul(0x1000_0000_01B3)
-                        ^ ((cky + n as i64) as u64).wrapping_mul(0x1_0001_91)
+                        ^ ((cky + n as i64) as u64).wrapping_mul(0x0100_0191)
                         ^ ((ckz + n as i64) as u64).wrapping_mul(0x5DEECE66D),
                 );
                 let amp = spectrum(kmag).sqrt();

@@ -45,9 +45,8 @@ impl RunLog {
 
     /// Render as CSV (header + one row per sample).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "step,time,energy,enstrophy,dissipation,divergence,u_rms,re_lambda\n",
-        );
+        let mut out =
+            String::from("step,time,energy,enstrophy,dissipation,divergence,u_rms,re_lambda\n");
         for e in &self.entries {
             out.push_str(&format!(
                 "{},{:.9e},{:.9e},{:.9e},{:.9e},{:.3e},{:.9e},{:.4}\n",
@@ -82,7 +81,10 @@ impl RunLog {
                     .map_err(|e| format!("line {}: {e}", ln + 1))
             };
             entries.push(LogEntry {
-                step: cols[0].trim().parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                step: cols[0]
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))?,
                 time: f(1)?,
                 stats: FlowStats {
                     energy: f(2)?,

@@ -24,6 +24,7 @@
 
 pub mod checkpoint;
 pub mod dist_fft;
+pub mod error;
 pub mod field;
 pub mod forcing;
 pub mod gpu_pipeline;
@@ -39,12 +40,13 @@ pub mod stats;
 
 pub use checkpoint::{refine, reslice, Checkpoint, CheckpointError};
 pub use dist_fft::SlabFftCpu;
+pub use error::{Error, PipelineError};
 pub use field::{LocalShape, PhysicalField, SpectralField, Transform3d};
 pub use forcing::Forcing;
-pub use gpu_pipeline::{A2aMode, GpuFftConfig, GpuSlabFft};
+pub use gpu_pipeline::{A2aMode, GpuFftBuilder, GpuFftConfig, GpuSlabFft};
 pub use gpu_sync::GpuSyncSlabFft;
-pub use io::{spectrum_csv, LogEntry, RunLog};
 pub use init::{normalize_energy, random_solenoidal, taylor_green};
+pub use io::{spectrum_csv, LogEntry, RunLog};
 pub use ns::{apply_phase_shift, project_and_dealias, NavierStokes, NsConfig, TimeScheme};
 pub use ops::{curl, divergence, gradient, laplacian};
 pub use pencil_fft::PencilFftCpu;

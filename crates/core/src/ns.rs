@@ -12,6 +12,7 @@
 //! per substage, the same transform count as the paper's scheme.
 
 use psdns_fft::{Complex, Real};
+use psdns_trace::SpanKind;
 
 use crate::field::{SpectralField, Transform3d};
 use crate::forcing::Forcing;
@@ -91,6 +92,10 @@ impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
     /// The full nonlinear operator `N(û) = P_k[ F{u × ω} ]`, dealiased.
     /// Public so diagnostics (energy-transfer spectra) can evaluate it.
     pub fn nonlinear(&mut self, u: &[SpectralField<T>; 3]) -> [SpectralField<T>; 3] {
+        let tracer = self.backend.tracer().cloned();
+        let _span = tracer
+            .as_ref()
+            .map(|t| t.span(SpanKind::NonlinearTerm, "solver.nl", "nonlinear"));
         // Spectral vorticity ω̂ = i k × û (local, z-slab).
         let w = crate::ops::curl(u);
         // One batched transform of all 6 fields → one all-to-all, like the
@@ -114,7 +119,11 @@ impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
                 apply_phase_shift(f, false);
             }
         }
+        let proj = tracer
+            .as_ref()
+            .map(|t| t.span(SpanKind::Projection, "solver.proj", "project+dealias"));
         project_and_dealias(&mut out, self.cfg.dealias);
+        drop(proj);
         out
     }
 
@@ -165,6 +174,13 @@ impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
 
     /// Advance one time step.
     pub fn step(&mut self) {
+        let _span = self.backend.tracer().map(|t| {
+            t.span(
+                SpanKind::Step,
+                "solver",
+                &format!("step[{}]", self.step_count),
+            )
+        });
         match self.cfg.scheme {
             TimeScheme::Rk2 => self.step_rk2(),
             TimeScheme::Rk4 => self.step_rk4(),
@@ -253,7 +269,7 @@ pub fn apply_phase_shift<T: Real>(f: &mut SpectralField<T>, forward: bool) {
                 let [kx, ky, kz] = grid.k_vec(x, y, z);
                 let theta = (kx + ky + kz) * half_dx * if forward { 1.0 } else { -1.0 };
                 let i = s.spec_idx(x, y, zl);
-                f.data[i] = f.data[i] * Complex::from_f64(theta.cos(), theta.sin());
+                f.data[i] *= Complex::from_f64(theta.cos(), theta.sin());
             }
         }
     }

@@ -199,6 +199,7 @@ impl<T: Real> PencilFftCpu<T> {
             .map(|_| vec![Complex::zero(); self.nxh * my2 * zw])
             .collect();
         let mut offset = 0;
+        #[allow(clippy::needless_range_loop)]
         for s in 0..pr {
             let sxr = split_even(self.nxh, pr, s);
             let sxw = sxr.len();
@@ -287,6 +288,7 @@ impl<T: Real> PencilFftCpu<T> {
         let mut mid: Vec<Vec<Complex<T>>> =
             (0..nv).map(|_| vec![Complex::zero(); mid_len]).collect();
         let mut offset = 0;
+        #[allow(clippy::needless_range_loop)]
         for s in 0..pr {
             assert_eq!(rcounts[s], nv * xw * my2 * zw);
             for (v, m) in mid.iter_mut().enumerate() {

@@ -26,7 +26,7 @@ pub fn energy_spectrum<T: Real>(u: &[SpectralField<T>; 3], comm: &Communicator) 
                 if shell >= local.len() {
                     continue;
                 }
-                let w = if x == 0 || (s.n % 2 == 0 && x == s.nxh - 1) {
+                let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
                     1.0
                 } else {
                     2.0 // conjugate-symmetric partner with kx < 0
@@ -65,7 +65,7 @@ pub fn transfer_spectrum<T: Real>(
                 if shell >= local.len() {
                     continue;
                 }
-                let w = if x == 0 || (s.n % 2 == 0 && x == s.nxh - 1) {
+                let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
                     1.0
                 } else {
                     2.0

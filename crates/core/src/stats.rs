@@ -38,7 +38,7 @@ pub fn flow_stats<T: Real>(u: &[SpectralField<T>; 3], nu: f64, comm: &Communicat
             for x in 0..s.nxh {
                 let [kx, ky, kz] = grid.k_vec(x, y, z);
                 let k2 = kx * kx + ky * ky + kz * kz;
-                let w = if x == 0 || (s.n % 2 == 0 && x == s.nxh - 1) {
+                let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
                     1.0
                 } else {
                     2.0
@@ -131,10 +131,7 @@ pub fn gradient_moments<T: Real, B: crate::field::Transform3d<T>>(
         return (0.0, 0.0);
     }
     let var = m2 / count;
-    (
-        (m3 / count) / var.powf(1.5),
-        (m4 / count) / (var * var),
-    )
+    ((m3 / count) / var.powf(1.5), (m4 / count) / (var * var))
 }
 
 #[cfg(test)]

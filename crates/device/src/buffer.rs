@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use psdns_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::device::Device;
 

@@ -78,7 +78,6 @@ impl Copy2d {
             dst_len
         );
     }
-
 }
 
 fn copy_rows<T: Copy>(p: &Copy2d, src: &[T], dst: &mut [T]) {
@@ -99,12 +98,19 @@ impl Stream {
         dev_offset: usize,
         len: usize,
     ) {
-        assert!(host_offset + len <= host.len(), "H2D reads past host buffer");
-        assert!(dev_offset + len <= dev.len(), "H2D writes past device buffer");
+        assert!(
+            host_offset + len <= host.len(),
+            "H2D reads past host buffer"
+        );
+        assert!(
+            dev_offset + len <= dev.len(),
+            "H2D writes past device buffer"
+        );
         let bytes = len * std::mem::size_of::<T>();
         let stats = &self.device().inner.stats;
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
+        self.device().trace_add_bytes_h2d(bytes);
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpyAsync-h2d".to_string(),
@@ -127,12 +133,19 @@ impl Stream {
         host_offset: usize,
         len: usize,
     ) {
-        assert!(dev_offset + len <= dev.len(), "D2H reads past device buffer");
-        assert!(host_offset + len <= host.len(), "D2H writes past host buffer");
+        assert!(
+            dev_offset + len <= dev.len(),
+            "D2H reads past device buffer"
+        );
+        assert!(
+            host_offset + len <= host.len(),
+            "D2H writes past host buffer"
+        );
         let bytes = len * std::mem::size_of::<T>();
         let stats = &self.device().inner.stats;
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
+        self.device().trace_add_bytes_d2h(bytes);
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpyAsync-d2h".to_string(),
@@ -159,6 +172,7 @@ impl Stream {
         let stats = &self.device().inner.stats;
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
+        self.device().trace_add_bytes_h2d(bytes);
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpy2DAsync-h2d".to_string(),
@@ -186,6 +200,7 @@ impl Stream {
         let stats = &self.device().inner.stats;
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
+        self.device().trace_add_bytes_d2h(bytes);
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpy2DAsync-d2h".to_string(),
@@ -211,13 +226,19 @@ impl Stream {
         let total: usize = chunks.iter().map(|&(_, _, l)| l).sum();
         for &(h_off, d_off, len) in &chunks {
             assert!(h_off + len <= host.len(), "zero-copy chunk reads past host");
-            assert!(d_off + len <= dev.len(), "zero-copy chunk writes past device");
+            assert!(
+                d_off + len <= dev.len(),
+                "zero-copy chunk writes past device"
+            );
         }
         let stats = &self.device().inner.stats;
         stats
             .bytes_h2d
             .fetch_add(total * std::mem::size_of::<T>(), Ordering::Relaxed);
         stats.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.device()
+            .trace_add_bytes_h2d(total * std::mem::size_of::<T>());
+        self.device().trace_incr_kernel();
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "zero-copy-gather".to_string(),
@@ -243,14 +264,23 @@ impl Stream {
     ) {
         let total: usize = chunks.iter().map(|&(_, _, l)| l).sum();
         for &(d_off, h_off, len) in &chunks {
-            assert!(d_off + len <= dev.len(), "zero-copy chunk reads past device");
-            assert!(h_off + len <= host.len(), "zero-copy chunk writes past host");
+            assert!(
+                d_off + len <= dev.len(),
+                "zero-copy chunk reads past device"
+            );
+            assert!(
+                h_off + len <= host.len(),
+                "zero-copy chunk writes past host"
+            );
         }
         let stats = &self.device().inner.stats;
         stats
             .bytes_d2h
             .fetch_add(total * std::mem::size_of::<T>(), Ordering::Relaxed);
         stats.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.device()
+            .trace_add_bytes_d2h(total * std::mem::size_of::<T>());
+        self.device().trace_incr_kernel();
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "zero-copy-scatter".to_string(),
@@ -354,8 +384,7 @@ mod tests {
     #[test]
     fn zero_copy_gather_and_scatter() {
         let (_dev, s, host, dbuf) = setup(128);
-        let chunks: Vec<(usize, usize, usize)> =
-            (0..8).map(|i| (i * 16, i * 4, 4)).collect();
+        let chunks: Vec<(usize, usize, usize)> = (0..8).map(|i| (i * 16, i * 4, 4)).collect();
         s.zero_copy_h2d_async(&host, &dbuf, chunks.clone());
         s.synchronize();
         let d = dbuf.snapshot();
@@ -366,8 +395,7 @@ mod tests {
         }
         // Scatter back to a fresh host buffer at shifted offsets.
         let out = PinnedBuffer::new(128);
-        let back: Vec<(usize, usize, usize)> =
-            (0..8).map(|i| (i * 4, i * 16 + 1, 4)).collect();
+        let back: Vec<(usize, usize, usize)> = (0..8).map(|i| (i * 4, i * 16 + 1, 4)).collect();
         s.zero_copy_d2h_async(&dbuf, &out, back);
         s.synchronize();
         let o = out.snapshot();

@@ -71,6 +71,9 @@ pub(crate) struct DeviceInner {
     pub timeline: Timeline,
     pub epoch: Instant,
     pub next_stream_id: AtomicU64,
+    /// Shared tracer bridge: when attached, stream workers mirror every
+    /// executed span into it and the copy engine mirrors byte counters.
+    pub tracer: psdns_sync::Mutex<Option<psdns_trace::Tracer>>,
 }
 
 /// Handle to one simulated accelerator. Cheap to clone; all clones refer to
@@ -106,7 +109,40 @@ impl Device {
                 timeline: Timeline::new(),
                 epoch: Instant::now(),
                 next_stream_id: AtomicU64::new(0),
+                tracer: psdns_sync::Mutex::new(None),
             }),
+        }
+    }
+
+    /// Bridge this device into a shared [`psdns_trace::Tracer`]: every span
+    /// the local [`Timeline`] records is also recorded on the tracer (track =
+    /// stream name, rank = the handle's rank), and transfer byte counters are
+    /// mirrored. Attach a `tracer.for_rank(r)` handle so spans land on the
+    /// owning rank.
+    pub fn attach_tracer(&self, tracer: &psdns_trace::Tracer) {
+        *self.inner.tracer.lock() = Some(tracer.clone());
+    }
+
+    /// The attached tracer handle, if any.
+    pub fn tracer(&self) -> Option<psdns_trace::Tracer> {
+        self.inner.tracer.lock().clone()
+    }
+
+    pub(crate) fn trace_add_bytes_h2d(&self, bytes: usize) {
+        if let Some(t) = self.tracer() {
+            t.add_bytes_h2d(bytes);
+        }
+    }
+
+    pub(crate) fn trace_add_bytes_d2h(&self, bytes: usize) {
+        if let Some(t) = self.tracer() {
+            t.add_bytes_d2h(bytes);
+        }
+    }
+
+    pub(crate) fn trace_incr_kernel(&self) {
+        if let Some(t) = self.tracer() {
+            t.incr_kernel_launches();
         }
     }
 

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use psdns_sync::{Condvar, Mutex};
 
 pub(crate) struct EventInner {
     /// Number of record() calls issued (host side).

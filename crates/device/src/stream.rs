@@ -9,11 +9,32 @@ use std::sync::atomic::Ordering;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Sender};
+use psdns_sync::channel::{unbounded, Sender};
 
 use crate::device::Device;
 use crate::event::Event;
 use crate::timeline::{Span, SpanKind};
+
+/// Map a device-timeline span onto the shared tracer's typed kinds. Kernels
+/// are split by name: pack/unpack and zero-copy gather/scatter launches move
+/// data, everything else is FFT/pointwise compute.
+fn bridge_kind(kind: SpanKind, name: &str) -> psdns_trace::SpanKind {
+    match kind {
+        SpanKind::CopyH2D => psdns_trace::SpanKind::H2d,
+        SpanKind::CopyD2H => psdns_trace::SpanKind::D2h,
+        SpanKind::Kernel => {
+            if name.starts_with("pack")
+                || name.starts_with("unpack")
+                || name.starts_with("zero-copy")
+            {
+                psdns_trace::SpanKind::PackUnpack
+            } else {
+                psdns_trace::SpanKind::FftCompute
+            }
+        }
+        SpanKind::Sync | SpanKind::Marker => psdns_trace::SpanKind::Other,
+    }
+}
 
 pub(crate) enum Op {
     Task {
@@ -47,9 +68,20 @@ impl Stream {
                 while let Ok(op) = rx.recv() {
                     match op {
                         Op::Task { name, kind, f } => {
+                            let tracer = dev.tracer();
                             let t0 = epoch.elapsed().as_secs_f64() * 1e6;
+                            let trace_t0 = tracer.as_ref().map(|t| t.now_ns());
                             f();
                             let t1 = epoch.elapsed().as_secs_f64() * 1e6;
+                            if let (Some(t), Some(start)) = (&tracer, trace_t0) {
+                                t.record(
+                                    bridge_kind(kind, &name),
+                                    &sname,
+                                    &name,
+                                    start,
+                                    t.now_ns(),
+                                );
+                            }
                             dev.inner.timeline.push(Span {
                                 stream_id: id,
                                 stream_name: sname.clone(),
@@ -103,6 +135,7 @@ impl Stream {
             .stats
             .kernel_launches
             .fetch_add(1, Ordering::Relaxed);
+        self.device.trace_incr_kernel();
         self.enqueue(name.to_string(), SpanKind::Kernel, Box::new(f));
     }
 
@@ -134,7 +167,9 @@ impl Stream {
     /// (`cudaStreamSynchronize`).
     pub fn synchronize(&self) {
         let (ack_tx, ack_rx) = unbounded();
-        self.tx.send(Op::Fence(ack_tx)).expect("stream worker alive");
+        self.tx
+            .send(Op::Fence(ack_tx))
+            .expect("stream worker alive");
         ack_rx.recv().expect("stream worker alive");
     }
 }
@@ -159,7 +194,7 @@ mod tests {
     fn fifo_order_within_stream() {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("fifo");
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(psdns_sync::Mutex::new(Vec::new()));
         for i in 0..50 {
             let l = Arc::clone(&log);
             s.launch("step", move || l.lock().push(i));
@@ -176,8 +211,12 @@ mod tests {
         let a = dev.create_stream("a");
         let b = dev.create_stream("b");
         let t0 = Instant::now();
-        a.launch("sleep", || std::thread::sleep(std::time::Duration::from_millis(50)));
-        b.launch("sleep", || std::thread::sleep(std::time::Duration::from_millis(50)));
+        a.launch("sleep", || {
+            std::thread::sleep(std::time::Duration::from_millis(50))
+        });
+        b.launch("sleep", || {
+            std::thread::sleep(std::time::Duration::from_millis(50))
+        });
         a.synchronize();
         b.synchronize();
         let elapsed = t0.elapsed();
@@ -192,7 +231,9 @@ mod tests {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("bg");
         let t0 = Instant::now();
-        s.launch("slow", || std::thread::sleep(std::time::Duration::from_millis(80)));
+        s.launch("slow", || {
+            std::thread::sleep(std::time::Duration::from_millis(80))
+        });
         assert!(t0.elapsed().as_millis() < 40, "launch blocked the host");
         s.synchronize();
         assert!(t0.elapsed().as_millis() >= 80);
@@ -202,7 +243,9 @@ mod tests {
     fn timeline_records_spans() {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("traced");
-        s.launch("work", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        s.launch("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
         s.synchronize();
         let spans = dev.timeline().snapshot();
         let work: Vec<_> = spans.iter().filter(|sp| sp.name == "work").collect();

@@ -5,7 +5,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::Mutex;
+use psdns_sync::Mutex;
 
 /// What kind of work a span covers — used to color/aggregate timelines.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]

@@ -88,7 +88,7 @@ proptest! {
         dev.timeline().set_enabled(false);
         let a = dev.create_stream("a");
         let b = dev.create_stream("b");
-        let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = std::sync::Arc::new(psdns_sync::Mutex::new(Vec::new()));
         for (i, &d) in delays.iter().enumerate() {
             let evt = Event::new();
             let l1 = std::sync::Arc::clone(&log);

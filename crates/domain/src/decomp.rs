@@ -197,9 +197,7 @@ mod tests {
                     covered = r.end;
                     if i > 0 {
                         // widths differ by at most one, non-increasing
-                        assert!(
-                            split_even(len, parts, i - 1).len() >= r.len()
-                        );
+                        assert!(split_even(len, parts, i - 1).len() >= r.len());
                     }
                 }
                 assert_eq!(covered, len);

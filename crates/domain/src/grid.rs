@@ -51,7 +51,10 @@ impl Grid {
     /// Standard grid with `k_max = √2·N/3` (truncation + phase-shift
     /// convention of Rogallo 1981, as adopted in the paper's code lineage).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "grid size must be even, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "grid size must be even, got {n}"
+        );
         Self {
             n,
             kmax: (2.0f64).sqrt() * n as f64 / 3.0,
@@ -61,7 +64,7 @@ impl Grid {
     /// Grid with the plain 2/3-rule radius `k_max = N/3` (sharper
     /// truncation, no phase shifting).
     pub fn with_two_thirds_rule(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0);
+        assert!(n >= 2 && n.is_multiple_of(2));
         Self {
             n,
             kmax: n as f64 / 3.0,

@@ -13,10 +13,8 @@
 //! detailed tally. We default to the table-calibrated value so `table1()`
 //! reproduces the published rows, and expose the knob.
 
-use serde::{Deserialize, Serialize};
-
 /// One row of paper Table 1.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Table1Row {
     pub nodes: usize,
     pub n: usize,
@@ -34,7 +32,7 @@ pub struct Table1Row {
 /// // nodes to fit the V100s.
 /// assert_eq!(m.required_np(18432, 3072), 4);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MemoryModel {
     /// Effective number of single-precision variables resident per grid
     /// point (velocities, nonlinear terms, send/receive pinned buffers…).
@@ -96,7 +94,7 @@ impl MemoryModel {
     pub fn feasible_nodes(&self, n: usize) -> Vec<usize> {
         let min = self.min_nodes(n);
         (min..=self.system_nodes.min(n))
-            .filter(|m| n % (6 * m) == 0)
+            .filter(|m| n.is_multiple_of(6 * m))
             .collect()
     }
 
@@ -123,19 +121,24 @@ impl MemoryModel {
 
     /// Reproduce paper Table 1.
     pub fn table1(&self) -> Vec<Table1Row> {
-        [(16usize, 3072usize), (128, 6144), (1024, 12288), (3072, 18432)]
-            .iter()
-            .map(|&(nodes, n)| {
-                let pencils = self.required_np(n, nodes);
-                Table1Row {
-                    nodes,
-                    n,
-                    mem_per_node_gib: self.mem_per_node_gib(n, nodes),
-                    pencils,
-                    pencil_gib: self.pencil_gib(n, nodes, pencils),
-                }
-            })
-            .collect()
+        [
+            (16usize, 3072usize),
+            (128, 6144),
+            (1024, 12288),
+            (3072, 18432),
+        ]
+        .iter()
+        .map(|&(nodes, n)| {
+            let pencils = self.required_np(n, nodes);
+            Table1Row {
+                nodes,
+                n,
+                mem_per_node_gib: self.mem_per_node_gib(n, nodes),
+                pencils,
+                pencil_gib: self.pencil_gib(n, nodes, pencils),
+            }
+        })
+        .collect()
     }
 }
 

@@ -168,6 +168,7 @@ mod tests {
     /// field, pack, exchange (emulated), unpack, and verify the y-slabs;
     /// then invert and verify we recover the z-slabs.
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn forward_and_inverse_transpose_roundtrip() {
         let n = 8;
         let p = 4;
@@ -262,8 +263,7 @@ mod tests {
         let mut recv2: Vec<Vec<u32>> = (0..p).map(|_| vec![0u32; t.buf_len()]).collect();
         for d in 0..p {
             for s in 0..p {
-                recv2[d][s * blk..(s + 1) * blk]
-                    .copy_from_slice(&send2[s][d * blk..(d + 1) * blk]);
+                recv2[d][s * blk..(s + 1) * blk].copy_from_slice(&send2[s][d * blk..(d + 1) * blk]);
             }
         }
         for r in 0..p {

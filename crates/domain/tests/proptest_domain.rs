@@ -1,6 +1,8 @@
 //! Property tests for decomposition and transpose index math: partitions
 //! must tile exactly and pack/unpack must be bijective for arbitrary shapes.
 
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use psdns_domain::decomp::{split_even, GpuSplit, Pencil2d, PencilSplit, Slab1d};
 use psdns_domain::transpose::{apply_chunks, SlabTranspose};

@@ -85,7 +85,7 @@ impl<T: Real> BluesteinPlan<T> {
         self.inner
             .execute_with_scratch(work, inner_scratch, Direction::Forward);
         for (w, h) in work.iter_mut().zip(&self.kernel_fft) {
-            *w = *w * *h;
+            *w *= *h;
         }
         self.inner
             .execute_with_scratch(work, inner_scratch, Direction::Inverse);
@@ -139,7 +139,9 @@ mod tests {
         let n = 74;
         let plan = FftPlan::<f64>::new(n);
         assert!(plan.uses_bluestein());
-        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0 / (1 + i) as f64, 0.5)).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(1.0 / (1 + i) as f64, 0.5))
+            .collect();
         let mut y = x.clone();
         plan.execute(&mut y, Direction::Forward);
         plan.execute(&mut y, Direction::Inverse);

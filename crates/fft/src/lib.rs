@@ -64,7 +64,7 @@ pub fn is_smooth(n: usize) -> bool {
     }
     let mut m = n;
     for p in [2usize, 3, 5] {
-        while m % p == 0 {
+        while m.is_multiple_of(p) {
             m /= p;
         }
     }

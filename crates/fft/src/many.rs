@@ -19,7 +19,10 @@ pub struct ManyPlan<T: Real> {
 impl<T: Real> ManyPlan<T> {
     pub fn new(n: usize, stride: usize, dist: usize, count: usize) -> Self {
         assert!(n > 0 && stride > 0 && count > 0);
-        assert!(count == 1 || dist > 0, "dist must be positive for count > 1");
+        assert!(
+            count == 1 || dist > 0,
+            "dist must be positive for count > 1"
+        );
         Self {
             plan: FftPlan::new(n),
             n,
@@ -186,7 +189,7 @@ struct SendPtr<T>(*mut T);
 unsafe impl<T> Send for SendPtr<T> {}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
-        SendPtr(self.0)
+        *self
     }
 }
 impl<T> Copy for SendPtr<T> {}
@@ -203,7 +206,7 @@ impl<T: Real> ManyPlan<T> {
         }
         (self.stride == 1 && self.dist >= self.n)
             || (self.dist == 1 && self.stride >= self.count)
-            || self.dist >= (self.n - 1) * self.stride + 1
+            || self.dist > (self.n - 1) * self.stride
     }
 
     /// Execute all batches using `threads` worker threads — the hybrid
@@ -218,11 +221,11 @@ impl<T: Real> ManyPlan<T> {
         let nthreads = threads.min(self.count);
         let ptr = SendPtr(data.as_mut_ptr());
         let n = self.n;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..nthreads {
                 let plan = &self.plan;
                 let (stride, dist, count) = (self.stride, self.dist, self.count);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let ptr = ptr; // move the Copy wrapper
                     let mut line = vec![Complex::<T>::zero(); n];
                     let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
@@ -251,8 +254,7 @@ impl<T: Real> ManyPlan<T> {
                     }
                 });
             }
-        })
-        .expect("parallel fft scope");
+        });
     }
 }
 

@@ -165,10 +165,13 @@ mod tests {
         fft_2d(&mut data, nx, ny, Direction::Forward);
         for y in 0..ny {
             for x in 0..nx {
-                let expect = if x == kx && y == ky { (nx * ny) as f64 } else { 0.0 };
+                let expect = if x == kx && y == ky {
+                    (nx * ny) as f64
+                } else {
+                    0.0
+                };
                 assert!(
-                    (data[x + nx * y].re - expect).abs() < 1e-9
-                        && data[x + nx * y].im.abs() < 1e-9,
+                    (data[x + nx * y].re - expect).abs() < 1e-9 && data[x + nx * y].im.abs() < 1e-9,
                     "({x},{y})"
                 );
             }

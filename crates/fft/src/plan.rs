@@ -54,17 +54,17 @@ pub struct FftPlan<T: Real> {
 pub(crate) fn factorize(mut n: usize) -> (Vec<usize>, usize) {
     let mut factors = Vec::new();
     // Pull out fours first, then a possible leftover two.
-    while n % 4 == 0 {
+    while n.is_multiple_of(4) {
         factors.push(4);
         n /= 4;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         factors.push(2);
         n /= 2;
     }
     let mut p = 3;
     while p * p <= n && p <= MAX_RADIX {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             factors.push(p);
             n /= p;
         }
@@ -189,7 +189,14 @@ impl<T: Real> FftPlan<T> {
         let r = self.factors[level];
         let m = sub_n / r;
         for q in 0..r {
-            self.recurse(&inp[q * s..], &mut out[q * m..(q + 1) * m], m, s * r, level + 1, dir);
+            self.recurse(
+                &inp[q * s..],
+                &mut out[q * m..(q + 1) * m],
+                m,
+                s * r,
+                level + 1,
+                dir,
+            );
         }
         // Combine the r sub-transforms: for each k0, gather the q-th outputs,
         // apply twiddles w_n^{q·k0}, and take an r-point DFT across q.
@@ -286,7 +293,8 @@ mod tests {
             x[j0] = Complex64::one();
             plan.execute(&mut x, Direction::Forward);
             for (k, v) in x.iter().enumerate() {
-                let expect = Complex64::cis(-2.0 * std::f64::consts::PI * (j0 * k % n) as f64 / n as f64);
+                let expect =
+                    Complex64::cis(-2.0 * std::f64::consts::PI * (j0 * k % n) as f64 / n as f64);
                 assert!(
                     (*v - expect).abs() < 1e-10,
                     "n={n} j0={j0} k={k}: {v:?} vs {expect:?}"
@@ -297,7 +305,9 @@ mod tests {
 
     #[test]
     fn impulses_across_radices() {
-        for n in [2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 27, 30, 36, 48, 60, 64, 72, 144] {
+        for n in [
+            2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 27, 30, 36, 48, 60, 64, 72, 144,
+        ] {
             impulse_response(n);
         }
     }

@@ -9,7 +9,10 @@ fn main() {
         (1024, 12288, [47.57, 13.63, 12.62, 10.14]),
         (3072, 18432, [41.96, 25.44, 22.30, 14.24]),
     ];
-    println!("{:>6} {:>7} | {:>18} {:>18} {:>18} {:>18}", "nodes", "N", "CPU", "A", "B", "C");
+    println!(
+        "{:>6} {:>7} | {:>18} {:>18} {:>18} {:>18}",
+        "nodes", "N", "CPU", "A", "B", "C"
+    );
     for (nodes, n, paper) in TABLE3 {
         let got = [
             m.step_time(DnsConfig::CpuSync, n, nodes),
@@ -19,12 +22,20 @@ fn main() {
         ];
         print!("{:>6} {:>7} |", nodes, n);
         for (g, p) in got.iter().zip(&paper) {
-            print!(" {:6.2}/{:6.2} {:+4.0}%", g.total, p, (g.total - p) / p * 100.0);
+            print!(
+                " {:6.2}/{:6.2} {:+4.0}%",
+                g.total,
+                p,
+                (g.total - p) / p * 100.0
+            );
         }
         println!();
         print!("      breakdown mpi/xfer/comp/pack/host: ");
         for g in &got {
-            print!(" [{:.1}/{:.1}/{:.1}/{:.1}/{:.1}]", g.mpi, g.gpu_transfer, g.gpu_compute, g.pack_overhead, g.host);
+            print!(
+                " [{:.1}/{:.1}/{:.1}/{:.1}/{:.1}]",
+                g.mpi, g.gpu_transfer, g.gpu_compute, g.pack_overhead, g.host
+            );
         }
         println!();
     }

@@ -11,9 +11,7 @@
 //!   thread blocks assigned until the link saturates (Fig. 8), and it
 //!   *does* occupy SMs.
 
-use serde::{Deserialize, Serialize};
-
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum CopyApproach {
     /// Loop of `cudaMemcpyAsync`, one per contiguous chunk.
     ManyMemcpyAsync,
@@ -24,7 +22,7 @@ pub enum CopyApproach {
 }
 
 /// Calibrated constants (times in seconds, rates in bytes/s).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CopyModel {
     /// CUDA API call overhead per `cudaMemcpyAsync` (≈ 8 µs: the paper
     /// observes "the many cudaMemcpyAsync calls required can be very slow,
@@ -94,7 +92,11 @@ impl CopyModel {
     /// Zero-copy kernel bandwidth as a function of assigned thread blocks
     /// (Fig. 8). Saturates at the link bandwidth.
     pub fn zero_copy_bandwidth(&self, blocks: usize, h2d: bool) -> f64 {
-        let link = if h2d { self.link_bw_h2d } else { self.link_bw_d2h };
+        let link = if h2d {
+            self.link_bw_h2d
+        } else {
+            self.link_bw_d2h
+        };
         (blocks as f64 * self.zc_bw_per_block).min(link)
     }
 
@@ -160,7 +162,10 @@ mod tests {
         let chunk = 8.8e6;
         let many = m.strided_copy_time(CopyApproach::ManyMemcpyAsync, total, chunk);
         let two_d = m.strided_copy_time(CopyApproach::Memcpy2dAsync, total, chunk);
-        assert!(many < 1.3 * two_d, "approaches should converge at large chunks");
+        assert!(
+            many < 1.3 * two_d,
+            "approaches should converge at large chunks"
+        );
     }
 
     #[test]

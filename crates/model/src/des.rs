@@ -98,11 +98,7 @@ impl DesEngine {
         // the order they were enqueued; dependencies stall the *resource*
         // (a stream blocked on an event blocks everything behind it).
         for (i, t) in self.tasks.iter().enumerate() {
-            let dep_ready = t
-                .deps
-                .iter()
-                .map(|d| end[d.0])
-                .fold(0.0f64, f64::max);
+            let dep_ready = t.deps.iter().map(|d| end[d.0]).fold(0.0f64, f64::max);
             let res_free = *free.get(&t.resource).unwrap_or(&0.0);
             let s = dep_ready.max(res_free);
             start[i] = s;
@@ -214,7 +210,7 @@ mod tests {
         // should run while later pencils stream.
         let per_slab = simulate_pipeline(4, 4, 0.1, 0.1, 0.1, 4.0); // one 4s a2a
         let per_pencil = simulate_pipeline(4, 1, 0.1, 0.1, 0.1, 1.0); // four 1s a2a
-        // Same total MPI seconds; per-pencil hides most GPU time behind MPI.
+                                                                      // Same total MPI seconds; per-pencil hides most GPU time behind MPI.
         assert!(per_pencil < per_slab, "{per_pencil} !< {per_slab}");
     }
 

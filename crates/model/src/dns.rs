@@ -27,13 +27,11 @@
 //! transpose (DDR-limited) plus an off-node column transpose through the
 //! same bandwidth model, and FFTs at an effective per-core rate.
 
-use serde::{Deserialize, Serialize};
-
 use crate::machine::SummitConfig;
 use crate::network::{p2p_message_bytes, A2aModel};
 
 /// The paper's execution configurations (Table 3 columns).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum DnsConfig {
     /// Pencil-decomposed synchronous CPU code (the baseline of \[23\]).
     CpuSync,
@@ -66,7 +64,7 @@ impl DnsConfig {
 
 /// Fitted constants. Everything hardware-derived lives in
 /// [`SummitConfig`]; everything *fitted to Table 3* lives here, documented.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DnsModelKnobs {
     /// Logical 3-variable transposes per RK2 step (2 substages × velocities
     /// forward + nonlinear back).
@@ -138,7 +136,7 @@ fn interp(points: &[(f64, f64)], x: f64) -> f64 {
 }
 
 /// Per-step time decomposition (seconds).
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct StepBreakdown {
     pub mpi: f64,
     pub gpu_transfer: f64,
@@ -318,8 +316,8 @@ impl DnsModel {
             .iter()
             .map(|&(m2, n2)| {
                 let t2 = best(m2, n2);
-                let ws = (n2 as f64 / n1 as f64).powi(3) * (t1 / t2) * (m1 as f64 / m2 as f64)
-                    * 100.0;
+                let ws =
+                    (n2 as f64 / n1 as f64).powi(3) * (t1 / t2) * (m1 as f64 / m2 as f64) * 100.0;
                 (m2, n2, t2, ws)
             })
             .collect()
@@ -425,8 +423,14 @@ mod tests {
         let t = m.table3();
         let sp12288 = t[2].3[2];
         let sp18432 = t[3].3[2];
-        assert!(sp12288 > 3.5 && sp12288 < 6.0, "12288³ speedup {sp12288:.1}");
-        assert!(sp18432 > 2.0 && sp18432 < 4.0, "18432³ speedup {sp18432:.1}");
+        assert!(
+            sp12288 > 3.5 && sp12288 < 6.0,
+            "12288³ speedup {sp12288:.1}"
+        );
+        assert!(
+            sp18432 > 2.0 && sp18432 < 4.0,
+            "18432³ speedup {sp18432:.1}"
+        );
         assert!(sp12288 > sp18432, "speedup declines at the largest size");
     }
 
@@ -499,7 +503,11 @@ mod tests {
         let m = DnsModel::default();
         assert_eq!(m.recommend_config(3072, 16), DnsConfig::GpuB);
         for &(nodes, n) in &crate::PAPER_CASES[1..] {
-            assert_eq!(m.recommend_config(n, nodes), DnsConfig::GpuC, "at {nodes} nodes");
+            assert_eq!(
+                m.recommend_config(n, nodes),
+                DnsConfig::GpuC,
+                "at {nodes} nodes"
+            );
         }
     }
 

@@ -1,9 +1,7 @@
 //! Summit hardware constants (paper §3.2 "Target System", §4.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Rates in bytes/second, capacities in bytes.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SummitConfig {
     pub nodes_total: usize,
     pub sockets_per_node: usize,
@@ -67,7 +65,10 @@ impl SummitConfig {
     /// 42 for most N; 36 for 18432³).
     pub fn usable_cores(&self, n: usize) -> usize {
         let total = self.cores_per_node();
-        (1..=total).filter(|c| n % c == 0).max().unwrap_or(1)
+        (1..=total)
+            .filter(|c| n.is_multiple_of(*c))
+            .max()
+            .unwrap_or(1)
     }
 
     pub fn cores_per_node(&self) -> usize {

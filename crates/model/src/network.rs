@@ -14,8 +14,6 @@
 //! The plateau and half-saturation tables below are fit to the 12 entries
 //! of Table 2; intermediate node counts interpolate in log–log space.
 
-use serde::{Deserialize, Serialize};
-
 /// Effective bandwidth formula of the paper (Eq. 3):
 /// `BW = 2·P2P·P·tpn / time` — i.e. per-node in+out bytes over time.
 pub fn per_node_bytes(p2p_bytes: f64, ranks: usize, tasks_per_node: usize) -> f64 {
@@ -31,7 +29,7 @@ pub fn p2p_message_bytes(n: usize, ranks: usize, np_per_call: usize, nv: usize) 
 }
 
 /// Calibrated model of per-node effective all-to-all bandwidth.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct A2aModel {
     /// (nodes, plateau GB/s) calibration points.
     pub plateau_points: Vec<(f64, f64)>,
@@ -118,6 +116,7 @@ mod tests {
     use super::*;
 
     /// Paper Table 2, in the same layout as `table2_row`.
+    #[allow(clippy::type_complexity)]
     pub const TABLE2: [(usize, usize, usize, [(f64, f64); 3]); 4] = [
         (16, 3072, 3, [(12.0, 36.5), (108.0, 43.1), (324.0, 43.6)]),
         (128, 6144, 3, [(1.5, 24.0), (13.5, 39.0), (40.5, 39.0)]),

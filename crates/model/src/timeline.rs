@@ -4,13 +4,11 @@
 //! Visual Profiler traces; we render them from the same per-pencil
 //! recurrence the cost model uses.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dns::{DnsConfig, DnsModel};
 use crate::network::p2p_message_bytes;
 
 /// Display lane, mirroring the paper's row coloring.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Lane {
     /// Red: network all-to-all.
     Mpi,
@@ -30,7 +28,7 @@ impl Lane {
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TimelineEvent {
     pub lane: Lane,
     pub label: String,
@@ -61,8 +59,8 @@ impl DnsModel {
         let bytes = k.nv as f64 * w * 4.0;
         let t_h2d = bytes / self.machine.nvlink_per_rank(tpn);
         let t_comp = k.nv as f64 * 5.0 * w * (n as f64).powi(3).log2() / (gpr * k.gpu_fft_flops);
-        let t_pack =
-            k.nv as f64 * n as f64 * k.pack_api_overhead / gpr + bytes / self.machine.nvlink_per_rank(tpn);
+        let t_pack = k.nv as f64 * n as f64 * k.pack_api_overhead / gpr
+            + bytes / self.machine.nvlink_per_rank(tpn);
         let bytes_node_pencil =
             2.0 * 4.0 * k.nv as f64 * (n as f64).powi(3) / nodes as f64 / np as f64;
         let per_pencil_mpi = {
@@ -86,6 +84,7 @@ impl DnsModel {
         let mut comp_free = 0.0f64;
         let mut mpi_free = 0.0f64;
         let mut last_d2h_end = vec![0.0f64; np];
+        #[allow(clippy::needless_range_loop)]
         for ip in 0..np {
             // H2D on the transfer stream.
             let h2d_start = xfer_free;
@@ -248,7 +247,11 @@ mod tests {
                 .filter(|e| e.lane == Lane::Mpi)
                 .map(|e| e.end - e.start)
                 .sum();
-            assert!(mpi_busy / span > 0.5, "{cfg:?}: MPI fraction {}", mpi_busy / span);
+            assert!(
+                mpi_busy / span > 0.5,
+                "{cfg:?}: MPI fraction {}",
+                mpi_busy / span
+            );
         }
     }
 

@@ -1,0 +1,161 @@
+//! Chrome-trace ("Trace Event Format") JSON export.
+//!
+//! Emits the JSON object form with complete (`ph:"X"`) events: `pid` is the
+//! rank, `tid` is a small integer per `(rank, track)` pair, and metadata
+//! events name both so `chrome://tracing` / Perfetto show one process per
+//! rank with one named row per stream/network/solver track.
+
+use crate::TraceSpan;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Serialize spans to a `chrome://tracing`-loadable JSON string.
+pub fn chrome_trace_json(spans: &[TraceSpan]) -> String {
+    // Stable tid assignment: tracks numbered in sorted order within each rank.
+    let mut tids: BTreeMap<(usize, &str), u64> = spans
+        .iter()
+        .map(|sp| ((sp.rank, sp.track.as_str()), 0))
+        .collect();
+    let mut prev_rank = None;
+    let mut next = 0;
+    for ((rank, _), tid) in tids.iter_mut() {
+        if prev_rank != Some(*rank) {
+            prev_rank = Some(*rank);
+            next = 0;
+        }
+        *tid = next;
+        next += 1;
+    }
+
+    let mut out = String::with_capacity(128 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_event = |out: &mut String, first: &mut bool, body: &str| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(body);
+    };
+
+    let mut named_pids = Vec::new();
+    for (&(rank, track), &tid) in &tids {
+        if !named_pids.contains(&rank) {
+            named_pids.push(rank);
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
+                     \"args\":{{\"name\":\"rank {rank}\"}}}}"
+                ),
+            );
+        }
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(track)
+            ),
+        );
+    }
+
+    for sp in spans {
+        let tid = tids[&(sp.rank, sp.track.as_str())];
+        // Trace-event timestamps are microseconds; keep sub-µs precision as
+        // fractional values.
+        let ts = sp.start_ns as f64 / 1000.0;
+        let dur = sp.duration_ns() as f64 / 1000.0;
+        let mut ev = String::with_capacity(96);
+        let _ = write!(
+            ev,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+             \"pid\":{},\"tid\":{tid}}}",
+            escape(&sp.name),
+            sp.kind.label(),
+            sp.rank
+        );
+        push_event(&mut out, &mut first, &ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanKind;
+
+    fn span(rank: usize, track: &str, name: &str, start: u64, end: u64) -> TraceSpan {
+        TraceSpan {
+            rank,
+            track: track.into(),
+            kind: SpanKind::FftCompute,
+            name: name.into(),
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn emits_metadata_and_events() {
+        let spans = vec![
+            span(0, "comp", "fft-y", 1_000, 2_000),
+            span(1, "net", "a2a", 1_500, 3_000),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"comp\""));
+        assert!(json.contains("\"name\":\"fft-y\""));
+        assert!(json.contains("\"pid\":1"));
+        // 1000 ns -> 1.000 µs
+        assert!(json.contains("\"ts\":1.000"));
+    }
+
+    #[test]
+    fn tids_are_stable_per_rank() {
+        let spans = vec![
+            span(0, "b-track", "x", 0, 1),
+            span(0, "a-track", "y", 2, 3),
+            span(0, "b-track", "z", 4, 5),
+        ];
+        let json = chrome_trace_json(&spans);
+        // Sorted track order: a-track -> tid 0, b-track -> tid 1.
+        assert!(json.contains("\"tid\":0,\"args\":{\"name\":\"a-track\"}"));
+        assert!(json.contains("\"tid\":1,\"args\":{\"name\":\"b-track\"}"));
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let spans = vec![span(0, "t", "quote\"back\\slash\ncontrol", 0, 1)];
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("quote\\\"back\\\\slash\\u000acontrol"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,499 @@
+//! Structured tracing + metrics for every runtime layer of the DNS.
+//!
+//! The paper's argument (Figs. 9–10, Tables 2–4) is about *where time goes*:
+//! how much of the all-to-all is hidden behind GPU compute, how busy each copy
+//! engine is, where the solver phases sit. This crate is the shared
+//! observability layer that makes those questions answerable on the real code
+//! path instead of only in the performance model:
+//!
+//! - a cheap, clonable, rank-aware [`Tracer`] with typed [`SpanKind`]s
+//!   covering device copies (H2D/D2H), FFT kernels, pack/unpack, all-to-all
+//!   post/wait, and solver phases;
+//! - monotonic timestamps from a single per-job epoch so spans from all ranks,
+//!   streams and the network land on one timeline;
+//! - per-rank [`Counters`] (bytes moved H2D/D2H/over the network, a2a calls,
+//!   kernel launches);
+//! - exporters: Chrome-trace JSON loadable in `chrome://tracing` (one track
+//!   per rank × stream × network), a plain-text per-phase summary, and an
+//!   overlap-efficiency report — the fraction of network time hidden behind
+//!   compute, the paper's figure of merit for configs A/B/C.
+//!
+//! The crate is dependency-free (std only) so every runtime crate can use it
+//! without widening the build graph.
+
+mod chrome;
+mod report;
+
+pub use chrome::chrome_trace_json;
+pub use report::{OverlapReport, RankOverlap};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What a span measures. Kinds are coarse on purpose: they are the rows of the
+/// per-phase summary and the classes of the overlap report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Host→device copy (pinned staging or zero-copy gather).
+    H2d,
+    /// Device→host copy.
+    D2h,
+    /// FFT kernel work, on device streams or host worker threads.
+    FftCompute,
+    /// Pack/unpack or transpose-local data movement.
+    PackUnpack,
+    /// Posting a (non)blocking all-to-all: the send fan-out.
+    A2aPost,
+    /// Completing an all-to-all: the receive fan-in.
+    A2aWait,
+    /// Solver: forming the nonlinear term u×ω.
+    NonlinearTerm,
+    /// Solver: projection + dealiasing in spectral space.
+    Projection,
+    /// Solver: one full time step.
+    Step,
+    /// Anything else worth seeing on the timeline.
+    Other,
+}
+
+impl SpanKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::H2d => "h2d",
+            SpanKind::D2h => "d2h",
+            SpanKind::FftCompute => "fft",
+            SpanKind::PackUnpack => "pack",
+            SpanKind::A2aPost => "a2a-post",
+            SpanKind::A2aWait => "a2a-wait",
+            SpanKind::NonlinearTerm => "nonlinear",
+            SpanKind::Projection => "projection",
+            SpanKind::Step => "step",
+            SpanKind::Other => "other",
+        }
+    }
+
+    /// Kinds counted as "compute" when measuring how much network time is
+    /// hidden. Copies ride dedicated engines in the paper's machine model, so
+    /// only kernel-side work counts.
+    pub fn is_compute(self) -> bool {
+        matches!(self, SpanKind::FftCompute | SpanKind::PackUnpack)
+    }
+
+    /// Kinds counted as "network" time in the overlap report.
+    pub fn is_network(self) -> bool {
+        matches!(self, SpanKind::A2aPost | SpanKind::A2aWait)
+    }
+}
+
+/// One closed interval of work on some track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    pub rank: usize,
+    /// Timeline the span belongs to, e.g. `xfer-r0g0`, `comp-r0g0`, `net`,
+    /// `step`. Spans on one `(rank, track)` pair never overlap: a track is a
+    /// single worker (stream thread, host thread phase, network engine).
+    pub track: String,
+    pub kind: SpanKind,
+    pub name: String,
+    /// Nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl TraceSpan {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Monotonic per-rank event counters.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub bytes_h2d: AtomicU64,
+    pub bytes_d2h: AtomicU64,
+    pub bytes_network: AtomicU64,
+    pub a2a_calls: AtomicU64,
+    pub kernel_launches: AtomicU64,
+}
+
+/// Plain-value copy of [`Counters`] for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub bytes_h2d: u64,
+    pub bytes_d2h: u64,
+    pub bytes_network: u64,
+    pub a2a_calls: u64,
+    pub kernel_launches: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            bytes_h2d: self.bytes_h2d.load(Ordering::Relaxed),
+            bytes_d2h: self.bytes_d2h.load(Ordering::Relaxed),
+            bytes_network: self.bytes_network.load(Ordering::Relaxed),
+            a2a_calls: self.a2a_calls.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    enabled: AtomicBool,
+    spans: Mutex<Vec<TraceSpan>>,
+    /// Counter cells indexed by rank; grown on first use of a rank handle.
+    counters: Mutex<Vec<Arc<Counters>>>,
+}
+
+/// Handle to a shared trace. Clones are cheap; [`Tracer::for_rank`] derives a
+/// handle whose spans and counters are attributed to that rank, so one tracer
+/// per job is threaded through comm, device, and solver layers of every rank.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+    rank: usize,
+    cell: Arc<Counters>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh, enabled tracer attributed to rank 0.
+    pub fn new() -> Self {
+        let inner = Arc::new(Inner {
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(true),
+            spans: Mutex::new(Vec::new()),
+            counters: Mutex::new(Vec::new()),
+        });
+        Self::with_rank(inner, 0)
+    }
+
+    fn with_rank(inner: Arc<Inner>, rank: usize) -> Self {
+        let cell = {
+            let mut cells = inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+            while cells.len() <= rank {
+                cells.push(Arc::new(Counters::default()));
+            }
+            Arc::clone(&cells[rank])
+        };
+        Self { inner, rank, cell }
+    }
+
+    /// Same trace, attributed to `rank`. Every layer of that rank (comm,
+    /// device streams, solver) should receive a clone of this handle.
+    pub fn for_rank(&self, rank: usize) -> Self {
+        Self::with_rank(Arc::clone(&self.inner), rank)
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the shared epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Open a span on `track`; it closes (and is recorded) when the returned
+    /// guard drops, or explicitly via [`SpanGuard::finish`].
+    pub fn span(&self, kind: SpanKind, track: &str, name: &str) -> SpanGuard {
+        SpanGuard {
+            tracer: self.clone(),
+            kind,
+            track: track.to_string(),
+            name: name.to_string(),
+            start_ns: self.now_ns(),
+            done: !self.is_enabled(),
+        }
+    }
+
+    /// Record a span whose interval was measured externally (e.g. on a device
+    /// stream worker), in nanoseconds since [`Tracer::now_ns`]'s epoch.
+    pub fn record(&self, kind: SpanKind, track: &str, name: &str, start_ns: u64, end_ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let span = TraceSpan {
+            rank: self.rank,
+            track: track.to_string(),
+            kind,
+            name: name.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        };
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span);
+    }
+
+    pub fn add_bytes_h2d(&self, bytes: usize) {
+        self.cell
+            .bytes_h2d
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_d2h(&self, bytes: usize) {
+        self.cell
+            .bytes_d2h
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_network(&self, bytes: usize) {
+        self.cell
+            .bytes_network
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn incr_a2a_calls(&self) {
+        self.cell.a2a_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn incr_kernel_launches(&self) {
+        self.cell.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counters of this handle's rank.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.cell.snapshot()
+    }
+
+    /// Counters of an arbitrary rank, if that rank ever traced anything.
+    pub fn counters_for(&self, rank: usize) -> Option<CounterSnapshot> {
+        let cells = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        cells.get(rank).map(|c| c.snapshot())
+    }
+
+    /// Sum of all ranks' counters.
+    pub fn total_counters(&self) -> CounterSnapshot {
+        let cells = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut t = CounterSnapshot::default();
+        for c in cells.iter() {
+            let s = c.snapshot();
+            t.bytes_h2d += s.bytes_h2d;
+            t.bytes_d2h += s.bytes_d2h;
+            t.bytes_network += s.bytes_network;
+            t.a2a_calls += s.a2a_calls;
+            t.kernel_launches += s.kernel_launches;
+        }
+        t
+    }
+
+    /// Number of ranks that ever obtained a handle.
+    pub fn ranks(&self) -> usize {
+        self.inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Snapshot of all spans, sorted by (rank, track, start).
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        let mut spans = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        spans.sort_by(|a, b| {
+            (a.rank, &a.track, a.start_ns, a.end_ns).cmp(&(b.rank, &b.track, b.start_ns, b.end_ns))
+        });
+        spans
+    }
+
+    /// Drop all recorded spans and zero every counter.
+    pub fn clear(&self) {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        let cells = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for c in cells.iter() {
+            c.bytes_h2d.store(0, Ordering::Relaxed);
+            c.bytes_d2h.store(0, Ordering::Relaxed);
+            c.bytes_network.store(0, Ordering::Relaxed);
+            c.a2a_calls.store(0, Ordering::Relaxed);
+            c.kernel_launches.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Chrome-trace JSON of everything recorded so far; load via
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        chrome::chrome_trace_json(&self.spans())
+    }
+
+    /// Plain-text per-phase summary: wall time and span count per rank × kind,
+    /// plus the counters.
+    pub fn summary(&self) -> String {
+        report::summary(&self.spans(), self)
+    }
+
+    /// Overlap-efficiency report: per rank, the fraction of network time
+    /// (a2a post + wait) hidden behind compute (FFT + pack kernels).
+    pub fn overlap_report(&self) -> OverlapReport {
+        report::overlap_report(&self.spans())
+    }
+}
+
+/// RAII guard recording one span on drop.
+pub struct SpanGuard {
+    tracer: Tracer,
+    kind: SpanKind,
+    track: String,
+    name: String,
+    start_ns: u64,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Close the span now instead of at end of scope.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let end = self.tracer.now_ns();
+        self.tracer
+            .record(self.kind, &self.track, &self.name, self.start_ns, end);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_are_attributed_to_ranks() {
+        let t = Tracer::new();
+        let t1 = t.for_rank(1);
+        t.record(SpanKind::H2d, "xfer", "a", 0, 10);
+        t1.record(SpanKind::D2h, "xfer", "b", 5, 15);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].rank, 0);
+        assert_eq!(spans[1].rank, 1);
+        assert_eq!(spans[1].kind, SpanKind::D2h);
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        let t = Tracer::new();
+        {
+            let _g = t.span(SpanKind::Step, "step", "rk2");
+            thread::sleep(Duration::from_millis(1));
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].duration_ns() >= 1_000_000);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.set_enabled(false);
+        t.record(SpanKind::Step, "step", "x", 0, 1);
+        let g = t.span(SpanKind::Step, "step", "y");
+        g.finish();
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn counters_are_per_rank_and_total() {
+        let t = Tracer::new();
+        let t1 = t.for_rank(1);
+        t.add_bytes_h2d(100);
+        t1.add_bytes_h2d(11);
+        t1.add_bytes_network(7);
+        t1.incr_a2a_calls();
+        assert_eq!(t.counters().bytes_h2d, 100);
+        assert_eq!(t.counters_for(1).unwrap().bytes_h2d, 11);
+        let total = t.total_counters();
+        assert_eq!(total.bytes_h2d, 111);
+        assert_eq!(total.bytes_network, 7);
+        assert_eq!(total.a2a_calls, 1);
+        assert_eq!(t.ranks(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let t = Tracer::new();
+        t.record(SpanKind::Other, "t", "x", 0, 1);
+        t.add_bytes_d2h(9);
+        t.clear();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.counters(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_rank_handles() {
+        let t = Tracer::new();
+        thread::scope(|s| {
+            for r in 0..4 {
+                let h = t.for_rank(r);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        h.record(SpanKind::FftCompute, "comp", "k", i * 10, i * 10 + 5);
+                        h.incr_kernel_launches();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.spans().len(), 200);
+        assert_eq!(t.total_counters().kernel_launches, 200);
+    }
+
+    #[test]
+    fn span_sort_is_stable_by_track() {
+        let t = Tracer::new();
+        t.record(SpanKind::FftCompute, "b", "later", 5, 9);
+        t.record(SpanKind::FftCompute, "b", "early", 0, 4);
+        t.record(SpanKind::FftCompute, "a", "other", 2, 3);
+        let s = t.spans();
+        assert_eq!(s[0].track, "a");
+        assert_eq!(s[1].name, "early");
+        assert_eq!(s[2].name, "later");
+    }
+}

@@ -1,0 +1,259 @@
+//! Text reports over a recorded trace: the per-phase summary and the
+//! overlap-efficiency report (fraction of network time hidden behind
+//! compute — the paper's figure of merit for the async configs).
+
+use crate::{SpanKind, TraceSpan, Tracer};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Merge possibly-overlapping `[start, end)` intervals into a disjoint,
+/// sorted list.
+fn merge(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some((_, le)) if s <= *le => *le = (*le).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn measure(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total length of the intersection of two merged interval lists.
+fn intersection(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Per-rank network/compute overlap measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankOverlap {
+    pub rank: usize,
+    /// Wall time covered by a2a post/wait spans, ns.
+    pub network_ns: u64,
+    /// Wall time covered by compute (FFT + pack) spans, ns.
+    pub compute_ns: u64,
+    /// Network time that coincided with compute, ns.
+    pub hidden_ns: u64,
+}
+
+impl RankOverlap {
+    /// Fraction of network time hidden behind compute, in `[0, 1]`.
+    /// Zero network time counts as fully exposed (0.0) rather than undefined.
+    pub fn efficiency(&self) -> f64 {
+        if self.network_ns == 0 {
+            0.0
+        } else {
+            self.hidden_ns as f64 / self.network_ns as f64
+        }
+    }
+}
+
+/// Overlap efficiency across all ranks of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapReport {
+    pub per_rank: Vec<RankOverlap>,
+}
+
+impl OverlapReport {
+    /// Job-wide efficiency: hidden network time over total network time.
+    pub fn efficiency(&self) -> f64 {
+        let net: u64 = self.per_rank.iter().map(|r| r.network_ns).sum();
+        let hidden: u64 = self.per_rank.iter().map(|r| r.hidden_ns).sum();
+        if net == 0 {
+            0.0
+        } else {
+            hidden as f64 / net as f64
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self, label: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "overlap efficiency [{label}]");
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:>12}  {:>12}  {:>12}  {:>8}",
+            "rank", "network(us)", "compute(us)", "hidden(us)", "hidden%"
+        );
+        for r in &self.per_rank {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7.1}%",
+                r.rank,
+                r.network_ns as f64 / 1e3,
+                r.compute_ns as f64 / 1e3,
+                r.hidden_ns as f64 / 1e3,
+                100.0 * r.efficiency()
+            );
+        }
+        let _ = writeln!(out, "  all   hidden fraction = {:.3}", self.efficiency());
+        out
+    }
+}
+
+/// Per-rank interval lists: (network spans, compute spans) as `(start, end)` ns.
+type RankIntervals = (Vec<(u64, u64)>, Vec<(u64, u64)>);
+
+pub(crate) fn overlap_report(spans: &[TraceSpan]) -> OverlapReport {
+    let mut ranks: BTreeMap<usize, RankIntervals> = BTreeMap::new();
+    for sp in spans {
+        let entry = ranks.entry(sp.rank).or_default();
+        if sp.kind.is_network() {
+            entry.0.push((sp.start_ns, sp.end_ns));
+        } else if sp.kind.is_compute() {
+            entry.1.push((sp.start_ns, sp.end_ns));
+        }
+    }
+    let per_rank = ranks
+        .into_iter()
+        .map(|(rank, (net, comp))| {
+            let net = merge(net);
+            let comp = merge(comp);
+            RankOverlap {
+                rank,
+                network_ns: measure(&net),
+                compute_ns: measure(&comp),
+                hidden_ns: intersection(&net, &comp),
+            }
+        })
+        .collect();
+    OverlapReport { per_rank }
+}
+
+pub(crate) fn summary(spans: &[TraceSpan], tracer: &Tracer) -> String {
+    // (rank, kind) -> (count, total ns)
+    let mut rows: BTreeMap<(usize, SpanKind), (usize, u64)> = BTreeMap::new();
+    for sp in spans {
+        let e = rows.entry((sp.rank, sp.kind)).or_default();
+        e.0 += 1;
+        e.1 += sp.duration_ns();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<10}  {:>6}  {:>12}",
+        "rank", "phase", "spans", "total(us)"
+    );
+    for ((rank, kind), (count, ns)) in &rows {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<10}  {:>6}  {:>12.1}",
+            rank,
+            kind.label(),
+            count,
+            *ns as f64 / 1e3
+        );
+    }
+    for rank in 0..tracer.ranks() {
+        if let Some(c) = tracer.counters_for(rank) {
+            let _ = writeln!(
+                out,
+                "rank {rank}: h2d {} B, d2h {} B, network {} B, a2a calls {}, kernel launches {}",
+                c.bytes_h2d, c.bytes_d2h, c.bytes_network, c.a2a_calls, c.kernel_launches
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rank: usize, kind: SpanKind, start: u64, end: u64) -> TraceSpan {
+        TraceSpan {
+            rank,
+            track: "t".into(),
+            kind,
+            name: "x".into(),
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn merge_and_intersect() {
+        let a = merge(vec![(0, 10), (5, 15), (20, 30)]);
+        assert_eq!(a, vec![(0, 15), (20, 30)]);
+        assert_eq!(measure(&a), 25);
+        let b = merge(vec![(12, 25)]);
+        assert_eq!(intersection(&a, &b), 3 + 5);
+    }
+
+    #[test]
+    fn fully_hidden_network() {
+        let spans = vec![
+            span(0, SpanKind::A2aWait, 10, 20),
+            span(0, SpanKind::FftCompute, 0, 30),
+        ];
+        let r = overlap_report(&spans);
+        assert_eq!(r.per_rank.len(), 1);
+        assert_eq!(r.per_rank[0].hidden_ns, 10);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_exposed_network() {
+        let spans = vec![
+            span(0, SpanKind::FftCompute, 0, 10),
+            span(0, SpanKind::A2aWait, 10, 20),
+        ];
+        let r = overlap_report(&spans);
+        assert_eq!(r.per_rank[0].hidden_ns, 0);
+        assert_eq!(r.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_multiple_ranks() {
+        let spans = vec![
+            span(0, SpanKind::A2aPost, 0, 4),
+            span(0, SpanKind::FftCompute, 2, 6),
+            span(1, SpanKind::A2aWait, 0, 10),
+            span(1, SpanKind::PackUnpack, 5, 10),
+        ];
+        let r = overlap_report(&spans);
+        assert_eq!(r.per_rank[0].hidden_ns, 2);
+        assert_eq!(r.per_rank[1].hidden_ns, 5);
+        // (2 + 5) / (4 + 10)
+        assert!((r.efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_network_time_is_zero_efficiency() {
+        let spans = vec![span(0, SpanKind::FftCompute, 0, 10)];
+        let r = overlap_report(&spans);
+        assert_eq!(r.efficiency(), 0.0);
+        assert!(r.to_text("empty").contains("hidden fraction = 0.000"));
+    }
+
+    #[test]
+    fn summary_lists_phases_and_counters() {
+        let t = Tracer::new();
+        t.record(SpanKind::Step, "step", "rk2", 0, 5_000);
+        t.record(SpanKind::Step, "step", "rk2", 5_000, 9_000);
+        t.add_bytes_network(1234);
+        let s = t.summary();
+        assert!(s.contains("step"));
+        assert!(s.contains("2"));
+        assert!(s.contains("network 1234 B"));
+    }
+}

@@ -34,12 +34,16 @@ fn main() {
     println!("leg 1: {first_leg} steps on 4 ranks …");
     let checkpoints = Universe::run(4, |comm| {
         let shape = LocalShape::new(n, 4, comm.rank());
-        let mut ns = NavierStokes::new(SlabFftCpu::<f64>::new(shape, comm), config(), taylor_green(shape));
+        let mut ns = NavierStokes::new(
+            SlabFftCpu::<f64>::new(shape, comm),
+            config(),
+            taylor_green(shape),
+        );
         for _ in 0..first_leg {
             ns.step();
         }
-        let bytes = Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count)
-            .encode();
+        let bytes =
+            Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count).encode();
         println!(
             "  rank {} wrote {} KB (E = {:.6e})",
             shape.rank,
@@ -55,7 +59,10 @@ fn main() {
         .map(|b| Checkpoint::decode(b).expect("valid checkpoint"))
         .collect();
     let resliced = reslice(&parts, 2);
-    println!("\nre-sliced 4-rank checkpoint into {} slabs for the new partition", resliced.len());
+    println!(
+        "\nre-sliced 4-rank checkpoint into {} slabs for the new partition",
+        resliced.len()
+    );
 
     // Leg 2: resume on 2 ranks.
     println!("\nleg 2: {second_leg} more steps on 2 ranks …");
@@ -70,13 +77,20 @@ fn main() {
         for _ in 0..second_leg {
             ns.step();
         }
-        (ns.step_count, flow_stats(&ns.u, 0.03, ns.backend.comm()).energy)
+        (
+            ns.step_count,
+            flow_stats(&ns.u, 0.03, ns.backend.comm()).energy,
+        )
     });
 
     // Reference: an uninterrupted 20-step run on 2 ranks.
     let reference = Universe::run(2, |comm| {
         let shape = LocalShape::new(n, 2, comm.rank());
-        let mut ns = NavierStokes::new(SlabFftCpu::<f64>::new(shape, comm), config(), taylor_green(shape));
+        let mut ns = NavierStokes::new(
+            SlabFftCpu::<f64>::new(shape, comm),
+            config(),
+            taylor_green(shape),
+        );
         for _ in 0..first_leg + second_leg {
             ns.step();
         }

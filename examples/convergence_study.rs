@@ -50,7 +50,7 @@ fn main() {
         for &dt in &[2e-2, 1e-2, 5e-3, 2.5e-3] {
             let err = (run_energy(n, dt, scheme, t_final) - reference).abs();
             let order = last
-                .map(|(pdt, perr)| (perr / err).log2() / (pdt / dt as f64).log2())
+                .map(|(pdt, perr)| (perr / err).log2() / (pdt / dt).log2())
                 .map(|o| format!("{o:.2}"))
                 .unwrap_or_else(|| "-".into());
             println!("{dt:>10.1e} {err:>14.3e} {order:>8}");

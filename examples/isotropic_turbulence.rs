@@ -11,8 +11,8 @@
 use psdns::comm::Universe;
 use psdns::core::stats::flow_stats;
 use psdns::core::{
-    energy_spectrum, normalize_energy, random_solenoidal, A2aMode, Forcing, GpuFftConfig,
-    GpuSlabFft, LocalShape, NavierStokes, NsConfig, TimeScheme, Transform3d,
+    energy_spectrum, normalize_energy, random_solenoidal, A2aMode, Forcing, GpuSlabFft, LocalShape,
+    NavierStokes, NsConfig, TimeScheme, Transform3d,
 };
 use psdns::device::{Device, DeviceConfig};
 
@@ -29,15 +29,13 @@ fn main() {
         let shape = LocalShape::new(n, ranks, comm.rank());
         let device = Device::new(DeviceConfig::tiny(64 << 20));
         device.timeline().set_enabled(false);
-        let backend = GpuSlabFft::<f64>::new(
-            shape,
-            comm.clone(),
-            vec![device],
-            GpuFftConfig {
-                np: 2,
-                a2a_mode: A2aMode::PerSlab,
-            },
-        );
+        let backend = GpuSlabFft::<f64>::builder(shape)
+            .comm(comm.clone())
+            .devices(vec![device])
+            .np(2)
+            .a2a_mode(A2aMode::PerSlab)
+            .build()
+            .expect("valid pipeline configuration");
         let mut u = random_solenoidal(shape, 4.0, 2024);
         normalize_energy(&mut u, 0.5, &comm);
         let mut ns = NavierStokes::new(
@@ -67,7 +65,10 @@ fn main() {
     });
 
     let (trace, spec) = &results[0];
-    println!("{:>6} {:>12} {:>14} {:>10}", "step", "energy", "dissipation", "Re_lambda");
+    println!(
+        "{:>6} {:>12} {:>14} {:>10}",
+        "step", "energy", "dissipation", "Re_lambda"
+    );
     for (step, e, eps, rel) in trace {
         println!("{step:>6} {e:>12.5e} {eps:>14.5e} {rel:>10.1}");
     }

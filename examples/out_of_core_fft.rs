@@ -9,9 +9,7 @@
 //! ```
 
 use psdns::comm::Universe;
-use psdns::core::{
-    A2aMode, GpuFftConfig, GpuSlabFft, LocalShape, PhysicalField, SlabFftCpu, Transform3d,
-};
+use psdns::core::{A2aMode, GpuSlabFft, LocalShape, PhysicalField, SlabFftCpu, Transform3d};
 use psdns::device::{Device, DeviceConfig, SpanKind};
 
 fn main() {
@@ -26,25 +24,26 @@ fn main() {
     let hbm = 4 << 20;
 
     println!("out-of-core distributed FFT: N = {n}, {ranks} ranks, {nv} variables");
-    println!("device memory per GPU: {} MB (slab does not fit)\n", hbm >> 20);
+    println!(
+        "device memory per GPU: {} MB (slab does not fit)\n",
+        hbm >> 20
+    );
 
     let reports = Universe::run(ranks, move |comm| {
         let shape = LocalShape::new(n, ranks, comm.rank());
 
         // Pick the smallest pencil count that fits — Table 1's logic, live.
-        let np = GpuSlabFft::<f32>::auto_np(shape, 2 * nv, 1, hbm)
-            .expect("some pencil count must fit");
+        let np =
+            GpuSlabFft::<f32>::auto_np(shape, 2 * nv, 1, hbm).expect("some pencil count must fit");
 
         let device = Device::new(DeviceConfig::tiny(hbm));
-        let mut gpu = GpuSlabFft::<f32>::new(
-            shape,
-            comm.clone(),
-            vec![device.clone()],
-            GpuFftConfig {
-                np,
-                a2a_mode: A2aMode::PerPencil,
-            },
-        );
+        let mut gpu = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm.clone())
+            .devices(vec![device.clone()])
+            .np(np)
+            .a2a_mode(A2aMode::PerPencil)
+            .build()
+            .expect("valid pipeline configuration");
         let mut cpu = SlabFftCpu::<f32>::new(shape, comm);
 
         // Random-ish physical input, transform out-of-core, verify vs CPU.
@@ -87,7 +86,11 @@ fn main() {
         println!("  max |GPU - CPU| spectral error:  {err:.3e}");
         println!("  H2D bytes: {h2d}   D2H bytes: {d2h}");
         println!("  copy-engine calls: {copies}   kernel launches: {kernels}");
-        println!("  device busy: {:.1} ms kernels, {:.1} ms copies", k_us / 1e3, c_us / 1e3);
+        println!(
+            "  device busy: {:.1} ms kernels, {:.1} ms copies",
+            k_us / 1e3,
+            c_us / 1e3
+        );
     }
     println!("\nThe transform ran with slabs that never fit on the device —");
     println!("the asynchronous pencil batching of paper §3.4, verified bit-close");

@@ -6,8 +6,8 @@
 //! ```
 
 use psdns::comm::Universe;
-use psdns::core::{taylor_green, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme};
 use psdns::core::stats::flow_stats;
+use psdns::core::{taylor_green, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme};
 
 fn main() {
     let n = 32; // grid points per side (2π-periodic cube)
@@ -17,7 +17,10 @@ fn main() {
     let steps = 40;
 
     println!("Taylor–Green vortex, {n}^3 grid, {ranks} ranks, ν = {nu}, RK2\n");
-    println!("{:>6} {:>10} {:>12} {:>14} {:>12}", "step", "time", "energy", "dissipation", "div");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>12}",
+        "step", "time", "energy", "dissipation", "div"
+    );
 
     // Each closure is one MPI-style rank; they cooperate through the
     // communicator exactly as the paper's Fortran ranks do.

@@ -20,7 +20,10 @@ fn main() {
     let mem = MemoryModel::default();
     let model = DnsModel::default();
 
-    println!("campaign planning for N = {n} ({:.2e} grid points)\n", (n as f64).powi(3));
+    println!(
+        "campaign planning for N = {n} ({:.2e} grid points)\n",
+        (n as f64).powi(3)
+    );
     println!(
         "memory: {:.0} GiB total state at D = {} variables; min nodes = {}",
         mem.word_bytes * mem.d_vars * (n as f64).powi(3) / (1u64 << 30) as f64,
@@ -37,7 +40,14 @@ fn main() {
 
     println!(
         "{:>7} {:>12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12}",
-        "nodes", "mem GiB/node", "pencils", "pencil GiB", "A s/step", "B s/step", "C s/step", "best"
+        "nodes",
+        "mem GiB/node",
+        "pencils",
+        "pencil GiB",
+        "A s/step",
+        "B s/step",
+        "C s/step",
+        "best"
     );
     for &m in &feasible {
         let np = mem.required_np(n, m);

@@ -12,6 +12,11 @@
 //!   budgeting (paper Table 1);
 //! * [`model`] — calibrated Summit performance model and discrete-event
 //!   simulator (paper Tables 2–4, Figs. 7–10);
+//! * [`trace`] — rank-aware tracing/metrics layer: typed spans from the
+//!   device streams, the communication runtime and the solver land in one
+//!   timeline, exported as Chrome-trace JSON (`chrome://tracing`), a
+//!   per-phase summary, and an overlap-efficiency report (how much network
+//!   time hides behind compute — the paper's asynchronism metric);
 //! * [`core`] — the paper's contribution: distributed 3-D FFTs and the
 //!   batched asynchronous pseudo-spectral Navier–Stokes solver.
 //!
@@ -24,3 +29,4 @@ pub use psdns_device as device;
 pub use psdns_domain as domain;
 pub use psdns_fft as fft;
 pub use psdns_model as model;
+pub use psdns_trace as trace;

@@ -5,8 +5,8 @@
 
 use psdns::comm::Universe;
 use psdns::core::{
-    A2aMode, GpuFftConfig, GpuSlabFft, GpuSyncSlabFft, LocalShape, PencilFftCpu, PhysicalField,
-    SlabFftCpu, Transform3d,
+    A2aMode, GpuSlabFft, GpuSyncSlabFft, LocalShape, PencilFftCpu, PhysicalField, SlabFftCpu,
+    Transform3d,
 };
 use psdns::device::{Device, DeviceConfig};
 use psdns::fft::Complex64;
@@ -89,30 +89,30 @@ fn all_backends_agree_on_the_spectrum() {
             "gpu_async_per_slab",
             run_slab_backend(p, nv, |shape, comm| {
                 let dev = Device::new(DeviceConfig::tiny(64 << 20));
-                Box::new(GpuSlabFft::<f64>::new(
-                    shape,
-                    comm,
-                    vec![dev],
-                    GpuFftConfig {
-                        np: 3,
-                        a2a_mode: A2aMode::PerSlab,
-                    },
-                ))
+                Box::new(
+                    GpuSlabFft::<f64>::builder(shape)
+                        .comm(comm)
+                        .devices(vec![dev])
+                        .np(3)
+                        .a2a_mode(A2aMode::PerSlab)
+                        .build()
+                        .expect("valid pipeline configuration"),
+                )
             }),
         ),
         (
             "gpu_async_per_pencil",
             run_slab_backend(p, nv, |shape, comm| {
                 let dev = Device::new(DeviceConfig::tiny(64 << 20));
-                Box::new(GpuSlabFft::<f64>::new(
-                    shape,
-                    comm,
-                    vec![dev],
-                    GpuFftConfig {
-                        np: 4,
-                        a2a_mode: A2aMode::PerPencil,
-                    },
-                ))
+                Box::new(
+                    GpuSlabFft::<f64>::builder(shape)
+                        .comm(comm)
+                        .devices(vec![dev])
+                        .np(4)
+                        .a2a_mode(A2aMode::PerPencil)
+                        .build()
+                        .expect("valid pipeline configuration"),
+                )
             }),
         ),
         (
@@ -121,15 +121,15 @@ fn all_backends_agree_on_the_spectrum() {
                 let devs = (0..3)
                     .map(|_| Device::new(DeviceConfig::tiny(64 << 20)))
                     .collect();
-                Box::new(GpuSlabFft::<f64>::new(
-                    shape,
-                    comm,
-                    devs,
-                    GpuFftConfig {
-                        np: 2,
-                        a2a_mode: A2aMode::PerSlab,
-                    },
-                ))
+                Box::new(
+                    GpuSlabFft::<f64>::builder(shape)
+                        .comm(comm)
+                        .devices(devs)
+                        .np(2)
+                        .a2a_mode(A2aMode::PerSlab)
+                        .build()
+                        .expect("valid pipeline configuration"),
+                )
             }),
         ),
     ];
@@ -165,13 +165,18 @@ fn pencil_decomposition_agrees_with_slab() {
         for zl in 0..mz {
             for yl in 0..my {
                 for x in 0..N {
-                    phys[fft.phys_idx(x, yl, zl)] =
-                        global_phys(x, row * my + yl, col * mz + zl, 0);
+                    phys[fft.phys_idx(x, yl, zl)] = global_phys(x, row * my + yl, col * mz + zl, 0);
                 }
             }
         }
         let spec = fft.physical_to_fourier(std::slice::from_ref(&phys));
-        (row, col, fft.xw(), fft.yw(), spec.into_iter().next().unwrap())
+        (
+            row,
+            col,
+            fft.xw(),
+            fft.yw(),
+            spec.into_iter().next().unwrap(),
+        )
     });
 
     for (row, col, xw, yw, spec) in results {

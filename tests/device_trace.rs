@@ -4,7 +4,7 @@
 //! genuine overlap between the streams.
 
 use psdns::comm::Universe;
-use psdns::core::{A2aMode, GpuFftConfig, GpuSlabFft, LocalShape, PhysicalField};
+use psdns::core::{A2aMode, GpuSlabFft, LocalShape, PhysicalField};
 use psdns::device::{Device, DeviceConfig, SpanKind};
 
 #[test]
@@ -14,15 +14,13 @@ fn real_pipeline_trace_has_fig4_structure() {
     let spans = Universe::run(1, move |comm| {
         let shape = LocalShape::new(n, 1, 0);
         let device = Device::new(DeviceConfig::tiny(64 << 20));
-        let mut fft = GpuSlabFft::<f32>::new(
-            shape,
-            comm,
-            vec![device.clone()],
-            GpuFftConfig {
-                np,
-                a2a_mode: A2aMode::PerPencil,
-            },
-        );
+        let mut fft = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm)
+            .devices(vec![device.clone()])
+            .np(np)
+            .a2a_mode(A2aMode::PerPencil)
+            .build()
+            .expect("valid pipeline configuration");
         let phys: Vec<PhysicalField<f32>> = (0..2)
             .map(|v| {
                 let data = (0..shape.phys_len())
@@ -72,7 +70,10 @@ fn real_pipeline_trace_has_fig4_structure() {
         xfer.iter()
             .any(|x| c.start_us < x.end_us && x.start_us < c.end_us)
     });
-    assert!(overlap, "no transfer/compute overlap observed in a real trace");
+    assert!(
+        overlap,
+        "no transfer/compute overlap observed in a real trace"
+    );
 
     // Byte accounting is nonzero both ways.
     let h2d: f64 = spans

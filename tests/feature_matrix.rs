@@ -5,8 +5,8 @@
 use psdns::comm::Universe;
 use psdns::core::stats::flow_stats;
 use psdns::core::{
-    taylor_green, A2aMode, GpuFftConfig, GpuSlabFft, LocalShape, NavierStokes, NsConfig,
-    SlabFftCpu, TimeScheme, Transform3d,
+    taylor_green, A2aMode, GpuSlabFft, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme,
+    Transform3d,
 };
 use psdns::device::{Device, DeviceConfig};
 
@@ -47,74 +47,69 @@ fn all_execution_options_agree_on_energy() {
         SlabFftCpu::<f64>::new(shape, comm)
     });
 
-    type Maker = Box<
-        dyn Fn(LocalShape, psdns::comm::Communicator) -> GpuSlabFft<f64> + Send + Sync,
-    >;
+    type Maker =
+        Box<dyn Fn(LocalShape, psdns::comm::Communicator) -> GpuSlabFft<f64> + Send + Sync>;
     let variants: Vec<(&str, Maker)> = vec![
         (
             "np1_slab",
             Box::new(|shape, comm| {
-                GpuSlabFft::new(
-                    shape,
-                    comm,
-                    vec![Device::new(DeviceConfig::tiny(16 << 20))],
-                    GpuFftConfig {
-                        np: 1,
-                        a2a_mode: A2aMode::PerSlab,
-                    },
-                )
+                GpuSlabFft::builder(shape)
+                    .comm(comm)
+                    .devices(vec![Device::new(DeviceConfig::tiny(16 << 20))])
+                    .np(1)
+                    .a2a_mode(A2aMode::PerSlab)
+                    .build()
+                    .expect("valid pipeline configuration")
             }),
         ),
         (
             "np4_pencil",
             Box::new(|shape, comm| {
-                GpuSlabFft::new(
-                    shape,
-                    comm,
-                    vec![Device::new(DeviceConfig::tiny(16 << 20))],
-                    GpuFftConfig {
-                        np: 4,
-                        a2a_mode: A2aMode::PerPencil,
-                    },
-                )
+                GpuSlabFft::builder(shape)
+                    .comm(comm)
+                    .devices(vec![Device::new(DeviceConfig::tiny(16 << 20))])
+                    .np(4)
+                    .a2a_mode(A2aMode::PerPencil)
+                    .build()
+                    .expect("valid pipeline configuration")
             }),
         ),
         (
             "np4_grouped2_2gpus",
             Box::new(|shape, comm| {
-                GpuSlabFft::new(
-                    shape,
-                    comm,
-                    (0..2)
-                        .map(|_| Device::new(DeviceConfig::tiny(16 << 20)))
-                        .collect(),
-                    GpuFftConfig {
-                        np: 4,
-                        a2a_mode: A2aMode::Grouped(2),
-                    },
-                )
+                GpuSlabFft::builder(shape)
+                    .comm(comm)
+                    .devices(
+                        (0..2)
+                            .map(|_| Device::new(DeviceConfig::tiny(16 << 20)))
+                            .collect(),
+                    )
+                    .np(4)
+                    .a2a_mode(A2aMode::Grouped(2))
+                    .build()
+                    .expect("valid pipeline configuration")
             }),
         ),
         (
             "np3_slab_3gpus",
             Box::new(|shape, comm| {
-                GpuSlabFft::new(
-                    shape,
-                    comm,
-                    (0..3)
-                        .map(|_| Device::new(DeviceConfig::tiny(16 << 20)))
-                        .collect(),
-                    GpuFftConfig {
-                        np: 3,
-                        a2a_mode: A2aMode::PerSlab,
-                    },
-                )
+                GpuSlabFft::builder(shape)
+                    .comm(comm)
+                    .devices(
+                        (0..3)
+                            .map(|_| Device::new(DeviceConfig::tiny(16 << 20)))
+                            .collect(),
+                    )
+                    .np(3)
+                    .a2a_mode(A2aMode::PerSlab)
+                    .build()
+                    .expect("valid pipeline configuration")
             }),
         ),
     ];
 
     for (name, make) in variants {
-        let got = energy_after(n, p, steps, false, move |shape, comm| make(shape, comm));
+        let got = energy_after(n, p, steps, false, make);
         for (a, b) in got.iter().zip(&reference) {
             assert!(
                 (a - b).abs() < 1e-12 * b.abs().max(1.0),
@@ -149,15 +144,13 @@ fn phase_shift_works_on_the_gpu_backend() {
     let p = 2;
     let steps = 5;
     let make = |shape: LocalShape, comm: psdns::comm::Communicator| {
-        GpuSlabFft::<f64>::new(
-            shape,
-            comm,
-            vec![Device::new(DeviceConfig::tiny(32 << 20))],
-            GpuFftConfig {
-                np: 2,
-                a2a_mode: A2aMode::PerPencil,
-            },
-        )
+        GpuSlabFft::<f64>::builder(shape)
+            .comm(comm)
+            .devices(vec![Device::new(DeviceConfig::tiny(32 << 20))])
+            .np(2)
+            .a2a_mode(A2aMode::PerPencil)
+            .build()
+            .expect("valid pipeline configuration")
     };
     let plain = energy_after(n, p, steps, false, make);
     let shifted = energy_after(n, p, steps, true, make);

@@ -53,7 +53,10 @@ fn des_preserves_the_b_c_crossover() {
     let m = DnsModel::default();
     let b16 = des_step(&m, DnsConfig::GpuB, 3072, 16);
     let c16 = des_step(&m, DnsConfig::GpuC, 3072, 16);
-    assert!(b16 < c16, "B must win at 16 nodes in the DES: {b16} vs {c16}");
+    assert!(
+        b16 < c16,
+        "B must win at 16 nodes in the DES: {b16} vs {c16}"
+    );
     let b3072 = des_step(&m, DnsConfig::GpuB, 18432, 3072);
     let c3072 = des_step(&m, DnsConfig::GpuC, 18432, 3072);
     assert!(

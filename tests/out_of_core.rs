@@ -5,8 +5,7 @@
 
 use psdns::comm::Universe;
 use psdns::core::{
-    A2aMode, GpuFftConfig, GpuSlabFft, GpuSyncSlabFft, LocalShape, PhysicalField, SlabFftCpu,
-    Transform3d,
+    A2aMode, GpuSlabFft, GpuSyncSlabFft, LocalShape, PhysicalField, SlabFftCpu, Transform3d,
 };
 use psdns::device::{Device, DeviceConfig, DeviceError};
 
@@ -38,16 +37,16 @@ fn sync_algorithm_fails_where_async_succeeds() {
 
         let dev = Device::new(DeviceConfig::tiny(hbm));
         let np = GpuSlabFft::<f32>::auto_np(shape, 3, 1, hbm).expect("np exists");
-        let mut batched = GpuSlabFft::<f32>::new(
-            shape,
-            comm.clone(),
-            vec![dev],
-            GpuFftConfig {
-                np,
-                a2a_mode: A2aMode::PerSlab,
-            },
-        );
-        let spec = batched.try_physical_to_fourier(&phys).expect("batched fits");
+        let mut batched = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm.clone())
+            .devices(vec![dev])
+            .np(np)
+            .a2a_mode(A2aMode::PerSlab)
+            .build()
+            .expect("valid pipeline configuration");
+        let spec = batched
+            .try_physical_to_fourier(&phys)
+            .expect("batched fits");
 
         // Verify against the host path.
         let mut cpu = SlabFftCpu::<f32>::new(shape, comm);
@@ -62,7 +61,10 @@ fn sync_algorithm_fails_where_async_succeeds() {
     });
     for (sync_err, np, err) in out {
         assert!(
-            matches!(sync_err, Some(DeviceError::OutOfMemory { .. })),
+            matches!(
+                sync_err,
+                Some(psdns::core::Error::Device(DeviceError::OutOfMemory { .. }))
+            ),
             "sync algorithm should OOM: {sync_err:?}"
         );
         assert!(np > 1, "batching must actually be needed (np = {np})");
@@ -76,7 +78,10 @@ fn auto_np_is_minimal_and_sufficient() {
     for budget_np in [2usize, 3, 5] {
         let bytes = GpuSlabFft::<f32>::required_bytes_per_device(shape, 3, budget_np, 1);
         let np = GpuSlabFft::<f32>::auto_np(shape, 3, 1, bytes).expect("fits by construction");
-        assert!(np <= budget_np, "auto np {np} must fit budget sized for {budget_np}");
+        assert!(
+            np <= budget_np,
+            "auto np {np} must fit budget sized for {budget_np}"
+        );
         assert!(
             GpuSlabFft::<f32>::required_bytes_per_device(shape, 3, np, 1) <= bytes,
             "chosen np must fit"
@@ -96,15 +101,13 @@ fn device_memory_is_released_between_calls() {
     let out = Universe::run(1, |comm| {
         let shape = LocalShape::new(16, 1, 0);
         let dev = Device::new(DeviceConfig::tiny(32 << 20));
-        let mut fft = GpuSlabFft::<f32>::new(
-            shape,
-            comm,
-            vec![dev.clone()],
-            GpuFftConfig {
-                np: 2,
-                a2a_mode: A2aMode::PerSlab,
-            },
-        );
+        let mut fft = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm)
+            .devices(vec![dev.clone()])
+            .np(2)
+            .a2a_mode(A2aMode::PerSlab)
+            .build()
+            .expect("valid pipeline configuration");
         let phys = phys_fields(shape, 2);
         for _ in 0..5 {
             let _ = fft.try_physical_to_fourier(&phys).expect("fits");
@@ -121,7 +124,10 @@ fn pencil_count_one_requires_full_slab_fit() {
     let shape = LocalShape::new(N, 2, 0);
     let np1 = GpuSlabFft::<f32>::required_bytes_per_device(shape, 3, 1, 1);
     let np4 = GpuSlabFft::<f32>::required_bytes_per_device(shape, 3, 4, 1);
-    assert!(np1 > 2 * np4, "batching must cut device memory substantially");
+    assert!(
+        np1 > 2 * np4,
+        "batching must cut device memory substantially"
+    );
 }
 
 #[test]

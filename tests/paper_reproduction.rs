@@ -100,7 +100,10 @@ fn fig9_mpi_only_is_a_floor_with_small_gap_for_config_c() {
         assert!(floor < c);
         // "Faster GPUs … can at best approach the performance of the dotted
         // green line": the gap is bounded.
-        assert!(c < 3.0 * floor, "config C too far above MPI floor at {nodes}");
+        assert!(
+            c < 3.0 * floor,
+            "config C too far above MPI floor at {nodes}"
+        );
     }
 }
 

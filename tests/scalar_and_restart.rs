@@ -5,8 +5,8 @@
 use psdns::comm::Universe;
 use psdns::core::stats::flow_stats;
 use psdns::core::{
-    reslice, scalar_single_mode, taylor_green, A2aMode, Checkpoint, GpuFftConfig, GpuSlabFft,
-    LocalShape, NavierStokes, NsConfig, PassiveScalar, SlabFftCpu, SpectralField, TimeScheme,
+    reslice, scalar_single_mode, taylor_green, A2aMode, Checkpoint, GpuSlabFft, LocalShape,
+    NavierStokes, NsConfig, PassiveScalar, SlabFftCpu, SpectralField, TimeScheme,
 };
 use psdns::device::{Device, DeviceConfig};
 
@@ -43,15 +43,13 @@ fn scalar_mixing_identical_on_cpu_and_gpu_backends() {
             let dev = Device::new(DeviceConfig::tiny(64 << 20));
             dev.timeline().set_enabled(false);
             let mut ns = NavierStokes::new(
-                GpuSlabFft::<f64>::new(
-                    shape,
-                    comm,
-                    vec![dev],
-                    GpuFftConfig {
-                        np: 2,
-                        a2a_mode: A2aMode::Grouped(2),
-                    },
-                ),
+                GpuSlabFft::<f64>::builder(shape)
+                    .comm(comm)
+                    .devices(vec![dev])
+                    .np(2)
+                    .a2a_mode(A2aMode::Grouped(2))
+                    .build()
+                    .expect("valid pipeline configuration"),
                 cfg(0.01, 2e-3),
                 taylor_green(shape),
             );
@@ -90,7 +88,10 @@ fn restart_mid_run_is_bit_exact_across_rank_counts() {
         for _ in 0..leg1 + leg2 {
             ns.step();
         }
-        (ns.u[0].data.clone(), flow_stats(&ns.u, 0.02, ns.backend.comm()).energy)
+        (
+            ns.u[0].data.clone(),
+            flow_stats(&ns.u, 0.02, ns.backend.comm()).energy,
+        )
     });
 
     // Leg 1 on 4 ranks, checkpoint, re-slice to 2, finish there.
@@ -104,8 +105,8 @@ fn restart_mid_run_is_bit_exact_across_rank_counts() {
         for _ in 0..leg1 {
             ns.step();
         }
-        let bytes = Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count)
-            .encode();
+        let bytes =
+            Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count).encode();
         Checkpoint::decode(&bytes).unwrap()
     });
     let resliced = reslice(&parts, 2);
@@ -121,7 +122,10 @@ fn restart_mid_run_is_bit_exact_across_rank_counts() {
         for _ in 0..leg2 {
             ns.step();
         }
-        (ns.u[0].data.clone(), flow_stats(&ns.u, 0.02, ns.backend.comm()).energy)
+        (
+            ns.u[0].data.clone(),
+            flow_stats(&ns.u, 0.02, ns.backend.comm()).energy,
+        )
     });
 
     for ((ud, ue), (rd, re)) in reference.iter().zip(&resumed) {
@@ -156,6 +160,9 @@ fn scalar_variance_decays_under_mixing_with_diffusion() {
         for w in vars.windows(2) {
             assert!(w[1] < w[0] * (1.0 + 1e-12), "variance must not grow: {w:?}");
         }
-        assert!(vars.last().unwrap() < &(vars[0] * 0.9), "no mixing happened");
+        assert!(
+            vars.last().unwrap() < &(vars[0] * 0.9),
+            "no mixing happened"
+        );
     }
 }

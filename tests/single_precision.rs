@@ -6,8 +6,8 @@
 use psdns::comm::Universe;
 use psdns::core::stats::flow_stats;
 use psdns::core::{
-    taylor_green, A2aMode, GpuFftConfig, GpuSlabFft, LocalShape, NavierStokes, NsConfig,
-    SlabFftCpu, TimeScheme, Transform3d,
+    taylor_green, A2aMode, GpuSlabFft, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme,
+    Transform3d,
 };
 use psdns::device::{Device, DeviceConfig};
 
@@ -63,15 +63,13 @@ fn f32_out_of_core_pipeline_is_exact_vs_f32_host() {
         let shape = LocalShape::new(n, 2, comm.rank());
         let dev = Device::new(DeviceConfig::tiny(16 << 20));
         dev.timeline().set_enabled(false);
-        let mut gpu = GpuSlabFft::<f32>::new(
-            shape,
-            comm.clone(),
-            vec![dev],
-            GpuFftConfig {
-                np: 3,
-                a2a_mode: A2aMode::PerPencil,
-            },
-        );
+        let mut gpu = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm.clone())
+            .devices(vec![dev])
+            .np(3)
+            .a2a_mode(A2aMode::PerPencil)
+            .build()
+            .expect("valid pipeline configuration");
         let mut cpu = SlabFftCpu::<f32>::new(shape, comm);
         let phys: Vec<psdns::core::PhysicalField<f32>> = (0..3)
             .map(|v| {

@@ -6,7 +6,7 @@ use psdns::comm::Universe;
 use psdns::core::stats::flow_stats;
 use psdns::core::{
     energy_spectrum, normalize_energy, random_solenoidal, taylor_green, A2aMode, Forcing,
-    GpuFftConfig, GpuSlabFft, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme,
+    GpuSlabFft, LocalShape, NavierStokes, NsConfig, SlabFftCpu, TimeScheme,
 };
 use psdns::device::{Device, DeviceConfig};
 
@@ -37,15 +37,13 @@ fn cpu_and_async_gpu_solvers_track_each_other() {
         let dev = Device::new(DeviceConfig::tiny(64 << 20));
         dev.timeline().set_enabled(false);
         let mut gpu = NavierStokes::new(
-            GpuSlabFft::<f64>::new(
-                shape,
-                comm,
-                vec![dev],
-                GpuFftConfig {
-                    np: 3,
-                    a2a_mode: A2aMode::PerPencil,
-                },
-            ),
+            GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![dev])
+                .np(3)
+                .a2a_mode(A2aMode::PerPencil)
+                .build()
+                .expect("valid pipeline configuration"),
             cfg(0.02, 2e-3),
             taylor_green(shape),
         );

@@ -1,0 +1,393 @@
+//! Integration tests for the unified tracing layer:
+//!
+//! * the Chrome-trace export is valid JSON whose spans never overlap within
+//!   one `(pid, tid)` track (each track is a serial execution resource);
+//! * per-pencil all-to-alls hide strictly more network time behind compute
+//!   than per-slab ones (the paper's asynchronism argument, §4.1);
+//! * the network byte counters match the analytic transpose volume from
+//!   `psdns-domain`.
+
+use psdns::comm::Universe;
+use psdns::core::{
+    taylor_green, A2aMode, GpuSlabFft, LocalShape, NavierStokes, NsConfig, PhysicalField,
+    SlabFftCpu, Transform3d,
+};
+use psdns::device::{Device, DeviceConfig};
+use psdns::domain::transpose::SlabTranspose;
+use psdns::trace::Tracer;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser — just enough to validate the exporter's output
+// without external dependencies.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        assert!(self.i < self.s.len(), "unexpected end of JSON");
+        self.s[self.i]
+    }
+
+    fn eat(&mut self, c: u8) {
+        assert_eq!(
+            self.peek(),
+            c,
+            "expected {:?} at byte {}",
+            c as char,
+            self.i
+        );
+        self.i += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        assert!(self.s[self.i..].starts_with(word.as_bytes()), "bad literal");
+        self.i += word.len();
+        v
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            let key = self.string();
+            self.eat(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(fields);
+                }
+                c => panic!("expected ',' or '}}', got {:?}", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(items);
+                }
+                c => panic!("expected ',' or ']', got {:?}", c as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            let c = self.s[self.i];
+            self.i += 1;
+            match c {
+                b'"' => return out,
+                b'\\' => {
+                    let e = self.s[self.i];
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.s[self.i..self.i + 4]).unwrap();
+                            let code = u32::from_str_radix(hex, 16).unwrap();
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => panic!("bad escape \\{}", other as char),
+                    }
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).unwrap();
+        Json::Num(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number {text:?}")),
+        )
+    }
+
+    fn parse(mut self) -> Json {
+        let v = self.value();
+        self.ws();
+        assert_eq!(self.i, self.s.len(), "trailing bytes after JSON value");
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared runners
+// ---------------------------------------------------------------------------
+
+/// One RK2 step on 2 ranks through the async GPU pipeline: exercises all
+/// three instrumented layers (device streams, comm, solver phases).
+fn traced_solver_step(mode: A2aMode) -> Tracer {
+    let tracer = Tracer::new();
+    let t = tracer.clone();
+    Universe::run(2, move |comm| {
+        let shape = LocalShape::new(16, 2, comm.rank());
+        let backend = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm)
+            .devices(vec![Device::new(DeviceConfig::tiny(32 << 20))])
+            .np(2)
+            .nv(6)
+            .a2a_mode(mode)
+            .tracer(&t)
+            .build()
+            .expect("valid pipeline configuration");
+        let mut ns = NavierStokes::new(backend, NsConfig::default(), taylor_green(shape));
+        ns.step();
+    });
+    tracer
+}
+
+/// Multi-pencil 3-variable roundtrip on 2 ranks; returns the tracer.
+fn traced_roundtrip(mode: A2aMode, np: usize) -> Tracer {
+    let tracer = Tracer::new();
+    let t = tracer.clone();
+    Universe::run(2, move |comm| {
+        let shape = LocalShape::new(32, 2, comm.rank());
+        let mut fft = GpuSlabFft::<f32>::builder(shape)
+            .comm(comm)
+            .devices(vec![Device::new(DeviceConfig::tiny(64 << 20))])
+            .np(np)
+            .nv(3)
+            .a2a_mode(mode)
+            .tracer(&t)
+            .build()
+            .expect("valid pipeline configuration");
+        let phys: Vec<PhysicalField<f32>> = (0..3)
+            .map(|v| {
+                let data = (0..shape.phys_len())
+                    .map(|i| ((i * (v + 2)) as f32 * 0.013).sin())
+                    .collect();
+                PhysicalField::from_data(shape, data)
+            })
+            .collect();
+        let spec = fft.try_physical_to_fourier(&phys).expect("fits");
+        let _ = fft.try_fourier_to_physical(&spec).expect("fits");
+    });
+    tracer
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chrome_export_is_valid_json_with_disjoint_tracks() {
+    let tracer = traced_solver_step(A2aMode::PerPencil);
+    let json = tracer.chrome_trace_json();
+    let doc = Parser::new(&json).parse();
+
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    assert!(!events.is_empty());
+
+    // Every complete event carries numeric pid/tid/ts/dur; collect per track.
+    let mut tracks: std::collections::BTreeMap<(u64, u64), Vec<(f64, f64)>> = Default::default();
+    let mut cats = std::collections::BTreeSet::new();
+    let mut pids = std::collections::BTreeSet::new();
+    for ev in events {
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("X") => {}
+            Some("M") => continue,
+            other => panic!("unexpected event phase {other:?}"),
+        }
+        let pid = ev.get("pid").and_then(Json::as_f64).expect("pid") as u64;
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as u64;
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        cats.extend(ev.get("cat").and_then(Json::as_str).map(str::to_string));
+        pids.insert(pid);
+        tracks.entry((pid, tid)).or_default().push((ts, dur));
+    }
+
+    // Spans from >= 2 ranks and from all three layers.
+    assert!(pids.len() >= 2, "expected >= 2 ranks, got {pids:?}");
+    for want in ["fft", "h2d", "a2a-post", "a2a-wait", "step", "nonlinear"] {
+        assert!(
+            cats.contains(want),
+            "missing span category {want:?} in {cats:?}"
+        );
+    }
+
+    // Strict non-overlap per (pid, tid): each track is one serial resource.
+    // Allow 2 ns of slack for the exporter's microsecond rounding.
+    for ((pid, tid), mut spans) in tracks {
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in spans.windows(2) {
+            let (ts0, dur0) = w[0];
+            let (ts1, _) = w[1];
+            assert!(
+                ts1 >= ts0 + dur0 - 0.002,
+                "overlapping spans on pid {pid} tid {tid}: \
+                 [{ts0}, {}) then [{ts1}, ..)",
+                ts0 + dur0
+            );
+        }
+    }
+}
+
+#[test]
+fn per_pencil_hides_more_network_time_than_per_slab() {
+    // Per-slab posts the all-to-all only after every pencil's compute and
+    // D2H completed, so nothing hides; per-pencil posts mid-loop while the
+    // device still works on later pencils. Timing-sensitive, so allow a few
+    // attempts before declaring the asynchronism broken.
+    let mut last = (0, 0);
+    for _attempt in 0..3 {
+        let pencil = traced_roundtrip(A2aMode::PerPencil, 8).overlap_report();
+        let slab = traced_roundtrip(A2aMode::PerSlab, 8).overlap_report();
+        let hidden_pencil: u64 = pencil.per_rank.iter().map(|r| r.hidden_ns).sum();
+        let hidden_slab: u64 = slab.per_rank.iter().map(|r| r.hidden_ns).sum();
+        last = (hidden_pencil, hidden_slab);
+        if hidden_pencil > hidden_slab && pencil.efficiency() > slab.efficiency() {
+            return;
+        }
+    }
+    panic!(
+        "per-pencil a2a should hide strictly more network time than per-slab: \
+         hidden {} ns vs {} ns",
+        last.0, last.1
+    );
+}
+
+#[test]
+fn network_byte_counters_match_transpose_volume() {
+    // The CPU slab transform sends exactly one transpose buffer per
+    // all-to-all; the tracer's byte counter must agree with the analytic
+    // volume from psdns-domain.
+    let nv = 2;
+    let tracer = Tracer::new();
+    let t = tracer.clone();
+    let expected = Universe::run(2, move |comm| {
+        let mut comm = comm;
+        comm.set_tracer(&t);
+        let shape = LocalShape::new(16, 2, comm.rank());
+        let mut cpu = SlabFftCpu::<f64>::new(shape, comm);
+        let phys: Vec<PhysicalField<f64>> = (0..nv)
+            .map(|v| {
+                let data = (0..shape.phys_len())
+                    .map(|i| ((i + v) as f64 * 0.02).cos())
+                    .collect();
+                PhysicalField::from_data(shape, data)
+            })
+            .collect();
+        let spec = cpu.physical_to_fourier(&phys);
+        let _ = cpu.fourier_to_physical(&spec);
+        let t = SlabTranspose::new(shape.slab(), shape.nxh, nv);
+        // One all-to-all per direction, buf_len complex elements each.
+        2 * t.buf_len() * std::mem::size_of::<psdns::fft::Complex<f64>>()
+    });
+    for (rank, want) in expected.iter().enumerate() {
+        let got = tracer
+            .counters_for(rank)
+            .expect("counters recorded for rank")
+            .bytes_network;
+        assert_eq!(
+            got as usize, *want,
+            "rank {rank}: traced network bytes disagree with transpose volume"
+        );
+        let a2a = tracer.counters_for(rank).unwrap().a2a_calls;
+        assert_eq!(a2a, 2, "rank {rank}: one all-to-all per direction");
+    }
+}
