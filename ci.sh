@@ -17,4 +17,9 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> chaos smoke (seeded fault injection + recovery)"
+# Deterministic by construction: the suite pins its own seeds, so a failure
+# here reproduces locally with the exact same fault schedule.
+cargo test --offline -q --test chaos_recovery
+
 echo "CI OK"

@@ -1,0 +1,567 @@
+//! psdns-chaos: seeded, deterministic fault injection for the DNS runtime.
+//!
+//! The paper's production campaigns run thousands of time steps on thousands
+//! of nodes, where slow ranks, late all-to-all messages, and device-memory
+//! pressure are routine. This crate makes those failure modes an *injectable,
+//! reproducible* dimension of the reproduction: every fault decision is drawn
+//! from a caller-supplied seed via a counter-based splitmix64 stream, so the
+//! same seed produces the same failure schedule regardless of thread
+//! interleaving, and every fired fault is recorded both in an in-memory log
+//! and as a [`psdns_trace::SpanKind::Fault`] span with *logical* timestamps
+//! (the per-site sequence number), making exported traces byte-identical
+//! across same-seed runs.
+//!
+//! # Determinism contract
+//!
+//! Each injection site is identified by a string key that includes everything
+//! that distinguishes it from concurrently running peers (rank, edge, stream
+//! name). Each `(site, fault-kind)` pair owns a monotonic counter `k`; a
+//! fault fires at occurrence `k` iff
+//!
+//! ```text
+//! k ∈ [plan.from, plan.until)  &&  unit_f64(splitmix64(seed ^ h(site, kind) ^ k)) < plan.prob
+//! ```
+//!
+//! Because every site is only ever advanced from one thread in program order
+//! (sends from the sending rank, copies from the enqueueing host thread), the
+//! schedule is a pure function of `(seed, per-site call sequence)` and is
+//! immune to cross-thread races.
+//!
+//! Consumers: `psdns-comm` (message delay/reorder/duplicate/drop, rank
+//! stall/crash at collective boundaries), `psdns-device` (transient copy
+//! failure with bounded retry, injected allocation OOM, stream stall) and
+//! `psdns-core` (checkpoint write failure / corruption / truncation).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use psdns_sync::Mutex;
+use psdns_trace::{SpanKind, Tracer};
+
+/// splitmix64: tiny, high-quality 64-bit mixer (public-domain algorithm).
+/// Same function the comm layer uses for deterministic field initialisation.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string; used to hash site keys into the seed stream.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Map a u64 to [0, 1) with 53 bits of precision.
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The taxonomy of injectable faults. Each kind maps to a failure mode of the
+/// paper's production environment (see DESIGN.md §"Fault model & recovery").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Network congestion: a point-to-point message is delivered late.
+    Delay,
+    /// Adaptive routing: two messages on the same edge swap arrival order.
+    Reorder,
+    /// Retransmission artifact: a message arrives twice.
+    Duplicate,
+    /// Lossy fabric: a send attempt is lost (retried with backoff).
+    Drop,
+    /// A slow/overloaded rank stalls at a collective boundary.
+    Stall,
+    /// A rank dies mid-campaign (node failure / batch-allocation kill).
+    Crash,
+    /// Transient H2D/D2H copy-engine failure (retryable).
+    CopyFault,
+    /// Device memory pressure: an allocation that would fit fails anyway.
+    AllocFault,
+    /// A device stream wedges for a while before draining.
+    StreamStall,
+    /// Parallel-filesystem write failure while saving a checkpoint.
+    WriteFault,
+    /// Bit-rot / partial write: checkpoint bytes are corrupted on disk.
+    CorruptCheckpoint,
+    /// Interrupted write: checkpoint file is truncated.
+    TruncateCheckpoint,
+}
+
+impl FaultKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Drop => "drop",
+            FaultKind::Stall => "stall",
+            FaultKind::Crash => "crash",
+            FaultKind::CopyFault => "copy-fault",
+            FaultKind::AllocFault => "alloc-fault",
+            FaultKind::StreamStall => "stream-stall",
+            FaultKind::WriteFault => "write-fault",
+            FaultKind::CorruptCheckpoint => "corrupt-checkpoint",
+            FaultKind::TruncateCheckpoint => "truncate-checkpoint",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// When and how often one fault kind fires at a site.
+///
+/// `prob` is evaluated per occurrence; `[from, until)` is a window over the
+/// per-`(site, kind)` occurrence counter, letting tests say "fail exactly the
+/// third allocation" (`FaultPlan::at(2)`) or "drop 10% of sends after warmup"
+/// (`FaultPlan::window(0.1, 100, u64::MAX)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    pub prob: f64,
+    pub from: u64,
+    pub until: u64,
+}
+
+impl FaultPlan {
+    pub const OFF: FaultPlan = FaultPlan {
+        prob: 0.0,
+        from: 0,
+        until: 0,
+    };
+
+    /// Fire with probability `p` at every occurrence.
+    pub fn with_prob(p: f64) -> Self {
+        FaultPlan {
+            prob: p,
+            from: 0,
+            until: u64::MAX,
+        }
+    }
+
+    /// Fire with probability `p` inside the occurrence window `[from, until)`.
+    pub fn window(p: f64, from: u64, until: u64) -> Self {
+        FaultPlan {
+            prob: p,
+            from,
+            until,
+        }
+    }
+
+    /// Fire deterministically at exactly occurrence `k`.
+    pub fn at(k: u64) -> Self {
+        FaultPlan {
+            prob: 1.0,
+            from: k,
+            until: k + 1,
+        }
+    }
+
+    pub fn is_off(&self) -> bool {
+        self.prob <= 0.0 || self.from >= self.until
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::OFF
+    }
+}
+
+/// Bounded retry-with-backoff policy for retryable faults (message drop,
+/// transient copy failure). Backoff is linear: attempt `i` sleeps `i *
+/// backoff` before retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    pub max_retries: u32,
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Full chaos campaign description. Everything defaults to "off": a default
+/// config injects nothing and an engine built from it is a no-op.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Root of the deterministic decision stream.
+    pub seed: u64,
+    // -- point-to-point message faults (per directed edge, per send) --------
+    pub delay: FaultPlan,
+    pub delay_duration: Duration,
+    pub reorder: FaultPlan,
+    pub duplicate: FaultPlan,
+    pub drop: FaultPlan,
+    // -- whole-rank faults at collective boundaries -------------------------
+    /// Restrict stall injection to one rank (None = any rank may stall).
+    pub stall_rank: Option<usize>,
+    /// Window is indexed by the rank's a2a call number.
+    pub stall: FaultPlan,
+    pub stall_duration: Duration,
+    /// Restrict crash injection to one rank (None = any rank may crash).
+    pub crash_rank: Option<usize>,
+    /// Window is indexed by the rank's collective call number.
+    pub crash: FaultPlan,
+    // -- device faults ------------------------------------------------------
+    pub copy_fault: FaultPlan,
+    pub alloc_fault: FaultPlan,
+    pub stream_stall: FaultPlan,
+    pub stream_stall_duration: Duration,
+    // -- checkpoint I/O faults ----------------------------------------------
+    pub write_fault: FaultPlan,
+    pub corrupt_checkpoint: FaultPlan,
+    pub truncate_checkpoint: FaultPlan,
+    // -- recovery knobs -----------------------------------------------------
+    pub retry: RetryPolicy,
+}
+
+impl ChaosConfig {
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            delay: FaultPlan::OFF,
+            delay_duration: Duration::from_micros(500),
+            reorder: FaultPlan::OFF,
+            duplicate: FaultPlan::OFF,
+            drop: FaultPlan::OFF,
+            stall_rank: None,
+            stall: FaultPlan::OFF,
+            stall_duration: Duration::from_millis(50),
+            crash_rank: None,
+            crash: FaultPlan::OFF,
+            copy_fault: FaultPlan::OFF,
+            alloc_fault: FaultPlan::OFF,
+            stream_stall: FaultPlan::OFF,
+            stream_stall_duration: Duration::from_micros(500),
+            write_fault: FaultPlan::OFF,
+            corrupt_checkpoint: FaultPlan::OFF,
+            truncate_checkpoint: FaultPlan::OFF,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    fn plan_for(&self, kind: FaultKind) -> FaultPlan {
+        match kind {
+            FaultKind::Delay => self.delay,
+            FaultKind::Reorder => self.reorder,
+            FaultKind::Duplicate => self.duplicate,
+            FaultKind::Drop => self.drop,
+            FaultKind::Stall => self.stall,
+            FaultKind::Crash => self.crash,
+            FaultKind::CopyFault => self.copy_fault,
+            FaultKind::AllocFault => self.alloc_fault,
+            FaultKind::StreamStall => self.stream_stall,
+            FaultKind::WriteFault => self.write_fault,
+            FaultKind::CorruptCheckpoint => self.corrupt_checkpoint,
+            FaultKind::TruncateCheckpoint => self.truncate_checkpoint,
+        }
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig::new(0)
+    }
+}
+
+/// One fired fault: which rank saw it, at which site, which kind, and the
+/// per-`(site, kind)` occurrence number at which it fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    pub rank: usize,
+    pub site: String,
+    pub kind: FaultKind,
+    pub seq: u64,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{} {}@{}#{}", self.rank, self.kind, self.site, self.seq)
+    }
+}
+
+struct EngineInner {
+    config: ChaosConfig,
+    /// Per-(site, kind) occurrence counters, keyed by the site/kind hash.
+    counters: Mutex<HashMap<u64, u64>>,
+    log: Mutex<Vec<FaultRecord>>,
+    tracer: Mutex<Option<Tracer>>,
+}
+
+/// Cloneable handle to a chaos campaign. All clones share the decision
+/// counters, fault log, and (optional) tracer.
+#[derive(Clone)]
+pub struct ChaosEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl ChaosEngine {
+    pub fn new(config: ChaosConfig) -> Self {
+        ChaosEngine {
+            inner: Arc::new(EngineInner {
+                config,
+                counters: Mutex::new(HashMap::new()),
+                log: Mutex::new(Vec::new()),
+                tracer: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Convenience: an engine that injects nothing (all plans off).
+    pub fn disabled() -> Self {
+        ChaosEngine::new(ChaosConfig::default())
+    }
+
+    pub fn config(&self) -> &ChaosConfig {
+        &self.inner.config
+    }
+
+    pub fn retry(&self) -> RetryPolicy {
+        self.inner.config.retry
+    }
+
+    pub fn delay_duration(&self) -> Duration {
+        self.inner.config.delay_duration
+    }
+
+    pub fn stall_duration(&self) -> Duration {
+        self.inner.config.stall_duration
+    }
+
+    pub fn stream_stall_duration(&self) -> Duration {
+        self.inner.config.stream_stall_duration
+    }
+
+    /// Attach a tracer; every subsequently fired fault is emitted as a
+    /// `SpanKind::Fault` span on track `chaos:{site}` with logical
+    /// timestamps `[seq, seq+1)`.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        *self.inner.tracer.lock() = Some(tracer.clone());
+    }
+
+    /// Evaluate one occurrence of `kind` at `site` for `rank`; returns true
+    /// (and records the fault) iff the fault fires. Advances the
+    /// per-`(site, kind)` counter even when the plan windows it out, so
+    /// occurrence numbering is stable across config changes.
+    pub fn check(&self, rank: usize, site: &str, kind: FaultKind) -> bool {
+        let plan = self.inner.config.plan_for(kind);
+        if plan.is_off() {
+            return false;
+        }
+        let site_hash = fnv1a(site.as_bytes()) ^ fnv1a(kind.label().as_bytes()).rotate_left(17);
+        let k = {
+            let mut counters = self.inner.counters.lock();
+            let c = counters.entry(site_hash).or_insert(0);
+            let k = *c;
+            *c += 1;
+            k
+        };
+        if k < plan.from || k >= plan.until {
+            return false;
+        }
+        let fired = plan.prob >= 1.0
+            || unit_f64(splitmix64(self.inner.config.seed ^ site_hash ^ k)) < plan.prob;
+        if fired {
+            self.record(rank, site, kind, k);
+        }
+        fired
+    }
+
+    /// Rank-crash probe; callers invoke this once per collective call.
+    /// Returns true when the calling rank should die now.
+    pub fn rank_crash(&self, rank: usize) -> bool {
+        if let Some(r) = self.inner.config.crash_rank {
+            if r != rank {
+                return false;
+            }
+        }
+        self.check(rank, &format!("coll:r{rank}"), FaultKind::Crash)
+    }
+
+    /// Rank-stall probe; callers invoke this once per a2a call. Returns the
+    /// stall duration when the calling rank should go quiet for a while.
+    pub fn rank_stall(&self, rank: usize) -> Option<Duration> {
+        if let Some(r) = self.inner.config.stall_rank {
+            if r != rank {
+                return None;
+            }
+        }
+        if self.check(rank, &format!("a2a:r{rank}"), FaultKind::Stall) {
+            Some(self.inner.config.stall_duration)
+        } else {
+            None
+        }
+    }
+
+    /// Record a fired fault (also used by recovery code to log degradation
+    /// events like a CPU fallback, which are decisions, not random draws).
+    pub fn record(&self, rank: usize, site: &str, kind: FaultKind, seq: u64) {
+        self.inner.log.lock().push(FaultRecord {
+            rank,
+            site: site.to_string(),
+            kind,
+            seq,
+        });
+        if let Some(t) = self.inner.tracer.lock().as_ref() {
+            let h = t.for_rank(rank);
+            h.record(
+                SpanKind::Fault,
+                &format!("chaos:{site}"),
+                &format!("{}#{}", kind.label(), seq),
+                seq,
+                seq + 1,
+            );
+            h.incr_faults();
+        }
+    }
+
+    /// Snapshot of every fault fired so far, in firing order.
+    pub fn log(&self) -> Vec<FaultRecord> {
+        self.inner.log.lock().clone()
+    }
+
+    /// Order-independent digest of the fault schedule: suitable for asserting
+    /// that two same-seed runs injected exactly the same faults even though
+    /// threads interleaved differently.
+    pub fn schedule_digest(&self) -> u64 {
+        let log = self.inner.log.lock();
+        let mut acc = 0u64;
+        for r in log.iter() {
+            let mut h = fnv1a(r.site.as_bytes());
+            h = splitmix64(h ^ fnv1a(r.kind.label().as_bytes()) ^ r.seq ^ (r.rank as u64) << 48);
+            acc ^= h;
+        }
+        acc
+    }
+
+    /// Sorted, human-readable schedule (rank, site, kind, seq) — the
+    /// canonical form compared across same-seed runs.
+    pub fn schedule(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .inner
+            .log
+            .lock()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Debug for ChaosEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosEngine")
+            .field("seed", &self.inner.config.seed)
+            .field("faults_fired", &self.inner.log.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let e = ChaosEngine::disabled();
+        for _ in 0..100 {
+            assert!(!e.check(0, "msg:0->1", FaultKind::Drop));
+        }
+        assert!(e.log().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || {
+            let mut cfg = ChaosConfig::new(42);
+            cfg.drop = FaultPlan::with_prob(0.3);
+            cfg.delay = FaultPlan::with_prob(0.2);
+            let e = ChaosEngine::new(cfg);
+            for k in 0..200 {
+                let site = format!("msg:{}->{}", k % 3, (k + 1) % 3);
+                e.check(k % 3, &site, FaultKind::Drop);
+                e.check(k % 3, &site, FaultKind::Delay);
+            }
+            e
+        };
+        let a = mk();
+        let b = mk();
+        assert!(!a.log().is_empty(), "expected some faults at p=0.3");
+        assert_eq!(a.log(), b.log());
+        assert_eq!(a.schedule_digest(), b.schedule_digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut cfg = ChaosConfig::new(seed);
+            cfg.drop = FaultPlan::with_prob(0.5);
+            let e = ChaosEngine::new(cfg);
+            for k in 0..100 {
+                e.check(0, "msg:0->1", FaultKind::Drop);
+                let _ = k;
+            }
+            e.schedule()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn window_gates_occurrences() {
+        let mut cfg = ChaosConfig::new(7);
+        cfg.alloc_fault = FaultPlan::at(2);
+        let e = ChaosEngine::new(cfg);
+        let fired: Vec<bool> = (0..5)
+            .map(|_| e.check(0, "alloc:r0", FaultKind::AllocFault))
+            .collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+        assert_eq!(e.log().len(), 1);
+        assert_eq!(e.log()[0].seq, 2);
+    }
+
+    #[test]
+    fn crash_rank_filter_applies() {
+        let mut cfg = ChaosConfig::new(9);
+        cfg.crash = FaultPlan::at(0);
+        cfg.crash_rank = Some(1);
+        let e = ChaosEngine::new(cfg);
+        assert!(!e.rank_crash(0));
+        assert!(e.rank_crash(1));
+    }
+
+    #[test]
+    fn faults_emit_trace_spans() {
+        let tracer = Tracer::new();
+        let mut cfg = ChaosConfig::new(3);
+        cfg.drop = FaultPlan::at(0);
+        let e = ChaosEngine::new(cfg);
+        e.attach_tracer(&tracer);
+        assert!(e.check(1, "msg:1->0", FaultKind::Drop));
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Fault);
+        assert_eq!(spans[0].track, "chaos:msg:1->0");
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[0].end_ns, 1);
+        assert_eq!(tracer.total_counters().faults, 1);
+    }
+}

@@ -129,6 +129,13 @@ impl Communicator {
             self.size()
         );
         let chunk = send.len() / self.size();
+        // Chaos stall: this rank goes quiet before posting its sends, so
+        // peers waiting under a watchdog observe a hung exchange.
+        if let Some(ch) = &self.shared.chaos {
+            if let Some(d) = ch.rank_stall(self.global_rank(self.rank())) {
+                std::thread::sleep(d);
+            }
+        }
         let tag = self.next_coll_tag();
         let span = self.tracer.as_ref().map(|t| {
             t.incr_a2a_calls();
@@ -223,6 +230,7 @@ impl Clone for Communicator {
             coll_seq: std::sync::Arc::clone(&self.coll_seq),
             split_seq: std::sync::Arc::clone(&self.split_seq),
             tracer: self.tracer.clone(),
+            a2a_deadline: self.a2a_deadline,
         }
     }
 }

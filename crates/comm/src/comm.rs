@@ -4,6 +4,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use psdns_chaos::FaultKind;
+use psdns_sync::channel::RecvTimeoutError;
 
 use crate::universe::{Packet, Shared};
 
@@ -15,6 +19,16 @@ pub enum CommError {
     /// A message with the right (ctx, tag) arrived with an unexpected
     /// element type.
     TypeMismatch { src: usize, tag: u64 },
+    /// A deadline-aware receive gave up: the message from `src` did not
+    /// arrive within the watchdog window (hung exchange, stalled peer).
+    Timeout {
+        src: usize,
+        tag: u64,
+        waited_ms: u64,
+    },
+    /// The peer rank died (injected crash or genuine panic) while we were
+    /// waiting for its message.
+    PeerFailed { src: usize },
 }
 
 impl fmt::Display for CommError {
@@ -22,6 +36,17 @@ impl fmt::Display for CommError {
         match self {
             CommError::TypeMismatch { src, tag } => {
                 write!(f, "type mismatch in message from rank {src} tag {tag}")
+            }
+            CommError::Timeout {
+                src,
+                tag,
+                waited_ms,
+            } => write!(
+                f,
+                "timed out after {waited_ms} ms waiting for message from rank {src} tag {tag}"
+            ),
+            CommError::PeerFailed { src } => {
+                write!(f, "peer rank {src} failed while a receive was outstanding")
             }
         }
     }
@@ -31,6 +56,11 @@ impl std::error::Error for CommError {}
 
 /// Base tag for internal collective sequencing; user tags must be below it.
 pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
+
+/// Poll period of deadline-aware / failure-aware receive loops. Fault-free
+/// jobs (no chaos engine, no deadline) never poll — they block on the
+/// channel exactly as before.
+const RECV_POLL: Duration = Duration::from_millis(2);
 
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -58,6 +88,9 @@ pub struct Communicator {
     /// Optional per-rank trace handle; all-to-alls record spans and byte
     /// counters on it when attached.
     pub(crate) tracer: Option<psdns_trace::Tracer>,
+    /// Watchdog deadline applied by [`crate::Request::wait_watchdog`]; `None`
+    /// means wait forever (the pre-chaos behavior).
+    pub(crate) a2a_deadline: Option<Duration>,
 }
 
 impl Communicator {
@@ -71,6 +104,7 @@ impl Communicator {
             coll_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
             tracer: None,
+            a2a_deadline: None,
         }
     }
 
@@ -85,6 +119,24 @@ impl Communicator {
     /// The attached per-rank tracer, if any.
     pub fn tracer(&self) -> Option<&psdns_trace::Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Configure the all-to-all watchdog: [`crate::Request::wait_watchdog`]
+    /// converts an exchange that has not completed within `deadline` into a
+    /// typed [`CommError::Timeout`] instead of blocking forever.
+    pub fn set_a2a_watchdog(&mut self, deadline: Option<Duration>) {
+        self.a2a_deadline = deadline;
+    }
+
+    /// The configured all-to-all watchdog deadline, if any.
+    pub fn a2a_watchdog(&self) -> Option<Duration> {
+        self.a2a_deadline
+    }
+
+    /// The fault-injection engine of this job, when running under
+    /// [`crate::Universe::run_chaos`].
+    pub fn chaos(&self) -> Option<&psdns_chaos::ChaosEngine> {
+        self.shared.chaos.as_ref()
     }
 
     /// Rank of the caller within this communicator.
@@ -103,28 +155,105 @@ impl Communicator {
     }
 
     pub(crate) fn next_coll_tag(&self) -> u64 {
+        if let Some(ch) = &self.shared.chaos {
+            let grank = self.members[self.rank];
+            if ch.rank_crash(grank) {
+                // Mark the job failed *before* dying so peers blocked in
+                // polling receives bail out promptly with PeerFailed.
+                self.shared
+                    .fail(grank, format!("chaos: injected crash on rank {grank}"));
+                panic!("chaos: injected crash on rank {grank}");
+            }
+        }
         COLL_TAG_BASE + self.coll_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Send `data` to `dst` with `tag`. Buffered and non-blocking in the MPI
     /// `MPI_Bsend` sense: always returns immediately.
-    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    pub fn send<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         assert!(tag < COLL_TAG_BASE, "user tags must be < 2^32");
         self.send_raw(dst, tag, data);
     }
 
-    pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    pub(crate) fn send_raw<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         let gdst = self.members[dst];
         let gsrc = self.members[self.rank];
+        let Some(ch) = self.shared.chaos.clone() else {
+            // Fault-free fast path: identical to the pre-chaos runtime.
+            let pkt = Packet {
+                ctx: self.ctx,
+                tag,
+                uid: 0,
+                dup: false,
+                payload: Box::new(data),
+            };
+            self.push_packet(gsrc, gdst, pkt);
+            return;
+        };
+        let site = format!("msg:{gsrc}->{gdst}");
+        // Drop fault: each transmission attempt may be lost; retry with
+        // linear backoff up to the policy bound. If every attempt is lost
+        // the message is genuinely gone — the receiver's watchdog turns
+        // that into a typed Timeout.
+        let policy = ch.retry();
+        let mut lost = true;
+        for attempt in 0..=policy.max_retries {
+            if !ch.check(gsrc, &site, FaultKind::Drop) {
+                lost = false;
+                break;
+            }
+            if attempt < policy.max_retries {
+                std::thread::sleep(policy.backoff * (attempt + 1));
+            }
+        }
+        if lost {
+            return;
+        }
+        if ch.check(gsrc, &site, FaultKind::Delay) {
+            std::thread::sleep(ch.delay_duration());
+        }
+        let dup = ch.check(gsrc, &site, FaultKind::Duplicate);
+        let uid = self.shared.next_uid.fetch_add(1, Ordering::Relaxed);
+        let copy = dup.then(|| Packet {
+            ctx: self.ctx,
+            tag,
+            uid,
+            dup,
+            payload: Box::new(data.clone()),
+        });
         let pkt = Packet {
             ctx: self.ctx,
             tag,
+            uid,
+            dup,
             payload: Box::new(data),
         };
-        self.shared.tx[gsrc][gdst]
-            .send(pkt)
-            .expect("peer channel closed");
+        if ch.check(gsrc, &site, FaultKind::Reorder) {
+            // Stash this packet; it is released *after* the next send on
+            // this edge (or rescued by the receiver before it blocks), so
+            // two consecutive messages genuinely swap arrival order.
+            let prev = self.shared.held[gsrc][gdst].lock().replace(pkt);
+            if let Some(p) = prev {
+                self.push_packet(gsrc, gdst, p);
+            }
+        } else {
+            self.push_packet(gsrc, gdst, pkt);
+            let held = self.shared.held[gsrc][gdst].lock().take();
+            if let Some(p) = held {
+                self.push_packet(gsrc, gdst, p);
+            }
+        }
+        if let Some(p) = copy {
+            self.push_packet(gsrc, gdst, p);
+        }
+    }
+
+    fn push_packet(&self, gsrc: usize, gdst: usize, pkt: Packet) {
+        // The receiver ends of all channels live in `Shared`, which outlives
+        // every rank thread, so a send can only fail if the whole job is
+        // being torn down — at which point nobody observes the loss.
+        let _ = self.shared.tx[gsrc][gdst].send(pkt);
     }
 
     /// Blocking receive of a message from `src` with `tag`. FIFO order is
@@ -135,34 +264,82 @@ impl Communicator {
     }
 
     pub(crate) fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        match self.try_recv_match(src, tag) {
+        match self.recv_match_deadline(src, tag, None) {
             Ok(v) => v,
             Err(e) => panic!("{e}"),
         }
     }
 
-    fn try_recv_match<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+    /// Receive with an optional absolute deadline. With `deadline == None`
+    /// and no chaos engine this blocks exactly like the pre-chaos runtime;
+    /// otherwise it polls so it can notice deadline expiry, peer death, and
+    /// reorder-held packets.
+    pub(crate) fn recv_match_deadline<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError> {
         assert!(src < self.size(), "source rank {src} out of range");
         let gsrc = self.members[src];
         let gme = self.members[self.rank];
-        // First scan messages that arrived earlier but did not match then.
-        {
-            let mut pend = self.shared.pending[gme][gsrc].lock();
-            if let Some(pos) = pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag) {
-                let pkt = pend.remove(pos).expect("position valid");
-                return downcast(pkt, src, tag);
-            }
-        }
-        // Then drain the channel until the matching message arrives.
+        let start = Instant::now();
+        let polled = self.shared.chaos.is_some() || deadline.is_some();
         loop {
-            let pkt = {
-                let rx = self.shared.rx[gme][gsrc].lock();
-                rx.recv().expect("peer channel closed")
-            };
-            if pkt.ctx == self.ctx && pkt.tag == tag {
-                return downcast(pkt, src, tag);
+            self.shared.flush_held(gsrc, gme);
+            // Scan messages that arrived earlier but did not match then.
+            {
+                let mut pend = self.shared.pending[gme][gsrc].lock();
+                if let Some(pos) = pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag) {
+                    let pkt = pend.remove(pos).expect("position valid");
+                    return downcast(pkt, src, tag);
+                }
             }
-            self.shared.pending[gme][gsrc].lock().push_back(pkt);
+            // Pull from the channel (blocking or polling).
+            let got = {
+                let rx = self.shared.rx[gme][gsrc].lock();
+                if polled {
+                    let mut wait = RECV_POLL;
+                    if let Some(d) = deadline {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(CommError::Timeout {
+                                src,
+                                tag,
+                                waited_ms: start.elapsed().as_millis() as u64,
+                            });
+                        }
+                        wait = wait.min(d - now);
+                    }
+                    match rx.recv_timeout(wait) {
+                        Ok(p) => Some(p),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(CommError::PeerFailed { src })
+                        }
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(p) => Some(p),
+                        Err(_) => return Err(CommError::PeerFailed { src }),
+                    }
+                }
+            };
+            match got {
+                Some(pkt) => {
+                    if let Some(pkt) = self.shared.ingest(gme, pkt) {
+                        if pkt.ctx == self.ctx && pkt.tag == tag {
+                            return downcast(pkt, src, tag);
+                        }
+                        self.shared.pending[gme][gsrc].lock().push_back(pkt);
+                    }
+                }
+                None => {
+                    if self.shared.job_failed() {
+                        return Err(CommError::PeerFailed { src });
+                    }
+                }
+            }
         }
     }
 
@@ -172,6 +349,7 @@ impl Communicator {
         assert!(src < self.size());
         let gsrc = self.members[src];
         let gme = self.members[self.rank];
+        self.shared.flush_held(gsrc, gme);
         {
             let mut pend = self.shared.pending[gme][gsrc].lock();
             if let Some(pos) = pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag) {
@@ -186,6 +364,9 @@ impl Communicator {
                     Ok(p) => p,
                     Err(_) => return None,
                 }
+            };
+            let Some(pkt) = self.shared.ingest(gme, pkt) else {
+                continue;
             };
             if pkt.ctx == self.ctx && pkt.tag == tag {
                 return downcast(pkt, src, tag).ok();
@@ -239,6 +420,7 @@ impl Communicator {
             // Re-attribute to the child rank so sub-communicator traffic
             // still lands on the right per-rank counters.
             tracer: self.tracer.as_ref().map(|t| t.for_rank(my_local)),
+            a2a_deadline: self.a2a_deadline,
         }
     }
 }

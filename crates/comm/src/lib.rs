@@ -38,7 +38,11 @@ mod universe;
 
 pub use comm::{CommError, Communicator};
 pub use request::Request;
-pub use universe::Universe;
+pub use universe::{Universe, UniverseError};
+
+// Re-exported so downstream crates can configure chaos campaigns without a
+// direct psdns-chaos dependency.
+pub use psdns_chaos::{ChaosConfig, ChaosEngine, FaultKind, FaultPlan, RetryPolicy};
 
 #[cfg(test)]
 mod tests {

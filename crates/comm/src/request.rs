@@ -1,6 +1,8 @@
 //! Nonblocking-communication requests, the analogue of `MPI_Request`.
 
-use crate::comm::Communicator;
+use std::time::{Duration, Instant};
+
+use crate::comm::{CommError, Communicator};
 
 /// Handle to an in-flight nonblocking all-to-all. Sends were posted when the
 /// request was created; receiving (and thus completion) happens in
@@ -49,6 +51,37 @@ impl<T: Clone + Send + 'static> Request<T> {
         out
     }
 
+    /// Deadline-aware completion: like [`wait`](Request::wait) but gives up
+    /// with a typed [`CommError::Timeout`] when any peer's chunk has not
+    /// arrived within `timeout`. Chunks received before the timeout are
+    /// consumed; the request is spent either way (as with an MPI request
+    /// after `MPI_Cancel`).
+    pub fn wait_deadline(self, timeout: Duration) -> Result<Vec<T>, CommError> {
+        let _span = self.wait_span();
+        let deadline = Instant::now() + timeout;
+        let size = self.comm.size();
+        let mut out = Vec::with_capacity(size * self.chunk);
+        for src in 0..size {
+            let piece = self
+                .comm
+                .recv_match_deadline::<T>(src, self.tag, Some(deadline))?;
+            debug_assert_eq!(piece.len(), self.chunk);
+            out.extend(piece);
+        }
+        Ok(out)
+    }
+
+    /// Complete under the communicator's configured a2a watchdog (see
+    /// [`Communicator::set_a2a_watchdog`]): a hung exchange surfaces as
+    /// [`CommError::Timeout`] within the deadline instead of blocking
+    /// forever. Without a configured watchdog this is a plain `wait`.
+    pub fn wait_watchdog(self) -> Result<Vec<T>, CommError> {
+        match self.comm.a2a_watchdog() {
+            Some(deadline) => self.wait_deadline(deadline),
+            None => Ok(self.wait()),
+        }
+    }
+
     /// Complete the exchange into a caller-provided buffer of length
     /// `size · chunk` (avoids the concatenation allocation on hot paths).
     pub fn wait_into(self, out: &mut [T]) {
@@ -95,6 +128,7 @@ impl Communicator {
     pub(crate) fn has_pending_or_queued(&self, src: usize, tag: u64) -> bool {
         let gsrc = self.members[src];
         let gme = self.members[self.rank()];
+        self.shared.flush_held(gsrc, gme);
         {
             let pend = self.shared.pending[gme][gsrc].lock();
             if pend.iter().any(|p| p.ctx == self.ctx && p.tag == tag) {
@@ -109,6 +143,9 @@ impl Communicator {
                     Ok(p) => p,
                     Err(_) => break,
                 }
+            };
+            let Some(pkt) = self.shared.ingest(gme, pkt) else {
+                continue;
             };
             let matches = pkt.ctx == self.ctx && pkt.tag == tag;
             self.shared.pending[gme][gsrc].lock().push_back(pkt);

@@ -2,9 +2,13 @@
 //! thread per rank.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use psdns_chaos::ChaosEngine;
 use psdns_sync::channel::{unbounded, Receiver, Sender};
 use psdns_sync::Mutex;
 
@@ -16,12 +20,18 @@ pub(crate) struct Packet {
     pub ctx: u64,
     /// User or collective tag.
     pub tag: u64,
+    /// Job-unique message id; used to discard chaos-injected duplicates.
+    pub uid: u64,
+    /// True when this message was duplicated by the chaos layer (both the
+    /// original and the copy carry the flag; the second arrival is dropped).
+    pub dup: bool,
     /// The payload, a `Vec<T>` behind `Any`.
     pub payload: Box<dyn Any + Send>,
 }
 
 /// Shared state of the job: a full matrix of channels plus per-destination
-/// pending queues for out-of-order tag matching.
+/// pending queues for out-of-order tag matching, and (optionally) the chaos
+/// fault-injection state.
 pub(crate) struct Shared {
     pub size: usize,
     /// `tx[src][dst]` — sender side of the (src → dst) channel.
@@ -31,10 +41,25 @@ pub(crate) struct Shared {
     pub rx: Vec<Vec<Mutex<Receiver<Packet>>>>,
     /// Messages received but not yet matched, per (dst, src).
     pub pending: Vec<Vec<Mutex<VecDeque<Packet>>>>,
+    /// Fault-injection engine for this job; `None` outside chaos runs, in
+    /// which case every hook below is a branch-on-None no-op.
+    pub chaos: Option<ChaosEngine>,
+    /// `held[src][dst]` — one stashed packet per edge, used by the reorder
+    /// fault: a held packet is released *after* the next send on its edge.
+    pub held: Vec<Vec<Mutex<Option<Packet>>>>,
+    /// Per-destination uids of duplicate-flagged packets already ingested.
+    pub dup_seen: Vec<Mutex<HashSet<u64>>>,
+    /// Job-unique message id source.
+    pub next_uid: AtomicU64,
+    /// Set when any rank died; pollers convert this into a typed error
+    /// instead of waiting forever for a message that will never come.
+    failed: AtomicBool,
+    /// First failure wins: (rank, panic message).
+    failure: Mutex<Option<(usize, String)>>,
 }
 
 impl Shared {
-    fn new(size: usize) -> Arc<Self> {
+    fn new(size: usize, chaos: Option<ChaosEngine>) -> Arc<Self> {
         let mut tx: Vec<Vec<Sender<Packet>>> = (0..size).map(|_| Vec::new()).collect();
         let mut rx: Vec<Vec<Mutex<Receiver<Packet>>>> = (0..size).map(|_| Vec::new()).collect();
         // Channel (src, dst): sender stored under src, receiver under dst.
@@ -54,12 +79,92 @@ impl Shared {
         let pending = (0..size)
             .map(|_| (0..size).map(|_| Mutex::new(VecDeque::new())).collect())
             .collect();
+        let held = (0..size)
+            .map(|_| (0..size).map(|_| Mutex::new(None)).collect())
+            .collect();
+        let dup_seen = (0..size).map(|_| Mutex::new(HashSet::new())).collect();
         Arc::new(Self {
             size,
             tx,
             rx,
             pending,
+            chaos,
+            held,
+            dup_seen,
+            next_uid: AtomicU64::new(1),
+            failed: AtomicBool::new(false),
+            failure: Mutex::new(None),
         })
+    }
+
+    pub(crate) fn job_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn fail(&self, rank: usize, message: String) {
+        {
+            let mut f = self.failure.lock();
+            if f.is_none() {
+                *f = Some((rank, message));
+            }
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn take_failure(&self) -> Option<(usize, String)> {
+        self.failure.lock().take()
+    }
+
+    /// Duplicate filter applied to every packet pulled off a channel or the
+    /// held-packet stash. Returns `None` when the packet is a chaos duplicate
+    /// that was already delivered.
+    pub(crate) fn ingest(&self, gdst: usize, pkt: Packet) -> Option<Packet> {
+        if pkt.dup && !self.dup_seen[gdst].lock().insert(pkt.uid) {
+            return None;
+        }
+        Some(pkt)
+    }
+
+    /// Release a reorder-held packet on edge (gsrc → gdst) straight into the
+    /// pending queue. Called by receivers before blocking, so a held packet
+    /// whose edge sees no further sends is never lost.
+    pub(crate) fn flush_held(&self, gsrc: usize, gdst: usize) {
+        if self.chaos.is_none() {
+            return;
+        }
+        let pkt = self.held[gsrc][gdst].lock().take();
+        if let Some(pkt) = pkt {
+            if let Some(pkt) = self.ingest(gdst, pkt) {
+                self.pending[gdst][gsrc].lock().push_back(pkt);
+            }
+        }
+    }
+}
+
+/// A chaos job ended because a rank died (injected crash or genuine panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniverseError {
+    /// Global rank that failed first.
+    pub rank: usize,
+    /// Its panic message.
+    pub message: String,
+}
+
+impl fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for UniverseError {}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
     }
 }
 
@@ -74,8 +179,36 @@ impl Universe {
         F: Fn(Communicator) -> R + Send + Sync,
         R: Send,
     {
+        match Self::run_inner(size, None, f) {
+            Ok(v) => v,
+            Err(e) => panic!("rank panicked: {e}"),
+        }
+    }
+
+    /// Like [`Universe::run`], but with a fault-injection engine threaded
+    /// through the whole job, and rank death (injected crash or genuine
+    /// panic) surfaced as a typed [`UniverseError`] instead of a panic.
+    /// Surviving ranks notice the failure through their recv polling loops
+    /// (typed `CommError::PeerFailed`) rather than hanging.
+    pub fn run_chaos<F, R>(size: usize, chaos: ChaosEngine, f: F) -> Result<Vec<R>, UniverseError>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::run_inner(size, Some(chaos), f)
+    }
+
+    fn run_inner<F, R>(
+        size: usize,
+        chaos: Option<ChaosEngine>,
+        f: F,
+    ) -> Result<Vec<R>, UniverseError>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(size > 0, "universe must have at least one rank");
-        let shared = Shared::new(size);
+        let shared = Shared::new(size, chaos);
         let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
         let f = &f;
         std::thread::scope(|scope| {
@@ -83,18 +216,24 @@ impl Universe {
             for (rank, slot) in results.iter_mut().enumerate() {
                 let shared = Arc::clone(&shared);
                 handles.push(scope.spawn(move || {
-                    let comm = Communicator::world(shared, rank);
-                    *slot = Some(f(comm));
+                    let comm = Communicator::world(Arc::clone(&shared), rank);
+                    match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                        Ok(r) => *slot = Some(r),
+                        Err(payload) => shared.fail(rank, panic_message(payload)),
+                    }
                 }));
             }
             for h in handles {
-                h.join().expect("rank panicked");
+                h.join().expect("rank thread join");
             }
         });
-        results
+        if let Some((rank, message)) = shared.take_failure() {
+            return Err(UniverseError { rank, message });
+        }
+        Ok(results
             .into_iter()
             .map(|r| r.expect("rank result"))
-            .collect()
+            .collect())
     }
 }
 
@@ -117,5 +256,25 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn empty_universe_rejected() {
         let _ = Universe::run(0, |_| 0);
+    }
+
+    #[test]
+    fn run_chaos_reports_first_failure() {
+        let out = Universe::run_chaos(2, ChaosEngine::disabled(), |comm| {
+            if comm.rank() == 0 {
+                panic!("boom in rank 0");
+            }
+            comm.rank()
+        });
+        let err = out.expect_err("job must fail");
+        assert_eq!(err.rank, 0);
+        assert!(err.message.contains("boom"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn run_chaos_happy_path_matches_run() {
+        let out = Universe::run_chaos(3, ChaosEngine::disabled(), |comm| comm.rank() * 2)
+            .expect("no faults injected");
+        assert_eq!(out, vec![0, 2, 4]);
     }
 }

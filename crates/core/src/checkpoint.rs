@@ -12,14 +12,43 @@ use psdns_fft::{Complex, Real};
 
 use crate::field::{LocalShape, SpectralField};
 
-const MAGIC: &[u8; 8] = b"PSDNSCK1";
+/// Version-1 container: no payload checksum. Still readable.
+const MAGIC_V1: &[u8; 8] = b"PSDNSCK1";
+/// Version-2 container: same layout plus a trailing CRC32 (IEEE) of
+/// everything after the magic. Written by [`Checkpoint::encode`].
+const MAGIC_V2: &[u8; 8] = b"PSDNSCK2";
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), bitwise — no lookup table, no
+/// external dependency. Checkpoint payloads are cold-path I/O.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Errors from checkpoint decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     BadMagic,
     Truncated,
-    ShapeMismatch { expected: usize, found: usize },
+    /// The v2 payload checksum did not match: bit-rot or a partial write.
+    /// Detected at restore instead of producing silent NaNs in the solver.
+    Corrupt {
+        expected: u32,
+        found: u32,
+    },
+    /// The storage layer refused the write (chaos-injected I/O failure).
+    WriteFailed,
+    ShapeMismatch {
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -27,6 +56,11 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::BadMagic => write!(f, "not a psdns checkpoint"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Corrupt { expected, found } => write!(
+                f,
+                "checkpoint corrupt: checksum {found:#010x}, expected {expected:#010x}"
+            ),
+            CheckpointError::WriteFailed => write!(f, "checkpoint write failed"),
             CheckpointError::ShapeMismatch { expected, found } => {
                 write!(f, "grid mismatch: expected N={expected}, found N={found}")
             }
@@ -104,32 +138,68 @@ impl Checkpoint {
         }
     }
 
-    /// Encode to the binary container.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        push_u64(&mut buf, self.n as u64);
-        push_u64(&mut buf, self.p as u64);
-        push_u64(&mut buf, self.rank as u64);
-        push_u64(&mut buf, self.fields.len() as u64);
-        push_u64(&mut buf, self.step as u64);
-        push_f64(&mut buf, self.time);
+    fn encode_body(&self, buf: &mut Vec<u8>) {
+        push_u64(buf, self.n as u64);
+        push_u64(buf, self.p as u64);
+        push_u64(buf, self.rank as u64);
+        push_u64(buf, self.fields.len() as u64);
+        push_u64(buf, self.step as u64);
+        push_f64(buf, self.time);
         for f in &self.fields {
-            push_u64(&mut buf, f.len() as u64);
+            push_u64(buf, f.len() as u64);
             for &(re, im) in f {
-                push_f64(&mut buf, re);
-                push_f64(&mut buf, im);
+                push_f64(buf, re);
+                push_f64(buf, im);
             }
         }
+    }
+
+    /// Encode to the v2 binary container (payload protected by CRC32).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V2);
+        self.encode_body(&mut buf);
+        let crc = crc32(&buf[8..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
         buf
     }
 
-    /// Decode from the binary container.
+    /// Encode to the legacy v1 container (no checksum). Kept so restart
+    /// compatibility with pre-checksum files stays testable.
+    pub fn encode_v1(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Decode from the binary container. Accepts both v1 (no checksum) and
+    /// v2 (CRC32-verified) files; a v2 checksum mismatch is
+    /// [`CheckpointError::Corrupt`]. Structural damage (missing bytes) is
+    /// reported as [`CheckpointError::Truncated`] before the checksum is
+    /// consulted, so short reads keep their precise diagnosis.
     pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
         let mut r = Reader { data, pos: 0 };
-        if r.take(8)? != MAGIC {
-            return Err(CheckpointError::BadMagic);
+        let magic = r.take(8)?;
+        let v2 = match () {
+            _ if magic == MAGIC_V1 => false,
+            _ if magic == MAGIC_V2 => true,
+            _ => return Err(CheckpointError::BadMagic),
+        };
+        let ck = Self::decode_body(&mut r)?;
+        if v2 {
+            let body_end = r.pos;
+            let found_bytes = r.take(4)?;
+            let found = u32::from_le_bytes(found_bytes.try_into().expect("4 bytes"));
+            let expected = crc32(&data[8..body_end]);
+            if expected != found {
+                return Err(CheckpointError::Corrupt { expected, found });
+            }
         }
+        Ok(ck)
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Checkpoint, CheckpointError> {
         let n = r.u64()? as usize;
         let p = r.u64()? as usize;
         let rank = r.u64()? as usize;
@@ -353,6 +423,36 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let shape = LocalShape::new(8, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0]], 0.0, 7);
+        let mut bytes = ck.encode();
+        // Flip one bit deep inside the f64 payload (structurally invisible).
+        let i = bytes.len() / 2;
+        bytes[i] ^= 0x40;
+        match Checkpoint::decode(&bytes) {
+            Err(CheckpointError::Corrupt { expected, found }) => assert_ne!(expected, found),
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_still_readable() {
+        let shape = LocalShape::new(8, 2, 1);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0], &u[1]], 2.0, 10);
+        let v1 = ck.encode_v1();
+        assert_eq!(&v1[..8], b"PSDNSCK1");
+        assert_eq!(Checkpoint::decode(&v1).unwrap(), ck);
+        // And a corrupted v1 file is *not* detected (no checksum): the
+        // upgrade to v2 is what buys detection.
+        let v2 = ck.encode();
+        assert_eq!(&v2[..8], b"PSDNSCK2");
+        assert_eq!(v2.len(), v1.len() + 4);
     }
 
     #[test]

@@ -11,6 +11,9 @@ use std::fmt;
 use psdns_comm::CommError;
 use psdns_device::DeviceError;
 
+use crate::checkpoint::CheckpointError;
+use crate::io::CsvError;
+
 /// An invalid pipeline configuration, reported by
 /// [`crate::GpuFftBuilder::build`] before any device work starts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +74,8 @@ pub enum Error {
     Comm(CommError),
     Device(DeviceError),
     Pipeline(PipelineError),
+    Checkpoint(CheckpointError),
+    Csv(CsvError),
 }
 
 impl fmt::Display for Error {
@@ -79,6 +84,8 @@ impl fmt::Display for Error {
             Error::Comm(e) => write!(f, "communication error: {e}"),
             Error::Device(e) => write!(f, "device error: {e}"),
             Error::Pipeline(e) => write!(f, "pipeline configuration error: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            Error::Csv(e) => write!(f, "run log error: {e}"),
         }
     }
 }
@@ -89,6 +96,8 @@ impl std::error::Error for Error {
             Error::Comm(e) => Some(e),
             Error::Device(e) => Some(e),
             Error::Pipeline(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
+            Error::Csv(e) => Some(e),
         }
     }
 }
@@ -108,6 +117,18 @@ impl From<DeviceError> for Error {
 impl From<PipelineError> for Error {
     fn from(e: PipelineError) -> Self {
         Error::Pipeline(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
+    }
+}
+
+impl From<CsvError> for Error {
+    fn from(e: CsvError) -> Self {
+        Error::Csv(e)
     }
 }
 

@@ -40,6 +40,7 @@ use psdns_domain::decomp::{GpuSplit, PencilSplit};
 use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
 use psdns_sync::Mutex;
 
+use crate::dist_fft::SlabFftCpu;
 use crate::error::{Error, PipelineError};
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
 
@@ -123,6 +124,8 @@ pub struct GpuFftBuilder<T: Real> {
     a2a_mode: A2aMode,
     nv: usize,
     tracer: Option<psdns_trace::Tracer>,
+    cpu_fallback: bool,
+    a2a_watchdog: Option<std::time::Duration>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -136,6 +139,8 @@ impl<T: Real> GpuFftBuilder<T> {
             a2a_mode: A2aMode::PerSlab,
             nv: 1,
             tracer: None,
+            cpu_fallback: false,
+            a2a_watchdog: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -190,6 +195,26 @@ impl<T: Real> GpuFftBuilder<T> {
         self
     }
 
+    /// Degrade gracefully when device memory runs out mid-run: when enabled,
+    /// a failed slot-buffer allocation makes *all* ranks (coordinated by an
+    /// allreduce) execute the transform on the CPU pencil path instead of
+    /// returning an error. Off by default — the fault-free pipeline then
+    /// performs no extra collective.
+    pub fn cpu_fallback(mut self, enable: bool) -> Self {
+        self.cpu_fallback = enable;
+        self
+    }
+
+    /// Bound every all-to-all wait: a transpose whose peers have not
+    /// delivered within `timeout` fails with
+    /// [`psdns_comm::CommError::Timeout`] instead of hanging — the paper's
+    /// collectives at scale are exactly where a wedged rank otherwise stalls
+    /// the whole machine.
+    pub fn a2a_watchdog(mut self, timeout: std::time::Duration) -> Self {
+        self.a2a_watchdog = Some(timeout);
+        self
+    }
+
     /// Validate and construct. Returns [`PipelineError`] on an invalid
     /// configuration; never panics.
     pub fn build(self) -> Result<GpuSlabFft<T>, PipelineError> {
@@ -240,7 +265,10 @@ impl<T: Real> GpuFftBuilder<T> {
                 d.attach_tracer(&rank_tracer);
             }
         }
-        Ok(GpuSlabFft::construct(
+        if self.a2a_watchdog.is_some() {
+            comm.set_a2a_watchdog(self.a2a_watchdog);
+        }
+        let mut fft = GpuSlabFft::construct(
             self.shape,
             comm,
             self.devices,
@@ -248,7 +276,9 @@ impl<T: Real> GpuFftBuilder<T> {
                 np,
                 a2a_mode: self.a2a_mode,
             },
-        ))
+        );
+        fft.fallback_to_cpu = self.cpu_fallback;
+        Ok(fft)
     }
 }
 
@@ -284,6 +314,12 @@ pub struct GpuSlabFft<T: Real> {
     plan_x: Arc<RealFftPlan<T>>,
     #[allow(clippy::type_complexity)]
     plan_cache: Mutex<HashMap<(usize, usize), Arc<ManyPlan<T>>>>,
+    /// Degrade to the CPU pencil path when slot-buffer allocation fails
+    /// (see [`GpuFftBuilder::cpu_fallback`]).
+    fallback_to_cpu: bool,
+    /// Lazily built CPU backend used by the degraded path; cached so
+    /// repeated fallbacks do not re-plan.
+    cpu: Option<SlabFftCpu<T>>,
 }
 
 struct CallBuffers<T: Real> {
@@ -371,6 +407,8 @@ impl<T: Real> GpuSlabFft<T> {
             config,
             plan_x: Arc::new(RealFftPlan::new(shape.n)),
             plan_cache: Mutex::new(HashMap::new()),
+            fallback_to_cpu: false,
+            cpu: None,
         }
     }
 
@@ -454,6 +492,58 @@ impl<T: Real> GpuSlabFft<T> {
         Ok(CallBuffers { cbuf, rbuf, free })
     }
 
+    /// Allocate this call's slot buffers, coordinating graceful degradation
+    /// when [`GpuFftBuilder::cpu_fallback`] is enabled: an allreduce tells
+    /// every rank whether *any* rank failed to allocate, so either all ranks
+    /// run the device pipeline or all take the CPU path together — the
+    /// collective sequence stays in lockstep either way. Returns `Ok(None)`
+    /// when the call must degrade. Without fallback this is a plain
+    /// allocation: no extra collective on the fault-free fast path.
+    fn acquire_call_buffers(&self, nv: usize) -> Result<Option<CallBuffers<T>>, Error> {
+        if !self.fallback_to_cpu {
+            return Ok(Some(self.alloc_call_buffers(nv)?));
+        }
+        let local = self.alloc_call_buffers(nv);
+        let all_ok = self.comm.allreduce(local.is_ok(), |a, b| a && b);
+        match (all_ok, local) {
+            (true, Ok(bufs)) => Ok(Some(bufs)),
+            (true, Err(_)) => unreachable!("allreduce(AND) true implies local success"),
+            (false, local) => {
+                // Free any partially allocated slots before CPU work, and
+                // leave a marker span so the degradation is visible in the
+                // merged timeline next to the injected fault that caused it.
+                drop(local);
+                if let Some(t) = self.comm.tracer() {
+                    t.span(psdns_trace::SpanKind::Other, "pipeline", "degrade-to-cpu")
+                        .finish();
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// The cached CPU backend used when a call degrades. The clone shares
+    /// the communicator's collective sequence counter, so device and CPU
+    /// paths interleave collectives correctly.
+    fn cpu_backend(&mut self) -> &mut SlabFftCpu<T> {
+        if self.cpu.is_none() {
+            self.cpu = Some(SlabFftCpu::new(self.shape, self.comm.clone()));
+        }
+        self.cpu.as_mut().expect("just installed")
+    }
+
+    /// Surface any sticky asynchronous device error (e.g. a copy-engine
+    /// failure injected after its retry budget) recorded while this call's
+    /// streams were draining.
+    fn check_device_errors(&self) -> Result<(), Error> {
+        for dev in &self.devices {
+            if let Some(e) = dev.take_error() {
+                return Err(Error::Device(e));
+            }
+        }
+        Ok(())
+    }
+
     /// Sub-range of `r` handled by device `g` (Fig. 5 vertical split).
     fn device_part(r: &Range<usize>, gpus: usize, g: usize) -> Range<usize> {
         let part = GpuSplit::new(r.len(), gpus).range(g);
@@ -499,7 +589,12 @@ impl<T: Real> GpuSlabFft<T> {
         let q = self.config.a2a_mode.group_size(np);
         let zlen = s.spec_len();
         let plen = s.phys_len();
-        let bufs = self.alloc_call_buffers(nv)?;
+        let bufs = match self.acquire_call_buffers(nv)? {
+            Some(bufs) => bufs,
+            // Device memory exhausted somewhere: every rank degrades to the
+            // CPU pencil path for this call (graceful degradation).
+            None => return Ok(self.cpu_backend().fourier_to_physical(specs)),
+        };
 
         // Host pinned staging for the whole slab (input) and result.
         let mut flat = Vec::with_capacity(nv * zlen);
@@ -650,10 +745,14 @@ impl<T: Real> GpuSlabFft<T> {
         }
 
         // ---- Global transpose completion (the MPI_WAIT of Fig. 4) --------
-        let recv_bufs: Vec<PinnedBuffer<Complex<T>>> = requests
-            .into_iter()
-            .map(|r| PinnedBuffer::from_vec(r.expect("posted").wait()))
-            .collect();
+        // Deadline-aware when a watchdog is configured: a wedged peer turns
+        // into a typed CommError::Timeout instead of an infinite hang.
+        let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
+        for r in requests {
+            recv_bufs.push(PinnedBuffer::from_vec(
+                r.expect("posted").wait_watchdog().map_err(Error::Comm)?,
+            ));
+        }
 
         // ------------- Phase 2: z-inverse + x c2r on y-split pieces -------
         // (second and third dashed regions of Fig. 4)
@@ -786,6 +885,7 @@ impl<T: Real> GpuSlabFft<T> {
             cstream.synchronize();
             tstream.synchronize();
         }
+        self.check_device_errors()?;
 
         let flat = host_phys.snapshot();
         Ok((0..nv)
@@ -834,7 +934,10 @@ impl<T: Real> GpuSlabFft<T> {
         let q = self.config.a2a_mode.group_size(np);
         let zlen = s.spec_len();
         let plen = s.phys_len();
-        let bufs = self.alloc_call_buffers(nv)?;
+        let bufs = match self.acquire_call_buffers(nv)? {
+            Some(bufs) => bufs,
+            None => return Ok(self.cpu_backend().physical_to_fourier(phys)),
+        };
 
         let mut flat = Vec::with_capacity(nv * plen);
         for f in phys {
@@ -989,10 +1092,12 @@ impl<T: Real> GpuSlabFft<T> {
             self.post_group_a2a(gi, &groups, &mut d2h_done, &send_bufs, &mut requests);
         }
 
-        let recv_bufs: Vec<PinnedBuffer<Complex<T>>> = requests
-            .into_iter()
-            .map(|r| PinnedBuffer::from_vec(r.expect("posted").wait()))
-            .collect();
+        let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
+        for r in requests {
+            recv_bufs.push(PinnedBuffer::from_vec(
+                r.expect("posted").wait_watchdog().map_err(Error::Comm)?,
+            ));
+        }
 
         // Phase B: y-forward on x-split pencils, D2H into the z-slab result
         // (deferred-tail op order, as in phase 1).
@@ -1106,6 +1211,7 @@ impl<T: Real> GpuSlabFft<T> {
             cstream.synchronize();
             tstream.synchronize();
         }
+        self.check_device_errors()?;
 
         let flat = host_spec.snapshot();
         Ok((0..nv)
@@ -1124,13 +1230,23 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
     }
 
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>> {
-        self.try_fourier_to_physical(specs)
-            .expect("device out of memory: increase np (see GpuSlabFft::auto_np)")
+        match self.try_fourier_to_physical(specs) {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "GpuSlabFft fourier_to_physical failed: {e} \
+                 (increase np, see GpuSlabFft::auto_np, or enable cpu_fallback)"
+            ),
+        }
     }
 
     fn physical_to_fourier(&mut self, phys: &[PhysicalField<T>]) -> Vec<SpectralField<T>> {
-        self.try_physical_to_fourier(phys)
-            .expect("device out of memory: increase np (see GpuSlabFft::auto_np)")
+        match self.try_physical_to_fourier(phys) {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "GpuSlabFft physical_to_fourier failed: {e} \
+                 (increase np, see GpuSlabFft::auto_np, or enable cpu_fallback)"
+            ),
+        }
     }
 
     /// Form the nonlinear products on the device, streamed in out-of-core
@@ -1234,6 +1350,11 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
         }
         tstream.synchronize();
         cstream.synchronize();
+        // A copy-engine failure (injected or real) leaves host_out partially
+        // stale; recompute on the host rather than return silent garbage.
+        if dev.take_error().is_some() {
+            return host_cross_product(s, up, wp);
+        }
 
         let flat = host_out.snapshot();
         [

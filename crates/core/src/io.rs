@@ -2,6 +2,7 @@
 //! campaign archives after every batch job (the paper's runs feed spectra
 //! like its refs. \[10\]/\[23\] from exactly such dumps).
 
+use std::fmt;
 use std::io::Write;
 use std::path::Path;
 
@@ -12,6 +13,31 @@ use crate::field::{SpectralField, Transform3d};
 use crate::ns::NavierStokes;
 use crate::spectrum::energy_spectrum;
 use crate::stats::{flow_stats, FlowStats};
+
+/// Malformed run-log CSV, reported by [`RunLog::from_csv`] with the
+/// 1-based line number where parsing stopped. Feeds into
+/// [`crate::Error::Csv`] so campaign tooling can treat a bad artifact
+/// like any other typed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A data row did not have the expected number of columns.
+    ColumnCount { line: usize, found: usize },
+    /// A cell failed to parse as a number.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::ColumnCount { line, found } => {
+                write!(f, "line {line}: expected 8 columns, found {found}")
+            }
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
 
 /// One sampled step of a run.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,7 +90,7 @@ impl RunLog {
     }
 
     /// Parse a CSV produced by [`to_csv`](Self::to_csv).
-    pub fn from_csv(csv: &str) -> Result<RunLog, String> {
+    pub fn from_csv(csv: &str) -> Result<RunLog, CsvError> {
         let mut entries = Vec::new();
         for (ln, line) in csv.lines().enumerate().skip(1) {
             if line.trim().is_empty() {
@@ -72,19 +98,22 @@ impl RunLog {
             }
             let cols: Vec<&str> = line.split(',').collect();
             if cols.len() != 8 {
-                return Err(format!("line {}: expected 8 columns", ln + 1));
+                return Err(CsvError::ColumnCount {
+                    line: ln + 1,
+                    found: cols.len(),
+                });
             }
-            let f = |i: usize| -> Result<f64, String> {
-                cols[i]
-                    .trim()
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", ln + 1))
+            let f = |i: usize| -> Result<f64, CsvError> {
+                cols[i].trim().parse().map_err(|e| CsvError::Parse {
+                    line: ln + 1,
+                    message: format!("{e}"),
+                })
             };
             entries.push(LogEntry {
-                step: cols[0]
-                    .trim()
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", ln + 1))?,
+                step: cols[0].trim().parse().map_err(|e| CsvError::Parse {
+                    line: ln + 1,
+                    message: format!("{e}"),
+                })?,
                 time: f(1)?,
                 stats: FlowStats {
                     energy: f(2)?,
@@ -197,8 +226,14 @@ mod tests {
 
     #[test]
     fn malformed_csv_rejected() {
-        assert!(RunLog::from_csv("step,time\n1,2\n").is_err());
-        assert!(RunLog::from_csv("header\n1,2,3,4,5,6,7,not_a_number\n").is_err());
+        assert!(matches!(
+            RunLog::from_csv("step,time\n1,2\n"),
+            Err(CsvError::ColumnCount { line: 2, found: 2 })
+        ));
+        assert!(matches!(
+            RunLog::from_csv("header\n1,2,3,4,5,6,7,not_a_number\n"),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod io;
 pub mod ns;
 pub mod ops;
 pub mod pencil_fft;
+pub mod recovery;
 pub mod scalar;
 pub mod spectrum;
 pub mod stats;
@@ -46,10 +47,11 @@ pub use forcing::Forcing;
 pub use gpu_pipeline::{A2aMode, GpuFftBuilder, GpuFftConfig, GpuSlabFft};
 pub use gpu_sync::GpuSyncSlabFft;
 pub use init::{normalize_energy, random_solenoidal, taylor_green};
-pub use io::{spectrum_csv, LogEntry, RunLog};
+pub use io::{spectrum_csv, CsvError, LogEntry, RunLog};
 pub use ns::{apply_phase_shift, project_and_dealias, NavierStokes, NsConfig, TimeScheme};
 pub use ops::{curl, divergence, gradient, laplacian};
 pub use pencil_fft::PencilFftCpu;
+pub use recovery::{restore_or_init, run_checkpointed, save_solver, CheckpointStore};
 pub use scalar::{scalar_single_mode, PassiveScalar};
 pub use spectrum::{energy_spectrum, transfer_spectrum};
 pub use stats::{gradient_moments, FlowStats};

@@ -1,0 +1,311 @@
+//! Checkpoint-based failure recovery.
+//!
+//! The paper's production campaigns survive node failures the classic HPC
+//! way: periodic checkpoints plus restart from the last good file. This
+//! module provides the runtime side of that contract for the simulated
+//! stack — an in-memory [`CheckpointStore`] standing in for the parallel
+//! file system (with chaos-injectable write failures, truncation and
+//! bit-rot), a coordinated [`restore_or_init`] that either resumes *all*
+//! ranks from a consistent checkpoint set or initializes *all* ranks fresh,
+//! and [`run_checkpointed`] to drive a solver with periodic saves.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use psdns_chaos::{ChaosEngine, FaultKind};
+use psdns_fft::Real;
+use psdns_sync::Mutex;
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::field::{SpectralField, Transform3d};
+use crate::ns::{NavierStokes, NsConfig};
+
+/// One checkpoint slot per rank, shared by all clones — the stand-in for a
+/// restart directory on the parallel file system. When built
+/// [`with_chaos`](Self::with_chaos), saves are subject to injected I/O
+/// faults: transient write failures (retried per the engine's
+/// [`psdns_chaos::RetryPolicy`], surfacing [`CheckpointError::WriteFailed`]
+/// when the budget is exhausted), truncation (a partial write that lost the
+/// tail) and bit-rot (silent corruption caught by the v2 CRC at load).
+#[derive(Clone, Default)]
+pub struct CheckpointStore {
+    slots: Arc<Mutex<HashMap<usize, Vec<u8>>>>,
+    chaos: Option<ChaosEngine>,
+}
+
+impl CheckpointStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store whose writes go through the fault-injection engine.
+    pub fn with_chaos(engine: &ChaosEngine) -> Self {
+        Self {
+            slots: Arc::default(),
+            chaos: Some(engine.clone()),
+        }
+    }
+
+    /// Serialize and store `ck` under `rank`, applying any injected I/O
+    /// faults. A transient write fault is retried with linear backoff; an
+    /// injected truncation or corruption damages the stored bytes exactly
+    /// the way a torn write or bit-rot would — detected at load, not here.
+    pub fn save(&self, rank: usize, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        let site = format!("ckpt:r{rank}");
+        if let Some(ch) = &self.chaos {
+            let policy = ch.retry();
+            let mut lost = true;
+            for attempt in 0..=policy.max_retries {
+                if !ch.check(rank, &site, FaultKind::WriteFault) {
+                    lost = false;
+                    break;
+                }
+                if attempt < policy.max_retries {
+                    std::thread::sleep(policy.backoff * (attempt + 1));
+                }
+            }
+            if lost {
+                return Err(CheckpointError::WriteFailed);
+            }
+        }
+        let mut bytes = ck.encode();
+        if let Some(ch) = &self.chaos {
+            if ch.check(rank, &site, FaultKind::TruncateCheckpoint) {
+                let keep = bytes.len() * 3 / 4;
+                bytes.truncate(keep);
+            }
+            if ch.check(rank, &site, FaultKind::CorruptCheckpoint) {
+                let i = bytes.len() / 2;
+                bytes[i] ^= 0x10;
+            }
+        }
+        self.slots.lock().insert(rank, bytes);
+        Ok(())
+    }
+
+    /// Decode `rank`'s slot. `None` when no checkpoint was ever stored;
+    /// `Some(Err(..))` when the stored bytes are damaged (truncated file,
+    /// CRC mismatch).
+    pub fn load(&self, rank: usize) -> Option<Result<Checkpoint, CheckpointError>> {
+        let bytes = self.slots.lock().get(&rank).cloned()?;
+        Some(Checkpoint::decode(&bytes))
+    }
+
+    /// Ranks with a stored (not necessarily valid) checkpoint.
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut r: Vec<usize> = self.slots.lock().keys().copied().collect();
+        r.sort_unstable();
+        r
+    }
+}
+
+/// Capture the solver's velocity state and save it under its rank.
+pub fn save_solver<T: Real, B: Transform3d<T>>(
+    ns: &NavierStokes<T, B>,
+    store: &CheckpointStore,
+) -> Result<(), CheckpointError> {
+    let ck = Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count);
+    store.save(ns.backend.shape().rank, &ck)
+}
+
+/// Build a solver from the last good checkpoint, or from `init` when no
+/// consistent set exists. Returns `(solver, resumed)`.
+///
+/// The decision is **collective**: every rank reports whether its own slot
+/// decodes, restores, and from which step; an allgather then lets all ranks
+/// agree — resume only when *every* rank holds a valid checkpoint from the
+/// *same* step. Anything less (one rank's file corrupt, a stale slot from
+/// an earlier save) makes all ranks fall back to `init` together, keeping
+/// the collective sequence in lockstep.
+///
+/// On resume the spectral state is restored bit-exactly (the saved state
+/// was already solenoidal and dealiased, so the constructor's projection is
+/// bypassed): a resumed trajectory continues exactly where the failed run
+/// left off.
+pub fn restore_or_init<T, B, F>(
+    store: &CheckpointStore,
+    backend: B,
+    cfg: NsConfig,
+    init: F,
+) -> (NavierStokes<T, B>, bool)
+where
+    T: Real,
+    B: Transform3d<T>,
+    F: FnOnce() -> [SpectralField<T>; 3],
+{
+    let shape = backend.shape();
+    let local: Option<([SpectralField<T>; 3], usize, f64)> =
+        store.load(shape.rank).and_then(|r| r.ok()).and_then(|ck| {
+            let (step, time) = (ck.step, ck.time);
+            let fields = ck.restore::<T>(shape).ok()?;
+            let u: [SpectralField<T>; 3] = fields.try_into().ok()?;
+            Some((u, step, time))
+        });
+    let my_state = match &local {
+        Some((_, step, _)) => (true, *step as i64),
+        None => (false, -1),
+    };
+    let states = backend.comm().allgather(&[my_state]);
+    let usable = states.iter().all(|&(ok, step)| ok && step == my_state.1);
+    match (usable, local) {
+        (true, Some((u, step, time))) => {
+            let mut ns = NavierStokes::new(backend, cfg, u.clone());
+            // Bypass the constructor's re-projection: the checkpointed
+            // state is already admissible, and bit-exact resume keeps the
+            // recovered trajectory identical to an uninterrupted one.
+            ns.u = u;
+            ns.step_count = step;
+            ns.time = time;
+            (ns, true)
+        }
+        _ => (NavierStokes::new(backend, cfg, init()), false),
+    }
+}
+
+/// Advance the solver to `until_step`, saving a checkpoint every `every`
+/// steps (and at the final step). Returns the number of successful saves;
+/// a failed save aborts with the typed error so the driver can decide
+/// whether to continue without protection.
+pub fn run_checkpointed<T: Real, B: Transform3d<T>>(
+    ns: &mut NavierStokes<T, B>,
+    store: &CheckpointStore,
+    until_step: usize,
+    every: usize,
+) -> Result<usize, CheckpointError> {
+    assert!(every >= 1, "checkpoint interval must be at least 1");
+    let mut saves = 0;
+    while ns.step_count < until_step {
+        ns.step();
+        if ns.step_count.is_multiple_of(every) || ns.step_count == until_step {
+            save_solver(ns, store)?;
+            saves += 1;
+        }
+    }
+    Ok(saves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_fft::SlabFftCpu;
+    use crate::field::LocalShape;
+    use crate::init::taylor_green;
+    use crate::ns::TimeScheme;
+    use psdns_chaos::{ChaosConfig, FaultPlan};
+    use psdns_comm::Universe;
+
+    fn cfg() -> NsConfig {
+        NsConfig {
+            nu: 0.05,
+            dt: 1e-3,
+            scheme: TimeScheme::Rk2,
+            forcing: None,
+            dealias: true,
+            phase_shift: false,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let shape = LocalShape::new(8, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0], &u[1], &u[2]], 0.5, 12);
+        let store = CheckpointStore::new();
+        store.save(0, &ck).unwrap();
+        assert_eq!(store.load(0).unwrap().unwrap(), ck);
+        assert!(store.load(1).is_none());
+        assert_eq!(store.ranks(), vec![0]);
+    }
+
+    #[test]
+    fn injected_write_fault_exhausts_retries() {
+        let mut c = ChaosConfig::new(9);
+        c.write_fault = FaultPlan::with_prob(1.0);
+        c.retry.backoff = std::time::Duration::ZERO;
+        let store = CheckpointStore::with_chaos(&ChaosEngine::new(c));
+        let shape = LocalShape::new(8, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0]], 0.0, 0);
+        assert_eq!(store.save(0, &ck), Err(CheckpointError::WriteFailed));
+        assert!(store.load(0).is_none(), "failed write must not store bytes");
+    }
+
+    #[test]
+    fn injected_truncation_and_corruption_detected_at_load() {
+        let shape = LocalShape::new(8, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0]], 0.0, 0);
+
+        let mut c = ChaosConfig::new(4);
+        c.truncate_checkpoint = FaultPlan::with_prob(1.0);
+        let store = CheckpointStore::with_chaos(&ChaosEngine::new(c));
+        store.save(0, &ck).unwrap();
+        assert_eq!(store.load(0), Some(Err(CheckpointError::Truncated)));
+
+        let mut c = ChaosConfig::new(4);
+        c.corrupt_checkpoint = FaultPlan::with_prob(1.0);
+        let store = CheckpointStore::with_chaos(&ChaosEngine::new(c));
+        store.save(0, &ck).unwrap();
+        assert!(matches!(
+            store.load(0),
+            Some(Err(CheckpointError::Corrupt { .. }))
+        ));
+    }
+
+    #[test]
+    fn restore_or_init_resumes_bit_exactly() {
+        let store = CheckpointStore::new();
+        let out = Universe::run(2, {
+            let store = store.clone();
+            move |comm| {
+                let shape = LocalShape::new(8, 2, comm.rank());
+                let mk = || taylor_green::<f64>(shape);
+                let (mut ns, resumed) =
+                    restore_or_init(&store, SlabFftCpu::<f64>::new(shape, comm), cfg(), mk);
+                assert!(!resumed);
+                run_checkpointed(&mut ns, &store, 3, 2).unwrap();
+                (ns.step_count, ns.u[0].data.clone())
+            }
+        });
+        // Second "job": must resume from step 3 with identical state.
+        let resumed = Universe::run(2, {
+            let store = store.clone();
+            move |comm| {
+                let shape = LocalShape::new(8, 2, comm.rank());
+                let mk = || taylor_green::<f64>(shape);
+                let (ns, resumed) =
+                    restore_or_init(&store, SlabFftCpu::<f64>::new(shape, comm), cfg(), mk);
+                assert!(resumed);
+                (ns.step_count, ns.u[0].data.clone())
+            }
+        });
+        for (a, b) in out.iter().zip(&resumed) {
+            assert_eq!(a.0, 3);
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1, "resume must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn inconsistent_checkpoint_set_falls_back_to_init() {
+        // Rank 1's slot is corrupted: both ranks must agree to start fresh.
+        let store = CheckpointStore::new();
+        let shape0 = LocalShape::new(8, 2, 0);
+        let u = taylor_green::<f64>(shape0);
+        store
+            .save(0, &Checkpoint::capture(&[&u[0], &u[1], &u[2]], 1.0, 5))
+            .unwrap();
+        store.slots.lock().insert(1, vec![0xde, 0xad]);
+        let out = Universe::run(2, move |comm| {
+            let shape = LocalShape::new(8, 2, comm.rank());
+            let mk = || taylor_green::<f64>(shape);
+            let (ns, resumed) =
+                restore_or_init(&store, SlabFftCpu::<f64>::new(shape, comm), cfg(), mk);
+            (resumed, ns.step_count)
+        });
+        for (resumed, step) in out {
+            assert!(!resumed);
+            assert_eq!(step, 0);
+        }
+    }
+}

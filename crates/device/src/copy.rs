@@ -106,6 +106,9 @@ impl Stream {
             dev_offset + len <= dev.len(),
             "H2D writes past device buffer"
         );
+        if !self.chaos_copy_gate() {
+            return;
+        }
         let bytes = len * std::mem::size_of::<T>();
         let stats = &self.device().inner.stats;
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
@@ -141,6 +144,9 @@ impl Stream {
             host_offset + len <= host.len(),
             "D2H writes past host buffer"
         );
+        if !self.chaos_copy_gate() {
+            return;
+        }
         let bytes = len * std::mem::size_of::<T>();
         let stats = &self.device().inner.stats;
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
@@ -168,6 +174,9 @@ impl Stream {
         params: Copy2d,
     ) {
         params.validate(host.len(), dev.len());
+        if !self.chaos_copy_gate() {
+            return;
+        }
         let bytes = params.elements() * std::mem::size_of::<T>();
         let stats = &self.device().inner.stats;
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
@@ -196,6 +205,9 @@ impl Stream {
         params: Copy2d,
     ) {
         params.validate(dev.len(), host.len());
+        if !self.chaos_copy_gate() {
+            return;
+        }
         let bytes = params.elements() * std::mem::size_of::<T>();
         let stats = &self.device().inner.stats;
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
@@ -230,6 +242,9 @@ impl Stream {
                 d_off + len <= dev.len(),
                 "zero-copy chunk writes past device"
             );
+        }
+        if !self.chaos_copy_gate() {
+            return;
         }
         let stats = &self.device().inner.stats;
         stats
@@ -272,6 +287,9 @@ impl Stream {
                 h_off + len <= host.len(),
                 "zero-copy chunk writes past host"
             );
+        }
+        if !self.chaos_copy_gate() {
+            return;
         }
         let stats = &self.device().inner.stats;
         stats

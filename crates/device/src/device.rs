@@ -74,6 +74,11 @@ pub(crate) struct DeviceInner {
     /// Shared tracer bridge: when attached, stream workers mirror every
     /// executed span into it and the copy engine mirrors byte counters.
     pub tracer: psdns_sync::Mutex<Option<psdns_trace::Tracer>>,
+    /// Fault-injection engine; `None` outside chaos runs.
+    pub chaos: psdns_sync::Mutex<Option<psdns_chaos::ChaosEngine>>,
+    /// Sticky asynchronous error, like a CUDA context error: set when a copy
+    /// fails after retries, observed (and cleared) via [`Device::take_error`].
+    pub error: psdns_sync::Mutex<Option<DeviceError>>,
 }
 
 /// Handle to one simulated accelerator. Cheap to clone; all clones refer to
@@ -110,8 +115,47 @@ impl Device {
                 epoch: Instant::now(),
                 next_stream_id: AtomicU64::new(0),
                 tracer: psdns_sync::Mutex::new(None),
+                chaos: psdns_sync::Mutex::new(None),
+                error: psdns_sync::Mutex::new(None),
             }),
         }
+    }
+
+    /// Thread a fault-injection engine through this device: allocations may
+    /// fail with injected OOM, copies may fail transiently (retried per the
+    /// engine's policy), and streams may stall. A device without an engine
+    /// behaves exactly like the pre-chaos runtime.
+    pub fn attach_chaos(&self, engine: &psdns_chaos::ChaosEngine) {
+        *self.inner.chaos.lock() = Some(engine.clone());
+    }
+
+    pub(crate) fn chaos(&self) -> Option<psdns_chaos::ChaosEngine> {
+        self.inner.chaos.lock().clone()
+    }
+
+    /// Rank this device's work is attributed to (via the attached tracer);
+    /// 0 when untraced. Used to label injected faults.
+    pub(crate) fn trace_rank(&self) -> usize {
+        self.inner
+            .tracer
+            .lock()
+            .as_ref()
+            .map(|t| t.rank())
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn set_error(&self, e: DeviceError) {
+        let mut slot = self.inner.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Take the sticky asynchronous error, if any — the analogue of
+    /// `cudaGetLastError`: returns the first error recorded since the last
+    /// call and clears it.
+    pub fn take_error(&self) -> Option<DeviceError> {
+        self.inner.error.lock().take()
     }
 
     /// Bridge this device into a shared [`psdns_trace::Tracer`]: every span
@@ -177,6 +221,22 @@ impl Device {
         len: usize,
     ) -> Result<DeviceBuffer<T>, DeviceError> {
         let bytes = len * std::mem::size_of::<T>();
+        // Injected memory pressure: fail an allocation that would fit, as a
+        // fragmented/oversubscribed device would.
+        if let Some(ch) = self.chaos() {
+            let rank = self.trace_rank();
+            if ch.check(
+                rank,
+                &format!("alloc:r{rank}"),
+                psdns_chaos::FaultKind::AllocFault,
+            ) {
+                return Err(DeviceError::OutOfMemory {
+                    requested_bytes: bytes,
+                    free_bytes: self.free_bytes(),
+                    capacity_bytes: self.inner.config.memory_bytes,
+                });
+            }
+        }
         // Reserve optimistically, roll back on failure (allocation may race
         // between host threads driving different streams).
         let prev = self.inner.allocated.fetch_add(bytes, Ordering::SeqCst);

@@ -17,6 +17,10 @@ pub enum DeviceError {
         len: usize,
         buffer_len: usize,
     },
+    /// A copy-engine transfer failed even after the configured retries
+    /// (injected by the chaos layer; real hardware surfaces this as a sticky
+    /// `cudaErrorECCUncorrectable`-style stream error).
+    CopyFailed { stream: String, attempts: u32 },
 }
 
 impl fmt::Display for DeviceError {
@@ -38,6 +42,10 @@ impl fmt::Display for DeviceError {
                 f,
                 "device access out of bounds: [{offset}, {}) on buffer of {buffer_len} elements",
                 offset + len
+            ),
+            DeviceError::CopyFailed { stream, attempts } => write!(
+                f,
+                "copy engine failed on stream {stream} after {attempts} attempts"
             ),
         }
     }

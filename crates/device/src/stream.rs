@@ -12,6 +12,7 @@ use std::time::Instant;
 use psdns_sync::channel::{unbounded, Sender};
 
 use crate::device::Device;
+use crate::error::DeviceError;
 use crate::event::Event;
 use crate::timeline::{Span, SpanKind};
 
@@ -126,10 +127,60 @@ impl Stream {
             .expect("stream worker alive");
     }
 
+    /// Injected stream stall: wedge this stream's FIFO for a while by
+    /// enqueueing a sleep. The host does not block (asynchronous semantics
+    /// preserved); subsequent ops on this stream drain late.
+    fn chaos_stall_gate(&self) {
+        let Some(ch) = self.device().chaos() else {
+            return;
+        };
+        let rank = self.device().trace_rank();
+        if ch.check(
+            rank,
+            &format!("stall:{}", self.name),
+            psdns_chaos::FaultKind::StreamStall,
+        ) {
+            let d = ch.stream_stall_duration();
+            self.enqueue(
+                "chaos-stall".to_string(),
+                SpanKind::Marker,
+                Box::new(move || std::thread::sleep(d)),
+            );
+        }
+    }
+
+    /// Transient copy-engine fault with bounded retry: returns `true` when
+    /// the transfer may proceed. After exhausting the retry budget the
+    /// transfer is abandoned and a sticky [`DeviceError::CopyFailed`] is
+    /// recorded on the device (visible via [`Device::take_error`]) — the
+    /// caller's next error check surfaces it as a typed failure.
+    pub(crate) fn chaos_copy_gate(&self) -> bool {
+        let Some(ch) = self.device().chaos() else {
+            return true;
+        };
+        let rank = self.device().trace_rank();
+        let site = format!("copy:{}", self.name);
+        let policy = ch.retry();
+        for attempt in 0..=policy.max_retries {
+            if !ch.check(rank, &site, psdns_chaos::FaultKind::CopyFault) {
+                return true;
+            }
+            if attempt < policy.max_retries {
+                std::thread::sleep(policy.backoff * (attempt + 1));
+            }
+        }
+        self.device().set_error(DeviceError::CopyFailed {
+            stream: self.name.clone(),
+            attempts: policy.max_retries + 1,
+        });
+        false
+    }
+
     /// Enqueue an arbitrary "kernel" — a closure executed on the stream
     /// worker in FIFO order. The solver submits FFT batches and pointwise
     /// physics kernels through this.
     pub fn launch<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
+        self.chaos_stall_gate();
         self.device
             .inner
             .stats

@@ -172,7 +172,7 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
 /// Unbounded MPSC channels with the `crossbeam::channel` constructor name.
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, Sender};
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()

@@ -53,6 +53,12 @@ pub enum SpanKind {
     Projection,
     /// Solver: one full time step.
     Step,
+    /// An injected or detected fault (chaos engineering layer): dropped or
+    /// delayed messages, transient copy failures, injected OOM, recovery
+    /// actions. Recorded with *logical* timestamps (the per-site fault
+    /// sequence number) so two runs with the same seed export identical
+    /// traces.
+    Fault,
     /// Anything else worth seeing on the timeline.
     Other,
 }
@@ -69,6 +75,7 @@ impl SpanKind {
             SpanKind::NonlinearTerm => "nonlinear",
             SpanKind::Projection => "projection",
             SpanKind::Step => "step",
+            SpanKind::Fault => "fault",
             SpanKind::Other => "other",
         }
     }
@@ -115,6 +122,8 @@ pub struct Counters {
     pub bytes_network: AtomicU64,
     pub a2a_calls: AtomicU64,
     pub kernel_launches: AtomicU64,
+    /// Injected faults observed by this rank (chaos layer).
+    pub faults: AtomicU64,
 }
 
 /// Plain-value copy of [`Counters`] for assertions and reports.
@@ -125,6 +134,7 @@ pub struct CounterSnapshot {
     pub bytes_network: u64,
     pub a2a_calls: u64,
     pub kernel_launches: u64,
+    pub faults: u64,
 }
 
 impl Counters {
@@ -135,6 +145,7 @@ impl Counters {
             bytes_network: self.bytes_network.load(Ordering::Relaxed),
             a2a_calls: self.a2a_calls.load(Ordering::Relaxed),
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
         }
     }
 }
@@ -269,6 +280,10 @@ impl Tracer {
         self.cell.kernel_launches.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn incr_faults(&self) {
+        self.cell.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counters of this handle's rank.
     pub fn counters(&self) -> CounterSnapshot {
         self.cell.snapshot()
@@ -299,6 +314,7 @@ impl Tracer {
             t.bytes_network += s.bytes_network;
             t.a2a_calls += s.a2a_calls;
             t.kernel_launches += s.kernel_launches;
+            t.faults += s.faults;
         }
         t
     }
@@ -344,6 +360,7 @@ impl Tracer {
             c.bytes_network.store(0, Ordering::Relaxed);
             c.a2a_calls.store(0, Ordering::Relaxed);
             c.kernel_launches.store(0, Ordering::Relaxed);
+            c.faults.store(0, Ordering::Relaxed);
         }
     }
 

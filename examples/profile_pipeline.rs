@@ -68,6 +68,7 @@ fn render(spans: &[TraceSpan], width: usize) -> String {
             SpanKind::A2aPost => b'a',
             SpanKind::A2aWait => b'w',
             SpanKind::Step => b'=',
+            SpanKind::Fault => b'!',
             SpanKind::NonlinearTerm => b'n',
             SpanKind::Projection => b'p',
             SpanKind::Other => continue,

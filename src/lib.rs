@@ -17,12 +17,20 @@
 //!   timeline, exported as Chrome-trace JSON (`chrome://tracing`), a
 //!   per-phase summary, and an overlap-efficiency report (how much network
 //!   time hides behind compute — the paper's asynchronism metric);
+//! * [`chaos`] — seeded deterministic fault injection threaded through the
+//!   comm/device/checkpoint layers (message delay/reorder/duplication/drop,
+//!   rank stall/crash, device OOM and copy faults, torn checkpoint writes):
+//!   the same seed reproduces the same failure schedule, and every injected
+//!   fault lands in the shared trace;
 //! * [`core`] — the paper's contribution: distributed 3-D FFTs and the
-//!   batched asynchronous pseudo-spectral Navier–Stokes solver.
+//!   batched asynchronous pseudo-spectral Navier–Stokes solver, plus
+//!   recovery (a2a watchdogs, CPU fallback on device OOM,
+//!   checkpoint-based restart).
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+pub use psdns_chaos as chaos;
 pub use psdns_comm as comm;
 pub use psdns_core as core;
 pub use psdns_device as device;
