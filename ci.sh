@@ -11,11 +11,20 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> unwrap/expect lint (crates/{comm,device,core}/src)"
+tools/lint.sh
+
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
+
+echo "==> schedule hazard analysis (A2A configs A, B, C)"
+# Static certification of the asynchronous pipeline: replay the planned
+# stream/event DAG through the happens-before analyzer for all three
+# all-to-all granularities; any ordering hazard exits nonzero.
+cargo run --release --offline -q --example analyze_pipeline
 
 echo "==> chaos smoke (seeded fault injection + recovery)"
 # Deterministic by construction: the suite pins its own seeds, so a failure

@@ -1,0 +1,394 @@
+//! Cross-rank collective matching: fingerprints and the shared verifier.
+//!
+//! MPI semantics require every rank of a communicator to issue the *same*
+//! sequence of collectives. A divergence — one rank calls `barrier` while
+//! another calls `alltoall`, or the orders differ — classically manifests
+//! as a hang (each rank blocked in a different exchange) that tools like
+//! MUST diagnose at scale. The verifier in `psdns-comm` prepends a
+//! fingerprint exchange to every collective; this module holds the
+//! runtime-agnostic pieces: the [`CollectiveFingerprint`] wire format, the
+//! typed [`CollectiveMismatch`] diagnosis, and the [`CollectiveVerifier`]
+//! handle that collects the first mismatch for the driver/test to inspect
+//! after the job dies.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use psdns_sync::Mutex;
+
+/// The primitive collectives of the runtime (composites like `allreduce`
+/// fingerprint as the primitives they decompose into).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    Barrier,
+    Bcast,
+    Gather,
+    Allgather,
+    Scatter,
+    Alltoall,
+    Alltoallv,
+}
+
+impl CollectiveKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Alltoall => "alltoall",
+            CollectiveKind::Alltoallv => "alltoallv",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            CollectiveKind::Barrier => 0,
+            CollectiveKind::Bcast => 1,
+            CollectiveKind::Gather => 2,
+            CollectiveKind::Allgather => 3,
+            CollectiveKind::Scatter => 4,
+            CollectiveKind::Alltoall => 5,
+            CollectiveKind::Alltoallv => 6,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        Some(match code {
+            0 => CollectiveKind::Barrier,
+            1 => CollectiveKind::Bcast,
+            2 => CollectiveKind::Gather,
+            3 => CollectiveKind::Allgather,
+            4 => CollectiveKind::Scatter,
+            5 => CollectiveKind::Alltoall,
+            6 => CollectiveKind::Alltoallv,
+            _ => return None,
+        })
+    }
+
+    /// Whether MPI semantics force every rank to pass the same element
+    /// count (`alltoall`'s uniform chunk). Rooted collectives and the
+    /// vector variants legitimately differ per rank, so only the kind and
+    /// position are compared for them.
+    pub fn uniform_elems(self) -> bool {
+        matches!(self, CollectiveKind::Barrier | CollectiveKind::Alltoall)
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What one rank is about to do: collective kind, local element count,
+/// communicator context and the communicator's collective epoch (how many
+/// collectives it has completed). Two ranks diverge exactly when their
+/// fingerprints at the same verification round disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectiveFingerprint {
+    pub kind: CollectiveKind,
+    /// Elements this rank passes (send side).
+    pub elems: u64,
+    /// Communicator context id (splits get fresh ones).
+    pub ctx: u64,
+    /// Collective epoch on this communicator at the time of the call.
+    pub seq: u64,
+}
+
+impl CollectiveFingerprint {
+    /// Wire format for the verification exchange.
+    pub fn encode(&self) -> Vec<u64> {
+        vec![self.kind.code(), self.elems, self.ctx, self.seq]
+    }
+
+    pub fn decode(words: &[u64]) -> Option<Self> {
+        if words.len() != 4 {
+            return None;
+        }
+        Some(Self {
+            kind: CollectiveKind::from_code(words[0])?,
+            elems: words[1],
+            ctx: words[2],
+            seq: words[3],
+        })
+    }
+
+    /// Do two ranks' views of one round agree? Kind, context and epoch
+    /// must match; element counts only for kinds that require uniformity.
+    pub fn matches(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.ctx == other.ctx
+            && self.seq == other.seq
+            && (!self.kind.uniform_elems() || self.elems == other.elems)
+    }
+}
+
+impl fmt::Display for CollectiveFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} elems] (ctx {:#x}, epoch {})",
+            self.kind, self.elems, self.ctx, self.seq
+        )
+    }
+}
+
+/// The typed diagnosis a diverging collective produces instead of a hang.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollectiveMismatch {
+    /// Two ranks posted *different* collectives at the same round —
+    /// mismatched kinds, contexts, epochs, or (where uniformity is
+    /// required) element counts. Classic cause: reordered collective
+    /// calls on one rank.
+    Mismatched {
+        /// Verification round (nth verified collective on the communicator).
+        round: u64,
+        /// Rank and fingerprint of one side (the verifying root).
+        a: (usize, CollectiveFingerprint),
+        /// Rank and fingerprint of the disagreeing side.
+        b: (usize, CollectiveFingerprint),
+    },
+    /// A rank never arrived at the round within the verifier's deadline —
+    /// it crashed, stalled, or is blocked in a different collective whose
+    /// own verification cannot proceed either.
+    Missing {
+        round: u64,
+        /// The absent rank.
+        rank: usize,
+        /// How long the root waited before diagnosing.
+        waited_ms: u64,
+        /// What the ranks that *did* arrive were posting.
+        posted: (usize, CollectiveFingerprint),
+    },
+}
+
+impl CollectiveMismatch {
+    pub fn round(&self) -> u64 {
+        match self {
+            CollectiveMismatch::Mismatched { round, .. }
+            | CollectiveMismatch::Missing { round, .. } => *round,
+        }
+    }
+}
+
+impl fmt::Display for CollectiveMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveMismatch::Mismatched { round, a, b } => write!(
+                f,
+                "collective mismatch at round {}: rank {} posted {} but rank {} posted {}",
+                round, a.0, a.1, b.0, b.1
+            ),
+            CollectiveMismatch::Missing {
+                round,
+                rank,
+                waited_ms,
+                posted,
+            } => write!(
+                f,
+                "collective mismatch at round {}: rank {} never arrived \
+                 (waited {} ms); rank {} posted {}",
+                round, rank, waited_ms, posted.0, posted.1
+            ),
+        }
+    }
+}
+
+/// Wire format of the root's verdict broadcast: `[1]` for OK, or a
+/// mismatch encoded as `[0, round, rank_a, fp_a..., rank_b, fp_b...]`.
+/// Used by `psdns-comm`'s verification exchange; not a stable API.
+#[doc(hidden)]
+pub fn encode_verdict(m: &CollectiveMismatch) -> Vec<u64> {
+    match m {
+        CollectiveMismatch::Mismatched { round, a, b } => {
+            let mut w = vec![0, *round, a.0 as u64];
+            w.extend(a.1.encode());
+            w.push(b.0 as u64);
+            w.extend(b.1.encode());
+            w
+        }
+        // `Missing` never reaches the verdict broadcast (the job is failed
+        // instead), but keep the encoding total.
+        CollectiveMismatch::Missing {
+            round,
+            rank,
+            waited_ms,
+            posted,
+        } => {
+            let mut w = vec![2, *round, *rank as u64, *waited_ms, posted.0 as u64];
+            w.extend(posted.1.encode());
+            w
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn decode_verdict(words: &[u64]) -> Option<CollectiveMismatch> {
+    match words.first()? {
+        0 if words.len() == 12 => Some(CollectiveMismatch::Mismatched {
+            round: words[1],
+            a: (
+                words[2] as usize,
+                CollectiveFingerprint::decode(&words[3..7])?,
+            ),
+            b: (
+                words[7] as usize,
+                CollectiveFingerprint::decode(&words[8..12])?,
+            ),
+        }),
+        2 if words.len() == 9 => Some(CollectiveMismatch::Missing {
+            round: words[1],
+            rank: words[2] as usize,
+            waited_ms: words[3],
+            posted: (
+                words[4] as usize,
+                CollectiveFingerprint::decode(&words[5..9])?,
+            ),
+        }),
+        _ => None,
+    }
+}
+
+struct VerifierShared {
+    deadline_ms: AtomicU64,
+    mismatch: Mutex<Option<CollectiveMismatch>>,
+}
+
+/// Shared handle attached to a communicator (and, via `Arc`, typically to
+/// *all* ranks' communicators of one job, so the diagnosis survives the
+/// job's death): configures the arrival deadline and collects the first
+/// [`CollectiveMismatch`].
+#[derive(Clone)]
+pub struct CollectiveVerifier {
+    shared: Arc<VerifierShared>,
+}
+
+impl Default for CollectiveVerifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectiveVerifier {
+    /// Default arrival deadline: generous for tests, far below a CI hang.
+    pub const DEFAULT_DEADLINE: Duration = Duration::from_millis(2000);
+
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(VerifierShared {
+                deadline_ms: AtomicU64::new(Self::DEFAULT_DEADLINE.as_millis() as u64),
+                mismatch: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// How long the verifying root waits for every rank's fingerprint
+    /// before diagnosing [`CollectiveMismatch::Missing`].
+    pub fn with_deadline(self, deadline: Duration) -> Self {
+        self.shared
+            .deadline_ms
+            .store(deadline.as_millis() as u64, Ordering::Relaxed);
+        self
+    }
+
+    pub fn deadline(&self) -> Duration {
+        Duration::from_millis(self.shared.deadline_ms.load(Ordering::Relaxed))
+    }
+
+    /// Record a diagnosis; the first one wins (later ranks re-reporting
+    /// the same divergence are ignored).
+    pub fn report(&self, m: CollectiveMismatch) {
+        let mut slot = self.shared.mismatch.lock();
+        if slot.is_none() {
+            *slot = Some(m);
+        }
+    }
+
+    /// The recorded mismatch, if any (clone; the slot is kept).
+    pub fn mismatch(&self) -> Option<CollectiveMismatch> {
+        self.shared.mismatch.lock().clone()
+    }
+
+    /// Take the recorded mismatch, clearing the slot.
+    pub fn take_mismatch(&self) -> Option<CollectiveMismatch> {
+        self.shared.mismatch.lock().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(kind: CollectiveKind, elems: u64, seq: u64) -> CollectiveFingerprint {
+        CollectiveFingerprint {
+            kind,
+            elems,
+            ctx: 0xabc,
+            seq,
+        }
+    }
+
+    #[test]
+    fn fingerprint_roundtrip_and_matching() {
+        let a = fp(CollectiveKind::Alltoall, 64, 3);
+        assert_eq!(CollectiveFingerprint::decode(&a.encode()), Some(a.clone()));
+        assert!(a.matches(&a));
+        // alltoall requires uniform counts...
+        assert!(!a.matches(&fp(CollectiveKind::Alltoall, 32, 3)));
+        // ...gather does not (root receives, leaves send).
+        let g = fp(CollectiveKind::Gather, 64, 3);
+        assert!(g.matches(&fp(CollectiveKind::Gather, 0, 3)));
+        // Kind and epoch always compared.
+        assert!(!a.matches(&fp(CollectiveKind::Barrier, 64, 3)));
+        assert!(!a.matches(&fp(CollectiveKind::Alltoall, 64, 4)));
+        assert_eq!(CollectiveFingerprint::decode(&[9, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn verdict_roundtrip() {
+        let m = CollectiveMismatch::Mismatched {
+            round: 7,
+            a: (0, fp(CollectiveKind::Alltoall, 8, 7)),
+            b: (2, fp(CollectiveKind::Barrier, 0, 7)),
+        };
+        assert_eq!(decode_verdict(&encode_verdict(&m)), Some(m.clone()));
+        assert!(m.to_string().contains("rank 2 posted barrier"));
+        let miss = CollectiveMismatch::Missing {
+            round: 1,
+            rank: 3,
+            waited_ms: 250,
+            posted: (0, fp(CollectiveKind::Allgather, 4, 1)),
+        };
+        assert_eq!(decode_verdict(&encode_verdict(&miss)), Some(miss.clone()));
+        assert_eq!(miss.round(), 1);
+        assert_eq!(decode_verdict(&[1]), None);
+    }
+
+    #[test]
+    fn verifier_first_report_wins() {
+        let v = CollectiveVerifier::new().with_deadline(Duration::from_millis(50));
+        assert_eq!(v.deadline(), Duration::from_millis(50));
+        assert!(v.mismatch().is_none());
+        let first = CollectiveMismatch::Missing {
+            round: 0,
+            rank: 1,
+            waited_ms: 50,
+            posted: (0, fp(CollectiveKind::Barrier, 0, 0)),
+        };
+        v.report(first.clone());
+        v.report(CollectiveMismatch::Missing {
+            round: 9,
+            rank: 2,
+            waited_ms: 1,
+            posted: (0, fp(CollectiveKind::Barrier, 0, 9)),
+        });
+        let v2 = v.clone();
+        assert_eq!(v2.mismatch(), Some(first.clone()));
+        assert_eq!(v2.take_mismatch(), Some(first));
+        assert!(v.mismatch().is_none(), "take clears the shared slot");
+    }
+}

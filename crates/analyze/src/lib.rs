@@ -1,0 +1,42 @@
+//! Correctness tooling for the asynchronous pipeline: a happens-before
+//! hazard detector for stream/event schedules and a cross-rank
+//! collective-matching verifier.
+//!
+//! The paper's entire asynchronous design rests on hand-placed events
+//! enforcing cross-stream dependencies (Fig. 4) and on every rank issuing
+//! the same sequence of all-to-alls. Both invariants fail *silently* on
+//! real machines — a missing `wait_event` produces occasionally-wrong
+//! answers, a reordered collective produces a hang — which is why tools
+//! like `compute-sanitizer racecheck` and MUST exist. This crate is the
+//! simulated-runtime counterpart:
+//!
+//! * [`OrderingLog`] — a lightweight recorder the device layer fills with
+//!   every stream operation, `record`/`wait_event` edge and buffer access
+//!   range (see `psdns-device`'s recorder hooks).
+//! * [`analyze`] / [`analyze_log`] — a vector-clock happens-before engine
+//!   that replays the log and reports RAW/WAR/WAW [`Hazard`]s between
+//!   operations no synchronization edge orders, plus `wait_event` calls
+//!   that add no ordering (the "unnecessary synchronization" lint).
+//! * [`CollectiveVerifier`] — shared state for the fingerprint exchange
+//!   `psdns-comm` runs before every collective, turning a mismatched or
+//!   reordered collective into a typed [`CollectiveMismatch`] instead of
+//!   a deadlock.
+//!
+//! The crate itself is runtime-agnostic: it sees only the log. That keeps
+//! it dependency-free (`psdns-sync` aside) so `psdns-device` and
+//! `psdns-comm` can both link it without cycles.
+
+mod collective;
+mod log;
+mod replay;
+
+#[doc(hidden)]
+pub use collective::{decode_verdict, encode_verdict};
+pub use collective::{
+    CollectiveFingerprint, CollectiveKind, CollectiveMismatch, CollectiveVerifier,
+};
+pub use log::{
+    wait_edges, without_pos, Access, AccessMode, MemSpace, OpKind, OpRecord, OrderingLog, WaitEdge,
+    HOST_TRACK,
+};
+pub use replay::{analyze, analyze_log, AnalysisReport, Hazard, HazardKind, OpRef};

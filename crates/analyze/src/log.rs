@@ -1,0 +1,374 @@
+//! The ordering log: what the instrumented runtime records.
+//!
+//! One log captures one rank's schedule — every stream operation in host
+//! *enqueue* order, every event `record`/`wait_event` edge, and every
+//! host-side access to pinned staging memory. The replay engine
+//! ([`crate::analyze`]) never sees the runtime itself, only this log, so a
+//! schedule can be captured once and re-analyzed under mutation (delete an
+//! edge, re-check) without re-running the pipeline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use psdns_sync::Mutex;
+
+/// Track name used for host-thread operations (staging writes, snapshot
+/// reads, `synchronize` joins). Stream tracks carry the stream's name.
+pub const HOST_TRACK: &str = "host";
+
+/// Which memory a buffer access touches. Device and host allocations draw
+/// ids from one counter, so the space tag is diagnostic, not a namespace.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// A `DeviceBuffer` allocation.
+    Device,
+    /// A `PinnedBuffer` (page-locked host staging) allocation.
+    Host,
+}
+
+impl MemSpace {
+    pub fn label(self) -> &'static str {
+        match self {
+            MemSpace::Device => "device",
+            MemSpace::Host => "host",
+        }
+    }
+}
+
+/// Read or write. An in-place kernel declares one access of each mode.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    Read,
+    Write,
+}
+
+/// One (possibly strided) access to a buffer, in elements of the buffer's
+/// scalar type: `height` rows of `width` elements, row `i` starting at
+/// `offset + i * pitch`. Linear accesses have `height == 1`.
+///
+/// Ranges are kept *precise* rather than collapsed to bounding boxes:
+/// multi-GPU slabs interleave strided rows of the same staging buffer, and
+/// a bounding-box model would report false WAW hazards between writes whose
+/// rows are in fact disjoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Runtime-wide buffer id (`DeviceBuffer::id` / `PinnedBuffer::id`).
+    pub buffer: u64,
+    pub space: MemSpace,
+    pub mode: AccessMode,
+    pub offset: usize,
+    pub width: usize,
+    pub height: usize,
+    pub pitch: usize,
+}
+
+impl Access {
+    /// A linear read of `len` elements starting at `offset`.
+    pub fn read(buffer: u64, space: MemSpace, offset: usize, len: usize) -> Self {
+        Self::strided(AccessMode::Read, buffer, space, offset, len, 1, 0)
+    }
+
+    /// A linear write of `len` elements starting at `offset`.
+    pub fn write(buffer: u64, space: MemSpace, offset: usize, len: usize) -> Self {
+        Self::strided(AccessMode::Write, buffer, space, offset, len, 1, 0)
+    }
+
+    /// A 2-D strided access: `height` rows of `width` elements, `pitch`
+    /// elements apart.
+    pub fn strided(
+        mode: AccessMode,
+        buffer: u64,
+        space: MemSpace,
+        offset: usize,
+        width: usize,
+        height: usize,
+        pitch: usize,
+    ) -> Self {
+        Self {
+            buffer,
+            space,
+            mode,
+            offset,
+            width,
+            height,
+            pitch,
+        }
+    }
+
+    fn row(&self, i: usize) -> (usize, usize) {
+        let start = self.offset + i * self.pitch;
+        (start, start + self.width)
+    }
+
+    /// Element-precise intersection test (same buffer assumed checked by
+    /// the caller): any row interval of `self` overlapping any of `other`.
+    pub fn overlaps(&self, other: &Access) -> bool {
+        if self.buffer != other.buffer || self.space != other.space {
+            return false;
+        }
+        for i in 0..self.height {
+            let (a0, a1) = self.row(i);
+            for j in 0..other.height {
+                let (b0, b1) = other.row(j);
+                if a0 < b1 && b0 < a1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Overlapping and at least one side writes.
+    pub fn conflicts(&self, other: &Access) -> bool {
+        (self.mode == AccessMode::Write || other.mode == AccessMode::Write) && self.overlaps(other)
+    }
+}
+
+/// What kind of operation a log record describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Work executing on the recording track: a kernel, a copy, a memset,
+    /// or (on the host track) a staging write / snapshot read. Carries its
+    /// buffer accesses in [`OpRecord::accesses`].
+    Exec,
+    /// `Stream::record(event)` — snapshots the stream's position into the
+    /// event under `ticket`.
+    EventRecord { event: u64, ticket: u64 },
+    /// `Stream::wait_event(event)` — the waiting stream will not start
+    /// later work until the recorded position completes. `ticket == 0`
+    /// means the event was never recorded (a no-op wait).
+    EventWait { event: u64, ticket: u64 },
+    /// Host-side `Stream::synchronize()` — the host thread joins
+    /// everything enqueued on `stream` so far.
+    HostJoinStream { stream: String },
+    /// Host-side `Event::synchronize()` — the host thread joins the
+    /// recorded position of `(event, ticket)`.
+    HostJoinEvent { event: u64, ticket: u64 },
+}
+
+/// One recorded operation. `seq` is the global enqueue order (one host
+/// thread drives all enqueues of a rank, so this order is a real total
+/// order of the *program*, not of the asynchronous execution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    pub seq: u64,
+    /// Stream name, or [`HOST_TRACK`].
+    pub track: String,
+    /// Human-readable operation name (`"fft-y-inverse"`,
+    /// `"memcpy2DAsync-h2d"`, ...). Hazard reports name both ends with it.
+    pub name: String,
+    pub kind: OpKind,
+    pub accesses: Vec<Access>,
+}
+
+#[derive(Default)]
+struct LogInner {
+    next_seq: u64,
+    ops: Vec<OpRecord>,
+    labels: HashMap<u64, String>,
+}
+
+/// The shared recorder handle. Cloning shares the log; the device layer
+/// holds one clone per device, the pipeline another for host-side ops.
+///
+/// Soundness contract: one log records **one rank**, driven by **one host
+/// thread** (the normal shape of the runtime — every stream op is enqueued
+/// from the rank's solver thread). The enqueue order then induces the
+/// program-order edges the replay engine relies on.
+#[derive(Clone, Default)]
+pub struct OrderingLog {
+    inner: Arc<Mutex<LogInner>>,
+}
+
+impl OrderingLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one operation; assigns the next global sequence number.
+    pub fn record(&self, track: &str, name: &str, kind: OpKind, accesses: Vec<Access>) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ops.push(OpRecord {
+            seq,
+            track: track.to_string(),
+            name: name.to_string(),
+            kind,
+            accesses,
+        });
+    }
+
+    /// Attach a human-readable label to a buffer id; hazard reports use it
+    /// instead of the bare id.
+    pub fn label_buffer(&self, id: u64, label: &str) {
+        self.inner.lock().labels.insert(id, label.to_string());
+    }
+
+    /// A copy of the recorded operations, in enqueue order.
+    pub fn snapshot(&self) -> Vec<OpRecord> {
+        self.inner.lock().ops.clone()
+    }
+
+    /// A copy of the buffer-label map.
+    pub fn labels(&self) -> HashMap<u64, String> {
+        self.inner.lock().labels.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ops.is_empty()
+    }
+
+    /// Drop all recorded operations (labels are kept).
+    pub fn clear(&self) {
+        self.inner.lock().ops.clear();
+    }
+}
+
+/// One *effective* `wait_event` edge found in a log: a wait whose ticket
+/// was actually recorded. `recorder` is the track that issued the matching
+/// `record`; a [`cross_stream`](WaitEdge::cross_stream) edge is the kind
+/// whose deletion can introduce a hazard (same-track edges are implied by
+/// stream FIFO order and are redundant by construction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// Index into the ops slice (stable under [`without_pos`] of *other*
+    /// positions).
+    pub pos: usize,
+    pub seq: u64,
+    pub waiter: String,
+    pub recorder: String,
+    pub event: u64,
+    pub ticket: u64,
+}
+
+impl WaitEdge {
+    pub fn cross_stream(&self) -> bool {
+        self.waiter != self.recorder
+    }
+}
+
+/// Enumerate every effective wait edge of `ops` (waits with `ticket == 0`
+/// or no matching record are no-ops and are skipped). This is the mutation
+/// surface for schedule-robustness tests: delete one with [`without_pos`]
+/// and re-analyze.
+pub fn wait_edges(ops: &[OpRecord]) -> Vec<WaitEdge> {
+    let mut recorded: HashMap<(u64, u64), String> = HashMap::new();
+    let mut edges = Vec::new();
+    for (pos, op) in ops.iter().enumerate() {
+        match &op.kind {
+            OpKind::EventRecord { event, ticket } => {
+                recorded.insert((*event, *ticket), op.track.clone());
+            }
+            OpKind::EventWait { event, ticket } if *ticket > 0 => {
+                if let Some(rec) = recorded.get(&(*event, *ticket)) {
+                    edges.push(WaitEdge {
+                        pos,
+                        seq: op.seq,
+                        waiter: op.track.clone(),
+                        recorder: rec.clone(),
+                        event: *event,
+                        ticket: *ticket,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    edges
+}
+
+/// A copy of `ops` with the record at `pos` deleted — the "deliberately
+/// deleted `wait_event`" mutation.
+pub fn without_pos(ops: &[OpRecord], pos: usize) -> Vec<OpRecord> {
+    let mut out = Vec::with_capacity(ops.len().saturating_sub(1));
+    for (i, op) in ops.iter().enumerate() {
+        if i != pos {
+            out.push(op.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_overlap_is_exact() {
+        let a = Access::write(1, MemSpace::Device, 0, 10);
+        let b = Access::read(1, MemSpace::Device, 10, 5);
+        assert!(!a.overlaps(&b), "adjacent ranges must not overlap");
+        let c = Access::read(1, MemSpace::Device, 9, 1);
+        assert!(a.conflicts(&c));
+        let other_buf = Access::write(2, MemSpace::Device, 0, 10);
+        assert!(!a.overlaps(&other_buf));
+        let host = Access::write(1, MemSpace::Host, 0, 10);
+        assert!(!a.overlaps(&host), "same id, different space");
+    }
+
+    #[test]
+    fn strided_rows_are_precise_not_bounding_boxes() {
+        // Two writers interleave rows of the same buffer: rows 0,2,4 vs
+        // rows 1,3,5 (width 4, pitch 8). Bounding boxes overlap; the
+        // actual element sets do not.
+        let even = Access::strided(AccessMode::Write, 7, MemSpace::Host, 0, 4, 3, 8);
+        let odd = Access::strided(AccessMode::Write, 7, MemSpace::Host, 4, 4, 3, 8);
+        assert!(!even.overlaps(&odd));
+        // Shift by one element: now they clash.
+        let shifted = Access::strided(AccessMode::Write, 7, MemSpace::Host, 3, 4, 3, 8);
+        assert!(even.conflicts(&shifted));
+    }
+
+    #[test]
+    fn reads_never_conflict_with_reads() {
+        let a = Access::read(3, MemSpace::Device, 0, 8);
+        let b = Access::read(3, MemSpace::Device, 4, 8);
+        assert!(a.overlaps(&b));
+        assert!(!a.conflicts(&b));
+    }
+
+    #[test]
+    fn wait_edge_enumeration_skips_noop_waits() {
+        let log = OrderingLog::new();
+        log.record(
+            "s0",
+            "wait",
+            OpKind::EventWait {
+                event: 1,
+                ticket: 0,
+            },
+            vec![],
+        );
+        log.record(
+            "s0",
+            "record",
+            OpKind::EventRecord {
+                event: 1,
+                ticket: 1,
+            },
+            vec![],
+        );
+        log.record(
+            "s1",
+            "wait",
+            OpKind::EventWait {
+                event: 1,
+                ticket: 1,
+            },
+            vec![],
+        );
+        let ops = log.snapshot();
+        let edges = wait_edges(&ops);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].pos, 2);
+        assert_eq!(edges[0].waiter, "s1");
+        assert_eq!(edges[0].recorder, "s0");
+        assert!(edges[0].cross_stream());
+        assert_eq!(without_pos(&ops, 2).len(), 2);
+    }
+}

@@ -1,0 +1,545 @@
+//! Vector-clock happens-before replay of an [`OrderingLog`].
+//!
+//! The model follows `compute-sanitizer racecheck`: every track (stream or
+//! host thread) carries a vector clock; happens-before edges are
+//!
+//! 1. **FIFO** — operations on one stream execute in enqueue order;
+//! 2. **program order** — a stream operation happens after everything the
+//!    host thread had already done when it enqueued it (the host enqueues
+//!    all work of a rank);
+//! 3. **event edges** — `wait_event(e)` happens after the `record(e)`
+//!    snapshot it captured (per ticket), `Event::synchronize` /
+//!    `Stream::synchronize` join the host clock the same way.
+//!
+//! Two accesses to overlapping elements of one buffer, at least one a
+//! write, with *neither* ordered before the other, are a [`Hazard`] —
+//! exactly the schedule bugs a deleted `wait_event` introduces, reported
+//! deterministically instead of as a flaky wrong answer.
+//!
+//! The engine additionally reports *redundant* waits: `wait_event` calls
+//! whose join adds no ordering (typically a wait on an event recorded
+//! earlier on the same stream, already implied by FIFO order). Deleting
+//! such an edge cannot introduce a hazard, and a sound detector must stay
+//! clean when one is deleted — the tests rely on that distinction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::log::{Access, AccessMode, MemSpace, OpKind, OpRecord, OrderingLog, HOST_TRACK};
+
+/// A reference to one logged operation, used to name both ends of a hazard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRef {
+    /// Global enqueue sequence number of the operation.
+    pub seq: u64,
+    /// Stream name or [`HOST_TRACK`].
+    pub track: String,
+    /// Operation name as logged (`"fft-y-inverse"`, `"memcpyAsync-h2d"`, ...).
+    pub name: String,
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` (op #{} on {})", self.name, self.seq, self.track)
+    }
+}
+
+/// Hazard taxonomy, by the modes of the two unordered accesses in enqueue
+/// order (first, second).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HazardKind {
+    /// First writes, second reads: the read may see stale data.
+    ReadAfterWrite,
+    /// First reads, second writes: the write may clobber data still being
+    /// read.
+    WriteAfterRead,
+    /// Both write: the final contents depend on execution timing.
+    WriteAfterWrite,
+}
+
+impl HazardKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            HazardKind::ReadAfterWrite => "read-after-write",
+            HazardKind::WriteAfterRead => "write-after-read",
+            HazardKind::WriteAfterWrite => "write-after-write",
+        }
+    }
+}
+
+/// One detected hazard: two operations touching overlapping elements of
+/// one buffer with no happens-before path between them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hazard {
+    pub kind: HazardKind,
+    /// Runtime-wide id of the contested buffer.
+    pub buffer: u64,
+    /// Human label if the pipeline registered one (`"cbuf[g0][s1]"`).
+    pub buffer_label: Option<String>,
+    pub space: MemSpace,
+    /// Earlier operation (by enqueue order).
+    pub first: OpRef,
+    /// Later operation; unordered with `first` despite the conflict.
+    pub second: OpRef,
+}
+
+impl Hazard {
+    fn buffer_name(&self) -> String {
+        match &self.buffer_label {
+            Some(l) => format!("`{l}` (buffer {})", self.buffer),
+            None => format!("buffer {}", self.buffer),
+        }
+    }
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hazard on {} {}: {} and {} touch overlapping elements with no \
+             happens-before edge ordering them",
+            self.kind.label(),
+            self.space.label(),
+            self.buffer_name(),
+            self.first,
+            self.second,
+        )
+    }
+}
+
+impl std::error::Error for Hazard {}
+
+/// Result of replaying one log.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisReport {
+    /// All unordered conflicting pairs, one entry per (op, op, buffer).
+    pub hazards: Vec<Hazard>,
+    /// Operations replayed.
+    pub ops: usize,
+    /// Tracks seen, in order of first appearance.
+    pub tracks: Vec<String>,
+    /// Distinct buffers accessed.
+    pub buffers: usize,
+    /// Effective `wait_event` joins that actually added ordering.
+    pub cross_stream_edges: usize,
+    /// `wait_event` calls whose join added nothing (already implied by
+    /// FIFO / earlier edges). Safe to delete; reported as a lint.
+    pub redundant_waits: Vec<OpRef>,
+}
+
+impl AnalysisReport {
+    /// No hazards — the schedule is certified race-free under the model.
+    pub fn is_clean(&self) -> bool {
+        self.hazards.is_empty()
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        let verdict = if self.is_clean() {
+            "race-free".to_string()
+        } else {
+            format!("{} hazard(s)", self.hazards.len())
+        };
+        format!(
+            "{verdict}: {} ops on {} track(s), {} buffer(s), {} load-bearing event edge(s), \
+             {} redundant wait(s)",
+            self.ops,
+            self.tracks.len(),
+            self.buffers,
+            self.cross_stream_edges,
+            self.redundant_waits.len(),
+        )
+    }
+}
+
+fn join(into: &mut [u64], other: &[u64]) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+fn dominates(clock: &[u64], other: &[u64]) -> bool {
+    clock.iter().zip(other).all(|(a, b)| a >= b)
+}
+
+struct ExecInfo {
+    opref: OpRef,
+    track: usize,
+    /// This op's own clock component — `b` is ordered after `a` iff
+    /// `b.snapshot[a.track] >= a.own`.
+    own: u64,
+    snapshot: Vec<u64>,
+    accesses: Vec<Access>,
+}
+
+/// Replay `ops` and report hazards. `labels` maps buffer ids to the
+/// human-readable names used in reports (see
+/// [`OrderingLog::label_buffer`]).
+pub fn analyze(ops: &[OpRecord], labels: &HashMap<u64, String>) -> AnalysisReport {
+    // Track discovery, host first so it always has an index.
+    let mut tracks: Vec<String> = Vec::new();
+    let mut track_ids: HashMap<String, usize> = HashMap::new();
+    fn id_of(
+        name: &str,
+        track_ids: &mut HashMap<String, usize>,
+        tracks: &mut Vec<String>,
+    ) -> usize {
+        if let Some(&i) = track_ids.get(name) {
+            i
+        } else {
+            let i = tracks.len();
+            tracks.push(name.to_string());
+            track_ids.insert(name.to_string(), i);
+            i
+        }
+    }
+    let host = id_of(HOST_TRACK, &mut track_ids, &mut tracks);
+    for op in ops {
+        id_of(&op.track, &mut track_ids, &mut tracks);
+    }
+    let n = tracks.len();
+
+    let mut clocks: Vec<Vec<u64>> = vec![vec![0; n]; n];
+    let mut event_clocks: HashMap<(u64, u64), Vec<u64>> = HashMap::new();
+    let mut execs: Vec<ExecInfo> = Vec::new();
+    let mut cross_stream_edges = 0usize;
+    let mut redundant_waits: Vec<OpRef> = Vec::new();
+
+    for op in ops {
+        let t = track_ids[&op.track];
+        if t != host {
+            // Program-order edge: the host thread enqueued this op, so it
+            // happens after everything the host had already joined.
+            let h = clocks[host].clone();
+            join(&mut clocks[t], &h);
+        }
+        clocks[t][t] += 1;
+        let own = clocks[t][t];
+        let opref = OpRef {
+            seq: op.seq,
+            track: op.track.clone(),
+            name: op.name.clone(),
+        };
+        match &op.kind {
+            OpKind::EventRecord { event, ticket } => {
+                event_clocks.insert((*event, *ticket), clocks[t].clone());
+            }
+            OpKind::EventWait { event, ticket } | OpKind::HostJoinEvent { event, ticket } => {
+                if *ticket > 0 {
+                    if let Some(rc) = event_clocks.get(&(*event, *ticket)).cloned() {
+                        if dominates(&clocks[t], &rc) {
+                            if matches!(op.kind, OpKind::EventWait { .. }) {
+                                redundant_waits.push(opref);
+                            }
+                        } else {
+                            cross_stream_edges += 1;
+                            join(&mut clocks[t], &rc);
+                        }
+                    }
+                }
+            }
+            OpKind::HostJoinStream { stream } => {
+                if let Some(&s) = track_ids.get(stream) {
+                    let sc = clocks[s].clone();
+                    join(&mut clocks[t], &sc);
+                }
+            }
+            OpKind::Exec => {
+                if !op.accesses.is_empty() {
+                    execs.push(ExecInfo {
+                        opref,
+                        track: t,
+                        own,
+                        snapshot: clocks[t].clone(),
+                        accesses: op.accesses.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Hazard pass: per buffer, pairwise over the ops touching it. The HB
+    // test is O(1) and run first; the (potentially strided) overlap test
+    // only runs for the rare unordered pairs.
+    let mut by_buffer: HashMap<(u64, MemSpace), Vec<usize>> = HashMap::new();
+    for (i, e) in execs.iter().enumerate() {
+        let mut seen: Vec<(u64, MemSpace)> = Vec::new();
+        for a in &e.accesses {
+            let key = (a.buffer, a.space);
+            if !seen.contains(&key) {
+                seen.push(key);
+                by_buffer.entry(key).or_default().push(i);
+            }
+        }
+    }
+    let buffers = by_buffer.len();
+
+    let mut hazards: Vec<Hazard> = Vec::new();
+    for (&(buffer, space), users) in &by_buffer {
+        for (ai, &ia) in users.iter().enumerate() {
+            for &ib in &users[ai + 1..] {
+                let (a, b) = (&execs[ia], &execs[ib]);
+                if b.snapshot[a.track] >= a.own {
+                    continue; // a happens-before b
+                }
+                let conflict = a
+                    .accesses
+                    .iter()
+                    .filter(|x| x.buffer == buffer && x.space == space)
+                    .flat_map(|x| {
+                        b.accesses
+                            .iter()
+                            .filter(|y| y.buffer == buffer && y.space == space)
+                            .map(move |y| (x, y))
+                    })
+                    .find(|(x, y)| x.conflicts(y));
+                if let Some((x, y)) = conflict {
+                    let kind = match (x.mode, y.mode) {
+                        (AccessMode::Write, AccessMode::Write) => HazardKind::WriteAfterWrite,
+                        (AccessMode::Write, AccessMode::Read) => HazardKind::ReadAfterWrite,
+                        (AccessMode::Read, AccessMode::Write) => HazardKind::WriteAfterRead,
+                        (AccessMode::Read, AccessMode::Read) => {
+                            unreachable!("reads never conflict")
+                        }
+                    };
+                    hazards.push(Hazard {
+                        kind,
+                        buffer,
+                        buffer_label: labels.get(&buffer).cloned(),
+                        space,
+                        first: a.opref.clone(),
+                        second: b.opref.clone(),
+                    });
+                }
+            }
+        }
+    }
+    hazards.sort_by_key(|h| (h.first.seq, h.second.seq, h.buffer));
+
+    AnalysisReport {
+        hazards,
+        ops: ops.len(),
+        tracks,
+        buffers,
+        cross_stream_edges,
+        redundant_waits,
+    }
+}
+
+/// Convenience wrapper: snapshot + analyze a live [`OrderingLog`].
+pub fn analyze_log(log: &OrderingLog) -> AnalysisReport {
+    analyze(&log.snapshot(), &log.labels())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{Access, OpKind, OrderingLog};
+
+    fn exec(log: &OrderingLog, track: &str, name: &str, accesses: Vec<Access>) {
+        log.record(track, name, OpKind::Exec, accesses);
+    }
+
+    /// The canonical triple-buffer fragment: H2D on the transfer stream,
+    /// kernel on the compute stream, D2H back on the transfer stream, with
+    /// (or without) the two cross-stream event edges.
+    fn pipeline_fragment(with_edges: bool) -> OrderingLog {
+        let log = OrderingLog::new();
+        log.label_buffer(1, "cbuf");
+        exec(
+            &log,
+            "xfer",
+            "memcpyAsync-h2d",
+            vec![Access::write(1, MemSpace::Device, 0, 64)],
+        );
+        log.record(
+            "xfer",
+            "event-record",
+            OpKind::EventRecord {
+                event: 10,
+                ticket: 1,
+            },
+            vec![],
+        );
+        if with_edges {
+            log.record(
+                "comp",
+                "event-wait",
+                OpKind::EventWait {
+                    event: 10,
+                    ticket: 1,
+                },
+                vec![],
+            );
+        }
+        exec(
+            &log,
+            "comp",
+            "fft-kernel",
+            vec![
+                Access::read(1, MemSpace::Device, 0, 64),
+                Access::write(1, MemSpace::Device, 0, 64),
+            ],
+        );
+        log.record(
+            "comp",
+            "event-record",
+            OpKind::EventRecord {
+                event: 11,
+                ticket: 1,
+            },
+            vec![],
+        );
+        if with_edges {
+            log.record(
+                "xfer",
+                "event-wait",
+                OpKind::EventWait {
+                    event: 11,
+                    ticket: 1,
+                },
+                vec![],
+            );
+        }
+        exec(
+            &log,
+            "xfer",
+            "memcpyAsync-d2h",
+            vec![Access::read(1, MemSpace::Device, 0, 64)],
+        );
+        log
+    }
+
+    #[test]
+    fn well_synchronized_fragment_is_clean() {
+        let report = analyze_log(&pipeline_fragment(true));
+        assert!(report.is_clean(), "{:?}", report.hazards);
+        assert_eq!(report.cross_stream_edges, 2);
+        assert!(report.redundant_waits.is_empty());
+    }
+
+    #[test]
+    fn missing_edges_yield_typed_hazards_naming_both_ops() {
+        let report = analyze_log(&pipeline_fragment(false));
+        assert!(!report.is_clean());
+        // H2D vs kernel is both RAW (kernel reads) and WAW (kernel
+        // writes); one hazard per op pair is reported.
+        let raw = report
+            .hazards
+            .iter()
+            .find(|h| h.first.name == "memcpyAsync-h2d" && h.second.name == "fft-kernel")
+            .expect("h2d/kernel hazard");
+        assert_eq!(raw.kind, HazardKind::ReadAfterWrite);
+        assert_eq!(raw.buffer_label.as_deref(), Some("cbuf"));
+        assert_eq!(raw.first.track, "xfer");
+        assert_eq!(raw.second.track, "comp");
+        let disp = raw.to_string();
+        assert!(disp.contains("memcpyAsync-h2d") && disp.contains("fft-kernel"));
+        // Kernel vs D2H: the copy may read mid-kernel output.
+        assert!(report
+            .hazards
+            .iter()
+            .any(|h| h.first.name == "fft-kernel" && h.second.name == "memcpyAsync-d2h"));
+    }
+
+    #[test]
+    fn same_stream_waits_are_reported_redundant() {
+        let log = OrderingLog::new();
+        exec(
+            &log,
+            "xfer",
+            "memcpyAsync-h2d",
+            vec![Access::write(1, MemSpace::Device, 0, 8)],
+        );
+        log.record(
+            "xfer",
+            "event-record",
+            OpKind::EventRecord {
+                event: 5,
+                ticket: 1,
+            },
+            vec![],
+        );
+        // FIFO already orders this; the wait adds nothing.
+        log.record(
+            "xfer",
+            "event-wait",
+            OpKind::EventWait {
+                event: 5,
+                ticket: 1,
+            },
+            vec![],
+        );
+        exec(
+            &log,
+            "xfer",
+            "memcpyAsync-d2h",
+            vec![Access::read(1, MemSpace::Device, 0, 8)],
+        );
+        let report = analyze_log(&log);
+        assert!(report.is_clean());
+        assert_eq!(report.cross_stream_edges, 0);
+        assert_eq!(report.redundant_waits.len(), 1);
+        assert_eq!(report.redundant_waits[0].track, "xfer");
+    }
+
+    #[test]
+    fn host_joins_order_staging_access() {
+        let log = OrderingLog::new();
+        // Host writes staging, stream reads it: ordered by program order.
+        exec(
+            &log,
+            HOST_TRACK,
+            "host-stage",
+            vec![Access::write(2, MemSpace::Host, 0, 16)],
+        );
+        exec(
+            &log,
+            "xfer",
+            "memcpyAsync-h2d",
+            vec![Access::read(2, MemSpace::Host, 0, 16)],
+        );
+        // Stream writes host memory; host reads it back...
+        exec(
+            &log,
+            "xfer",
+            "memcpyAsync-d2h",
+            vec![Access::write(3, MemSpace::Host, 0, 16)],
+        );
+        // ...without synchronizing first: hazard.
+        exec(
+            &log,
+            HOST_TRACK,
+            "host-snapshot",
+            vec![Access::read(3, MemSpace::Host, 0, 16)],
+        );
+        let report = analyze_log(&log);
+        assert_eq!(report.hazards.len(), 1);
+        assert_eq!(report.hazards[0].kind, HazardKind::ReadAfterWrite);
+        assert_eq!(report.hazards[0].second.name, "host-snapshot");
+
+        // Same schedule with the stream-synchronize join: clean.
+        let log2 = OrderingLog::new();
+        exec(
+            &log2,
+            "xfer",
+            "memcpyAsync-d2h",
+            vec![Access::write(3, MemSpace::Host, 0, 16)],
+        );
+        log2.record(
+            HOST_TRACK,
+            "stream-synchronize",
+            OpKind::HostJoinStream {
+                stream: "xfer".to_string(),
+            },
+            vec![],
+        );
+        exec(
+            &log2,
+            HOST_TRACK,
+            "host-snapshot",
+            vec![Access::read(3, MemSpace::Host, 0, 16)],
+        );
+        assert!(analyze_log(&log2).is_clean());
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the happens-before engine over randomly-shaped pencil
+//! schedules: an unmutated schedule of the Fig. 4 form is always certified
+//! race-free (zero false positives), and deleting *any* effective
+//! cross-stream `wait_event` edge always produces a typed hazard (zero
+//! false negatives on the mutation surface).
+
+use proptest::prelude::*;
+use psdns_analyze::{
+    analyze, wait_edges, without_pos, Access, MemSpace, OpKind, OrderingLog, HOST_TRACK,
+};
+
+/// Build the paper's pencil-loop schedule shape for `np` pencils rotating
+/// through `slots` device buffer slots: H2D on the transfer stream, FFT on
+/// the compute stream, packed D2H back on the transfer stream, with exactly
+/// the two load-bearing cross-stream edges per pencil (`h2d_done`,
+/// `compute_done`). Slot reuse is protected by the transfer stream's own
+/// program order after the `compute_done` wait, as in the real pipeline.
+fn pencil_schedule(np: usize, slots: usize, chunk: usize) -> OrderingLog {
+    let log = OrderingLog::new();
+    // Buffer ids: 1..=slots cbuf, slots+1..=2*slots rbuf, then host staging.
+    let cbuf = |s: usize| 1 + s as u64;
+    let rbuf = |s: usize| 1 + (slots + s) as u64;
+    let host_in: u64 = 1 + 2 * slots as u64;
+    let host_out: u64 = 2 + 2 * slots as u64;
+    // Event ids: 1..=slots h2d_done, slots+1..=2*slots compute_done.
+    let h2d_done = |s: usize| 1 + s as u64;
+    let compute_done = |s: usize| 1 + (slots + s) as u64;
+
+    for s in 0..slots {
+        log.label_buffer(cbuf(s), &format!("cbuf[s{s}]"));
+        log.label_buffer(rbuf(s), &format!("rbuf[s{s}]"));
+    }
+    log.label_buffer(host_in, "host_in");
+    log.label_buffer(host_out, "host_out");
+
+    log.record(
+        HOST_TRACK,
+        "stage `host_in`",
+        OpKind::Exec,
+        vec![Access::write(host_in, MemSpace::Host, 0, np * chunk)],
+    );
+
+    for p in 0..np {
+        let s = p % slots;
+        let round = (p / slots) as u64;
+        log.record(
+            "xfer",
+            &format!("h2d[{p}]"),
+            OpKind::Exec,
+            vec![
+                Access::read(host_in, MemSpace::Host, p * chunk, chunk),
+                Access::write(cbuf(s), MemSpace::Device, 0, chunk),
+            ],
+        );
+        log.record(
+            "xfer",
+            &format!("record h2d_done[s{s}]"),
+            OpKind::EventRecord {
+                event: h2d_done(s),
+                ticket: round + 1,
+            },
+            Vec::new(),
+        );
+        log.record(
+            "comp",
+            &format!("wait h2d_done[s{s}]"),
+            OpKind::EventWait {
+                event: h2d_done(s),
+                ticket: round + 1,
+            },
+            Vec::new(),
+        );
+        log.record(
+            "comp",
+            &format!("fft[{p}]"),
+            OpKind::Exec,
+            vec![
+                Access::read(cbuf(s), MemSpace::Device, 0, chunk),
+                Access::write(cbuf(s), MemSpace::Device, 0, chunk),
+                Access::write(rbuf(s), MemSpace::Device, 0, chunk),
+            ],
+        );
+        log.record(
+            "comp",
+            &format!("record compute_done[s{s}]"),
+            OpKind::EventRecord {
+                event: compute_done(s),
+                ticket: round + 1,
+            },
+            Vec::new(),
+        );
+        log.record(
+            "xfer",
+            &format!("wait compute_done[s{s}]"),
+            OpKind::EventWait {
+                event: compute_done(s),
+                ticket: round + 1,
+            },
+            Vec::new(),
+        );
+        log.record(
+            "xfer",
+            &format!("d2h[{p}]"),
+            OpKind::Exec,
+            vec![
+                Access::read(rbuf(s), MemSpace::Device, 0, chunk),
+                Access::write(host_out, MemSpace::Host, p * chunk, chunk),
+            ],
+        );
+    }
+
+    for stream in ["xfer", "comp"] {
+        log.record(
+            HOST_TRACK,
+            &format!("sync {stream}"),
+            OpKind::HostJoinStream {
+                stream: stream.to_string(),
+            },
+            Vec::new(),
+        );
+    }
+    log.record(
+        HOST_TRACK,
+        "unstage `host_out`",
+        OpKind::Exec,
+        vec![Access::read(host_out, MemSpace::Host, 0, np * chunk)],
+    );
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An unmutated pencil schedule is certified race-free — no false
+    /// positives, for any pencil count / slot count / chunk size.
+    #[test]
+    fn unmutated_schedules_are_clean(
+        np in 3usize..=10,
+        slots in 1usize..=3,
+        chunk in 1usize..=64,
+    ) {
+        let log = pencil_schedule(np, slots, chunk);
+        let report = analyze(&log.snapshot(), &log.labels());
+        prop_assert!(report.is_clean(), "false positive: {:?}", report.hazards);
+        prop_assert_eq!(report.cross_stream_edges, 2 * np);
+        prop_assert!(report.redundant_waits.is_empty());
+    }
+
+    /// Deleting any single effective cross-stream wait edge is flagged as a
+    /// typed hazard whose two named operations sit on different tracks —
+    /// no false negatives anywhere on the mutation surface.
+    #[test]
+    fn every_deleted_edge_is_flagged(
+        np in 3usize..=10,
+        slots in 1usize..=3,
+        chunk in 1usize..=64,
+    ) {
+        let log = pencil_schedule(np, slots, chunk);
+        let (ops, labels) = (log.snapshot(), log.labels());
+        let edges = wait_edges(&ops);
+        prop_assert_eq!(edges.len(), 2 * np);
+        for edge in edges {
+            prop_assert!(edge.cross_stream());
+            let report = analyze(&without_pos(&ops, edge.pos), &labels);
+            let h = report.hazards.first();
+            prop_assert!(
+                h.is_some(),
+                "deleting wait at seq {} went undetected", edge.seq
+            );
+            let h = h.unwrap();
+            prop_assert!(h.first.track != h.second.track, "hazard: {}", h);
+        }
+    }
+
+    /// Deleting a *record* (rather than a wait) demotes the matching waits
+    /// to no-ops and must likewise be flagged — the dependency is gone
+    /// either way.
+    #[test]
+    fn deleting_a_record_is_flagged(
+        np in 3usize..=6,
+        slots in 1usize..=3,
+    ) {
+        let log = pencil_schedule(np, slots, 8);
+        let (ops, labels) = (log.snapshot(), log.labels());
+        for (pos, op) in ops.iter().enumerate() {
+            if !matches!(op.kind, OpKind::EventRecord { .. }) {
+                continue;
+            }
+            let report = analyze(&without_pos(&ops, pos), &labels);
+            prop_assert!(
+                !report.is_clean(),
+                "deleting {} (seq {}) went undetected", op.name, op.seq
+            );
+        }
+    }
+}
+
+/// Mode sanity off the proptest path: the hazard kind produced by removing
+/// the H2D->compute edge is a read of unwritten data (RAW), and removing the
+/// compute->D2H edge a premature read of the result (RAW) — both typed.
+#[test]
+fn deleted_edges_produce_read_write_hazard_kinds() {
+    let log = pencil_schedule(4, 2, 8);
+    let (ops, labels) = (log.snapshot(), log.labels());
+    for edge in wait_edges(&ops) {
+        let report = analyze(&without_pos(&ops, edge.pos), &labels);
+        let h = &report.hazards[0];
+        assert!(
+            h.first.name.len() > 1 && h.second.name.len() > 1,
+            "hazard must name both operations: {h}"
+        );
+        assert!(
+            matches!(
+                h.kind,
+                psdns_analyze::HazardKind::ReadAfterWrite
+                    | psdns_analyze::HazardKind::WriteAfterRead
+                    | psdns_analyze::HazardKind::WriteAfterWrite
+            ),
+            "{h}"
+        );
+    }
+}

@@ -5,6 +5,7 @@
 
 use crate::comm::Communicator;
 use crate::request::Request;
+use psdns_analyze::CollectiveKind;
 use psdns_trace::SpanKind;
 
 /// Track name for communication spans; combined with the span's rank this
@@ -14,6 +15,7 @@ pub(crate) const NET_TRACK: &str = "net";
 impl Communicator {
     /// Synchronize all ranks (gather-to-root + broadcast).
     pub fn barrier(&self) {
+        self.verify_collective(CollectiveKind::Barrier, 0);
         let tag = self.next_coll_tag();
         let root = 0;
         if self.rank() == root {
@@ -32,6 +34,7 @@ impl Communicator {
     /// Broadcast `data` from `root` to all ranks; every rank returns the
     /// root's buffer.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        self.verify_collective(CollectiveKind::Bcast, data.len());
         let tag = self.next_coll_tag();
         if self.rank() == root {
             for dst in 0..self.size() {
@@ -48,6 +51,7 @@ impl Communicator {
     /// Gather each rank's buffer to `root` (concatenated in rank order);
     /// non-root ranks return an empty Vec.
     pub fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        self.verify_collective(CollectiveKind::Gather, data.len());
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut out = Vec::new();
@@ -68,6 +72,7 @@ impl Communicator {
     /// All ranks obtain the concatenation (in rank order) of every rank's
     /// buffer. Buffers may have different lengths.
     pub fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
+        self.verify_collective(CollectiveKind::Allgather, data.len());
         let tag = self.next_coll_tag();
         for dst in 0..self.size() {
             if dst != self.rank() {
@@ -87,6 +92,7 @@ impl Communicator {
 
     /// Scatter equal chunks of `root`'s buffer to all ranks.
     pub fn scatter<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
+        self.verify_collective(CollectiveKind::Scatter, data.len());
         let tag = self.next_coll_tag();
         if self.rank() == root {
             assert_eq!(data.len() % self.size(), 0, "scatter buffer not divisible");
@@ -136,6 +142,7 @@ impl Communicator {
                 std::thread::sleep(d);
             }
         }
+        self.verify_collective(CollectiveKind::Alltoall, send.len());
         let tag = self.next_coll_tag();
         let span = self.tracer.as_ref().map(|t| {
             t.incr_a2a_calls();
@@ -163,6 +170,7 @@ impl Communicator {
     ) -> (Vec<T>, Vec<usize>) {
         assert_eq!(send_counts.len(), self.size());
         assert_eq!(send.len(), send_counts.iter().sum::<usize>());
+        self.verify_collective(CollectiveKind::Alltoallv, send.len());
         let tag = self.next_coll_tag();
         let mut offset = 0;
         for dst in 0..self.size() {
@@ -231,6 +239,7 @@ impl Clone for Communicator {
             split_seq: std::sync::Arc::clone(&self.split_seq),
             tracer: self.tracer.clone(),
             a2a_deadline: self.a2a_deadline,
+            verifier: self.verifier.clone(),
         }
     }
 }

@@ -91,6 +91,9 @@ pub struct Communicator {
     /// Watchdog deadline applied by [`crate::Request::wait_watchdog`]; `None`
     /// means wait forever (the pre-chaos behavior).
     pub(crate) a2a_deadline: Option<Duration>,
+    /// Optional collective-matching verifier; when attached, every primitive
+    /// collective is preceded by a cross-rank fingerprint check.
+    pub(crate) verifier: Option<crate::verify::VerifierState>,
 }
 
 impl Communicator {
@@ -105,6 +108,7 @@ impl Communicator {
             split_seq: Arc::new(AtomicU64::new(0)),
             tracer: None,
             a2a_deadline: None,
+            verifier: None,
         }
     }
 
@@ -421,6 +425,11 @@ impl Communicator {
             // still lands on the right per-rank counters.
             tracer: self.tracer.as_ref().map(|t| t.for_rank(my_local)),
             a2a_deadline: self.a2a_deadline,
+            // Children inherit the verifier but count their own rounds.
+            verifier: self
+                .verifier
+                .as_ref()
+                .map(|s| crate::verify::VerifierState::new(s.v.clone())),
         }
     }
 }

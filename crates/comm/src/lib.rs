@@ -35,6 +35,7 @@ mod coll;
 mod comm;
 mod request;
 mod universe;
+mod verify;
 
 pub use comm::{CommError, Communicator};
 pub use request::Request;
@@ -43,6 +44,12 @@ pub use universe::{Universe, UniverseError};
 // Re-exported so downstream crates can configure chaos campaigns without a
 // direct psdns-chaos dependency.
 pub use psdns_chaos::{ChaosConfig, ChaosEngine, FaultKind, FaultPlan, RetryPolicy};
+
+// Collective-matching verification vocabulary (see
+// [`Communicator::set_collective_verifier`]), re-exported the same way.
+pub use psdns_analyze::{
+    CollectiveFingerprint, CollectiveKind, CollectiveMismatch, CollectiveVerifier,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,201 @@
+//! Cross-rank collective-matching verification.
+//!
+//! With a [`CollectiveVerifier`] attached (see
+//! [`Communicator::set_collective_verifier`]), every primitive collective is
+//! preceded by a fingerprint exchange: each rank posts what it is about to do
+//! (collective kind, element count, communicator context, collective epoch)
+//! to rank 0, which compares all views of the round and broadcasts a
+//! verdict. A divergence — one rank calling `barrier` while another calls
+//! `alltoall`, reordered collectives, a rank that never arrives — therefore
+//! produces a typed [`CollectiveMismatch`] diagnosis instead of the classic
+//! MPI symptom of an unattributable hang (the class of defect tools like
+//! MUST detect on real clusters).
+//!
+//! The exchange rides on a reserved tag namespace above the collective
+//! sequencing tags, so even ranks that disagree about *which* collective is
+//! happening still pair up their verification messages.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use psdns_analyze::{
+    decode_verdict, encode_verdict, CollectiveFingerprint, CollectiveKind, CollectiveMismatch,
+    CollectiveVerifier,
+};
+
+use crate::comm::{CommError, Communicator};
+
+/// Tag namespace for verification exchanges. Collective sequencing tags
+/// start at 2^32 and grow by one per collective; 2^33 leaves them ~4 billion
+/// rounds of headroom before a clash.
+pub(crate) const VERIFY_TAG_BASE: u64 = 1 << 33;
+
+/// Per-communicator verifier attachment: the shared [`CollectiveVerifier`]
+/// handle plus this communicator's private verification round counter
+/// (clones of one rank's handle share it; splits get a fresh one).
+#[derive(Clone)]
+pub(crate) struct VerifierState {
+    pub(crate) v: CollectiveVerifier,
+    pub(crate) round: Arc<AtomicU64>,
+}
+
+impl VerifierState {
+    pub(crate) fn new(v: CollectiveVerifier) -> Self {
+        Self {
+            v,
+            round: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Communicator {
+    /// Attach a collective-matching verifier to this rank's handle. Attach
+    /// (a clone of) the same verifier on every rank: each collective then
+    /// performs a cross-rank fingerprint check, and a divergence kills the
+    /// job with a typed [`CollectiveMismatch`] — retrievable from the
+    /// verifier after the job dies — instead of hanging.
+    ///
+    /// Communicators obtained from [`Communicator::split`] after this call
+    /// inherit the verifier (with a fresh round counter).
+    pub fn set_collective_verifier(&mut self, v: &CollectiveVerifier) {
+        self.verifier = Some(VerifierState::new(v.clone()));
+    }
+
+    /// The attached collective verifier, if any.
+    pub fn collective_verifier(&self) -> Option<&CollectiveVerifier> {
+        self.verifier.as_ref().map(|s| &s.v)
+    }
+
+    /// Fingerprint-check one collective round. Called at the top of every
+    /// primitive collective, *before* its sequencing tag is drawn. No-op
+    /// without a verifier; panics (after failing the job and recording the
+    /// diagnosis on the verifier) when the ranks' fingerprints diverge.
+    pub(crate) fn verify_collective(&self, kind: CollectiveKind, elems: usize) {
+        let Some(state) = self.verifier.clone() else {
+            return;
+        };
+        let round = state.round.fetch_add(1, Ordering::Relaxed);
+        if self.size() < 2 {
+            return;
+        }
+        let fp = CollectiveFingerprint {
+            kind,
+            elems: elems as u64,
+            ctx: self.ctx,
+            seq: round,
+        };
+        let tag = VERIFY_TAG_BASE + round;
+        let deadline = Instant::now() + state.v.deadline();
+        if self.rank() == 0 {
+            self.verify_as_root(&state, fp, tag, round, deadline);
+        } else {
+            self.verify_as_leaf(&state, fp, tag, round, deadline);
+        }
+    }
+
+    /// Rank 0 collects every rank's fingerprint, diagnoses the first
+    /// divergence (or absence), and broadcasts the verdict.
+    fn verify_as_root(
+        &self,
+        state: &VerifierState,
+        fp: CollectiveFingerprint,
+        tag: u64,
+        round: u64,
+        deadline: Instant,
+    ) {
+        let mut diagnosis: Option<CollectiveMismatch> = None;
+        for src in 1..self.size() {
+            match self.recv_match_deadline::<u64>(src, tag, Some(deadline)) {
+                Ok(raw) => {
+                    let peer = CollectiveFingerprint::decode(&raw)
+                        .expect("verification payload is a fingerprint");
+                    if diagnosis.is_none() && !fp.matches(&peer) {
+                        diagnosis = Some(CollectiveMismatch::Mismatched {
+                            round,
+                            a: (0, fp.clone()),
+                            b: (src, peer),
+                        });
+                    }
+                }
+                Err(e) => {
+                    if diagnosis.is_none() {
+                        let waited_ms = match &e {
+                            CommError::Timeout { waited_ms, .. } => *waited_ms,
+                            _ => state.v.deadline().as_millis() as u64,
+                        };
+                        diagnosis = Some(CollectiveMismatch::Missing {
+                            round,
+                            rank: src,
+                            waited_ms,
+                            posted: (0, fp.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        // Broadcast the verdict (even to an absent rank — sends are
+        // buffered) so responsive leaves fail with the diagnosis rather
+        // than their own timeout.
+        let verdict: Vec<u64> = match &diagnosis {
+            None => vec![1],
+            Some(m) => encode_verdict(m),
+        };
+        for dst in 1..self.size() {
+            self.send_raw(dst, tag, verdict.clone());
+        }
+        if let Some(m) = diagnosis {
+            self.verify_fail(state, m);
+        }
+    }
+
+    /// Non-root ranks post their fingerprint and await the root's verdict.
+    fn verify_as_leaf(
+        &self,
+        state: &VerifierState,
+        fp: CollectiveFingerprint,
+        tag: u64,
+        round: u64,
+        deadline: Instant,
+    ) {
+        self.send_raw(0, tag, fp.encode());
+        match self.recv_match_deadline::<u64>(0, tag, Some(deadline)) {
+            Ok(v) if v == [1] => {}
+            Ok(v) => {
+                let m = decode_verdict(&v).expect("verdict is OK or a mismatch");
+                self.verify_fail(state, m);
+            }
+            Err(e) => {
+                // Root died or went silent; prefer its recorded diagnosis
+                // (the verifier is shared across ranks) over a generic one.
+                let m = state.v.mismatch().unwrap_or_else(|| {
+                    let waited_ms = match &e {
+                        CommError::Timeout { waited_ms, .. } => *waited_ms,
+                        _ => state.v.deadline().as_millis() as u64,
+                    };
+                    CollectiveMismatch::Missing {
+                        round,
+                        rank: 0,
+                        waited_ms,
+                        posted: (self.rank(), fp),
+                    }
+                });
+                self.verify_fail(state, m);
+            }
+        }
+    }
+
+    fn verify_fail(&self, state: &VerifierState, m: CollectiveMismatch) -> ! {
+        state.v.report(m.clone());
+        if let Some(t) = &self.tracer {
+            t.incr_faults();
+        }
+        let grank = self.global_rank(self.rank());
+        self.shared
+            .fail(grank, format!("collective verification: {m}"));
+        panic!(
+            "collective verification failed on rank {}: {m}",
+            self.rank()
+        );
+    }
+}

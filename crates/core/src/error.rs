@@ -76,6 +76,10 @@ pub enum Error {
     Pipeline(PipelineError),
     Checkpoint(CheckpointError),
     Csv(CsvError),
+    /// The schedule analyzer found a stream/event ordering defect in the
+    /// planned pipeline (see [`crate::GpuSlabFft::analyze_schedule`]);
+    /// boxed — a hazard carries both conflicting operations' identities.
+    Hazard(Box<psdns_analyze::Hazard>),
 }
 
 impl fmt::Display for Error {
@@ -86,6 +90,7 @@ impl fmt::Display for Error {
             Error::Pipeline(e) => write!(f, "pipeline configuration error: {e}"),
             Error::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             Error::Csv(e) => write!(f, "run log error: {e}"),
+            Error::Hazard(h) => write!(f, "schedule hazard: {h}"),
         }
     }
 }
@@ -98,7 +103,14 @@ impl std::error::Error for Error {
             Error::Pipeline(e) => Some(e),
             Error::Checkpoint(e) => Some(e),
             Error::Csv(e) => Some(e),
+            Error::Hazard(h) => Some(h.as_ref()),
         }
+    }
+}
+
+impl From<psdns_analyze::Hazard> for Error {
+    fn from(h: psdns_analyze::Hazard) -> Self {
+        Error::Hazard(Box::new(h))
     }
 }
 

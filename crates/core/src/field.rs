@@ -182,6 +182,16 @@ pub trait Transform3d<T: Real> {
         self.comm().tracer()
     }
 
+    /// Statically certify the backend's planned transform schedule before
+    /// running it: asynchronous backends replay their stream/event DAG
+    /// through the happens-before analyzer and fail with
+    /// [`crate::Error::Hazard`] on an ordering defect (see
+    /// [`crate::GpuSlabFft::analyze_schedule`]). Synchronous backends have
+    /// no schedule to check; the default certifies trivially.
+    fn verify_schedule(&self) -> Result<(), crate::error::Error> {
+        Ok(())
+    }
+
     /// Transform `nv` spectral fields to physical space together (the paper
     /// moves 3 variables per all-to-all; one call = one logical transpose).
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>>;

@@ -34,8 +34,11 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
 
-use psdns_comm::{Communicator, Request};
-use psdns_device::{Copy2d, Device, DeviceBuffer, DeviceError, Event, PinnedBuffer, Stream};
+use psdns_analyze::{analyze_log, Access, AnalysisReport, OpKind, OrderingLog, HOST_TRACK};
+use psdns_comm::{Communicator, Request, Universe};
+use psdns_device::{
+    Copy2d, Device, DeviceBuffer, DeviceConfig, DeviceError, Event, PinnedBuffer, Stream,
+};
 use psdns_domain::decomp::{GpuSplit, PencilSplit};
 use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
 use psdns_sync::Mutex;
@@ -126,6 +129,7 @@ pub struct GpuFftBuilder<T: Real> {
     tracer: Option<psdns_trace::Tracer>,
     cpu_fallback: bool,
     a2a_watchdog: Option<std::time::Duration>,
+    schedule_log: Option<OrderingLog>,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -141,6 +145,7 @@ impl<T: Real> GpuFftBuilder<T> {
             tracer: None,
             cpu_fallback: false,
             a2a_watchdog: None,
+            schedule_log: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -215,6 +220,17 @@ impl<T: Real> GpuFftBuilder<T> {
         self
     }
 
+    /// Record every stream operation, event edge and buffer access of this
+    /// pipeline into `log` for happens-before analysis (see
+    /// [`GpuSlabFft::analyze_schedule`], which wires this up on a shadow
+    /// instance automatically). The recorder is attached to every device
+    /// and the pipeline additionally logs its host-side staging accesses
+    /// and event joins.
+    pub fn schedule_log(mut self, log: &OrderingLog) -> Self {
+        self.schedule_log = Some(log.clone());
+        self
+    }
+
     /// Validate and construct. Returns [`PipelineError`] on an invalid
     /// configuration; never panics.
     pub fn build(self) -> Result<GpuSlabFft<T>, PipelineError> {
@@ -268,6 +284,11 @@ impl<T: Real> GpuFftBuilder<T> {
         if self.a2a_watchdog.is_some() {
             comm.set_a2a_watchdog(self.a2a_watchdog);
         }
+        if let Some(log) = &self.schedule_log {
+            for d in &self.devices {
+                d.attach_recorder(log);
+            }
+        }
         let mut fft = GpuSlabFft::construct(
             self.shape,
             comm,
@@ -278,6 +299,8 @@ impl<T: Real> GpuFftBuilder<T> {
             },
         );
         fft.fallback_to_cpu = self.cpu_fallback;
+        fft.nv_hint = self.nv;
+        fft.recorder = self.schedule_log;
         Ok(fft)
     }
 }
@@ -320,6 +343,13 @@ pub struct GpuSlabFft<T: Real> {
     /// Lazily built CPU backend used by the degraded path; cached so
     /// repeated fallbacks do not re-plan.
     cpu: Option<SlabFftCpu<T>>,
+    /// Variables per transform call the builder sized the slot buffers for;
+    /// [`Self::analyze_schedule`] replays the schedule at this width.
+    nv_hint: usize,
+    /// Schedule recorder wired by [`GpuFftBuilder::schedule_log`]; the
+    /// pipeline logs host-side staging accesses and event joins here (the
+    /// devices log stream ops themselves).
+    recorder: Option<OrderingLog>,
 }
 
 struct CallBuffers<T: Real> {
@@ -338,6 +368,15 @@ struct Group {
     pencils: Range<usize>,
     /// Union of the pencils' split-axis ranges (contiguous by construction).
     axis: Range<usize>,
+}
+
+/// `[read, write]` over one device-buffer range — the access signature of
+/// an in-place FFT kernel.
+fn rw_device(buffer: u64, len: usize) -> Vec<Access> {
+    vec![
+        Access::read(buffer, psdns_analyze::MemSpace::Device, 0, len),
+        Access::write(buffer, psdns_analyze::MemSpace::Device, 0, len),
+    ]
 }
 
 fn group_of(groups: &[Group], ip: usize) -> usize {
@@ -409,6 +448,70 @@ impl<T: Real> GpuSlabFft<T> {
             plan_cache: Mutex::new(HashMap::new()),
             fallback_to_cpu: false,
             cpu: None,
+            nv_hint: 1,
+            recorder: None,
+        }
+    }
+
+    /// Log a host-track operation (staging-buffer access by the driving
+    /// thread) when a schedule recorder is attached.
+    fn log_host_op(&self, name: &str, accesses: Vec<Access>) {
+        if let Some(log) = &self.recorder {
+            log.record(HOST_TRACK, name, OpKind::Exec, accesses);
+        }
+    }
+
+    /// Log the host blocking on `e` (an `Event::synchronize`): everything
+    /// recorded up to the event's latest ticket happens-before subsequent
+    /// host-track operations.
+    fn log_event_join(&self, e: &Event) {
+        if let Some(log) = &self.recorder {
+            log.record(
+                HOST_TRACK,
+                "event-sync",
+                OpKind::HostJoinEvent {
+                    event: e.id(),
+                    ticket: e.current_ticket(),
+                },
+                Vec::new(),
+            );
+        }
+    }
+
+    /// Attach labels to this call's slot buffers so hazard reports name
+    /// them (`cbuf[g0][s1]`) instead of bare buffer ids.
+    fn label_call_buffers(&self, bufs: &CallBuffers<T>) {
+        let Some(log) = &self.recorder else { return };
+        for (g, (cs, rs)) in bufs.cbuf.iter().zip(&bufs.rbuf).enumerate() {
+            for (slot, c) in cs.iter().enumerate() {
+                log.label_buffer(c.id(), &format!("cbuf[g{g}][s{slot}]"));
+            }
+            for (slot, r) in rs.iter().enumerate() {
+                log.label_buffer(r.id(), &format!("rbuf[g{g}][s{slot}]"));
+            }
+        }
+    }
+
+    /// Label a pinned staging buffer and log its creation as a host write
+    /// (the host fills or zero-initializes it before any stream touches it).
+    fn log_staging<U: Copy + Send + Sync + Default + 'static>(
+        &self,
+        buf: &PinnedBuffer<U>,
+        label: &str,
+    ) {
+        if let Some(log) = &self.recorder {
+            log.label_buffer(buf.id(), label);
+            log.record(
+                HOST_TRACK,
+                &format!("stage `{label}`"),
+                OpKind::Exec,
+                vec![Access::write(
+                    buf.id(),
+                    psdns_analyze::MemSpace::Host,
+                    0,
+                    buf.len(),
+                )],
+            );
         }
     }
 
@@ -440,6 +543,75 @@ impl<T: Real> GpuSlabFft<T> {
     pub fn auto_np(shape: LocalShape, nv: usize, gpus: usize, free_bytes: usize) -> Option<usize> {
         (1..=shape.nxh.max(shape.my))
             .find(|&np| Self::required_bytes_per_device(shape, nv, np, gpus) <= free_bytes)
+    }
+
+    /// Replay this pipeline's planned schedule (same pencil count, variable
+    /// count, A2A mode and device count) in a single-rank shadow universe
+    /// with recording devices, and return the captured ordering log.
+    ///
+    /// The shadow run executes a full `fourier_to_physical` /
+    /// `physical_to_fourier` round trip plus a device cross product over a
+    /// small grid sized so every pencil of every device is exercised — the
+    /// stream/event structure of the pencil loop is independent of the grid
+    /// extent, so hazards in the planned DAG appear in the shadow log.
+    pub fn capture_schedule(&self) -> Result<OrderingLog, Error> {
+        let np = self.config.np;
+        let mode = self.config.a2a_mode;
+        let gpus = self.devices.len();
+        let nv = self.nv_hint.max(1);
+        // Smallest even grid whose pencil splits keep all np pencils and
+        // all devices busy: nxh = n/2 + 1 > np * gpus.
+        let shadow_n = 8usize.max(2 * np * gpus).next_multiple_of(2);
+        let mut results = Universe::run(1, move |comm| -> Result<OrderingLog, Error> {
+            let shape = LocalShape::new(shadow_n, 1, 0);
+            let required = Self::required_bytes_per_device(shape, nv, np, gpus);
+            let devices: Vec<Device> = (0..gpus)
+                .map(|_| Device::new(DeviceConfig::tiny(2 * required + (1 << 22))))
+                .collect();
+            let log = OrderingLog::new();
+            let mut fft = GpuSlabFft::<T>::builder(shape)
+                .comm(comm)
+                .devices(devices)
+                .np(np)
+                .nv(nv)
+                .a2a_mode(mode)
+                .schedule_log(&log)
+                .build()
+                .map_err(Error::Pipeline)?;
+            let specs = vec![SpectralField::<T>::zeros(shape); nv];
+            let phys = fft.try_fourier_to_physical(&specs)?;
+            let _ = fft.try_physical_to_fourier(&phys)?;
+            let zeros = [
+                PhysicalField::<T>::zeros(shape),
+                PhysicalField::<T>::zeros(shape),
+                PhysicalField::<T>::zeros(shape),
+            ];
+            let _ = fft.cross_product(&zeros, &zeros);
+            Ok(log)
+        });
+        results.pop().expect("one shadow rank")
+    }
+
+    /// Statically certify the planned pipeline race-free before running it:
+    /// capture the schedule ([`Self::capture_schedule`]) and replay it
+    /// through the happens-before analyzer. Returns the clean
+    /// [`AnalysisReport`] (op/edge counts, redundant waits) or the first
+    /// [`Error::Hazard`] naming both conflicting operations.
+    pub fn analyze_schedule(&self) -> Result<AnalysisReport, Error> {
+        let log = self.capture_schedule()?;
+        let report = analyze_log(&log);
+        match report.hazards.first() {
+            Some(h) => {
+                // A certification failure is a fault of this rank's run:
+                // count it on the attached tracer so the report sits next
+                // to the span context of whatever else the rank did.
+                if let Some(t) = self.comm.tracer() {
+                    t.incr_faults();
+                }
+                Err(Error::Hazard(Box::new(h.clone())))
+            }
+            None => Ok(report),
+        }
     }
 
     fn max_widths(shape: LocalShape, np: usize, gpus: usize) -> (usize, usize) {
@@ -604,6 +776,9 @@ impl<T: Real> GpuSlabFft<T> {
         }
         let host_spec = PinnedBuffer::from_vec(flat);
         let host_phys = PinnedBuffer::<T>::new(nv * plen);
+        self.label_call_buffers(&bufs);
+        self.log_staging(&host_spec, "host_spec");
+        self.log_staging(&host_phys, "host_phys");
 
         // ---------------- Phase 1: y-inverse on x-split pencils ----------
         // (first dashed region of Fig. 4); groups along x.
@@ -613,6 +788,9 @@ impl<T: Real> GpuSlabFft<T> {
             .iter()
             .map(|grp| PinnedBuffer::new(s.p * nv * grp.axis.len() * s.my * s.mz))
             .collect();
+        for (gi, b) in send_bufs.iter().enumerate() {
+            self.log_staging(b, &format!("send_buf[{gi}]"));
+        }
         let mut d2h_done: Vec<Vec<Event>> = (0..np)
             .map(|_| (0..gpus).map(|_| Event::new()).collect())
             .collect();
@@ -665,20 +843,24 @@ impl<T: Real> GpuSlabFft<T> {
                     let plan = self.plan_many(xw, xw);
                     let kbuf = cbuf.clone();
                     let (n, mz) = (s.n, s.mz);
-                    cstream.launch("fft-y-inverse", move || {
-                        let mut d = kbuf.lock_mut();
-                        let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
-                        for v in 0..nv {
-                            for zl in 0..mz {
-                                let base = v * xw * n * mz + zl * xw * n;
-                                plan.execute_with_scratch(
-                                    &mut d[base..base + xw * n],
-                                    &mut scratch,
-                                    Direction::Inverse,
-                                );
+                    cstream.launch_traced(
+                        "fft-y-inverse",
+                        rw_device(cbuf.id(), nv * xw * s.n * s.mz),
+                        move || {
+                            let mut d = kbuf.lock_mut();
+                            let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+                            for v in 0..nv {
+                                for zl in 0..mz {
+                                    let base = v * xw * n * mz + zl * xw * n;
+                                    plan.execute_with_scratch(
+                                        &mut d[base..base + xw * n],
+                                        &mut scratch,
+                                        Direction::Inverse,
+                                    );
+                                }
                             }
-                        }
-                    });
+                        },
+                    );
                     cstream.record(&compute_done[ip][g]);
                 }
             }
@@ -748,10 +930,11 @@ impl<T: Real> GpuSlabFft<T> {
         // Deadline-aware when a watchdog is configured: a wedged peer turns
         // into a typed CommError::Timeout instead of an infinite hang.
         let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
-        for r in requests {
-            recv_bufs.push(PinnedBuffer::from_vec(
-                r.expect("posted").wait_watchdog().map_err(Error::Comm)?,
-            ));
+        for (gi, r) in requests.into_iter().enumerate() {
+            let buf =
+                PinnedBuffer::from_vec(r.expect("posted").wait_watchdog().map_err(Error::Comm)?);
+            self.log_staging(&buf, &format!("recv_buf[{gi}]"));
+            recv_bufs.push(buf);
         }
 
         // ------------- Phase 2: z-inverse + x c2r on y-split pieces -------
@@ -811,7 +994,14 @@ impl<T: Real> GpuSlabFft<T> {
                         let (cb, rb) = (cbuf.clone(), rbuf.clone());
                         let (n, nxh, myw) = (s.n, s.nxh, yw);
                         let rpiece = n * yw * n;
-                        cstream.launch("fft-z-inverse+x-c2r", move || {
+                        let mut accesses = rw_device(cbuf.id(), nv * piece);
+                        accesses.push(Access::write(
+                            rbuf.id(),
+                            psdns_analyze::MemSpace::Device,
+                            0,
+                            nv * rpiece,
+                        ));
+                        cstream.launch_traced("fft-z-inverse+x-c2r", accesses, move || {
                             let mut c = cb.lock_mut();
                             let mut r = rb.lock_mut();
                             let mut scratch = vec![
@@ -887,6 +1077,15 @@ impl<T: Real> GpuSlabFft<T> {
         }
         self.check_device_errors()?;
 
+        self.log_host_op(
+            "unstage `host_phys`",
+            vec![Access::read(
+                host_phys.id(),
+                psdns_analyze::MemSpace::Host,
+                0,
+                host_phys.len(),
+            )],
+        );
         let flat = host_phys.snapshot();
         Ok((0..nv)
             .map(|v| PhysicalField::from_data(s, flat[v * plen..(v + 1) * plen].to_vec()))
@@ -907,8 +1106,18 @@ impl<T: Real> GpuSlabFft<T> {
         for ip in groups[gi].pencils.clone() {
             for e in &d2h_done[ip] {
                 e.synchronize();
+                self.log_event_join(e);
             }
         }
+        self.log_host_op(
+            &format!("a2a-post[{gi}]"),
+            vec![Access::read(
+                send_bufs[gi].id(),
+                psdns_analyze::MemSpace::Host,
+                0,
+                send_bufs[gi].len(),
+            )],
+        );
         requests[gi] = Some(self.comm.ialltoall(&send_bufs[gi].snapshot()));
     }
 
@@ -946,6 +1155,9 @@ impl<T: Real> GpuSlabFft<T> {
         }
         let host_phys = PinnedBuffer::from_vec(flat);
         let host_spec = PinnedBuffer::<Complex<T>>::new(nv * zlen);
+        self.label_call_buffers(&bufs);
+        self.log_staging(&host_phys, "host_phys");
+        self.log_staging(&host_spec, "host_spec");
 
         // Phase A: x r2c + z-forward on y-split pieces; groups along y.
         let ysplit = PencilSplit::new(s.my, np);
@@ -955,6 +1167,9 @@ impl<T: Real> GpuSlabFft<T> {
             .iter()
             .map(|grp| PinnedBuffer::new(s.p * nv * s.nxh * grp.axis.len().max(1) * s.mz))
             .collect();
+        for (gi, b) in send_bufs.iter().enumerate() {
+            self.log_staging(b, &format!("send_buf[{gi}]"));
+        }
         let mut d2h_done: Vec<Vec<Event>> = (0..np)
             .map(|_| (0..gpus).map(|_| Event::new()).collect())
             .collect();
@@ -1004,7 +1219,14 @@ impl<T: Real> GpuSlabFft<T> {
                     let plan_x = Arc::clone(&self.plan_x);
                     let (cb, rb) = (cbuf.clone(), rbuf.clone());
                     let (n, nxh, myw) = (s.n, s.nxh, yw);
-                    cstream.launch("fft-x-r2c+z-forward", move || {
+                    let mut accesses = rw_device(cbuf.id(), nv * piece);
+                    accesses.push(Access::read(
+                        rbuf.id(),
+                        psdns_analyze::MemSpace::Device,
+                        0,
+                        nv * rpiece,
+                    ));
+                    cstream.launch_traced("fft-x-r2c+z-forward", accesses, move || {
                         let r = rb.lock();
                         let mut c = cb.lock_mut();
                         let mut scratch = vec![
@@ -1093,10 +1315,11 @@ impl<T: Real> GpuSlabFft<T> {
         }
 
         let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
-        for r in requests {
-            recv_bufs.push(PinnedBuffer::from_vec(
-                r.expect("posted").wait_watchdog().map_err(Error::Comm)?,
-            ));
+        for (gi, r) in requests.into_iter().enumerate() {
+            let buf =
+                PinnedBuffer::from_vec(r.expect("posted").wait_watchdog().map_err(Error::Comm)?);
+            self.log_staging(&buf, &format!("recv_buf[{gi}]"));
+            recv_bufs.push(buf);
         }
 
         // Phase B: y-forward on x-split pencils, D2H into the z-slab result
@@ -1158,20 +1381,24 @@ impl<T: Real> GpuSlabFft<T> {
                     let plan = self.plan_many(xw, xw);
                     let kbuf = cbuf.clone();
                     let (n, mz) = (s.n, s.mz);
-                    cstream.launch("fft-y-forward", move || {
-                        let mut d = kbuf.lock_mut();
-                        let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
-                        for v in 0..nv {
-                            for zl in 0..mz {
-                                let base = v * xw * n * mz + zl * xw * n;
-                                plan.execute_with_scratch(
-                                    &mut d[base..base + xw * n],
-                                    &mut scratch,
-                                    Direction::Forward,
-                                );
+                    cstream.launch_traced(
+                        "fft-y-forward",
+                        rw_device(cbuf.id(), nv * xw * s.n * s.mz),
+                        move || {
+                            let mut d = kbuf.lock_mut();
+                            let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+                            for v in 0..nv {
+                                for zl in 0..mz {
+                                    let base = v * xw * n * mz + zl * xw * n;
+                                    plan.execute_with_scratch(
+                                        &mut d[base..base + xw * n],
+                                        &mut scratch,
+                                        Direction::Forward,
+                                    );
+                                }
                             }
-                        }
-                    });
+                        },
+                    );
                     cstream.record(&compute_b_done[ip][g]);
                 }
             }
@@ -1213,6 +1440,15 @@ impl<T: Real> GpuSlabFft<T> {
         }
         self.check_device_errors()?;
 
+        self.log_host_op(
+            "unstage `host_spec`",
+            vec![Access::read(
+                host_spec.id(),
+                psdns_analyze::MemSpace::Host,
+                0,
+                host_spec.len(),
+            )],
+        );
         let flat = host_spec.snapshot();
         Ok((0..nv)
             .map(|v| SpectralField::from_data(s, flat[v * zlen..(v + 1) * zlen].to_vec()))
@@ -1227,6 +1463,10 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
 
     fn comm(&self) -> &Communicator {
         &self.comm
+    }
+
+    fn verify_schedule(&self) -> Result<(), Error> {
+        self.analyze_schedule().map(|_| ())
     }
 
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>> {
@@ -1272,6 +1512,8 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
         }
         let host_in = PinnedBuffer::from_vec(flat);
         let host_out = PinnedBuffer::<T>::new(3 * plen);
+        self.log_staging(&host_in, "host_xprod_in");
+        self.log_staging(&host_out, "host_xprod_out");
 
         // Rotating slot buffers on device 0 (pointwise work needs no
         // multi-device split to be correct; one device keeps it simple).
@@ -1298,6 +1540,12 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
                 return host_cross_product(s, up, wp);
             }
         };
+        if let Some(log) = &self.recorder {
+            for (i, (ib, ob, _)) in bufs.iter().enumerate() {
+                log.label_buffer(ib.id(), &format!("xprod_in[s{i}]"));
+                log.label_buffer(ob.id(), &format!("xprod_out[s{i}]"));
+            }
+        }
 
         let compute_done: Vec<Event> = (0..np).map(|_| Event::new()).collect();
         for step in 0..=np {
@@ -1319,17 +1567,24 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
                 cstream.wait_event(&h2d_done);
                 let (ib, ob) = (ibuf.clone(), obuf.clone());
                 let c = chunk;
-                cstream.launch("cross-product", move || {
-                    let a = ib.lock();
-                    let mut o = ob.lock_mut();
-                    for i in 0..len {
-                        let (u0, u1, u2) = (a[i], a[c + i], a[2 * c + i]);
-                        let (w0, w1, w2) = (a[3 * c + i], a[4 * c + i], a[5 * c + i]);
-                        o[i] = u1 * w2 - u2 * w1;
-                        o[c + i] = u2 * w0 - u0 * w2;
-                        o[2 * c + i] = u0 * w1 - u1 * w0;
-                    }
-                });
+                cstream.launch_traced(
+                    "cross-product",
+                    vec![
+                        Access::read(ibuf.id(), psdns_analyze::MemSpace::Device, 0, 6 * chunk),
+                        Access::write(obuf.id(), psdns_analyze::MemSpace::Device, 0, 3 * chunk),
+                    ],
+                    move || {
+                        let a = ib.lock();
+                        let mut o = ob.lock_mut();
+                        for i in 0..len {
+                            let (u0, u1, u2) = (a[i], a[c + i], a[2 * c + i]);
+                            let (w0, w1, w2) = (a[3 * c + i], a[4 * c + i], a[5 * c + i]);
+                            o[i] = u1 * w2 - u2 * w1;
+                            o[c + i] = u2 * w0 - u0 * w2;
+                            o[2 * c + i] = u0 * w1 - u1 * w0;
+                        }
+                    },
+                );
                 cstream.record(&compute_done[ci]);
             }
             if step >= 1 {
@@ -1356,6 +1611,15 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
             return host_cross_product(s, up, wp);
         }
 
+        self.log_host_op(
+            "unstage `host_xprod_out`",
+            vec![Access::read(
+                host_out.id(),
+                psdns_analyze::MemSpace::Host,
+                0,
+                host_out.len(),
+            )],
+        );
         let flat = host_out.snapshot();
         [
             PhysicalField::from_data(s, flat[..plen].to_vec()),

@@ -21,6 +21,13 @@
 //! All backends implement [`Transform3d`], so the solver runs identically on
 //! the CPU path and the out-of-core device path — the integration tests
 //! demand matching physics.
+//!
+//! The asynchronous pipeline can be certified race-free *before* execution:
+//! [`GpuSlabFft::analyze_schedule`] replays the planned stream/event DAG
+//! through the `psdns-analyze` happens-before engine, and
+//! [`run_checkpointed_checked`] gates a production run on that check.
+
+#![deny(deprecated)]
 
 pub mod checkpoint;
 pub mod dist_fft;
@@ -51,7 +58,11 @@ pub use io::{spectrum_csv, CsvError, LogEntry, RunLog};
 pub use ns::{apply_phase_shift, project_and_dealias, NavierStokes, NsConfig, TimeScheme};
 pub use ops::{curl, divergence, gradient, laplacian};
 pub use pencil_fft::PencilFftCpu;
-pub use recovery::{restore_or_init, run_checkpointed, save_solver, CheckpointStore};
+pub use recovery::{
+    restore_or_init, run_checkpointed, run_checkpointed_checked, save_solver, CheckpointStore,
+};
 pub use scalar::{scalar_single_mode, PassiveScalar};
 pub use spectrum::{energy_spectrum, transfer_spectrum};
 pub use stats::{gradient_moments, FlowStats};
+
+pub use psdns_analyze::{AnalysisReport, Hazard, HazardKind, OrderingLog};

@@ -184,6 +184,23 @@ pub fn run_checkpointed<T: Real, B: Transform3d<T>>(
     Ok(saves)
 }
 
+/// [`run_checkpointed`] with a pre-flight schedule check: before stepping,
+/// the backend's planned transform schedule is certified race-free via
+/// [`Transform3d::verify_schedule`] (for [`crate::GpuSlabFft`] a full
+/// happens-before replay of the pencil DAG, see
+/// [`crate::GpuSlabFft::analyze_schedule`]). A defective schedule surfaces
+/// as [`crate::Error::Hazard`] *before* any step runs — turning a would-be
+/// silent data race into a typed pre-execution failure.
+pub fn run_checkpointed_checked<T: Real, B: Transform3d<T>>(
+    ns: &mut NavierStokes<T, B>,
+    store: &CheckpointStore,
+    until_step: usize,
+    every: usize,
+) -> Result<usize, crate::error::Error> {
+    ns.backend.verify_schedule()?;
+    run_checkpointed(ns, store, until_step, every).map_err(crate::error::Error::Checkpoint)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,14 +7,25 @@
 //! one operation, so the FIFO ordering of a stream serializes access the way
 //! the CUDA programming model does.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use psdns_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::device::Device;
 
+/// Runtime-wide buffer id source, shared by device and pinned allocations so
+/// ordering-log records can name any buffer unambiguously (the analyzer
+/// additionally tags each access with its memory space).
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_buffer_id() -> u64 {
+    NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 struct DeviceStorage<T> {
     device: Device,
+    id: u64,
     data: RwLock<Vec<T>>,
     bytes: usize,
 }
@@ -54,10 +65,17 @@ impl<T: Copy + Send + Sync + Default + 'static> DeviceBuffer<T> {
         Self {
             storage: Arc::new(DeviceStorage {
                 device,
+                id: next_buffer_id(),
                 data: RwLock::new(vec![T::default(); len]),
                 bytes,
             }),
         }
+    }
+
+    /// Runtime-wide id of this allocation (clones share it), used by the
+    /// schedule recorder to attribute accesses.
+    pub fn id(&self) -> u64 {
+        self.storage.id
     }
 
     pub fn len(&self) -> usize {
@@ -90,6 +108,7 @@ impl<T: Copy + Send + Sync + Default + 'static> DeviceBuffer<T> {
 }
 
 struct PinnedStorage<T> {
+    id: u64,
     data: RwLock<Vec<T>>,
 }
 
@@ -118,9 +137,16 @@ impl<T: Copy + Send + Sync + Default + 'static> PinnedBuffer<T> {
     pub fn from_vec(v: Vec<T>) -> Self {
         Self {
             storage: Arc::new(PinnedStorage {
+                id: next_buffer_id(),
                 data: RwLock::new(v),
             }),
         }
+    }
+
+    /// Runtime-wide id of this allocation (clones share it), used by the
+    /// schedule recorder to attribute accesses.
+    pub fn id(&self) -> u64 {
+        self.storage.id
     }
 
     pub fn len(&self) -> usize {

@@ -17,6 +17,8 @@
 
 use std::sync::atomic::Ordering;
 
+use psdns_analyze::{Access, AccessMode, MemSpace};
+
 use crate::buffer::{DeviceBuffer, PinnedBuffer};
 use crate::stream::Stream;
 use crate::timeline::SpanKind;
@@ -114,6 +116,13 @@ impl Stream {
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
         self.device().trace_add_bytes_h2d(bytes);
+        self.record_exec(
+            "memcpyAsync-h2d",
+            vec![
+                Access::read(host.id(), MemSpace::Host, host_offset, len),
+                Access::write(dev.id(), MemSpace::Device, dev_offset, len),
+            ],
+        );
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpyAsync-h2d".to_string(),
@@ -152,6 +161,13 @@ impl Stream {
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
         self.device().trace_add_bytes_d2h(bytes);
+        self.record_exec(
+            "memcpyAsync-d2h",
+            vec![
+                Access::read(dev.id(), MemSpace::Device, dev_offset, len),
+                Access::write(host.id(), MemSpace::Host, host_offset, len),
+            ],
+        );
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpyAsync-d2h".to_string(),
@@ -182,6 +198,29 @@ impl Stream {
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
         self.device().trace_add_bytes_h2d(bytes);
+        self.record_exec(
+            "memcpy2DAsync-h2d",
+            vec![
+                Access::strided(
+                    AccessMode::Read,
+                    host.id(),
+                    MemSpace::Host,
+                    params.src_offset,
+                    params.width,
+                    params.height,
+                    params.src_pitch,
+                ),
+                Access::strided(
+                    AccessMode::Write,
+                    dev.id(),
+                    MemSpace::Device,
+                    params.dst_offset,
+                    params.width,
+                    params.height,
+                    params.dst_pitch,
+                ),
+            ],
+        );
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpy2DAsync-h2d".to_string(),
@@ -213,6 +252,29 @@ impl Stream {
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
         self.device().trace_add_bytes_d2h(bytes);
+        self.record_exec(
+            "memcpy2DAsync-d2h",
+            vec![
+                Access::strided(
+                    AccessMode::Read,
+                    dev.id(),
+                    MemSpace::Device,
+                    params.src_offset,
+                    params.width,
+                    params.height,
+                    params.src_pitch,
+                ),
+                Access::strided(
+                    AccessMode::Write,
+                    host.id(),
+                    MemSpace::Host,
+                    params.dst_offset,
+                    params.width,
+                    params.height,
+                    params.dst_pitch,
+                ),
+            ],
+        );
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "memcpy2DAsync-d2h".to_string(),
@@ -254,6 +316,14 @@ impl Stream {
         self.device()
             .trace_add_bytes_h2d(total * std::mem::size_of::<T>());
         self.device().trace_incr_kernel();
+        if self.device().recorder().is_some() {
+            let mut accesses = Vec::with_capacity(chunks.len() * 2);
+            for &(h_off, d_off, len) in &chunks {
+                accesses.push(Access::read(host.id(), MemSpace::Host, h_off, len));
+                accesses.push(Access::write(dev.id(), MemSpace::Device, d_off, len));
+            }
+            self.record_exec("zero-copy-gather", accesses);
+        }
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "zero-copy-gather".to_string(),
@@ -299,6 +369,14 @@ impl Stream {
         self.device()
             .trace_add_bytes_d2h(total * std::mem::size_of::<T>());
         self.device().trace_incr_kernel();
+        if self.device().recorder().is_some() {
+            let mut accesses = Vec::with_capacity(chunks.len() * 2);
+            for &(d_off, h_off, len) in &chunks {
+                accesses.push(Access::read(dev.id(), MemSpace::Device, d_off, len));
+                accesses.push(Access::write(host.id(), MemSpace::Host, h_off, len));
+            }
+            self.record_exec("zero-copy-scatter", accesses);
+        }
         let (h, d) = (host.clone(), dev.clone());
         self.enqueue(
             "zero-copy-scatter".to_string(),
@@ -470,6 +548,10 @@ impl Stream {
         value: T,
     ) {
         assert!(offset + len <= dev.len(), "memset past device buffer");
+        self.record_exec(
+            "memsetAsync",
+            vec![Access::write(dev.id(), MemSpace::Device, offset, len)],
+        );
         let d = dev.clone();
         self.enqueue(
             "memsetAsync".to_string(),
@@ -497,6 +579,13 @@ impl Stream {
         assert!(dst_offset + len <= dst.len(), "D2D writes past destination");
         let stats = &self.device().inner.stats;
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
+        self.record_exec(
+            "memcpyAsync-d2d",
+            vec![
+                Access::read(src.id(), MemSpace::Device, src_offset, len),
+                Access::write(dst.id(), MemSpace::Device, dst_offset, len),
+            ],
+        );
         let (s, d) = (src.clone(), dst.clone());
         self.enqueue(
             "memcpyAsync-d2d".to_string(),

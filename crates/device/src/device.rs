@@ -79,6 +79,10 @@ pub(crate) struct DeviceInner {
     /// Sticky asynchronous error, like a CUDA context error: set when a copy
     /// fails after retries, observed (and cleared) via [`Device::take_error`].
     pub error: psdns_sync::Mutex<Option<DeviceError>>,
+    /// Schedule recorder: when attached, every stream op, event edge and
+    /// copy access range is mirrored into the ordering log for
+    /// happens-before hazard analysis.
+    pub recorder: psdns_sync::Mutex<Option<psdns_analyze::OrderingLog>>,
 }
 
 /// Handle to one simulated accelerator. Cheap to clone; all clones refer to
@@ -117,8 +121,24 @@ impl Device {
                 tracer: psdns_sync::Mutex::new(None),
                 chaos: psdns_sync::Mutex::new(None),
                 error: psdns_sync::Mutex::new(None),
+                recorder: psdns_sync::Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach a schedule recorder: every subsequently enqueued stream op,
+    /// `record`/`wait_event` edge and copy access range on this device is
+    /// mirrored into `log` (see `psdns-analyze`). Recording captures the
+    /// *schedule* — host enqueue order plus declared access ranges — not
+    /// execution timing, so a single recorded dry-run can be replayed and
+    /// mutated offline.
+    pub fn attach_recorder(&self, log: &psdns_analyze::OrderingLog) {
+        *self.inner.recorder.lock() = Some(log.clone());
+    }
+
+    /// The attached schedule recorder, if any.
+    pub fn recorder(&self) -> Option<psdns_analyze::OrderingLog> {
+        self.inner.recorder.lock().clone()
     }
 
     /// Thread a fault-injection engine through this device: allocations may

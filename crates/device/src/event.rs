@@ -15,7 +15,12 @@ use std::sync::Arc;
 
 use psdns_sync::{Condvar, Mutex};
 
+/// Process-wide event id source for ordering-log records.
+static NEXT_EVENT_ID: AtomicU64 = AtomicU64::new(1);
+
 pub(crate) struct EventInner {
+    /// Process-wide id (clones share it), used by the schedule recorder.
+    id: u64,
     /// Number of record() calls issued (host side).
     recorded: AtomicU64,
     /// Highest record ticket whose stream position has been reached.
@@ -33,11 +38,18 @@ impl Event {
     pub fn new() -> Self {
         Self {
             inner: Arc::new(EventInner {
+                id: NEXT_EVENT_ID.fetch_add(1, Ordering::Relaxed),
                 recorded: AtomicU64::new(0),
                 completed: Mutex::new(0),
                 cv: Condvar::new(),
             }),
         }
+    }
+
+    /// Process-wide id of this event (clones share it), used by the
+    /// schedule recorder to name `record`/`wait_event` edges.
+    pub fn id(&self) -> u64 {
+        self.inner.id
     }
 
     /// Allocate the ticket for a new record() call.
@@ -46,7 +58,9 @@ impl Event {
     }
 
     /// Ticket of the most recent record as of now (0 = never recorded).
-    pub(crate) fn current_ticket(&self) -> u64 {
+    /// Public so host-side joins (`Event::synchronize` before reading
+    /// staging buffers) can be mirrored into an ordering log.
+    pub fn current_ticket(&self) -> u64 {
         self.inner.recorded.load(Ordering::SeqCst)
     }
 

@@ -45,6 +45,11 @@ pub use event::Event;
 pub use stream::Stream;
 pub use timeline::{Span, SpanKind, Timeline};
 
+// Schedule-recording vocabulary, re-exported so callers declaring kernel
+// accesses for `Stream::launch_traced` need no direct `psdns-analyze`
+// dependency.
+pub use psdns_analyze::{Access, AccessMode, MemSpace, OrderingLog};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,15 @@ impl Stream {
         &self.device
     }
 
+    /// Mirror an executing op with its declared accesses into the attached
+    /// schedule recorder, if any. Called by the copy engine right before
+    /// enqueueing the transfer.
+    pub(crate) fn record_exec(&self, name: &str, accesses: Vec<psdns_analyze::Access>) {
+        if let Some(log) = self.device.recorder() {
+            log.record(&self.name, name, psdns_analyze::OpKind::Exec, accesses);
+        }
+    }
+
     pub(crate) fn enqueue(&self, name: String, kind: SpanKind, f: Box<dyn FnOnce() + Send>) {
         self.tx
             .send(Op::Task { name, kind, f })
@@ -179,7 +188,24 @@ impl Stream {
     /// Enqueue an arbitrary "kernel" — a closure executed on the stream
     /// worker in FIFO order. The solver submits FFT batches and pointwise
     /// physics kernels through this.
+    ///
+    /// A plain launch declares no buffer accesses, so the hazard analyzer
+    /// cannot see what it touches; use [`launch_traced`](Self::launch_traced)
+    /// on paths covered by schedule analysis.
     pub fn launch<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
+        self.launch_traced(name, Vec::new(), f);
+    }
+
+    /// [`launch`](Self::launch) with declared buffer accesses: when a
+    /// schedule recorder is attached to the device, the kernel is logged as
+    /// an executing op touching `accesses`, making it visible to the
+    /// happens-before hazard analysis in `psdns-analyze`.
+    pub fn launch_traced<F: FnOnce() + Send + 'static>(
+        &self,
+        name: &str,
+        accesses: Vec<psdns_analyze::Access>,
+        f: F,
+    ) {
         self.chaos_stall_gate();
         self.device
             .inner
@@ -187,6 +213,9 @@ impl Stream {
             .kernel_launches
             .fetch_add(1, Ordering::Relaxed);
         self.device.trace_incr_kernel();
+        if let Some(log) = self.device.recorder() {
+            log.record(&self.name, name, psdns_analyze::OpKind::Exec, accesses);
+        }
         self.enqueue(name.to_string(), SpanKind::Kernel, Box::new(f));
     }
 
@@ -194,6 +223,17 @@ impl Stream {
     /// (`cudaEventRecord`).
     pub fn record(&self, event: &Event) {
         let ticket = event.new_ticket();
+        if let Some(log) = self.device.recorder() {
+            log.record(
+                &self.name,
+                "event-record",
+                psdns_analyze::OpKind::EventRecord {
+                    event: event.id(),
+                    ticket,
+                },
+                Vec::new(),
+            );
+        }
         let evt = event.clone();
         self.enqueue(
             "event-record".to_string(),
@@ -206,6 +246,17 @@ impl Stream {
     /// this call (`cudaStreamWaitEvent`). The *host* does not block.
     pub fn wait_event(&self, event: &Event) {
         let ticket = event.current_ticket();
+        if let Some(log) = self.device.recorder() {
+            log.record(
+                &self.name,
+                "event-wait",
+                psdns_analyze::OpKind::EventWait {
+                    event: event.id(),
+                    ticket,
+                },
+                Vec::new(),
+            );
+        }
         let evt = event.clone();
         self.enqueue(
             "event-wait".to_string(),
@@ -217,6 +268,16 @@ impl Stream {
     /// Block the host until everything enqueued so far has executed
     /// (`cudaStreamSynchronize`).
     pub fn synchronize(&self) {
+        if let Some(log) = self.device.recorder() {
+            log.record(
+                psdns_analyze::HOST_TRACK,
+                "stream-synchronize",
+                psdns_analyze::OpKind::HostJoinStream {
+                    stream: self.name.clone(),
+                },
+                Vec::new(),
+            );
+        }
         let (ack_tx, ack_rx) = unbounded();
         self.tx
             .send(Op::Fence(ack_tx))

@@ -17,6 +17,11 @@
 //!   timeline, exported as Chrome-trace JSON (`chrome://tracing`), a
 //!   per-phase summary, and an overlap-efficiency report (how much network
 //!   time hides behind compute — the paper's asynchronism metric);
+//! * [`analyze`] — static schedule analysis: an ordering log recorded by
+//!   the device runtime, a vector-clock happens-before engine that reports
+//!   typed RAW/WAR/WAW hazards between streams, and a cross-rank
+//!   collective-matching verifier that turns mismatched collectives into
+//!   typed errors instead of hangs;
 //! * [`chaos`] — seeded deterministic fault injection threaded through the
 //!   comm/device/checkpoint layers (message delay/reorder/duplication/drop,
 //!   rank stall/crash, device OOM and copy faults, torn checkpoint writes):
@@ -30,6 +35,7 @@
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+pub use psdns_analyze as analyze;
 pub use psdns_chaos as chaos;
 pub use psdns_comm as comm;
 pub use psdns_core as core;

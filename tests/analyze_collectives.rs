@@ -1,0 +1,135 @@
+//! Integration: cross-rank collective-matching verification.
+//!
+//! At scale, a rank entering the *wrong* collective (reordered, mistyped or
+//! skipped) classically presents as a silent hang — the failure mode the
+//! paper's per-pencil `MPI_IALLTOALL` scheduling makes easiest to write.
+//! With a [`CollectiveVerifier`] attached, every primitive collective is
+//! fingerprinted `(kind, element count, communicator epoch, round)` and
+//! mismatches surface as typed [`CollectiveMismatch`] diagnostics instead.
+
+use std::time::Duration;
+
+use psdns::analyze::{CollectiveKind, CollectiveMismatch, CollectiveVerifier};
+use psdns::chaos::{ChaosConfig, ChaosEngine};
+use psdns::comm::Universe;
+
+fn quiet_chaos() -> ChaosEngine {
+    ChaosEngine::new(ChaosConfig::new(7))
+}
+
+#[test]
+fn matched_collectives_verify_clean() {
+    let v = CollectiveVerifier::new().with_deadline(Duration::from_secs(2));
+    let vv = v.clone();
+    let sums = Universe::run(3, move |mut comm| {
+        comm.set_collective_verifier(&vv);
+        comm.barrier();
+        let all = comm.allgather(&[comm.rank() as u64]);
+        let send: Vec<u64> = (0..comm.size()).map(|p| p as u64).collect();
+        let recv = comm.ialltoall(&send).wait();
+        comm.barrier();
+        all.iter().sum::<u64>() + recv.iter().sum::<u64>()
+    });
+    assert_eq!(sums.len(), 3);
+    assert_eq!(v.mismatch(), None, "matched collectives must verify clean");
+}
+
+#[test]
+fn reordered_collective_is_a_typed_mismatch_not_a_hang() {
+    let v = CollectiveVerifier::new().with_deadline(Duration::from_secs(5));
+    let vv = v.clone();
+    // Rank 1 swapped two collectives: it enters barrier where rank 0
+    // enters alltoall. Without verification this deadlocks both ranks.
+    let out = Universe::run_chaos(2, quiet_chaos(), move |mut comm| {
+        comm.set_collective_verifier(&vv);
+        let send: Vec<u64> = vec![comm.rank() as u64; 2];
+        if comm.rank() == 0 {
+            let _ = comm.ialltoall(&send).wait();
+            comm.barrier();
+        } else {
+            comm.barrier(); // reordered!
+            let _ = comm.ialltoall(&send).wait();
+        }
+    });
+    assert!(out.is_err(), "mismatch must abort the job, not hang");
+    match v.take_mismatch() {
+        Some(CollectiveMismatch::Mismatched { round, a, b }) => {
+            assert_eq!(round, 0, "detected at the first collective");
+            let kinds = [a.1.kind, b.1.kind];
+            assert!(kinds.contains(&CollectiveKind::Alltoall), "{kinds:?}");
+            assert!(kinds.contains(&CollectiveKind::Barrier), "{kinds:?}");
+        }
+        other => panic!("expected Mismatched, got {other:?}"),
+    }
+}
+
+#[test]
+fn skipped_collective_is_reported_missing_with_the_posted_op() {
+    let v = CollectiveVerifier::new().with_deadline(Duration::from_millis(250));
+    let vv = v.clone();
+    // Rank 1 exits without ever entering the collective rank 0 posted —
+    // the "one rank crashed past the barrier" shape.
+    let out = Universe::run_chaos(2, quiet_chaos(), move |mut comm| {
+        comm.set_collective_verifier(&vv);
+        if comm.rank() == 0 {
+            let all = comm.allgather(&[1u64]);
+            all.len()
+        } else {
+            0 // never participates
+        }
+    });
+    assert!(out.is_err(), "missing peer must abort rank 0's collective");
+    match v.take_mismatch() {
+        Some(CollectiveMismatch::Missing {
+            round,
+            rank,
+            posted,
+            ..
+        }) => {
+            assert_eq!((round, rank), (0, 1));
+            assert_eq!(posted.0, 0, "rank 0 posted the collective");
+            assert_eq!(posted.1.kind, CollectiveKind::Allgather);
+        }
+        other => panic!("expected Missing, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_element_counts_are_detected() {
+    let v = CollectiveVerifier::new().with_deadline(Duration::from_secs(5));
+    let vv = v.clone();
+    // Same collective, different payload sizes — the classic count bug.
+    // (Alltoall element counts must agree across ranks; root-relative
+    // collectives like bcast legitimately have rank-local buffer lengths
+    // and are matched on kind alone.)
+    let out = Universe::run_chaos(2, quiet_chaos(), move |mut comm| {
+        comm.set_collective_verifier(&vv);
+        let n = if comm.rank() == 0 { 4 } else { 6 };
+        let _ = comm.ialltoall(&vec![0u64; n]).wait();
+    });
+    assert!(out.is_err());
+    match v.take_mismatch() {
+        Some(CollectiveMismatch::Mismatched { a, b, .. }) => {
+            assert_eq!(a.1.kind, CollectiveKind::Alltoall);
+            assert_eq!(b.1.kind, CollectiveKind::Alltoall);
+            assert_ne!(a.1.elems, b.1.elems);
+        }
+        other => panic!("expected Mismatched, got {other:?}"),
+    }
+}
+
+#[test]
+fn verifier_survives_communicator_split() {
+    let v = CollectiveVerifier::new().with_deadline(Duration::from_secs(2));
+    let vv = v.clone();
+    Universe::run(4, move |mut comm| {
+        comm.set_collective_verifier(&vv);
+        comm.barrier();
+        // Sub-communicators verify independently (fresh round counters).
+        let sub = comm.split(comm.rank() % 2, comm.rank() / 2);
+        sub.barrier();
+        let _ = sub.allgather(&[sub.rank() as u32]);
+        comm.barrier();
+    });
+    assert_eq!(v.mismatch(), None);
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Repo lint: forbid *new* `.unwrap()` / `.expect(` in the production sources
+# of the comm, device and core crates (the layers whose failures must surface
+# as typed errors — CommError / DeviceError / psdns_core::Error — not panics).
+#
+# The checked-in allowlist (tools/unwrap_allowlist.txt) pins today's per-file
+# occurrence counts. A file exceeding its pinned count (or a new file using
+# unwrap/expect at all) fails CI; after deliberately removing call sites,
+# refresh the pin with `tools/lint.sh --regen`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=tools/unwrap_allowlist.txt
+CRATES=(crates/comm/src crates/device/src crates/core/src)
+
+counts() {
+    local f n
+    while IFS= read -r f; do
+        n=$({ grep -o -E '\.unwrap\(\)|\.expect\(' "$f" || true; } | wc -l | tr -d ' ')
+        if [ "$n" -gt 0 ]; then
+            echo "$n $f"
+        fi
+    done < <(find "${CRATES[@]}" -name '*.rs' | sort)
+}
+
+if [ "${1:-}" = "--regen" ]; then
+    counts > "$ALLOWLIST"
+    echo "regenerated $ALLOWLIST ($(wc -l < "$ALLOWLIST" | tr -d ' ') files)"
+    exit 0
+fi
+
+if [ ! -f "$ALLOWLIST" ]; then
+    echo "missing $ALLOWLIST — run tools/lint.sh --regen" >&2
+    exit 1
+fi
+
+fail=0
+while read -r n f; do
+    allowed=$(awk -v f="$f" '$2 == f { print $1 }' "$ALLOWLIST")
+    allowed=${allowed:-0}
+    if [ "$n" -gt "$allowed" ]; then
+        echo "LINT: $f has $n unwrap()/expect() call sites (allowlisted: $allowed)" >&2
+        echo "      return a typed error instead, or justify and --regen" >&2
+        fail=1
+    fi
+done < <(counts)
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "unwrap/expect lint OK"
