@@ -31,4 +31,11 @@ echo "==> chaos smoke (seeded fault injection + recovery)"
 # here reproduces locally with the exact same fault schedule.
 cargo test --offline -q --test chaos_recovery
 
+echo "==> bench smoke (perf regression gate vs committed baselines)"
+# One timed iteration per benchmark, compared against BENCH_fft.json /
+# BENCH_pipeline.json at the repo root; any benchmark more than 2x slower
+# than its committed ns_per_iter fails. Regenerate the baselines with
+#   cargo run --release -p psdns-bench --bin baseline
+cargo run --release -p psdns-bench --bin baseline --offline -q -- --smoke --check
+
 echo "CI OK"

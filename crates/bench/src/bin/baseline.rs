@@ -1,0 +1,359 @@
+//! Perf baseline runner: times the live compute kernels side by side with
+//! the frozen pre-Stockham [`ReferencePlan`] and writes the machine-readable
+//! baselines `BENCH_fft.json` and `BENCH_pipeline.json` (JSON Lines, same
+//! schema as the criterion shim's `CRITERION_JSON` output).
+//!
+//! Usage:
+//!
+//! ```text
+//! baseline [--smoke] [--check] [--out-dir DIR] [--factor F]
+//! ```
+//!
+//! * `--smoke`   — one timed iteration per benchmark (CI-friendly).
+//! * `--check`   — do not overwrite the committed baselines; instead compare
+//!   the fresh run against them and exit non-zero if any benchmark's
+//!   `ns_per_iter` regressed by more than `--factor` (default 2.0). Used by
+//!   the `bench-smoke` stage of `ci.sh`.
+//! * `--out-dir` — where the baselines live (default: current directory,
+//!   i.e. the workspace root under `cargo run`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use psdns_bench::{parse_bench_file, regressions, render_bench_file, BenchRecord};
+use psdns_comm::Universe;
+use psdns_core::{
+    A2aMode, GpuSlabFft, LocalShape, PencilFftCpu, PhysicalField, SlabFftCpu, Transform3d,
+};
+use psdns_device::{Device, DeviceConfig};
+use psdns_fft::{fft_3d, Complex64, Dims3, Direction, FftPlan, ManyPlan, ReferencePlan};
+
+struct Opts {
+    smoke: bool,
+    check: bool,
+    out_dir: PathBuf,
+    factor: f64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        check: false,
+        out_dir: PathBuf::from("."),
+        factor: 2.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--check" => opts.check = true,
+            "--out-dir" => {
+                opts.out_dir = PathBuf::from(args.next().expect("--out-dir needs a value"))
+            }
+            "--factor" => {
+                opts.factor = args
+                    .next()
+                    .expect("--factor needs a value")
+                    .parse()
+                    .expect("--factor must be a number")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Mean wall-clock nanoseconds per call of `f` over `iters` calls, after one
+/// warmup call (which also populates plan-owned scratch pools so steady-state
+/// behaviour is what gets timed).
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn record(group: &str, bench: &str, ns: f64, elems: usize) -> BenchRecord {
+    let r = BenchRecord {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        ns_per_iter: ns,
+        elems_per_sec: (ns > 0.0).then(|| elems as f64 / (ns * 1e-9)),
+    };
+    println!(
+        "{:<44} {:>14.0} ns/iter  {:>10.3} Melem/s",
+        r.key(),
+        ns,
+        elems as f64 / (ns * 1e-9) / 1e6
+    );
+    r
+}
+
+/// The pre-PR serial 3-D transform: the exact axis order of `fft_3d` but
+/// every 1-D line through the frozen recursive kernel and its per-line
+/// gather/scatter batch loop.
+fn ref_fft3d(plan: &ReferencePlan<f64>, data: &mut [Complex64], n: usize, dir: Direction) {
+    for z in 0..n {
+        let base = z * n * n;
+        plan.execute_many(&mut data[base..base + n * n], n, 1, n, dir);
+    }
+    for y in 0..n {
+        let base = y * n;
+        let end = base + (n - 1) * n * n + n;
+        plan.execute_many(&mut data[base..end], n * n, 1, n, dir);
+    }
+    plan.execute_many(data, 1, n, n * n, dir);
+}
+
+fn test_signal(len: usize) -> Vec<Complex64> {
+    (0..len)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+        .collect()
+}
+
+fn bench_fft(smoke: bool) -> Vec<BenchRecord> {
+    let mut recs = Vec::new();
+
+    // 1-D complex transforms: live Stockham kernel vs frozen recursive DIT.
+    for n in [256usize, 768] {
+        let iters = if smoke { 20 } else { 5000 };
+        let plan = FftPlan::<f64>::new(n);
+        let reference = ReferencePlan::<f64>::new(n);
+        let mut data = test_signal(n);
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len().max(n)];
+        let ns = time_ns(iters, || {
+            plan.execute_with_scratch(&mut data, &mut scratch, Direction::Forward)
+        });
+        recs.push(record("fft_c2c_1d", &format!("stockham/{n}"), ns, n));
+        let ns = time_ns(iters, || {
+            reference.execute_with_scratch(&mut data, &mut scratch, Direction::Forward)
+        });
+        recs.push(record("fft_c2c_1d", &format!("reference/{n}"), ns, n));
+    }
+
+    // Serial 3-D c2c — the acceptance benchmark: 256^3 single-rank, new
+    // kernel vs pre-PR kernel.
+    for n in [128usize, 256] {
+        let iters = if smoke { 1 } else { 3 };
+        let dims = Dims3::cube(n);
+        let reference = ReferencePlan::<f64>::new(n);
+        let mut data = test_signal(dims.len());
+        let ns = time_ns(iters, || fft_3d(&mut data, dims, Direction::Forward));
+        recs.push(record(
+            "fft3d_c2c",
+            &format!("stockham/{n}"),
+            ns,
+            dims.len(),
+        ));
+        let ns = time_ns(iters, || {
+            ref_fft3d(&reference, &mut data, n, Direction::Forward)
+        });
+        recs.push(record(
+            "fft3d_c2c",
+            &format!("reference/{n}"),
+            ns,
+            dims.len(),
+        ));
+    }
+
+    // Strided batch (pencil y-transform layout): cache-blocked tiles vs the
+    // old one-line-at-a-time gather/scatter.
+    {
+        let (n, width) = (256usize, 64usize);
+        let iters = if smoke { 5 } else { 500 };
+        let plan = ManyPlan::<f64>::new(n, width, 1, width);
+        let reference = ReferencePlan::<f64>::new(n);
+        let mut data = test_signal(n * width);
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        let ns = time_ns(iters, || {
+            plan.execute_with_scratch(&mut data, &mut scratch, Direction::Forward)
+        });
+        recs.push(record(
+            "fft_strided_many",
+            &format!("tiled/{n}x{width}"),
+            ns,
+            n * width,
+        ));
+        let ns = time_ns(iters, || {
+            reference.execute_many(&mut data, width, 1, width, Direction::Forward)
+        });
+        recs.push(record(
+            "fft_strided_many",
+            &format!("reference/{n}x{width}"),
+            ns,
+            n * width,
+        ));
+    }
+
+    // Contiguous batch on the persistent worker pool.
+    {
+        let (n, count) = (512usize, 256usize);
+        let iters = if smoke { 3 } else { 100 };
+        let plan = ManyPlan::<f64>::contiguous(n, count);
+        let mut data = test_signal(n * count);
+        for threads in [1usize, 4] {
+            let ns = time_ns(iters, || {
+                plan.execute_parallel(&mut data, Direction::Forward, threads)
+            });
+            recs.push(record(
+                "fft_parallel",
+                &format!("threads/{threads}"),
+                ns,
+                n * count,
+            ));
+        }
+    }
+
+    // Bluestein fallback (prime length) — no reference counterpart; tracked
+    // so the chirp path cannot silently regress.
+    {
+        let n = 509usize;
+        let iters = if smoke { 10 } else { 1000 };
+        let plan = FftPlan::<f64>::new(n);
+        let mut data = test_signal(n);
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        let ns = time_ns(iters, || {
+            plan.execute_with_scratch(&mut data, &mut scratch, Direction::Forward)
+        });
+        recs.push(record("fft_bluestein", &format!("stockham/{n}"), ns, n));
+    }
+
+    recs
+}
+
+fn bench_pipeline(smoke: bool) -> Vec<BenchRecord> {
+    // Laptop-scale distributed round trips (physical -> Fourier -> physical),
+    // mirroring `benches/pipeline_bench.rs`.
+    const N: usize = 32;
+    const P: usize = 2;
+    const NV: usize = 2;
+    let iters = if smoke { 1 } else { 5 };
+    let elems = N * N * N * NV;
+    let mut recs = Vec::new();
+
+    let make_phys = |shape: LocalShape, v: usize| -> PhysicalField<f64> {
+        let data = (0..shape.phys_len())
+            .map(|i| ((i + v * 37) as f64 * 0.013).sin())
+            .collect();
+        PhysicalField::from_data(shape, data)
+    };
+
+    let ns = time_ns(iters, || {
+        Universe::run(P, |comm| {
+            let shape = LocalShape::new(N, P, comm.rank());
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            let phys: Vec<_> = (0..NV).map(|v| make_phys(shape, v)).collect();
+            let spec = fft.physical_to_fourier(&phys);
+            fft.fourier_to_physical(&spec).len()
+        });
+    });
+    recs.push(record("pipeline_roundtrip", "cpu_slab", ns, elems));
+
+    let ns = time_ns(iters, || {
+        Universe::run(P, |comm| {
+            let shape = LocalShape::new(N, P, comm.rank());
+            let dev = Device::new(DeviceConfig::tiny(256 << 20));
+            dev.timeline().set_enabled(false);
+            let mut fft = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![dev])
+                .np(2)
+                .nv(NV)
+                .a2a_mode(A2aMode::PerSlab)
+                .build()
+                .expect("valid pipeline configuration");
+            let phys: Vec<_> = (0..NV).map(|v| make_phys(shape, v)).collect();
+            let spec = fft.physical_to_fourier(&phys);
+            fft.fourier_to_physical(&spec).len()
+        });
+    });
+    recs.push(record(
+        "pipeline_roundtrip",
+        "gpu_async_per_slab",
+        ns,
+        elems,
+    ));
+
+    let (pr, pc) = (2usize, 2usize);
+    let ns = time_ns(iters, || {
+        Universe::run(pr * pc, |comm| {
+            let mut fft = PencilFftCpu::<f64>::new(N, pr, pc, comm);
+            let phys: Vec<Vec<f64>> = (0..NV)
+                .map(|v| {
+                    (0..fft.phys_len())
+                        .map(|i| ((i + v * 37) as f64 * 0.013).sin())
+                        .collect()
+                })
+                .collect();
+            let spec = fft.physical_to_fourier(&phys);
+            fft.fourier_to_physical(&spec).len()
+        });
+    });
+    recs.push(record("pipeline_roundtrip", "pencil_cpu_2x2", ns, elems));
+
+    recs
+}
+
+type Suite = fn(bool) -> Vec<BenchRecord>;
+
+fn main() {
+    let opts = parse_args();
+    let suites: [(&str, Suite); 2] = [
+        ("BENCH_fft.json", bench_fft),
+        ("BENCH_pipeline.json", bench_pipeline),
+    ];
+
+    let mut failures = Vec::new();
+    for (file, run) in suites {
+        println!("== {file} ==");
+        let fresh = run(opts.smoke);
+        let path = opts.out_dir.join(file);
+        if opts.check {
+            let committed = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("--check needs committed {}: {e}", path.display()));
+            let baseline = parse_bench_file(&committed);
+            failures.extend(regressions(&baseline, &fresh, opts.factor));
+        } else {
+            std::fs::write(&path, render_bench_file(&fresh))
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            println!("wrote {}", path.display());
+        }
+    }
+
+    // Report the headline old->new ratio for the acceptance benchmark.
+    if !opts.check {
+        report_speedup(&opts);
+    }
+
+    if !failures.is_empty() {
+        eprintln!("bench-smoke: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn report_speedup(opts: &Opts) {
+    let path = opts.out_dir.join("BENCH_fft.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let recs = parse_bench_file(&text);
+    let find = |bench: &str| {
+        recs.iter()
+            .find(|r| r.group == "fft3d_c2c" && r.bench == bench)
+            .map(|r| r.ns_per_iter)
+    };
+    if let (Some(new), Some(old)) = (find("stockham/256"), find("reference/256")) {
+        println!(
+            "fft3d_c2c/256: reference {old:.0} ns -> stockham {new:.0} ns ({:.2}x speedup)",
+            old / new
+        );
+    }
+}

@@ -96,9 +96,169 @@ impl Table {
     }
 }
 
+/// One benchmark measurement, in the criterion shim's JSON Lines schema
+/// (`CRITERION_JSON`): `{"group", "bench", "ns_per_iter", "elems_per_sec"?}`.
+/// The baseline runner (`src/bin/baseline.rs`) emits and re-reads these, and
+/// the CI `bench-smoke` stage compares a fresh run against the committed
+/// `BENCH_fft.json` / `BENCH_pipeline.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub group: String,
+    pub bench: String,
+    pub ns_per_iter: f64,
+    pub elems_per_sec: Option<f64>,
+}
+
+impl BenchRecord {
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.group, self.bench)
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1}",
+            self.group, self.bench, self.ns_per_iter
+        );
+        if let Some(e) = self.elems_per_sec {
+            s.push_str(&format!(",\"elems_per_sec\":{e:.1}"));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one flat JSON object. Tolerates unknown keys (the criterion
+    /// shim also emits `bytes_per_sec`); returns `None` on malformed input
+    /// or missing required fields. String values must not contain commas —
+    /// true of every bench id in this workspace.
+    pub fn parse(line: &str) -> Option<Self> {
+        let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut group = None;
+        let mut bench = None;
+        let mut ns = None;
+        let mut eps = None;
+        for field in body.split(',') {
+            let (k, v) = field.split_once(':')?;
+            let key = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let v = v.trim();
+            if let Some(s) = v.strip_prefix('"') {
+                let s = s.strip_suffix('"')?;
+                match key {
+                    "group" => group = Some(s.to_string()),
+                    "bench" => bench = Some(s.to_string()),
+                    _ => {}
+                }
+            } else {
+                let num: f64 = v.parse().ok()?;
+                match key {
+                    "ns_per_iter" => ns = Some(num),
+                    "elems_per_sec" => eps = Some(num),
+                    _ => {}
+                }
+            }
+        }
+        Some(Self {
+            group: group?,
+            bench: bench?,
+            ns_per_iter: ns?,
+            elems_per_sec: eps,
+        })
+    }
+}
+
+/// Parse a JSON Lines benchmark file, skipping blank lines.
+pub fn parse_bench_file(text: &str) -> Vec<BenchRecord> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(BenchRecord::parse)
+        .collect()
+}
+
+pub fn render_bench_file(records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Compare a fresh run against a committed baseline: any benchmark whose
+/// `ns_per_iter` grew by more than `factor` is a regression. Benchmarks
+/// present in only one of the two sets are ignored (the baseline is
+/// regenerated whenever the suite changes).
+pub fn regressions(baseline: &[BenchRecord], fresh: &[BenchRecord], factor: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in baseline {
+        if let Some(f) = fresh.iter().find(|f| f.key() == b.key()) {
+            if f.ns_per_iter > b.ns_per_iter * factor {
+                out.push(format!(
+                    "{}: {:.0} ns -> {:.0} ns ({:.2}x > {factor}x allowed)",
+                    b.key(),
+                    b.ns_per_iter,
+                    f.ns_per_iter,
+                    f.ns_per_iter / b.ns_per_iter
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_record_roundtrip() {
+        let r = BenchRecord {
+            group: "fft_c2c_1d".into(),
+            bench: "stockham/256".into(),
+            ns_per_iter: 1234.5,
+            elems_per_sec: Some(2.0e8),
+        };
+        assert_eq!(BenchRecord::parse(&r.to_json()), Some(r.clone()));
+        let no_tp = BenchRecord {
+            elems_per_sec: None,
+            ..r
+        };
+        assert_eq!(BenchRecord::parse(&no_tp.to_json()), Some(no_tp));
+    }
+
+    #[test]
+    fn bench_record_parse_tolerates_unknown_keys() {
+        let line = r#"{"group":"g","bench":"b/8","ns_per_iter":10,"bytes_per_sec":99.0}"#;
+        let r = BenchRecord::parse(line).expect("parses");
+        assert_eq!(r.group, "g");
+        assert_eq!(r.bench, "b/8");
+        assert_eq!(r.ns_per_iter, 10.0);
+        assert_eq!(r.elems_per_sec, None);
+        assert_eq!(BenchRecord::parse("not json"), None);
+        assert_eq!(BenchRecord::parse("{\"group\":\"g\"}"), None);
+    }
+
+    #[test]
+    fn regressions_flag_only_slowdowns_beyond_factor() {
+        let base = vec![
+            BenchRecord {
+                group: "g".into(),
+                bench: "a".into(),
+                ns_per_iter: 100.0,
+                elems_per_sec: None,
+            },
+            BenchRecord {
+                group: "g".into(),
+                bench: "b".into(),
+                ns_per_iter: 100.0,
+                elems_per_sec: None,
+            },
+        ];
+        let mut fresh = base.clone();
+        fresh[0].ns_per_iter = 150.0; // within 2x
+        fresh[1].ns_per_iter = 250.0; // beyond 2x
+        let bad = regressions(&base, &fresh, 2.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].starts_with("g/b:"), "{bad:?}");
+    }
 
     #[test]
     fn table_renders_aligned() {

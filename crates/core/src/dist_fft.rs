@@ -22,6 +22,12 @@ pub struct SlabFftCpu<T: Real> {
     plan_z: ManyPlan<T>,
     plan_x: RealFftPlan<T>,
     scratch: Vec<Complex<T>>,
+    /// Reusable per-call workspaces (sized on first use, then steady-state
+    /// reuse: repeated transforms perform no send/slab/line allocations).
+    send: Vec<Complex<T>>,
+    yslab: Vec<Complex<T>>,
+    line: Vec<T>,
+    spec_line: Vec<Complex<T>>,
     /// Within-rank worker threads for the batched 1-D FFTs — the paper's
     /// hybrid MPI+OpenMP layer (§3.1: "a hybrid approach to further
     /// parallelize within a slab").
@@ -49,6 +55,10 @@ impl<T: Real> SlabFftCpu<T> {
             plan_z,
             plan_x,
             scratch: vec![Complex::zero(); scratch_len],
+            send: Vec::new(),
+            yslab: Vec::new(),
+            line: Vec::new(),
+            spec_line: Vec::new(),
             threads: 1,
         }
     }
@@ -130,7 +140,9 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         let span = tracer
             .as_ref()
             .map(|tr| tr.span(SpanKind::PackUnpack, "cpu", "pack-zslab"));
-        let mut send = vec![Complex::<T>::zero(); t.buf_len()];
+        let mut send = std::mem::take(&mut self.send);
+        send.clear();
+        send.resize(t.buf_len(), Complex::zero());
         for d in 0..s.p {
             for (v, w) in work.iter().enumerate() {
                 apply_chunks(&t.pack_from_zslab(d, v, 0..s.nxh), w, &mut send);
@@ -138,14 +150,19 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         }
         drop(span);
         let recv = self.comm.alltoall(&send);
+        self.send = send; // park for reuse
 
         // 3. Unpack to y-slabs, z-inverse, then x complex-to-real.
         let span = tracer
             .as_ref()
             .map(|tr| tr.span(SpanKind::FftCompute, "cpu", "fft-z-inverse+x-c2r"));
         let mut out = Vec::with_capacity(nv);
-        let mut yslab = vec![Complex::<T>::zero(); t.yslab_len()];
-        let mut line = vec![T::ZERO; s.n];
+        let mut yslab = std::mem::take(&mut self.yslab);
+        yslab.clear();
+        yslab.resize(t.yslab_len(), Complex::zero());
+        let mut line = std::mem::take(&mut self.line);
+        line.clear();
+        line.resize(s.n, T::ZERO);
         for v in 0..nv {
             for src in 0..s.p {
                 apply_chunks(&t.unpack_to_yslab(src, v, 0..s.my), &recv, &mut yslab);
@@ -166,6 +183,8 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
             }
             out.push(phys);
         }
+        self.yslab = yslab;
+        self.line = line;
         drop(span);
         out
     }
@@ -181,9 +200,15 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         let span = tracer
             .as_ref()
             .map(|tr| tr.span(SpanKind::FftCompute, "cpu", "fft-x-r2c+z-forward"));
-        let mut send = vec![Complex::<T>::zero(); t.buf_len()];
-        let mut yslab = vec![Complex::<T>::zero(); t.yslab_len()];
-        let mut spec_line = vec![Complex::<T>::zero(); s.nxh];
+        let mut send = std::mem::take(&mut self.send);
+        send.clear();
+        send.resize(t.buf_len(), Complex::zero());
+        let mut yslab = std::mem::take(&mut self.yslab);
+        yslab.clear();
+        yslab.resize(t.yslab_len(), Complex::zero());
+        let mut spec_line = std::mem::take(&mut self.spec_line);
+        spec_line.clear();
+        spec_line.resize(s.nxh, Complex::zero());
         for (v, f) in phys.iter().enumerate() {
             assert_eq!(f.shape, s, "field shape mismatch");
             for z in 0..s.n {
@@ -208,6 +233,9 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
 
         // 2. Transpose back.
         let recv = self.comm.alltoall(&send);
+        self.send = send;
+        self.yslab = yslab;
+        self.spec_line = spec_line;
 
         // 3. Unpack to z-slabs and y-forward.
         let span = tracer

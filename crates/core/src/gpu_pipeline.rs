@@ -40,7 +40,7 @@ use psdns_device::{
     Copy2d, Device, DeviceBuffer, DeviceConfig, DeviceError, Event, PinnedBuffer, Stream,
 };
 use psdns_domain::decomp::{GpuSplit, PencilSplit};
-use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan, ScratchPool};
 use psdns_sync::Mutex;
 
 use crate::dist_fft::SlabFftCpu;
@@ -130,6 +130,7 @@ pub struct GpuFftBuilder<T: Real> {
     cpu_fallback: bool,
     a2a_watchdog: Option<std::time::Duration>,
     schedule_log: Option<OrderingLog>,
+    host_threads: usize,
     _marker: std::marker::PhantomData<T>,
 }
 
@@ -146,6 +147,7 @@ impl<T: Real> GpuFftBuilder<T> {
             cpu_fallback: false,
             a2a_watchdog: None,
             schedule_log: None,
+            host_threads: 1,
             _marker: std::marker::PhantomData,
         }
     }
@@ -207,6 +209,16 @@ impl<T: Real> GpuFftBuilder<T> {
     /// performs no extra collective.
     pub fn cpu_fallback(mut self, enable: bool) -> Self {
         self.cpu_fallback = enable;
+        self
+    }
+
+    /// Worker threads for the host-side compute stages of the simulated
+    /// kernels — the batched y/z transforms inside kernel closures fan out
+    /// over the persistent worker pool in `psdns-sync` (the paper's
+    /// within-socket OpenMP layer). Default 1 (serial).
+    pub fn host_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        self.host_threads = threads;
         self
     }
 
@@ -301,6 +313,7 @@ impl<T: Real> GpuFftBuilder<T> {
         fft.fallback_to_cpu = self.cpu_fallback;
         fft.nv_hint = self.nv;
         fft.recorder = self.schedule_log;
+        fft.host_threads = self.host_threads;
         Ok(fft)
     }
 }
@@ -350,6 +363,13 @@ pub struct GpuSlabFft<T: Real> {
     /// pipeline logs host-side staging accesses and event joins here (the
     /// devices log stream ops themselves).
     recorder: Option<OrderingLog>,
+    /// Worker threads for the host-side compute stages of the simulated
+    /// kernels (1 = serial); see [`GpuFftBuilder::host_threads`].
+    host_threads: usize,
+    /// Pooled workspace for the c2r/r2c kernel closures — shared across
+    /// launches so steady-state kernels allocate nothing.
+    kscratch: Arc<ScratchPool<Complex<T>>>,
+    kline: Arc<ScratchPool<T>>,
 }
 
 struct CallBuffers<T: Real> {
@@ -450,6 +470,9 @@ impl<T: Real> GpuSlabFft<T> {
             cpu: None,
             nv_hint: 1,
             recorder: None,
+            host_threads: 1,
+            kscratch: Arc::new(ScratchPool::new()),
+            kline: Arc::new(ScratchPool::new()),
         }
     }
 
@@ -699,7 +722,9 @@ impl<T: Real> GpuSlabFft<T> {
     /// paths interleave collectives correctly.
     fn cpu_backend(&mut self) -> &mut SlabFftCpu<T> {
         if self.cpu.is_none() {
-            self.cpu = Some(SlabFftCpu::new(self.shape, self.comm.clone()));
+            self.cpu = Some(
+                SlabFftCpu::new(self.shape, self.comm.clone()).with_threads(self.host_threads),
+            );
         }
         self.cpu.as_mut().expect("just installed")
     }
@@ -843,19 +868,19 @@ impl<T: Real> GpuSlabFft<T> {
                     let plan = self.plan_many(xw, xw);
                     let kbuf = cbuf.clone();
                     let (n, mz) = (s.n, s.mz);
+                    let ht = self.host_threads;
                     cstream.launch_traced(
                         "fft-y-inverse",
                         rw_device(cbuf.id(), nv * xw * s.n * s.mz),
                         move || {
                             let mut d = kbuf.lock_mut();
-                            let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
                             for v in 0..nv {
                                 for zl in 0..mz {
                                     let base = v * xw * n * mz + zl * xw * n;
-                                    plan.execute_with_scratch(
+                                    plan.execute_parallel(
                                         &mut d[base..base + xw * n],
-                                        &mut scratch,
                                         Direction::Inverse,
+                                        ht,
                                     );
                                 }
                             }
@@ -994,6 +1019,9 @@ impl<T: Real> GpuSlabFft<T> {
                         let (cb, rb) = (cbuf.clone(), rbuf.clone());
                         let (n, nxh, myw) = (s.n, s.nxh, yw);
                         let rpiece = n * yw * n;
+                        let ht = self.host_threads;
+                        let kscratch = Arc::clone(&self.kscratch);
+                        let kline = Arc::clone(&self.kline);
                         let mut accesses = rw_device(cbuf.id(), nv * piece);
                         accesses.push(Access::write(
                             rbuf.id(),
@@ -1004,31 +1032,30 @@ impl<T: Real> GpuSlabFft<T> {
                         cstream.launch_traced("fft-z-inverse+x-c2r", accesses, move || {
                             let mut c = cb.lock_mut();
                             let mut r = rb.lock_mut();
-                            let mut scratch = vec![
-                                Complex::<T>::zero();
-                                plan_z.scratch_len().max(plan_x.scratch_len())
-                            ];
-                            let mut line = vec![T::ZERO; n];
+                            let mut scratch = kscratch.take(plan_x.scratch_len());
+                            let mut line = kline.take(n);
                             for v in 0..nv {
                                 let base = v * piece;
-                                plan_z.execute_with_scratch(
+                                plan_z.execute_parallel(
                                     &mut c[base..base + piece],
-                                    &mut scratch,
                                     Direction::Inverse,
+                                    ht,
                                 );
                                 for z in 0..n {
                                     for yl in 0..myw {
                                         let sb = base + nxh * (yl + myw * z);
                                         plan_x.inverse_with_scratch(
                                             &c[sb..sb + nxh],
-                                            &mut line,
+                                            &mut line[..n],
                                             &mut scratch,
                                         );
                                         let db = v * rpiece + n * (yl + myw * z);
-                                        r[db..db + n].copy_from_slice(&line);
+                                        r[db..db + n].copy_from_slice(&line[..n]);
                                     }
                                 }
                             }
+                            kscratch.give(scratch);
+                            kline.give(line);
                         });
                         cstream.record(&compute2_done[jp][g]);
                     }
@@ -1219,6 +1246,8 @@ impl<T: Real> GpuSlabFft<T> {
                     let plan_x = Arc::clone(&self.plan_x);
                     let (cb, rb) = (cbuf.clone(), rbuf.clone());
                     let (n, nxh, myw) = (s.n, s.nxh, yw);
+                    let ht = self.host_threads;
+                    let kscratch = Arc::clone(&self.kscratch);
                     let mut accesses = rw_device(cbuf.id(), nv * piece);
                     accesses.push(Access::read(
                         rbuf.id(),
@@ -1229,11 +1258,8 @@ impl<T: Real> GpuSlabFft<T> {
                     cstream.launch_traced("fft-x-r2c+z-forward", accesses, move || {
                         let r = rb.lock();
                         let mut c = cb.lock_mut();
-                        let mut scratch = vec![
-                            Complex::<T>::zero();
-                            plan_z.scratch_len().max(plan_x.scratch_len())
-                        ];
-                        let mut line = vec![Complex::<T>::zero(); nxh];
+                        let mut scratch = kscratch.take(plan_x.scratch_len());
+                        let mut line = kscratch.take(nxh);
                         for v in 0..nv {
                             let base = v * piece;
                             for z in 0..n {
@@ -1241,19 +1267,21 @@ impl<T: Real> GpuSlabFft<T> {
                                     let sb = v * rpiece + n * (yl + myw * z);
                                     plan_x.forward_with_scratch(
                                         &r[sb..sb + n],
-                                        &mut line,
+                                        &mut line[..nxh],
                                         &mut scratch,
                                     );
                                     let db = base + nxh * (yl + myw * z);
-                                    c[db..db + nxh].copy_from_slice(&line);
+                                    c[db..db + nxh].copy_from_slice(&line[..nxh]);
                                 }
                             }
-                            plan_z.execute_with_scratch(
+                            plan_z.execute_parallel(
                                 &mut c[base..base + piece],
-                                &mut scratch,
                                 Direction::Forward,
+                                ht,
                             );
                         }
+                        kscratch.give(scratch);
+                        kscratch.give(line);
                     });
                     cstream.record(&compute_done[jp][g]);
                 }
@@ -1381,19 +1409,19 @@ impl<T: Real> GpuSlabFft<T> {
                     let plan = self.plan_many(xw, xw);
                     let kbuf = cbuf.clone();
                     let (n, mz) = (s.n, s.mz);
+                    let ht = self.host_threads;
                     cstream.launch_traced(
                         "fft-y-forward",
                         rw_device(cbuf.id(), nv * xw * s.n * s.mz),
                         move || {
                             let mut d = kbuf.lock_mut();
-                            let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
                             for v in 0..nv {
                                 for zl in 0..mz {
                                     let base = v * xw * n * mz + zl * xw * n;
-                                    plan.execute_with_scratch(
+                                    plan.execute_parallel(
                                         &mut d[base..base + xw * n],
-                                        &mut scratch,
                                         Direction::Forward,
+                                        ht,
                                     );
                                 }
                             }
@@ -1749,6 +1777,56 @@ mod tests {
         // Fig. 5: 3 devices per rank, pencils split vertically.
         run_equivalence(12, 2, 2, 2, A2aMode::PerSlab, 3);
         run_equivalence(12, 2, 1, 2, A2aMode::PerPencil, 2);
+    }
+
+    #[test]
+    fn host_threads_match_serial_kernels() {
+        // The batched y/z transforms inside kernel closures fan out over the
+        // persistent worker pool; results must be bitwise-independent of the
+        // thread count.
+        let (n, p, nv) = (12, 2, 2);
+        let errs = Universe::run(p, move |comm| {
+            let shape = LocalShape::new(n, p, comm.rank());
+            let mk = |threads: usize, comm: psdns_comm::Communicator| {
+                GpuSlabFft::<f64>::builder(shape)
+                    .comm(comm)
+                    .devices(vec![Device::new(DeviceConfig::tiny(1 << 22))])
+                    .np(2)
+                    .nv(nv)
+                    .host_threads(threads)
+                    .build()
+                    .expect("valid test configuration")
+            };
+            let mut serial = mk(1, comm.clone());
+            let mut threaded = mk(4, comm.clone());
+            let phys: Vec<PhysicalField<f64>> = (0..nv)
+                .map(|v| {
+                    let data = (0..shape.phys_len())
+                        .map(|i| ((i * (3 * v + 5) + shape.rank * 11) as f64 * 0.0193).cos())
+                        .collect();
+                    PhysicalField::from_data(shape, data)
+                })
+                .collect();
+            let a = serial.try_physical_to_fourier(&phys).expect("fits");
+            let b = threaded.try_physical_to_fourier(&phys).expect("fits");
+            let pa = serial.try_fourier_to_physical(&a).expect("fits");
+            let pb = threaded.try_fourier_to_physical(&a).expect("fits");
+            let mut err = 0.0f64;
+            for (x, y) in a.iter().zip(&b) {
+                for (u, v) in x.data.iter().zip(&y.data) {
+                    err = err.max((*u - *v).abs());
+                }
+            }
+            for (x, y) in pa.iter().zip(&pb) {
+                for (u, v) in x.data.iter().zip(&y.data) {
+                    err = err.max((u - v).abs());
+                }
+            }
+            err
+        });
+        for e in errs {
+            assert!(e < 1e-12, "threaded kernels diverged: err {e}");
+        }
     }
 
     #[test]

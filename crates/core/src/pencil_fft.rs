@@ -33,7 +33,17 @@ pub struct PencilFftCpu<T: Real> {
     /// x range owned in the Fourier/mid phases (split of nxh over pr).
     xr: std::ops::Range<usize>,
     plan_x: RealFftPlan<T>,
+    /// y lines on y-pencils: stride xw, one batch per x (per z plane).
+    plan_y: ManyPlan<T>,
+    /// z lines on z-pencils: stride xw·yw, one batch per (x, yl).
+    plan_z: ManyPlan<T>,
     scratch: Vec<Complex<T>>,
+    /// Shared workspace for the batched y/z transforms.
+    cscratch: Vec<Complex<T>>,
+    /// Reusable alltoallv staging buffer.
+    sendv: Vec<Complex<T>>,
+    /// Within-rank worker threads for the batched 1-D FFTs (1 = serial).
+    threads: usize,
 }
 
 impl<T: Real> PencilFftCpu<T> {
@@ -48,6 +58,11 @@ impl<T: Real> PencilFftCpu<T> {
         let xr = split_even(nxh, pr, coords.0);
         let plan_x = RealFftPlan::new(n);
         let scratch = vec![Complex::zero(); plan_x.scratch_len() + 4 * n];
+        let xw = xr.len();
+        let yw = n / pc;
+        let plan_y = ManyPlan::new(n, xw, 1, xw);
+        let plan_z = ManyPlan::new(n, xw * yw, 1, xw * yw);
+        let cscratch = vec![Complex::zero(); plan_y.scratch_len().max(plan_z.scratch_len())];
         Self {
             decomp,
             coords,
@@ -57,7 +72,40 @@ impl<T: Real> PencilFftCpu<T> {
             nxh,
             xr,
             plan_x,
+            plan_y,
+            plan_z,
             scratch,
+            cscratch,
+            sendv: Vec::new(),
+            threads: 1,
+        }
+    }
+
+    /// Enable hybrid within-rank threading: the batched y/z transforms fan
+    /// out over the persistent worker pool (1 = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1);
+        self.threads = threads;
+        self
+    }
+
+    /// In-place z transform of one z-pencil (all lines, stride xw·yw).
+    fn z_transform(&mut self, buf: &mut [Complex<T>], dir: Direction) {
+        if self.threads > 1 {
+            self.plan_z.execute_parallel(buf, dir, self.threads);
+        } else {
+            self.plan_z
+                .execute_with_scratch(buf, &mut self.cscratch, dir);
+        }
+    }
+
+    /// In-place y transform of one z plane of a y-pencil (stride xw).
+    fn y_transform(&mut self, plane: &mut [Complex<T>], dir: Direction) {
+        if self.threads > 1 {
+            self.plan_y.execute_parallel(plane, dir, self.threads);
+        } else {
+            self.plan_y
+                .execute_with_scratch(plane, &mut self.cscratch, dir);
         }
     }
 
@@ -112,17 +160,14 @@ impl<T: Real> PencilFftCpu<T> {
         let (xw, pc, pr) = (self.xw(), self.decomp.pc, self.decomp.pr);
 
         // 1. z-inverse on z-pencils (full z, stride xw·yw).
-        let plan_z = ManyPlan::new(n, xw * yw, 1, xw * yw);
-        let mut zscratch = vec![Complex::<T>::zero(); plan_z.scratch_len()];
-        let work: Vec<Vec<Complex<T>>> = specs
-            .iter()
-            .map(|f| {
-                assert_eq!(f.len(), self.spec_len());
-                let mut w = f.clone();
-                plan_z.execute_with_scratch(&mut w, &mut zscratch, Direction::Inverse);
-                w
-            })
-            .collect();
+        let mut work: Vec<Vec<Complex<T>>> = Vec::with_capacity(nv);
+        for f in specs {
+            assert_eq!(f.len(), self.spec_len());
+            let mut w = f.clone();
+            self.z_transform(&mut w, Direction::Inverse);
+            work.push(w);
+        }
+        let work = work;
 
         // 2. Row exchange (z ↔ y): send z-range d to row member d.
         //    Block order within a chunk: (v, zl, yl, xl).
@@ -160,23 +205,18 @@ impl<T: Real> PencilFftCpu<T> {
         }
 
         // 3. y-inverse (stride xw) on each z plane of the y-pencils.
-        let plan_y = ManyPlan::new(n, xw, 1, xw);
-        let mut yscratch = vec![Complex::<T>::zero(); plan_y.scratch_len()];
         for m in &mut mid {
             for zl in 0..zw {
                 let base = zl * xw * n;
-                plan_y.execute_with_scratch(
-                    &mut m[base..base + xw * n],
-                    &mut yscratch,
-                    Direction::Inverse,
-                );
+                self.y_transform(&mut m[base..base + xw * n], Direction::Inverse);
             }
         }
 
         // 4. Column exchange (y ↔ x): uneven x widths → alltoallv.
         //    Send to column member d its y-range, all of our x.
         let my2 = n / pr; // y per rank after this exchange (= my)
-        let mut sendv = Vec::new();
+        let mut sendv = std::mem::take(&mut self.sendv);
+        sendv.clear();
         let mut counts = Vec::with_capacity(pr);
         for d in 0..pr {
             let before = sendv.len();
@@ -192,6 +232,7 @@ impl<T: Real> PencilFftCpu<T> {
             counts.push(sendv.len() - before);
         }
         let (recvv, rcounts) = self.col_comm.alltoallv(&sendv, &counts);
+        self.sendv = sendv; // park for reuse
 
         // Assemble full-x spectral pencils (nxh, my2, zw) and c2r transform.
         let mut out = Vec::with_capacity(nv);
@@ -267,7 +308,8 @@ impl<T: Real> PencilFftCpu<T> {
         }
 
         // 2. Column exchange (x ↔ y): send x-range of member d, keep our y.
-        let mut sendv = Vec::new();
+        let mut sendv = std::mem::take(&mut self.sendv);
+        sendv.clear();
         let mut counts = Vec::with_capacity(pr);
         for d in 0..pr {
             let dxr = split_even(self.nxh, pr, d);
@@ -283,7 +325,8 @@ impl<T: Real> PencilFftCpu<T> {
             counts.push(sendv.len() - before);
         }
         let (recvv, rcounts) = self.col_comm.alltoallv(&sendv, &counts);
-        // Mid layout (xw, n, zw): y from source s at s·my2….
+        self.sendv = sendv; // park for reuse
+                            // Mid layout (xw, n, zw): y from source s at s·my2….
         let mid_len = xw * n * zw;
         let mut mid: Vec<Vec<Complex<T>>> =
             (0..nv).map(|_| vec![Complex::zero(); mid_len]).collect();
@@ -305,16 +348,10 @@ impl<T: Real> PencilFftCpu<T> {
         }
 
         // 3. y-forward.
-        let plan_y = ManyPlan::new(n, xw, 1, xw);
-        let mut yscratch = vec![Complex::<T>::zero(); plan_y.scratch_len()];
         for m in &mut mid {
             for zl in 0..zw {
                 let base = zl * xw * n;
-                plan_y.execute_with_scratch(
-                    &mut m[base..base + xw * n],
-                    &mut yscratch,
-                    Direction::Forward,
-                );
+                self.y_transform(&mut m[base..base + xw * n], Direction::Forward);
             }
         }
 
@@ -351,10 +388,8 @@ impl<T: Real> PencilFftCpu<T> {
         }
 
         // 5. z-forward.
-        let plan_z = ManyPlan::new(n, xw * yw, 1, xw * yw);
-        let mut zscratch = vec![Complex::<T>::zero(); plan_z.scratch_len()];
         for o in &mut out {
-            plan_z.execute_with_scratch(o, &mut zscratch, Direction::Forward);
+            self.z_transform(o, Direction::Forward);
         }
         out
     }
@@ -433,6 +468,43 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn threaded_pencil_matches_serial() {
+        // Hybrid within-rank threading must be bit-compatible with the
+        // serial path at the comparison tolerance.
+        let n = 12;
+        let (pr, pc) = (2, 2);
+        let errs = Universe::run(pr * pc, move |comm| {
+            let mut serial = PencilFftCpu::<f64>::new(n, pr, pc, comm.clone());
+            let mut hybrid = PencilFftCpu::<f64>::new(n, pr, pc, comm).with_threads(4);
+            let phys: Vec<Vec<f64>> = (0..2)
+                .map(|v| {
+                    (0..serial.phys_len())
+                        .map(|i| ((i + v * 17) as f64 * 0.037).sin())
+                        .collect()
+                })
+                .collect();
+            let a = serial.physical_to_fourier(&phys);
+            let b = hybrid.physical_to_fourier(&phys);
+            let mut err = 0.0f64;
+            for (x, y) in a.iter().zip(&b) {
+                for (u, v) in x.iter().zip(y) {
+                    err = err.max((*u - *v).abs());
+                }
+            }
+            let back = hybrid.fourier_to_physical(&b);
+            for (x, y) in back.iter().zip(&phys) {
+                for (u, v) in x.iter().zip(y) {
+                    err = err.max((u - v).abs());
+                }
+            }
+            err
+        });
+        for e in errs {
+            assert!(e < 1e-9, "threaded pencil differs: {e}");
         }
     }
 

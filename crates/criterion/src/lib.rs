@@ -6,9 +6,17 @@
 //! macros — with plain wall-clock sampling and a text report instead of the
 //! statistical machinery. Good enough to spot order-of-magnitude regressions
 //! and to keep `cargo bench`/`--all-targets` compiling without network access.
+//!
+//! Setting `CRITERION_JSON=<path>` additionally appends one JSON record per
+//! measurement to `<path>` (JSON Lines: `{"group", "bench", "ns_per_iter",
+//! "elems_per_sec"?, "bytes_per_sec"?}`), which is what `psdns-bench`'s
+//! baseline runner and the CI `bench-smoke` stage consume. The text report
+//! is unchanged either way.
 
 use std::fmt;
 use std::hint;
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity, re-exported for bench bodies.
@@ -148,25 +156,85 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("{}/{:<40} {:>12.3?}{}", self.name, id, mean, rate);
+        if let Some(path) = &self.criterion.json {
+            let mut rec = format!(
+                "{{\"group\":{},\"bench\":{},\"ns_per_iter\":{}",
+                json_string(&self.name),
+                json_string(id),
+                mean.as_nanos()
+            );
+            match self.throughput {
+                Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b))
+                    if per_iter > 0.0 =>
+                {
+                    rec.push_str(&format!(",\"bytes_per_sec\":{:.1}", b as f64 / per_iter));
+                }
+                Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                    rec.push_str(&format!(",\"elems_per_sec\":{:.1}", n as f64 / per_iter));
+                }
+                _ => {}
+            }
+            rec.push('}');
+            if let Err(e) = append_line(path, &rec) {
+                eprintln!("criterion: cannot append to {}: {e}", path.display());
+            }
+        }
     }
+}
+
+/// Minimal JSON string escaping — bench ids are plain identifiers, but keep
+/// quotes and backslashes safe anyway.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn append_line(path: &PathBuf, line: &str) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
 }
 
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     quick: bool,
+    json: Option<PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // CRITERION_QUICK=1 collapses sampling to a single timed iteration so
-        // CI can smoke-run every bench target quickly.
+        // CI can smoke-run every bench target quickly. CRITERION_JSON=<path>
+        // appends machine-readable records alongside the text report.
         Self {
             quick: std::env::var_os("CRITERION_QUICK").is_some(),
+            json: std::env::var_os("CRITERION_JSON").map(PathBuf::from),
         }
     }
 }
 
 impl Criterion {
+    /// Route JSON records to `path` regardless of `CRITERION_JSON` (used by
+    /// the baseline runner, which owns its output location).
+    pub fn with_json_output(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json = Some(path.into());
+        self
+    }
+
     pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.to_string(),
@@ -235,5 +303,39 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("copy", 512).to_string(), "copy/512");
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn json_records_appended() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!(
+            "../../target/criterion-shim-json-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion::default().with_json_output(&path);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(1000));
+            g.bench_function("work", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+            g.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| black_box(7)));
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one record per measurement: {text}");
+        assert!(lines[0].starts_with("{\"group\":\"grp\",\"bench\":\"work\""));
+        assert!(lines[0].contains("\"ns_per_iter\":"));
+        assert!(lines[0].contains("\"elems_per_sec\":"));
+        assert!(lines[1].starts_with("{\"group\":\"plain\",\"bench\":\"\""));
+        assert!(!lines[1].contains("elems_per_sec"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("plain/8"), "\"plain/8\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("n\nl"), "\"n\\nl\"");
     }
 }

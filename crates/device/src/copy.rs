@@ -83,11 +83,21 @@ impl Copy2d {
 }
 
 fn copy_rows<T: Copy>(p: &Copy2d, src: &[T], dst: &mut [T]) {
-    for r in 0..p.height {
-        let s = p.src_offset + r * p.src_pitch;
-        let d = p.dst_offset + r * p.dst_pitch;
-        dst[d..d + p.width].copy_from_slice(&src[s..s + p.width]);
-    }
+    // Shared cache-blocked 2-D copy kernel (same one ManyPlan uses for its
+    // tile transposes). Both sides are row-contiguous here, so it runs the
+    // memcpy-per-row fast path.
+    psdns_fft::tile::copy_grid(
+        src,
+        p.src_offset,
+        p.src_pitch,
+        1,
+        dst,
+        p.dst_offset,
+        p.dst_pitch,
+        1,
+        p.height,
+        p.width,
+    );
 }
 
 impl Stream {

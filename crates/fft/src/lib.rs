@@ -7,17 +7,22 @@
 //!
 //! ## Capabilities
 //!
-//! * complex-to-complex transforms of any length via mixed-radix
-//!   Cooley–Tukey (dedicated radix-2/3/4/5 butterflies, generic small-prime
-//!   butterfly, and Bluestein's algorithm for large prime factors);
+//! * complex-to-complex transforms of any length via an iterative Stockham
+//!   autosort kernel (dedicated radix-2/3/4/5/8 codelets with per-stage
+//!   twiddle tables, generic small-prime stage, and Bluestein's algorithm
+//!   for large prime factors);
 //! * real-to-complex / complex-to-real transforms of even lengths using the
 //!   half-length packing trick (the paper transforms real velocity fields in
 //!   the x direction, complex in y and z);
 //! * a cuFFT-style *advanced data layout* ("many") interface with arbitrary
 //!   `stride` and `dist`, used by the solver to transform pencils without
-//!   reordering, exactly as discussed in paper §3.3;
+//!   reordering, exactly as discussed in paper §3.3 — strided batches run
+//!   in cache-blocked tiles ([`tile`]) and can fan out over the persistent
+//!   worker pool in `psdns-sync` ([`ManyPlan::execute_parallel`]);
 //! * serial 2-D/3-D helpers used as the ground truth for the distributed
-//!   transpose-based transforms in `psdns-core`.
+//!   transpose-based transforms in `psdns-core`;
+//! * a frozen copy of the pre-Stockham recursive kernel ([`reference`])
+//!   that the perf baseline runner times side by side with the live one.
 //!
 //! ## Conventions
 //!
@@ -47,6 +52,9 @@ pub mod many;
 pub mod nd;
 pub mod plan;
 pub mod real;
+pub mod reference;
+pub mod scratch;
+pub mod tile;
 
 pub use complex::{Complex, Complex32, Complex64, Real};
 pub use dft::{dft_naive, idft_naive};
@@ -54,6 +62,8 @@ pub use many::ManyPlan;
 pub use nd::{fft_2d, fft_3d, Dims3};
 pub use plan::{Direction, FftPlan};
 pub use real::RealFftPlan;
+pub use reference::ReferencePlan;
+pub use scratch::ScratchPool;
 
 /// Returns true when `n` is a product of the radices {2,3,5} only —
 /// "FFT friendly" sizes in the sense of paper §3.5 ("N be powers of 2 or at

@@ -2,9 +2,20 @@
 //! `cufftPlanMany` advanced data layout, which the paper's code uses to
 //! transform whole pencils of lines in one call ("Strided FFTs are performed
 //! in the y direction to avoid reordering on the GPU", Fig. 6).
+//!
+//! Strided batches are processed in cache-blocked tiles: a tile of lines is
+//! transposed into contiguous scratch with the blocked copy kernel from
+//! [`crate::tile`], transformed back-to-back while hot in cache, and
+//! scattered back. Compared to the old line-at-a-time gather this amortizes
+//! the strided traffic over [`tile::BLOCK`]-wide sub-tiles instead of
+//! streaming one `n·stride` footprint per line. Parallel execution hands
+//! tile (or batch) ranges to the persistent worker pool in `psdns-sync` —
+//! no thread spawns and no steady-state heap allocation per call.
 
 use crate::complex::{Complex, Real};
 use crate::plan::{Direction, FftPlan};
+use crate::scratch::ScratchPool;
+use crate::tile;
 
 /// A plan that executes `count` transforms of length `n` over a strided
 /// layout: element `i` of batch `b` lives at `data[b·dist + i·stride]`.
@@ -14,6 +25,13 @@ pub struct ManyPlan<T: Real> {
     stride: usize,
     dist: usize,
     count: usize,
+    /// Lines per tile on the strided path: sized so a tile (`tile·n`
+    /// complex elements) stays within a few hundred KiB of cache, with
+    /// enough lines to amortize the blocked transpose.
+    tile: usize,
+    /// Reusable workspace for the allocating entry points and the parallel
+    /// path (one parked buffer per concurrent user after warm-up).
+    scratch: ScratchPool<Complex<T>>,
 }
 
 impl<T: Real> ManyPlan<T> {
@@ -29,6 +47,8 @@ impl<T: Real> ManyPlan<T> {
             stride,
             dist,
             count,
+            tile: (8192 / n).clamp(4, 64).min(count.max(1)),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -42,7 +62,7 @@ impl<T: Real> ManyPlan<T> {
     }
 
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
     pub fn count(&self) -> usize {
@@ -60,14 +80,16 @@ impl<T: Real> ManyPlan<T> {
         if self.stride == 1 {
             self.plan.scratch_len()
         } else {
-            self.n + self.plan.scratch_len()
+            self.tile * self.n + self.plan.scratch_len()
         }
     }
 
-    /// Execute all batches in place, allocating scratch.
+    /// Execute all batches in place, using the plan's pooled scratch (no
+    /// steady-state allocation).
     pub fn execute(&self, data: &mut [Complex<T>], dir: Direction) {
-        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        let mut scratch = self.scratch.take(self.scratch_len());
         self.execute_with_scratch(data, &mut scratch, dir);
+        self.scratch.give(scratch);
     }
 
     /// Execute all batches in place with caller-provided scratch.
@@ -90,14 +112,26 @@ impl<T: Real> ManyPlan<T> {
                 self.plan
                     .execute_with_scratch(&mut data[start..start + self.n], scratch, dir);
             }
+        } else if self.batches_disjoint() {
+            // Tiled path: transpose `tile` lines into contiguous scratch
+            // with the blocked copy kernel, transform them while hot, and
+            // scatter back. The paper observed strided vs. reordered lines
+            // cost about the same on Summit once reordering cost is
+            // included (§3.3); blocking keeps that reordering in-cache.
+            let (tilebuf, inner) = scratch.split_at_mut(self.tile * self.n);
+            let mut b0 = 0;
+            while b0 < self.count {
+                let t = self.tile.min(self.count - b0);
+                self.run_tile(data, tilebuf, inner, b0, t, dir);
+                b0 += t;
+            }
         } else {
-            let (line, inner) = scratch.split_at_mut(self.n);
+            // Overlapping batches (dist striding into a line's footprint):
+            // preserve the strict batch-order line-at-a-time semantics.
+            let (line, inner) = scratch.split_at_mut(self.tile * self.n);
+            let line = &mut line[..self.n];
             for b in 0..self.count {
                 let base = b * self.dist;
-                // Gather the strided line, transform, scatter back. The paper
-                // observed strided vs. reordered lines cost about the same on
-                // Summit once reordering cost is included (§3.3); we pay the
-                // gather here explicitly.
                 for i in 0..self.n {
                     line[i] = data[base + i * self.stride];
                 }
@@ -107,6 +141,47 @@ impl<T: Real> ManyPlan<T> {
                 }
             }
         }
+    }
+
+    /// Gather → transform → scatter one tile of `t` strided lines starting
+    /// at batch `b0`.
+    fn run_tile(
+        &self,
+        data: &mut [Complex<T>],
+        tilebuf: &mut [Complex<T>],
+        inner: &mut [Complex<T>],
+        b0: usize,
+        t: usize,
+        dir: Direction,
+    ) {
+        tile::copy_grid(
+            data,
+            b0 * self.dist,
+            self.dist,
+            self.stride,
+            tilebuf,
+            0,
+            self.n,
+            1,
+            t,
+            self.n,
+        );
+        for l in 0..t {
+            self.plan
+                .execute_with_scratch(&mut tilebuf[l * self.n..(l + 1) * self.n], inner, dir);
+        }
+        tile::copy_grid(
+            tilebuf,
+            0,
+            self.n,
+            1,
+            data,
+            b0 * self.dist,
+            self.dist,
+            self.stride,
+            t,
+            self.n,
+        );
     }
 }
 
@@ -178,15 +253,62 @@ mod tests {
         // last touched index: (3-1)*1 + (4-1)*3 = 11 → len 12
         assert_eq!(many.required_len(), 12);
     }
+
+    #[test]
+    fn is_empty_reflects_length() {
+        assert!(!ManyPlan::<f64>::contiguous(8, 2).is_empty());
+    }
+
+    #[test]
+    fn many_tiles_strided_matches_per_column_dft() {
+        // count larger than the tile size so the tiled loop runs several
+        // full tiles plus a ragged tail.
+        let n = 8;
+        let count = 150; // tile for n=8 is 64 → tiles of 64, 64, 22
+        let many = ManyPlan::<f64>::new(n, count, 1, count);
+        assert!(many.count() > many.tile);
+        let mut data: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new((i as f64 * 0.013).sin(), (i as f64 * 0.029).cos()))
+            .collect();
+        let orig = data.clone();
+        many.execute(&mut data, Direction::Forward);
+        for c in 0..count {
+            let col: Vec<Complex64> = (0..n).map(|r| orig[r * count + c]).collect();
+            let reference = dft_naive(&col);
+            for r in 0..n {
+                assert!(
+                    (data[r * count + c] - reference[r]).abs() < 1e-9,
+                    "c={c} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_execute_parks_scratch() {
+        let many = ManyPlan::<f64>::new(16, 4, 1, 4);
+        let mut data = vec![Complex64::one(); many.required_len()];
+        many.execute(&mut data, Direction::Forward);
+        many.execute(&mut data, Direction::Inverse);
+        assert_eq!(many.scratch.idle(), 1);
+    }
 }
 
-/// Raw-pointer wrapper so disjoint batches can be processed from scoped
-/// threads (the "OpenMP within an MPI rank" layer of the paper's hybrid
+/// Raw-pointer wrapper so disjoint batches can be processed by the worker
+/// pool (the "OpenMP within an MPI rank" layer of the paper's hybrid
 /// parallelism, §3.1/§4.1).
 struct SendPtr<T>(*mut T);
-// SAFETY: the pointer is only used to access disjoint batch index sets,
-// partitioned statically among threads before spawning.
+// SAFETY: the pointer is only used to access pairwise-disjoint batch index
+// sets, partitioned by the pool's chunk cursor before any access.
 unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper instead of the bare non-`Sync` pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self
@@ -209,52 +331,99 @@ impl<T: Real> ManyPlan<T> {
             || self.dist > (self.n - 1) * self.stride
     }
 
-    /// Execute all batches using `threads` worker threads — the hybrid
-    /// within-rank parallelism the paper gets from OpenMP. Falls back to
-    /// serial execution when batches may overlap or `threads ≤ 1`.
+    /// Execute all batches using up to `threads` participants from the
+    /// persistent [`psdns_sync::pool`] — the hybrid within-rank parallelism
+    /// the paper gets from OpenMP. The calling thread always participates
+    /// and no OS threads are spawned per call; scratch comes from the
+    /// plan's pool, so after warm-up an invocation performs no heap
+    /// allocation. Falls back to serial execution when batches may overlap
+    /// or `threads ≤ 1`.
     pub fn execute_parallel(&self, data: &mut [Complex<T>], dir: Direction, threads: usize) {
         if threads <= 1 || self.count < 2 || !self.batches_disjoint() {
             self.execute(data, dir);
             return;
         }
-        assert!(data.len() >= self.required_len());
-        let nthreads = threads.min(self.count);
+        assert!(
+            data.len() >= self.required_len(),
+            "buffer too small: {} < {}",
+            data.len(),
+            self.required_len()
+        );
+        let pool = psdns_sync::pool::global();
         let ptr = SendPtr(data.as_mut_ptr());
-        let n = self.n;
-        std::thread::scope(|scope| {
-            for t in 0..nthreads {
-                let plan = &self.plan;
-                let (stride, dist, count) = (self.stride, self.dist, self.count);
-                scope.spawn(move || {
-                    let ptr = ptr; // move the Copy wrapper
-                    let mut line = vec![Complex::<T>::zero(); n];
-                    let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
-                    let mut b = t;
-                    while b < count {
-                        let base = b * dist;
-                        // SAFETY: batch b touches exactly the indices
-                        // {base + i·stride}, disjoint across b per
-                        // `batches_disjoint`, and each index is < data.len()
-                        // by the required_len assertion.
-                        unsafe {
-                            if stride == 1 {
-                                let s = std::slice::from_raw_parts_mut(ptr.0.add(base), n);
-                                plan.execute_with_scratch(s, &mut scratch, dir);
-                            } else {
-                                for (i, l) in line.iter_mut().enumerate() {
-                                    *l = *ptr.0.add(base + i * stride);
-                                }
-                                plan.execute_with_scratch(&mut line, &mut scratch, dir);
-                                for (i, l) in line.iter().enumerate() {
-                                    *ptr.0.add(base + i * stride) = *l;
-                                }
-                            }
-                        }
-                        b += nthreads;
+        if self.stride == 1 {
+            // Unit-stride lines: chunk whole batches. A few chunks per
+            // participant keeps the cursor contention negligible while the
+            // dynamic schedule still absorbs stragglers.
+            let chunk = self.count.div_ceil(threads * 4).max(1);
+            pool.run(self.count, chunk, threads, &|lo, hi| {
+                let mut scratch = self.scratch.take(self.plan.scratch_len());
+                for b in lo..hi {
+                    // SAFETY: batch b occupies data[b·dist .. b·dist+n],
+                    // disjoint across b (`batches_disjoint`), in bounds by
+                    // the required_len assertion above.
+                    let line = unsafe {
+                        std::slice::from_raw_parts_mut(ptr.get().add(b * self.dist), self.n)
+                    };
+                    self.plan.execute_with_scratch(line, &mut scratch, dir);
+                }
+                self.scratch.give(scratch);
+            });
+        } else {
+            // Strided lines: parallelize over cache-blocked tiles. Each
+            // participant owns a private tile buffer from the pool and the
+            // tiles' element sets are pairwise disjoint.
+            let ntiles = self.count.div_ceil(self.tile);
+            pool.run(ntiles, 1, threads, &|lo, hi| {
+                let mut scratch = self.scratch.take(self.scratch_len());
+                let (tilebuf, inner) = scratch.split_at_mut(self.tile * self.n);
+                for ti in lo..hi {
+                    let b0 = ti * self.tile;
+                    let t = self.tile.min(self.count - b0);
+                    // SAFETY: tile ti touches exactly the indices
+                    // {(b0+l)·dist + i·stride | l < t, i < n}; batches are
+                    // pairwise disjoint and tiles partition the batches, so
+                    // concurrent tiles never alias. All indices are in
+                    // bounds by the required_len assertion.
+                    unsafe {
+                        tile::copy_grid_raw(
+                            ptr.get() as *const Complex<T>,
+                            b0 * self.dist,
+                            self.dist,
+                            self.stride,
+                            tilebuf.as_mut_ptr(),
+                            0,
+                            self.n,
+                            1,
+                            t,
+                            self.n,
+                        );
                     }
-                });
-            }
-        });
+                    for l in 0..t {
+                        self.plan.execute_with_scratch(
+                            &mut tilebuf[l * self.n..(l + 1) * self.n],
+                            inner,
+                            dir,
+                        );
+                    }
+                    unsafe {
+                        tile::copy_grid_raw(
+                            tilebuf.as_ptr(),
+                            0,
+                            self.n,
+                            1,
+                            ptr.get(),
+                            b0 * self.dist,
+                            self.dist,
+                            self.stride,
+                            t,
+                            self.n,
+                        );
+                    }
+                }
+                self.scratch.give(scratch);
+            });
+        }
     }
 }
 
@@ -296,6 +465,23 @@ mod parallel_tests {
     }
 
     #[test]
+    fn parallel_strided_many_tiles() {
+        // Enough columns for several tiles per worker.
+        let n = 8;
+        let count = 300;
+        let plan = ManyPlan::<f64>::new(n, count, 1, count);
+        let mut a: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new((i as f64 * 0.017).sin(), (i as f64 * 0.031).cos()))
+            .collect();
+        let mut b = a.clone();
+        plan.execute(&mut a, Direction::Forward);
+        plan.execute_parallel(&mut b, Direction::Forward, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn more_threads_than_batches_is_fine() {
         let plan = ManyPlan::<f64>::contiguous(16, 2);
         let mut data = vec![Complex64::new(1.0, 0.0); 32];
@@ -324,5 +510,18 @@ mod parallel_tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((*x - *y).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_reuses_pooled_scratch() {
+        let plan = ManyPlan::<f64>::contiguous(32, 16);
+        let mut data = vec![Complex64::one(); 32 * 16];
+        for _ in 0..4 {
+            plan.execute_parallel(&mut data, Direction::Forward, 4);
+            plan.execute_parallel(&mut data, Direction::Inverse, 4);
+        }
+        // Every participant parked its buffer; the pool holds at most one
+        // buffer per concurrent participant, not one per call.
+        assert!(plan.scratch.idle() <= 4 + 1);
     }
 }

@@ -47,9 +47,12 @@ impl Dims3 {
 pub fn fft_2d<T: Real>(data: &mut [Complex<T>], nx: usize, ny: usize, dir: Direction) {
     assert_eq!(data.len(), nx * ny);
     // Rows (x direction): contiguous lines.
-    ManyPlan::new(nx, 1, nx, ny).execute(data, dir);
+    let plan_x = ManyPlan::new(nx, 1, nx, ny);
     // Columns (y direction): stride nx, one batch per x.
-    ManyPlan::new(ny, nx, 1, nx).execute(data, dir);
+    let plan_y = ManyPlan::new(ny, nx, 1, nx);
+    let mut scratch = vec![Complex::zero(); plan_x.scratch_len().max(plan_y.scratch_len())];
+    plan_x.execute_with_scratch(data, &mut scratch, dir);
+    plan_y.execute_with_scratch(data, &mut scratch, dir);
 }
 
 /// In-place 3-D FFT, transforming y, then z, then x — the paper's transform
@@ -59,14 +62,21 @@ pub fn fft_3d<T: Real>(data: &mut [Complex<T>], dims: Dims3, dir: Direction) {
     let Dims3 { nx, ny, nz } = dims;
     // y direction: stride nx; batch over each (x, z) pair.
     let plan_y = ManyPlan::new(ny, nx, 1, nx);
-    let mut scratch = vec![Complex::zero(); plan_y.scratch_len()];
+    // z direction: stride nx·ny; one call per y covers the nx lines there.
+    let plan_z = ManyPlan::new(nz, nx * ny, 1, nx);
+    // x direction: contiguous lines, batched over (y, z).
+    let plan_x = ManyPlan::new(nx, 1, nx, ny * nz);
+    let mut scratch = vec![
+        Complex::zero();
+        plan_y
+            .scratch_len()
+            .max(plan_z.scratch_len())
+            .max(plan_x.scratch_len())
+    ];
     for z in 0..nz {
         let base = z * nx * ny;
         plan_y.execute_with_scratch(&mut data[base..base + nx * ny], &mut scratch, dir);
     }
-    // z direction: stride nx·ny; one call per y covers the nx lines there.
-    let plan_z = ManyPlan::new(nz, nx * ny, 1, nx);
-    let mut scratch = vec![Complex::zero(); plan_z.scratch_len()];
     for y in 0..ny {
         // Lines in z for all x at this y: base offsets y·nx .. y·nx+nx-1.
         // ManyPlan's batches advance by dist=1, so one call covers x∈[0,nx).
@@ -74,9 +84,7 @@ pub fn fft_3d<T: Real>(data: &mut [Complex<T>], dims: Dims3, dir: Direction) {
         let end = base + (nz - 1) * nx * ny + nx;
         plan_z.execute_with_scratch(&mut data[base..end], &mut scratch, dir);
     }
-    // x direction: contiguous lines, batched over (y, z).
-    let plan_x = ManyPlan::new(nx, 1, nx, ny * nz);
-    plan_x.execute(data, dir);
+    plan_x.execute_with_scratch(data, &mut scratch, dir);
 }
 
 #[cfg(test)]

@@ -1,13 +1,19 @@
-//! Mixed-radix Cooley–Tukey FFT plans.
+//! Mixed-radix FFT plans with an iterative Stockham autosort core.
 //!
-//! A [`FftPlan`] precomputes the factorization of `n` and a full-length
-//! twiddle table, then executes transforms of that length any number of
-//! times — mirroring the plan/execute split of FFTW and cuFFT that the
-//! paper's code relies on. Lengths whose largest prime factor exceeds
-//! [`MAX_RADIX`] are routed through Bluestein's algorithm transparently.
+//! A [`FftPlan`] factors `n` into a radix schedule (8 preferred, then
+//! 4/2/3/5, generic odd primes up to [`MAX_RADIX`]) and precomputes one
+//! twiddle table *per stage*, so execution is a flat loop over stages that
+//! ping-pongs between the data buffer and one scratch buffer of length `n` —
+//! no recursion, no bit-reversal pass, and no `% n` in any inner loop
+//! (twiddles are read sequentially). This mirrors the plan/execute split of
+//! FFTW and cuFFT that the paper's code relies on, with the autosort
+//! formulation cuFFT itself uses so strided batches stay coalesced. Lengths
+//! whose largest prime factor exceeds [`MAX_RADIX`] are routed through
+//! Bluestein's algorithm transparently.
 
 use crate::bluestein::BluesteinPlan;
 use crate::complex::{Complex, Real};
+use crate::scratch::ScratchPool;
 
 /// Transform direction. Forward is unnormalized; Inverse applies `1/n`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -37,20 +43,10 @@ impl Direction {
 /// back to Bluestein.
 pub const MAX_RADIX: usize = 31;
 
-/// A reusable FFT plan for one transform length.
-pub struct FftPlan<T: Real> {
-    n: usize,
-    /// Prime factorization of `n`, largest factors first (keeps the generic
-    /// butterfly at the outermost level where it runs fewest times).
-    factors: Vec<usize>,
-    /// Twiddle table: `tw[k] = exp(-2πi·k/n)` for `k ∈ [0, n)`.
-    twiddles: Vec<Complex<T>>,
-    /// Bluestein fallback for lengths with large prime factors.
-    bluestein: Option<Box<BluesteinPlan<T>>>,
-}
-
 /// Prime factorization, smallest factor first, combining 2·2 → 4 so the
-/// radix-4 butterfly is used where possible.
+/// radix-4 butterfly is used where possible. Retained as the feasibility
+/// check for the direct path (the execution schedule itself comes from
+/// [`radix_schedule`]).
 pub(crate) fn factorize(mut n: usize) -> (Vec<usize>, usize) {
     let mut factors = Vec::new();
     // Pull out fours first, then a possible leftover two.
@@ -77,29 +73,375 @@ pub(crate) fn factorize(mut n: usize) -> (Vec<usize>, usize) {
     (factors, n) // n > 1 here means a leftover factor too large for direct CT
 }
 
+/// Stage radices for the Stockham schedule: radix-8 first (fewest stages and
+/// best flop/load ratio for the power-of-two bulk), then the 4-or-2
+/// remainder, then 3s and 5s, then any generic odd primes ≤ [`MAX_RADIX`].
+/// Returns `None` when a prime factor exceeds `MAX_RADIX` (Bluestein case).
+pub(crate) fn radix_schedule(mut n: usize) -> Option<Vec<usize>> {
+    let mut radices = Vec::new();
+    while n.is_multiple_of(8) {
+        radices.push(8);
+        n /= 8;
+    }
+    if n.is_multiple_of(4) {
+        radices.push(4);
+        n /= 4;
+    }
+    if n.is_multiple_of(2) {
+        radices.push(2);
+        n /= 2;
+    }
+    for p in [3usize, 5] {
+        while n.is_multiple_of(p) {
+            radices.push(p);
+            n /= p;
+        }
+    }
+    let mut p = 7;
+    while p * p <= n && p <= MAX_RADIX {
+        while n.is_multiple_of(p) {
+            radices.push(p);
+            n /= p;
+        }
+        p += 2;
+    }
+    if n > 1 {
+        if n > MAX_RADIX {
+            return None;
+        }
+        radices.push(n);
+    }
+    Some(radices)
+}
+
+/// One Stockham pass: `s` interleaved sub-sequences of current length
+/// `radix·m` each get their radix-`radix` decimation-in-frequency butterfly
+/// applied, scattering to `s·radix` sub-sequences of length `m`.
+///
+/// Reads `src[s·(p + c·m) + q]`, writes `dst[s·(radix·p + k) + q]` for
+/// `p ∈ [0, m)`, `c, k ∈ [0, radix)`, `q ∈ [0, s)` — the `q` loop is
+/// innermost and unit-stride on both sides, which is what keeps the pass
+/// vectorizable and cache-friendly at every stage.
+struct Stage<T: Real> {
+    radix: usize,
+    /// Butterflies per sub-sequence: `n_cur / radix`.
+    m: usize,
+    /// Interleaved sub-sequence count (product of radices already applied).
+    s: usize,
+    /// `w_{n_cur}^{p·k}` for `p ∈ [0, m)`, `k ∈ [1, radix)`, row-major in
+    /// `p` — read strictly sequentially during the pass.
+    twiddles: Vec<Complex<T>>,
+    /// Forward DFT matrix `w_r^{c·k}` (row-major in `k`, `r·r` entries) for
+    /// generic radices; empty for the dedicated 2/3/4/5/8 codelets.
+    dft: Vec<Complex<T>>,
+}
+
+/// Direction-resolved twiddle: conjugate for the inverse transform. `INV` is
+/// const so the branch vanishes after monomorphization.
+#[inline(always)]
+fn dirw<T: Real, const INV: bool>(w: Complex<T>) -> Complex<T> {
+    if INV {
+        w.conj()
+    } else {
+        w
+    }
+}
+
+/// `∓i·z`: forward rotates by `-i`, inverse by `+i`.
+#[inline(always)]
+fn rot90<T: Real, const INV: bool>(z: Complex<T>) -> Complex<T> {
+    if INV {
+        z.mul_i()
+    } else {
+        z.mul_neg_i()
+    }
+}
+
+impl<T: Real> Stage<T> {
+    fn new(radix: usize, n_cur: usize, s: usize) -> Self {
+        let m = n_cur / radix;
+        let step = -2.0 * core::f64::consts::PI / n_cur as f64;
+        let mut twiddles = Vec::with_capacity(m * (radix - 1));
+        for p in 0..m {
+            for k in 1..radix {
+                // `% n_cur` at build time keeps the angle small for accuracy;
+                // execution reads the table sequentially.
+                let a = step * ((p * k) % n_cur) as f64;
+                twiddles.push(Complex::from_f64(a.cos(), a.sin()));
+            }
+        }
+        let dft = if matches!(radix, 2 | 3 | 4 | 5 | 8) {
+            Vec::new()
+        } else {
+            let rstep = -2.0 * core::f64::consts::PI / radix as f64;
+            let mut dft = Vec::with_capacity(radix * radix);
+            for k in 0..radix {
+                for c in 0..radix {
+                    let a = rstep * ((c * k) % radix) as f64;
+                    dft.push(Complex::from_f64(a.cos(), a.sin()));
+                }
+            }
+            dft
+        };
+        Self {
+            radix,
+            m,
+            s,
+            twiddles,
+            dft,
+        }
+    }
+
+    fn run(&self, src: &[Complex<T>], dst: &mut [Complex<T>], dir: Direction) {
+        match (self.radix, dir) {
+            (2, Direction::Forward) => self.r2::<false>(src, dst),
+            (2, Direction::Inverse) => self.r2::<true>(src, dst),
+            (3, Direction::Forward) => self.r3::<false>(src, dst),
+            (3, Direction::Inverse) => self.r3::<true>(src, dst),
+            (4, Direction::Forward) => self.r4::<false>(src, dst),
+            (4, Direction::Inverse) => self.r4::<true>(src, dst),
+            (5, Direction::Forward) => self.r5::<false>(src, dst),
+            (5, Direction::Inverse) => self.r5::<true>(src, dst),
+            (8, Direction::Forward) => self.r8::<false>(src, dst),
+            (8, Direction::Inverse) => self.r8::<true>(src, dst),
+            (_, Direction::Forward) => self.generic::<false>(src, dst),
+            (_, Direction::Inverse) => self.generic::<true>(src, dst),
+        }
+    }
+
+    fn r2<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let (m, s) = (self.m, self.s);
+        for p in 0..m {
+            let w1 = dirw::<T, INV>(self.twiddles[p]);
+            let i0 = s * p;
+            let i1 = s * (p + m);
+            let o = s * 2 * p;
+            for q in 0..s {
+                let a = src[i0 + q];
+                let b = src[i1 + q];
+                dst[o + q] = a + b;
+                dst[o + s + q] = (a - b) * w1;
+            }
+        }
+    }
+
+    fn r3<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let (m, s) = (self.m, self.s);
+        let half = T::from_f64(0.5);
+        let rt3h = T::from_f64(0.866_025_403_784_438_6); // √3/2
+        for p in 0..m {
+            let w1 = dirw::<T, INV>(self.twiddles[2 * p]);
+            let w2 = dirw::<T, INV>(self.twiddles[2 * p + 1]);
+            let i0 = s * p;
+            let i1 = s * (p + m);
+            let i2 = s * (p + 2 * m);
+            let o = s * 3 * p;
+            for q in 0..s {
+                let a = src[i0 + q];
+                let b = src[i1 + q];
+                let c = src[i2 + q];
+                let sum = b + c;
+                let re_part = a - sum.scale(half);
+                let rot = rot90::<T, INV>((b - c).scale(rt3h));
+                dst[o + q] = a + sum;
+                dst[o + s + q] = (re_part + rot) * w1;
+                dst[o + 2 * s + q] = (re_part - rot) * w2;
+            }
+        }
+    }
+
+    fn r4<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let (m, s) = (self.m, self.s);
+        for p in 0..m {
+            let tb = 3 * p;
+            let w1 = dirw::<T, INV>(self.twiddles[tb]);
+            let w2 = dirw::<T, INV>(self.twiddles[tb + 1]);
+            let w3 = dirw::<T, INV>(self.twiddles[tb + 2]);
+            let i0 = s * p;
+            let i1 = s * (p + m);
+            let i2 = s * (p + 2 * m);
+            let i3 = s * (p + 3 * m);
+            let o = s * 4 * p;
+            for q in 0..s {
+                let a0 = src[i0 + q];
+                let a1 = src[i1 + q];
+                let a2 = src[i2 + q];
+                let a3 = src[i3 + q];
+                let t0 = a0 + a2;
+                let t1 = a0 - a2;
+                let t2 = a1 + a3;
+                let t3 = rot90::<T, INV>(a1 - a3);
+                dst[o + q] = t0 + t2;
+                dst[o + s + q] = (t1 + t3) * w1;
+                dst[o + 2 * s + q] = (t0 - t2) * w2;
+                dst[o + 3 * s + q] = (t1 - t3) * w3;
+            }
+        }
+    }
+
+    fn r5<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let (m, s) = (self.m, self.s);
+        let c1 = T::from_f64(0.309_016_994_374_947_45); // cos(2π/5)
+        let c2 = T::from_f64(-0.809_016_994_374_947_5); // cos(4π/5)
+        let s1 = T::from_f64(0.951_056_516_295_153_5); // sin(2π/5)
+        let s2 = T::from_f64(0.587_785_252_292_473_1); // sin(4π/5)
+        for p in 0..m {
+            let tb = 4 * p;
+            let w1 = dirw::<T, INV>(self.twiddles[tb]);
+            let w2 = dirw::<T, INV>(self.twiddles[tb + 1]);
+            let w3 = dirw::<T, INV>(self.twiddles[tb + 2]);
+            let w4 = dirw::<T, INV>(self.twiddles[tb + 3]);
+            let i0 = s * p;
+            let i1 = s * (p + m);
+            let i2 = s * (p + 2 * m);
+            let i3 = s * (p + 3 * m);
+            let i4 = s * (p + 4 * m);
+            let o = s * 5 * p;
+            for q in 0..s {
+                let a0 = src[i0 + q];
+                let a1 = src[i1 + q];
+                let a2 = src[i2 + q];
+                let a3 = src[i3 + q];
+                let a4 = src[i4 + q];
+                let t1 = a1 + a4;
+                let t2 = a2 + a3;
+                let t3 = a1 - a4;
+                let t4 = a2 - a3;
+                let m1 = a0 + t1.scale(c1) + t2.scale(c2);
+                let m2 = a0 + t1.scale(c2) + t2.scale(c1);
+                let u1 = rot90::<T, INV>(t3.scale(s1) + t4.scale(s2));
+                let u2 = rot90::<T, INV>(t3.scale(s2) - t4.scale(s1));
+                dst[o + q] = a0 + t1 + t2;
+                dst[o + s + q] = (m1 + u1) * w1;
+                dst[o + 2 * s + q] = (m2 + u2) * w2;
+                dst[o + 3 * s + q] = (m2 - u2) * w3;
+                dst[o + 4 * s + q] = (m1 - u1) * w4;
+            }
+        }
+    }
+
+    fn r8<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let (m, s) = (self.m, self.s);
+        let h = T::from_f64(std::f64::consts::FRAC_1_SQRT_2); // √2/2
+        for p in 0..m {
+            let tb = 7 * p;
+            let i = |c: usize| s * (p + c * m);
+            let (i0, i1, i2, i3) = (i(0), i(1), i(2), i(3));
+            let (i4, i5, i6, i7) = (i(4), i(5), i(6), i(7));
+            let o = s * 8 * p;
+            for q in 0..s {
+                let a0 = src[i0 + q];
+                let a1 = src[i1 + q];
+                let a2 = src[i2 + q];
+                let a3 = src[i3 + q];
+                let a4 = src[i4 + q];
+                let a5 = src[i5 + q];
+                let a6 = src[i6 + q];
+                let a7 = src[i7 + q];
+                // Even / odd 4-point DFTs (decimation in time within the
+                // codelet).
+                let e_t0 = a0 + a4;
+                let e_t1 = a0 - a4;
+                let e_t2 = a2 + a6;
+                let e_t3 = rot90::<T, INV>(a2 - a6);
+                let e0 = e_t0 + e_t2;
+                let e1 = e_t1 + e_t3;
+                let e2 = e_t0 - e_t2;
+                let e3 = e_t1 - e_t3;
+                let o_t0 = a1 + a5;
+                let o_t1 = a1 - a5;
+                let o_t2 = a3 + a7;
+                let o_t3 = rot90::<T, INV>(a3 - a7);
+                let o0 = o_t0 + o_t2;
+                let o1 = o_t1 + o_t3;
+                let o2 = o_t0 - o_t2;
+                let o3 = o_t1 - o_t3;
+                // w8^k·o_k for k = 1..4: w8 = (1 ∓ i)/√2, w8² = ∓i,
+                // w8³ = (-1 ∓ i)/√2.
+                let w8o1 = (o1 + rot90::<T, INV>(o1)).scale(h);
+                let w8o2 = rot90::<T, INV>(o2);
+                let w8o3 = (rot90::<T, INV>(o3) - o3).scale(h);
+                let b0 = e0 + o0;
+                let b4 = e0 - o0;
+                let b1 = e1 + w8o1;
+                let b5 = e1 - w8o1;
+                let b2 = e2 + w8o2;
+                let b6 = e2 - w8o2;
+                let b3 = e3 + w8o3;
+                let b7 = e3 - w8o3;
+                dst[o + q] = b0;
+                dst[o + s + q] = b1 * dirw::<T, INV>(self.twiddles[tb]);
+                dst[o + 2 * s + q] = b2 * dirw::<T, INV>(self.twiddles[tb + 1]);
+                dst[o + 3 * s + q] = b3 * dirw::<T, INV>(self.twiddles[tb + 2]);
+                dst[o + 4 * s + q] = b4 * dirw::<T, INV>(self.twiddles[tb + 3]);
+                dst[o + 5 * s + q] = b5 * dirw::<T, INV>(self.twiddles[tb + 4]);
+                dst[o + 6 * s + q] = b6 * dirw::<T, INV>(self.twiddles[tb + 5]);
+                dst[o + 7 * s + q] = b7 * dirw::<T, INV>(self.twiddles[tb + 6]);
+            }
+        }
+    }
+
+    fn generic<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let r = self.radix;
+        let (m, s) = (self.m, self.s);
+        let mut tmp = [Complex::<T>::zero(); MAX_RADIX];
+        for p in 0..m {
+            let tb = (r - 1) * p;
+            for q in 0..s {
+                for (c, t) in tmp.iter_mut().enumerate().take(r) {
+                    *t = src[s * (p + c * m) + q];
+                }
+                for k in 0..r {
+                    let row = &self.dft[k * r..k * r + r];
+                    let mut acc = tmp[0];
+                    for c in 1..r {
+                        acc += tmp[c] * dirw::<T, INV>(row[c]);
+                    }
+                    if k > 0 {
+                        acc *= dirw::<T, INV>(self.twiddles[tb + k - 1]);
+                    }
+                    dst[s * (r * p + k) + q] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// A reusable FFT plan for one transform length.
+pub struct FftPlan<T: Real> {
+    n: usize,
+    /// Stockham passes, applied in order with ping-pong buffers.
+    stages: Vec<Stage<T>>,
+    /// Bluestein fallback for lengths with large prime factors.
+    bluestein: Option<Box<BluesteinPlan<T>>>,
+    /// Reusable scratch for the allocating [`execute`](Self::execute) entry
+    /// point, so looping call sites pay for workspace once.
+    scratch: ScratchPool<Complex<T>>,
+}
+
 impl<T: Real> FftPlan<T> {
     /// Build a plan for length `n`. `n = 0` is rejected.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FFT length must be positive");
-        let (factors, leftover) = factorize(n);
-        let bluestein = if leftover > 1 {
-            Some(Box::new(BluesteinPlan::new(n)))
-        } else {
-            None
-        };
-        let twiddles = if bluestein.is_none() {
-            let step = -2.0 * core::f64::consts::PI / n as f64;
-            (0..n)
-                .map(|k| Complex::from_f64((step * k as f64).cos(), (step * k as f64).sin()))
-                .collect()
-        } else {
-            Vec::new()
+        let (stages, bluestein) = match radix_schedule(n) {
+            Some(radices) => {
+                let mut stages = Vec::with_capacity(radices.len());
+                let mut n_cur = n;
+                let mut s = 1;
+                for &r in &radices {
+                    stages.push(Stage::new(r, n_cur, s));
+                    n_cur /= r;
+                    s *= r;
+                }
+                (stages, None)
+            }
+            None => (Vec::new(), Some(Box::new(BluesteinPlan::new(n)))),
         };
         Self {
             n,
-            factors,
-            twiddles,
+            stages,
             bluestein,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -116,20 +458,12 @@ impl<T: Real> FftPlan<T> {
         self.bluestein.is_some()
     }
 
-    /// Look up `exp(sign·2πi·k/n)` from the table.
-    #[inline]
-    fn tw(&self, idx: usize, dir: Direction) -> Complex<T> {
-        let t = self.twiddles[idx % self.n];
-        match dir {
-            Direction::Forward => t,
-            Direction::Inverse => t.conj(),
-        }
-    }
-
-    /// In-place transform of a unit-stride buffer of length `n`.
+    /// In-place transform of a unit-stride buffer of length `n`, using the
+    /// plan's own pooled scratch (no steady-state allocation).
     pub fn execute(&self, data: &mut [Complex<T>], dir: Direction) {
-        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        let mut scratch = self.scratch.take(self.scratch_len());
         self.execute_with_scratch(data, &mut scratch, dir);
+        self.scratch.give(scratch);
     }
 
     /// Number of scratch elements required by
@@ -159,120 +493,24 @@ impl<T: Real> FftPlan<T> {
             return;
         }
         let scratch = &mut scratch[..self.n];
-        scratch.copy_from_slice(data);
-        self.recurse(scratch, data, self.n, 1, 0, dir);
+        // Ping-pong so the final stage writes into `data`: an odd stage
+        // count starts from a copy in scratch, an even one from data.
+        let (mut src, mut dst): (&mut [Complex<T>], &mut [Complex<T>]) =
+            if self.stages.len() % 2 == 1 {
+                scratch.copy_from_slice(data);
+                (scratch, data)
+            } else {
+                (data, scratch)
+            };
+        for st in &self.stages {
+            st.run(src, dst, dir);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        // After the last swap `src` aliases `data`.
         if dir == Direction::Inverse {
             let inv = T::ONE / T::from_usize(self.n);
-            for v in data.iter_mut() {
+            for v in src.iter_mut() {
                 *v = v.scale(inv);
-            }
-        }
-    }
-
-    /// Recursive decimation-in-time step.
-    ///
-    /// Transforms the length-`sub_n` sequence `inp[0], inp[s], inp[2s], …`
-    /// into `out[0..sub_n]`. `level` indexes into `self.factors`.
-    fn recurse(
-        &self,
-        inp: &[Complex<T>],
-        out: &mut [Complex<T>],
-        sub_n: usize,
-        s: usize,
-        level: usize,
-        dir: Direction,
-    ) {
-        if sub_n == 1 {
-            out[0] = inp[0];
-            return;
-        }
-        let r = self.factors[level];
-        let m = sub_n / r;
-        for q in 0..r {
-            self.recurse(
-                &inp[q * s..],
-                &mut out[q * m..(q + 1) * m],
-                m,
-                s * r,
-                level + 1,
-                dir,
-            );
-        }
-        // Combine the r sub-transforms: for each k0, gather the q-th outputs,
-        // apply twiddles w_n^{q·k0}, and take an r-point DFT across q.
-        let tw_step = self.n / sub_n;
-        let mut tmp = [Complex::<T>::zero(); MAX_RADIX];
-        for k0 in 0..m {
-            for (q, t) in tmp.iter_mut().enumerate().take(r) {
-                let y = out[q * m + k0];
-                *t = if q == 0 {
-                    y
-                } else {
-                    y * self.tw(q * k0 * tw_step, dir)
-                };
-            }
-            self.butterfly(&tmp[..r], out, k0, m, dir);
-        }
-    }
-
-    /// r-point DFT of `tmp`, scattered to `out[k0 + c·m]` for `c ∈ [0, r)`.
-    #[inline]
-    fn butterfly(
-        &self,
-        tmp: &[Complex<T>],
-        out: &mut [Complex<T>],
-        k0: usize,
-        m: usize,
-        dir: Direction,
-    ) {
-        match tmp.len() {
-            2 => {
-                let (a, b) = (tmp[0], tmp[1]);
-                out[k0] = a + b;
-                out[k0 + m] = a - b;
-            }
-            3 => {
-                // Radix-3: uses w3 = exp(∓2πi/3) = (-1/2, ∓√3/2).
-                let (a, b, c) = (tmp[0], tmp[1], tmp[2]);
-                let s = b + c;
-                let d = b - c;
-                let half = T::from_f64(0.5);
-                let rt3h = T::from_f64(0.866_025_403_784_438_6); // √3/2
-                let re_part = a - s.scale(half);
-                // ∓i·(√3/2)·d, sign depends on direction.
-                let rot = match dir {
-                    Direction::Forward => d.mul_neg_i().scale(rt3h),
-                    Direction::Inverse => d.mul_i().scale(rt3h),
-                };
-                out[k0] = a + s;
-                out[k0 + m] = re_part + rot;
-                out[k0 + 2 * m] = re_part - rot;
-            }
-            4 => {
-                let (a, b, c, d) = (tmp[0], tmp[1], tmp[2], tmp[3]);
-                let t0 = a + c;
-                let t1 = a - c;
-                let t2 = b + d;
-                let t3 = match dir {
-                    Direction::Forward => (b - d).mul_neg_i(),
-                    Direction::Inverse => (b - d).mul_i(),
-                };
-                out[k0] = t0 + t2;
-                out[k0 + m] = t1 + t3;
-                out[k0 + 2 * m] = t0 - t2;
-                out[k0 + 3 * m] = t1 - t3;
-            }
-            r => {
-                // Generic small-prime butterfly: naive r² DFT using the main
-                // twiddle table (w_r = w_n^{n/r}).
-                let step = self.n / r;
-                for c in 0..r {
-                    let mut acc = tmp[0];
-                    for (q, &t) in tmp.iter().enumerate().skip(1) {
-                        acc += t * self.tw(q * c * step, dir);
-                    }
-                    out[k0 + c * m] = acc;
-                }
             }
         }
     }
@@ -306,7 +544,7 @@ mod tests {
     #[test]
     fn impulses_across_radices() {
         for n in [
-            2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 27, 30, 36, 48, 60, 64, 72, 144,
+            2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 24, 27, 30, 32, 36, 40, 48, 60, 64, 72, 128, 144, 512,
         ] {
             impulse_response(n);
         }
@@ -327,6 +565,32 @@ mod tests {
                     (y[k] - reference[k]).abs() < 1e-9 * (n as f64),
                     "n={n} k={k}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_frozen_reference_kernel() {
+        // The pre-Stockham kernel is kept in crate::reference; the two
+        // execution cores must agree to round-off on every direct length.
+        use crate::reference::ReferencePlan;
+        for n in [8usize, 12, 30, 64, 96, 120, 240, 360, 768] {
+            let plan = FftPlan::<f64>::new(n);
+            let old = ReferencePlan::<f64>::new(n);
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.21).cos(), (i as f64 * 0.47).sin()))
+                .collect();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut a = x.clone();
+                let mut b = x.clone();
+                plan.execute(&mut a, dir);
+                old.execute(&mut b, dir);
+                for k in 0..n {
+                    assert!(
+                        (a[k] - b[k]).abs() < 1e-10 * (1.0 + n as f64),
+                        "n={n} k={k} {dir:?}"
+                    );
+                }
             }
         }
     }
@@ -382,6 +646,39 @@ mod tests {
     }
 
     #[test]
+    fn schedule_prefers_radix8() {
+        assert_eq!(radix_schedule(512), Some(vec![8, 8, 8]));
+        assert_eq!(radix_schedule(64), Some(vec![8, 8]));
+        assert_eq!(radix_schedule(96), Some(vec![8, 4, 3]));
+        assert_eq!(radix_schedule(40), Some(vec![8, 5]));
+        assert_eq!(radix_schedule(6), Some(vec![2, 3]));
+        assert_eq!(radix_schedule(77), Some(vec![7, 11]));
+        assert_eq!(radix_schedule(74), None); // 2 · 37 → Bluestein
+        assert_eq!(radix_schedule(1), Some(vec![]));
+    }
+
+    #[test]
+    fn generic_radix_codelet_lengths() {
+        // 7, 11, 13 exercise the DFT-matrix fallback, alone and mixed.
+        for n in [7usize, 11, 13, 14, 77, 91] {
+            let plan = FftPlan::<f64>::new(n);
+            assert!(!plan.uses_bluestein(), "n={n} should be direct");
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 1.3).sin(), (i as f64 * 0.6).cos()))
+                .collect();
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            let reference = dft_naive(&x);
+            for k in 0..n {
+                assert!(
+                    (y[k] - reference[k]).abs() < 1e-9 * (n as f64),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn single_point_transform_is_identity() {
         let plan = FftPlan::<f64>::new(1);
         let mut x = vec![Complex64::new(4.0, 2.0)];
@@ -403,5 +700,15 @@ mod tests {
         for k in 0..n {
             assert!((y[k] - x[k]).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn pooled_execute_parks_scratch() {
+        let plan = FftPlan::<f64>::new(64);
+        let mut x = vec![Complex64::one(); 64];
+        plan.execute(&mut x, Direction::Forward);
+        plan.execute(&mut x, Direction::Inverse);
+        // Sequential calls reuse one parked buffer.
+        assert_eq!(plan.scratch.idle(), 1);
     }
 }

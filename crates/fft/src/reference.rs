@@ -1,0 +1,262 @@
+//! Frozen pre-Stockham execution core, kept for benchmarking and
+//! equivalence-pinning only.
+//!
+//! This is the recursive decimation-in-time Cooley–Tukey kernel (plus the
+//! per-line gather/scatter strided batch loop) that shipped before the
+//! iterative Stockham rewrite in [`crate::plan`]. The baseline runner in
+//! `psdns-bench` times it side by side with the live kernel so every
+//! `BENCH_fft.json` records the old→new speedup, and the equivalence tests
+//! pin the two kernels against each other within the physics tolerances.
+//! Do not use it on a hot path; it allocates per call and looks twiddles up
+//! through `idx % n`.
+
+use crate::complex::{Complex, Real};
+use crate::plan::{factorize, Direction, MAX_RADIX};
+
+/// The pre-PR plan: full-length twiddle table + recursive DIT execution.
+/// Lengths with prime factors above [`MAX_RADIX`] are not supported (the
+/// live plan routes those through Bluestein; the comparison harness only
+/// needs direct lengths).
+pub struct ReferencePlan<T: Real> {
+    n: usize,
+    factors: Vec<usize>,
+    /// `tw[k] = exp(-2πi·k/n)` for `k ∈ [0, n)`.
+    twiddles: Vec<Complex<T>>,
+}
+
+impl<T: Real> ReferencePlan<T> {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let (factors, leftover) = factorize(n);
+        assert_eq!(
+            leftover, 1,
+            "ReferencePlan does not implement the Bluestein fallback"
+        );
+        let step = -2.0 * core::f64::consts::PI / n as f64;
+        let twiddles = (0..n)
+            .map(|k| Complex::from_f64((step * k as f64).cos(), (step * k as f64).sin()))
+            .collect();
+        Self {
+            n,
+            factors,
+            twiddles,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn scratch_len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn tw(&self, idx: usize, dir: Direction) -> Complex<T> {
+        let t = self.twiddles[idx % self.n];
+        match dir {
+            Direction::Forward => t,
+            Direction::Inverse => t.conj(),
+        }
+    }
+
+    pub fn execute(&self, data: &mut [Complex<T>], dir: Direction) {
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.execute_with_scratch(data, &mut scratch, dir);
+    }
+
+    pub fn execute_with_scratch(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: Direction,
+    ) {
+        assert_eq!(data.len(), self.n, "buffer length != plan length");
+        assert!(scratch.len() >= self.scratch_len(), "scratch too small");
+        if self.n == 1 {
+            return;
+        }
+        let scratch = &mut scratch[..self.n];
+        scratch.copy_from_slice(data);
+        self.recurse(scratch, data, self.n, 1, 0, dir);
+        if dir == Direction::Inverse {
+            let inv = T::ONE / T::from_usize(self.n);
+            for v in data.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+
+    /// The old strided batch loop: gather one line at a time through the
+    /// stride, transform it, scatter it back.
+    pub fn execute_many(
+        &self,
+        data: &mut [Complex<T>],
+        stride: usize,
+        dist: usize,
+        count: usize,
+        dir: Direction,
+    ) {
+        let mut line = vec![Complex::zero(); self.n];
+        let mut scratch = vec![Complex::zero(); self.n];
+        for b in 0..count {
+            let base = b * dist;
+            if stride == 1 {
+                self.execute_with_scratch(&mut data[base..base + self.n], &mut scratch, dir);
+            } else {
+                for (i, l) in line.iter_mut().enumerate() {
+                    *l = data[base + i * stride];
+                }
+                self.execute_with_scratch(&mut line, &mut scratch, dir);
+                for (i, l) in line.iter().enumerate() {
+                    data[base + i * stride] = *l;
+                }
+            }
+        }
+    }
+
+    fn recurse(
+        &self,
+        inp: &[Complex<T>],
+        out: &mut [Complex<T>],
+        sub_n: usize,
+        s: usize,
+        level: usize,
+        dir: Direction,
+    ) {
+        if sub_n == 1 {
+            out[0] = inp[0];
+            return;
+        }
+        let r = self.factors[level];
+        let m = sub_n / r;
+        for q in 0..r {
+            self.recurse(
+                &inp[q * s..],
+                &mut out[q * m..(q + 1) * m],
+                m,
+                s * r,
+                level + 1,
+                dir,
+            );
+        }
+        let tw_step = self.n / sub_n;
+        let mut tmp = [Complex::<T>::zero(); MAX_RADIX];
+        for k0 in 0..m {
+            for (q, t) in tmp.iter_mut().enumerate().take(r) {
+                let y = out[q * m + k0];
+                *t = if q == 0 {
+                    y
+                } else {
+                    y * self.tw(q * k0 * tw_step, dir)
+                };
+            }
+            self.butterfly(&tmp[..r], out, k0, m, dir);
+        }
+    }
+
+    #[inline]
+    fn butterfly(
+        &self,
+        tmp: &[Complex<T>],
+        out: &mut [Complex<T>],
+        k0: usize,
+        m: usize,
+        dir: Direction,
+    ) {
+        match tmp.len() {
+            2 => {
+                let (a, b) = (tmp[0], tmp[1]);
+                out[k0] = a + b;
+                out[k0 + m] = a - b;
+            }
+            3 => {
+                let (a, b, c) = (tmp[0], tmp[1], tmp[2]);
+                let s = b + c;
+                let d = b - c;
+                let half = T::from_f64(0.5);
+                let rt3h = T::from_f64(0.866_025_403_784_438_6);
+                let re_part = a - s.scale(half);
+                let rot = match dir {
+                    Direction::Forward => d.mul_neg_i().scale(rt3h),
+                    Direction::Inverse => d.mul_i().scale(rt3h),
+                };
+                out[k0] = a + s;
+                out[k0 + m] = re_part + rot;
+                out[k0 + 2 * m] = re_part - rot;
+            }
+            4 => {
+                let (a, b, c, d) = (tmp[0], tmp[1], tmp[2], tmp[3]);
+                let t0 = a + c;
+                let t1 = a - c;
+                let t2 = b + d;
+                let t3 = match dir {
+                    Direction::Forward => (b - d).mul_neg_i(),
+                    Direction::Inverse => (b - d).mul_i(),
+                };
+                out[k0] = t0 + t2;
+                out[k0 + m] = t1 + t3;
+                out[k0 + 2 * m] = t0 - t2;
+                out[k0 + 3 * m] = t1 - t3;
+            }
+            r => {
+                let step = self.n / r;
+                for c in 0..r {
+                    let mut acc = tmp[0];
+                    for (q, &t) in tmp.iter().enumerate().skip(1) {
+                        acc += t * self.tw(q * c * step, dir);
+                    }
+                    out[k0 + c * m] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use crate::Complex64;
+
+    #[test]
+    fn reference_kernel_still_matches_naive() {
+        for n in [2usize, 3, 4, 8, 12, 30, 64, 90] {
+            let plan = ReferencePlan::<f64>::new(n);
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            let mut y = x.clone();
+            plan.execute(&mut y, Direction::Forward);
+            let reference = dft_naive(&x);
+            for k in 0..n {
+                assert!(
+                    (y[k] - reference[k]).abs() < 1e-9 * (n as f64),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_strided_many_matches_per_column_dft() {
+        let (n, count) = (16usize, 6usize);
+        let plan = ReferencePlan::<f64>::new(n);
+        let mut data: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let orig = data.clone();
+        plan.execute_many(&mut data, count, 1, count, Direction::Forward);
+        for c in 0..count {
+            let col: Vec<Complex64> = (0..n).map(|r| orig[r * count + c]).collect();
+            let reference = dft_naive(&col);
+            for r in 0..n {
+                assert!((data[r * count + c] - reference[r]).abs() < 1e-9);
+            }
+        }
+    }
+}

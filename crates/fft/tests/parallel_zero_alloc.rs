@@ -1,0 +1,81 @@
+//! After warm-up, `ManyPlan::execute_parallel` must be allocation-free and
+//! thread-spawn-free: lines are chunked onto the persistent worker pool in
+//! `psdns-sync` and every scratch buffer comes from a plan-owned pool. This
+//! is the PR's zero-overhead acceptance criterion, enforced with a counting
+//! global allocator plus the pool's spawn counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use psdns_fft::{Complex64, Direction, ManyPlan};
+
+struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc {
+    allocs: AtomicU64::new(0),
+};
+
+fn alloc_count() -> u64 {
+    GLOBAL.allocs.load(Ordering::Relaxed)
+}
+
+#[test]
+fn execute_parallel_steady_state_is_alloc_and_spawn_free() {
+    let threads = 4;
+    let (n, count) = (64usize, 32usize);
+
+    // Contiguous and strided layouts exercise both pool dispatch paths.
+    let contiguous = ManyPlan::<f64>::contiguous(n, count);
+    let strided = ManyPlan::<f64>::new(n, count, 1, count);
+    let mut data: Vec<Complex64> = (0..n * count)
+        .map(|i| Complex64::new((i % 37) as f64, -((i % 11) as f64)))
+        .collect();
+
+    // Warm-up: spawns the global pool's workers (once per process) and
+    // populates every scratch pool involved.
+    for _ in 0..4 {
+        contiguous.execute_parallel(&mut data, Direction::Forward, threads);
+        strided.execute_parallel(&mut data, Direction::Forward, threads);
+    }
+
+    let spawned_before = psdns_sync::pool::global().stats().threads_spawned;
+    let allocs_before = alloc_count();
+    for _ in 0..16 {
+        contiguous.execute_parallel(&mut data, Direction::Forward, threads);
+        contiguous.execute_parallel(&mut data, Direction::Inverse, threads);
+        strided.execute_parallel(&mut data, Direction::Forward, threads);
+        strided.execute_parallel(&mut data, Direction::Inverse, threads);
+    }
+    let allocs_after = alloc_count();
+    let spawned_after = psdns_sync::pool::global().stats().threads_spawned;
+
+    assert_eq!(
+        spawned_after - spawned_before,
+        0,
+        "execute_parallel spawned threads after warm-up"
+    );
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "execute_parallel allocated on the steady-state path"
+    );
+}

@@ -2,7 +2,7 @@
 //! for *every* length, including awkward primes served by Bluestein.
 
 use proptest::prelude::*;
-use psdns_fft::{dft_naive, Complex64, Direction, FftPlan, ManyPlan, RealFftPlan};
+use psdns_fft::{dft_naive, Complex, Complex64, Direction, FftPlan, ManyPlan, RealFftPlan};
 
 fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
     prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), n..=n)
@@ -110,6 +110,59 @@ proptest! {
         }
         for k in 1..h {
             prop_assert!((full[n - k] - full[k].conj()).abs() < 1e-8);
+        }
+    }
+
+    /// The Stockham kernel matches the naive DFT in single precision too —
+    /// the range includes primes served by Bluestein (e.g. 37, 41, 43).
+    #[test]
+    fn matches_naive_f32(n in 1usize..48, seed in 0u64..1000) {
+        let x: Vec<Complex<f32>> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed.wrapping_add(7)) as f32;
+                Complex::new((t * 1e-3).sin(), (t * 7e-4).cos())
+            })
+            .collect();
+        let plan = FftPlan::<f32>::new(n);
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        let reference = dft_naive(&x);
+        for k in 0..n {
+            prop_assert!(
+                (y[k] - reference[k]).abs() < 1e-3 * (1.0 + reference[k].abs()),
+                "n={} k={}", n, k
+            );
+        }
+    }
+
+    /// Pool-backed parallel batch execution only changes how lines are
+    /// chunked across workers, so it must match serial execution on every
+    /// disjoint layout — contiguous (stride 1, dist >= n) or strided columns
+    /// (dist 1, stride >= count) — for any thread count.
+    #[test]
+    fn parallel_equals_serial_any_layout(
+        n in 1usize..24,
+        count in 1usize..10,
+        pad in 0usize..3,
+        columns in 0usize..2,
+        threads in 1usize..6,
+    ) {
+        let (stride, dist) = if columns == 1 {
+            (count + pad, 1)
+        } else {
+            (1, n + pad)
+        };
+        let len = (count - 1) * dist + (n - 1) * stride + 1;
+        let data: Vec<Complex64> = (0..len)
+            .map(|i| Complex64::new((i * 31 % 113) as f64 * 0.017, -((i * 17 % 89) as f64) * 0.023))
+            .collect();
+        let plan = ManyPlan::<f64>::new(n, stride, dist, count);
+        let mut par = data.clone();
+        plan.execute_parallel(&mut par, Direction::Forward, threads);
+        let mut ser = data;
+        plan.execute(&mut ser, Direction::Forward);
+        for i in 0..len {
+            prop_assert!((par[i] - ser[i]).abs() < 1e-12, "i={}", i);
         }
     }
 

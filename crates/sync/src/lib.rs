@@ -7,7 +7,13 @@
 //! mirrors `parking_lot` (`lock()` returns the guard directly, `Condvar::wait`
 //! takes `&mut MutexGuard`) so call sites stay idiomatic, and [`channel`]
 //! mirrors the `crossbeam::channel` unbounded constructors over
-//! `std::sync::mpsc`.
+//! `std::sync::mpsc`. The [`pool`] module adds a persistent spawn-once
+//! worker pool ([`pool::global`]) that the batched-FFT hot paths share for
+//! within-rank parallelism.
+
+pub mod pool;
+
+pub use pool::{PoolStats, WorkerPool};
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};

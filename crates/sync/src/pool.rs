@@ -1,0 +1,374 @@
+//! Persistent worker pool for within-rank data parallelism.
+//!
+//! The paper's hybrid MPI+OpenMP layer (§3.1) keeps a fixed team of threads
+//! alive for the whole run and hands them loop ranges; spawning OS threads
+//! per batched FFT call (as `std::thread::scope` does) costs tens of
+//! microseconds per invocation — comparable to the transform itself at small
+//! pencil counts. [`WorkerPool`] spawns its threads once and dispatches jobs
+//! with no heap allocation: a job is a raw fat pointer to a caller-stack
+//! closure plus an atomic range cursor that workers (and the caller) drain
+//! in chunks — dynamic "work stealing" over batch ranges, so an unlucky
+//! thread never serializes the tail.
+//!
+//! Dispatch protocol: the caller publishes a [`Job`] under the state mutex,
+//! bumps the epoch, and wakes the workers; every participant then claims
+//! `[lo, hi)` chunks via `fetch_add` until the cursor passes `total`. The
+//! caller always participates (so progress is guaranteed even with zero
+//! workers) and blocks until every joined worker has retired, which is what
+//! makes the borrowed-closure dispatch sound.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::{Condvar, Mutex};
+
+type Task = dyn Fn(usize, usize) + Sync;
+
+/// One published parallel-for: a borrowed closure and its iteration space.
+#[derive(Copy, Clone)]
+struct Job {
+    /// Fat pointer to the caller's closure. SAFETY: the caller blocks in
+    /// [`WorkerPool::run`] until every worker that joined this job retires,
+    /// so the pointee outlives every dereference.
+    task: *const Task,
+    total: usize,
+    chunk: usize,
+}
+
+// SAFETY: the closure behind `task` is `Sync` (shared-reference calls from
+// many threads are fine) and outlives the job per the protocol above.
+unsafe impl Send for Job {}
+
+struct State {
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers allowed to join the current job (caller-requested cap).
+    limit: usize,
+    joined: usize,
+    /// Workers currently executing the current job.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    done: Condvar,
+    cursor: AtomicUsize,
+    threads_spawned: AtomicU64,
+    jobs: AtomicU64,
+    chunks: AtomicU64,
+}
+
+/// Counters exposed for tests and perf baselines: `threads_spawned` must stay
+/// constant after warm-up, proving dispatch never spawns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    pub workers: usize,
+    pub threads_spawned: u64,
+    pub jobs: u64,
+    pub chunks: u64,
+}
+
+/// A spawn-once team of worker threads executing chunked index ranges.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    /// Serializes concurrent `run` calls from different threads (one job at
+    /// a time keeps the protocol single-epoch).
+    run_lock: Mutex<()>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` helper threads. `run` additionally uses
+    /// the calling thread, so total parallelism is `workers + 1`.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                limit: 0,
+                joined: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            threads_spawned: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            sh.threads_spawned.fetch_add(1, Ordering::Relaxed);
+            let h = std::thread::Builder::new()
+                .name(format!("psdns-pool-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn pool worker");
+            handles.push(h);
+        }
+        Self {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of helper threads (excluding callers).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            threads_spawned: self.shared.threads_spawned.load(Ordering::Relaxed),
+            jobs: self.shared.jobs.load(Ordering::Relaxed),
+            chunks: self.shared.chunks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute `task(lo, hi)` over disjoint chunks covering `0..total`,
+    /// using at most `max_threads` participants (the caller plus up to
+    /// `max_threads - 1` pool workers). Blocks until every chunk has run.
+    /// Performs no heap allocation.
+    pub fn run(
+        &self,
+        total: usize,
+        chunk: usize,
+        max_threads: usize,
+        task: &(dyn Fn(usize, usize) + Sync + '_),
+    ) {
+        if total == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let helpers = max_threads.saturating_sub(1).min(self.workers);
+        if helpers == 0 || total <= chunk {
+            task(0, total);
+            return;
+        }
+        let _one_job_at_a_time = self.run_lock.lock();
+        self.shared.jobs.fetch_add(1, Ordering::Relaxed);
+        self.shared.cursor.store(0, Ordering::Relaxed);
+        // SAFETY: erases the closure's lifetime. `run` does not return until
+        // `active == 0`, i.e. no worker holds the pointer any more.
+        let task_static: &'static Task = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize, usize) + Sync + '_), &'static Task>(task)
+        };
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert_eq!(st.active, 0, "stale workers from a previous job");
+            st.epoch += 1;
+            st.job = Some(Job {
+                task: task_static as *const Task,
+                total,
+                chunk,
+            });
+            st.limit = helpers;
+            st.joined = 0;
+            st.panicked = false;
+        }
+        self.shared.work.notify_all();
+        // The caller participates in its own job; catch panics so unwinding
+        // cannot tear down the closure while workers still reference it.
+        let caller = catch_unwind(AssertUnwindSafe(|| loop {
+            let lo = self.shared.cursor.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= total {
+                break;
+            }
+            self.shared.chunks.fetch_add(1, Ordering::Relaxed);
+            task(lo, (lo + chunk).min(total));
+        }));
+        let panicked = {
+            let mut st = self.shared.state.lock();
+            st.job = None; // no late joiners once the caller is done
+            while st.active > 0 {
+                self.shared.done.wait(&mut st);
+            }
+            st.panicked
+        };
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if panicked {
+            panic!("worker pool task panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(job) = st.job {
+                        if st.joined < st.limit {
+                            st.joined += 1;
+                            st.active += 1;
+                            break job;
+                        }
+                    }
+                }
+                shared.work.wait(&mut st);
+            }
+        };
+        // SAFETY: the publisher blocks until `active == 0`, so the closure
+        // is alive for the whole drain loop.
+        let task = unsafe { &*job.task };
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
+            let lo = shared.cursor.fetch_add(job.chunk, Ordering::Relaxed);
+            if lo >= job.total {
+                break;
+            }
+            shared.chunks.fetch_add(1, Ordering::Relaxed);
+            task(lo, (lo + job.chunk).min(job.total));
+        }));
+        let mut st = shared.state.lock();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The process-wide pool, sized to the machine and spawned on first use.
+/// Every batched-FFT hot path shares this team, so thread count stays
+/// bounded no matter how many plans are live.
+pub fn global() -> &'static WorkerPool {
+    GLOBAL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkerPool::new(n.saturating_sub(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn covers_range_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, 7, 4, &|lo, hi| {
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn serial_fallback_when_capped() {
+        let pool = WorkerPool::new(2);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, 3, 1, &|lo, hi| {
+            sum.fetch_add(hi - lo, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn no_spawns_after_warmup() {
+        let pool = WorkerPool::new(2);
+        let spawned = pool.stats().threads_spawned;
+        for _ in 0..20 {
+            pool.run(64, 4, 3, &|_, _| {});
+        }
+        assert_eq!(pool.stats().threads_spawned, spawned);
+        assert!(pool.stats().jobs >= 20);
+    }
+
+    #[test]
+    fn reusable_across_many_jobs() {
+        let pool = WorkerPool::new(4);
+        for round in 0..50 {
+            let count = AtomicUsize::new(0);
+            pool.run(round + 2, 1, 8, &|lo, hi| {
+                count.fetch_add(hi - lo, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), round + 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_serialize() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&pool);
+            let t = Arc::clone(&total);
+            joins.push(std::thread::spawn(move || {
+                p.run(100, 5, 3, &|lo, hi| {
+                    t.fetch_add(hi - lo, Ordering::Relaxed);
+                });
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(100, 1, 3, &|lo, _| {
+                if lo == 42 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Pool still usable afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.run(10, 2, 3, &|lo, hi| {
+            sum.fetch_add(hi - lo, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const WorkerPool;
+        let b = global() as *const WorkerPool;
+        assert_eq!(a, b);
+    }
+}

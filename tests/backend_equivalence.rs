@@ -146,6 +146,55 @@ fn all_backends_agree_on_the_spectrum() {
     }
 }
 
+/// Pin the spectra across the kernel swap: the distributed transforms (now
+/// running the iterative Stockham kernels) must reproduce the spectrum of
+/// the frozen pre-PR recursive kernel, computed serially in a single address
+/// space with `ReferencePlan`.
+#[test]
+fn spectrum_pinned_to_frozen_reference_kernel() {
+    use psdns::fft::{Direction, ReferencePlan};
+
+    let p = 2;
+    let nv = 2;
+    let nxh = N / 2 + 1;
+    let live = run_slab_backend(p, nv, |shape, comm| {
+        Box::new(SlabFftCpu::<f64>::new(shape, comm))
+    });
+
+    let plan = ReferencePlan::<f64>::new(N);
+    for (v, live_spec) in live.iter().enumerate().take(nv) {
+        // Full complex forward 3-D DFT with the frozen kernel, x fastest.
+        let mut data: Vec<Complex64> = (0..N * N * N)
+            .map(|i| {
+                let (x, y, z) = (i % N, (i / N) % N, i / (N * N));
+                Complex64::new(global_phys(x, y, z, v), 0.0)
+            })
+            .collect();
+        plan.execute_many(&mut data, 1, N, N * N, Direction::Forward);
+        for z in 0..N {
+            let base = z * N * N;
+            plan.execute_many(&mut data[base..base + N * N], N, 1, N, Direction::Forward);
+        }
+        for y in 0..N {
+            let base = y * N;
+            let end = base + (N - 1) * N * N + N;
+            plan.execute_many(&mut data[base..end], N * N, 1, N, Direction::Forward);
+        }
+        for z in 0..N {
+            for y in 0..N {
+                for x in 0..nxh {
+                    let got = live_spec[x + nxh * (y + N * z)];
+                    let want = data[x + N * (y + N * z)];
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "var {v} mode ({x},{y},{z}): live {got:?} vs frozen {want:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn pencil_decomposition_agrees_with_slab() {
     // The 2-D baseline distributes differently; compare via a gathered
