@@ -11,7 +11,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> unwrap/expect lint (crates/{comm,device,core}/src)"
+echo "==> unwrap/expect lint (crates/{comm,device,core,chaos}/src)"
 tools/lint.sh
 
 echo "==> cargo build --release"
@@ -30,6 +30,13 @@ echo "==> chaos smoke (seeded fault injection + recovery)"
 # Deterministic by construction: the suite pins its own seeds, so a failure
 # here reproduces locally with the exact same fault schedule.
 cargo test --offline -q --test chaos_recovery
+
+echo "==> chaos-shrink smoke (rank death -> agree -> shrink -> continue)"
+# Self-healing acceptance: injected crashes mid-campaign must complete on
+# the surviving ranks with reference-matching spectra, replay the same
+# fault/recovery trace per seed (the suite sweeps 3 seed/epoch pairs), and
+# convert unrecoverable double faults into typed errors — never a hang.
+cargo test --offline -q --test shrink_recovery
 
 echo "==> bench smoke (perf regression gate vs committed baselines)"
 # One timed iteration per benchmark, compared against BENCH_fft.json /

@@ -50,6 +50,13 @@ pub fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Hash an injection-site name into the deterministic decision/jitter
+/// streams. Public so retry loops outside this crate can salt
+/// [`RetryPolicy::backoff_for`] with their site key.
+pub fn site_salt(site: &str) -> u64 {
+    fnv1a(site.as_bytes())
+}
+
 /// FNV-1a over a byte string; used to hash site keys into the seed stream.
 #[inline]
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -181,12 +188,29 @@ impl Default for FaultPlan {
 }
 
 /// Bounded retry-with-backoff policy for retryable faults (message drop,
-/// transient copy failure). Backoff is linear: attempt `i` sleeps `i *
-/// backoff` before retrying.
+/// transient copy failure, checkpoint writes). One policy serves every
+/// retry loop in the stack — comm sends, device copies and checkpoint I/O
+/// all compute their sleep through [`RetryPolicy::backoff_for`], so retry
+/// behavior is tuned in exactly one place.
+///
+/// Backoff grows exponentially (attempt `i` waits `backoff · 2^i`) and is
+/// spread by *deterministic* jitter: a `±jitter_pct`% perturbation drawn
+/// from `splitmix64(jitter_seed ^ site ^ attempt)`. Same seed, same site,
+/// same attempt ⇒ the same sleep, so retry schedules are as reproducible as
+/// the fault schedule itself. `jitter_pct == 0` disables jitter;
+/// `exponential == false` falls back to the legacy linear ramp.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     pub max_retries: u32,
+    /// Base delay of the ramp (first retry waits about this long).
     pub backoff: Duration,
+    /// Exponential doubling (default) or the legacy linear `i · backoff`.
+    pub exponential: bool,
+    /// Jitter amplitude in percent of the computed delay, `0..=100`.
+    pub jitter_pct: u32,
+    /// Root of the deterministic jitter stream; [`ChaosEngine::retry`]
+    /// seeds it from the campaign seed.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -194,7 +218,34 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 3,
             backoff: Duration::from_micros(200),
+            exponential: true,
+            jitter_pct: 20,
+            jitter_seed: 0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based) at the injection
+    /// site hashed into `site_salt`. Pure function of the policy and its
+    /// arguments — two same-seed runs back off identically.
+    pub fn backoff_for(&self, attempt: u32, site_salt: u64) -> Duration {
+        let base = if self.exponential {
+            // Saturate the shift so absurd retry budgets cannot overflow.
+            self.backoff * 2u32.saturating_pow(attempt.min(16))
+        } else {
+            self.backoff * (attempt + 1)
+        };
+        if self.jitter_pct == 0 || base.is_zero() {
+            return base;
+        }
+        let draw = splitmix64(self.jitter_seed ^ site_salt ^ attempt as u64);
+        let pct = self.jitter_pct.min(100) as i64;
+        // Map the draw to [-pct, +pct] percent of the base delay.
+        let signed = (draw % (2 * pct as u64 + 1)) as i64 - pct;
+        let nanos = base.as_nanos() as i64;
+        let jittered = nanos + nanos * signed / 100;
+        Duration::from_nanos(jittered.max(0) as u64)
     }
 }
 
@@ -220,6 +271,11 @@ pub struct ChaosConfig {
     pub crash_rank: Option<usize>,
     /// Window is indexed by the rank's collective call number.
     pub crash: FaultPlan,
+    /// Additional per-rank crash plans, evaluated against the *same*
+    /// occurrence counter as `crash` — lets one campaign kill rank 1 at
+    /// collective 8 and rank 2 at collective 30 (e.g. a second failure
+    /// during or after recovery).
+    pub extra_crashes: Vec<(usize, FaultPlan)>,
     // -- device faults ------------------------------------------------------
     pub copy_fault: FaultPlan,
     pub alloc_fault: FaultPlan,
@@ -247,6 +303,7 @@ impl ChaosConfig {
             stall_duration: Duration::from_millis(50),
             crash_rank: None,
             crash: FaultPlan::OFF,
+            extra_crashes: Vec::new(),
             copy_fault: FaultPlan::OFF,
             alloc_fault: FaultPlan::OFF,
             stream_stall: FaultPlan::OFF,
@@ -334,8 +391,14 @@ impl ChaosEngine {
         &self.inner.config
     }
 
+    /// The retry policy, with its jitter stream rooted in the campaign seed
+    /// (unless the config pinned an explicit `jitter_seed`).
     pub fn retry(&self) -> RetryPolicy {
-        self.inner.config.retry
+        let mut p = self.inner.config.retry;
+        if p.jitter_seed == 0 {
+            p.jitter_seed = splitmix64(self.inner.config.seed ^ 0x7265_7472_795f_6a74);
+        }
+        p
     }
 
     pub fn delay_duration(&self) -> Duration {
@@ -366,6 +429,14 @@ impl ChaosEngine {
         if plan.is_off() {
             return false;
         }
+        self.check_plans(rank, site, kind, &[plan])
+    }
+
+    /// Evaluate one occurrence against several plans sharing one counter:
+    /// the per-`(site, kind)` counter advances exactly once, and each plan
+    /// is judged against the same occurrence index `k` (and the same random
+    /// draw). Callers must pass only non-off plans.
+    fn check_plans(&self, rank: usize, site: &str, kind: FaultKind, plans: &[FaultPlan]) -> bool {
         let site_hash = fnv1a(site.as_bytes()) ^ fnv1a(kind.label().as_bytes()).rotate_left(17);
         let k = {
             let mut counters = self.inner.counters.lock();
@@ -374,11 +445,12 @@ impl ChaosEngine {
             *c += 1;
             k
         };
-        if k < plan.from || k >= plan.until {
-            return false;
-        }
-        let fired = plan.prob >= 1.0
-            || unit_f64(splitmix64(self.inner.config.seed ^ site_hash ^ k)) < plan.prob;
+        let fired = plans.iter().any(|plan| {
+            k >= plan.from
+                && k < plan.until
+                && (plan.prob >= 1.0
+                    || unit_f64(splitmix64(self.inner.config.seed ^ site_hash ^ k)) < plan.prob)
+        });
         if fired {
             self.record(rank, site, kind, k);
         }
@@ -386,14 +458,28 @@ impl ChaosEngine {
     }
 
     /// Rank-crash probe; callers invoke this once per collective call.
-    /// Returns true when the calling rank should die now.
+    /// Returns true when the calling rank should die now. The primary
+    /// `crash` plan (gated by `crash_rank`) and any matching
+    /// `extra_crashes` entries are judged against one shared per-rank
+    /// occurrence counter, so "rank 1 dies at collective 8, rank 2 at
+    /// collective 30" composes without perturbing either schedule.
     pub fn rank_crash(&self, rank: usize) -> bool {
-        if let Some(r) = self.inner.config.crash_rank {
-            if r != rank {
-                return false;
-            }
+        let cfg = &self.inner.config;
+        let mut plans: Vec<FaultPlan> = Vec::new();
+        if cfg.crash_rank.is_none_or(|r| r == rank) {
+            plans.push(cfg.crash);
         }
-        self.check(rank, &format!("coll:r{rank}"), FaultKind::Crash)
+        plans.extend(
+            cfg.extra_crashes
+                .iter()
+                .filter(|&&(r, _)| r == rank)
+                .map(|&(_, p)| p),
+        );
+        plans.retain(|p| !p.is_off());
+        if plans.is_empty() {
+            return false;
+        }
+        self.check_plans(rank, &format!("coll:r{rank}"), FaultKind::Crash, &plans)
     }
 
     /// Rank-stall probe; callers invoke this once per a2a call. Returns the
@@ -546,6 +632,72 @@ mod tests {
         let e = ChaosEngine::new(cfg);
         assert!(!e.rank_crash(0));
         assert!(e.rank_crash(1));
+    }
+
+    #[test]
+    fn extra_crash_plans_share_one_counter() {
+        let mut cfg = ChaosConfig::new(9);
+        cfg.crash_rank = Some(1);
+        cfg.crash = FaultPlan::at(2);
+        cfg.extra_crashes = vec![(2, FaultPlan::at(4))];
+        let e = ChaosEngine::new(cfg);
+        // Rank 1 dies at its 3rd probe, rank 2 at its 5th, rank 0 never.
+        let fired1: Vec<bool> = (0..5).map(|_| e.rank_crash(1)).collect();
+        let fired2: Vec<bool> = (0..6).map(|_| e.rank_crash(2)).collect();
+        assert!((0..6).all(|_| !e.rank_crash(0)));
+        assert_eq!(fired1, vec![false, false, true, false, false]);
+        assert_eq!(fired2, vec![false, false, false, false, true, false]);
+        let log = e.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].rank, log[0].seq), (1, 2));
+        assert_eq!((log[1].rank, log[1].seq), (2, 4));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            backoff: Duration::from_micros(100),
+            exponential: true,
+            jitter_pct: 20,
+            jitter_seed: 7,
+        };
+        let salt = site_salt("ckpt:r0");
+        for attempt in 0..5u32 {
+            let a = p.backoff_for(attempt, salt);
+            let b = p.backoff_for(attempt, salt);
+            assert_eq!(a, b, "same (policy, site, attempt) must back off equally");
+            let base = Duration::from_micros(100) * 2u32.pow(attempt);
+            let lo = base.as_nanos() as f64 * 0.8;
+            let hi = base.as_nanos() as f64 * 1.2;
+            let got = a.as_nanos() as f64;
+            assert!(
+                got >= lo - 1.0 && got <= hi + 1.0,
+                "attempt {attempt}: {got}"
+            );
+        }
+        // Different sites decorrelate; zero jitter is exact.
+        assert_ne!(
+            p.backoff_for(3, site_salt("a")),
+            p.backoff_for(3, site_salt("b"))
+        );
+        let exact = RetryPolicy { jitter_pct: 0, ..p };
+        assert_eq!(exact.backoff_for(2, salt), Duration::from_micros(400));
+        let linear = RetryPolicy {
+            exponential: false,
+            jitter_pct: 0,
+            ..p
+        };
+        assert_eq!(linear.backoff_for(2, salt), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn engine_seeds_retry_jitter_stream() {
+        let e = ChaosEngine::new(ChaosConfig::new(123));
+        assert_ne!(e.retry().jitter_seed, 0);
+        let mut cfg = ChaosConfig::new(123);
+        cfg.retry.jitter_seed = 55;
+        assert_eq!(ChaosEngine::new(cfg).retry().jitter_seed, 55);
     }
 
     #[test]

@@ -237,8 +237,10 @@ impl Clone for Communicator {
             members: std::sync::Arc::clone(&self.members),
             coll_seq: std::sync::Arc::clone(&self.coll_seq),
             split_seq: std::sync::Arc::clone(&self.split_seq),
+            agree_seq: std::sync::Arc::clone(&self.agree_seq),
             tracer: self.tracer.clone(),
             a2a_deadline: self.a2a_deadline,
+            a2a_adaptive: self.a2a_adaptive.clone(),
             verifier: self.verifier.clone(),
         }
     }

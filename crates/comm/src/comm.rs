@@ -29,6 +29,13 @@ pub enum CommError {
     /// The peer rank died (injected crash or genuine panic) while we were
     /// waiting for its message.
     PeerFailed { src: usize },
+    /// A specific rank died in a resilient job ([`crate::Universe::
+    /// run_resilient`]): `rank` is the *global* rank and `epoch` the
+    /// per-rank collective call count at which it went down. Unlike
+    /// [`CommError::PeerFailed`], the job is still alive — survivors can
+    /// [`Communicator::agree_on_failures`], [`Communicator::shrink`] and
+    /// continue (the ULFM revoke/shrink/agree shape).
+    RankFailed { rank: usize, epoch: u64 },
 }
 
 impl fmt::Display for CommError {
@@ -48,6 +55,9 @@ impl fmt::Display for CommError {
             CommError::PeerFailed { src } => {
                 write!(f, "peer rank {src} failed while a receive was outstanding")
             }
+            CommError::RankFailed { rank, epoch } => {
+                write!(f, "rank {rank} failed at collective epoch {epoch}")
+            }
         }
     }
 }
@@ -56,6 +66,24 @@ impl std::error::Error for CommError {}
 
 /// Base tag for internal collective sequencing; user tags must be below it.
 pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
+
+/// Tag namespace of the failure-agreement protocol
+/// ([`Communicator::agree_on_failures`]); disjoint from user, collective and
+/// verifier tags.
+pub(crate) const AGREE_TAG_BASE: u64 = 1 << 34;
+
+/// Tag namespace for runtime-internal system messages (diskless buddy
+/// checkpoint replication); disjoint from everything else.
+pub(crate) const SYSTEM_TAG_BASE: u64 = 1 << 35;
+
+/// Rounds of the agreement exchange. Chaos-injected crashes fire only at
+/// collective boundaries and agreement is pure point-to-point, so membership
+/// is fixed while a round runs; two rounds make every discovery (including a
+/// rank that died *entering* agreement) symmetric across survivors.
+const AGREE_ROUNDS: u64 = 2;
+
+/// Observations kept by the adaptive a2a watchdog's rolling window.
+const ADAPTIVE_WINDOW_CAP: usize = 64;
 
 /// Poll period of deadline-aware / failure-aware receive loops. Fault-free
 /// jobs (no chaos engine, no deadline) never poll — they block on the
@@ -67,6 +95,66 @@ fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Adaptive all-to-all watchdog: the deadline tracks observed exchange
+/// latency instead of being a fixed guess. Deadline = `max(floor, factor ×
+/// p99)` over a rolling window of recent successful waits, so a slow-but-
+/// healthy machine does not trip the watchdog while a genuinely hung
+/// exchange still surfaces quickly. The fixed `floor` guards the cold-start
+/// case (empty window) and bounds how tight the deadline can get.
+#[derive(Clone, Debug)]
+pub struct AdaptiveWatchdog {
+    floor: Duration,
+    factor: u32,
+    window: Arc<psdns_sync::Mutex<std::collections::VecDeque<u64>>>,
+}
+
+impl AdaptiveWatchdog {
+    pub fn new(floor: Duration, factor: u32) -> Self {
+        assert!(factor > 0, "watchdog factor must be positive");
+        Self {
+            floor,
+            factor,
+            window: Arc::new(psdns_sync::Mutex::new(std::collections::VecDeque::new())),
+        }
+    }
+
+    /// Same policy, fresh (empty) window. Used when the communicator
+    /// changes shape (split/shrink): latencies measured on the old topology
+    /// do not transfer.
+    pub(crate) fn fresh(&self) -> Self {
+        Self::new(self.floor, self.factor)
+    }
+
+    /// Record the latency of a successfully completed exchange.
+    pub fn observe(&self, elapsed: Duration) {
+        let mut w = self.window.lock();
+        if w.len() == ADAPTIVE_WINDOW_CAP {
+            w.pop_front();
+        }
+        w.push_back(elapsed.as_nanos() as u64);
+    }
+
+    /// Current deadline: `max(floor, factor × p99(window))`; just `floor`
+    /// while the window is empty.
+    pub fn deadline(&self) -> Duration {
+        let w = self.window.lock();
+        if w.is_empty() {
+            return self.floor;
+        }
+        let mut v: Vec<u64> = w.iter().copied().collect();
+        v.sort_unstable();
+        let idx = (v.len() * 99).div_ceil(100).saturating_sub(1);
+        let p99 = v[idx.min(v.len() - 1)];
+        self.floor
+            .max(Duration::from_nanos(p99.saturating_mul(self.factor as u64)))
+    }
+
+    /// Number of latency observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.window.lock().len()
+    }
 }
 
 /// An MPI-style communicator: a set of ranks that can exchange point-to-point
@@ -85,12 +173,20 @@ pub struct Communicator {
     pub(crate) coll_seq: Arc<AtomicU64>,
     /// Sequence number for `split` calls, part of child ctx derivation.
     pub(crate) split_seq: Arc<AtomicU64>,
+    /// Sequence number for `agree_on_failures` calls; survivors call agree
+    /// in lockstep, so this stays identical across ranks and keeps the
+    /// agreement tag space collision-free across repeated recoveries.
+    pub(crate) agree_seq: Arc<AtomicU64>,
     /// Optional per-rank trace handle; all-to-alls record spans and byte
     /// counters on it when attached.
     pub(crate) tracer: Option<psdns_trace::Tracer>,
     /// Watchdog deadline applied by [`crate::Request::wait_watchdog`]; `None`
     /// means wait forever (the pre-chaos behavior).
     pub(crate) a2a_deadline: Option<Duration>,
+    /// Adaptive watchdog; when set it takes precedence over the fixed
+    /// `a2a_deadline`, with the fixed value acting only through the floor
+    /// passed at construction.
+    pub(crate) a2a_adaptive: Option<AdaptiveWatchdog>,
     /// Optional collective-matching verifier; when attached, every primitive
     /// collective is preceded by a cross-rank fingerprint check.
     pub(crate) verifier: Option<crate::verify::VerifierState>,
@@ -106,8 +202,10 @@ impl Communicator {
             members: Arc::new((0..size).collect()),
             coll_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
+            agree_seq: Arc::new(AtomicU64::new(0)),
             tracer: None,
             a2a_deadline: None,
+            a2a_adaptive: None,
             verifier: None,
         }
     }
@@ -137,6 +235,43 @@ impl Communicator {
         self.a2a_deadline
     }
 
+    /// Enable the adaptive a2a watchdog: the deadline becomes `max(floor,
+    /// factor × p99)` over a rolling window of observed exchange latencies
+    /// (see [`AdaptiveWatchdog`]). Takes precedence over the fixed watchdog
+    /// in [`crate::Request::wait_watchdog`]; the fixed deadline is a natural
+    /// choice of `floor`.
+    pub fn set_adaptive_a2a_watchdog(&mut self, floor: Duration, factor: u32) {
+        self.a2a_adaptive = Some(AdaptiveWatchdog::new(floor, factor));
+    }
+
+    /// The adaptive watchdog, if enabled.
+    pub fn adaptive_a2a_watchdog(&self) -> Option<&AdaptiveWatchdog> {
+        self.a2a_adaptive.as_ref()
+    }
+
+    /// True when this job runs under [`crate::Universe::run_resilient`]:
+    /// rank death is survivable and surfaces as
+    /// [`CommError::RankFailed`] rather than tearing the job down.
+    pub fn resilient(&self) -> bool {
+        self.shared.resilient
+    }
+
+    /// Failure-detector read: every rank known dead, as sorted
+    /// `(global rank, collective epoch at death)` pairs. This is each
+    /// rank's *local view*; run [`Communicator::agree_on_failures`] before
+    /// acting on it so all survivors shrink over the same set.
+    pub fn departed(&self) -> Vec<(usize, u64)> {
+        self.shared.departed_snapshot()
+    }
+
+    /// Logical heartbeat of a global rank: its collective-epoch counter.
+    /// A rank whose heartbeat stops advancing while its peers' grow is
+    /// stalled or dead. Logical (not wall-clock) so chaos runs stay
+    /// seed-deterministic.
+    pub fn heartbeat(&self, grank: usize) -> u64 {
+        self.shared.coll_epoch[grank].load(Ordering::Relaxed)
+    }
+
     /// The fault-injection engine of this job, when running under
     /// [`crate::Universe::run_chaos`].
     pub fn chaos(&self) -> Option<&psdns_chaos::ChaosEngine> {
@@ -159,14 +294,26 @@ impl Communicator {
     }
 
     pub(crate) fn next_coll_tag(&self) -> u64 {
+        let grank = self.members[self.rank];
+        // The collective-epoch counter advances exactly once per collective
+        // call, in lockstep with the chaos crash counter below — so
+        // `FaultPlan::at(k)` means "die at collective epoch k" and the
+        // reported epoch identifies which collective the crash interrupted.
+        let epoch = self.shared.coll_epoch[grank].fetch_add(1, Ordering::Relaxed);
         if let Some(ch) = &self.shared.chaos {
-            let grank = self.members[self.rank];
             if ch.rank_crash(grank) {
-                // Mark the job failed *before* dying so peers blocked in
-                // polling receives bail out promptly with PeerFailed.
-                self.shared
-                    .fail(grank, format!("chaos: injected crash on rank {grank}"));
-                panic!("chaos: injected crash on rank {grank}");
+                let msg =
+                    format!("chaos: injected crash on rank {grank} at collective epoch {epoch}");
+                if self.shared.resilient {
+                    // Survivable death: record it *before* panicking so
+                    // peers' receives turn into typed RankFailed promptly.
+                    self.shared.mark_departed(grank, epoch, msg.clone());
+                } else {
+                    // Mark the job failed before dying so peers blocked in
+                    // polling receives bail out promptly with PeerFailed.
+                    self.shared.fail_at(grank, msg.clone(), Some(epoch));
+                }
+                panic!("{msg}");
             }
         }
         COLL_TAG_BASE + self.coll_seq.fetch_add(1, Ordering::Relaxed)
@@ -197,10 +344,11 @@ impl Communicator {
         };
         let site = format!("msg:{gsrc}->{gdst}");
         // Drop fault: each transmission attempt may be lost; retry with
-        // linear backoff up to the policy bound. If every attempt is lost
-        // the message is genuinely gone — the receiver's watchdog turns
-        // that into a typed Timeout.
+        // jittered exponential backoff up to the policy bound. If every
+        // attempt is lost the message is genuinely gone — the receiver's
+        // watchdog turns that into a typed Timeout.
         let policy = ch.retry();
+        let salt = psdns_chaos::site_salt(&site);
         let mut lost = true;
         for attempt in 0..=policy.max_retries {
             if !ch.check(gsrc, &site, FaultKind::Drop) {
@@ -208,7 +356,7 @@ impl Communicator {
                 break;
             }
             if attempt < policy.max_retries {
-                std::thread::sleep(policy.backoff * (attempt + 1));
+                std::thread::sleep(policy.backoff_for(attempt, salt));
             }
         }
         if lost {
@@ -342,6 +490,45 @@ impl Communicator {
                     if self.shared.job_failed() {
                         return Err(CommError::PeerFailed { src });
                     }
+                    // Revocation check (ULFM revoke semantics): once a
+                    // survivor revoked this communicator, ordinary traffic
+                    // on it fails so ranks stuck in an abandoned collective
+                    // escape and can join the agreement. Agreement/system
+                    // tags are exempt — they must keep working on a revoked
+                    // communicator, exactly like ULFM's agree/shrink.
+                    if tag < AGREE_TAG_BASE && self.shared.ctx_revoked(self.ctx) {
+                        if let Some((rank, epoch)) = self.shared.first_departed() {
+                            return Err(CommError::RankFailed { rank, epoch });
+                        }
+                    }
+                    if let Some(epoch) = self.shared.departed_epoch(gsrc) {
+                        // The peer is dead, but messages it sent before
+                        // dying are still valid: drain the channel fully
+                        // into pending, then do one final match. Only when
+                        // nothing matches is the message truly never coming.
+                        loop {
+                            let pkt = {
+                                let rx = self.shared.rx[gme][gsrc].lock();
+                                match rx.try_recv() {
+                                    Ok(p) => p,
+                                    Err(_) => break,
+                                }
+                            };
+                            if let Some(pkt) = self.shared.ingest(gme, pkt) {
+                                self.shared.pending[gme][gsrc].lock().push_back(pkt);
+                            }
+                        }
+                        self.shared.flush_held(gsrc, gme);
+                        let mut pend = self.shared.pending[gme][gsrc].lock();
+                        if let Some(pos) =
+                            pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag)
+                        {
+                            let pkt = pend.remove(pos).expect("position valid");
+                            drop(pend);
+                            return downcast(pkt, src, tag);
+                        }
+                        return Err(CommError::RankFailed { rank: gsrc, epoch });
+                    }
                 }
             }
         }
@@ -391,6 +578,158 @@ impl Communicator {
         self.recv(src, tag)
     }
 
+    /// Revoke this communicator, the analogue of ULFM's `MPI_Comm_revoke`:
+    /// once any rank has detected a failure, ordinary receives on this
+    /// communicator return [`CommError::RankFailed`] on every rank instead
+    /// of blocking — necessary because rooted collectives (barrier, bcast)
+    /// hide a non-root death from the other non-root ranks, which would
+    /// otherwise wait forever on a root that already abandoned the
+    /// collective. Agreement and system traffic keeps working on a revoked
+    /// communicator. Called implicitly by
+    /// [`Communicator::agree_on_failures`].
+    pub fn revoke(&self) {
+        self.shared.revoke_ctx(self.ctx);
+    }
+
+    /// Deterministic agreement on the failed-rank set, the analogue of
+    /// ULFM's `MPI_Comm_agree`: every survivor returns the *same* sorted
+    /// `(global rank, epoch-at-death)` list, so the subsequent
+    /// [`Communicator::shrink`] is purely local and still produces
+    /// identical communicators on every survivor.
+    ///
+    /// Protocol: [`AGREE_ROUNDS`] rounds of complete view exchange among
+    /// the ranks each survivor currently believes alive. Views only grow
+    /// (deaths are monotone), a dead peer's silence itself surfaces as
+    /// [`CommError::RankFailed`] and merges into the view, and because
+    /// chaos crashes fire only at collective boundaries (agreement is pure
+    /// point-to-point) membership cannot change mid-protocol — two rounds
+    /// make every view identical. A peer that is alive but unresponsive
+    /// past `per_peer_deadline` yields a typed [`CommError::Timeout`];
+    /// agreement never hangs.
+    ///
+    /// Survivors must call this collectively (same call count on each),
+    /// like any collective.
+    pub fn agree_on_failures(
+        &self,
+        per_peer_deadline: Duration,
+    ) -> Result<Vec<(usize, u64)>, CommError> {
+        // Revoke first (see [`Communicator::revoke`]): peers still stuck in
+        // an abandoned collective on this communicator fail over to the
+        // agreement instead of waiting on a rank that already bailed out.
+        self.revoke();
+        let seq = self.agree_seq.fetch_add(1, Ordering::Relaxed);
+        let gme = self.members[self.rank];
+        let mut view: std::collections::BTreeMap<u64, u64> = self
+            .shared
+            .departed_snapshot()
+            .into_iter()
+            .map(|(r, e)| (r as u64, e))
+            .collect();
+        for round in 0..AGREE_ROUNDS {
+            let tag = AGREE_TAG_BASE + seq * AGREE_ROUNDS + round;
+            let alive: Vec<usize> = (0..self.size())
+                .filter(|&r| !view.contains_key(&(self.members[r] as u64)))
+                .collect();
+            let payload: Vec<(u64, u64)> = view.iter().map(|(&r, &e)| (r, e)).collect();
+            for &r in &alive {
+                if self.members[r] != gme {
+                    self.send_raw(r, tag, payload.clone());
+                }
+            }
+            for &r in &alive {
+                if self.members[r] == gme {
+                    continue;
+                }
+                let deadline = Instant::now() + per_peer_deadline;
+                match self.recv_match_deadline::<(u64, u64)>(r, tag, Some(deadline)) {
+                    Ok(peer_view) => view.extend(peer_view),
+                    Err(CommError::RankFailed { rank, epoch }) => {
+                        // Discovered during the exchange itself; shared
+                        // ground truth makes this symmetric across
+                        // survivors.
+                        view.insert(rank as u64, epoch);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(view.into_iter().map(|(r, e)| (r as usize, e)).collect())
+    }
+
+    /// Build the surviving communicator after agreement, the analogue of
+    /// ULFM's `MPI_Comm_shrink`: drop `failed` ranks, re-rank survivors in
+    /// ascending global-rank order, and derive a fresh context id from the
+    /// agreed failure set. The fresh ctx isolates stale messages of the
+    /// abandoned pre-failure communicator and gives collectives (and the
+    /// attached [`crate::CollectiveVerifier`], if any) a clean namespace
+    /// and fresh sequence counters — the "new epoch" of the recovery.
+    ///
+    /// Purely local: every survivor feeding in the same agreed list (see
+    /// [`Communicator::agree_on_failures`]) builds an identical
+    /// communicator without further messaging.
+    pub fn shrink(&self, failed: &[(usize, u64)]) -> Communicator {
+        let gme = self.members[self.rank];
+        assert!(
+            failed.iter().all(|&(r, _)| r != gme),
+            "a failed rank cannot shrink"
+        );
+        let dead: std::collections::HashSet<usize> = failed.iter().map(|&(r, _)| r).collect();
+        let members: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|r| !dead.contains(r))
+            .collect();
+        assert!(!members.is_empty(), "no survivors to shrink onto");
+        let my_local = members
+            .iter()
+            .position(|&r| r == gme)
+            .expect("survivor present in shrunken membership");
+        // Chain the ctx through the agreed failure set: identical on every
+        // survivor, distinct from the parent and from any earlier shrink.
+        let mut ctx = splitmix64(self.ctx ^ 0x5348_5249_4E4B_4544); // "SHRINKED"
+        for &(r, e) in failed {
+            ctx = splitmix64(ctx ^ (r as u64) ^ e.rotate_left(17));
+        }
+        Communicator {
+            shared: Arc::clone(&self.shared),
+            ctx,
+            rank: my_local,
+            members: Arc::new(members),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            split_seq: Arc::new(AtomicU64::new(0)),
+            agree_seq: Arc::new(AtomicU64::new(0)),
+            tracer: self.tracer.as_ref().map(|t| t.for_rank(my_local)),
+            a2a_deadline: self.a2a_deadline,
+            // Latencies observed on the old topology do not transfer.
+            a2a_adaptive: self.a2a_adaptive.as_ref().map(|w| w.fresh()),
+            verifier: self
+                .verifier
+                .as_ref()
+                .map(|s| crate::verify::VerifierState::new(s.v.clone())),
+        }
+    }
+
+    /// Send on the runtime-internal system tag namespace (buddy checkpoint
+    /// replication). System messages never collide with user, collective,
+    /// verifier or agreement traffic.
+    pub fn send_system<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(tag < COLL_TAG_BASE, "system tags must be < 2^32");
+        self.send_raw(dst, SYSTEM_TAG_BASE + tag, data);
+    }
+
+    /// Receive a system message; failure-aware — a dead sender surfaces as
+    /// [`CommError::RankFailed`] (after draining anything it sent before
+    /// dying) instead of blocking forever.
+    pub fn recv_system<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Result<Vec<T>, CommError> {
+        assert!(tag < COLL_TAG_BASE, "system tags must be < 2^32");
+        self.recv_match_deadline(src, SYSTEM_TAG_BASE + tag, None)
+    }
+
     /// Partition this communicator into sub-communicators: ranks passing the
     /// same `color` end up together, ordered by `(key, parent rank)`.
     /// Equivalent to `MPI_Comm_split`.
@@ -421,10 +760,12 @@ impl Communicator {
             members: Arc::new(members),
             coll_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
+            agree_seq: Arc::new(AtomicU64::new(0)),
             // Re-attribute to the child rank so sub-communicator traffic
             // still lands on the right per-rank counters.
             tracer: self.tracer.as_ref().map(|t| t.for_rank(my_local)),
             a2a_deadline: self.a2a_deadline,
+            a2a_adaptive: self.a2a_adaptive.as_ref().map(|w| w.fresh()),
             // Children inherit the verifier but count their own rounds.
             verifier: self
                 .verifier
@@ -443,7 +784,125 @@ fn downcast<T: Send + 'static>(pkt: Packet, src: usize, tag: u64) -> Result<Vec<
 
 #[cfg(test)]
 mod tests {
-    use crate::Universe;
+    use super::AdaptiveWatchdog;
+    use crate::{CommError, Universe};
+    use psdns_chaos::{ChaosConfig, ChaosEngine, FaultPlan};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    #[test]
+    fn adaptive_watchdog_floor_and_p99() {
+        let wd = AdaptiveWatchdog::new(Duration::from_millis(10), 5);
+        assert_eq!(wd.deadline(), Duration::from_millis(10));
+        for _ in 0..10 {
+            wd.observe(Duration::from_millis(1));
+        }
+        // 5 × p99(1ms) = 5ms, below the floor.
+        assert_eq!(wd.deadline(), Duration::from_millis(10));
+        wd.observe(Duration::from_millis(100));
+        assert_eq!(wd.deadline(), Duration::from_millis(500));
+        assert_eq!(wd.observations(), 11);
+    }
+
+    #[test]
+    fn departed_rank_messages_drain_before_rank_failed() {
+        let mut cfg = ChaosConfig::new(3);
+        cfg.crash = FaultPlan::at(0);
+        cfg.crash_rank = Some(1);
+        let out = Universe::run_resilient(2, ChaosEngine::new(cfg), |comm| {
+            if comm.rank() == 1 {
+                comm.send_system(0, 5, vec![42u8]);
+                comm.barrier(); // dies here, at collective epoch 0
+                0u8
+            } else {
+                // The message sent before death must still be delivered...
+                let got = comm.recv_system::<u8>(1, 5).expect("pre-death message");
+                assert_eq!(got, vec![42]);
+                // ...and only a message that never comes turns into a
+                // typed RankFailed naming the rank and its death epoch.
+                let err = comm.recv_system::<u8>(1, 6).expect_err("rank 1 is dead");
+                assert_eq!(err, CommError::RankFailed { rank: 1, epoch: 0 });
+                got[0]
+            }
+        })
+        .expect("resilient job survives the crash");
+        assert_eq!(out[0], Some(42));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn resilient_crash_agree_shrink_continue() {
+        let mut cfg = ChaosConfig::new(7);
+        cfg.crash = FaultPlan::at(2);
+        cfg.crash_rank = Some(1);
+        let out = Universe::run_resilient(3, ChaosEngine::new(cfg), |comm| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                for _ in 0..5 {
+                    comm.barrier();
+                }
+            }));
+            match r {
+                Ok(()) => (comm.size(), 0u64),
+                Err(_) => {
+                    // Failure detector saw the death; all survivors must
+                    // agree on the same (rank, epoch) set...
+                    let failed = comm
+                        .agree_on_failures(Duration::from_secs(5))
+                        .expect("agreement converges");
+                    assert_eq!(failed, vec![(1, 2)]);
+                    assert!(comm.departed().contains(&(1, 2)));
+                    // ...then shrink locally and keep computing.
+                    let small = comm.shrink(&failed);
+                    assert_eq!(small.size(), 2);
+                    for _ in 0..3 {
+                        small.barrier();
+                    }
+                    let sum: u64 = small.allgather(&[small.rank() as u64]).iter().sum();
+                    (small.size(), sum)
+                }
+            }
+        })
+        .expect("resilient job survives the crash");
+        assert_eq!(out[1], None);
+        assert_eq!(out[0], Some((2, 1)));
+        assert_eq!(out[2], Some((2, 1)));
+    }
+
+    #[test]
+    fn second_crash_after_shrink_heals_again() {
+        let mut cfg = ChaosConfig::new(11);
+        cfg.crash = FaultPlan::at(2);
+        cfg.crash_rank = Some(1);
+        // Rank 2 dies later, while the once-shrunken communicator is
+        // already back at work.
+        cfg.extra_crashes.push((2, FaultPlan::at(4)));
+        let out = Universe::run_resilient(3, ChaosEngine::new(cfg), |comm| {
+            let mut cur = comm.clone();
+            let mut heals = 0u32;
+            loop {
+                let c = cur.clone();
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    for _ in 0..8 {
+                        c.barrier();
+                    }
+                }));
+                match r {
+                    Ok(()) => return (cur.size(), heals),
+                    Err(_) => {
+                        let failed = cur
+                            .agree_on_failures(Duration::from_secs(5))
+                            .expect("agreement converges");
+                        cur = cur.shrink(&failed);
+                        heals += 1;
+                    }
+                }
+            }
+        })
+        .expect("resilient job survives both crashes");
+        assert_eq!(out[1], None);
+        assert_eq!(out[2], None);
+        assert_eq!(out[0], Some((1, 2)));
+    }
 
     #[test]
     fn ring_exchange() {

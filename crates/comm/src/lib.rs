@@ -37,7 +37,7 @@ mod request;
 mod universe;
 mod verify;
 
-pub use comm::{CommError, Communicator};
+pub use comm::{AdaptiveWatchdog, CommError, Communicator};
 pub use request::Request;
 pub use universe::{Universe, UniverseError};
 

@@ -75,7 +75,18 @@ impl<T: Clone + Send + 'static> Request<T> {
     /// [`Communicator::set_a2a_watchdog`]): a hung exchange surfaces as
     /// [`CommError::Timeout`] within the deadline instead of blocking
     /// forever. Without a configured watchdog this is a plain `wait`.
+    ///
+    /// With [`Communicator::set_adaptive_a2a_watchdog`] enabled, the
+    /// deadline tracks a rolling window of observed exchange latencies
+    /// (`max(floor, factor × p99)`) and each successful wait feeds the
+    /// window; the adaptive deadline takes precedence over the fixed one.
     pub fn wait_watchdog(self) -> Result<Vec<T>, CommError> {
+        if let Some(wd) = self.comm.adaptive_a2a_watchdog().cloned() {
+            let started = Instant::now();
+            let out = self.wait_deadline(wd.deadline())?;
+            wd.observe(started.elapsed());
+            return Ok(out);
+        }
         match self.comm.a2a_watchdog() {
             Some(deadline) => self.wait_deadline(deadline),
             None => Ok(self.wait()),
@@ -97,6 +108,10 @@ impl<T: Clone + Send + 'static> Request<T> {
 
     /// Non-blocking completion check: returns `Ok(data)` if every peer's
     /// chunk has already arrived, otherwise gives the request back.
+    // The Err variant *is* the not-yet-complete request handed back to the
+    // caller (MPI_Test semantics); boxing it would complicate every caller
+    // for a cold path.
+    #[allow(clippy::result_large_err)]
     pub fn test(self) -> Result<Vec<T>, Request<T>> {
         let size = self.comm.size();
         // Peek cheaply: if any chunk is missing we must not consume others,
@@ -160,6 +175,22 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use crate::Universe;
+
+    #[test]
+    fn adaptive_watchdog_feeds_window() {
+        let out = Universe::run(2, |mut comm| {
+            comm.set_adaptive_a2a_watchdog(std::time::Duration::from_secs(5), 5);
+            for _ in 0..3 {
+                let req = comm.ialltoall(&[comm.rank() as u8; 2]);
+                let got = req.wait_watchdog().expect("exchange completes");
+                assert_eq!(got, vec![0, 1]);
+            }
+            comm.adaptive_a2a_watchdog()
+                .expect("enabled")
+                .observations()
+        });
+        assert_eq!(out, vec![3, 3]);
+    }
 
     #[test]
     fn wait_into_fills_buffer() {

@@ -2,7 +2,7 @@
 //! thread per rank.
 
 use std::any::Any;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,12 +54,40 @@ pub(crate) struct Shared {
     /// Set when any rank died; pollers convert this into a typed error
     /// instead of waiting forever for a message that will never come.
     failed: AtomicBool,
-    /// First failure wins: (rank, panic message).
-    failure: Mutex<Option<(usize, String)>>,
+    /// First failure wins: (rank, panic message, collective epoch if known).
+    failure: Mutex<Option<(usize, String, Option<u64>)>>,
+    /// Resilient mode ([`Universe::run_resilient`]): rank death marks the
+    /// victim *departed* instead of failing the whole job, so survivors can
+    /// agree, shrink and continue.
+    pub resilient: bool,
+    /// Per-rank collective-epoch counters, bumped once per collective call
+    /// (see [`Communicator::next_coll_tag`]). Doubles as the rank's logical
+    /// heartbeat: a rank whose counter stops advancing while peers' grow is
+    /// the one the failure detector points at. Wall-clock heartbeats would
+    /// break seed-determinism; logical ones do not.
+    pub coll_epoch: Vec<AtomicU64>,
+    /// Ranks that died, with the collective epoch at death and the panic
+    /// message — the ground truth the survivors' agreement round converges
+    /// on.
+    departed: Mutex<BTreeMap<usize, Departed>>,
+    /// Revoked communicator contexts (ULFM `MPI_Comm_revoke` analogue):
+    /// ordinary receives on a revoked ctx fail with `RankFailed` so ranks
+    /// stuck in an abandoned collective learn about a failure they cannot
+    /// observe directly (e.g. a non-root rank waiting on a root that bailed
+    /// out of a rooted barrier).
+    revoked: Mutex<HashSet<u64>>,
+}
+
+/// Death record of one rank.
+#[derive(Clone, Debug)]
+pub(crate) struct Departed {
+    pub epoch: u64,
+    #[allow(dead_code)]
+    pub message: String,
 }
 
 impl Shared {
-    fn new(size: usize, chaos: Option<ChaosEngine>) -> Arc<Self> {
+    fn new(size: usize, chaos: Option<ChaosEngine>, resilient: bool) -> Arc<Self> {
         let mut tx: Vec<Vec<Sender<Packet>>> = (0..size).map(|_| Vec::new()).collect();
         let mut rx: Vec<Vec<Mutex<Receiver<Packet>>>> = (0..size).map(|_| Vec::new()).collect();
         // Channel (src, dst): sender stored under src, receiver under dst.
@@ -94,6 +122,10 @@ impl Shared {
             next_uid: AtomicU64::new(1),
             failed: AtomicBool::new(false),
             failure: Mutex::new(None),
+            resilient,
+            coll_epoch: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            departed: Mutex::new(BTreeMap::new()),
+            revoked: Mutex::new(HashSet::new()),
         })
     }
 
@@ -102,17 +134,64 @@ impl Shared {
     }
 
     pub(crate) fn fail(&self, rank: usize, message: String) {
+        self.fail_at(rank, message, None);
+    }
+
+    pub(crate) fn fail_at(&self, rank: usize, message: String, epoch: Option<u64>) {
         {
             let mut f = self.failure.lock();
             if f.is_none() {
-                *f = Some((rank, message));
+                *f = Some((rank, message, epoch));
             }
         }
         self.failed.store(true, Ordering::Release);
     }
 
-    fn take_failure(&self) -> Option<(usize, String)> {
+    fn take_failure(&self) -> Option<(usize, String, Option<u64>)> {
         self.failure.lock().take()
+    }
+
+    /// Record a rank's death without failing the job (resilient mode).
+    /// First record per rank wins; pollers waiting on this rank bail out
+    /// with a typed [`crate::CommError::RankFailed`].
+    pub(crate) fn mark_departed(&self, rank: usize, epoch: u64, message: String) {
+        self.departed
+            .lock()
+            .entry(rank)
+            .or_insert(Departed { epoch, message });
+    }
+
+    /// The epoch at which `rank` died, if it has.
+    pub(crate) fn departed_epoch(&self, rank: usize) -> Option<u64> {
+        self.departed.lock().get(&rank).map(|d| d.epoch)
+    }
+
+    /// Mark a communicator context revoked.
+    pub(crate) fn revoke_ctx(&self, ctx: u64) {
+        self.revoked.lock().insert(ctx);
+    }
+
+    /// True when `ctx` has been revoked.
+    pub(crate) fn ctx_revoked(&self, ctx: u64) -> bool {
+        self.revoked.lock().contains(&ctx)
+    }
+
+    /// The lowest-ranked dead rank, as `(global rank, epoch)`, if any.
+    pub(crate) fn first_departed(&self) -> Option<(usize, u64)> {
+        self.departed
+            .lock()
+            .iter()
+            .next()
+            .map(|(&r, d)| (r, d.epoch))
+    }
+
+    /// Snapshot of every dead rank as `(global rank, epoch)`, sorted.
+    pub(crate) fn departed_snapshot(&self) -> Vec<(usize, u64)> {
+        self.departed
+            .lock()
+            .iter()
+            .map(|(&r, d)| (r, d.epoch))
+            .collect()
     }
 
     /// Duplicate filter applied to every packet pulled off a channel or the
@@ -148,11 +227,23 @@ pub struct UniverseError {
     pub rank: usize,
     /// Its panic message.
     pub message: String,
+    /// The collective epoch (per-rank collective call count) the crash
+    /// interrupted, when the death happened at a collective boundary —
+    /// `FaultPlan::at(k)` crash injection dies at epoch `k`, so tests can
+    /// assert recovery resumed from the right step.
+    pub epoch: Option<u64>,
 }
 
 impl fmt::Display for UniverseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rank {} failed: {}", self.rank, self.message)
+        match self.epoch {
+            Some(e) => write!(
+                f,
+                "rank {} failed at collective epoch {e}: {}",
+                self.rank, self.message
+            ),
+            None => write!(f, "rank {} failed: {}", self.rank, self.message),
+        }
     }
 }
 
@@ -179,8 +270,8 @@ impl Universe {
         F: Fn(Communicator) -> R + Send + Sync,
         R: Send,
     {
-        match Self::run_inner(size, None, f) {
-            Ok(v) => v,
+        match Self::run_inner(size, None, false, f) {
+            Ok(v) => v.into_iter().map(|r| r.expect("rank result")).collect(),
             Err(e) => panic!("rank panicked: {e}"),
         }
     }
@@ -195,20 +286,42 @@ impl Universe {
         F: Fn(Communicator) -> R + Send + Sync,
         R: Send,
     {
-        Self::run_inner(size, Some(chaos), f)
+        Self::run_inner(size, Some(chaos), false, f)
+            .map(|v| v.into_iter().map(|r| r.expect("rank result")).collect())
+    }
+
+    /// ULFM-style resilient job: a rank that dies (injected crash or
+    /// genuine panic) is marked *departed* instead of failing the job.
+    /// Survivors observe the death as a typed
+    /// [`crate::CommError::RankFailed`] from their pending receives, can
+    /// [`Communicator::agree_on_failures`] and
+    /// [`Communicator::shrink`], and keep running; the dead rank's slot in
+    /// the result vector is `None`. `Err` is reserved for job-fatal
+    /// aborts (e.g. a collective-verification mismatch).
+    pub fn run_resilient<F, R>(
+        size: usize,
+        chaos: ChaosEngine,
+        f: F,
+    ) -> Result<Vec<Option<R>>, UniverseError>
+    where
+        F: Fn(Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::run_inner(size, Some(chaos), true, f)
     }
 
     fn run_inner<F, R>(
         size: usize,
         chaos: Option<ChaosEngine>,
+        resilient: bool,
         f: F,
-    ) -> Result<Vec<R>, UniverseError>
+    ) -> Result<Vec<Option<R>>, UniverseError>
     where
         F: Fn(Communicator) -> R + Send + Sync,
         R: Send,
     {
         assert!(size > 0, "universe must have at least one rank");
-        let shared = Shared::new(size, chaos);
+        let shared = Shared::new(size, chaos, resilient);
         let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
         let f = &f;
         std::thread::scope(|scope| {
@@ -219,7 +332,18 @@ impl Universe {
                     let comm = Communicator::world(Arc::clone(&shared), rank);
                     match catch_unwind(AssertUnwindSafe(|| f(comm))) {
                         Ok(r) => *slot = Some(r),
-                        Err(payload) => shared.fail(rank, panic_message(payload)),
+                        Err(payload) => {
+                            let msg = panic_message(payload);
+                            if shared.resilient {
+                                // Survivable: record the death (idempotent —
+                                // an injected crash already did) so peers'
+                                // receives turn into typed RankFailed.
+                                let epoch = shared.coll_epoch[rank].load(Ordering::Relaxed);
+                                shared.mark_departed(rank, epoch, msg);
+                            } else {
+                                shared.fail(rank, msg);
+                            }
+                        }
                     }
                 }));
             }
@@ -227,13 +351,14 @@ impl Universe {
                 h.join().expect("rank thread join");
             }
         });
-        if let Some((rank, message)) = shared.take_failure() {
-            return Err(UniverseError { rank, message });
+        if let Some((rank, message, epoch)) = shared.take_failure() {
+            return Err(UniverseError {
+                rank,
+                message,
+                epoch,
+            });
         }
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("rank result"))
-            .collect())
+        Ok(results)
     }
 }
 
@@ -269,6 +394,18 @@ mod tests {
         let err = out.expect_err("job must fail");
         assert_eq!(err.rank, 0);
         assert!(err.message.contains("boom"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn resilient_rank_death_leaves_none_slot() {
+        let out = Universe::run_resilient(3, ChaosEngine::disabled(), |comm| {
+            if comm.rank() == 2 {
+                panic!("genuine failure in rank 2");
+            }
+            comm.rank() * 3
+        })
+        .expect("resilient job does not abort");
+        assert_eq!(out, vec![Some(0), Some(3), None]);
     }
 
     #[test]

@@ -564,4 +564,144 @@ mod tests {
             assert_eq!(restored[1].data, expect[1].data);
         }
     }
+
+    /// Deterministic splitmix64 stream for property-style sweeps (the
+    /// container has no property-testing crate; exhaustive divisor sweeps
+    /// over seeded random fields cover the same ground reproducibly).
+    fn splitmix_f64(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    /// A complete per-rank checkpoint set over pseudo-random spectral data,
+    /// seeded per *global* z-plane so every decomposition of the same seed
+    /// describes the same global field.
+    fn random_parts(n: usize, p: usize, seed: u64) -> Vec<Checkpoint> {
+        let nxh = n / 2 + 1;
+        let plane = nxh * n;
+        let mz = n / p;
+        (0..p)
+            .map(|rank| {
+                let shape = LocalShape::new(n, p, rank);
+                let sf: Vec<SpectralField<f64>> = (0..2)
+                    .map(|f| {
+                        let mut data = Vec::with_capacity(plane * mz);
+                        for zl in 0..mz {
+                            let z = rank * mz + zl;
+                            let mut s = seed ^ ((f as u64) << 48) ^ ((z as u64) << 16);
+                            for _ in 0..plane {
+                                data.push(Complex::from_f64(
+                                    splitmix_f64(&mut s),
+                                    splitmix_f64(&mut s),
+                                ));
+                            }
+                        }
+                        SpectralField::from_data(shape, data)
+                    })
+                    .collect();
+                Checkpoint::capture(&[&sf[0], &sf[1]], 1.5, 99)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reslice_roundtrip_byte_exact_across_all_divisor_pairs() {
+        // Every (old_p, new_p) divisor pair of n — including non-divisible
+        // pairs like 3 -> 2, 2 -> 3, 4 -> 6, 6 -> 4 and the single-rank
+        // edges 1 -> k / k -> 1. Re-slicing there and back must reproduce
+        // the original encoded bytes exactly, and the fully-gathered
+        // (p = 1) view must be independent of the path taken.
+        let n = 12;
+        let divisors = [1usize, 2, 3, 4, 6, 12];
+        for &old_p in &divisors {
+            let parts = random_parts(n, old_p, 0xA5A5_0001);
+            let whole: Vec<Vec<u8>> = reslice(&parts, 1).iter().map(|c| c.encode()).collect();
+            for &new_p in &divisors {
+                let there = reslice(&parts, new_p);
+                assert_eq!(there.len(), new_p, "{old_p} -> {new_p}");
+                for (rank, ck) in there.iter().enumerate() {
+                    assert_eq!((ck.p, ck.rank, ck.n), (new_p, rank, n));
+                    assert_eq!((ck.time, ck.step), (1.5, 99));
+                }
+                let back = reslice(&there, old_p);
+                for (a, b) in parts.iter().zip(&back) {
+                    assert_eq!(
+                        a.encode(),
+                        b.encode(),
+                        "roundtrip {old_p} -> {new_p} -> {old_p} not byte-exact"
+                    );
+                }
+                let whole2: Vec<Vec<u8>> = reslice(&there, 1).iter().map(|c| c.encode()).collect();
+                assert_eq!(whole, whole2, "gather via {new_p} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn reslice_accepts_unsorted_parts() {
+        let n = 8;
+        let mut parts = random_parts(n, 4, 0xBEEF);
+        parts.reverse();
+        let a = reslice(&parts, 2);
+        parts.reverse();
+        let b = reslice(&parts, 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.encode(), y.encode());
+        }
+    }
+
+    #[test]
+    fn refine_is_decomposition_independent() {
+        // Refining the same global field must give byte-identical output no
+        // matter which source decomposition held it — including going
+        // through a single rank.
+        let n = 8;
+        let base = random_parts(n, 4, 0x00C0_FFEE);
+        let reference: Vec<Vec<u8>> = refine(&base, 16, 2).iter().map(|c| c.encode()).collect();
+        for src_p in [1usize, 2, 8] {
+            let via = refine(&reslice(&base, src_p), 16, 2);
+            let got: Vec<Vec<u8>> = via.iter().map(|c| c.encode()).collect();
+            assert_eq!(got, reference, "refine via p = {src_p} differs");
+        }
+        // And the refined target decomposition itself re-slices exactly.
+        let fine = refine(&base, 16, 4);
+        let gathered = reslice(&fine, 2);
+        for (a, b) in gathered.iter().zip(refine(&base, 16, 2).iter()) {
+            assert_eq!(a.encode(), b.encode());
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Re-slicing a random global field across a random divisor pair
+        /// and back is the identity, byte for byte.
+        #[test]
+        fn reslice_roundtrip_identity(seed in 0u64..1_000_000, i in 0usize..6, j in 0usize..6) {
+            let divisors = [1usize, 2, 3, 4, 6, 12];
+            let (old_p, new_p) = (divisors[i], divisors[j]);
+            let parts = random_parts(12, old_p, seed);
+            let back = reslice(&reslice(&parts, new_p), old_p);
+            for (a, b) in parts.iter().zip(&back) {
+                prop_assert_eq!(a.encode(), b.encode());
+            }
+        }
+
+        /// A single-rank gather of a refined field never depends on the
+        /// decomposition the refinement ran from.
+        #[test]
+        fn refine_gather_path_independent(seed in 0u64..1_000_000, i in 0usize..3) {
+            let src_p = [1usize, 2, 4][i];
+            let base = random_parts(8, src_p, seed);
+            let direct = reslice(&refine(&base, 16, 4), 1);
+            let via_one = refine(&reslice(&base, 1), 16, 1);
+            prop_assert_eq!(direct[0].encode(), via_one[0].encode());
+        }
+    }
 }

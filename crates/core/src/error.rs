@@ -80,6 +80,9 @@ pub enum Error {
     /// planned pipeline (see [`crate::GpuSlabFft::analyze_schedule`]);
     /// boxed — a hazard carries both conflicting operations' identities.
     Hazard(Box<psdns_analyze::Hazard>),
+    /// The self-healing supervisor could not recover a campaign (see
+    /// [`crate::run_self_healing`]).
+    Recovery(crate::recovery::RecoveryError),
 }
 
 impl fmt::Display for Error {
@@ -91,6 +94,7 @@ impl fmt::Display for Error {
             Error::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             Error::Csv(e) => write!(f, "run log error: {e}"),
             Error::Hazard(h) => write!(f, "schedule hazard: {h}"),
+            Error::Recovery(e) => write!(f, "recovery error: {e}"),
         }
     }
 }
@@ -104,6 +108,7 @@ impl std::error::Error for Error {
             Error::Checkpoint(e) => Some(e),
             Error::Csv(e) => Some(e),
             Error::Hazard(h) => Some(h.as_ref()),
+            Error::Recovery(e) => Some(e),
         }
     }
 }
@@ -141,6 +146,12 @@ impl From<CheckpointError> for Error {
 impl From<CsvError> for Error {
     fn from(e: CsvError) -> Self {
         Error::Csv(e)
+    }
+}
+
+impl From<crate::recovery::RecoveryError> for Error {
+    fn from(e: crate::recovery::RecoveryError) -> Self {
+        Error::Recovery(e)
     }
 }
 

@@ -59,7 +59,8 @@ pub use ns::{apply_phase_shift, project_and_dealias, NavierStokes, NsConfig, Tim
 pub use ops::{curl, divergence, gradient, laplacian};
 pub use pencil_fft::PencilFftCpu;
 pub use recovery::{
-    restore_or_init, run_checkpointed, run_checkpointed_checked, save_solver, CheckpointStore,
+    restore_or_init, run_checkpointed, run_checkpointed_checked, run_self_healing, save_solver,
+    BuddyStore, CheckpointStore, HealedRun, RecoveryError, RecoveryEvent, SelfHealingConfig,
 };
 pub use scalar::{scalar_single_mode, PassiveScalar};
 pub use spectrum::{energy_spectrum, transfer_spectrum};

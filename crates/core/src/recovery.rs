@@ -1,4 +1,4 @@
-//! Checkpoint-based failure recovery.
+//! Checkpoint-based failure recovery and self-healing campaigns.
 //!
 //! The paper's production campaigns survive node failures the classic HPC
 //! way: periodic checkpoints plus restart from the last good file. This
@@ -8,16 +8,30 @@
 //! bit-rot), a coordinated [`restore_or_init`] that either resumes *all*
 //! ranks from a consistent checkpoint set or initializes *all* ranks fresh,
 //! and [`run_checkpointed`] to drive a solver with periodic saves.
+//!
+//! On top of that sits the ULFM-style *shrink-and-continue* path: a
+//! diskless [`BuddyStore`] replicates each rank's checkpoint in memory to K
+//! partner ranks every N steps, and [`run_self_healing`] drives a campaign
+//! that survives rank death without touching stable storage — detect (typed
+//! [`psdns_comm::CommError::RankFailed`] out of the failure detector),
+//! agree ([`psdns_comm::Communicator::agree_on_failures`]), rebuild
+//! ([`psdns_comm::Communicator::shrink`]), reassemble the global state from
+//! buddy copies ([`crate::checkpoint::reslice`]), re-plan the transform
+//! backend for the surviving rank count, and resume the time loop at the
+//! last protected step.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 use psdns_chaos::{ChaosEngine, FaultKind};
+use psdns_comm::{CommError, Communicator};
 use psdns_fft::Real;
 use psdns_sync::Mutex;
 
-use crate::checkpoint::{Checkpoint, CheckpointError};
-use crate::field::{SpectralField, Transform3d};
+use crate::checkpoint::{reslice, Checkpoint, CheckpointError};
+use crate::field::{LocalShape, SpectralField, Transform3d};
 use crate::ns::{NavierStokes, NsConfig};
 
 /// One checkpoint slot per rank, shared by all clones — the stand-in for a
@@ -47,13 +61,16 @@ impl CheckpointStore {
     }
 
     /// Serialize and store `ck` under `rank`, applying any injected I/O
-    /// faults. A transient write fault is retried with linear backoff; an
-    /// injected truncation or corruption damages the stored bytes exactly
-    /// the way a torn write or bit-rot would — detected at load, not here.
+    /// faults. A transient write fault is retried under the engine's
+    /// [`psdns_chaos::RetryPolicy`] (jittered exponential backoff, the
+    /// same policy the comm and device layers use); an injected truncation
+    /// or corruption damages the stored bytes exactly the way a torn write
+    /// or bit-rot would — detected at load, not here.
     pub fn save(&self, rank: usize, ck: &Checkpoint) -> Result<(), CheckpointError> {
         let site = format!("ckpt:r{rank}");
         if let Some(ch) = &self.chaos {
             let policy = ch.retry();
+            let salt = psdns_chaos::site_salt(&site);
             let mut lost = true;
             for attempt in 0..=policy.max_retries {
                 if !ch.check(rank, &site, FaultKind::WriteFault) {
@@ -61,7 +78,7 @@ impl CheckpointStore {
                     break;
                 }
                 if attempt < policy.max_retries {
-                    std::thread::sleep(policy.backoff * (attempt + 1));
+                    std::thread::sleep(policy.backoff_for(attempt, salt));
                 }
             }
             if lost {
@@ -201,6 +218,501 @@ pub fn run_checkpointed_checked<T: Real, B: Transform3d<T>>(
     run_checkpointed(ns, store, until_step, every).map_err(crate::error::Error::Checkpoint)
 }
 
+// ---------------------------------------------------------------------------
+// Diskless buddy checkpoints + shrink-and-continue supervisor
+// ---------------------------------------------------------------------------
+
+/// Diskless buddy checkpointing: each rank replicates its encoded
+/// [`Checkpoint`] in memory to its `replicas` cyclic successor ranks (and
+/// keeps its own copy), so after a rank dies the survivors can reassemble
+/// the full global state without a parallel file system. A writer's state
+/// survives as long as at least one of `{writer, successor_1, …,
+/// successor_K}` survives — K+1 simultaneous failures in one replication
+/// neighborhood lose coverage, which [`run_self_healing`] surfaces as the
+/// typed [`RecoveryError::CoverageLost`].
+///
+/// Consistency comes from the step structure, not from extra protocol: a
+/// protection round sits between two time steps, chaos crashes fire only at
+/// collective boundaries inside a step, and a rank can only enter step
+/// `S+1` after *sending* all its step-`S` copies (buffered sends). A
+/// survivor's receive therefore always completes — the failure-aware
+/// system-message receive drains anything a dead buddy sent before dying.
+pub struct BuddyStore {
+    replicas: usize,
+    /// writer's decomposition rank → (step, encoded checkpoint).
+    held: HashMap<usize, (usize, Vec<u8>)>,
+}
+
+impl BuddyStore {
+    /// A store replicating to `replicas` cyclic successors (clamped to the
+    /// communicator size at protect time).
+    pub fn new(replicas: usize) -> Self {
+        assert!(
+            replicas >= 1,
+            "buddy checkpointing needs at least 1 replica"
+        );
+        Self {
+            replicas,
+            held: HashMap::new(),
+        }
+    }
+
+    /// Configured replication factor K.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Decomposition ranks whose state this rank currently holds (its own
+    /// plus its predecessors'), sorted.
+    pub fn held_ranks(&self) -> Vec<usize> {
+        let mut r: Vec<usize> = self.held.keys().copied().collect();
+        r.sort_unstable();
+        r
+    }
+
+    /// Forget everything held — called when the decomposition changes
+    /// (post-shrink reslice), since old-layout slabs are useless to the new
+    /// layout and their rank keys would collide with it.
+    pub fn reset(&mut self) {
+        self.held.clear();
+    }
+
+    /// Capture the solver's state and replicate it to the buddies.
+    pub fn protect<T: Real, B: Transform3d<T>>(
+        &mut self,
+        comm: &Communicator,
+        ns: &NavierStokes<T, B>,
+    ) -> Result<(), CommError> {
+        let ck = Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count);
+        self.protect_checkpoint(comm, &ck)
+    }
+
+    /// Replicate one encoded checkpoint: send to the K cyclic successors,
+    /// receive the K cyclic predecessors' copies, keep the latest per
+    /// writer. Uses the runtime's system tag namespace (tag = step), so
+    /// replication traffic never collides with solver collectives.
+    pub fn protect_checkpoint(
+        &mut self,
+        comm: &Communicator,
+        ck: &Checkpoint,
+    ) -> Result<(), CommError> {
+        let size = comm.size();
+        let me = comm.rank();
+        let k = self.replicas.min(size.saturating_sub(1));
+        let tag = ck.step as u64;
+        let bytes = ck.encode();
+        for i in 1..=k {
+            comm.send_system((me + i) % size, tag, bytes.clone());
+        }
+        self.held.insert(ck.rank, (ck.step, bytes));
+        for i in 1..=k {
+            let src = (me + size - i) % size;
+            let blob = comm.recv_system::<u8>(src, tag)?;
+            if let Ok(peer) = Checkpoint::decode(&blob) {
+                self.held.insert(peer.rank, (peer.step, blob));
+            }
+        }
+        Ok(())
+    }
+
+    /// Frame every held blob for the reassembly gather: `count` then
+    /// `len, bytes` per entry, in writer-rank order.
+    fn encode_held(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(self.held.len() as u64).to_le_bytes());
+        for rank in self.held_ranks() {
+            let (_, bytes) = &self.held[&rank];
+            buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            buf.extend_from_slice(bytes);
+        }
+        buf
+    }
+}
+
+/// Parse a concatenation of [`BuddyStore::encode_held`] frames (the result
+/// of an allgather over survivors) back into individual checkpoint blobs.
+/// Ignores zero padding appended to equalize per-rank frame lengths.
+fn decode_held_stream(data: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let read_u64 = |pos: &mut usize| -> Option<u64> {
+        let s = data.get(*pos..*pos + 8)?;
+        *pos += 8;
+        Some(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    };
+    while pos < data.len() {
+        let Some(count) = read_u64(&mut pos) else {
+            break;
+        };
+        if count == 0 {
+            // Either an empty frame or the start of padding; padding is all
+            // zeros, and an empty frame encodes identically — both safe to
+            // skip over.
+            continue;
+        }
+        for _ in 0..count {
+            let Some(len) = read_u64(&mut pos) else {
+                return out;
+            };
+            let Some(bytes) = data.get(pos..pos + len as usize) else {
+                return out;
+            };
+            pos += len as usize;
+            out.push(bytes.to_vec());
+        }
+    }
+    out
+}
+
+/// Largest divisor of `n` that is at most `cap` — the biggest slab
+/// decomposition the survivors can host. At least 1 for any `n ≥ 1`.
+fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+    (1..=cap.min(n))
+        .rev()
+        .find(|d| n.is_multiple_of(*d))
+        .unwrap_or(1)
+}
+
+/// One entry of the recovery log: the shrink-recovery state machine's
+/// transitions, all-integer so a same-seed rerun produces a byte-identical
+/// log (compare with `format!("{events:?}")`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// The failure detector surfaced dead ranks: `(global rank, collective
+    /// epoch at death)`, the full set known at detection time.
+    Detect { failed: Vec<(usize, u64)> },
+    /// Survivors agreed on the failure set.
+    Agree { failed: Vec<(usize, u64)> },
+    /// The shrunken communicator was built.
+    Rebuild { survivors: usize },
+    /// Global state reassembled from buddy copies and re-cut.
+    Reslice {
+        step: usize,
+        old_p: usize,
+        new_p: usize,
+    },
+    /// Time loop resumed at `step` on the new decomposition.
+    Resume { step: usize },
+}
+
+/// Typed failure modes of [`run_self_healing`]. Everything here is a
+/// deliberate abort — the supervisor never hangs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The agreement round failed (an alive peer stayed silent past its
+    /// deadline).
+    Agreement(CommError),
+    /// Buddy replication failed.
+    Protect(CommError),
+    /// No protected step has full coverage among the survivors: more than
+    /// K adjacent ranks died in one replication neighborhood.
+    CoverageLost { survivors: usize },
+    /// A reassembled buddy checkpoint did not restore cleanly.
+    Restore(CheckpointError),
+    /// More failures than the configured budget.
+    TooManyFailures { heals: u32 },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Agreement(e) => write!(f, "failure agreement failed: {e}"),
+            RecoveryError::Protect(e) => write!(f, "buddy replication failed: {e}"),
+            RecoveryError::CoverageLost { survivors } => write!(
+                f,
+                "no protected step has full buddy coverage among {survivors} survivors"
+            ),
+            RecoveryError::Restore(e) => write!(f, "buddy checkpoint restore failed: {e}"),
+            RecoveryError::TooManyFailures { heals } => {
+                write!(f, "aborting after {heals} recoveries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Knobs of the self-healing supervisor.
+#[derive(Debug, Clone)]
+pub struct SelfHealingConfig {
+    /// Run until the solver reaches this step count.
+    pub until_step: usize,
+    /// Buddy-protect every N steps (and at the final step).
+    pub protect_every: usize,
+    /// Replication factor K of the [`BuddyStore`].
+    pub replicas: usize,
+    /// Per-peer deadline of the agreement rounds; an alive-but-silent peer
+    /// past this converts into a typed abort instead of a hang.
+    pub agree_deadline: Duration,
+    /// Abort (typed) after this many successful recoveries.
+    pub max_heals: u32,
+}
+
+impl Default for SelfHealingConfig {
+    fn default() -> Self {
+        Self {
+            until_step: 0,
+            protect_every: 1,
+            replicas: 1,
+            agree_deadline: Duration::from_secs(10),
+            max_heals: 4,
+        }
+    }
+}
+
+/// What a surviving rank carries out of a healed campaign.
+pub struct HealedRun<T: Real> {
+    /// Final spectral velocity state of this rank's slab.
+    pub u: [SpectralField<T>; 3],
+    pub step: usize,
+    pub time: f64,
+    /// Final decomposition size and this rank's slab index within it.
+    pub p: usize,
+    pub rank: usize,
+    /// Number of shrink-recoveries performed.
+    pub heals: u32,
+    /// The recovery state machine's transition log.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Record one recovery-epoch span with a *logical* timestamp, so the trace
+/// of a same-seed rerun is byte-identical (wall clocks are not).
+fn recovery_span(comm: &Communicator, logical: &mut u64, name: &str) {
+    if let Some(t) = comm.tracer() {
+        t.record(
+            psdns_trace::SpanKind::Recovery,
+            "recovery",
+            name,
+            *logical,
+            *logical + 1,
+        );
+    }
+    *logical += 1;
+}
+
+enum StepOutcome {
+    Done,
+    /// This rank is surplus after a shrink (the new decomposition is
+    /// smaller than the survivor count) and has left the campaign.
+    Idle,
+}
+
+/// Drive a self-healing campaign: run the solver to
+/// [`SelfHealingConfig::until_step`] under diskless buddy protection,
+/// surviving rank death by shrink-and-continue. Must run under
+/// [`psdns_comm::Universe::run_resilient`].
+///
+/// The recovery state machine (per surviving rank):
+///
+/// 1. **detect** — a collective panics with the failure detector's typed
+///    `RankFailed`; the supervisor catches it (a rank that finds *itself*
+///    departed re-panics and dies for real);
+/// 2. **agree** — all survivors converge on the same `(rank, epoch)` set;
+/// 3. **rebuild** — shrink to the survivor communicator (fresh context, new
+///    collective epoch, fresh verifier namespace);
+/// 4. **reslice** — allgather the buddy blobs, pick the newest step with
+///    full coverage, re-cut the global field to the largest divisor of `n`
+///    that fits the survivors (surplus ranks go idle and return `None`);
+/// 5. **resume** — rebuild the transform backend via `make_backend` for the
+///    new rank count, restore bit-exactly, re-protect, continue stepping.
+///
+/// A second failure during recovery re-enters the machine at step 1; an
+/// unrecoverable situation (coverage lost, agreement timeout, failure
+/// budget exhausted) is a typed [`RecoveryError`] — never a hang.
+pub fn run_self_healing<T, B, MB, FI>(
+    comm: Communicator,
+    n: usize,
+    cfg: NsConfig,
+    heal: SelfHealingConfig,
+    make_backend: MB,
+    init: FI,
+) -> Result<Option<HealedRun<T>>, RecoveryError>
+where
+    T: Real,
+    B: Transform3d<T>,
+    MB: Fn(LocalShape, Communicator) -> B,
+    FI: FnOnce(LocalShape) -> [SpectralField<T>; 3],
+{
+    assert!(heal.protect_every >= 1);
+    let mut active_comm = comm;
+    let mut p = active_comm.size();
+    assert!(n.is_multiple_of(p), "initial rank count must divide n");
+    let mut heals = 0u32;
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+    let mut logical = 0u64;
+    let mut known_failed = active_comm.departed().len();
+    let mut buddy = BuddyStore::new(heal.replicas);
+    let mut pending_recovery = false;
+
+    let shape = LocalShape::new(n, p, active_comm.rank());
+    let mut ns = NavierStokes::new(
+        make_backend(shape, active_comm.clone()),
+        cfg.clone(),
+        init(shape),
+    );
+    buddy
+        .protect(&active_comm, &ns)
+        .map_err(RecoveryError::Protect)?;
+
+    loop {
+        let attempt = catch_unwind(AssertUnwindSafe(
+            || -> Result<StepOutcome, RecoveryError> {
+                if pending_recovery {
+                    // -- agree ------------------------------------------------
+                    let agreed = active_comm
+                        .agree_on_failures(heal.agree_deadline)
+                        .map_err(RecoveryError::Agreement)?;
+                    events.push(RecoveryEvent::Agree {
+                        failed: agreed.clone(),
+                    });
+                    recovery_span(&active_comm, &mut logical, "agree");
+
+                    // -- rebuild ----------------------------------------------
+                    active_comm = active_comm.shrink(&agreed);
+                    let survivors = active_comm.size();
+                    events.push(RecoveryEvent::Rebuild { survivors });
+                    recovery_span(&active_comm, &mut logical, "rebuild");
+
+                    // -- reslice ----------------------------------------------
+                    // Gather every survivor's buddy blobs. Two rounds keep the
+                    // payload length uniform per rank (collective verifiers
+                    // fingerprint lengths): first the frame sizes, then the
+                    // zero-padded frames.
+                    let frame = buddy.encode_held();
+                    let lens = active_comm.allgather(&[frame.len() as u64]);
+                    let max_len = lens.iter().copied().max().unwrap_or(0) as usize;
+                    let mut padded = frame;
+                    padded.resize(max_len, 0);
+                    let gathered = active_comm.allgather(&padded);
+                    let mut parts: Vec<Checkpoint> = Vec::new();
+                    for blob in decode_held_stream(&gathered) {
+                        if let Ok(ck) = Checkpoint::decode(&blob) {
+                            // Only slabs of the current decomposition can be
+                            // reassembled; stale pre-shrink layouts are skipped.
+                            if ck.n == n && ck.p == p {
+                                parts.push(ck);
+                            }
+                        }
+                    }
+                    // Newest step with full old-rank coverage wins.
+                    let mut best: Option<usize> = None;
+                    for step in parts.iter().map(|c| c.step) {
+                        let covered =
+                            (0..p).all(|r| parts.iter().any(|c| c.step == step && c.rank == r));
+                        if covered && best.is_none_or(|b| step > b) {
+                            best = Some(step);
+                        }
+                    }
+                    let best = best.ok_or(RecoveryError::CoverageLost { survivors })?;
+                    let mut chosen: Vec<Checkpoint> = Vec::new();
+                    for r in 0..p {
+                        let ck = parts
+                            .iter()
+                            .find(|c| c.step == best && c.rank == r)
+                            .expect("coverage verified");
+                        chosen.push(ck.clone());
+                    }
+                    let new_p = largest_divisor_at_most(n, survivors);
+                    events.push(RecoveryEvent::Reslice {
+                        step: best,
+                        old_p: p,
+                        new_p,
+                    });
+                    recovery_span(&active_comm, &mut logical, "reslice");
+                    let resliced = reslice(&chosen, new_p);
+
+                    // -- resume -----------------------------------------------
+                    // Surplus survivors (new_p < survivors) leave the campaign;
+                    // the active ranks split into their own communicator so
+                    // later recoveries only involve participants.
+                    let local = active_comm.rank();
+                    let active = local < new_p;
+                    let sub = active_comm.split(usize::from(!active), local);
+                    if !active {
+                        return Ok(StepOutcome::Idle);
+                    }
+                    active_comm = sub;
+                    p = new_p;
+                    let shape = LocalShape::new(n, new_p, local);
+                    let mine = &resliced[local];
+                    let fields = mine.restore::<T>(shape).map_err(RecoveryError::Restore)?;
+                    let u: [SpectralField<T>; 3] = fields
+                        .try_into()
+                        .map_err(|_| RecoveryError::Restore(CheckpointError::Truncated))?;
+                    ns = NavierStokes::new(
+                        make_backend(shape, active_comm.clone()),
+                        cfg.clone(),
+                        u.clone(),
+                    );
+                    // Bit-exact resume, as in restore_or_init: bypass the
+                    // constructor's re-projection.
+                    ns.u = u;
+                    ns.step_count = mine.step;
+                    ns.time = mine.time;
+                    buddy.reset();
+                    buddy
+                        .protect(&active_comm, &ns)
+                        .map_err(RecoveryError::Protect)?;
+                    events.push(RecoveryEvent::Resume { step: mine.step });
+                    recovery_span(&active_comm, &mut logical, "resume");
+                    pending_recovery = false;
+                }
+
+                while ns.step_count < heal.until_step {
+                    ns.step();
+                    if ns.step_count.is_multiple_of(heal.protect_every)
+                        || ns.step_count == heal.until_step
+                    {
+                        buddy
+                            .protect(&active_comm, &ns)
+                            .map_err(RecoveryError::Protect)?;
+                    }
+                }
+                Ok(StepOutcome::Done)
+            },
+        ));
+        match attempt {
+            Ok(Ok(StepOutcome::Done)) => {
+                return Ok(Some(HealedRun {
+                    rank: active_comm.rank(),
+                    u: ns.u,
+                    step: ns.step_count,
+                    time: ns.time,
+                    p,
+                    heals,
+                    events,
+                }));
+            }
+            Ok(Ok(StepOutcome::Idle)) => return Ok(None),
+            Ok(Err(typed)) => return Err(typed),
+            Err(payload) => {
+                let me = active_comm.global_rank(active_comm.rank());
+                let departed = active_comm.departed();
+                if departed.iter().any(|&(r, _)| r == me) {
+                    // This rank *is* the dead one (its own injected crash
+                    // unwound into the supervisor): die for real.
+                    resume_unwind(payload);
+                }
+                if !active_comm.resilient() || departed.len() == known_failed {
+                    // Not a failure-detection panic (genuine bug, or a
+                    // non-resilient job): propagate.
+                    resume_unwind(payload);
+                }
+                known_failed = departed.len();
+                heals += 1;
+                events.push(RecoveryEvent::Detect {
+                    failed: departed.clone(),
+                });
+                recovery_span(&active_comm, &mut logical, "detect");
+                if heals > heal.max_heals {
+                    return Err(RecoveryError::TooManyFailures { heals });
+                }
+                pending_recovery = true;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +835,110 @@ mod tests {
         for (resumed, step) in out {
             assert!(!resumed);
             assert_eq!(step, 0);
+        }
+    }
+
+    #[test]
+    fn buddy_store_replicates_to_cyclic_successors() {
+        let out = Universe::run(3, |comm| {
+            let shape = LocalShape::new(6, 3, comm.rank());
+            let u = taylor_green::<f64>(shape);
+            let ck = Checkpoint::capture(&[&u[0], &u[1], &u[2]], 0.0, 0);
+            let mut buddy = BuddyStore::new(1);
+            buddy.protect_checkpoint(&comm, &ck).unwrap();
+            let one = buddy.held_ranks();
+            let mut wide = BuddyStore::new(5); // clamps to size - 1
+            wide.protect_checkpoint(&comm, &ck).unwrap();
+            (one, wide.held_ranks())
+        });
+        // K = 1: own slab plus the cyclic predecessor's.
+        assert_eq!(out[0].0, vec![0, 2]);
+        assert_eq!(out[1].0, vec![0, 1]);
+        assert_eq!(out[2].0, vec![1, 2]);
+        // K clamped to size - 1: everyone holds everything.
+        for (_, wide) in &out {
+            assert_eq!(*wide, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn held_stream_roundtrips_through_padding() {
+        let shape = LocalShape::new(6, 1, 0);
+        let u = taylor_green::<f64>(shape);
+        let ck = Checkpoint::capture(&[&u[0], &u[1], &u[2]], 0.25, 7);
+        let mut buddy = BuddyStore::new(1);
+        buddy.held.insert(ck.rank, (ck.step, ck.encode()));
+        let mut frame = buddy.encode_held();
+        frame.resize(frame.len() + 64, 0); // allgather padding
+        let blobs = decode_held_stream(&frame);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(Checkpoint::decode(&blobs[0]).unwrap(), ck);
+    }
+
+    #[test]
+    fn largest_divisor_picks_biggest_fit() {
+        assert_eq!(largest_divisor_at_most(8, 3), 2);
+        assert_eq!(largest_divisor_at_most(8, 8), 8);
+        assert_eq!(largest_divisor_at_most(12, 5), 4);
+        assert_eq!(largest_divisor_at_most(8, 1), 1);
+    }
+
+    #[test]
+    fn self_healing_without_failures_completes() {
+        let out = Universe::run(2, |comm| {
+            let heal = SelfHealingConfig {
+                until_step: 3,
+                ..Default::default()
+            };
+            let run = run_self_healing(
+                comm,
+                8,
+                cfg(),
+                heal,
+                SlabFftCpu::<f64>::new,
+                taylor_green::<f64>,
+            )
+            .unwrap()
+            .expect("no shrink, every rank stays active");
+            (run.step, run.p, run.heals, run.events.len())
+        });
+        for r in out {
+            assert_eq!(r, (3, 2, 0, 0));
+        }
+    }
+
+    #[test]
+    fn self_healing_survives_rank_loss() {
+        let mut c = ChaosConfig::new(11);
+        c.crash_rank = Some(1);
+        c.crash = FaultPlan::at(10);
+        let out = Universe::run_resilient(2, ChaosEngine::new(c), |comm| {
+            let heal = SelfHealingConfig {
+                until_step: 4,
+                ..Default::default()
+            };
+            run_self_healing(
+                comm,
+                8,
+                cfg(),
+                heal,
+                SlabFftCpu::<f64>::new,
+                taylor_green::<f64>,
+            )
+            .map(|opt| opt.map(|r| (r.step, r.p, r.heals, format!("{:?}", r.events))))
+        })
+        .expect("job survives");
+        assert!(out[1].is_none(), "crashed rank leaves a None slot");
+        let r0 = out[0]
+            .as_ref()
+            .expect("survivor finishes")
+            .as_ref()
+            .expect("no recovery error")
+            .as_ref()
+            .expect("survivor stays active");
+        assert_eq!((r0.0, r0.1, r0.2), (4, 1, 1));
+        for kind in ["Detect", "Agree", "Rebuild", "Reslice", "Resume"] {
+            assert!(r0.3.contains(kind), "missing {kind} in {}", r0.3);
         }
     }
 }

@@ -170,12 +170,13 @@ impl Stream {
         let rank = self.device().trace_rank();
         let site = format!("copy:{}", self.name);
         let policy = ch.retry();
+        let salt = psdns_chaos::site_salt(&site);
         for attempt in 0..=policy.max_retries {
             if !ch.check(rank, &site, psdns_chaos::FaultKind::CopyFault) {
                 return true;
             }
             if attempt < policy.max_retries {
-                std::thread::sleep(policy.backoff * (attempt + 1));
+                std::thread::sleep(policy.backoff_for(attempt, salt));
             }
         }
         self.device().set_error(DeviceError::CopyFailed {

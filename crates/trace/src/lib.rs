@@ -59,6 +59,11 @@ pub enum SpanKind {
     /// sequence number) so two runs with the same seed export identical
     /// traces.
     Fault,
+    /// A phase of shrink-and-continue recovery (detect, agree, rebuild,
+    /// reslice, resume). Like [`SpanKind::Fault`] these carry *logical*
+    /// timestamps — the recovery epoch and event sequence — so same-seed
+    /// runs export byte-identical recovery timelines.
+    Recovery,
     /// Anything else worth seeing on the timeline.
     Other,
 }
@@ -76,6 +81,7 @@ impl SpanKind {
             SpanKind::Projection => "projection",
             SpanKind::Step => "step",
             SpanKind::Fault => "fault",
+            SpanKind::Recovery => "recovery",
             SpanKind::Other => "other",
         }
     }

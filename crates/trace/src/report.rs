@@ -53,6 +53,11 @@ pub struct RankOverlap {
     pub compute_ns: u64,
     /// Network time that coincided with compute, ns.
     pub hidden_ns: u64,
+    /// Recovery-epoch spans recorded by this rank (detect/agree/rebuild/
+    /// reslice/resume events of shrink-and-continue recovery). These carry
+    /// logical timestamps, so they are *counted* here rather than folded
+    /// into the wall-clock overlap intervals.
+    pub recovery_events: u64,
 }
 
 impl RankOverlap {
@@ -85,17 +90,28 @@ impl OverlapReport {
         }
     }
 
+    /// Total recovery-epoch spans across all ranks.
+    pub fn recovery_events(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.recovery_events).sum()
+    }
+
     /// Render as an aligned text table.
     pub fn to_text(&self, label: &str) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "overlap efficiency [{label}]");
-        let _ = writeln!(
+        let recov = self.recovery_events() > 0;
+        let _ = write!(
             out,
             "  {:>4}  {:>12}  {:>12}  {:>12}  {:>8}",
             "rank", "network(us)", "compute(us)", "hidden(us)", "hidden%"
         );
+        let _ = if recov {
+            writeln!(out, "  {:>8}", "recovery")
+        } else {
+            writeln!(out)
+        };
         for r in &self.per_rank {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  {:>4}  {:>12.1}  {:>12.1}  {:>12.1}  {:>7.1}%",
                 r.rank,
@@ -104,14 +120,23 @@ impl OverlapReport {
                 r.hidden_ns as f64 / 1e3,
                 100.0 * r.efficiency()
             );
+            let _ = if recov {
+                writeln!(out, "  {:>8}", r.recovery_events)
+            } else {
+                writeln!(out)
+            };
         }
         let _ = writeln!(out, "  all   hidden fraction = {:.3}", self.efficiency());
+        if recov {
+            let _ = writeln!(out, "  all   recovery events = {}", self.recovery_events());
+        }
         out
     }
 }
 
-/// Per-rank interval lists: (network spans, compute spans) as `(start, end)` ns.
-type RankIntervals = (Vec<(u64, u64)>, Vec<(u64, u64)>);
+/// Per-rank interval lists plus recovery-span count: (network spans,
+/// compute spans, recovery events).
+type RankIntervals = (Vec<(u64, u64)>, Vec<(u64, u64)>, u64);
 
 pub(crate) fn overlap_report(spans: &[TraceSpan]) -> OverlapReport {
     let mut ranks: BTreeMap<usize, RankIntervals> = BTreeMap::new();
@@ -121,11 +146,13 @@ pub(crate) fn overlap_report(spans: &[TraceSpan]) -> OverlapReport {
             entry.0.push((sp.start_ns, sp.end_ns));
         } else if sp.kind.is_compute() {
             entry.1.push((sp.start_ns, sp.end_ns));
+        } else if sp.kind == SpanKind::Recovery {
+            entry.2 += 1;
         }
     }
     let per_rank = ranks
         .into_iter()
-        .map(|(rank, (net, comp))| {
+        .map(|(rank, (net, comp, recovery_events))| {
             let net = merge(net);
             let comp = merge(comp);
             RankOverlap {
@@ -133,6 +160,7 @@ pub(crate) fn overlap_report(spans: &[TraceSpan]) -> OverlapReport {
                 network_ns: measure(&net),
                 compute_ns: measure(&comp),
                 hidden_ns: intersection(&net, &comp),
+                recovery_events,
             }
         })
         .collect();
@@ -243,6 +271,27 @@ mod tests {
         let r = overlap_report(&spans);
         assert_eq!(r.efficiency(), 0.0);
         assert!(r.to_text("empty").contains("hidden fraction = 0.000"));
+    }
+
+    #[test]
+    fn recovery_spans_counted_not_measured() {
+        let spans = vec![
+            span(0, SpanKind::A2aWait, 0, 10),
+            span(0, SpanKind::FftCompute, 0, 10),
+            span(0, SpanKind::Recovery, 1, 2),
+            span(0, SpanKind::Recovery, 2, 3),
+            span(1, SpanKind::FftCompute, 0, 5),
+        ];
+        let r = overlap_report(&spans);
+        assert_eq!(r.per_rank[0].recovery_events, 2);
+        assert_eq!(r.per_rank[1].recovery_events, 0);
+        assert_eq!(r.recovery_events(), 2);
+        // Logical recovery timestamps must not pollute the overlap math.
+        assert_eq!(r.per_rank[0].network_ns, 10);
+        assert_eq!(r.per_rank[0].hidden_ns, 10);
+        let text = r.to_text("heal");
+        assert!(text.contains("recovery"), "{text}");
+        assert!(text.contains("recovery events = 2"), "{text}");
     }
 
     #[test]

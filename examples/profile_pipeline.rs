@@ -69,6 +69,7 @@ fn render(spans: &[TraceSpan], width: usize) -> String {
             SpanKind::A2aWait => b'w',
             SpanKind::Step => b'=',
             SpanKind::Fault => b'!',
+            SpanKind::Recovery => b'R',
             SpanKind::NonlinearTerm => b'n',
             SpanKind::Projection => b'p',
             SpanKind::Other => continue,

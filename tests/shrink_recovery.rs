@@ -1,0 +1,219 @@
+//! Acceptance: self-healing campaigns — failure detection, diskless buddy
+//! checkpoints, and shrink-and-continue recovery, end to end.
+//!
+//! Contracts exercised (each one ULFM-style, per the production PSDNS
+//! campaigns the paper reports on):
+//! (a) a chaos-injected rank crash mid-campaign is detected, survivors
+//!     agree on the failure, shrink, reassemble state from in-memory buddy
+//!     copies, and the campaign *completes* on the remaining ranks;
+//! (b) the healed run's final field matches a failure-free reference to
+//!     solver tolerance, across several seeds / crash epochs;
+//! (c) the same seed produces a byte-identical fault + recovery trace
+//!     (event log and final state) — failures are replayable;
+//! (d) a *second* crash during recovery either heals again (enough buddy
+//!     replicas) or aborts with a typed error (coverage lost) — never a
+//!     hang.
+
+use psdns::chaos::{ChaosConfig, ChaosEngine, FaultPlan};
+use psdns::comm::Universe;
+use psdns::core::{
+    reslice, run_self_healing, taylor_green, Checkpoint, LocalShape, NavierStokes, NsConfig,
+    RecoveryError, SelfHealingConfig, SlabFftCpu, TimeScheme,
+};
+
+const N: usize = 8;
+const RANKS: usize = 4;
+const STEPS: usize = 5;
+
+fn cfg() -> NsConfig {
+    NsConfig {
+        nu: 0.05,
+        dt: 1e-3,
+        scheme: TimeScheme::Rk2,
+        forcing: None,
+        dealias: true,
+        phase_shift: false,
+    }
+}
+
+/// What a surviving-and-active rank reports back to the test.
+type RankReport = Option<(usize, usize, u32, String, Checkpoint)>;
+
+/// A full self-healing campaign under the given chaos schedule. Slot layout
+/// of the result: `None` = rank died; `Some(Ok(None))` = rank survived but
+/// went idle after a shrink; `Some(Ok(Some(..)))` = active finisher.
+fn healed_campaign(
+    seed: u64,
+    crash_epoch: u64,
+    replicas: usize,
+    extra: Vec<(usize, FaultPlan)>,
+) -> Vec<Option<Result<RankReport, RecoveryError>>> {
+    let mut c = ChaosConfig::new(seed);
+    c.crash_rank = Some(1);
+    c.crash = FaultPlan::at(crash_epoch);
+    c.extra_crashes = extra;
+    Universe::run_resilient(RANKS, ChaosEngine::new(c), move |comm| {
+        let heal = SelfHealingConfig {
+            until_step: STEPS,
+            protect_every: 1,
+            replicas,
+            ..Default::default()
+        };
+        run_self_healing(
+            comm,
+            N,
+            cfg(),
+            heal,
+            SlabFftCpu::<f64>::new,
+            taylor_green::<f64>,
+        )
+        .map(|opt| {
+            opt.map(|r| {
+                let ck = Checkpoint::capture(&[&r.u[0], &r.u[1], &r.u[2]], r.time, r.step);
+                (r.step, r.p, r.heals, format!("{:?}", r.events), ck)
+            })
+        })
+    })
+    .expect("resilient job never aborts at the universe level")
+}
+
+/// Failure-free reference campaign on the original rank count, gathered to
+/// a single global checkpoint.
+fn reference_global() -> Checkpoint {
+    let parts = Universe::run(RANKS, |comm| {
+        let shape = LocalShape::new(N, RANKS, comm.rank());
+        let mut ns = NavierStokes::new(
+            SlabFftCpu::<f64>::new(shape, comm.clone()),
+            cfg(),
+            taylor_green::<f64>(shape),
+        );
+        while ns.step_count < STEPS {
+            ns.step();
+        }
+        Checkpoint::capture(&[&ns.u[0], &ns.u[1], &ns.u[2]], ns.time, ns.step_count)
+    });
+    reslice(&parts, 1).remove(0)
+}
+
+/// Gather the active finishers' checkpoints into one global view.
+fn gather_healed(out: &[Option<Result<RankReport, RecoveryError>>]) -> Checkpoint {
+    let parts: Vec<Checkpoint> = out
+        .iter()
+        .flatten()
+        .flat_map(|r| r.as_ref().expect("no recovery error"))
+        .map(|(_, _, _, _, ck)| ck.clone())
+        .collect();
+    assert!(!parts.is_empty(), "someone must finish");
+    reslice(&parts, 1).remove(0)
+}
+
+/// Max |Δ| between two gathered checkpoints, over all fields and modes.
+fn max_abs_diff(a: &Checkpoint, b: &Checkpoint) -> f64 {
+    assert_eq!(a.fields.len(), b.fields.len());
+    let mut worst = 0.0f64;
+    for (fa, fb) in a.fields.iter().zip(&b.fields) {
+        assert_eq!(fa.len(), fb.len());
+        for ((re_a, im_a), (re_b, im_b)) in fa.iter().zip(fb) {
+            worst = worst.max((re_a - re_b).abs()).max((im_a - im_b).abs());
+        }
+    }
+    worst
+}
+
+#[test]
+fn crash_mid_campaign_completes_on_survivors_and_matches_reference() {
+    let reference = reference_global();
+    // Sweep seeds *and* crash epochs (4 collective epochs per RK2 step at
+    // this size, so these crashes land in steps 2, 3 and 4).
+    for (seed, crash_epoch) in [(3u64, 5u64), (17, 9), (101, 13)] {
+        let out = healed_campaign(seed, crash_epoch, 1, vec![]);
+        assert!(out[1].is_none(), "crashed rank must leave a None slot");
+        // 3 survivors can host at most a 2-slab cut of N = 8: two active
+        // finishers plus one idled surplus rank.
+        let finishers: Vec<&RankReport> = out
+            .iter()
+            .flatten()
+            .map(|r| r.as_ref().expect("no recovery error"))
+            .collect();
+        assert_eq!(finishers.len(), 3, "all survivors return");
+        let active: Vec<_> = finishers.iter().copied().flatten().collect();
+        assert_eq!(active.len(), 2, "seed {seed}: two active finishers");
+        for (step, p, heals, events, _) in &active {
+            assert_eq!((*step, *p, *heals), (STEPS, 2, 1), "seed {seed}");
+            for kind in ["Detect", "Agree", "Rebuild", "Reslice", "Resume"] {
+                assert!(events.contains(kind), "seed {seed}: missing {kind}");
+            }
+        }
+        let healed = gather_healed(&out);
+        let diff = max_abs_diff(&healed, &reference);
+        assert!(
+            diff < 1e-10,
+            "seed {seed}: healed field deviates from failure-free reference by {diff:e}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_replays_byte_identical_fault_and_recovery_trace() {
+    let a = healed_campaign(17, 9, 1, vec![]);
+    let b = healed_campaign(17, 9, 1, vec![]);
+    assert_eq!(a.len(), b.len());
+    for (rank, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        match (ra, rb) {
+            (None, None) => {}
+            (Some(Ok(None)), Some(Ok(None))) => {}
+            (Some(Ok(Some((sa, pa, ha, ea, cka)))), Some(Ok(Some((sb, pb, hb, eb, ckb))))) => {
+                assert_eq!((sa, pa, ha), (sb, pb, hb), "rank {rank}");
+                assert_eq!(ea, eb, "rank {rank}: recovery event logs differ");
+                assert_eq!(
+                    cka.encode(),
+                    ckb.encode(),
+                    "rank {rank}: final state not byte-identical"
+                );
+            }
+            other => panic!("rank {rank}: replay outcome differs: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn second_crash_during_recovery_heals_with_enough_replicas() {
+    // Rank 1 dies at epoch 9 (mid step 3); rank 2 dies at epoch 11, which
+    // it only reaches *inside* the first recovery's reassembly collectives.
+    // With K = 2 every slab still has a living holder, so the survivors
+    // {0, 3} heal a second time and finish at p = 2.
+    let out = healed_campaign(17, 9, 2, vec![(2, FaultPlan::at(11))]);
+    assert!(out[1].is_none() && out[2].is_none());
+    let active: Vec<_> = out
+        .iter()
+        .flatten()
+        .flat_map(|r| r.as_ref().expect("no recovery error"))
+        .collect();
+    assert_eq!(active.len(), 2, "both remaining survivors stay active");
+    for (step, p, heals, events, _) in &active {
+        assert_eq!((*step, *p, *heals), (STEPS, 2, 2));
+        assert_eq!(
+            events.matches("Detect").count(),
+            2,
+            "two failure detections: {events}"
+        );
+    }
+    let healed = gather_healed(&out);
+    let diff = max_abs_diff(&healed, &reference_global());
+    assert!(diff < 1e-10, "double-healed field deviates by {diff:e}");
+}
+
+#[test]
+fn second_crash_with_single_replica_aborts_typed_never_hangs() {
+    // Same double-crash schedule but K = 1: ranks 1 and 2 are the only
+    // holders of rank 1's slab, so after both die the survivors must abort
+    // with the typed coverage error — promptly, not by hanging.
+    let out = healed_campaign(17, 9, 1, vec![(2, FaultPlan::at(11))]);
+    assert!(out[1].is_none() && out[2].is_none());
+    for rank in [0usize, 3] {
+        match &out[rank] {
+            Some(Err(RecoveryError::CoverageLost { survivors: 2 })) => {}
+            other => panic!("rank {rank}: expected typed CoverageLost, got {other:?}"),
+        }
+    }
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo lint: forbid *new* `.unwrap()` / `.expect(` in the production sources
-# of the comm, device and core crates (the layers whose failures must surface
-# as typed errors — CommError / DeviceError / psdns_core::Error — not panics).
+# of the comm, device, core and chaos crates (the layers whose failures must
+# surface as typed errors — CommError / DeviceError / psdns_core::Error,
+# including the recovery modules' RecoveryError — not panics).
 #
 # The checked-in allowlist (tools/unwrap_allowlist.txt) pins today's per-file
 # occurrence counts. A file exceeding its pinned count (or a new file using
@@ -11,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALLOWLIST=tools/unwrap_allowlist.txt
-CRATES=(crates/comm/src crates/device/src crates/core/src)
+CRATES=(crates/comm/src crates/device/src crates/core/src crates/chaos/src)
 
 counts() {
     local f n
