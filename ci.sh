@@ -20,6 +20,17 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> backend matrix (DeviceBackend trait: simulated / host / wgpu)"
+# The same certified schedule must run on every backend: the conformance
+# harness diffs copies, event edges, recorder logs and chaos digests across
+# the simulated and host executors; the equivalence suite additionally pins
+# byte-identical spectra. The wgpu skeleton is compile-checked only — no
+# GPU in CI.
+cargo test --offline -q -p psdns-device --test backend_conformance
+cargo test --offline -q --features host-backend --test backend_equivalence
+cargo check --offline -q -p psdns-device --features wgpu-backend
+cargo check --offline -q --features wgpu-backend
+
 echo "==> schedule hazard analysis (A2A configs A, B, C)"
 # Static certification of the asynchronous pipeline: replay the planned
 # stream/event DAG through the happens-before analyzer for all three

@@ -36,7 +36,7 @@ pub use collective::{
     CollectiveFingerprint, CollectiveKind, CollectiveMismatch, CollectiveVerifier,
 };
 pub use log::{
-    wait_edges, without_pos, Access, AccessMode, MemSpace, OpKind, OpRecord, OrderingLog, WaitEdge,
-    HOST_TRACK,
+    normalized, wait_edges, without_pos, Access, AccessMode, MemSpace, OpKind, OpRecord,
+    OrderingLog, WaitEdge, HOST_TRACK,
 };
 pub use replay::{analyze, analyze_log, AnalysisReport, Hazard, HazardKind, OpRef};

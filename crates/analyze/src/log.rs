@@ -294,6 +294,63 @@ pub fn without_pos(ops: &[OpRecord], pos: usize) -> Vec<OpRecord> {
     out
 }
 
+/// Structural normalization for cross-run and cross-backend log comparison.
+///
+/// Event and buffer ids come from process-wide counters, so two identical
+/// schedules recorded in the same process (e.g. the same pipeline driven
+/// once on the simulated backend and once on the host backend) carry
+/// different raw ids even though they are the same schedule. `normalized`
+/// remaps both id spaces to dense first-occurrence indices and re-bases
+/// `seq` at 0, preserving every track, op name, kind, ticket, and access
+/// range — two logs are the same *schedule* iff their normalizations are
+/// equal. This is the equality the backend-conformance suite pins.
+pub fn normalized(ops: &[OpRecord]) -> Vec<OpRecord> {
+    fn remap(map: &mut HashMap<u64, u64>, id: u64) -> u64 {
+        let next = map.len() as u64;
+        *map.entry(id).or_insert(next)
+    }
+    let mut events: HashMap<u64, u64> = HashMap::new();
+    let mut buffers: HashMap<u64, u64> = HashMap::new();
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let kind = match &op.kind {
+                OpKind::Exec => OpKind::Exec,
+                OpKind::EventRecord { event, ticket } => OpKind::EventRecord {
+                    event: remap(&mut events, *event),
+                    ticket: *ticket,
+                },
+                OpKind::EventWait { event, ticket } => OpKind::EventWait {
+                    event: remap(&mut events, *event),
+                    ticket: *ticket,
+                },
+                OpKind::HostJoinStream { stream } => OpKind::HostJoinStream {
+                    stream: stream.clone(),
+                },
+                OpKind::HostJoinEvent { event, ticket } => OpKind::HostJoinEvent {
+                    event: remap(&mut events, *event),
+                    ticket: *ticket,
+                },
+            };
+            let accesses = op
+                .accesses
+                .iter()
+                .map(|a| Access {
+                    buffer: remap(&mut buffers, a.buffer),
+                    ..*a
+                })
+                .collect();
+            OpRecord {
+                seq: i as u64,
+                track: op.track.clone(),
+                name: op.name.clone(),
+                kind,
+                accesses,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +427,43 @@ mod tests {
         assert_eq!(edges[0].recorder, "s0");
         assert!(edges[0].cross_stream());
         assert_eq!(without_pos(&ops, 2).len(), 2);
+    }
+
+    #[test]
+    fn normalization_erases_global_id_offsets_only() {
+        // Same schedule recorded twice with shifted event/buffer ids:
+        // normalizations must agree.
+        let build = |event: u64, buffer: u64| {
+            let log = OrderingLog::new();
+            log.record(
+                "s0",
+                "k",
+                OpKind::Exec,
+                vec![Access::write(buffer, MemSpace::Device, 0, 8)],
+            );
+            log.record(
+                "s0",
+                "record",
+                OpKind::EventRecord { event, ticket: 1 },
+                vec![],
+            );
+            log.record("s1", "wait", OpKind::EventWait { event, ticket: 1 }, vec![]);
+            log.record(
+                "s1",
+                "k2",
+                OpKind::Exec,
+                vec![Access::read(buffer, MemSpace::Device, 0, 8)],
+            );
+            log.snapshot()
+        };
+        let a = build(5, 100);
+        let b = build(91, 4017);
+        assert_ne!(a, b, "raw logs differ by id offsets");
+        assert_eq!(normalized(&a), normalized(&b));
+
+        // A genuinely different schedule (extra wait edge) stays different.
+        let log = OrderingLog::new();
+        log.record("s0", "k", OpKind::Exec, vec![]);
+        assert_ne!(normalized(&a), normalized(&log.snapshot()));
     }
 }

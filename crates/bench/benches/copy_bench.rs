@@ -26,7 +26,7 @@ fn bench_strided_h2d(c: &mut Criterion) {
                     for r in 0..rows {
                         stream.memcpy_h2d_async(&host, r * pitch, &dbuf, r * width, width);
                     }
-                    stream.synchronize();
+                    stream.synchronize().unwrap();
                 });
             },
         );
@@ -45,7 +45,7 @@ fn bench_strided_h2d(c: &mut Criterion) {
                         dst_pitch: width,
                     },
                 );
-                stream.synchronize();
+                stream.synchronize().unwrap();
             });
         });
         let stream = dev.create_stream("zc");
@@ -54,7 +54,7 @@ fn bench_strided_h2d(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("zero_copy", width), &width, |b, _| {
             b.iter(|| {
                 stream.zero_copy_h2d_async(&host, &dbuf, chunks.clone());
-                stream.synchronize();
+                stream.synchronize().unwrap();
             });
         });
     }

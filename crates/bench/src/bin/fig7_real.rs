@@ -41,7 +41,7 @@ fn main() {
             for r in 0..rows {
                 stream.memcpy_h2d_async(&host, r * pitch, &dbuf, r * chunk_elems, chunk_elems);
             }
-            stream.synchronize();
+            stream.synchronize().unwrap();
         }
         let many = t0.elapsed().as_secs_f64() / reps as f64;
 
@@ -60,7 +60,7 @@ fn main() {
                     dst_pitch: chunk_elems,
                 },
             );
-            stream.synchronize();
+            stream.synchronize().unwrap();
         }
         let two_d = t0.elapsed().as_secs_f64() / reps as f64;
 
@@ -71,7 +71,7 @@ fn main() {
         let t0 = Instant::now();
         for _ in 0..reps {
             stream.zero_copy_h2d_async(&host, &dbuf, chunks.clone());
-            stream.synchronize();
+            stream.synchronize().unwrap();
         }
         let zc = t0.elapsed().as_secs_f64() / reps as f64;
 

@@ -31,6 +31,16 @@
 //! stall/crash at collective boundaries), `psdns-device` (transient copy
 //! failure with bounded retry, injected allocation OOM, stream stall) and
 //! `psdns-core` (checkpoint write failure / corruption / truncation).
+//!
+//! # Backend-generic device sites
+//!
+//! The device-layer gates (`alloc:r{rank}`, `copy:{stream}`,
+//! `stall:{stream}`) live in the shared `Device`/`Stream` layer *above* the
+//! `DeviceBackend` trait, at enqueue time on the host thread — not inside
+//! any particular executor. The same seeded fault schedule therefore fires
+//! identically whether a stream is backed by the simulated accelerator, the
+//! eager host-CPU backend, or a future GPU backend; site strings are part
+//! of the stable contract and do not vary by backend.
 
 use std::collections::HashMap;
 use std::fmt;

@@ -5,6 +5,12 @@
 //! Physical → Fourier runs the mirror image. One all-to-all moves all `nv`
 //! variables of the call (the paper transposes 3 velocity components per
 //! collective, §4.1).
+//!
+//! [`SlabFftCpu`] is the *reference* implementation the equivalence tests
+//! pin the pipeline against. It is no longer the degraded-path executor:
+//! since the `DeviceBackend` redesign, [`crate::GpuSlabFft`]'s
+//! `cpu_fallback` mode re-runs its own certified schedule on a
+//! `psdns_device::HostBackend` device instead of switching algorithms.
 
 use psdns_comm::Communicator;
 use psdns_domain::transpose::{apply_chunks, SlabTranspose};

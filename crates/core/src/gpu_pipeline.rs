@@ -37,13 +37,13 @@ use std::sync::Arc;
 use psdns_analyze::{analyze_log, Access, AnalysisReport, OpKind, OrderingLog, HOST_TRACK};
 use psdns_comm::{Communicator, Request, Universe};
 use psdns_device::{
-    Copy2d, Device, DeviceBuffer, DeviceConfig, DeviceError, Event, PinnedBuffer, Stream,
+    BackendKind, Copy2d, Device, DeviceBuffer, DeviceConfig, DeviceError, Event, PinnedBuffer,
+    Stream,
 };
 use psdns_domain::decomp::{GpuSplit, PencilSplit};
 use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan, ScratchPool};
 use psdns_sync::Mutex;
 
-use crate::dist_fft::SlabFftCpu;
 use crate::error::{Error, PipelineError};
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
 
@@ -204,9 +204,11 @@ impl<T: Real> GpuFftBuilder<T> {
 
     /// Degrade gracefully when device memory runs out mid-run: when enabled,
     /// a failed slot-buffer allocation makes *all* ranks (coordinated by an
-    /// allreduce) execute the transform on the CPU pencil path instead of
-    /// returning an error. Off by default — the fault-free pipeline then
-    /// performs no extra collective.
+    /// allreduce) execute the transform through a host-backend twin of this
+    /// pipeline — the same certified schedule on a
+    /// [`psdns_device::HostBackend`] executor — instead of returning an
+    /// error. Off by default — the fault-free pipeline then performs no
+    /// extra collective.
     pub fn cpu_fallback(mut self, enable: bool) -> Self {
         self.cpu_fallback = enable;
         self
@@ -350,12 +352,14 @@ pub struct GpuSlabFft<T: Real> {
     plan_x: Arc<RealFftPlan<T>>,
     #[allow(clippy::type_complexity)]
     plan_cache: Mutex<HashMap<(usize, usize), Arc<ManyPlan<T>>>>,
-    /// Degrade to the CPU pencil path when slot-buffer allocation fails
+    /// Degrade to the host-backend path when slot-buffer allocation fails
     /// (see [`GpuFftBuilder::cpu_fallback`]).
     fallback_to_cpu: bool,
-    /// Lazily built CPU backend used by the degraded path; cached so
-    /// repeated fallbacks do not re-plan.
-    cpu: Option<SlabFftCpu<T>>,
+    /// Lazily built host-backend twin of this pipeline, used by the
+    /// degraded path: same schedule, same collective sequence, but every
+    /// kernel executes eagerly on the CPU against an effectively unbounded
+    /// memory ledger. Cached so repeated fallbacks do not re-plan.
+    host: Option<Box<GpuSlabFft<T>>>,
     /// Variables per transform call the builder sized the slot buffers for;
     /// [`Self::analyze_schedule`] replays the schedule at this width.
     nv_hint: usize,
@@ -428,20 +432,6 @@ impl<T: Real> GpuSlabFft<T> {
         GpuFftBuilder::new(shape)
     }
 
-    #[deprecated(
-        note = "use GpuSlabFft::builder(shape).comm(..).devices(..).np(..).build() instead"
-    )]
-    pub fn new(
-        shape: LocalShape,
-        comm: Communicator,
-        devices: Vec<Device>,
-        config: GpuFftConfig,
-    ) -> Self {
-        assert!(!devices.is_empty(), "need at least one device");
-        assert!(config.np >= 1);
-        Self::construct(shape, comm, devices, config)
-    }
-
     fn construct(
         shape: LocalShape,
         comm: Communicator,
@@ -467,7 +457,7 @@ impl<T: Real> GpuSlabFft<T> {
             plan_x: Arc::new(RealFftPlan::new(shape.n)),
             plan_cache: Mutex::new(HashMap::new()),
             fallback_to_cpu: false,
-            cpu: None,
+            host: None,
             nv_hint: 1,
             recorder: None,
             host_threads: 1,
@@ -582,6 +572,7 @@ impl<T: Real> GpuSlabFft<T> {
         let mode = self.config.a2a_mode;
         let gpus = self.devices.len();
         let nv = self.nv_hint.max(1);
+        let backend = self.devices[0].backend_kind();
         // Smallest even grid whose pencil splits keep all np pencils and
         // all devices busy: nxh = n/2 + 1 > np * gpus.
         let shadow_n = 8usize.max(2 * np * gpus).next_multiple_of(2);
@@ -589,7 +580,7 @@ impl<T: Real> GpuSlabFft<T> {
             let shape = LocalShape::new(shadow_n, 1, 0);
             let required = Self::required_bytes_per_device(shape, nv, np, gpus);
             let devices: Vec<Device> = (0..gpus)
-                .map(|_| Device::new(DeviceConfig::tiny(2 * required + (1 << 22))))
+                .map(|_| Device::with_kind(backend, DeviceConfig::tiny(2 * required + (1 << 22))))
                 .collect();
             let log = OrderingLog::new();
             let mut fft = GpuSlabFft::<T>::builder(shape)
@@ -690,8 +681,8 @@ impl<T: Real> GpuSlabFft<T> {
     /// Allocate this call's slot buffers, coordinating graceful degradation
     /// when [`GpuFftBuilder::cpu_fallback`] is enabled: an allreduce tells
     /// every rank whether *any* rank failed to allocate, so either all ranks
-    /// run the device pipeline or all take the CPU path together — the
-    /// collective sequence stays in lockstep either way. Returns `Ok(None)`
+    /// run the device pipeline or all take the host-backend path together —
+    /// the collective sequence stays in lockstep either way. Returns `Ok(None)`
     /// when the call must degrade. Without fallback this is a plain
     /// allocation: no extra collective on the fault-free fast path.
     fn acquire_call_buffers(&self, nv: usize) -> Result<Option<CallBuffers<T>>, Error> {
@@ -704,7 +695,7 @@ impl<T: Real> GpuSlabFft<T> {
             (true, Ok(bufs)) => Ok(Some(bufs)),
             (true, Err(_)) => unreachable!("allreduce(AND) true implies local success"),
             (false, local) => {
-                // Free any partially allocated slots before CPU work, and
+                // Free any partially allocated slots before degraded work, and
                 // leave a marker span so the degradation is visible in the
                 // merged timeline next to the injected fault that caused it.
                 drop(local);
@@ -717,16 +708,31 @@ impl<T: Real> GpuSlabFft<T> {
         }
     }
 
-    /// The cached CPU backend used when a call degrades. The clone shares
-    /// the communicator's collective sequence counter, so device and CPU
+    /// The cached host-backend twin used when a call degrades: the *same*
+    /// certified pipeline (same `np`, A2A mode, stream/event schedule and
+    /// therefore the same collective sequence — every rank degrades
+    /// together, so lockstep is preserved) re-targeted at a
+    /// [`psdns_device::HostBackend`] device whose memory ledger is large
+    /// enough that its slot buffers always fit. The communicator clone
+    /// shares the collective sequence counter, so device and degraded
     /// paths interleave collectives correctly.
-    fn cpu_backend(&mut self) -> &mut SlabFftCpu<T> {
-        if self.cpu.is_none() {
-            self.cpu = Some(
-                SlabFftCpu::new(self.shape, self.comm.clone()).with_threads(self.host_threads),
-            );
+    fn host_backend(&mut self) -> &mut GpuSlabFft<T> {
+        if self.host.is_none() {
+            // Ledger-only capacity: the host executor borrows ordinary heap
+            // memory, so give the degraded twin room for any slab size.
+            let dev = Device::with_kind(BackendKind::Host, DeviceConfig::tiny(1 << 44));
+            let fft = GpuSlabFft::<T>::builder(self.shape)
+                .comm(self.comm.clone())
+                .devices(vec![dev])
+                .np(self.config.np)
+                .nv(self.nv_hint)
+                .a2a_mode(self.config.a2a_mode)
+                .host_threads(self.host_threads)
+                .build()
+                .expect("host-backend fallback always fits its ledger");
+            self.host = Some(Box::new(fft));
         }
-        self.cpu.as_mut().expect("just installed")
+        self.host.as_mut().expect("just installed")
     }
 
     /// Surface any sticky asynchronous device error (e.g. a copy-engine
@@ -789,8 +795,8 @@ impl<T: Real> GpuSlabFft<T> {
         let bufs = match self.acquire_call_buffers(nv)? {
             Some(bufs) => bufs,
             // Device memory exhausted somewhere: every rank degrades to the
-            // CPU pencil path for this call (graceful degradation).
-            None => return Ok(self.cpu_backend().fourier_to_physical(specs)),
+            // host-backend pipeline for this call (graceful degradation).
+            None => return self.host_backend().try_fourier_to_physical(specs),
         };
 
         // Host pinned staging for the whole slab (input) and result.
@@ -1099,8 +1105,8 @@ impl<T: Real> GpuSlabFft<T> {
             }
         }
         for (tstream, cstream) in &self.streams {
-            cstream.synchronize();
-            tstream.synchronize();
+            cstream.synchronize()?;
+            tstream.synchronize()?;
         }
         self.check_device_errors()?;
 
@@ -1172,7 +1178,7 @@ impl<T: Real> GpuSlabFft<T> {
         let plen = s.phys_len();
         let bufs = match self.acquire_call_buffers(nv)? {
             Some(bufs) => bufs,
-            None => return Ok(self.cpu_backend().physical_to_fourier(phys)),
+            None => return self.host_backend().try_physical_to_fourier(phys),
         };
 
         let mut flat = Vec::with_capacity(nv * plen);
@@ -1463,8 +1469,8 @@ impl<T: Real> GpuSlabFft<T> {
             }
         }
         for (tstream, cstream) in &self.streams {
-            cstream.synchronize();
-            tstream.synchronize();
+            cstream.synchronize()?;
+            tstream.synchronize()?;
         }
         self.check_device_errors()?;
 
@@ -1631,10 +1637,12 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
                 tstream.record(free);
             }
         }
-        tstream.synchronize();
-        cstream.synchronize();
         // A copy-engine failure (injected or real) leaves host_out partially
-        // stale; recompute on the host rather than return silent garbage.
+        // stale — as does a backend shut down under our feet; recompute on
+        // the host rather than return silent garbage.
+        if tstream.synchronize().is_err() || cstream.synchronize().is_err() {
+            return host_cross_product(s, up, wp);
+        }
         if dev.take_error().is_some() {
             return host_cross_product(s, up, wp);
         }

@@ -124,7 +124,7 @@ impl<T: Real> GpuSyncSlabFft<T> {
         });
         self.stream
             .memcpy_d2h_async(&dev_pack, 0, &host_send, 0, t.buf_len());
-        self.stream.synchronize();
+        self.stream.synchronize()?;
 
         // Blocking all-to-all on the host (Fig. 2 has no overlap).
         let recv = self.comm.alltoall(&host_send.snapshot());
@@ -188,7 +188,7 @@ impl<T: Real> GpuSyncSlabFft<T> {
         });
         self.stream
             .memcpy_d2h_async(&dev_phys, 0, &host_phys, 0, nv * plen);
-        self.stream.synchronize();
+        self.stream.synchronize()?;
 
         let flat = host_phys.snapshot();
         Ok((0..nv)
@@ -282,7 +282,7 @@ impl<T: Real> GpuSyncSlabFft<T> {
         });
         self.stream
             .memcpy_d2h_async(&dev_pack, 0, &host_send, 0, t.buf_len());
-        self.stream.synchronize();
+        self.stream.synchronize()?;
         let recv = self.comm.alltoall(&host_send.snapshot());
         host_recv.write_from(&recv);
 
@@ -320,7 +320,7 @@ impl<T: Real> GpuSyncSlabFft<T> {
         });
         self.stream
             .memcpy_d2h_async(&dev_spec, 0, &host_spec, 0, nv * zlen);
-        self.stream.synchronize();
+        self.stream.synchronize()?;
 
         let flat = host_spec.snapshot();
         Ok((0..nv)

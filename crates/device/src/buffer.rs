@@ -12,19 +12,22 @@ use std::sync::Arc;
 
 use psdns_sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use crate::device::Device;
+use crate::backend::DeviceBackend;
 
 /// Runtime-wide buffer id source, shared by device and pinned allocations so
 /// ordering-log records can name any buffer unambiguously (the analyzer
 /// additionally tags each access with its memory space).
 static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
 
-fn next_buffer_id() -> u64 {
+pub(crate) fn next_buffer_id() -> u64 {
     NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 struct DeviceStorage<T> {
-    device: Device,
+    /// Held on the backend, not the `Device` handle: a buffer must be able
+    /// to return its capacity to the ledger even after every device handle
+    /// is gone.
+    backend: Arc<dyn DeviceBackend>,
     id: u64,
     data: RwLock<Vec<T>>,
     bytes: usize,
@@ -32,10 +35,7 @@ struct DeviceStorage<T> {
 
 impl<T> Drop for DeviceStorage<T> {
     fn drop(&mut self) {
-        self.device
-            .inner
-            .allocated
-            .fetch_sub(self.bytes, std::sync::atomic::Ordering::SeqCst);
+        self.backend.free(self.id, self.bytes);
     }
 }
 
@@ -60,12 +60,14 @@ impl<T> std::fmt::Debug for DeviceBuffer<T> {
 }
 
 impl<T: Copy + Send + Sync + Default + 'static> DeviceBuffer<T> {
-    pub(crate) fn new(device: Device, len: usize) -> Self {
+    /// `id` is pre-allocated by [`crate::Device::alloc`] so the ledger entry
+    /// and the recorder's buffer id always agree.
+    pub(crate) fn new(backend: Arc<dyn DeviceBackend>, id: u64, len: usize) -> Self {
         let bytes = len * std::mem::size_of::<T>();
         Self {
             storage: Arc::new(DeviceStorage {
-                device,
-                id: next_buffer_id(),
+                backend,
+                id,
                 data: RwLock::new(vec![T::default(); len]),
                 bytes,
             }),
@@ -181,7 +183,7 @@ impl<T: Copy + Send + Sync + Default + 'static> PinnedBuffer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::DeviceConfig;
+    use crate::device::{Device, DeviceConfig};
 
     #[test]
     fn pinned_host_access() {

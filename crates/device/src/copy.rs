@@ -121,11 +121,15 @@ impl Stream {
         if !self.chaos_copy_gate() {
             return;
         }
+        // A stream that outlived its device: async no-op (CUDA-style).
+        let Some(device) = self.device() else {
+            return;
+        };
         let bytes = len * std::mem::size_of::<T>();
-        let stats = &self.device().inner.stats;
+        let stats = device.stats();
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
-        self.device().trace_add_bytes_h2d(bytes);
+        device.trace_add_bytes_h2d(bytes);
         self.record_exec(
             "memcpyAsync-h2d",
             vec![
@@ -166,11 +170,14 @@ impl Stream {
         if !self.chaos_copy_gate() {
             return;
         }
+        let Some(device) = self.device() else {
+            return;
+        };
         let bytes = len * std::mem::size_of::<T>();
-        let stats = &self.device().inner.stats;
+        let stats = device.stats();
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
-        self.device().trace_add_bytes_d2h(bytes);
+        device.trace_add_bytes_d2h(bytes);
         self.record_exec(
             "memcpyAsync-d2h",
             vec![
@@ -203,11 +210,14 @@ impl Stream {
         if !self.chaos_copy_gate() {
             return;
         }
+        let Some(device) = self.device() else {
+            return;
+        };
         let bytes = params.elements() * std::mem::size_of::<T>();
-        let stats = &self.device().inner.stats;
+        let stats = device.stats();
         stats.bytes_h2d.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
-        self.device().trace_add_bytes_h2d(bytes);
+        device.trace_add_bytes_h2d(bytes);
         self.record_exec(
             "memcpy2DAsync-h2d",
             vec![
@@ -257,11 +267,14 @@ impl Stream {
         if !self.chaos_copy_gate() {
             return;
         }
+        let Some(device) = self.device() else {
+            return;
+        };
         let bytes = params.elements() * std::mem::size_of::<T>();
-        let stats = &self.device().inner.stats;
+        let stats = device.stats();
         stats.bytes_d2h.fetch_add(bytes, Ordering::Relaxed);
         stats.copy_calls.fetch_add(1, Ordering::Relaxed);
-        self.device().trace_add_bytes_d2h(bytes);
+        device.trace_add_bytes_d2h(bytes);
         self.record_exec(
             "memcpy2DAsync-d2h",
             vec![
@@ -318,15 +331,17 @@ impl Stream {
         if !self.chaos_copy_gate() {
             return;
         }
-        let stats = &self.device().inner.stats;
+        let Some(device) = self.device() else {
+            return;
+        };
+        let stats = device.stats();
         stats
             .bytes_h2d
             .fetch_add(total * std::mem::size_of::<T>(), Ordering::Relaxed);
         stats.kernel_launches.fetch_add(1, Ordering::Relaxed);
-        self.device()
-            .trace_add_bytes_h2d(total * std::mem::size_of::<T>());
-        self.device().trace_incr_kernel();
-        if self.device().recorder().is_some() {
+        device.trace_add_bytes_h2d(total * std::mem::size_of::<T>());
+        device.trace_incr_kernel();
+        if self.has_recorder() {
             let mut accesses = Vec::with_capacity(chunks.len() * 2);
             for &(h_off, d_off, len) in &chunks {
                 accesses.push(Access::read(host.id(), MemSpace::Host, h_off, len));
@@ -371,15 +386,17 @@ impl Stream {
         if !self.chaos_copy_gate() {
             return;
         }
-        let stats = &self.device().inner.stats;
+        let Some(device) = self.device() else {
+            return;
+        };
+        let stats = device.stats();
         stats
             .bytes_d2h
             .fetch_add(total * std::mem::size_of::<T>(), Ordering::Relaxed);
         stats.kernel_launches.fetch_add(1, Ordering::Relaxed);
-        self.device()
-            .trace_add_bytes_d2h(total * std::mem::size_of::<T>());
-        self.device().trace_incr_kernel();
-        if self.device().recorder().is_some() {
+        device.trace_add_bytes_d2h(total * std::mem::size_of::<T>());
+        device.trace_incr_kernel();
+        if self.has_recorder() {
             let mut accesses = Vec::with_capacity(chunks.len() * 2);
             for &(d_off, h_off, len) in &chunks {
                 accesses.push(Access::read(dev.id(), MemSpace::Device, d_off, len));
@@ -421,7 +438,7 @@ mod tests {
         let back = PinnedBuffer::new(256);
         s.memcpy_h2d_async(&host, 0, &dbuf, 0, 256);
         s.memcpy_d2h_async(&dbuf, 0, &back, 0, 256);
-        s.synchronize();
+        s.synchronize().unwrap();
         assert_eq!(back.snapshot(), host.snapshot());
     }
 
@@ -429,7 +446,7 @@ mod tests {
     fn partial_offsets() {
         let (_dev, s, host, dbuf) = setup(100);
         s.memcpy_h2d_async(&host, 10, &dbuf, 50, 20);
-        s.synchronize();
+        s.synchronize().unwrap();
         let d = dbuf.snapshot();
         assert!(d[..50].iter().all(|&v| v == 0));
         for i in 0..20 {
@@ -458,7 +475,7 @@ mod tests {
         for r in 0..8 {
             s.memcpy_h2d_async(&host, 3 + r * 16, &dbuf, r * 4, 4);
         }
-        s.synchronize();
+        s.synchronize().unwrap();
         assert_eq!(dense.snapshot()[..32], dbuf.snapshot()[..32]);
     }
 
@@ -478,7 +495,7 @@ mod tests {
             dst_pitch: 4,
         };
         s.memcpy2d_d2h_async(&dbuf, &packed, p);
-        s.synchronize();
+        s.synchronize().unwrap();
         let got = packed.snapshot();
         for r in 0..4 {
             for c in 0..4 {
@@ -492,7 +509,7 @@ mod tests {
         let (_dev, s, host, dbuf) = setup(128);
         let chunks: Vec<(usize, usize, usize)> = (0..8).map(|i| (i * 16, i * 4, 4)).collect();
         s.zero_copy_h2d_async(&host, &dbuf, chunks.clone());
-        s.synchronize();
+        s.synchronize().unwrap();
         let d = dbuf.snapshot();
         for i in 0..8 {
             for j in 0..4 {
@@ -503,7 +520,7 @@ mod tests {
         let out = PinnedBuffer::new(128);
         let back: Vec<(usize, usize, usize)> = (0..8).map(|i| (i * 4, i * 16 + 1, 4)).collect();
         s.zero_copy_d2h_async(&dbuf, &out, back);
-        s.synchronize();
+        s.synchronize().unwrap();
         let o = out.snapshot();
         for i in 0..8 {
             for j in 0..4 {
@@ -517,7 +534,7 @@ mod tests {
         let (dev, s, host, dbuf) = setup(64);
         s.memcpy_h2d_async(&host, 0, &dbuf, 0, 64); // 256 B
         s.memcpy_d2h_async(&dbuf, 0, &host, 0, 32); // 128 B
-        s.synchronize();
+        s.synchronize().unwrap();
         let (h2d, d2h, calls, _) = dev.stats().snapshot();
         assert_eq!(h2d, 256);
         assert_eq!(d2h, 128);
@@ -587,8 +604,9 @@ impl Stream {
     ) {
         assert!(src_offset + len <= src.len(), "D2D reads past source");
         assert!(dst_offset + len <= dst.len(), "D2D writes past destination");
-        let stats = &self.device().inner.stats;
-        stats.copy_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(dev) = self.device() {
+            dev.stats().copy_calls.fetch_add(1, Ordering::Relaxed);
+        }
         self.record_exec(
             "memcpyAsync-d2d",
             vec![
@@ -624,7 +642,7 @@ mod extra_tests {
         let buf = dev.alloc::<f32>(64).unwrap();
         let s = dev.create_stream("m");
         s.memset_async(&buf, 8, 16, 2.5);
-        s.synchronize();
+        s.synchronize().unwrap();
         let d = buf.snapshot();
         assert!(d[..8].iter().all(|&v| v == 0.0));
         assert!(d[8..24].iter().all(|&v| v == 2.5));
@@ -642,7 +660,7 @@ mod extra_tests {
         s.memcpy_d2d_async(&a, 4, &b, 10, 8);
         // Same-buffer disjoint copy.
         s.memcpy_d2d_async(&a, 0, &a, 20, 8);
-        s.synchronize();
+        s.synchronize().unwrap();
         let bv = b.snapshot();
         for i in 0..8 {
             assert_eq!(bv[10 + i], (4 + i) as u32);

@@ -1,12 +1,17 @@
-//! The [`Device`]: a capacity-limited accelerator with streams and a span
-//! timeline. Defaults model one NVIDIA V100 of Summit.
+//! The [`Device`]: a thin, cheap-to-clone handle over an
+//! `Arc<dyn DeviceBackend>` executor, plus the per-device observability that
+//! is identical across backends (stats, timeline, tracer bridge, chaos
+//! gates, sticky error slot). Defaults model one NVIDIA V100 of Summit
+//! running on the simulated backend.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
+use crate::backend::{BackendKind, DeviceBackend};
 use crate::buffer::DeviceBuffer;
 use crate::error::DeviceError;
+use crate::sim::SimBackend;
 use crate::stream::Stream;
 use crate::timeline::Timeline;
 
@@ -41,6 +46,65 @@ impl DeviceConfig {
             sm_count: 80,
         }
     }
+
+    /// Validating builder, the device-layer counterpart of
+    /// `GpuFftBuilder`: field-by-field construction with range checks at
+    /// [`build`](DeviceConfigBuilder::build) instead of struct literals.
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder {
+            config: DeviceConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`DeviceConfig`]; defaults to the V100 profile.
+#[derive(Clone, Debug)]
+pub struct DeviceConfigBuilder {
+    config: DeviceConfig,
+}
+
+impl DeviceConfigBuilder {
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    pub fn memory_bytes(mut self, bytes: usize) -> Self {
+        self.config.memory_bytes = bytes;
+        self
+    }
+
+    pub fn sm_count(mut self, sms: usize) -> Self {
+        self.config.sm_count = sms;
+        self
+    }
+
+    /// Validate and produce the config. Fails with
+    /// [`DeviceError::InvalidConfig`] on an empty name, zero capacity, or an
+    /// SM count outside `1..=4096` (far past any shipping part — a count
+    /// beyond it is a units bug, not a bigger GPU).
+    pub fn build(self) -> Result<DeviceConfig, DeviceError> {
+        let c = self.config;
+        if c.name.trim().is_empty() {
+            return Err(DeviceError::InvalidConfig {
+                field: "name",
+                message: "device name must be non-empty".to_string(),
+            });
+        }
+        if c.memory_bytes == 0 {
+            return Err(DeviceError::InvalidConfig {
+                field: "memory_bytes",
+                message: "device memory capacity must be > 0".to_string(),
+            });
+        }
+        if c.sm_count == 0 || c.sm_count > 4096 {
+            return Err(DeviceError::InvalidConfig {
+                field: "sm_count",
+                message: format!("sm_count {} outside 1..=4096", c.sm_count),
+            });
+        }
+        Ok(c)
+    }
 }
 
 /// Cumulative transfer/kernel counters, the device-side analogue of the
@@ -65,13 +129,15 @@ impl DeviceStats {
 }
 
 pub(crate) struct DeviceInner {
-    pub config: DeviceConfig,
-    pub allocated: AtomicUsize,
+    /// The executor. Capacity ledger and schedule recorder live here (on the
+    /// backend) so they follow the trait object; everything below is shared
+    /// observability identical across backends.
+    pub backend: Arc<dyn DeviceBackend>,
     pub stats: DeviceStats,
     pub timeline: Timeline,
     pub epoch: Instant,
     pub next_stream_id: AtomicU64,
-    /// Shared tracer bridge: when attached, stream workers mirror every
+    /// Shared tracer bridge: when attached, backend executors mirror every
     /// executed span into it and the copy engine mirrors byte counters.
     pub tracer: psdns_sync::Mutex<Option<psdns_trace::Tracer>>,
     /// Fault-injection engine; `None` outside chaos runs.
@@ -79,14 +145,33 @@ pub(crate) struct DeviceInner {
     /// Sticky asynchronous error, like a CUDA context error: set when a copy
     /// fails after retries, observed (and cleared) via [`Device::take_error`].
     pub error: psdns_sync::Mutex<Option<DeviceError>>,
-    /// Schedule recorder: when attached, every stream op, event edge and
-    /// copy access range is mirrored into the ordering log for
-    /// happens-before hazard analysis.
-    pub recorder: psdns_sync::Mutex<Option<psdns_analyze::OrderingLog>>,
 }
 
-/// Handle to one simulated accelerator. Cheap to clone; all clones refer to
-/// the same device (like a CUDA device ordinal after `cudaSetDevice`).
+impl Drop for DeviceInner {
+    fn drop(&mut self) {
+        // The last Device handle is gone; shut the executor down so any
+        // surviving Stream sees BackendShutDown instead of wedging or
+        // panicking. Pending ops drain FIFO before the shutdown marker.
+        self.backend.shutdown();
+    }
+}
+
+/// Downgraded device handle held by streams and queue workers: neither may
+/// keep the device alive (that is the drop-order footgun this PR removes),
+/// and both must tolerate it being gone.
+#[derive(Clone)]
+pub struct WeakDevice {
+    pub(crate) inner: Weak<DeviceInner>,
+}
+
+impl WeakDevice {
+    pub fn upgrade(&self) -> Option<Device> {
+        self.inner.upgrade().map(|inner| Device { inner })
+    }
+}
+
+/// Handle to one accelerator. Cheap to clone; all clones refer to the same
+/// device (like a CUDA device ordinal after `cudaSetDevice`).
 ///
 /// ```
 /// use psdns_device::{Device, DeviceConfig, PinnedBuffer};
@@ -100,7 +185,7 @@ pub(crate) struct DeviceInner {
 ///     for v in d.lock_mut().iter_mut() { *v *= 3.0; }
 /// });
 /// s.memcpy_d2h_async(&dbuf, 0, &host, 0, 256);
-/// s.synchronize();
+/// s.synchronize().unwrap();
 /// assert_eq!(host.snapshot()[0], 3.0);
 /// ```
 #[derive(Clone)]
@@ -109,11 +194,57 @@ pub struct Device {
 }
 
 impl Device {
+    /// A device on the default executor: the simulated accelerator.
     pub fn new(config: DeviceConfig) -> Self {
+        Self::with_backend(Arc::new(SimBackend::new(config)))
+    }
+
+    /// A device on the eager host-CPU executor (feature `host-backend`,
+    /// enabled by default): same schedule, runs on the submitting thread.
+    #[cfg(feature = "host-backend")]
+    pub fn host(config: DeviceConfig) -> Self {
+        Self::with_backend(Arc::new(crate::host::HostBackend::new(config)))
+    }
+
+    /// A device on the named executor. Panics when the requested backend's
+    /// cargo feature is compiled out — backend selection is a build-time
+    /// decision, not a recoverable runtime condition.
+    pub fn with_kind(kind: BackendKind, config: DeviceConfig) -> Self {
+        match kind {
+            BackendKind::Simulated => Self::new(config),
+            BackendKind::Host => {
+                #[cfg(feature = "host-backend")]
+                {
+                    Self::host(config)
+                }
+                #[cfg(not(feature = "host-backend"))]
+                {
+                    let _ = config;
+                    panic!("psdns-device was built without the `host-backend` feature")
+                }
+            }
+            BackendKind::Wgpu => {
+                #[cfg(feature = "wgpu-backend")]
+                {
+                    let backend = crate::wgpu_backend::WgpuBackend::new(config)
+                        .expect("wgpu shim always exposes an adapter");
+                    Self::with_backend(Arc::new(backend))
+                }
+                #[cfg(not(feature = "wgpu-backend"))]
+                {
+                    let _ = config;
+                    panic!("psdns-device was built without the `wgpu-backend` feature")
+                }
+            }
+        }
+    }
+
+    /// A device over an arbitrary executor — the extension point for
+    /// out-of-tree backends.
+    pub fn with_backend(backend: Arc<dyn DeviceBackend>) -> Self {
         Self {
             inner: Arc::new(DeviceInner {
-                config,
-                allocated: AtomicUsize::new(0),
+                backend,
                 stats: DeviceStats::default(),
                 timeline: Timeline::new(),
                 epoch: Instant::now(),
@@ -121,8 +252,24 @@ impl Device {
                 tracer: psdns_sync::Mutex::new(None),
                 chaos: psdns_sync::Mutex::new(None),
                 error: psdns_sync::Mutex::new(None),
-                recorder: psdns_sync::Mutex::new(None),
             }),
+        }
+    }
+
+    /// The executor behind this handle.
+    pub fn backend(&self) -> &Arc<dyn DeviceBackend> {
+        &self.inner.backend
+    }
+
+    /// Which executor this device runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.backend.kind()
+    }
+
+    /// Weak handle for streams and queue workers (see [`WeakDevice`]).
+    pub fn downgrade(&self) -> WeakDevice {
+        WeakDevice {
+            inner: Arc::downgrade(&self.inner),
         }
     }
 
@@ -131,20 +278,23 @@ impl Device {
     /// mirrored into `log` (see `psdns-analyze`). Recording captures the
     /// *schedule* — host enqueue order plus declared access ranges — not
     /// execution timing, so a single recorded dry-run can be replayed and
-    /// mutated offline.
+    /// mutated offline. The recorder lives on the backend trait object, so
+    /// it is identical for every executor.
     pub fn attach_recorder(&self, log: &psdns_analyze::OrderingLog) {
-        *self.inner.recorder.lock() = Some(log.clone());
+        self.inner.backend.attach_recorder(log);
     }
 
     /// The attached schedule recorder, if any.
     pub fn recorder(&self) -> Option<psdns_analyze::OrderingLog> {
-        self.inner.recorder.lock().clone()
+        self.inner.backend.recorder()
     }
 
     /// Thread a fault-injection engine through this device: allocations may
     /// fail with injected OOM, copies may fail transiently (retried per the
     /// engine's policy), and streams may stall. A device without an engine
-    /// behaves exactly like the pre-chaos runtime.
+    /// behaves exactly like the pre-chaos runtime. The gates live in the
+    /// shared stream layer, so fault sites and schedules are identical on
+    /// every backend.
     pub fn attach_chaos(&self, engine: &psdns_chaos::ChaosEngine) {
         *self.inner.chaos.lock() = Some(engine.clone());
     }
@@ -211,7 +361,7 @@ impl Device {
     }
 
     pub fn config(&self) -> &DeviceConfig {
-        &self.inner.config
+        self.inner.backend.config()
     }
 
     pub fn stats(&self) -> &DeviceStats {
@@ -225,12 +375,12 @@ impl Device {
 
     /// Bytes currently allocated on the device.
     pub fn allocated_bytes(&self) -> usize {
-        self.inner.allocated.load(Ordering::Relaxed)
+        self.inner.backend.allocated_bytes()
     }
 
     /// Bytes still available.
     pub fn free_bytes(&self) -> usize {
-        self.inner.config.memory_bytes - self.allocated_bytes()
+        self.inner.backend.capacity_bytes() - self.allocated_bytes()
     }
 
     /// Allocate `len` elements of device memory. Fails with
@@ -253,28 +403,26 @@ impl Device {
                 return Err(DeviceError::OutOfMemory {
                     requested_bytes: bytes,
                     free_bytes: self.free_bytes(),
-                    capacity_bytes: self.inner.config.memory_bytes,
+                    capacity_bytes: self.inner.backend.capacity_bytes(),
                 });
             }
         }
-        // Reserve optimistically, roll back on failure (allocation may race
-        // between host threads driving different streams).
-        let prev = self.inner.allocated.fetch_add(bytes, Ordering::SeqCst);
-        if prev + bytes > self.inner.config.memory_bytes {
-            self.inner.allocated.fetch_sub(bytes, Ordering::SeqCst);
-            return Err(DeviceError::OutOfMemory {
-                requested_bytes: bytes,
-                free_bytes: self.inner.config.memory_bytes - prev,
-                capacity_bytes: self.inner.config.memory_bytes,
-            });
-        }
-        Ok(DeviceBuffer::new(self.clone(), len))
+        let id = crate::buffer::next_buffer_id();
+        self.inner.backend.alloc(id, bytes)?;
+        Ok(DeviceBuffer::new(Arc::clone(&self.inner.backend), id, len))
     }
 
-    /// Create a named stream (a FIFO queue with its own worker thread).
+    /// Create a named stream: a FIFO queue on this device's backend.
     pub fn create_stream(&self, name: &str) -> Stream {
         let id = self.inner.next_stream_id.fetch_add(1, Ordering::Relaxed);
-        Stream::spawn(self.clone(), id, name.to_string())
+        let queue = self.inner.backend.create_queue(self.downgrade(), id, name);
+        Stream::new(
+            self.downgrade(),
+            Arc::clone(&self.inner.backend),
+            queue,
+            id,
+            name.to_string(),
+        )
     }
 }
 
@@ -326,5 +474,74 @@ mod tests {
         let dev = Device::new(DeviceConfig::default());
         assert_eq!(dev.config().memory_bytes, 16 * (1 << 30));
         assert_eq!(dev.config().sm_count, 80);
+        assert_eq!(dev.backend_kind(), BackendKind::Simulated);
+    }
+
+    #[test]
+    fn buffers_keep_ledger_alive_past_device_drop() {
+        // A buffer outliving its Device must release capacity into the
+        // backend's ledger without touching the (gone) device handle.
+        let dev = Device::new(DeviceConfig::tiny(1024));
+        let buf = dev.alloc::<u8>(512).unwrap();
+        drop(dev);
+        drop(buf); // must not panic
+    }
+
+    #[test]
+    fn config_builder_validates_ranges() {
+        let ok = DeviceConfig::builder()
+            .name("test-gpu")
+            .memory_bytes(1 << 20)
+            .sm_count(40)
+            .build()
+            .unwrap();
+        assert_eq!(ok.name, "test-gpu");
+        assert_eq!(ok.memory_bytes, 1 << 20);
+        assert_eq!(ok.sm_count, 40);
+
+        // Defaults are the V100 profile.
+        let dflt = DeviceConfig::builder().build().unwrap();
+        assert_eq!(dflt.memory_bytes, 16 * (1 << 30));
+
+        let e = DeviceConfig::builder().name("  ").build().unwrap_err();
+        assert!(matches!(
+            e,
+            DeviceError::InvalidConfig { field: "name", .. }
+        ));
+        let e = DeviceConfig::builder().memory_bytes(0).build().unwrap_err();
+        assert!(matches!(
+            e,
+            DeviceError::InvalidConfig {
+                field: "memory_bytes",
+                ..
+            }
+        ));
+        let e = DeviceConfig::builder().sm_count(0).build().unwrap_err();
+        assert!(matches!(
+            e,
+            DeviceError::InvalidConfig {
+                field: "sm_count",
+                ..
+            }
+        ));
+        let e = DeviceConfig::builder().sm_count(5000).build().unwrap_err();
+        assert!(e.to_string().contains("sm_count"));
+    }
+
+    #[cfg(feature = "host-backend")]
+    #[test]
+    fn host_device_runs_the_same_offload() {
+        let dev = Device::host(DeviceConfig::tiny(1 << 20));
+        assert_eq!(dev.backend_kind(), BackendKind::Host);
+        let buf = dev.alloc::<u32>(16).unwrap();
+        let s = dev.create_stream("h");
+        let b = buf.clone();
+        s.launch("fill", move || {
+            for (i, v) in b.lock_mut().iter_mut().enumerate() {
+                *v = i as u32;
+            }
+        });
+        s.synchronize().unwrap();
+        assert_eq!(buf.snapshot()[15], 15);
     }
 }

@@ -21,6 +21,16 @@ pub enum DeviceError {
     /// (injected by the chaos layer; real hardware surfaces this as a sticky
     /// `cudaErrorECCUncorrectable`-style stream error).
     CopyFailed { stream: String, attempts: u32 },
+    /// The stream's backend has shut down (its `Device` was dropped while
+    /// this `Stream` handle survived). Async enqueues silently no-op in that
+    /// state — CUDA-style — and `Stream::synchronize` reports this instead
+    /// of panicking.
+    BackendShutDown { stream: String },
+    /// A [`crate::DeviceConfig`] builder field failed validation.
+    InvalidConfig {
+        field: &'static str,
+        message: String,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -47,6 +57,13 @@ impl fmt::Display for DeviceError {
                 f,
                 "copy engine failed on stream {stream} after {attempts} attempts"
             ),
+            DeviceError::BackendShutDown { stream } => write!(
+                f,
+                "backend shut down: stream {stream} outlived its device"
+            ),
+            DeviceError::InvalidConfig { field, message } => {
+                write!(f, "invalid device config: {field}: {message}")
+            }
         }
     }
 }

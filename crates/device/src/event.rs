@@ -142,9 +142,9 @@ mod tests {
         b.launch("consumer", move || {
             obs.store(c2.load(Ordering::SeqCst), Ordering::SeqCst);
         });
-        b.synchronize();
+        b.synchronize().unwrap();
         assert_eq!(observed.load(Ordering::SeqCst), 1);
-        a.synchronize();
+        a.synchronize().unwrap();
     }
 
     #[test]
@@ -169,6 +169,6 @@ mod tests {
         let evt = Event::new();
         s.wait_event(&evt); // no record yet: must not block the stream
         s.launch("nop", || {});
-        s.synchronize();
+        s.synchronize().unwrap();
     }
 }

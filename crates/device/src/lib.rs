@@ -28,27 +28,51 @@
 //! Everything executes for real: kernels are closures (the solver submits
 //! genuine FFTs through them) and copies move real bytes between host and
 //! "device" vectors. Only the silicon is emulated by threads.
+//!
+//! Since the `DeviceBackend` redesign, [`Device`] is a thin handle over an
+//! `Arc<dyn DeviceBackend>` executor, and the simulated accelerator is just
+//! the default backend ([`SimBackend`]). The stream/event *schedule* — the
+//! paper's actual contribution — is recorded and certified in the shared
+//! layer above the trait, so the same schedule runs on:
+//!
+//! * [`SimBackend`] (default) — worker threads, DES timeline;
+//! * [`HostBackend`] (`host-backend`, default feature) — eager host-CPU
+//!   execution of the same kernels, used by the solver's degraded mode;
+//! * `WgpuBackend` (`--features wgpu-backend`) — compile-checked
+//!   queue/command-buffer skeleton for a real GPU port (ROADMAP item 2).
 
+mod backend;
 mod buffer;
 mod copy;
 mod device;
 mod error;
 mod event;
+#[cfg(feature = "host-backend")]
+mod host;
+mod sim;
 mod stream;
 mod timeline;
+#[cfg(feature = "wgpu-backend")]
+mod wgpu_backend;
 
+pub use backend::{run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, QueueOp};
 pub use buffer::{DeviceBuffer, PinnedBuffer};
 pub use copy::Copy2d;
-pub use device::{Device, DeviceConfig, DeviceStats};
+pub use device::{Device, DeviceConfig, DeviceConfigBuilder, DeviceStats, WeakDevice};
 pub use error::DeviceError;
 pub use event::Event;
+#[cfg(feature = "host-backend")]
+pub use host::HostBackend;
+pub use sim::SimBackend;
 pub use stream::Stream;
 pub use timeline::{Span, SpanKind, Timeline};
+#[cfg(feature = "wgpu-backend")]
+pub use wgpu_backend::WgpuBackend;
 
 // Schedule-recording vocabulary, re-exported so callers declaring kernel
 // accesses for `Stream::launch_traced` need no direct `psdns-analyze`
 // dependency.
-pub use psdns_analyze::{Access, AccessMode, MemSpace, OrderingLog};
+pub use psdns_analyze::{normalized, Access, AccessMode, MemSpace, OrderingLog};
 
 #[cfg(test)]
 mod tests {
@@ -72,7 +96,7 @@ mod tests {
             }
         });
         stream.memcpy_d2h_async(&dbuf, 0, &host_out, 0, 1024);
-        stream.synchronize();
+        stream.synchronize().unwrap();
 
         let out = host_out.snapshot();
         assert_eq!(out[0], 0);

@@ -1,0 +1,164 @@
+//! [`SimBackend`]: the discrete-event simulated accelerator, extracted
+//! behavior-preserving from the original monolithic `Stream` implementation.
+//!
+//! Each queue is a FIFO channel drained by a dedicated worker thread (named
+//! `stream-{name}`), so streams really run concurrently and event waits
+//! really block a stream — the execution model the paper's overlap analysis
+//! (Figs. 4, 10) depends on. Ops execute through the shared
+//! [`run_op`](crate::run_op) harness, keeping the DES timeline and tracer
+//! bridge byte-for-byte identical to the pre-trait runtime.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use psdns_sync::channel::{unbounded, Sender};
+
+use crate::backend::{run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, QueueOp};
+use crate::device::{DeviceConfig, WeakDevice};
+use crate::error::DeviceError;
+
+enum SimOp {
+    Task(QueueOp),
+    Fence(Sender<()>),
+    Shutdown,
+}
+
+/// One simulated stream queue: channel + worker thread.
+pub(crate) struct SimQueue {
+    stream_name: String,
+    tx: Sender<SimOp>,
+    /// Set when the backend shuts down (or the worker is gone): subsequent
+    /// submits/fences fail with [`DeviceError::BackendShutDown`] instead of
+    /// panicking on a closed channel — the drop-order footgun this replaces.
+    dead: AtomicBool,
+    worker: psdns_sync::Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SimQueue {
+    fn spawn(device: WeakDevice, stream_id: u64, stream_name: String) -> Arc<Self> {
+        let (tx, rx) = unbounded::<SimOp>();
+        let sname = stream_name.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("stream-{sname}"))
+            .spawn(move || {
+                while let Ok(op) = rx.recv() {
+                    match op {
+                        SimOp::Task(op) => run_op(&device, stream_id, &sname, op),
+                        SimOp::Fence(ack) => {
+                            let _ = ack.send(());
+                        }
+                        SimOp::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn stream worker");
+        Arc::new(Self {
+            stream_name,
+            tx,
+            dead: AtomicBool::new(false),
+            worker: psdns_sync::Mutex::new(Some(worker)),
+        })
+    }
+
+    fn shut_down_error(&self) -> DeviceError {
+        DeviceError::BackendShutDown {
+            stream: self.stream_name.clone(),
+        }
+    }
+
+    /// Mark the queue dead and nudge the worker to exit after draining the
+    /// ops already in the FIFO. Never joins — safe to call from any thread,
+    /// including a device drop racing the worker.
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(SimOp::Shutdown);
+    }
+}
+
+impl ExecQueue for SimQueue {
+    fn submit(&self, op: QueueOp) -> Result<(), DeviceError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.shut_down_error());
+        }
+        self.tx
+            .send(SimOp::Task(op))
+            .map_err(|_| self.shut_down_error())
+    }
+
+    fn fence(&self) -> Result<(), DeviceError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.shut_down_error());
+        }
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .send(SimOp::Fence(ack_tx))
+            .map_err(|_| self.shut_down_error())?;
+        ack_rx.recv().map_err(|_| self.shut_down_error())
+    }
+}
+
+impl Drop for SimQueue {
+    fn drop(&mut self) {
+        // Last handle gone: drain remaining ops, then join the worker (like
+        // `cudaStreamDestroy` after a synchronize). The same-thread guard
+        // covers the (never expected) case of the final drop happening on
+        // the worker itself.
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(SimOp::Shutdown);
+        if let Some(h) = self.worker.lock().take() {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The simulated-accelerator backend ([`BackendKind::Simulated`], the
+/// default): real worker threads, real blocking, DES timeline intact.
+pub struct SimBackend {
+    common: BackendCommon,
+    /// Weak registry of live queues so `shutdown` can kill them without
+    /// keeping them (or their workers) alive.
+    queues: psdns_sync::Mutex<Vec<Weak<SimQueue>>>,
+}
+
+impl SimBackend {
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            common: BackendCommon::new(config),
+            queues: psdns_sync::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl DeviceBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simulated
+    }
+
+    fn common(&self) -> &BackendCommon {
+        &self.common
+    }
+
+    fn create_queue(
+        &self,
+        device: WeakDevice,
+        stream_id: u64,
+        stream_name: &str,
+    ) -> Arc<dyn ExecQueue> {
+        let q = SimQueue::spawn(device, stream_id, stream_name.to_string());
+        let mut reg = self.queues.lock();
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&q));
+        q
+    }
+
+    fn shutdown(&self) {
+        for q in self.queues.lock().drain(..) {
+            if let Some(q) = q.upgrade() {
+                q.kill();
+            }
+        }
+    }
+}

@@ -1,111 +1,52 @@
-//! Streams: FIFO work queues with a dedicated worker thread each.
+//! Streams: FIFO work queues over a backend [`ExecQueue`].
 //!
 //! The enqueue calls all return immediately ("copy operations in the
 //! transfer stream are performed asynchronously, i.e., the CPU can move
 //! forward to other tasks", paper §3.4); ordering *within* a stream is
 //! strictly FIFO, ordering *across* streams only via [`Event`]s.
+//!
+//! Everything schedule-shaped happens here, host-side, at enqueue time —
+//! ordering-log records, chaos fault gates, stats and tracer byte counters —
+//! so it is byte-identical on every backend; the backend only decides where
+//! the closures run. A stream holds its device only weakly: async ops on a
+//! stream that outlived its device silently no-op (CUDA-style), and
+//! [`synchronize`](Stream::synchronize) reports a typed
+//! [`DeviceError::BackendShutDown`] instead of panicking.
 
 use std::sync::atomic::Ordering;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::sync::Arc;
 
-use psdns_sync::channel::{unbounded, Sender};
-
-use crate::device::Device;
+use crate::backend::{DeviceBackend, ExecQueue, QueueOp};
+use crate::device::{Device, WeakDevice};
 use crate::error::DeviceError;
 use crate::event::Event;
-use crate::timeline::{Span, SpanKind};
+use crate::timeline::SpanKind;
 
-/// Map a device-timeline span onto the shared tracer's typed kinds. Kernels
-/// are split by name: pack/unpack and zero-copy gather/scatter launches move
-/// data, everything else is FFT/pointwise compute.
-fn bridge_kind(kind: SpanKind, name: &str) -> psdns_trace::SpanKind {
-    match kind {
-        SpanKind::CopyH2D => psdns_trace::SpanKind::H2d,
-        SpanKind::CopyD2H => psdns_trace::SpanKind::D2h,
-        SpanKind::Kernel => {
-            if name.starts_with("pack")
-                || name.starts_with("unpack")
-                || name.starts_with("zero-copy")
-            {
-                psdns_trace::SpanKind::PackUnpack
-            } else {
-                psdns_trace::SpanKind::FftCompute
-            }
-        }
-        SpanKind::Sync | SpanKind::Marker => psdns_trace::SpanKind::Other,
-    }
-}
-
-pub(crate) enum Op {
-    Task {
-        name: String,
-        kind: SpanKind,
-        f: Box<dyn FnOnce() + Send>,
-    },
-    Fence(Sender<()>),
-    Shutdown,
-}
-
-/// Handle to one stream. Dropping the handle drains the queue and joins the
-/// worker (like `cudaStreamDestroy` after a synchronize).
+/// Handle to one stream. Dropping the last handle to a simulated stream
+/// drains its queue and joins the worker (like `cudaStreamDestroy` after a
+/// synchronize).
 pub struct Stream {
-    device: Device,
+    device: WeakDevice,
+    backend: Arc<dyn DeviceBackend>,
+    queue: Arc<dyn ExecQueue>,
     id: u64,
     name: String,
-    tx: Sender<Op>,
-    worker: Option<JoinHandle<()>>,
 }
 
 impl Stream {
-    pub(crate) fn spawn(device: Device, id: u64, name: String) -> Self {
-        let (tx, rx) = unbounded::<Op>();
-        let dev = device.clone();
-        let sname = name.clone();
-        let worker = std::thread::Builder::new()
-            .name(format!("stream-{sname}"))
-            .spawn(move || {
-                let epoch: Instant = dev.inner.epoch;
-                while let Ok(op) = rx.recv() {
-                    match op {
-                        Op::Task { name, kind, f } => {
-                            let tracer = dev.tracer();
-                            let t0 = epoch.elapsed().as_secs_f64() * 1e6;
-                            let trace_t0 = tracer.as_ref().map(|t| t.now_ns());
-                            f();
-                            let t1 = epoch.elapsed().as_secs_f64() * 1e6;
-                            if let (Some(t), Some(start)) = (&tracer, trace_t0) {
-                                t.record(
-                                    bridge_kind(kind, &name),
-                                    &sname,
-                                    &name,
-                                    start,
-                                    t.now_ns(),
-                                );
-                            }
-                            dev.inner.timeline.push(Span {
-                                stream_id: id,
-                                stream_name: sname.clone(),
-                                name,
-                                kind,
-                                start_us: t0,
-                                end_us: t1,
-                            });
-                        }
-                        Op::Fence(ack) => {
-                            let _ = ack.send(());
-                        }
-                        Op::Shutdown => break,
-                    }
-                }
-            })
-            .expect("spawn stream worker");
+    pub(crate) fn new(
+        device: WeakDevice,
+        backend: Arc<dyn DeviceBackend>,
+        queue: Arc<dyn ExecQueue>,
+        id: u64,
+        name: String,
+    ) -> Self {
         Self {
             device,
+            backend,
+            queue,
             id,
             name,
-            tx,
-            worker: Some(worker),
         }
     }
 
@@ -117,33 +58,45 @@ impl Stream {
         &self.name
     }
 
-    pub fn device(&self) -> &Device {
-        &self.device
+    /// The owning device, if it is still alive.
+    pub fn device(&self) -> Option<Device> {
+        self.device.upgrade()
     }
 
     /// Mirror an executing op with its declared accesses into the attached
     /// schedule recorder, if any. Called by the copy engine right before
     /// enqueueing the transfer.
     pub(crate) fn record_exec(&self, name: &str, accesses: Vec<psdns_analyze::Access>) {
-        if let Some(log) = self.device.recorder() {
+        if let Some(log) = self.backend.recorder() {
             log.record(&self.name, name, psdns_analyze::OpKind::Exec, accesses);
         }
     }
 
+    pub(crate) fn has_recorder(&self) -> bool {
+        self.backend.recorder().is_some()
+    }
+
     pub(crate) fn enqueue(&self, name: String, kind: SpanKind, f: Box<dyn FnOnce() + Send>) {
-        self.tx
-            .send(Op::Task { name, kind, f })
-            .expect("stream worker alive");
+        // Async semantics: a dead backend swallows the op; the next
+        // synchronize surfaces BackendShutDown.
+        let _ = self.queue.submit(QueueOp {
+            name,
+            kind,
+            exec: f,
+        });
     }
 
     /// Injected stream stall: wedge this stream's FIFO for a while by
     /// enqueueing a sleep. The host does not block (asynchronous semantics
     /// preserved); subsequent ops on this stream drain late.
     fn chaos_stall_gate(&self) {
-        let Some(ch) = self.device().chaos() else {
+        let Some(dev) = self.device() else {
             return;
         };
-        let rank = self.device().trace_rank();
+        let Some(ch) = dev.chaos() else {
+            return;
+        };
+        let rank = dev.trace_rank();
         if ch.check(
             rank,
             &format!("stall:{}", self.name),
@@ -164,10 +117,13 @@ impl Stream {
     /// recorded on the device (visible via [`Device::take_error`]) — the
     /// caller's next error check surfaces it as a typed failure.
     pub(crate) fn chaos_copy_gate(&self) -> bool {
-        let Some(ch) = self.device().chaos() else {
+        let Some(dev) = self.device() else {
             return true;
         };
-        let rank = self.device().trace_rank();
+        let Some(ch) = dev.chaos() else {
+            return true;
+        };
+        let rank = dev.trace_rank();
         let site = format!("copy:{}", self.name);
         let policy = ch.retry();
         let salt = psdns_chaos::site_salt(&site);
@@ -179,16 +135,16 @@ impl Stream {
                 std::thread::sleep(policy.backoff_for(attempt, salt));
             }
         }
-        self.device().set_error(DeviceError::CopyFailed {
+        dev.set_error(DeviceError::CopyFailed {
             stream: self.name.clone(),
             attempts: policy.max_retries + 1,
         });
         false
     }
 
-    /// Enqueue an arbitrary "kernel" — a closure executed on the stream
-    /// worker in FIFO order. The solver submits FFT batches and pointwise
-    /// physics kernels through this.
+    /// Enqueue an arbitrary "kernel" — a closure executed by the backend in
+    /// FIFO order. The solver submits FFT batches and pointwise physics
+    /// kernels through this.
     ///
     /// A plain launch declares no buffer accesses, so the hazard analyzer
     /// cannot see what it touches; use [`launch_traced`](Self::launch_traced)
@@ -208,15 +164,11 @@ impl Stream {
         f: F,
     ) {
         self.chaos_stall_gate();
-        self.device
-            .inner
-            .stats
-            .kernel_launches
-            .fetch_add(1, Ordering::Relaxed);
-        self.device.trace_incr_kernel();
-        if let Some(log) = self.device.recorder() {
-            log.record(&self.name, name, psdns_analyze::OpKind::Exec, accesses);
+        if let Some(dev) = self.device() {
+            dev.stats().kernel_launches.fetch_add(1, Ordering::Relaxed);
+            dev.trace_incr_kernel();
         }
+        self.record_exec(name, accesses);
         self.enqueue(name.to_string(), SpanKind::Kernel, Box::new(f));
     }
 
@@ -224,7 +176,7 @@ impl Stream {
     /// (`cudaEventRecord`).
     pub fn record(&self, event: &Event) {
         let ticket = event.new_ticket();
-        if let Some(log) = self.device.recorder() {
+        if let Some(log) = self.backend.recorder() {
             log.record(
                 &self.name,
                 "event-record",
@@ -247,7 +199,7 @@ impl Stream {
     /// this call (`cudaStreamWaitEvent`). The *host* does not block.
     pub fn wait_event(&self, event: &Event) {
         let ticket = event.current_ticket();
-        if let Some(log) = self.device.recorder() {
+        if let Some(log) = self.backend.recorder() {
             log.record(
                 &self.name,
                 "event-wait",
@@ -267,9 +219,11 @@ impl Stream {
     }
 
     /// Block the host until everything enqueued so far has executed
-    /// (`cudaStreamSynchronize`).
-    pub fn synchronize(&self) {
-        if let Some(log) = self.device.recorder() {
+    /// (`cudaStreamSynchronize`). Fails with
+    /// [`DeviceError::BackendShutDown`] when this stream outlived its
+    /// device — the typed replacement for the old worker-channel panic.
+    pub fn synchronize(&self) -> Result<(), DeviceError> {
+        if let Some(log) = self.backend.recorder() {
             log.record(
                 psdns_analyze::HOST_TRACK,
                 "stream-synchronize",
@@ -279,20 +233,7 @@ impl Stream {
                 Vec::new(),
             );
         }
-        let (ack_tx, ack_rx) = unbounded();
-        self.tx
-            .send(Op::Fence(ack_tx))
-            .expect("stream worker alive");
-        ack_rx.recv().expect("stream worker alive");
-    }
-}
-
-impl Drop for Stream {
-    fn drop(&mut self) {
-        let _ = self.tx.send(Op::Shutdown);
-        if let Some(h) = self.worker.take() {
-            let _ = h.join();
-        }
+        self.queue.fence()
     }
 }
 
@@ -301,7 +242,7 @@ mod tests {
     use super::*;
     use crate::device::DeviceConfig;
     use std::sync::atomic::AtomicUsize;
-    use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn fifo_order_within_stream() {
@@ -312,7 +253,7 @@ mod tests {
             let l = Arc::clone(&log);
             s.launch("step", move || l.lock().push(i));
         }
-        s.synchronize();
+        s.synchronize().unwrap();
         assert_eq!(*log.lock(), (0..50).collect::<Vec<_>>());
     }
 
@@ -330,8 +271,8 @@ mod tests {
         b.launch("sleep", || {
             std::thread::sleep(std::time::Duration::from_millis(50))
         });
-        a.synchronize();
-        b.synchronize();
+        a.synchronize().unwrap();
+        b.synchronize().unwrap();
         let elapsed = t0.elapsed();
         assert!(
             elapsed.as_millis() < 95,
@@ -348,7 +289,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(80))
         });
         assert!(t0.elapsed().as_millis() < 40, "launch blocked the host");
-        s.synchronize();
+        s.synchronize().unwrap();
         assert!(t0.elapsed().as_millis() >= 80);
     }
 
@@ -359,7 +300,7 @@ mod tests {
         s.launch("work", || {
             std::thread::sleep(std::time::Duration::from_millis(5))
         });
-        s.synchronize();
+        s.synchronize().unwrap();
         let spans = dev.timeline().snapshot();
         let work: Vec<_> = spans.iter().filter(|sp| sp.name == "work").collect();
         assert_eq!(work.len(), 1);
@@ -378,9 +319,42 @@ mod tests {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
-        s.synchronize();
+        s.synchronize().unwrap();
         assert_eq!(c.load(Ordering::Relaxed), 7);
         let (_, _, _, launches) = dev.stats().snapshot();
         assert_eq!(launches, 7);
+    }
+
+    #[test]
+    fn stream_outliving_device_reports_shutdown() {
+        // The drop-order footgun: previously this panicked in the worker
+        // channel; now async ops no-op and synchronize is a typed error.
+        let dev = Device::new(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("orphan");
+        s.launch("before-drop", || {});
+        s.synchronize().unwrap();
+        drop(dev);
+        s.launch("after-drop", || {}); // must not panic
+        let evt = Event::new();
+        s.record(&evt);
+        s.wait_event(&evt);
+        match s.synchronize() {
+            Err(DeviceError::BackendShutDown { stream }) => assert_eq!(stream, "orphan"),
+            other => panic!("expected BackendShutDown, got {other:?}"),
+        }
+    }
+
+    #[cfg(feature = "host-backend")]
+    #[test]
+    fn host_backend_stream_outliving_device_reports_shutdown() {
+        let dev = Device::host(DeviceConfig::tiny(1 << 20));
+        let s = dev.create_stream("orphan-host");
+        s.synchronize().unwrap();
+        drop(dev);
+        s.launch("after-drop", || {});
+        assert!(matches!(
+            s.synchronize(),
+            Err(DeviceError::BackendShutDown { .. })
+        ));
     }
 }

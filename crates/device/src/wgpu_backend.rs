@@ -1,0 +1,226 @@
+//! [`WgpuBackend`]: compile-checked skeleton mapping the [`DeviceBackend`]
+//! trait onto a `wgpu`/Vulkan-style queue + command-buffer model (`cargo
+//! check --features wgpu-backend`; ROADMAP item 2).
+//!
+//! The real `wgpu` crate is not vendored, so the `shim` module mirrors the
+//! subset of its API this backend programs against (instance → adapter →
+//! queue, command encoders, submitted command buffers). Swapping the shim
+//! for the real crate keeps this file's control flow intact: the open work
+//! is buffer residency and kernel translation (WGSL compute for the
+//! pack/unpack and batched-FFT kernels), not orchestration.
+//!
+//! Deferred-execution model: GPU APIs batch work into command buffers, so
+//! `Kernel`/copy ops are *encoded* and only execute when a batch is flushed.
+//! The skeleton flushes at every `Sync`/`Marker` op and at `fence` — event
+//! tickets therefore complete no later than their record op's flush, which
+//! keeps the certified schedule's cross-stream waits deadlock-free. A
+//! hazard-free schedule (what `analyze_schedule` certifies) observes no
+//! difference between this batching and eager execution.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::backend::{run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, QueueOp};
+use crate::device::{DeviceConfig, WeakDevice};
+use crate::error::DeviceError;
+use crate::timeline::SpanKind;
+
+/// In-tree stand-in for the `wgpu` types this backend drives. Same shapes,
+/// no GPU: command buffers hold the encoded closures and "submission"
+/// executes them in order on the submitting thread.
+mod shim {
+    use super::QueueOp;
+
+    /// `wgpu::Instance` — entry point, enumerates adapters.
+    pub struct Instance;
+
+    impl Instance {
+        pub fn new() -> Self {
+            Instance
+        }
+
+        /// `request_adapter`: the shim always exposes one software adapter.
+        pub fn request_adapter(&self) -> Option<Adapter> {
+            Some(Adapter {
+                name: "wgpu-shim (software)".to_string(),
+            })
+        }
+    }
+
+    /// `wgpu::Adapter` — one physical device.
+    pub struct Adapter {
+        pub name: String,
+    }
+
+    impl Adapter {
+        /// `request_device`: yields the queue work is submitted to.
+        pub fn request_device(&self) -> Queue {
+            Queue
+        }
+    }
+
+    /// `wgpu::Queue` — executes submitted command buffers in order.
+    pub struct Queue;
+
+    impl Queue {
+        pub fn submit(&self, buffers: impl IntoIterator<Item = CommandBuffer>) {
+            for buf in buffers {
+                for op in buf.ops {
+                    (op.exec)();
+                }
+            }
+        }
+    }
+
+    /// `wgpu::CommandEncoder` — records ops until `finish`.
+    #[derive(Default)]
+    pub struct CommandEncoder {
+        ops: Vec<QueueOp>,
+    }
+
+    impl CommandEncoder {
+        pub fn push(&mut self, op: QueueOp) {
+            self.ops.push(op);
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.ops.is_empty()
+        }
+
+        pub fn finish(&mut self) -> CommandBuffer {
+            CommandBuffer {
+                ops: std::mem::take(&mut self.ops),
+            }
+        }
+    }
+
+    /// `wgpu::CommandBuffer` — a finished, submittable batch.
+    pub struct CommandBuffer {
+        ops: Vec<QueueOp>,
+    }
+}
+
+struct WgpuQueue {
+    device: WeakDevice,
+    stream_id: u64,
+    stream_name: String,
+    dead: Arc<AtomicBool>,
+    gpu_queue: Arc<shim::Queue>,
+    encoder: psdns_sync::Mutex<shim::CommandEncoder>,
+}
+
+impl WgpuQueue {
+    fn shut_down_error(&self) -> DeviceError {
+        DeviceError::BackendShutDown {
+            stream: self.stream_name.clone(),
+        }
+    }
+
+    /// Submit the current command buffer. Encoded ops were wrapped through
+    /// the shared [`run_op`] harness at encode time, so execution keeps the
+    /// timeline comparable with the other backends. The shim executes
+    /// inline; a real wgpu queue would hand the buffer to the driver here
+    /// and completion would arrive via on_submitted_work_done callbacks.
+    fn flush(&self) {
+        let mut enc = self.encoder.lock();
+        if enc.is_empty() {
+            return;
+        }
+        let batch = enc.finish();
+        drop(enc);
+        self.gpu_queue.submit([batch]);
+    }
+}
+
+impl ExecQueue for WgpuQueue {
+    fn submit(&self, op: QueueOp) -> Result<(), DeviceError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.shut_down_error());
+        }
+        let flush_after = matches!(op.kind, SpanKind::Sync | SpanKind::Marker);
+        let device = self.device.clone();
+        let (id, name) = (self.stream_id, self.stream_name.clone());
+        let wrapped = QueueOp {
+            name: op.name.clone(),
+            kind: op.kind,
+            exec: Box::new(move || run_op(&device, id, &name, op)),
+        };
+        self.encoder.lock().push(wrapped);
+        if flush_after {
+            // Event records/waits and markers are batch boundaries: flushing
+            // here completes tickets before any cross-stream wait can block.
+            self.flush();
+        }
+        Ok(())
+    }
+
+    fn fence(&self) -> Result<(), DeviceError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.shut_down_error());
+        }
+        self.flush();
+        Ok(())
+    }
+}
+
+/// The `wgpu`-style backend ([`BackendKind::Wgpu`]). Compile-checked only:
+/// `ci.sh` runs `cargo check --features wgpu-backend` so the skeleton can
+/// never rot, but no test suite requires it.
+pub struct WgpuBackend {
+    common: BackendCommon,
+    dead: Arc<AtomicBool>,
+    adapter: shim::Adapter,
+    gpu_queue: Arc<shim::Queue>,
+}
+
+impl WgpuBackend {
+    /// Instance → adapter → device/queue, the wgpu initialization chain.
+    /// Returns `None` when no adapter is available (never, with the shim).
+    pub fn new(config: DeviceConfig) -> Option<Self> {
+        let instance = shim::Instance::new();
+        let adapter = instance.request_adapter()?;
+        let gpu_queue = Arc::new(adapter.request_device());
+        Some(Self {
+            common: BackendCommon::new(config),
+            dead: Arc::new(AtomicBool::new(false)),
+            adapter,
+            gpu_queue,
+        })
+    }
+
+    /// Name of the adapter actually driving this backend (the shim reports
+    /// its software adapter; a real build reports the GPU).
+    pub fn adapter_name(&self) -> &str {
+        &self.adapter.name
+    }
+}
+
+impl DeviceBackend for WgpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Wgpu
+    }
+
+    fn common(&self) -> &BackendCommon {
+        &self.common
+    }
+
+    fn create_queue(
+        &self,
+        device: WeakDevice,
+        stream_id: u64,
+        stream_name: &str,
+    ) -> Arc<dyn ExecQueue> {
+        Arc::new(WgpuQueue {
+            device,
+            stream_id,
+            stream_name: stream_name.to_string(),
+            dead: Arc::clone(&self.dead),
+            gpu_queue: Arc::clone(&self.gpu_queue),
+            encoder: psdns_sync::Mutex::new(shim::CommandEncoder::default()),
+        })
+    }
+
+    fn shutdown(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+}

@@ -39,8 +39,8 @@ fn recorded_offload() -> OrderingLog {
     comp.record(&compute_done);
     xfer.wait_event(&compute_done);
     xfer.memcpy_d2h_async(&dbuf, 0, &host, 0, 64);
-    xfer.synchronize();
-    comp.synchronize();
+    xfer.synchronize().unwrap();
+    comp.synchronize().unwrap();
     log
 }
 
@@ -91,8 +91,8 @@ fn disjoint_ranges_do_not_conflict_without_edges() {
     let b = dev.create_stream("b");
     a.memcpy_h2d_async(&host, 0, &dbuf, 0, 32);
     b.memcpy_h2d_async(&host, 32, &dbuf, 32, 32);
-    a.synchronize();
-    b.synchronize();
+    a.synchronize().unwrap();
+    b.synchronize().unwrap();
     let report = analyze_log(&log);
     assert!(report.is_clean(), "hazards: {:?}", report.hazards);
 
@@ -105,8 +105,8 @@ fn disjoint_ranges_do_not_conflict_without_edges() {
     let b2 = dev2.create_stream("b");
     a2.memcpy_h2d_async(&host, 0, &dbuf2, 0, 40);
     b2.memcpy_h2d_async(&host, 0, &dbuf2, 32, 32);
-    a2.synchronize();
-    b2.synchronize();
+    a2.synchronize().unwrap();
+    b2.synchronize().unwrap();
     let report2 = analyze_log(&log2);
     assert_eq!(report2.hazards.len(), 1);
     assert_eq!(report2.hazards[0].kind, HazardKind::WriteAfterWrite);
@@ -142,7 +142,7 @@ fn host_snapshot_without_sync_is_a_hazard_when_logged() {
     let dbuf2 = dev2.alloc::<u8>(16).unwrap();
     let s2 = dev2.create_stream("s");
     s2.memcpy_d2h_async(&dbuf2, 0, &host, 0, 16);
-    s2.synchronize();
+    s2.synchronize().unwrap();
     log2.record(
         psdns_analyze::HOST_TRACK,
         "host-snapshot",

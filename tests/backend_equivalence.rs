@@ -195,6 +195,80 @@ fn spectrum_pinned_to_frozen_reference_kernel() {
     }
 }
 
+/// The `DeviceBackend` pin: the *same* certified pipeline schedule run on
+/// the simulated accelerator and on the eager host-CPU executor must give
+/// **byte-identical** spectra — not merely close. Both backends execute the
+/// identical kernel closures in the identical order (the schedule is fixed
+/// at enqueue time above the trait), so every floating-point operation
+/// happens in the same sequence and the results match to the last bit.
+#[cfg(feature = "host-backend")]
+#[test]
+fn simulated_and_host_backends_agree_bitwise() {
+    use psdns::device::BackendKind;
+
+    let p = 2;
+    let nv = 2;
+    let run = |kind: BackendKind| {
+        run_slab_backend(p, nv, move |shape, comm| {
+            let dev = Device::with_kind(kind, DeviceConfig::tiny(64 << 20));
+            Box::new(
+                GpuSlabFft::<f64>::builder(shape)
+                    .comm(comm)
+                    .devices(vec![dev])
+                    .np(3)
+                    .a2a_mode(A2aMode::PerPencil)
+                    .host_threads(3)
+                    .build()
+                    .expect("valid pipeline configuration"),
+            )
+        })
+    };
+    let sim = run(BackendKind::Simulated);
+    let host = run(BackendKind::Host);
+    for v in 0..nv {
+        for (i, (a, b)) in sim[v].iter().zip(&host[v]).enumerate() {
+            assert_eq!(
+                (a.re.to_bits(), a.im.to_bits()),
+                (b.re.to_bits(), b.im.to_bits()),
+                "var {v} idx {i}: simulated {a:?} != host {b:?}"
+            );
+        }
+    }
+}
+
+/// `analyze_schedule` certification is backend-independent: the shadow
+/// replay inherits the pipeline's backend kind, and the recorded schedule
+/// must be hazard-free on the simulated *and* the host executor.
+#[cfg(feature = "host-backend")]
+#[test]
+fn analyze_schedule_passes_on_every_backend() {
+    use psdns::device::BackendKind;
+
+    for kind in [BackendKind::Simulated, BackendKind::Host] {
+        let reports = Universe::run(1, move |comm| {
+            let shape = LocalShape::new(16, 1, 0);
+            let dev = Device::with_kind(kind, DeviceConfig::tiny(64 << 20));
+            let fft = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![dev])
+                .np(2)
+                .nv(2)
+                .a2a_mode(A2aMode::PerPencil)
+                .build()
+                .expect("valid pipeline configuration");
+            let report = fft
+                .analyze_schedule()
+                .unwrap_or_else(|e| panic!("{kind:?} backend schedule not certified: {e}"));
+            (report.ops, report.cross_stream_edges)
+        });
+        let (ops, edges) = reports[0];
+        assert!(
+            ops > 0 && edges > 0,
+            "{kind:?} certification saw no schedule"
+        );
+    }
+}
+
 #[test]
 fn pencil_decomposition_agrees_with_slab() {
     // The 2-D baseline distributes differently; compare via a gathered
