@@ -49,6 +49,15 @@ echo "==> chaos-shrink smoke (rank death -> agree -> shrink -> continue)"
 # convert unrecoverable double faults into typed errors — never a hang.
 cargo test --offline -q --test shrink_recovery
 
+echo "==> chaos-device soak (hung queues / lost devices -> typed error or hot-swap)"
+# Device health & hot-swap acceptance: seeded hangs and losses at every
+# pipeline phase must end in a typed DeviceError or a host-twin hot-swap
+# with byte-identical spectra — never a wedged test. The suites bound every
+# wait with the fence watchdog; the outer `timeout` is the backstop that
+# turns a regression into a loud failure instead of a stuck CI job.
+timeout 600 cargo test --offline -q -p psdns-device --test health
+timeout 600 cargo test --offline -q --test device_hotswap
+
 echo "==> bench smoke (perf regression gate vs committed baselines)"
 # One timed iteration per benchmark, compared against BENCH_fft.json /
 # BENCH_pipeline.json at the repo root; any benchmark more than 2x slower

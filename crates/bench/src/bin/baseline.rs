@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use psdns_bench::{parse_bench_file, regressions, render_bench_file, BenchRecord};
-use psdns_comm::Universe;
+use psdns_comm::{Universe, WatchdogPolicy};
 use psdns_core::{
     A2aMode, GpuSlabFft, LocalShape, PencilFftCpu, PhysicalField, SlabFftCpu, Transform3d,
 };
@@ -278,6 +278,32 @@ fn bench_pipeline(smoke: bool) -> Vec<BenchRecord> {
         ns,
         elems,
     ));
+
+    // Same pipeline with the device-health machinery armed (fence watchdog +
+    // coordinated CPU fallback) on a healthy device: the cost of hot-swap
+    // *readiness* — deadline-bounded fences, latency observation, the
+    // end-of-call vote — in the steady state where nothing ever fails.
+    let ns = time_ns(iters, || {
+        Universe::run(P, |comm| {
+            let shape = LocalShape::new(N, P, comm.rank());
+            let dev = Device::new(DeviceConfig::tiny(256 << 20));
+            dev.timeline().set_enabled(false);
+            let mut fft = GpuSlabFft::<f64>::builder(shape)
+                .comm(comm)
+                .devices(vec![dev])
+                .np(2)
+                .nv(NV)
+                .a2a_mode(A2aMode::PerSlab)
+                .cpu_fallback(true)
+                .watchdog(WatchdogPolicy::default())
+                .build()
+                .expect("valid pipeline configuration");
+            let phys: Vec<_> = (0..NV).map(|v| make_phys(shape, v)).collect();
+            let spec = fft.physical_to_fourier(&phys);
+            fft.fourier_to_physical(&spec).len()
+        });
+    });
+    recs.push(record("pipeline_roundtrip", "hotswap_armed", ns, elems));
 
     let (pr, pc) = (2usize, 2usize);
     let ns = time_ns(iters, || {

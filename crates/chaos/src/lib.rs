@@ -106,6 +106,15 @@ pub enum FaultKind {
     AllocFault,
     /// A device stream wedges for a while before draining.
     StreamStall,
+    /// A device queue hangs *indefinitely*: the wedged op never completes on
+    /// its own and only drains once the health layer condemns the device.
+    /// One-shot (`FaultPlan::at`) or intermittent (`with_prob`/`window`) over
+    /// the per-stream enqueue counter.
+    DeviceHang,
+    /// The device falls off the bus (`cudaErrorDeviceLost`-style): enqueues
+    /// become no-ops and every subsequent synchronize/probe fails. One-shot
+    /// or intermittent like [`FaultKind::DeviceHang`].
+    DeviceLost,
     /// Parallel-filesystem write failure while saving a checkpoint.
     WriteFault,
     /// Bit-rot / partial write: checkpoint bytes are corrupted on disk.
@@ -126,6 +135,8 @@ impl FaultKind {
             FaultKind::CopyFault => "copy-fault",
             FaultKind::AllocFault => "alloc-fault",
             FaultKind::StreamStall => "stream-stall",
+            FaultKind::DeviceHang => "device-hang",
+            FaultKind::DeviceLost => "device-lost",
             FaultKind::WriteFault => "write-fault",
             FaultKind::CorruptCheckpoint => "corrupt-checkpoint",
             FaultKind::TruncateCheckpoint => "truncate-checkpoint",
@@ -259,6 +270,105 @@ impl RetryPolicy {
     }
 }
 
+/// Observations kept by an [`AdaptiveWatchdog`]'s rolling window.
+const ADAPTIVE_WINDOW_CAP: usize = 64;
+
+/// One watchdog configuration shared by every deadline in the stack: the a2a
+/// watchdog in `psdns-comm` and the fence/queue watchdogs in `psdns-device`
+/// both derive their deadlines from a `WatchdogPolicy` via
+/// [`AdaptiveWatchdog`], so "how long before we suspect a hang" is tuned in
+/// exactly one place (the watchdog-floor analogue of [`RetryPolicy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogPolicy {
+    /// Minimum deadline; also the cold-start deadline while the rolling
+    /// window is empty.
+    pub floor: Duration,
+    /// Deadline multiplier over the rolling p99 latency.
+    pub factor: u32,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            floor: Duration::from_secs(2),
+            factor: 8,
+        }
+    }
+}
+
+/// Adaptive watchdog: the deadline tracks observed latency instead of being
+/// a fixed guess. Deadline = `max(floor, factor × p99)` over a rolling
+/// window of recent successful waits, so a slow-but-healthy machine does not
+/// trip the watchdog while a genuinely hung wait still surfaces quickly. The
+/// fixed `floor` guards the cold-start case (empty window) and bounds how
+/// tight the deadline can get. Used by the comm layer for all-to-all waits
+/// and by the device layer for queue fences.
+#[derive(Clone, Debug)]
+pub struct AdaptiveWatchdog {
+    floor: Duration,
+    factor: u32,
+    window: Arc<Mutex<std::collections::VecDeque<u64>>>,
+}
+
+impl AdaptiveWatchdog {
+    pub fn new(floor: Duration, factor: u32) -> Self {
+        assert!(factor > 0, "watchdog factor must be positive");
+        Self {
+            floor,
+            factor,
+            window: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+        }
+    }
+
+    pub fn with_policy(policy: WatchdogPolicy) -> Self {
+        Self::new(policy.floor, policy.factor)
+    }
+
+    /// The (floor, factor) pair this watchdog was built from.
+    pub fn policy(&self) -> WatchdogPolicy {
+        WatchdogPolicy {
+            floor: self.floor,
+            factor: self.factor,
+        }
+    }
+
+    /// Same policy, fresh (empty) window. Used when the watched resource
+    /// changes shape (communicator split/shrink, device swap): latencies
+    /// measured on the old topology do not transfer.
+    pub fn fresh(&self) -> Self {
+        Self::new(self.floor, self.factor)
+    }
+
+    /// Record the latency of a successfully completed wait.
+    pub fn observe(&self, elapsed: Duration) {
+        let mut w = self.window.lock();
+        if w.len() == ADAPTIVE_WINDOW_CAP {
+            w.pop_front();
+        }
+        w.push_back(elapsed.as_nanos() as u64);
+    }
+
+    /// Current deadline: `max(floor, factor × p99(window))`; just `floor`
+    /// while the window is empty.
+    pub fn deadline(&self) -> Duration {
+        let w = self.window.lock();
+        if w.is_empty() {
+            return self.floor;
+        }
+        let mut v: Vec<u64> = w.iter().copied().collect();
+        v.sort_unstable();
+        let idx = (v.len() * 99).div_ceil(100).saturating_sub(1);
+        let p99 = v[idx.min(v.len() - 1)];
+        self.floor
+            .max(Duration::from_nanos(p99.saturating_mul(self.factor as u64)))
+    }
+
+    /// Number of latency observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.window.lock().len()
+    }
+}
+
 /// Full chaos campaign description. Everything defaults to "off": a default
 /// config injects nothing and an engine built from it is a no-op.
 #[derive(Clone, Debug)]
@@ -291,6 +401,10 @@ pub struct ChaosConfig {
     pub alloc_fault: FaultPlan,
     pub stream_stall: FaultPlan,
     pub stream_stall_duration: Duration,
+    /// Indefinite queue hang (cleared only by health-layer condemnation).
+    pub device_hang: FaultPlan,
+    /// Device loss (sticky; the device never comes back).
+    pub device_lost: FaultPlan,
     // -- checkpoint I/O faults ----------------------------------------------
     pub write_fault: FaultPlan,
     pub corrupt_checkpoint: FaultPlan,
@@ -318,6 +432,8 @@ impl ChaosConfig {
             alloc_fault: FaultPlan::OFF,
             stream_stall: FaultPlan::OFF,
             stream_stall_duration: Duration::from_micros(500),
+            device_hang: FaultPlan::OFF,
+            device_lost: FaultPlan::OFF,
             write_fault: FaultPlan::OFF,
             corrupt_checkpoint: FaultPlan::OFF,
             truncate_checkpoint: FaultPlan::OFF,
@@ -336,6 +452,8 @@ impl ChaosConfig {
             FaultKind::CopyFault => self.copy_fault,
             FaultKind::AllocFault => self.alloc_fault,
             FaultKind::StreamStall => self.stream_stall,
+            FaultKind::DeviceHang => self.device_hang,
+            FaultKind::DeviceLost => self.device_lost,
             FaultKind::WriteFault => self.write_fault,
             FaultKind::CorruptCheckpoint => self.corrupt_checkpoint,
             FaultKind::TruncateCheckpoint => self.truncate_checkpoint,

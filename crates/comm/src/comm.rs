@@ -82,9 +82,6 @@ pub(crate) const SYSTEM_TAG_BASE: u64 = 1 << 35;
 /// rank that died *entering* agreement) symmetric across survivors.
 const AGREE_ROUNDS: u64 = 2;
 
-/// Observations kept by the adaptive a2a watchdog's rolling window.
-const ADAPTIVE_WINDOW_CAP: usize = 64;
-
 /// Poll period of deadline-aware / failure-aware receive loops. Fault-free
 /// jobs (no chaos engine, no deadline) never poll — they block on the
 /// channel exactly as before.
@@ -97,65 +94,10 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Adaptive all-to-all watchdog: the deadline tracks observed exchange
-/// latency instead of being a fixed guess. Deadline = `max(floor, factor ×
-/// p99)` over a rolling window of recent successful waits, so a slow-but-
-/// healthy machine does not trip the watchdog while a genuinely hung
-/// exchange still surfaces quickly. The fixed `floor` guards the cold-start
-/// case (empty window) and bounds how tight the deadline can get.
-#[derive(Clone, Debug)]
-pub struct AdaptiveWatchdog {
-    floor: Duration,
-    factor: u32,
-    window: Arc<psdns_sync::Mutex<std::collections::VecDeque<u64>>>,
-}
-
-impl AdaptiveWatchdog {
-    pub fn new(floor: Duration, factor: u32) -> Self {
-        assert!(factor > 0, "watchdog factor must be positive");
-        Self {
-            floor,
-            factor,
-            window: Arc::new(psdns_sync::Mutex::new(std::collections::VecDeque::new())),
-        }
-    }
-
-    /// Same policy, fresh (empty) window. Used when the communicator
-    /// changes shape (split/shrink): latencies measured on the old topology
-    /// do not transfer.
-    pub(crate) fn fresh(&self) -> Self {
-        Self::new(self.floor, self.factor)
-    }
-
-    /// Record the latency of a successfully completed exchange.
-    pub fn observe(&self, elapsed: Duration) {
-        let mut w = self.window.lock();
-        if w.len() == ADAPTIVE_WINDOW_CAP {
-            w.pop_front();
-        }
-        w.push_back(elapsed.as_nanos() as u64);
-    }
-
-    /// Current deadline: `max(floor, factor × p99(window))`; just `floor`
-    /// while the window is empty.
-    pub fn deadline(&self) -> Duration {
-        let w = self.window.lock();
-        if w.is_empty() {
-            return self.floor;
-        }
-        let mut v: Vec<u64> = w.iter().copied().collect();
-        v.sort_unstable();
-        let idx = (v.len() * 99).div_ceil(100).saturating_sub(1);
-        let p99 = v[idx.min(v.len() - 1)];
-        self.floor
-            .max(Duration::from_nanos(p99.saturating_mul(self.factor as u64)))
-    }
-
-    /// Number of latency observations currently in the window.
-    pub fn observations(&self) -> usize {
-        self.window.lock().len()
-    }
-}
+/// The adaptive a2a watchdog is the shared [`psdns_chaos::AdaptiveWatchdog`]
+/// (one watchdog-floor policy serves the comm *and* device layers); this
+/// re-export keeps the historical `psdns_comm::AdaptiveWatchdog` path alive.
+pub use psdns_chaos::AdaptiveWatchdog;
 
 /// An MPI-style communicator: a set of ranks that can exchange point-to-point
 /// messages and participate in collectives. Cheap to clone (all state is

@@ -38,6 +38,7 @@ mod universe;
 mod verify;
 
 pub use comm::{AdaptiveWatchdog, CommError, Communicator};
+pub use psdns_chaos::WatchdogPolicy;
 pub use request::Request;
 pub use universe::{Universe, UniverseError};
 

@@ -35,6 +35,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use psdns_analyze::{analyze_log, Access, AnalysisReport, OpKind, OrderingLog, HOST_TRACK};
+use psdns_chaos::WatchdogPolicy;
 use psdns_comm::{Communicator, Request, Universe};
 use psdns_device::{
     BackendKind, Copy2d, Device, DeviceBuffer, DeviceConfig, DeviceError, Event, PinnedBuffer,
@@ -129,6 +130,7 @@ pub struct GpuFftBuilder<T: Real> {
     tracer: Option<psdns_trace::Tracer>,
     cpu_fallback: bool,
     a2a_watchdog: Option<std::time::Duration>,
+    watchdog: Option<WatchdogPolicy>,
     schedule_log: Option<OrderingLog>,
     host_threads: usize,
     _marker: std::marker::PhantomData<T>,
@@ -146,6 +148,7 @@ impl<T: Real> GpuFftBuilder<T> {
             tracer: None,
             cpu_fallback: false,
             a2a_watchdog: None,
+            watchdog: None,
             schedule_log: None,
             host_threads: 1,
             _marker: std::marker::PhantomData,
@@ -234,6 +237,22 @@ impl<T: Real> GpuFftBuilder<T> {
         self
     }
 
+    /// Arm *all* the pipeline's watchdogs from one policy: every device
+    /// fence and `Stream::synchronize` gets an adaptive deadline
+    /// (`max(floor, factor × p99)` over the device's recent fence
+    /// latencies), and the communicator's all-to-all waits get the same
+    /// adaptive treatment over exchange latencies. With this armed, a hung
+    /// queue or unresponsive device surfaces as a typed
+    /// [`psdns_device::DeviceError::QueueHung`] /
+    /// [`DeviceLost`](psdns_device::DeviceError::DeviceLost) within the
+    /// deadline instead of blocking the step forever; combined with
+    /// [`cpu_fallback`](Self::cpu_fallback) the call then hot-swaps to the
+    /// host-backend twin mid-step.
+    pub fn watchdog(mut self, policy: WatchdogPolicy) -> Self {
+        self.watchdog = Some(policy);
+        self
+    }
+
     /// Record every stream operation, event edge and buffer access of this
     /// pipeline into `log` for happens-before analysis (see
     /// [`GpuSlabFft::analyze_schedule`], which wires this up on a shadow
@@ -297,6 +316,18 @@ impl<T: Real> GpuFftBuilder<T> {
         }
         if self.a2a_watchdog.is_some() {
             comm.set_a2a_watchdog(self.a2a_watchdog);
+        }
+        if let Some(p) = self.watchdog {
+            // One policy arms both layers. The a2a floor gets 4× headroom
+            // over the fence floor: a peer may spend up to its full fence
+            // deadline (plus probe retries) detecting a hung device before
+            // it posts its exchange, and the outer timeout must dominate
+            // the inner one or healthy ranks would condemn a peer that is
+            // busy condemning its own device.
+            comm.set_adaptive_a2a_watchdog(4 * p.floor, p.factor);
+            for d in &self.devices {
+                d.enable_fence_watchdog(p);
+            }
         }
         if let Some(log) = &self.schedule_log {
             for d in &self.devices {
@@ -383,6 +414,38 @@ struct CallBuffers<T: Real> {
     rbuf: Vec<Vec<DeviceBuffer<T>>>,
     /// Slot-free events, recorded after the slot's D2H completes.
     free: Vec<Vec<Event>>,
+}
+
+/// Per-call failure bookkeeping for the hot-swap path. A condemned queue or
+/// lost device is recorded here and taken out of the rest of the call — its
+/// results are garbage that the end-of-call vote discards — while the
+/// rank keeps posting its full collective sequence, so peers never block on
+/// an all-to-all this rank would otherwise skip and every rank reaches the
+/// vote in lockstep.
+struct CallGuard {
+    /// Devices condemned during this call: their event joins and final
+    /// fences are skipped (failing fast instead of re-probing a dead
+    /// executor once per event).
+    down: Vec<bool>,
+    /// First device failure of the call, surfaced only after the
+    /// collective sequence completes.
+    err: Option<Error>,
+}
+
+impl CallGuard {
+    fn new(gpus: usize) -> Self {
+        Self {
+            down: vec![false; gpus],
+            err: None,
+        }
+    }
+
+    fn device_down(&mut self, g: usize, e: Error) {
+        self.down[g] = true;
+        if self.err.is_none() {
+            self.err = Some(e);
+        }
+    }
 }
 
 /// A pencil group: consecutive pencils whose union of split-axis ranges is
@@ -686,10 +749,28 @@ impl<T: Real> GpuSlabFft<T> {
     /// when the call must degrade. Without fallback this is a plain
     /// allocation: no extra collective on the fault-free fast path.
     fn acquire_call_buffers(&self, nv: usize) -> Result<Option<CallBuffers<T>>, Error> {
+        // A device condemned by an earlier call stays condemned: with
+        // fallback enabled the rank votes to degrade (the steady-state
+        // hot-swap — later calls go straight to the host twin without
+        // touching the dead executor); without fallback the sticky typed
+        // error surfaces immediately.
+        let lost_err =
+            self.devices
+                .iter()
+                .find(|d| d.health().is_lost())
+                .map(|d| DeviceError::DeviceLost {
+                    device: d.config().name.clone(),
+                });
         if !self.fallback_to_cpu {
+            if let Some(e) = lost_err {
+                return Err(Error::Device(e));
+            }
             return Ok(Some(self.alloc_call_buffers(nv)?));
         }
-        let local = self.alloc_call_buffers(nv);
+        let local = match lost_err {
+            Some(e) => Err(e),
+            None => self.alloc_call_buffers(nv),
+        };
         let all_ok = self.comm.allreduce(local.is_ok(), |a, b| a && b);
         match (all_ok, local) {
             (true, Ok(bufs)) => Ok(Some(bufs)),
@@ -737,14 +818,62 @@ impl<T: Real> GpuSlabFft<T> {
 
     /// Surface any sticky asynchronous device error (e.g. a copy-engine
     /// failure injected after its retry budget) recorded while this call's
-    /// streams were draining.
+    /// streams were draining. Drains *every* device so a stale sticky error
+    /// cannot leak into the next call; returns the first one found.
     fn check_device_errors(&self) -> Result<(), Error> {
+        let mut first = None;
         for dev in &self.devices {
             if let Some(e) = dev.take_error() {
-                return Err(Error::Device(e));
+                first.get_or_insert(Error::Device(e));
             }
         }
-        Ok(())
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The pipeline this instance actually ran its last degraded call on:
+    /// `Some` once any call has hot-swapped to the host-backend twin (OOM
+    /// degrade, hung queue or lost device). Exposed so callers can
+    /// re-certify the swapped executor — calling `analyze_schedule()` on the
+    /// returned twin replays the same schedule on the host backend.
+    pub fn degraded(&self) -> Option<&GpuSlabFft<T>> {
+        self.host.as_deref()
+    }
+
+    /// End-of-call half of the hot-swap protocol. When fallback is enabled,
+    /// every rank votes on whether its device work completed; any failure
+    /// anywhere makes *all* ranks discard the device results and re-run the
+    /// call on the host-backend twin from the immutable inputs — which is
+    /// why a hot-swapped call's output is byte-identical to a fault-free
+    /// host-pipeline run. The vote is unconditional (lockstep: the device
+    /// body posts its full collective sequence even after a local failure,
+    /// so every rank arrives here with the same collective count). Without
+    /// fallback the typed error propagates as-is.
+    fn finish_call<R>(
+        &mut self,
+        what: &str,
+        device: Result<R, Error>,
+        rerun: impl FnOnce(&mut GpuSlabFft<T>) -> Result<R, Error>,
+    ) -> Result<R, Error> {
+        if !self.fallback_to_cpu {
+            return device;
+        }
+        let all_ok = self.comm.allreduce(device.is_ok(), |a, b| a && b);
+        if all_ok {
+            return device;
+        }
+        if let Some(t) = self.comm.tracer() {
+            t.span(
+                psdns_trace::SpanKind::Other,
+                "pipeline",
+                &format!("hot-swap[{what}]"),
+            )
+            .finish();
+        }
+        drop(device);
+        rerun(self.host_backend())
     }
 
     /// Sub-range of `r` handled by device `g` (Fig. 5 vertical split).
@@ -774,7 +903,24 @@ impl<T: Real> GpuSlabFft<T> {
     }
 
     /// Fallible Fourier → physical transform through the async pipeline.
+    ///
+    /// With [`GpuFftBuilder::cpu_fallback`] enabled this call survives
+    /// device-memory exhaustion, hung queues and lost devices: the failing
+    /// rank finishes its collective sequence with placeholder data, an
+    /// end-of-call vote tells every rank a failure happened, and all ranks
+    /// re-run the call on the host-backend twin ([`Self::finish_call`]).
     pub fn try_fourier_to_physical(
+        &mut self,
+        specs: &[SpectralField<T>],
+    ) -> Result<Vec<PhysicalField<T>>, Error> {
+        let device = self.device_fourier_to_physical(specs);
+        self.finish_call("fourier_to_physical", device, |host| {
+            host.try_fourier_to_physical(specs)
+        })
+    }
+
+    /// The device-pipeline body of [`Self::try_fourier_to_physical`].
+    fn device_fourier_to_physical(
         &mut self,
         specs: &[SpectralField<T>],
     ) -> Result<Vec<PhysicalField<T>>, Error> {
@@ -794,10 +940,12 @@ impl<T: Real> GpuSlabFft<T> {
         let plen = s.phys_len();
         let bufs = match self.acquire_call_buffers(nv)? {
             Some(bufs) => bufs,
-            // Device memory exhausted somewhere: every rank degrades to the
-            // host-backend pipeline for this call (graceful degradation).
+            // Device memory exhausted (or a device already condemned)
+            // somewhere: every rank degrades to the host-backend pipeline
+            // for this call (graceful degradation).
             None => return self.host_backend().try_fourier_to_physical(specs),
         };
+        let mut guard = CallGuard::new(gpus);
 
         // Host pinned staging for the whole slab (input) and result.
         let mut flat = Vec::with_capacity(nv * zlen);
@@ -949,12 +1097,26 @@ impl<T: Real> GpuSlabFft<T> {
                 // group once this pencil closes its group ("(ip−2)-th
                 // pencil" rule of §3.4).
                 if ip + 1 == grp.pencils.end && gi >= 2 {
-                    self.post_group_a2a(gi - 2, &groups, &mut d2h_done, &send_bufs, &mut requests);
+                    self.post_group_a2a(
+                        gi - 2,
+                        &groups,
+                        &mut d2h_done,
+                        &send_bufs,
+                        &mut requests,
+                        &mut guard,
+                    );
                 }
             }
         }
         for gi in 0..groups.len() {
-            self.post_group_a2a(gi, &groups, &mut d2h_done, &send_bufs, &mut requests);
+            self.post_group_a2a(
+                gi,
+                &groups,
+                &mut d2h_done,
+                &send_bufs,
+                &mut requests,
+                &mut guard,
+            );
         }
 
         // ---- Global transpose completion (the MPI_WAIT of Fig. 4) --------
@@ -1104,11 +1266,20 @@ impl<T: Real> GpuSlabFft<T> {
                 }
             }
         }
-        for (tstream, cstream) in &self.streams {
-            cstream.synchronize()?;
-            tstream.synchronize()?;
+        for (g, (tstream, cstream)) in self.streams.iter().enumerate() {
+            if guard.down[g] {
+                continue;
+            }
+            if let Err(e) = cstream.synchronize().and_then(|()| tstream.synchronize()) {
+                guard.device_down(g, Error::Device(e));
+            }
         }
-        self.check_device_errors()?;
+        if let Err(e) = self.check_device_errors() {
+            guard.err.get_or_insert(e);
+        }
+        if let Some(e) = guard.err {
+            return Err(e);
+        }
 
         self.log_host_op(
             "unstage `host_phys`",
@@ -1125,6 +1296,16 @@ impl<T: Real> GpuSlabFft<T> {
             .collect())
     }
 
+    /// Join the group's staging events and post its all-to-all.
+    ///
+    /// When a device carries a fence watchdog, each event join is
+    /// deadline-bounded ([`Event::synchronize_deadline`]); a miss is
+    /// classified through the owning streams' health machinery (suspect →
+    /// canary probe → condemn), which yields the typed
+    /// `QueueHung`/`DeviceLost` error into `guard` — and the all-to-all is
+    /// **still posted** with the buffer as-is. Peers must never block on a
+    /// collective this rank skips; the garbage payload is discarded by the
+    /// end-of-call vote ([`Self::finish_call`]).
     fn post_group_a2a(
         &self,
         gi: usize,
@@ -1132,13 +1313,38 @@ impl<T: Real> GpuSlabFft<T> {
         d2h_done: &mut [Vec<Event>],
         send_bufs: &[PinnedBuffer<Complex<T>>],
         requests: &mut [Option<Request<Complex<T>>>],
+        guard: &mut CallGuard,
     ) {
         if requests[gi].is_some() {
             return;
         }
         for ip in groups[gi].pencils.clone() {
-            for e in &d2h_done[ip] {
-                e.synchronize();
+            for (g, e) in d2h_done[ip].iter().enumerate() {
+                if guard.down[g] {
+                    continue;
+                }
+                let limit = self.devices[g].health().watchdog().map(|w| w.deadline());
+                let joined = match limit {
+                    Some(l) => e.synchronize_deadline(l),
+                    None => {
+                        e.synchronize();
+                        true
+                    }
+                };
+                if !joined {
+                    // Deadline missed: let the owning streams' guarded
+                    // fences decide whether the device is merely slow
+                    // (drain completes, the event is done) or wedged/lost
+                    // (typed error; stop joining this device's events).
+                    let (tstream, cstream) = &self.streams[g];
+                    match cstream.synchronize().and_then(|()| tstream.synchronize()) {
+                        Ok(()) => e.synchronize(),
+                        Err(de) => {
+                            guard.device_down(g, Error::Device(de));
+                            continue;
+                        }
+                    }
+                }
                 self.log_event_join(e);
             }
         }
@@ -1162,6 +1368,17 @@ impl<T: Real> GpuSlabFft<T> {
         &mut self,
         phys: &[PhysicalField<T>],
     ) -> Result<Vec<SpectralField<T>>, Error> {
+        let device = self.device_physical_to_fourier(phys);
+        self.finish_call("physical_to_fourier", device, |host| {
+            host.try_physical_to_fourier(phys)
+        })
+    }
+
+    /// The device-pipeline body of [`Self::try_physical_to_fourier`].
+    fn device_physical_to_fourier(
+        &mut self,
+        phys: &[PhysicalField<T>],
+    ) -> Result<Vec<SpectralField<T>>, Error> {
         let nv = phys.len();
         assert!(nv > 0);
         let _call = self.comm.tracer().map(|t| {
@@ -1180,6 +1397,7 @@ impl<T: Real> GpuSlabFft<T> {
             Some(bufs) => bufs,
             None => return self.host_backend().try_physical_to_fourier(phys),
         };
+        let mut guard = CallGuard::new(gpus);
 
         let mut flat = Vec::with_capacity(nv * plen);
         for f in phys {
@@ -1340,12 +1558,26 @@ impl<T: Real> GpuSlabFft<T> {
                     tstream.record(&bufs.free[g][slot]);
                 }
                 if jp + 1 == grp.pencils.end && gi >= 2 {
-                    self.post_group_a2a(gi - 2, &groups, &mut d2h_done, &send_bufs, &mut requests);
+                    self.post_group_a2a(
+                        gi - 2,
+                        &groups,
+                        &mut d2h_done,
+                        &send_bufs,
+                        &mut requests,
+                        &mut guard,
+                    );
                 }
             }
         }
         for gi in 0..groups.len() {
-            self.post_group_a2a(gi, &groups, &mut d2h_done, &send_bufs, &mut requests);
+            self.post_group_a2a(
+                gi,
+                &groups,
+                &mut d2h_done,
+                &send_bufs,
+                &mut requests,
+                &mut guard,
+            );
         }
 
         let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
@@ -1468,11 +1700,20 @@ impl<T: Real> GpuSlabFft<T> {
                 }
             }
         }
-        for (tstream, cstream) in &self.streams {
-            cstream.synchronize()?;
-            tstream.synchronize()?;
+        for (g, (tstream, cstream)) in self.streams.iter().enumerate() {
+            if guard.down[g] {
+                continue;
+            }
+            if let Err(e) = cstream.synchronize().and_then(|()| tstream.synchronize()) {
+                guard.device_down(g, Error::Device(e));
+            }
         }
-        self.check_device_errors()?;
+        if let Err(e) = self.check_device_errors() {
+            guard.err.get_or_insert(e);
+        }
+        if let Some(e) = guard.err {
+            return Err(e);
+        }
 
         self.log_host_op(
             "unstage `host_spec`",

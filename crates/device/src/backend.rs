@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use crate::device::{DeviceConfig, WeakDevice};
 use crate::error::DeviceError;
+use crate::health::HealthMonitor;
 use crate::timeline::{Span, SpanKind};
 
 /// Which executor a [`crate::Device`] handle is backed by.
@@ -72,9 +73,19 @@ pub struct QueueOp {
     pub exec: Box<dyn FnOnce() + Send>,
 }
 
+/// Outcome of a deadline-bounded fence wait ([`ExecQueue::fence_deadline`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FenceWait {
+    /// Everything previously submitted has executed.
+    Complete,
+    /// The deadline expired with work still outstanding. Not an error by
+    /// itself — the health layer decides whether the queue is slow or hung.
+    TimedOut,
+}
+
 /// A backend's execution queue for one stream: FIFO submission plus a
 /// host-blocking completion fence. The shared [`crate::Stream`] wrapper owns
-/// everything else (recording, chaos gates, stats).
+/// everything else (recording, chaos gates, stats, health accounting).
 pub trait ExecQueue: Send + Sync {
     /// Submit one op. Must preserve FIFO order relative to prior submits on
     /// this queue. Returns [`DeviceError::BackendShutDown`] once the backend
@@ -84,6 +95,15 @@ pub trait ExecQueue: Send + Sync {
     /// Block the calling (host) thread until everything previously submitted
     /// has executed (`cudaStreamSynchronize`).
     fn fence(&self) -> Result<(), DeviceError>;
+
+    /// [`fence`](Self::fence) bounded by `deadline`. Backends whose fences
+    /// cannot outlast submission (eager execution) or that cannot interrupt
+    /// a wait keep this default, which ignores the deadline; the simulated
+    /// backend implements a real timed wait on its worker channel.
+    fn fence_deadline(&self, deadline: std::time::Duration) -> Result<FenceWait, DeviceError> {
+        let _ = deadline;
+        self.fence().map(|_| FenceWait::Complete)
+    }
 }
 
 /// Capacity ledger + recorder slot shared by all backends, so every executor
@@ -93,6 +113,9 @@ pub struct BackendCommon {
     config: DeviceConfig,
     allocated: AtomicUsize,
     recorder: psdns_sync::Mutex<Option<psdns_analyze::OrderingLog>>,
+    /// `Healthy → Suspect → Lost` verdict shared by every stream and device
+    /// clone of this backend (see the `health` module docs).
+    health: HealthMonitor,
 }
 
 impl BackendCommon {
@@ -101,7 +124,13 @@ impl BackendCommon {
             config,
             allocated: AtomicUsize::new(0),
             recorder: psdns_sync::Mutex::new(None),
+            health: HealthMonitor::new(),
         }
+    }
+
+    /// The per-backend health state machine.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     pub fn config(&self) -> &DeviceConfig {
@@ -159,7 +188,23 @@ pub trait DeviceBackend: Send + Sync {
     /// ops drain FIFO before the shutdown marker).
     fn shutdown(&self) {}
 
+    /// Whether ops execute concurrently with the submitting thread (worker
+    /// threads / real hardware) rather than eagerly on it. Decides how an
+    /// injected [`psdns_chaos::FaultKind::DeviceHang`] manifests: concurrent
+    /// backends get a genuinely wedged queue (an op blocked on the health
+    /// release latch), eager ones a flag the next fence observes — blocking
+    /// the submitting thread would wedge the watchdog itself.
+    fn concurrent(&self) -> bool {
+        false
+    }
+
     // ---- provided: identical across backends --------------------------------
+
+    /// The per-backend health state machine (shared storage on
+    /// [`BackendCommon`]).
+    fn health(&self) -> &HealthMonitor {
+        self.common().health()
+    }
 
     fn config(&self) -> &DeviceConfig {
         self.common().config()

@@ -149,9 +149,12 @@ pub(crate) struct DeviceInner {
 
 impl Drop for DeviceInner {
     fn drop(&mut self) {
-        // The last Device handle is gone; shut the executor down so any
-        // surviving Stream sees BackendShutDown instead of wedging or
-        // panicking. Pending ops drain FIFO before the shutdown marker.
+        // The last Device handle is gone; open the health release latch
+        // first so any injected hung op unblocks and wedged workers can
+        // drain, then shut the executor down so any surviving Stream sees
+        // BackendShutDown instead of wedging or panicking. Pending ops drain
+        // FIFO before the shutdown marker.
+        self.backend.health().release();
         self.backend.shutdown();
     }
 }
@@ -177,7 +180,7 @@ impl WeakDevice {
 /// use psdns_device::{Device, DeviceConfig, PinnedBuffer};
 /// let dev = Device::new(DeviceConfig::tiny(1 << 20));
 /// let host = PinnedBuffer::from_vec(vec![1.0f32; 256]);
-/// let dbuf = dev.alloc::<f32>(256).unwrap();
+/// let dbuf = dev.alloc::<f32>(256)?;
 /// let s = dev.create_stream("doc");
 /// s.memcpy_h2d_async(&host, 0, &dbuf, 0, 256);
 /// let d = dbuf.clone();
@@ -185,8 +188,9 @@ impl WeakDevice {
 ///     for v in d.lock_mut().iter_mut() { *v *= 3.0; }
 /// });
 /// s.memcpy_d2h_async(&dbuf, 0, &host, 0, 256);
-/// s.synchronize().unwrap();
+/// s.synchronize()?;
 /// assert_eq!(host.snapshot()[0], 3.0);
+/// # Ok::<(), psdns_device::DeviceError>(())
 /// ```
 #[derive(Clone)]
 pub struct Device {
@@ -259,6 +263,57 @@ impl Device {
     /// The executor behind this handle.
     pub fn backend(&self) -> &Arc<dyn DeviceBackend> {
         &self.inner.backend
+    }
+
+    /// The backend's health state machine (`Healthy → Suspect → Lost`);
+    /// shared by every clone and stream of this device.
+    pub fn health(&self) -> &crate::health::HealthMonitor {
+        self.inner.backend.health()
+    }
+
+    /// Arm fence/queue watchdogs: every subsequent `Stream::synchronize`
+    /// on this device is bounded by the adaptive rolling-p99 deadline
+    /// (`max(floor, factor × p99)`) and a miss drives the health protocol
+    /// instead of blocking forever. Pass the same
+    /// [`psdns_chaos::WatchdogPolicy`] used for the comm layer's a2a
+    /// watchdog to keep one watchdog-floor configuration stack-wide.
+    pub fn enable_fence_watchdog(&self, policy: psdns_chaos::WatchdogPolicy) {
+        self.inner
+            .backend
+            .health()
+            .set_watchdog(psdns_chaos::AdaptiveWatchdog::with_policy(policy));
+    }
+
+    /// Cheap canary: submit one trivial op on a *fresh* queue and fence it
+    /// (bounded by `deadline` when given). `true` means the device still
+    /// responds — a wedged stream on a responsive device is congestion, not
+    /// loss. Bypasses the stream-layer chaos gates so probing draws no new
+    /// faults and perturbs no fault schedule.
+    pub fn probe(&self, deadline: Option<std::time::Duration>) -> bool {
+        use std::sync::atomic::AtomicBool;
+        if self.inner.backend.health().lost_injected() {
+            return false;
+        }
+        let id = self.inner.next_stream_id.fetch_add(1, Ordering::Relaxed);
+        let q = self
+            .inner
+            .backend
+            .create_queue(self.downgrade(), id, "canary");
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        let submitted = q.submit(crate::backend::QueueOp {
+            name: "canary".to_string(),
+            kind: crate::timeline::SpanKind::Marker,
+            exec: Box::new(move || ran2.store(true, Ordering::SeqCst)),
+        });
+        if submitted.is_err() {
+            return false;
+        }
+        let done = match deadline {
+            Some(d) => matches!(q.fence_deadline(d), Ok(crate::backend::FenceWait::Complete)),
+            None => q.fence().is_ok(),
+        };
+        done && ran.load(Ordering::SeqCst)
     }
 
     /// Which executor this device runs on.
@@ -431,12 +486,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn capacity_accounting() {
+    fn capacity_accounting() -> Result<(), DeviceError> {
         let dev = Device::new(DeviceConfig::tiny(1024));
         assert_eq!(dev.free_bytes(), 1024);
-        let a = dev.alloc::<u8>(512).unwrap();
+        let a = dev.alloc::<u8>(512)?;
         assert_eq!(dev.free_bytes(), 512);
-        let b = dev.alloc::<f32>(64).unwrap(); // 256 B
+        let b = dev.alloc::<f32>(64)?; // 256 B
         assert_eq!(dev.free_bytes(), 256);
         let err = dev.alloc::<u8>(512).unwrap_err();
         match err {
@@ -455,18 +510,20 @@ mod tests {
         assert_eq!(dev.free_bytes(), 768);
         drop(b);
         assert_eq!(dev.free_bytes(), 1024);
+        Ok(())
     }
 
     #[test]
-    fn alias_clones_free_once() {
+    fn alias_clones_free_once() -> Result<(), DeviceError> {
         let dev = Device::new(DeviceConfig::tiny(1024));
-        let a = dev.alloc::<u8>(1000).unwrap();
+        let a = dev.alloc::<u8>(1000)?;
         let alias = a.clone();
         drop(a);
         // Memory stays allocated while an alias lives.
         assert_eq!(dev.free_bytes(), 24);
         drop(alias);
         assert_eq!(dev.free_bytes(), 1024);
+        Ok(())
     }
 
     #[test]
@@ -478,29 +535,29 @@ mod tests {
     }
 
     #[test]
-    fn buffers_keep_ledger_alive_past_device_drop() {
+    fn buffers_keep_ledger_alive_past_device_drop() -> Result<(), DeviceError> {
         // A buffer outliving its Device must release capacity into the
         // backend's ledger without touching the (gone) device handle.
         let dev = Device::new(DeviceConfig::tiny(1024));
-        let buf = dev.alloc::<u8>(512).unwrap();
+        let buf = dev.alloc::<u8>(512)?;
         drop(dev);
         drop(buf); // must not panic
+        Ok(())
     }
 
     #[test]
-    fn config_builder_validates_ranges() {
+    fn config_builder_validates_ranges() -> Result<(), DeviceError> {
         let ok = DeviceConfig::builder()
             .name("test-gpu")
             .memory_bytes(1 << 20)
             .sm_count(40)
-            .build()
-            .unwrap();
+            .build()?;
         assert_eq!(ok.name, "test-gpu");
         assert_eq!(ok.memory_bytes, 1 << 20);
         assert_eq!(ok.sm_count, 40);
 
         // Defaults are the V100 profile.
-        let dflt = DeviceConfig::builder().build().unwrap();
+        let dflt = DeviceConfig::builder().build()?;
         assert_eq!(dflt.memory_bytes, 16 * (1 << 30));
 
         let e = DeviceConfig::builder().name("  ").build().unwrap_err();
@@ -526,14 +583,15 @@ mod tests {
         ));
         let e = DeviceConfig::builder().sm_count(5000).build().unwrap_err();
         assert!(e.to_string().contains("sm_count"));
+        Ok(())
     }
 
     #[cfg(feature = "host-backend")]
     #[test]
-    fn host_device_runs_the_same_offload() {
+    fn host_device_runs_the_same_offload() -> Result<(), DeviceError> {
         let dev = Device::host(DeviceConfig::tiny(1 << 20));
         assert_eq!(dev.backend_kind(), BackendKind::Host);
-        let buf = dev.alloc::<u32>(16).unwrap();
+        let buf = dev.alloc::<u32>(16)?;
         let s = dev.create_stream("h");
         let b = buf.clone();
         s.launch("fill", move || {
@@ -541,7 +599,8 @@ mod tests {
                 *v = i as u32;
             }
         });
-        s.synchronize().unwrap();
+        s.synchronize()?;
         assert_eq!(buf.snapshot()[15], 15);
+        Ok(())
     }
 }

@@ -31,6 +31,20 @@ pub enum DeviceError {
         field: &'static str,
         message: String,
     },
+    /// A fence/synchronize on `stream` exceeded its watchdog deadline, the
+    /// canary probe showed the *device* still responds, and the retry budget
+    /// is exhausted: the queue itself is wedged. The device is condemned
+    /// ([`crate::HealthState::Lost`]) so callers can hot-swap instead of
+    /// blocking forever.
+    QueueHung {
+        stream: String,
+        deadline: std::time::Duration,
+    },
+    /// The device stopped responding entirely (`cudaErrorDeviceLost`): the
+    /// canary probe failed after a fence timeout, or a loss fault was
+    /// injected. Sticky — every subsequent synchronize on the device reports
+    /// this.
+    DeviceLost { device: String },
 }
 
 impl fmt::Display for DeviceError {
@@ -63,6 +77,14 @@ impl fmt::Display for DeviceError {
             ),
             DeviceError::InvalidConfig { field, message } => {
                 write!(f, "invalid device config: {field}: {message}")
+            }
+            DeviceError::QueueHung { stream, deadline } => write!(
+                f,
+                "queue hung: stream {stream} missed its {} ms fence deadline (device still responds)",
+                deadline.as_millis()
+            ),
+            DeviceError::DeviceLost { device } => {
+                write!(f, "device lost: {device} stopped responding")
             }
         }
     }

@@ -91,6 +91,29 @@ impl Event {
         self.wait_for(self.current_ticket());
     }
 
+    /// Deadline-bounded [`synchronize`](Self::synchronize): waits at most
+    /// `limit` for the most recent record to complete. Returns `true` when
+    /// it completed, `false` on timeout — the host-join analogue of
+    /// [`crate::ExecQueue::fence_deadline`], used by watchdog-armed
+    /// pipelines so a staging-event join on a hung stream cannot block the
+    /// host forever.
+    pub fn synchronize_deadline(&self, limit: std::time::Duration) -> bool {
+        let ticket = self.current_ticket();
+        if ticket == 0 {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + limit;
+        let mut done = self.inner.completed.lock();
+        while *done < ticket {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.cv.wait_timeout(&mut done, deadline - now);
+        }
+        true
+    }
+
     /// Non-blocking completion check (`cudaEventQuery`).
     pub fn query(&self) -> bool {
         let ticket = self.current_ticket();
@@ -119,7 +142,7 @@ mod tests {
     }
 
     #[test]
-    fn cross_stream_ordering() {
+    fn cross_stream_ordering() -> Result<(), crate::DeviceError> {
         // Stream B must not run its kernel until stream A records the event,
         // even though A's kernel is slow.
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
@@ -142,9 +165,9 @@ mod tests {
         b.launch("consumer", move || {
             obs.store(c2.load(Ordering::SeqCst), Ordering::SeqCst);
         });
-        b.synchronize().unwrap();
+        b.synchronize()?;
         assert_eq!(observed.load(Ordering::SeqCst), 1);
-        a.synchronize().unwrap();
+        a.synchronize()
     }
 
     #[test]
@@ -161,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn wait_captures_record_at_call_time() {
+    fn wait_captures_record_at_call_time() -> Result<(), crate::DeviceError> {
         // A wait posted before any record is a no-op even if a record
         // happens later (CUDA captures the event state at the wait call).
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
@@ -169,6 +192,6 @@ mod tests {
         let evt = Event::new();
         s.wait_event(&evt); // no record yet: must not block the stream
         s.launch("nop", || {});
-        s.synchronize().unwrap();
+        s.synchronize()
     }
 }

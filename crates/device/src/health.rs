@@ -1,0 +1,318 @@
+//! Per-backend device health: the `Healthy → Suspect → Lost` state machine
+//! that turns "a fence never returned" into a typed, recoverable condition.
+//!
+//! At the paper's scale (Ravikumar, Appelhans & Yeung, SC'19) a GPU falling
+//! off the bus is more common than a node dying, and the stock failure mode
+//! is the worst one: `cudaStreamSynchronize` simply never returns. The
+//! [`HealthMonitor`] lives on [`crate::BackendCommon`] — one per backend, so
+//! every `Device` clone and every `Stream` of that backend shares a single
+//! verdict — and is driven from the shared stream layer:
+//!
+//! 1. **Healthy**: fences run under a deadline from the shared
+//!    [`AdaptiveWatchdog`] (same rolling-p99 policy as the comm layer's a2a
+//!    watchdog). No watchdog attached ⇒ fences block forever, exactly the
+//!    pre-health behavior.
+//! 2. **Suspect**: entered when a fence misses its deadline or a loss fault
+//!    is detected. A cheap canary op on a *fresh* queue probes the device
+//!    before anything is condemned: a slow queue on a responsive device is
+//!    congestion, not death.
+//! 3. **Lost**: the probe failed (→ [`crate::DeviceError::DeviceLost`]) or
+//!    the probe passed but the queue stayed wedged through the shared
+//!    [`RetryPolicy`] budget (→ [`crate::DeviceError::QueueHung`]). Sticky:
+//!    every later synchronize fails fast so callers can hot-swap.
+//!
+//! Condemnation also opens the **release latch** that injected
+//! [`psdns_chaos::FaultKind::DeviceHang`] ops block on: a wedged simulated
+//! worker drains its FIFO once the verdict is in, so joining it on drop can
+//! not deadlock — mirroring a real driver cancelling work when a context is
+//! torn down.
+//!
+//! Every transition is recorded in an all-integer event log (the device-side
+//! analogue of `psdns-core`'s `RecoveryEvent`): no wall-clock content, so
+//! same-seed chaos replays produce byte-identical logs.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::Duration;
+
+use psdns_chaos::AdaptiveWatchdog;
+use psdns_sync::{Condvar, Mutex};
+
+/// Health verdict for one backend (shared by all streams and device clones).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HealthState {
+    /// Normal operation.
+    Healthy = 0,
+    /// A deadline was missed or a fault was observed; the device is being
+    /// probed. Transient: resolves back to `Healthy` or on to `Lost`.
+    Suspect = 1,
+    /// Condemned. Sticky; the only way out is a new device.
+    Lost = 2,
+}
+
+/// Why a transition happened. The discriminants are part of the replay
+/// contract (they appear in [`HealthEvent`] logs compared across runs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HealthCause {
+    /// A fence/synchronize missed its watchdog deadline.
+    FenceTimeout = 0,
+    /// An injected (or driver-reported) device-loss fault.
+    LostFault = 1,
+    /// The canary probe failed.
+    ProbeFailed = 2,
+    /// Deadline retries exhausted while the device still answered probes.
+    RetriesExhausted = 3,
+}
+
+/// One health transition, all-integer so same-seed replays are
+/// byte-identical (the device-side analogue of `RecoveryEvent`).
+/// `seq` is the monotone logical timestamp of the transition; `stream` is
+/// the id of the stream that observed it (`u64::MAX` for device-wide
+/// events).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// `Healthy → Suspect`.
+    Suspect {
+        seq: u64,
+        stream: u64,
+        cause: HealthCause,
+    },
+    /// Canary verdict while `Suspect`: `ok` is 1/0.
+    Probe { seq: u64, ok: bool },
+    /// `Suspect → Healthy` (a later fence attempt succeeded).
+    Recovered { seq: u64, stream: u64 },
+    /// `→ Lost` (sticky).
+    Condemned {
+        seq: u64,
+        stream: u64,
+        cause: HealthCause,
+    },
+}
+
+impl HealthEvent {
+    /// Logical timestamp of the transition.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            HealthEvent::Suspect { seq, .. }
+            | HealthEvent::Probe { seq, .. }
+            | HealthEvent::Recovered { seq, .. }
+            | HealthEvent::Condemned { seq, .. } => seq,
+        }
+    }
+}
+
+/// Stream id used for device-wide events in the log.
+pub const DEVICE_WIDE: u64 = u64::MAX;
+
+struct Latch {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The per-backend health state machine. See the module docs for the
+/// protocol; all methods are cheap and lock-free on the happy path (one
+/// atomic load per fence).
+pub struct HealthMonitor {
+    state: AtomicU8,
+    /// Set by an injected [`psdns_chaos::FaultKind::DeviceLost`]: the canary
+    /// probe consults this, modelling a device that fell off the bus.
+    lost_injected: AtomicBool,
+    /// Fence-deadline policy; `None` (the default) keeps the historical
+    /// block-forever fences.
+    watchdog: Mutex<Option<AdaptiveWatchdog>>,
+    /// Injected hang ops block on this until the device is condemned, so a
+    /// wedged worker can always drain (drop/join safety).
+    latch: Latch,
+    events: Mutex<Vec<HealthEvent>>,
+}
+
+impl HealthMonitor {
+    pub fn new() -> Self {
+        Self {
+            state: AtomicU8::new(HealthState::Healthy as u8),
+            lost_injected: AtomicBool::new(false),
+            watchdog: Mutex::new(None),
+            latch: Latch {
+                released: Mutex::new(false),
+                cv: Condvar::new(),
+            },
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn state(&self) -> HealthState {
+        match self.state.load(Ordering::SeqCst) {
+            0 => HealthState::Healthy,
+            1 => HealthState::Suspect,
+            _ => HealthState::Lost,
+        }
+    }
+
+    pub fn is_lost(&self) -> bool {
+        self.state() == HealthState::Lost
+    }
+
+    /// Arm fence deadlines with the shared adaptive policy. Passing the same
+    /// [`psdns_chaos::WatchdogPolicy`] used for the a2a watchdog keeps one
+    /// watchdog-floor configuration across the whole stack.
+    pub fn set_watchdog(&self, wd: AdaptiveWatchdog) {
+        *self.watchdog.lock() = Some(wd);
+    }
+
+    /// The armed fence watchdog, if any.
+    pub fn watchdog(&self) -> Option<AdaptiveWatchdog> {
+        self.watchdog.lock().clone()
+    }
+
+    /// Mark an injected device loss (sticky). The transition to `Lost` is
+    /// still driven through suspect→probe by the next synchronize, so the
+    /// event log records the same sequence on every backend.
+    pub fn inject_lost(&self) {
+        self.lost_injected.store(true, Ordering::SeqCst);
+    }
+
+    pub fn lost_injected(&self) -> bool {
+        self.lost_injected.load(Ordering::SeqCst)
+    }
+
+    /// `Healthy → Suspect` (no-op if already suspect/lost). Returns whether
+    /// the transition happened.
+    pub fn mark_suspect(&self, stream: u64, cause: HealthCause) -> bool {
+        let moved = self
+            .state
+            .compare_exchange(
+                HealthState::Healthy as u8,
+                HealthState::Suspect as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if moved {
+            self.push(|seq| HealthEvent::Suspect { seq, stream, cause });
+        }
+        moved
+    }
+
+    /// Record a canary verdict while suspect.
+    pub fn record_probe(&self, ok: bool) {
+        self.push(|seq| HealthEvent::Probe { seq, ok });
+    }
+
+    /// `Suspect → Healthy`: a later fence attempt succeeded.
+    pub fn mark_recovered(&self, stream: u64) {
+        let moved = self
+            .state
+            .compare_exchange(
+                HealthState::Suspect as u8,
+                HealthState::Healthy as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if moved {
+            self.push(|seq| HealthEvent::Recovered { seq, stream });
+        }
+    }
+
+    /// `→ Lost` (sticky) and open the release latch so wedged workers can
+    /// drain. Returns whether this call performed the transition.
+    pub fn condemn(&self, stream: u64, cause: HealthCause) -> bool {
+        let prev = self.state.swap(HealthState::Lost as u8, Ordering::SeqCst);
+        let moved = prev != HealthState::Lost as u8;
+        if moved {
+            self.push(|seq| HealthEvent::Condemned { seq, stream, cause });
+        }
+        self.release();
+        moved
+    }
+
+    /// Open the release latch (also called on backend shutdown, so hung ops
+    /// never outlive the device).
+    pub fn release(&self) {
+        *self.latch.released.lock() = true;
+        self.latch.cv.notify_all();
+    }
+
+    /// Block until the latch opens — the body of an injected
+    /// [`psdns_chaos::FaultKind::DeviceHang`] op: "forever", but releasable,
+    /// so queue teardown can always complete.
+    pub fn block_until_released(&self) {
+        let mut g = self.latch.released.lock();
+        while !*g {
+            self.latch.cv.wait(&mut g);
+        }
+    }
+
+    /// Like [`block_until_released`](Self::block_until_released) with a
+    /// bound, for callers that must make progress even if nobody condemns
+    /// the device. Returns `true` if the latch opened.
+    pub fn block_until_released_for(&self, limit: Duration) -> bool {
+        let mut g = self.latch.released.lock();
+        if *g {
+            return true;
+        }
+        self.latch.cv.wait_timeout(&mut g, limit);
+        *g
+    }
+
+    /// Snapshot of the all-integer transition log, in order.
+    pub fn events(&self) -> Vec<HealthEvent> {
+        self.events.lock().clone()
+    }
+
+    fn push(&self, make: impl FnOnce(u64) -> HealthEvent) {
+        let mut log = self.events.lock();
+        let seq = log.len() as u64;
+        log.push(make(seq));
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_transitions_and_log() {
+        let m = HealthMonitor::new();
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(m.mark_suspect(3, HealthCause::FenceTimeout));
+        assert!(!m.mark_suspect(3, HealthCause::FenceTimeout), "idempotent");
+        m.record_probe(true);
+        m.mark_recovered(3);
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert!(m.mark_suspect(4, HealthCause::LostFault));
+        m.record_probe(false);
+        assert!(m.condemn(4, HealthCause::ProbeFailed));
+        assert!(!m.condemn(4, HealthCause::ProbeFailed), "sticky");
+        assert_eq!(m.state(), HealthState::Lost);
+        let ev = m.events();
+        assert_eq!(ev.len(), 6);
+        assert_eq!(
+            ev[0],
+            HealthEvent::Suspect {
+                seq: 0,
+                stream: 3,
+                cause: HealthCause::FenceTimeout
+            }
+        );
+        assert_eq!(ev[5].seq(), 5);
+    }
+
+    #[test]
+    fn latch_releases_blocked_waiter() {
+        let m = std::sync::Arc::new(HealthMonitor::new());
+        let m2 = std::sync::Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.block_until_released());
+        std::thread::sleep(Duration::from_millis(20));
+        m.condemn(DEVICE_WIDE, HealthCause::RetriesExhausted);
+        assert!(h.join().is_ok());
+        assert!(m.block_until_released_for(Duration::from_millis(1)));
+    }
+}

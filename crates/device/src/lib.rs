@@ -47,6 +47,7 @@ mod copy;
 mod device;
 mod error;
 mod event;
+mod health;
 #[cfg(feature = "host-backend")]
 mod host;
 mod sim;
@@ -55,12 +56,15 @@ mod timeline;
 #[cfg(feature = "wgpu-backend")]
 mod wgpu_backend;
 
-pub use backend::{run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, QueueOp};
+pub use backend::{
+    run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, FenceWait, QueueOp,
+};
 pub use buffer::{DeviceBuffer, PinnedBuffer};
 pub use copy::Copy2d;
 pub use device::{Device, DeviceConfig, DeviceConfigBuilder, DeviceStats, WeakDevice};
 pub use error::DeviceError;
 pub use event::Event;
+pub use health::{HealthCause, HealthEvent, HealthMonitor, HealthState, DEVICE_WIDE};
 #[cfg(feature = "host-backend")]
 pub use host::HostBackend;
 pub use sim::SimBackend;

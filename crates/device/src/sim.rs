@@ -12,9 +12,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
-use psdns_sync::channel::{unbounded, Sender};
+use psdns_sync::channel::{unbounded, RecvTimeoutError, Sender};
 
-use crate::backend::{run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, QueueOp};
+use crate::backend::{
+    run_op, BackendCommon, BackendKind, DeviceBackend, ExecQueue, FenceWait, QueueOp,
+};
 use crate::device::{DeviceConfig, WeakDevice};
 use crate::error::DeviceError;
 
@@ -96,6 +98,25 @@ impl ExecQueue for SimQueue {
             .map_err(|_| self.shut_down_error())?;
         ack_rx.recv().map_err(|_| self.shut_down_error())
     }
+
+    /// Real timed fence: a marker goes into the FIFO and the host waits at
+    /// most `deadline` for the worker to reach it. A timeout leaves the
+    /// marker in place (its ack lands in a dropped receiver) — each retry
+    /// posts a fresh one.
+    fn fence_deadline(&self, deadline: std::time::Duration) -> Result<FenceWait, DeviceError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(self.shut_down_error());
+        }
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .send(SimOp::Fence(ack_tx))
+            .map_err(|_| self.shut_down_error())?;
+        match ack_rx.recv_timeout(deadline) {
+            Ok(()) => Ok(FenceWait::Complete),
+            Err(RecvTimeoutError::Timeout) => Ok(FenceWait::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(self.shut_down_error()),
+        }
+    }
 }
 
 impl Drop for SimQueue {
@@ -135,6 +156,10 @@ impl SimBackend {
 impl DeviceBackend for SimBackend {
     fn kind(&self) -> BackendKind {
         BackendKind::Simulated
+    }
+
+    fn concurrent(&self) -> bool {
+        true
     }
 
     fn common(&self) -> &BackendCommon {

@@ -13,13 +13,15 @@
 //! [`synchronize`](Stream::synchronize) reports a typed
 //! [`DeviceError::BackendShutDown`] instead of panicking.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::backend::{DeviceBackend, ExecQueue, QueueOp};
+use crate::backend::{DeviceBackend, ExecQueue, FenceWait, QueueOp};
 use crate::device::{Device, WeakDevice};
 use crate::error::DeviceError;
 use crate::event::Event;
+use crate::health::{HealthCause, HealthState};
 use crate::timeline::SpanKind;
 
 /// Handle to one stream. Dropping the last handle to a simulated stream
@@ -31,6 +33,10 @@ pub struct Stream {
     queue: Arc<dyn ExecQueue>,
     id: u64,
     name: String,
+    /// An injected [`psdns_chaos::FaultKind::DeviceHang`] wedged this
+    /// stream: fences report timeouts until the health layer condemns the
+    /// device.
+    hang_armed: AtomicBool,
 }
 
 impl Stream {
@@ -47,6 +53,7 @@ impl Stream {
             queue,
             id,
             name,
+            hang_armed: AtomicBool::new(false),
         }
     }
 
@@ -111,12 +118,60 @@ impl Stream {
         }
     }
 
+    /// Injected device-level faults, evaluated at enqueue time like every
+    /// other gate so the fault schedule is backend-identical.
+    ///
+    /// * [`psdns_chaos::FaultKind::DeviceHang`] (site `hang:{stream}`) arms
+    ///   [`Self::hang_armed`]; on a concurrent backend it also enqueues an op
+    ///   blocking on the health release latch, so the queue is *genuinely*
+    ///   wedged until condemnation drains it. Eager backends run ops on the
+    ///   submitting thread, where a blocking op would wedge the watchdog
+    ///   itself — there the armed flag alone drives the (identical)
+    ///   detection sequence.
+    /// * [`psdns_chaos::FaultKind::DeviceLost`] (site `lost:{stream}`) marks
+    ///   the backend lost-injected: the next synchronize goes suspect, the
+    ///   canary probe fails, and the device is condemned.
+    fn chaos_health_gate(&self) {
+        let Some(dev) = self.device() else {
+            return;
+        };
+        let Some(ch) = dev.chaos() else {
+            return;
+        };
+        let rank = dev.trace_rank();
+        let health = self.backend.health();
+        if ch.check(
+            rank,
+            &format!("hang:{}", self.name),
+            psdns_chaos::FaultKind::DeviceHang,
+        ) && !health.is_lost()
+        {
+            self.hang_armed.store(true, Ordering::SeqCst);
+            if self.backend.concurrent() {
+                let b = Arc::clone(&self.backend);
+                self.enqueue(
+                    "chaos-hang".to_string(),
+                    SpanKind::Marker,
+                    Box::new(move || b.health().block_until_released()),
+                );
+            }
+        }
+        if ch.check(
+            rank,
+            &format!("lost:{}", self.name),
+            psdns_chaos::FaultKind::DeviceLost,
+        ) {
+            health.inject_lost();
+        }
+    }
+
     /// Transient copy-engine fault with bounded retry: returns `true` when
     /// the transfer may proceed. After exhausting the retry budget the
     /// transfer is abandoned and a sticky [`DeviceError::CopyFailed`] is
     /// recorded on the device (visible via [`Device::take_error`]) — the
     /// caller's next error check surfaces it as a typed failure.
     pub(crate) fn chaos_copy_gate(&self) -> bool {
+        self.chaos_health_gate();
         let Some(dev) = self.device() else {
             return true;
         };
@@ -164,6 +219,7 @@ impl Stream {
         f: F,
     ) {
         self.chaos_stall_gate();
+        self.chaos_health_gate();
         if let Some(dev) = self.device() {
             dev.stats().kernel_launches.fetch_add(1, Ordering::Relaxed);
             dev.trace_incr_kernel();
@@ -222,6 +278,15 @@ impl Stream {
     /// (`cudaStreamSynchronize`). Fails with
     /// [`DeviceError::BackendShutDown`] when this stream outlived its
     /// device — the typed replacement for the old worker-channel panic.
+    ///
+    /// When a fence watchdog is armed on the device (see
+    /// [`Device::enable_fence_watchdog`](crate::Device::enable_fence_watchdog))
+    /// the fence is bounded by the adaptive deadline and a miss drives the
+    /// `Healthy → Suspect → Lost` protocol: the device is probed by a canary
+    /// op, retried under the shared [`psdns_chaos::RetryPolicy`], and — only
+    /// if it stays wedged — condemned with a typed
+    /// [`DeviceError::QueueHung`] / [`DeviceError::DeviceLost`] instead of
+    /// blocking forever.
     pub fn synchronize(&self) -> Result<(), DeviceError> {
         if let Some(log) = self.backend.recorder() {
             log.record(
@@ -233,7 +298,163 @@ impl Stream {
                 Vec::new(),
             );
         }
-        self.queue.fence()
+        self.guarded_fence()
+    }
+
+    fn hang_armed(&self) -> bool {
+        self.hang_armed.load(Ordering::SeqCst)
+    }
+
+    fn device_lost_error(&self) -> DeviceError {
+        let device = self
+            .device()
+            .map(|d| d.config().name.clone())
+            .unwrap_or_else(|| self.backend.config().name.clone());
+        DeviceError::DeviceLost { device }
+    }
+
+    /// One bounded fence attempt. Armed fault flags short-circuit to a
+    /// timeout verdict (identically on every backend — an eager backend has
+    /// no queue that could really wedge), so the detection sequence, and
+    /// with it the health event log, is backend-invariant.
+    fn fence_once(&self, deadline: Option<Duration>) -> Result<FenceWait, DeviceError> {
+        if self.backend.health().lost_injected() || self.hang_armed() {
+            return Ok(FenceWait::TimedOut);
+        }
+        match deadline {
+            Some(d) => self.queue.fence_deadline(d),
+            None => self.queue.fence().map(|_| FenceWait::Complete),
+        }
+    }
+
+    /// Canary probe: does the *device* still respond, independently of this
+    /// (possibly wedged) queue? Runs one trivial op on a fresh queue,
+    /// bypassing the stream-layer chaos gates so the probe draws no new
+    /// faults.
+    fn probe_device(&self, deadline: Option<Duration>) -> bool {
+        if self.backend.health().lost_injected() {
+            return false;
+        }
+        match self.device() {
+            Some(dev) => dev.probe(deadline),
+            // Device handle gone: nothing left to salvage.
+            None => false,
+        }
+    }
+
+    /// The health-aware fence (see [`synchronize`](Self::synchronize)).
+    fn guarded_fence(&self) -> Result<(), DeviceError> {
+        let health = self.backend.health();
+        if health.is_lost() {
+            return Err(self.device_lost_error());
+        }
+        let wd = health.watchdog();
+        // Fast path: no watchdog and no armed fault — the historical
+        // unbounded fence, byte-for-byte.
+        if wd.is_none() && !health.lost_injected() && !self.hang_armed() {
+            return self.queue.fence();
+        }
+        let deadline = wd.as_ref().map(|w| w.deadline());
+        let policy = self
+            .device()
+            .and_then(|d| d.chaos())
+            .map(|c| c.retry())
+            .unwrap_or_default();
+        let salt = psdns_chaos::site_salt(&format!("fence:{}", self.name));
+        let t0 = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match self.fence_once(deadline)? {
+                FenceWait::Complete => {
+                    if health.state() == HealthState::Suspect {
+                        health.mark_recovered(self.id);
+                        self.trace_health("recovered");
+                    }
+                    if let Some(w) = &wd {
+                        w.observe(t0.elapsed());
+                    }
+                    return Ok(());
+                }
+                FenceWait::TimedOut => {
+                    let cause = if health.lost_injected() {
+                        HealthCause::LostFault
+                    } else {
+                        HealthCause::FenceTimeout
+                    };
+                    if health.mark_suspect(self.id, cause) {
+                        self.trace_health("suspect");
+                    }
+                    let ok = self.probe_device(deadline);
+                    health.record_probe(ok);
+                    if !ok {
+                        health.condemn(self.id, HealthCause::ProbeFailed);
+                        self.trace_health("condemned");
+                        let err = self.device_lost_error();
+                        if let Some(dev) = self.device() {
+                            dev.set_error(err.clone());
+                        }
+                        return Err(err);
+                    }
+                    if attempt >= policy.max_retries {
+                        // The device answers probes but this queue stayed
+                        // wedged through the whole retry budget.
+                        health.condemn(self.id, HealthCause::RetriesExhausted);
+                        self.trace_health("condemned");
+                        let err = DeviceError::QueueHung {
+                            stream: self.name.clone(),
+                            deadline: deadline.unwrap_or_default(),
+                        };
+                        if let Some(dev) = self.device() {
+                            dev.set_error(err.clone());
+                        }
+                        return Err(err);
+                    }
+                    std::thread::sleep(policy.backoff_for(attempt, salt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Mirror the latest health transition into the attached tracer as a
+    /// `Fault` span with logical timestamps (the event's sequence number),
+    /// exactly like fired chaos faults — byte-identical across same-seed
+    /// runs.
+    fn trace_health(&self, what: &str) {
+        let Some(dev) = self.device() else {
+            return;
+        };
+        let Some(t) = dev.tracer() else {
+            return;
+        };
+        let seq = self
+            .backend
+            .health()
+            .events()
+            .last()
+            .map(|e| e.seq())
+            .unwrap_or(0);
+        let h = t.for_rank(dev.trace_rank());
+        h.record(
+            psdns_trace::SpanKind::Fault,
+            &format!("health:{}", self.name),
+            &format!("{what}#{seq}"),
+            seq,
+            seq + 1,
+        );
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        // If a hang fault wedged this stream and nobody condemned the device
+        // (e.g. the owner bailed before synchronizing), open the release
+        // latch so the backend's worker can drain — otherwise joining it in
+        // the queue's drop would deadlock. Teardown cancelling outstanding
+        // work mirrors a driver destroying a wedged context.
+        if self.hang_armed.load(Ordering::SeqCst) {
+            self.backend.health().release();
+        }
     }
 }
 
@@ -245,7 +466,7 @@ mod tests {
     use std::time::Instant;
 
     #[test]
-    fn fifo_order_within_stream() {
+    fn fifo_order_within_stream() -> Result<(), DeviceError> {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("fifo");
         let log = Arc::new(psdns_sync::Mutex::new(Vec::new()));
@@ -253,12 +474,13 @@ mod tests {
             let l = Arc::clone(&log);
             s.launch("step", move || l.lock().push(i));
         }
-        s.synchronize().unwrap();
+        s.synchronize()?;
         assert_eq!(*log.lock(), (0..50).collect::<Vec<_>>());
+        Ok(())
     }
 
     #[test]
-    fn streams_run_concurrently() {
+    fn streams_run_concurrently() -> Result<(), DeviceError> {
         // Two streams each sleep 50 ms; if they serialized, elapsed would be
         // ~100 ms. Allow generous margins for CI noise.
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
@@ -271,17 +493,18 @@ mod tests {
         b.launch("sleep", || {
             std::thread::sleep(std::time::Duration::from_millis(50))
         });
-        a.synchronize().unwrap();
-        b.synchronize().unwrap();
+        a.synchronize()?;
+        b.synchronize()?;
         let elapsed = t0.elapsed();
         assert!(
             elapsed.as_millis() < 95,
             "streams appear serialized: {elapsed:?}"
         );
+        Ok(())
     }
 
     #[test]
-    fn host_does_not_block_on_enqueue() {
+    fn host_does_not_block_on_enqueue() -> Result<(), DeviceError> {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("bg");
         let t0 = Instant::now();
@@ -289,27 +512,29 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(80))
         });
         assert!(t0.elapsed().as_millis() < 40, "launch blocked the host");
-        s.synchronize().unwrap();
+        s.synchronize()?;
         assert!(t0.elapsed().as_millis() >= 80);
+        Ok(())
     }
 
     #[test]
-    fn timeline_records_spans() {
+    fn timeline_records_spans() -> Result<(), DeviceError> {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("traced");
         s.launch("work", || {
             std::thread::sleep(std::time::Duration::from_millis(5))
         });
-        s.synchronize().unwrap();
+        s.synchronize()?;
         let spans = dev.timeline().snapshot();
         let work: Vec<_> = spans.iter().filter(|sp| sp.name == "work").collect();
         assert_eq!(work.len(), 1);
         assert!(work[0].duration_us() >= 4000.0);
         assert_eq!(work[0].stream_name, "traced");
+        Ok(())
     }
 
     #[test]
-    fn kernel_launch_counter() {
+    fn kernel_launch_counter() -> Result<(), DeviceError> {
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("count");
         let c = Arc::new(AtomicUsize::new(0));
@@ -319,20 +544,21 @@ mod tests {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
-        s.synchronize().unwrap();
+        s.synchronize()?;
         assert_eq!(c.load(Ordering::Relaxed), 7);
         let (_, _, _, launches) = dev.stats().snapshot();
         assert_eq!(launches, 7);
+        Ok(())
     }
 
     #[test]
-    fn stream_outliving_device_reports_shutdown() {
+    fn stream_outliving_device_reports_shutdown() -> Result<(), DeviceError> {
         // The drop-order footgun: previously this panicked in the worker
         // channel; now async ops no-op and synchronize is a typed error.
         let dev = Device::new(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("orphan");
         s.launch("before-drop", || {});
-        s.synchronize().unwrap();
+        s.synchronize()?;
         drop(dev);
         s.launch("after-drop", || {}); // must not panic
         let evt = Event::new();
@@ -342,19 +568,21 @@ mod tests {
             Err(DeviceError::BackendShutDown { stream }) => assert_eq!(stream, "orphan"),
             other => panic!("expected BackendShutDown, got {other:?}"),
         }
+        Ok(())
     }
 
     #[cfg(feature = "host-backend")]
     #[test]
-    fn host_backend_stream_outliving_device_reports_shutdown() {
+    fn host_backend_stream_outliving_device_reports_shutdown() -> Result<(), DeviceError> {
         let dev = Device::host(DeviceConfig::tiny(1 << 20));
         let s = dev.create_stream("orphan-host");
-        s.synchronize().unwrap();
+        s.synchronize()?;
         drop(dev);
         s.launch("after-drop", || {});
         assert!(matches!(
             s.synchronize(),
             Err(DeviceError::BackendShutDown { .. })
         ));
+        Ok(())
     }
 }

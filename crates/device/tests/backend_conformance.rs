@@ -14,8 +14,8 @@ use std::time::Duration;
 use proptest::prelude::*;
 use psdns_chaos::{ChaosConfig, ChaosEngine, FaultPlan};
 use psdns_device::{
-    normalized, Access, BackendKind, Copy2d, Device, DeviceConfig, Event, MemSpace, OrderingLog,
-    PinnedBuffer,
+    normalized, Access, BackendKind, Copy2d, Device, DeviceConfig, DeviceError, Event, MemSpace,
+    OrderingLog, PinnedBuffer,
 };
 
 const KINDS: [BackendKind; 2] = [BackendKind::Simulated, BackendKind::Host];
@@ -27,7 +27,9 @@ fn device(kind: BackendKind) -> Device {
 }
 
 /// 1-D, strided 2-D and zero-copy transfers, one stream, then readback.
-fn copy_roundtrip(kind: BackendKind) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+type Roundtrip = (Vec<u32>, Vec<u32>, Vec<u32>);
+
+fn copy_roundtrip(kind: BackendKind) -> Result<Roundtrip, DeviceError> {
     let dev = device(kind);
     let s = dev.create_stream("conf-copy");
 
@@ -36,7 +38,7 @@ fn copy_roundtrip(kind: BackendKind) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
     let out_1d = PinnedBuffer::<u32>::new(n);
     let out_2d = PinnedBuffer::<u32>::new(n);
     let out_zc = PinnedBuffer::<u32>::new(n);
-    let dbuf = dev.alloc::<u32>(n).unwrap();
+    let dbuf = dev.alloc::<u32>(n)?;
 
     s.memcpy_h2d_async(&host_in, 0, &dbuf, 0, n);
     s.memcpy_d2h_async(&dbuf, 0, &out_1d, 0, n);
@@ -67,30 +69,31 @@ fn copy_roundtrip(kind: BackendKind) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
     let scatter: Vec<(usize, usize, usize)> = (0..4).map(|c| (c * 8, c * 11, 8)).collect();
     s.zero_copy_h2d_async(&host_in, &dbuf, gather);
     s.zero_copy_d2h_async(&dbuf, &out_zc, scatter);
-    s.synchronize().unwrap();
+    s.synchronize()?;
 
-    (out_1d.snapshot(), out_2d.snapshot(), out_zc.snapshot())
+    Ok((out_1d.snapshot(), out_2d.snapshot(), out_zc.snapshot()))
 }
 
 #[test]
-fn copy_roundtrips_agree_across_backends() {
-    let sim = copy_roundtrip(KINDS[0]);
-    let host = copy_roundtrip(KINDS[1]);
+fn copy_roundtrips_agree_across_backends() -> Result<(), DeviceError> {
+    let sim = copy_roundtrip(KINDS[0])?;
+    let host = copy_roundtrip(KINDS[1])?;
     assert_eq!(sim, host);
     // And the data is actually the input, not zeros.
     assert_eq!(sim.0[5], 16);
+    Ok(())
 }
 
 /// Cross-stream ping-pong through events: a writes, b transforms after
 /// waiting on a, a finalizes after waiting on b. The event edges force one
 /// deterministic result no matter how the backend schedules the streams.
-fn event_ping_pong(kind: BackendKind) -> Vec<i64> {
+fn event_ping_pong(kind: BackendKind) -> Result<Vec<i64>, DeviceError> {
     let dev = device(kind);
     let a = dev.create_stream("conf-a");
     let b = dev.create_stream("conf-b");
     let n = 256usize;
     let host_out = PinnedBuffer::<i64>::new(n);
-    let dbuf = dev.alloc::<i64>(n).unwrap();
+    let dbuf = dev.alloc::<i64>(n)?;
 
     let d1 = dbuf.clone();
     a.launch("produce", move || {
@@ -122,29 +125,30 @@ fn event_ping_pong(kind: BackendKind) -> Vec<i64> {
         }
     });
     a.memcpy_d2h_async(&dbuf, 0, &host_out, 0, n);
-    a.synchronize().unwrap();
-    b.synchronize().unwrap();
-    host_out.snapshot()
+    a.synchronize()?;
+    b.synchronize()?;
+    Ok(host_out.snapshot())
 }
 
 #[test]
-fn event_ordering_agrees_across_backends() {
-    let sim = event_ping_pong(KINDS[0]);
-    let host = event_ping_pong(KINDS[1]);
+fn event_ordering_agrees_across_backends() -> Result<(), DeviceError> {
+    let sim = event_ping_pong(KINDS[0])?;
+    let host = event_ping_pong(KINDS[1])?;
     assert_eq!(sim, host);
     assert_eq!(sim[10], 10 * 7 - 3 + 1);
+    Ok(())
 }
 
 /// Ops enqueued out of program order across two streams — the consumer
 /// stream is loaded up *before* the producer stream gets its work — still
 /// resolve through the event edge on every backend.
-fn out_of_order_launches(kind: BackendKind) -> Vec<u32> {
+fn out_of_order_launches(kind: BackendKind) -> Result<Vec<u32>, DeviceError> {
     let dev = device(kind);
     let prod = dev.create_stream("conf-prod");
     let cons = dev.create_stream("conf-cons");
     let n = 128usize;
     let host_out = PinnedBuffer::<u32>::new(n);
-    let dbuf = dev.alloc::<u32>(n).unwrap();
+    let dbuf = dev.alloc::<u32>(n)?;
 
     // Producer fills slowly, records.
     let d1 = dbuf.clone();
@@ -169,24 +173,25 @@ fn out_of_order_launches(kind: BackendKind) -> Vec<u32> {
         }
     });
     cons.memcpy_d2h_async(&dbuf, 0, &host_out, 0, n);
-    cons.synchronize().unwrap();
-    prod.synchronize().unwrap();
-    host_out.snapshot()
+    cons.synchronize()?;
+    prod.synchronize()?;
+    Ok(host_out.snapshot())
 }
 
 #[test]
-fn out_of_order_stream_launches_agree_across_backends() {
-    let sim = out_of_order_launches(KINDS[0]);
-    let host = out_of_order_launches(KINDS[1]);
+fn out_of_order_stream_launches_agree_across_backends() -> Result<(), DeviceError> {
+    let sim = out_of_order_launches(KINDS[0])?;
+    let host = out_of_order_launches(KINDS[1])?;
     assert_eq!(sim, host);
     assert_eq!(sim[3], (1000 + 3) * 2);
+    Ok(())
 }
 
 /// One traced offload scenario, recorded on each backend. The ordering
 /// logs must describe the identical schedule: same tracks, op names, op
 /// kinds, event edges and access ranges — only the globally allocated
 /// buffer/event ids may differ, which `normalized` erases.
-fn recorded_schedule(kind: BackendKind) -> Vec<psdns_device::OrderingLog> {
+fn recorded_schedule(kind: BackendKind) -> Result<OrderingLog, DeviceError> {
     let dev = device(kind);
     let log = OrderingLog::new();
     dev.attach_recorder(&log);
@@ -195,7 +200,7 @@ fn recorded_schedule(kind: BackendKind) -> Vec<psdns_device::OrderingLog> {
     let n = 32usize;
     let host = PinnedBuffer::from_vec(vec![1.0f64; n]);
     let out = PinnedBuffer::<f64>::new(n);
-    let dbuf = dev.alloc::<f64>(n).unwrap();
+    let dbuf = dev.alloc::<f64>(n)?;
 
     xfer.memcpy_h2d_async(&host, 0, &dbuf, 0, n);
     let up = Event::new();
@@ -219,23 +224,24 @@ fn recorded_schedule(kind: BackendKind) -> Vec<psdns_device::OrderingLog> {
     comp.record(&done);
     xfer.wait_event(&done);
     xfer.memcpy_d2h_async(&dbuf, 0, &out, 0, n);
-    xfer.synchronize().unwrap();
-    comp.synchronize().unwrap();
-    vec![log]
+    xfer.synchronize()?;
+    comp.synchronize()?;
+    Ok(log)
 }
 
 #[test]
-fn recorder_logs_are_equal_across_backends() {
-    let sim = recorded_schedule(KINDS[0]).pop().unwrap();
-    let host = recorded_schedule(KINDS[1]).pop().unwrap();
+fn recorder_logs_are_equal_across_backends() -> Result<(), DeviceError> {
+    let sim = recorded_schedule(KINDS[0])?;
+    let host = recorded_schedule(KINDS[1])?;
     assert!(!sim.snapshot().is_empty());
     assert_eq!(normalized(&sim.snapshot()), normalized(&host.snapshot()));
+    Ok(())
 }
 
 /// Same-seeded chaos engines see the same per-site occurrence sequence on
 /// every backend: the gates fire host-side at enqueue time, so the fault
 /// schedule digest is backend-independent.
-fn chaos_run(kind: BackendKind) -> u64 {
+fn chaos_run(kind: BackendKind) -> Result<u64, DeviceError> {
     let mut cfg = ChaosConfig::new(0xC0FFEE);
     cfg.copy_fault = FaultPlan::with_prob(0.4);
     cfg.stream_stall = FaultPlan::with_prob(0.4);
@@ -250,7 +256,7 @@ fn chaos_run(kind: BackendKind) -> u64 {
     let s = dev.create_stream("conf-chaos");
     let host = PinnedBuffer::from_vec(vec![7u32; 16]);
     let out = PinnedBuffer::<u32>::new(16);
-    let dbuf = dev.alloc::<u32>(16).unwrap();
+    let dbuf = dev.alloc::<u32>(16)?;
     let _ = dev.alloc::<u32>(16); // occurrence 1
     assert!(dev.alloc::<u32>(16).is_err(), "alloc fault fires at k=2");
     for _ in 0..8 {
@@ -261,12 +267,13 @@ fn chaos_run(kind: BackendKind) -> u64 {
     }
     let _ = s.synchronize();
     let _ = dev.take_error(); // a fired copy fault is part of the plan
-    engine.schedule_digest()
+    Ok(engine.schedule_digest())
 }
 
 #[test]
-fn chaos_schedules_are_equal_across_backends() {
-    assert_eq!(chaos_run(KINDS[0]), chaos_run(KINDS[1]));
+fn chaos_schedules_are_equal_across_backends() -> Result<(), DeviceError> {
+    assert_eq!(chaos_run(KINDS[0])?, chaos_run(KINDS[1])?);
+    Ok(())
 }
 
 proptest! {
@@ -299,7 +306,7 @@ proptest! {
                 width, height, src_offset, src_pitch, dst_offset, dst_pitch,
             });
             s.memcpy_d2h_async(&dbuf, 0, &out, 0, dst_len);
-            s.synchronize().unwrap();
+            prop_assert!(s.synchronize().is_ok(), "synchronize must succeed");
             results.push(out.snapshot());
         }
         prop_assert_eq!(&results[0], &results[1]);

@@ -37,7 +37,7 @@ proptest! {
         for r in 0..height {
             s.memcpy_h2d_async(&host, src_offset + r * src_pitch, &via_loop, dst_offset + r * dst_pitch, width);
         }
-        s.synchronize().unwrap();
+        prop_assert!(s.synchronize().is_ok(), "synchronize must succeed");
         prop_assert_eq!(via_2d.snapshot(), via_loop.snapshot());
     }
 
@@ -69,7 +69,7 @@ proptest! {
             (0..nchunks).map(|c| (c * chunk_len, c * stride, chunk_len)).collect();
         s.zero_copy_h2d_async(&host_in, &dbuf, gather);
         s.zero_copy_d2h_async(&dbuf, &host_out, scatter);
-        s.synchronize().unwrap();
+        prop_assert!(s.synchronize().is_ok(), "synchronize must succeed");
 
         let a = host_in.snapshot();
         let b = host_out.snapshot();
@@ -103,8 +103,8 @@ proptest! {
             let l2 = std::sync::Arc::clone(&log);
             b.launch("consume", move || l2.lock().push((i, 'c')));
         }
-        a.synchronize().unwrap();
-        b.synchronize().unwrap();
+        prop_assert!(a.synchronize().is_ok(), "synchronize must succeed");
+        prop_assert!(b.synchronize().is_ok(), "synchronize must succeed");
         let log = log.lock();
         for i in 0..delays.len() {
             let p = log.iter().position(|&e| e == (i, 'p')).unwrap();

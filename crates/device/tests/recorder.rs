@@ -3,17 +3,19 @@
 //! certifies (or indicts) the recorded schedule.
 
 use psdns_analyze::{analyze_log, wait_edges, without_pos, HazardKind};
-use psdns_device::{Access, Device, DeviceConfig, Event, MemSpace, OrderingLog, PinnedBuffer};
+use psdns_device::{
+    Access, Device, DeviceConfig, DeviceError, Event, MemSpace, OrderingLog, PinnedBuffer,
+};
 
 /// The canonical two-stream offload: H2D on the transfer stream, kernel on
 /// the compute stream (guarded by an event), D2H back on the transfer
 /// stream (guarded by another event).
-fn recorded_offload() -> OrderingLog {
+fn recorded_offload() -> Result<OrderingLog, DeviceError> {
     let log = OrderingLog::new();
     let dev = Device::new(DeviceConfig::tiny(1 << 20));
     dev.attach_recorder(&log);
     let host = PinnedBuffer::from_vec(vec![1.0f32; 64]);
-    let dbuf = dev.alloc::<f32>(64).unwrap();
+    let dbuf = dev.alloc::<f32>(64)?;
     log.label_buffer(dbuf.id(), "dbuf");
     let xfer = dev.create_stream("xfer");
     let comp = dev.create_stream("comp");
@@ -39,24 +41,25 @@ fn recorded_offload() -> OrderingLog {
     comp.record(&compute_done);
     xfer.wait_event(&compute_done);
     xfer.memcpy_d2h_async(&dbuf, 0, &host, 0, 64);
-    xfer.synchronize().unwrap();
-    comp.synchronize().unwrap();
-    log
+    xfer.synchronize()?;
+    comp.synchronize()?;
+    Ok(log)
 }
 
 #[test]
-fn recorded_offload_analyzes_clean() {
-    let log = recorded_offload();
+fn recorded_offload_analyzes_clean() -> Result<(), DeviceError> {
+    let log = recorded_offload()?;
     let report = analyze_log(&log);
     assert!(report.is_clean(), "hazards: {:?}", report.hazards);
     assert_eq!(report.cross_stream_edges, 2);
     assert!(report.tracks.iter().any(|t| t == "xfer"));
     assert!(report.tracks.iter().any(|t| t == "comp"));
+    Ok(())
 }
 
 #[test]
-fn deleting_either_cross_stream_edge_is_detected() {
-    let log = recorded_offload();
+fn deleting_either_cross_stream_edge_is_detected() -> Result<(), DeviceError> {
+    let log = recorded_offload()?;
     let ops = log.snapshot();
     let edges: Vec<_> = wait_edges(&ops)
         .into_iter()
@@ -76,23 +79,24 @@ fn deleting_either_cross_stream_edge_is_detected() {
         assert_ne!(h.first.track, h.second.track, "hazard crosses streams");
         assert_eq!(h.buffer_label.as_deref(), Some("dbuf"));
     }
+    Ok(())
 }
 
 #[test]
-fn disjoint_ranges_do_not_conflict_without_edges() {
+fn disjoint_ranges_do_not_conflict_without_edges() -> Result<(), DeviceError> {
     // Two streams touching disjoint halves of one buffer with no events:
     // unordered, but no overlap — must stay clean (no false positives).
     let log = OrderingLog::new();
     let dev = Device::new(DeviceConfig::tiny(1 << 20));
     dev.attach_recorder(&log);
     let host = PinnedBuffer::from_vec(vec![0u32; 64]);
-    let dbuf = dev.alloc::<u32>(64).unwrap();
+    let dbuf = dev.alloc::<u32>(64)?;
     let a = dev.create_stream("a");
     let b = dev.create_stream("b");
     a.memcpy_h2d_async(&host, 0, &dbuf, 0, 32);
     b.memcpy_h2d_async(&host, 32, &dbuf, 32, 32);
-    a.synchronize().unwrap();
-    b.synchronize().unwrap();
+    a.synchronize()?;
+    b.synchronize()?;
     let report = analyze_log(&log);
     assert!(report.is_clean(), "hazards: {:?}", report.hazards);
 
@@ -100,20 +104,21 @@ fn disjoint_ranges_do_not_conflict_without_edges() {
     let log2 = OrderingLog::new();
     let dev2 = Device::new(DeviceConfig::tiny(1 << 20));
     dev2.attach_recorder(&log2);
-    let dbuf2 = dev2.alloc::<u32>(64).unwrap();
+    let dbuf2 = dev2.alloc::<u32>(64)?;
     let a2 = dev2.create_stream("a");
     let b2 = dev2.create_stream("b");
     a2.memcpy_h2d_async(&host, 0, &dbuf2, 0, 40);
     b2.memcpy_h2d_async(&host, 0, &dbuf2, 32, 32);
-    a2.synchronize().unwrap();
-    b2.synchronize().unwrap();
+    a2.synchronize()?;
+    b2.synchronize()?;
     let report2 = analyze_log(&log2);
     assert_eq!(report2.hazards.len(), 1);
     assert_eq!(report2.hazards[0].kind, HazardKind::WriteAfterWrite);
+    Ok(())
 }
 
 #[test]
-fn host_snapshot_without_sync_is_a_hazard_when_logged() {
+fn host_snapshot_without_sync_is_a_hazard_when_logged() -> Result<(), DeviceError> {
     // The device layer cannot see host reads of pinned memory; callers log
     // them explicitly (as the gpu pipeline does). Verify the host-join
     // machinery orders them only across a synchronize.
@@ -121,7 +126,7 @@ fn host_snapshot_without_sync_is_a_hazard_when_logged() {
     let dev = Device::new(DeviceConfig::tiny(1 << 20));
     dev.attach_recorder(&log);
     let host = PinnedBuffer::from_vec(vec![0u8; 16]);
-    let dbuf = dev.alloc::<u8>(16).unwrap();
+    let dbuf = dev.alloc::<u8>(16)?;
     let s = dev.create_stream("s");
     s.memcpy_d2h_async(&dbuf, 0, &host, 0, 16);
     // Host read logged *before* the synchronize: unordered with the D2H.
@@ -139,10 +144,10 @@ fn host_snapshot_without_sync_is_a_hazard_when_logged() {
     let log2 = OrderingLog::new();
     let dev2 = Device::new(DeviceConfig::tiny(1 << 20));
     dev2.attach_recorder(&log2);
-    let dbuf2 = dev2.alloc::<u8>(16).unwrap();
+    let dbuf2 = dev2.alloc::<u8>(16)?;
     let s2 = dev2.create_stream("s");
     s2.memcpy_d2h_async(&dbuf2, 0, &host, 0, 16);
-    s2.synchronize().unwrap();
+    s2.synchronize()?;
     log2.record(
         psdns_analyze::HOST_TRACK,
         "host-snapshot",
@@ -150,4 +155,5 @@ fn host_snapshot_without_sync_is_a_hazard_when_logged() {
         vec![Access::read(host.id(), MemSpace::Host, 0, 16)],
     );
     assert!(analyze_log(&log2).is_clean());
+    Ok(())
 }

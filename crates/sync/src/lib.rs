@@ -104,6 +104,24 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    /// Timed wait: blocks for at most `timeout`, returning `true` when the
+    /// wait timed out (mirrors `std::sync::Condvar::wait_timeout`). Used by
+    /// deadline-aware joins (device fence watchdogs, event waits) that must
+    /// never block the host forever.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+        res.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
@@ -223,6 +241,33 @@ mod tests {
             let (lock, cv) = &*pair;
             *lock.lock() = true;
             cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_expires_and_wakes() {
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No notifier: the wait must report a timeout.
+        {
+            let (lock, cv) = &*pair;
+            let mut done = lock.lock();
+            assert!(cv.wait_timeout(&mut done, Duration::from_millis(10)));
+        }
+        // With a notifier: the wait must complete without timing out.
+        let pair2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            if cv.wait_timeout(&mut done, Duration::from_secs(5)) {
+                panic!("notifier never arrived");
+            }
         }
         h.join().unwrap();
     }

@@ -1,0 +1,316 @@
+//! Integration: device health & hot-swap. A queue that hangs or a device
+//! that is lost *mid-step* must never wedge the job — with `cpu_fallback`
+//! and the shared watchdog armed, every rank detects the failure within the
+//! deadline, finishes its collective sequence, votes, and re-runs the call
+//! on the host-backend twin. The result must be byte-identical to a
+//! fault-free host-pipeline run of the same inputs, and a same-seed replay
+//! must reproduce the same bytes and the same fault/health logs. Without
+//! the fallback, the same failures surface as typed errors — still within
+//! the deadline.
+
+use std::time::Duration;
+
+use psdns::chaos::{ChaosConfig, ChaosEngine, FaultPlan, WatchdogPolicy};
+use psdns::comm::Universe;
+use psdns::core::{A2aMode, Error, GpuSlabFft, LocalShape, PhysicalField, SpectralField};
+use psdns::device::{BackendKind, Device, DeviceConfig, DeviceError};
+
+fn watchdog() -> WatchdogPolicy {
+    WatchdogPolicy {
+        floor: Duration::from_millis(40),
+        factor: 8,
+    }
+}
+
+fn chaos(seed: u64, mutate: impl FnOnce(&mut ChaosConfig)) -> ChaosEngine {
+    let mut cfg = ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    };
+    cfg.retry.max_retries = 2;
+    cfg.retry.backoff = Duration::from_micros(100);
+    mutate(&mut cfg);
+    ChaosEngine::new(cfg)
+}
+
+fn inputs(shape: LocalShape, nv: usize) -> Vec<PhysicalField<f64>> {
+    (0..nv)
+        .map(|v| {
+            let data = (0..shape.phys_len())
+                .map(|i| ((i * (2 * v + 3) + shape.rank * 17) as f64 * 0.0137).sin())
+                .collect();
+            PhysicalField::from_data(shape, data)
+        })
+        .collect()
+}
+
+/// Fault-free host-backend pipeline with the *same* `np` as the pipeline
+/// under test — the hot-swap twin inherits the pencil count, so only a
+/// same-np reference is a bitwise-comparison target.
+fn host_pipeline(shape: LocalShape, comm: psdns::comm::Communicator, np: usize) -> GpuSlabFft<f64> {
+    let dev = Device::with_kind(BackendKind::Host, DeviceConfig::tiny(1 << 44));
+    GpuSlabFft::<f64>::builder(shape)
+        .comm(comm)
+        .devices(vec![dev])
+        .np(np)
+        .nv(1)
+        .a2a_mode(A2aMode::PerPencil)
+        .build()
+        .expect("host reference pipeline")
+}
+
+fn assert_bit_identical(a: &[SpectralField<f64>], b: &[SpectralField<f64>]) {
+    assert_eq!(a.len(), b.len());
+    for (fa, fb) in a.iter().zip(b) {
+        assert_eq!(fa.data.len(), fb.data.len());
+        for (x, y) in fa.data.iter().zip(&fb.data) {
+            assert_eq!(
+                x.re.to_bits(),
+                y.re.to_bits(),
+                "spectra must be bitwise equal"
+            );
+            assert_eq!(
+                x.im.to_bits(),
+                y.im.to_bits(),
+                "spectra must be bitwise equal"
+            );
+        }
+    }
+}
+
+/// One full hot-swap scenario: 2 ranks, a device fault injected on rank 0
+/// mid-step, fallback + watchdog armed. Returns each rank's spectra, its
+/// fault-free host-reference spectra, and rank 0's fault/health evidence.
+fn run_faulted(seed: u64, fault: psdns::chaos::FaultKind) -> Vec<RankOutcome> {
+    Universe::run(2, move |comm| {
+        let rank = comm.rank();
+        let shape = LocalShape::new(16, 2, rank);
+        let dev = Device::new(DeviceConfig::tiny(1 << 22));
+        let engine = (rank == 0).then(|| {
+            let engine = chaos(seed, |c| {
+                let plan = FaultPlan::at(3);
+                match fault {
+                    psdns::chaos::FaultKind::DeviceHang => c.device_hang = plan,
+                    psdns::chaos::FaultKind::DeviceLost => c.device_lost = plan,
+                    other => panic!("unexpected fault kind {other:?}"),
+                }
+            });
+            dev.attach_chaos(&engine);
+            engine
+        });
+        let mut gpu = GpuSlabFft::<f64>::builder(shape)
+            .comm(comm.clone())
+            .devices(vec![dev])
+            .np(4)
+            .nv(1)
+            .a2a_mode(A2aMode::PerPencil)
+            .cpu_fallback(true)
+            .watchdog(watchdog())
+            .build()
+            .expect("valid pipeline");
+        let mut reference = host_pipeline(shape, comm, 4);
+
+        let phys = inputs(shape, 1);
+        let specs = gpu
+            .try_physical_to_fourier(&phys)
+            .expect("hot-swap must complete the call");
+        let expect = reference
+            .try_physical_to_fourier(&phys)
+            .expect("fault-free host reference");
+
+        RankOutcome {
+            specs,
+            expect,
+            swapped: gpu.degraded().is_some(),
+            device_lost: gpu.devices()[0].health().is_lost(),
+            health_events: format!("{:?}", gpu.devices()[0].health().events()),
+            chaos_digest: engine.map(|e| e.schedule_digest()),
+        }
+    })
+}
+
+struct RankOutcome {
+    specs: Vec<SpectralField<f64>>,
+    expect: Vec<SpectralField<f64>>,
+    swapped: bool,
+    device_lost: bool,
+    health_events: String,
+    chaos_digest: Option<u64>,
+}
+
+#[test]
+fn hung_queue_mid_step_hot_swaps_to_host_twin() {
+    let outcomes = run_faulted(42, psdns::chaos::FaultKind::DeviceHang);
+    for outcome in &outcomes {
+        assert_bit_identical(&outcome.specs, &outcome.expect);
+        // Every rank re-ran on the host twin (the vote is collective), and
+        // rank 0's device was condemned.
+        assert!(outcome.swapped, "hot-swap must have engaged");
+    }
+    assert!(outcomes[0].device_lost, "rank 0's device must be condemned");
+}
+
+#[test]
+fn lost_device_mid_step_hot_swaps_to_host_twin() {
+    let outcomes = run_faulted(43, psdns::chaos::FaultKind::DeviceLost);
+    for outcome in &outcomes {
+        assert_bit_identical(&outcome.specs, &outcome.expect);
+        assert!(outcome.swapped, "hot-swap must have engaged");
+    }
+    assert!(outcomes[0].device_lost);
+}
+
+/// Same seed ⇒ byte-identical spectra, fault schedule and health log.
+#[test]
+fn same_seed_replay_is_byte_identical() {
+    let a = run_faulted(77, psdns::chaos::FaultKind::DeviceHang);
+    let b = run_faulted(77, psdns::chaos::FaultKind::DeviceHang);
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_bit_identical(&ra.specs, &rb.specs);
+        assert_eq!(ra.health_events, rb.health_events);
+        assert_eq!(ra.chaos_digest, rb.chaos_digest);
+    }
+}
+
+/// Without the fallback, the same hang surfaces as a typed error — and the
+/// *next* call fails fast on the sticky condemnation instead of queueing
+/// work onto a dead executor.
+#[test]
+fn without_fallback_hang_yields_typed_error_then_fails_fast() {
+    let results = Universe::run(1, |comm| {
+        let shape = LocalShape::new(16, 1, 0);
+        let dev = Device::new(DeviceConfig::tiny(1 << 22));
+        dev.attach_chaos(&chaos(9, |c| c.device_hang = FaultPlan::at(2)));
+        let mut gpu = GpuSlabFft::<f64>::builder(shape)
+            .comm(comm)
+            .devices(vec![dev])
+            .np(4)
+            .nv(1)
+            .a2a_mode(A2aMode::PerPencil)
+            .watchdog(watchdog())
+            .build()
+            .expect("valid pipeline");
+        let phys = inputs(shape, 1);
+        let first = gpu.try_physical_to_fourier(&phys);
+        let second = gpu.try_physical_to_fourier(&phys);
+        (
+            format!("{:?}", first.err().map(describe)),
+            format!("{:?}", second.err().map(describe)),
+        )
+    });
+    let (first, second) = &results[0];
+    assert!(
+        first.contains("QueueHung") || first.contains("DeviceLost"),
+        "first call must surface the typed device failure, got {first}"
+    );
+    assert!(
+        second.contains("DeviceLost"),
+        "later calls must fail fast on the sticky condemnation, got {second}"
+    );
+}
+
+fn describe(e: Error) -> String {
+    match e {
+        Error::Device(DeviceError::QueueHung { stream, .. }) => format!("QueueHung({stream})"),
+        Error::Device(DeviceError::DeviceLost { device }) => format!("DeviceLost({device})"),
+        other => format!("other({other})"),
+    }
+}
+
+/// After a hot-swap the pipeline is steady-state degraded: later calls vote
+/// themselves straight onto the host twin at acquire time, drawing no new
+/// device chaos, and the swapped executor still passes schedule
+/// certification.
+#[test]
+fn hot_swap_is_sticky_and_swapped_backend_recertifies() {
+    let results = Universe::run(1, |comm| {
+        let shape = LocalShape::new(16, 1, 0);
+        let dev = Device::new(DeviceConfig::tiny(1 << 22));
+        let engine = chaos(21, |c| c.device_lost = FaultPlan::at(2));
+        dev.attach_chaos(&engine);
+        let mut gpu = GpuSlabFft::<f64>::builder(shape)
+            .comm(comm.clone())
+            .devices(vec![dev])
+            .np(4)
+            .nv(1)
+            .a2a_mode(A2aMode::PerPencil)
+            .cpu_fallback(true)
+            .watchdog(watchdog())
+            .build()
+            .expect("valid pipeline");
+        let mut reference = host_pipeline(shape, comm, 4);
+        let phys = inputs(shape, 1);
+
+        let first = gpu.try_physical_to_fourier(&phys).expect("hot-swap");
+        assert!(gpu.degraded().is_some(), "twin installed after the swap");
+        let draws_after_first = engine.log().len();
+
+        let second = gpu.try_physical_to_fourier(&phys).expect("steady-state");
+        assert_eq!(
+            engine.log().len(),
+            draws_after_first,
+            "steady-state degraded calls must not touch the dead device"
+        );
+        let expect = reference.try_physical_to_fourier(&phys).expect("reference");
+        assert_bit_identical(&first, &expect);
+        assert_bit_identical(&second, &expect);
+
+        // The swapped executor re-certifies: same schedule, host backend.
+        gpu.degraded()
+            .expect("degraded twin")
+            .analyze_schedule()
+            .expect("swapped backend must pass certification");
+        true
+    });
+    assert!(results[0]);
+}
+
+/// Exhaustive single-rank sweep: a hang or loss injected at *every* stream
+/// operation index (covering every pipeline phase: H2D, compute, pack-D2H,
+/// post-a2a gather, final drain) must end in either a successful hot-swap
+/// with bit-identical spectra or — when the fault lands after the last
+/// fence — a clean fault-free result. Never a hang, never a panic, on both
+/// backends.
+#[test]
+fn fault_at_every_phase_swaps_or_completes() {
+    for kind in [BackendKind::Simulated, BackendKind::Host] {
+        for lost in [false, true] {
+            for k in (0..24).step_by(3) {
+                let ok = Universe::run(1, move |comm| {
+                    let shape = LocalShape::new(8, 1, 0);
+                    let dev = Device::with_kind(kind, DeviceConfig::tiny(1 << 22));
+                    dev.attach_chaos(&chaos(100 + k, |c| {
+                        let plan = FaultPlan::at(k);
+                        if lost {
+                            c.device_lost = plan;
+                        } else {
+                            c.device_hang = plan;
+                        }
+                    }));
+                    let mut gpu = GpuSlabFft::<f64>::builder(shape)
+                        .comm(comm.clone())
+                        .devices(vec![dev])
+                        .np(2)
+                        .nv(1)
+                        .a2a_mode(A2aMode::PerSlab)
+                        .cpu_fallback(true)
+                        .watchdog(WatchdogPolicy {
+                            floor: Duration::from_millis(20),
+                            factor: 8,
+                        })
+                        .build()
+                        .expect("valid pipeline");
+                    let mut reference = host_pipeline(shape, comm, 2);
+                    let phys = inputs(shape, 1);
+                    let specs = gpu
+                        .try_physical_to_fourier(&phys)
+                        .unwrap_or_else(|e| panic!("{kind:?} k={k} lost={lost}: {e}"));
+                    let expect = reference.try_physical_to_fourier(&phys).expect("reference");
+                    assert_bit_identical(&specs, &expect);
+                    true
+                });
+                assert!(ok[0]);
+            }
+        }
+    }
+}
