@@ -1,5 +1,19 @@
 #!/usr/bin/env bash
 # Offline CI gate: format, lint, build, test. Run from the repo root.
+#
+# Approximate stage timings on the reference 8-core CI box (release cache
+# warm; first run adds ~2 min of compilation):
+#   fmt + clippy        ~40 s
+#   lint.sh             <1 s
+#   build + test        ~3 min (dominated by the workspace test suite)
+#   model-check         ~10 s  (hard-capped at 60 s by `timeout`)
+#   analyze-global      ~5 s
+#   miri/tsan           <1 s when skipped (stable-only toolchain); ~5 min
+#                       when a nightly toolchain with miri is installed
+#   backend matrix      ~30 s
+#   hazard analysis     ~5 s
+#   chaos suites        ~2 min (each capped at 600 s)
+#   bench smoke         ~30 s
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,7 +25,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> unwrap/expect lint (crates/{comm,device,core,chaos}/src)"
+echo "==> repo lints (unwrap/expect budget + SAFETY comments)"
 tools/lint.sh
 
 echo "==> cargo build --release"
@@ -19,6 +33,45 @@ cargo build --release --workspace --offline
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
+
+echo "==> model-check (exhaustive interleaving exploration, psdns-verify)"
+# Loom-style bounded DPOR exploration of the concurrency cores: the
+# WorkerPool job/cursor protocol, ExecQueue fence-vs-condemn, the
+# HealthMonitor state machine and buddy replication — every interleaving
+# within the preemption bound, plus seeded-bug regressions that must FAIL
+# the checker (the Relaxed-cursor reintroduction among them). Time-capped:
+# an accidental state-space blowup is a loud failure, not a stuck job.
+timeout 60 cargo test --release --offline -q -p psdns-verify
+
+echo "==> analyze-global (cross-rank deadlock analyzer over recorded runs)"
+# The happens-before/wait-for analyzer: property tests over random rank
+# schedules plus recorded real 2-rank shrink-recovery and device hot-swap
+# campaigns (zero deadlock cycles), and the post-deletion mutation that
+# must produce a DeadlockReport naming both ranks.
+timeout 120 cargo test --release --offline -q -p psdns-analyze --test proptest_global
+timeout 300 cargo test --release --offline -q --test analyze_global
+
+echo "==> miri/tsan (toolchain-gated deep checkers)"
+# The model checker above runs everywhere; Miri and ThreadSanitizer need a
+# nightly toolchain and are extras, not gates — CI boxes without nightly
+# degrade to a skip notice rather than a failure.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "    nightly+miri found: running psdns-sync under miri"
+    cargo +nightly miri test --offline -q -p psdns-sync
+else
+    echo "    SKIPPED: no nightly toolchain with miri on this box"
+    echo "    (install with: rustup toolchain install nightly --component miri)"
+fi
+if command -v rustup >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src.*(installed)'; then
+    echo "    nightly+rust-src found: running psdns-sync under TSan"
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test --offline -q -p psdns-sync \
+        -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')"
+else
+    echo "    SKIPPED: no nightly rust-src for TSan builds on this box"
+fi
 
 echo "==> backend matrix (DeviceBackend trait: simulated / host / wgpu)"
 # The same certified schedule must run on every backend: the conformance

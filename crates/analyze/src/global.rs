@@ -1,0 +1,737 @@
+//! Global (cross-rank) ordering analysis: merge per-rank logs into one
+//! happens-before picture and find deadlocks the single-rank tools cannot.
+//!
+//! The single-rank analyzers ([`crate::analyze`], [`crate::CollectiveVerifier`])
+//! certify one rank's stream schedule and one round's fingerprint match.
+//! What they cannot see is the *global* wait structure: rank 0 blocked in
+//! an all-to-all that rank 1 will never post because rank 1 is blocked in
+//! a fence that rank 0's hot-swap vote gates. This module closes that gap:
+//!
+//! 1. Each rank records a linear [`RankLog`] of ordering-relevant ops —
+//!    collective posts (with their fingerprint identity `(ctx, seq)` and
+//!    member group), collective waits, and local waits (fences, latches)
+//!    with their **deadline** bit (whether a watchdog bounds the wait).
+//! 2. [`analyze_global`] replays all logs together to a fixpoint: an op
+//!    retires when the ops it orders on have retired (a blocking post or a
+//!    collective wait needs every group member to have arrived; a
+//!    deadline-bounded wait always retires — in the real code the timeout
+//!    converts to a typed error; an unbounded local wait retires only if
+//!    its completion was recorded).
+//! 3. Whatever cannot retire is *stuck*: a wait-for graph over the stuck
+//!    ranks is searched for cycles and for waits on already-terminated
+//!    peers, producing typed [`DeadlockReport`]s naming the ranks and ops.
+//!
+//! Two lints ride on the same pass: [`GlobalLint::UnboundedWait`] (a
+//! blocking wait with no deadline bound — the hang class the watchdogs
+//! exist to prevent) and [`GlobalLint::SkippedGroupPost`] (a rank kept
+//! using a communicator but skipped one of its group collectives — the
+//! hot-swap invariant PR 7 enforces only by convention).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use psdns_sync::Mutex;
+
+use crate::collective::CollectiveKind;
+
+/// One ordering-relevant operation in a rank's global log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankOp {
+    /// This rank posted collective `(ctx, seq)` over `group` (global
+    /// ranks). `blocking` models the fingerprint-verified entry (every
+    /// member must arrive before any proceeds); a non-blocking post (the
+    /// paper's asynchronous all-to-all slice) retires immediately and is
+    /// ordered later by a [`RankOp::WaitCollective`].
+    Post {
+        ctx: u64,
+        seq: u64,
+        kind: CollectiveKind,
+        group: Vec<usize>,
+        blocking: bool,
+    },
+    /// Wait for collective `(ctx, seq)` to be globally posted. `deadline`
+    /// records whether a watchdog bounds the wait.
+    WaitCollective { ctx: u64, seq: u64, deadline: bool },
+    /// Wait on purely local progress (device fence, health latch).
+    WaitLocal { what: String, deadline: bool },
+    /// The local wait named `what` completed.
+    DoneLocal { what: String },
+    /// Free-form annotation (agreement rounds, shrink epochs); never blocks.
+    Note { text: String },
+}
+
+impl fmt::Display for RankOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankOp::Post {
+                ctx,
+                seq,
+                kind,
+                group,
+                blocking,
+            } => write!(
+                f,
+                "{}post {kind}(ctx={ctx}, seq={seq}, group={group:?})",
+                if *blocking { "" } else { "async-" }
+            ),
+            RankOp::WaitCollective { ctx, seq, deadline } => write!(
+                f,
+                "wait-collective(ctx={ctx}, seq={seq}{})",
+                if *deadline {
+                    ", deadline"
+                } else {
+                    ", UNBOUNDED"
+                }
+            ),
+            RankOp::WaitLocal { what, deadline } => write!(
+                f,
+                "wait-local({what}{})",
+                if *deadline {
+                    ", deadline"
+                } else {
+                    ", UNBOUNDED"
+                }
+            ),
+            RankOp::DoneLocal { what } => write!(f, "done-local({what})"),
+            RankOp::Note { text } => write!(f, "note({text})"),
+        }
+    }
+}
+
+/// One rank's linear log of global-ordering ops.
+#[derive(Clone, Debug, Default)]
+pub struct RankLog {
+    pub rank: usize,
+    pub ops: Vec<RankOp>,
+}
+
+/// Shared multi-rank recording hub. Rank components hold a cheap
+/// [`RankRecorder`] clone; the driver (or a test) snapshots the merged
+/// logs and feeds them to [`analyze_global`].
+#[derive(Clone, Default)]
+pub struct GlobalRecorder {
+    logs: Arc<Mutex<BTreeMap<usize, Vec<RankOp>>>>,
+}
+
+impl GlobalRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recording handle bound to one global rank.
+    pub fn rank(&self, rank: usize) -> RankRecorder {
+        self.logs.lock().entry(rank).or_default();
+        RankRecorder {
+            hub: self.clone(),
+            rank,
+        }
+    }
+
+    /// Snapshot every rank's log, ordered by rank.
+    pub fn snapshot(&self) -> Vec<RankLog> {
+        self.logs
+            .lock()
+            .iter()
+            .map(|(&rank, ops)| RankLog {
+                rank,
+                ops: ops.clone(),
+            })
+            .collect()
+    }
+
+    fn push(&self, rank: usize, op: RankOp) {
+        self.logs.lock().entry(rank).or_default().push(op);
+    }
+}
+
+/// Per-rank recording handle (see [`GlobalRecorder::rank`]).
+#[derive(Clone)]
+pub struct RankRecorder {
+    hub: GlobalRecorder,
+    rank: usize,
+}
+
+impl RankRecorder {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn post(&self, ctx: u64, seq: u64, kind: CollectiveKind, group: &[usize], blocking: bool) {
+        self.hub.push(
+            self.rank,
+            RankOp::Post {
+                ctx,
+                seq,
+                kind,
+                group: group.to_vec(),
+                blocking,
+            },
+        );
+    }
+
+    pub fn wait_collective(&self, ctx: u64, seq: u64, deadline: bool) {
+        self.hub
+            .push(self.rank, RankOp::WaitCollective { ctx, seq, deadline });
+    }
+
+    pub fn wait_local(&self, what: &str, deadline: bool) {
+        self.hub.push(
+            self.rank,
+            RankOp::WaitLocal {
+                what: what.to_string(),
+                deadline,
+            },
+        );
+    }
+
+    pub fn done_local(&self, what: &str) {
+        self.hub.push(
+            self.rank,
+            RankOp::DoneLocal {
+                what: what.to_string(),
+            },
+        );
+    }
+
+    pub fn note(&self, text: &str) {
+        self.hub.push(
+            self.rank,
+            RankOp::Note {
+                text: text.to_string(),
+            },
+        );
+    }
+}
+
+/// Why a set of ranks can make no further progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlockKind {
+    /// A wait-for cycle between ranks (the classic cross-rank hang).
+    Cycle,
+    /// A rank waits on a peer whose log already ended (died / returned).
+    TerminatedPeer,
+    /// An unbounded local wait whose completion was never recorded.
+    LocalHang,
+}
+
+/// A typed deadlock finding: the ranks involved and, per rank, the op it
+/// is stuck at.
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    pub kind: DeadlockKind,
+    /// Ranks in the cycle (for [`DeadlockKind::Cycle`], in cycle order) or
+    /// `[waiter, terminated peer]` / `[hung rank]` otherwise.
+    pub ranks: Vec<usize>,
+    /// Human-readable "rank N blocked at ..." lines, one per involved rank.
+    pub ops: Vec<String>,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:?} involving ranks {:?}:", self.kind, self.ranks)?;
+        for line in &self.ops {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Advisory findings from the global pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlobalLint {
+    /// A blocking wait with no deadline bound: nothing converts a lost
+    /// peer into a typed error, so this is where hangs live.
+    UnboundedWait { rank: usize, site: String },
+    /// `rank` skipped group collective `(ctx, seq)` that `peers` posted,
+    /// while continuing to use the same communicator afterwards.
+    SkippedGroupPost {
+        rank: usize,
+        ctx: u64,
+        seq: u64,
+        peers: Vec<usize>,
+    },
+}
+
+impl fmt::Display for GlobalLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalLint::UnboundedWait { rank, site } => {
+                write!(
+                    f,
+                    "rank {rank}: blocking wait with no deadline bound at {site}"
+                )
+            }
+            GlobalLint::SkippedGroupPost {
+                rank,
+                ctx,
+                seq,
+                peers,
+            } => write!(
+                f,
+                "rank {rank}: skipped group post (ctx={ctx}, seq={seq}) that ranks {peers:?} \
+                 posted, while still using the communicator"
+            ),
+        }
+    }
+}
+
+/// The result of [`analyze_global`].
+#[derive(Clone, Debug, Default)]
+pub struct GlobalReport {
+    /// Ops that retired during the fixpoint replay (all of them, if clean).
+    pub retired_ops: usize,
+    /// Ops left stuck (0 when clean).
+    pub stuck_ops: usize,
+    pub deadlocks: Vec<DeadlockReport>,
+    pub lints: Vec<GlobalLint>,
+}
+
+impl GlobalReport {
+    /// No deadlock findings (lints are advisory and do not affect this).
+    pub fn is_deadlock_free(&self) -> bool {
+        self.deadlocks.is_empty()
+    }
+}
+
+impl fmt::Display for GlobalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "global analysis: {} op(s) retired, {} stuck, {} deadlock(s), {} lint(s)",
+            self.retired_ops,
+            self.stuck_ops,
+            self.deadlocks.len(),
+            self.lints.len()
+        )?;
+        for d in &self.deadlocks {
+            write!(f, "{d}")?;
+        }
+        for l in &self.lints {
+            writeln!(f, "lint: {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Has `rank` reached (retired or is currently at) its own post of
+/// `(ctx, seq)`? `pc` is the rank's current program counter.
+fn arrived(log: &RankLog, pc: usize, ctx: u64, seq: u64) -> bool {
+    log.ops
+        .iter()
+        .take(pc + 1)
+        .any(|op| matches!(op, RankOp::Post { ctx: c, seq: s, .. } if *c == ctx && *s == seq))
+}
+
+/// The member group of collective `(ctx, seq)`, unioned over every rank
+/// that posted it (ranks can only record their own view).
+fn group_of(logs: &[RankLog], ctx: u64, seq: u64) -> Vec<usize> {
+    let mut members = BTreeSet::new();
+    for log in logs {
+        for op in &log.ops {
+            if let RankOp::Post {
+                ctx: c,
+                seq: s,
+                group,
+                ..
+            } = op
+            {
+                if *c == ctx && *s == seq {
+                    members.extend(group.iter().copied());
+                }
+            }
+        }
+    }
+    members.into_iter().collect()
+}
+
+/// Merge per-rank logs, replay them to a fixpoint and report deadlock
+/// cycles, waits on terminated peers, hung local waits, and lints.
+pub fn analyze_global(logs: &[RankLog]) -> GlobalReport {
+    let mut report = GlobalReport::default();
+    let by_rank: BTreeMap<usize, &RankLog> = logs.iter().map(|l| (l.rank, l)).collect();
+    let mut pcs: BTreeMap<usize, usize> = logs.iter().map(|l| (l.rank, 0)).collect();
+
+    // Can the op at (rank, pc) retire under the current global state?
+    let can_retire = |rank: usize, pc: usize, pcs: &BTreeMap<usize, usize>| -> bool {
+        let log = by_rank[&rank];
+        match &log.ops[pc] {
+            RankOp::Note { .. } | RankOp::DoneLocal { .. } => true,
+            RankOp::Post {
+                blocking: false, ..
+            } => true,
+            RankOp::Post {
+                ctx,
+                seq,
+                blocking: true,
+                ..
+            }
+            | RankOp::WaitCollective {
+                ctx,
+                seq,
+                // An unbounded collective wait blocks like the post itself;
+                // a deadline-bounded one retires below regardless.
+                deadline: false,
+            } => group_of(logs, *ctx, *seq).iter().all(|&m| {
+                m == rank
+                    || by_rank
+                        .get(&m)
+                        .is_some_and(|ml| arrived(ml, pcs[&m], *ctx, *seq))
+            }),
+            RankOp::WaitCollective { deadline: true, .. } => true,
+            RankOp::WaitLocal { deadline: true, .. } => true,
+            RankOp::WaitLocal {
+                what,
+                deadline: false,
+            } => log.ops[pc + 1..]
+                .iter()
+                .any(|op| matches!(op, RankOp::DoneLocal { what: w } if w == what)),
+        }
+    };
+
+    // Fixpoint replay.
+    loop {
+        let mut progressed = false;
+        for log in logs {
+            let rank = log.rank;
+            while pcs[&rank] < log.ops.len() && can_retire(rank, pcs[&rank], &pcs) {
+                *pcs.get_mut(&rank).unwrap() += 1;
+                report.retired_ops += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Stuck analysis: wait-for edges rank -> ranks it needs.
+    let mut stuck_at: BTreeMap<usize, String> = BTreeMap::new();
+    let mut edges: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for log in logs {
+        let rank = log.rank;
+        let pc = pcs[&rank];
+        if pc >= log.ops.len() {
+            continue;
+        }
+        report.stuck_ops += log.ops.len() - pc;
+        let op = &log.ops[pc];
+        stuck_at.insert(rank, format!("rank {rank} blocked at {op}"));
+        match op {
+            RankOp::Post { ctx, seq, .. } | RankOp::WaitCollective { ctx, seq, .. } => {
+                let missing: Vec<usize> = group_of(logs, *ctx, *seq)
+                    .into_iter()
+                    .filter(|&m| {
+                        m != rank
+                            && !by_rank
+                                .get(&m)
+                                .is_some_and(|ml| arrived(ml, pcs[&m], *ctx, *seq))
+                    })
+                    .collect();
+                edges.insert(rank, missing);
+            }
+            RankOp::WaitLocal { what, .. } => {
+                report.deadlocks.push(DeadlockReport {
+                    kind: DeadlockKind::LocalHang,
+                    ranks: vec![rank],
+                    ops: vec![format!(
+                        "rank {rank} blocked at wait-local({what}) with no completion recorded"
+                    )],
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Waits on terminated peers (log exhausted, so they will never arrive).
+    for (&rank, needs) in &edges {
+        for &m in needs {
+            let done = by_rank.get(&m).is_none_or(|ml| pcs[&m] >= ml.ops.len());
+            if done {
+                report.deadlocks.push(DeadlockReport {
+                    kind: DeadlockKind::TerminatedPeer,
+                    ranks: vec![rank, m],
+                    ops: vec![
+                        stuck_at[&rank].clone(),
+                        format!("rank {m} already terminated"),
+                    ],
+                });
+            }
+        }
+    }
+
+    // Cycle detection over the wait-for graph (iterative DFS, small graphs).
+    let mut reported_cycles: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for &start in edges.keys() {
+        let mut path = vec![start];
+        let mut stack = vec![edges[&start].clone()];
+        while let Some(next) = stack.last_mut() {
+            let Some(n) = next.pop() else {
+                path.pop();
+                stack.pop();
+                continue;
+            };
+            if let Some(pos) = path.iter().position(|&p| p == n) {
+                // Canonicalize so each cycle is reported once.
+                let mut cycle = path[pos..].to_vec();
+                let min_pos = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &r)| r)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cycle.rotate_left(min_pos);
+                if reported_cycles.insert(cycle.clone()) {
+                    report.deadlocks.push(DeadlockReport {
+                        kind: DeadlockKind::Cycle,
+                        ops: cycle
+                            .iter()
+                            .filter_map(|r| stuck_at.get(r).cloned())
+                            .collect(),
+                        ranks: cycle,
+                    });
+                }
+                continue;
+            }
+            if path.len() > edges.len() {
+                continue;
+            }
+            path.push(n);
+            stack.push(edges.get(&n).cloned().unwrap_or_default());
+        }
+    }
+
+    // Lint: unbounded waits, deduplicated per (rank, site).
+    let mut seen_unbounded = BTreeSet::new();
+    for log in logs {
+        for op in &log.ops {
+            let site = match op {
+                // The sequence number is deliberately omitted: a loop
+                // issuing one unbounded wait per step is one offending call
+                // site, not one finding per iteration.
+                RankOp::WaitCollective {
+                    ctx,
+                    deadline: false,
+                    ..
+                } => format!("wait-collective(ctx={ctx})"),
+                RankOp::WaitLocal {
+                    what,
+                    deadline: false,
+                } => format!("wait-local({what})"),
+                _ => continue,
+            };
+            if seen_unbounded.insert((log.rank, site.clone())) {
+                report.lints.push(GlobalLint::UnboundedWait {
+                    rank: log.rank,
+                    site,
+                });
+            }
+        }
+    }
+
+    // Lint: skipped group posts. A member that never posted (ctx, seq) but
+    // kept posting *later* collectives on the same ctx skipped the group
+    // op; a member whose log simply ends is a death, not a skip.
+    let mut all_posts: BTreeMap<(u64, u64), (BTreeSet<usize>, BTreeSet<usize>)> = BTreeMap::new();
+    for log in logs {
+        for op in &log.ops {
+            if let RankOp::Post {
+                ctx, seq, group, ..
+            } = op
+            {
+                let entry = all_posts.entry((*ctx, *seq)).or_default();
+                entry.0.insert(log.rank);
+                entry.1.extend(group.iter().copied());
+            }
+        }
+    }
+    for (&(ctx, seq), (posters, members)) in &all_posts {
+        for &m in members {
+            if posters.contains(&m) {
+                continue;
+            }
+            let Some(ml) = by_rank.get(&m) else { continue };
+            let active_later = ml.ops.iter().any(
+                |op| matches!(op, RankOp::Post { ctx: c, seq: s, .. } if *c == ctx && *s > seq),
+            );
+            if active_later {
+                report.lints.push(GlobalLint::SkippedGroupPost {
+                    rank: m,
+                    ctx,
+                    seq,
+                    peers: posters.iter().copied().collect(),
+                });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a2a(ctx: u64, seq: u64, group: &[usize]) -> RankOp {
+        RankOp::Post {
+            ctx,
+            seq,
+            kind: CollectiveKind::Alltoall,
+            group: group.to_vec(),
+            blocking: true,
+        }
+    }
+
+    #[test]
+    fn matched_collectives_are_clean() {
+        let group = [0usize, 1];
+        let logs: Vec<RankLog> = (0..2)
+            .map(|rank| RankLog {
+                rank,
+                ops: vec![a2a(1, 0, &group), a2a(1, 1, &group)],
+            })
+            .collect();
+        let rep = analyze_global(&logs);
+        assert!(rep.is_deadlock_free(), "{rep}");
+        assert_eq!(rep.retired_ops, 4);
+        assert_eq!(rep.stuck_ops, 0);
+    }
+
+    #[test]
+    fn skipped_post_is_a_cycle_naming_both_ranks() {
+        // Rank 0 skips (1, 0) and goes straight to (1, 1): rank 1 waits at
+        // seq 0 for rank 0, rank 0 waits at seq 1 for rank 1.
+        let group = [0usize, 1];
+        let logs = vec![
+            RankLog {
+                rank: 0,
+                ops: vec![a2a(1, 1, &group)],
+            },
+            RankLog {
+                rank: 1,
+                ops: vec![a2a(1, 0, &group), a2a(1, 1, &group)],
+            },
+        ];
+        let rep = analyze_global(&logs);
+        let cycles: Vec<_> = rep
+            .deadlocks
+            .iter()
+            .filter(|d| d.kind == DeadlockKind::Cycle)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{rep}");
+        let mut ranks = cycles[0].ranks.clone();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1]);
+        assert!(
+            rep.lints
+                .iter()
+                .any(|l| matches!(l, GlobalLint::SkippedGroupPost { rank: 0, .. })),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn dead_rank_is_a_terminated_peer_not_a_skip() {
+        let group = [0usize, 1];
+        let logs = vec![
+            RankLog {
+                rank: 0,
+                ops: vec![],
+            },
+            RankLog {
+                rank: 1,
+                ops: vec![a2a(1, 0, &group)],
+            },
+        ];
+        let rep = analyze_global(&logs);
+        assert!(
+            rep.deadlocks
+                .iter()
+                .any(|d| d.kind == DeadlockKind::TerminatedPeer && d.ranks == vec![1, 0]),
+            "{rep}"
+        );
+        assert!(rep.lints.is_empty(), "death must not lint as a skip: {rep}");
+    }
+
+    #[test]
+    fn deadline_bounded_waits_always_retire() {
+        let logs = vec![RankLog {
+            rank: 0,
+            ops: vec![
+                RankOp::WaitLocal {
+                    what: "fence:q0".into(),
+                    deadline: true,
+                },
+                RankOp::Note {
+                    text: "timeout handled".into(),
+                },
+            ],
+        }];
+        let rep = analyze_global(&logs);
+        assert!(rep.is_deadlock_free(), "{rep}");
+        assert!(rep.lints.is_empty());
+    }
+
+    #[test]
+    fn unbounded_local_wait_without_completion_hangs_and_lints() {
+        let logs = vec![RankLog {
+            rank: 2,
+            ops: vec![RankOp::WaitLocal {
+                what: "latch:dev1".into(),
+                deadline: false,
+            }],
+        }];
+        let rep = analyze_global(&logs);
+        assert!(
+            rep.deadlocks
+                .iter()
+                .any(|d| d.kind == DeadlockKind::LocalHang && d.ranks == vec![2]),
+            "{rep}"
+        );
+        assert!(
+            rep.lints
+                .iter()
+                .any(|l| matches!(l, GlobalLint::UnboundedWait { rank: 2, .. })),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn async_post_with_bounded_wait_is_clean() {
+        let group = [0usize, 1];
+        let mk = |rank| RankLog {
+            rank,
+            ops: vec![
+                RankOp::Post {
+                    ctx: 7,
+                    seq: 0,
+                    kind: CollectiveKind::Alltoallv,
+                    group: group.to_vec(),
+                    blocking: false,
+                },
+                RankOp::WaitCollective {
+                    ctx: 7,
+                    seq: 0,
+                    deadline: true,
+                },
+            ],
+        };
+        let rep = analyze_global(&[mk(0), mk(1)]);
+        assert!(rep.is_deadlock_free(), "{rep}");
+        assert_eq!(rep.stuck_ops, 0);
+    }
+
+    #[test]
+    fn recorder_hub_collects_per_rank() {
+        let hub = GlobalRecorder::new();
+        let r0 = hub.rank(0);
+        let r1 = hub.rank(1);
+        r0.post(1, 0, CollectiveKind::Alltoall, &[0, 1], true);
+        r1.post(1, 0, CollectiveKind::Alltoall, &[0, 1], true);
+        r0.note("step done");
+        let logs = hub.snapshot();
+        assert_eq!(logs.len(), 2);
+        assert_eq!(logs[0].ops.len(), 2);
+        assert!(analyze_global(&logs).is_deadlock_free());
+    }
+}

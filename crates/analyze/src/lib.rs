@@ -21,12 +21,19 @@
 //!   `psdns-comm` runs before every collective, turning a mismatched or
 //!   reordered collective into a typed [`CollectiveMismatch`] instead of
 //!   a deadlock.
+//! * [`analyze_global`] — the cross-rank pass: merges per-rank
+//!   [`RankLog`]s (collective posts, collective waits, deadline-flagged
+//!   local waits) into one happens-before picture, replays them to a
+//!   fixpoint, and reports wait-for cycles and waits on dead peers as
+//!   typed [`DeadlockReport`]s plus unbounded-wait / skipped-group-post
+//!   [`GlobalLint`]s.
 //!
 //! The crate itself is runtime-agnostic: it sees only the log. That keeps
 //! it dependency-free (`psdns-sync` aside) so `psdns-device` and
 //! `psdns-comm` can both link it without cycles.
 
 mod collective;
+mod global;
 mod log;
 mod replay;
 
@@ -34,6 +41,10 @@ mod replay;
 pub use collective::{decode_verdict, encode_verdict};
 pub use collective::{
     CollectiveFingerprint, CollectiveKind, CollectiveMismatch, CollectiveVerifier,
+};
+pub use global::{
+    analyze_global, DeadlockKind, DeadlockReport, GlobalLint, GlobalRecorder, GlobalReport,
+    RankLog, RankOp, RankRecorder,
 };
 pub use log::{
     normalized, wait_edges, without_pos, Access, AccessMode, MemSpace, OpKind, OpRecord,

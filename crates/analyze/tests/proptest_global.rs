@@ -1,0 +1,228 @@
+//! Property tests for the cross-rank deadlock analyzer: randomly-shaped
+//! deadlock-free multi-rank schedules are always certified clean (zero
+//! false positives), and injecting a wait-for cycle — by making one rank
+//! skip a group post while continuing on the same communicator, or by
+//! truncating its log mid-protocol — is always flagged with the correct
+//! rank set (zero false negatives on the mutation surface).
+
+use proptest::prelude::*;
+use psdns_analyze::{analyze_global, CollectiveKind, DeadlockKind, GlobalLint, RankLog, RankOp};
+
+/// A deterministic "random" collective kind for round `r`.
+fn kind_for(r: u64) -> CollectiveKind {
+    match r % 4 {
+        0 => CollectiveKind::Alltoall,
+        1 => CollectiveKind::Allgather,
+        2 => CollectiveKind::Barrier,
+        _ => CollectiveKind::Bcast,
+    }
+}
+
+/// Build a deadlock-free run: `nranks` ranks execute `rounds` blocking
+/// collectives in lockstep on context `ctx`, each round padded with
+/// deadline-bounded local waits (the guarded device fences) and notes.
+/// When `async_tail` is set, each round's collective is instead posted
+/// non-blocking and completed by a deadline-bounded `WaitCollective` —
+/// the paper's overlapped all-to-all shape.
+fn lockstep_run(nranks: usize, rounds: u64, ctx: u64, async_tail: bool) -> Vec<RankLog> {
+    let group: Vec<usize> = (0..nranks).collect();
+    (0..nranks)
+        .map(|rank| {
+            let mut ops = Vec::new();
+            for r in 0..rounds {
+                ops.push(RankOp::Note {
+                    text: format!("round {r} compute"),
+                });
+                ops.push(RankOp::WaitLocal {
+                    what: format!("fence:compute[{r}]"),
+                    deadline: true,
+                });
+                ops.push(RankOp::DoneLocal {
+                    what: format!("fence:compute[{r}]"),
+                });
+                if async_tail {
+                    ops.push(RankOp::Post {
+                        ctx,
+                        seq: r,
+                        kind: kind_for(r),
+                        group: group.clone(),
+                        blocking: false,
+                    });
+                    ops.push(RankOp::WaitCollective {
+                        ctx,
+                        seq: r,
+                        deadline: true,
+                    });
+                } else {
+                    ops.push(RankOp::Post {
+                        ctx,
+                        seq: r,
+                        kind: kind_for(r),
+                        group: group.clone(),
+                        blocking: true,
+                    });
+                }
+            }
+            RankLog { rank, ops }
+        })
+        .collect()
+}
+
+/// Remove rank `victim`'s post for round `skip` (and its matching wait, in
+/// the async shape) while keeping all later rounds — the "failing rank
+/// skipped a group a2a post" mutation from the recovery path.
+fn skip_one_post(logs: &mut [RankLog], victim: usize, ctx: u64, skip: u64) {
+    let ops = &mut logs[victim].ops;
+    ops.retain(|op| match op {
+        RankOp::Post { ctx: c, seq, .. } => !(*c == ctx && *seq == skip),
+        RankOp::WaitCollective { ctx: c, seq, .. } => !(*c == ctx && *seq == skip),
+        _ => true,
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A lockstep run — blocking or overlapped — is always deadlock-free,
+    /// every op retires, and the deadline-bounded waits draw no
+    /// unbounded-wait lint.
+    #[test]
+    fn lockstep_runs_are_clean(
+        nranks in 2usize..=5,
+        rounds in 1u64..=6,
+        ctx in 1u64..=(1u64 << 60),
+        async_bit in 0u8..=1,
+    ) {
+        let async_tail = async_bit == 1;
+        let logs = lockstep_run(nranks, rounds, ctx, async_tail);
+        let total: usize = logs.iter().map(|l| l.ops.len()).sum();
+        let report = analyze_global(&logs);
+        prop_assert!(
+            report.is_deadlock_free(),
+            "false positive: {:?}", report.deadlocks
+        );
+        prop_assert_eq!(report.stuck_ops, 0);
+        prop_assert_eq!(report.retired_ops, total);
+        prop_assert!(
+            !report.lints.iter().any(|l| matches!(l, GlobalLint::UnboundedWait { .. })),
+            "bounded waits must not lint: {:?}", report.lints
+        );
+    }
+
+    /// Skipping any single post on any rank — while that rank carries on
+    /// with later rounds — always surfaces as a wait-for cycle naming the
+    /// skipping rank, plus a SkippedGroupPost lint pinpointing it.
+    #[test]
+    fn every_skipped_post_is_a_cycle(
+        nranks in 2usize..=4,
+        rounds in 2u64..=4,
+        ctx in 1u64..=(1u64 << 60),
+        victim_seed in 0usize..4096,
+        skip_seed in 0u64..4096,
+    ) {
+        let victim = victim_seed % nranks;
+        // Skip a non-final round: the victim must carry on posting later
+        // rounds for this to be a *skip* (a log that simply ends is the
+        // terminated-peer case, covered below).
+        let skip = skip_seed % (rounds - 1);
+        let mut logs = lockstep_run(nranks, rounds, ctx, false);
+        skip_one_post(&mut logs, victim, ctx, skip);
+        let report = analyze_global(&logs);
+        prop_assert!(!report.is_deadlock_free(), "skip went undetected");
+        let cycle = report
+            .deadlocks
+            .iter()
+            .find(|d| d.kind == DeadlockKind::Cycle);
+        prop_assert!(cycle.is_some(), "expected a cycle: {:?}", report.deadlocks);
+        let cycle = cycle.unwrap();
+        prop_assert!(
+            cycle.ranks.contains(&victim),
+            "cycle {:?} must name the skipping rank {victim}", cycle.ranks
+        );
+        prop_assert!(
+            cycle.ranks.iter().any(|r| *r != victim),
+            "cycle must involve a waiting peer: {:?}", cycle.ranks
+        );
+        prop_assert!(
+            report.lints.iter().any(|l| matches!(
+                l,
+                GlobalLint::SkippedGroupPost { rank, ctx: c, seq, .. }
+                    if *rank == victim && *c == ctx && *seq == skip
+            )),
+            "missing SkippedGroupPost lint: {:?}", report.lints
+        );
+    }
+
+    /// Truncating a rank's log at any post boundary — the rank died — is
+    /// always reported, naming the dead rank; the survivors' hang is
+    /// attributed to the terminated peer, never misread as a skip.
+    #[test]
+    fn every_truncated_log_is_flagged(
+        nranks in 2usize..=4,
+        rounds in 2u64..=4,
+        victim_seed in 0usize..4096,
+        cut_seed in 0u64..4096,
+    ) {
+        let victim = victim_seed % nranks;
+        // Cut strictly before the last round so at least one post is lost.
+        let cut = cut_seed % (rounds - 1);
+        let mut logs = lockstep_run(nranks, rounds, 7, false);
+        let ops = &mut logs[victim].ops;
+        let cut_at = ops
+            .iter()
+            .position(|op| matches!(op, RankOp::Post { seq, .. } if *seq == cut))
+            .expect("round posts exist");
+        ops.truncate(cut_at);
+        let report = analyze_global(&logs);
+        prop_assert!(!report.is_deadlock_free(), "dead rank went undetected");
+        prop_assert!(
+            report.deadlocks.iter().any(|d| {
+                d.kind == DeadlockKind::TerminatedPeer && d.ranks.contains(&victim)
+            }),
+            "expected TerminatedPeer naming {victim}: {:?}", report.deadlocks
+        );
+        prop_assert!(
+            !report.lints.iter().any(|l| matches!(
+                l,
+                GlobalLint::SkippedGroupPost { rank, .. } if *rank == victim
+            )),
+            "a dead rank is not a skipper: {:?}", report.lints
+        );
+    }
+}
+
+/// Off the proptest path: an unbounded blocking wait is linted exactly once
+/// per site even when executed many times, and a clean overlapped run stays
+/// silent when the completion wait carries a deadline.
+#[test]
+fn unbounded_wait_lints_once_per_site() {
+    let group = vec![0, 1];
+    let logs: Vec<RankLog> = (0..2)
+        .map(|rank| {
+            let mut ops = Vec::new();
+            for r in 0..3u64 {
+                ops.push(RankOp::Post {
+                    ctx: 1,
+                    seq: r,
+                    kind: CollectiveKind::Alltoall,
+                    group: group.clone(),
+                    blocking: false,
+                });
+                ops.push(RankOp::WaitCollective {
+                    ctx: 1,
+                    seq: r,
+                    deadline: false,
+                });
+            }
+            RankLog { rank, ops }
+        })
+        .collect();
+    let report = analyze_global(&logs);
+    assert!(report.is_deadlock_free());
+    let per_rank: Vec<_> = report
+        .lints
+        .iter()
+        .filter(|l| matches!(l, GlobalLint::UnboundedWait { .. }))
+        .collect();
+    assert_eq!(per_rank.len(), 2, "one lint per rank-site: {per_rank:?}");
+}

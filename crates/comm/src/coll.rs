@@ -17,6 +17,7 @@ impl Communicator {
     pub fn barrier(&self) {
         self.verify_collective(CollectiveKind::Barrier, 0);
         let tag = self.next_coll_tag();
+        self.record_post(CollectiveKind::Barrier, tag, true);
         let root = 0;
         if self.rank() == root {
             for src in 1..self.size() {
@@ -36,6 +37,7 @@ impl Communicator {
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
         self.verify_collective(CollectiveKind::Bcast, data.len());
         let tag = self.next_coll_tag();
+        self.record_post(CollectiveKind::Bcast, tag, true);
         if self.rank() == root {
             for dst in 0..self.size() {
                 if dst != root {
@@ -53,6 +55,7 @@ impl Communicator {
     pub fn gather<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
         self.verify_collective(CollectiveKind::Gather, data.len());
         let tag = self.next_coll_tag();
+        self.record_post(CollectiveKind::Gather, tag, true);
         if self.rank() == root {
             let mut out = Vec::new();
             for src in 0..self.size() {
@@ -74,6 +77,7 @@ impl Communicator {
     pub fn allgather<T: Clone + Send + 'static>(&self, data: &[T]) -> Vec<T> {
         self.verify_collective(CollectiveKind::Allgather, data.len());
         let tag = self.next_coll_tag();
+        self.record_post(CollectiveKind::Allgather, tag, true);
         for dst in 0..self.size() {
             if dst != self.rank() {
                 self.send_raw(dst, tag, data.to_vec());
@@ -94,6 +98,7 @@ impl Communicator {
     pub fn scatter<T: Clone + Send + 'static>(&self, root: usize, data: &[T]) -> Vec<T> {
         self.verify_collective(CollectiveKind::Scatter, data.len());
         let tag = self.next_coll_tag();
+        self.record_post(CollectiveKind::Scatter, tag, true);
         if self.rank() == root {
             assert_eq!(data.len() % self.size(), 0, "scatter buffer not divisible");
             let chunk = data.len() / self.size();
@@ -144,6 +149,8 @@ impl Communicator {
         }
         self.verify_collective(CollectiveKind::Alltoall, send.len());
         let tag = self.next_coll_tag();
+        // Async post: ordered later by the Request wait's record_wait.
+        self.record_post(CollectiveKind::Alltoall, tag, false);
         let span = self.tracer.as_ref().map(|t| {
             t.incr_a2a_calls();
             t.add_bytes_network(std::mem::size_of_val(send));
@@ -172,6 +179,7 @@ impl Communicator {
         assert_eq!(send.len(), send_counts.iter().sum::<usize>());
         self.verify_collective(CollectiveKind::Alltoallv, send.len());
         let tag = self.next_coll_tag();
+        self.record_post(CollectiveKind::Alltoallv, tag, true);
         let mut offset = 0;
         for dst in 0..self.size() {
             let piece = &send[offset..offset + send_counts[dst]];
@@ -242,6 +250,7 @@ impl Clone for Communicator {
             a2a_deadline: self.a2a_deadline,
             a2a_adaptive: self.a2a_adaptive.clone(),
             verifier: self.verifier.clone(),
+            recorder: self.recorder.clone(),
         }
     }
 }

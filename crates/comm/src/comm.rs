@@ -132,6 +132,10 @@ pub struct Communicator {
     /// Optional collective-matching verifier; when attached, every primitive
     /// collective is preceded by a cross-rank fingerprint check.
     pub(crate) verifier: Option<crate::verify::VerifierState>,
+    /// Optional global-ordering recorder (bound to this rank's *global*
+    /// rank); collectives and request waits log [`psdns_analyze::RankOp`]s
+    /// for the cross-rank deadlock analyzer.
+    pub(crate) recorder: Option<psdns_analyze::RankRecorder>,
 }
 
 impl Communicator {
@@ -149,6 +153,44 @@ impl Communicator {
             a2a_deadline: None,
             a2a_adaptive: None,
             verifier: None,
+            recorder: None,
+        }
+    }
+
+    /// Attach a [`psdns_analyze::GlobalRecorder`]: this rank's collectives
+    /// (posts) and request waits (with their deadline bit) are logged under
+    /// its global rank for [`psdns_analyze::analyze_global`]. Clones,
+    /// [`Communicator::split`] children and [`Communicator::shrink`]
+    /// survivors inherit the recorder — the global rank never changes.
+    pub fn set_global_recorder(&mut self, hub: &psdns_analyze::GlobalRecorder) {
+        self.recorder = Some(hub.rank(self.members[self.rank]));
+    }
+
+    /// The attached global-ordering recorder, if any.
+    pub fn global_recorder(&self) -> Option<&psdns_analyze::RankRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Log a collective post (global ranks, fingerprint identity) for the
+    /// cross-rank analyzer. `tag` is the value [`Self::next_coll_tag`]
+    /// returned for this collective.
+    pub(crate) fn record_post(
+        &self,
+        kind: psdns_analyze::CollectiveKind,
+        tag: u64,
+        blocking: bool,
+    ) {
+        if let Some(rec) = &self.recorder {
+            rec.post(self.ctx, tag - COLL_TAG_BASE, kind, &self.members, blocking);
+        }
+    }
+
+    /// Log the completion wait of a nonblocking collective; `deadline` says
+    /// whether a watchdog bounds it (the unbounded form is what the
+    /// analyzer's `UnboundedWait` lint flags).
+    pub(crate) fn record_wait(&self, tag: u64, deadline: bool) {
+        if let Some(rec) = &self.recorder {
+            rec.wait_collective(self.ctx, tag - COLL_TAG_BASE, deadline);
         }
     }
 
@@ -560,6 +602,11 @@ impl Communicator {
         // agreement instead of waiting on a rank that already bailed out.
         self.revoke();
         let seq = self.agree_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            // Agreement is deadline-bounded point-to-point (it never hangs),
+            // so it enters the global log as an annotation, not a wait.
+            rec.note(&format!("agree_on_failures: seq {seq}"));
+        }
         let gme = self.members[self.rank];
         let mut view: std::collections::BTreeMap<u64, u64> = self
             .shared
@@ -633,6 +680,11 @@ impl Communicator {
         for &(r, e) in failed {
             ctx = splitmix64(ctx ^ (r as u64) ^ e.rotate_left(17));
         }
+        if let Some(rec) = &self.recorder {
+            rec.note(&format!(
+                "shrink: dropped {failed:?}, survivors {members:?}, new ctx {ctx:#x}"
+            ));
+        }
         Communicator {
             shared: Arc::clone(&self.shared),
             ctx,
@@ -649,6 +701,7 @@ impl Communicator {
                 .verifier
                 .as_ref()
                 .map(|s| crate::verify::VerifierState::new(s.v.clone())),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -713,6 +766,7 @@ impl Communicator {
                 .verifier
                 .as_ref()
                 .map(|s| crate::verify::VerifierState::new(s.v.clone())),
+            recorder: self.recorder.clone(),
         }
     }
 }

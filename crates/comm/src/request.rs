@@ -41,6 +41,8 @@ impl<T: Clone + Send + 'static> Request<T> {
     /// rank `s`'s chunk at positions `[s·chunk, (s+1)·chunk)`.
     pub fn wait(self) -> Vec<T> {
         let _span = self.wait_span();
+        // Unbounded by construction — the global analyzer lints this form.
+        self.comm.record_wait(self.tag, false);
         let size = self.comm.size();
         let mut out = Vec::with_capacity(size * self.chunk);
         for src in 0..size {
@@ -58,6 +60,7 @@ impl<T: Clone + Send + 'static> Request<T> {
     /// after `MPI_Cancel`).
     pub fn wait_deadline(self, timeout: Duration) -> Result<Vec<T>, CommError> {
         let _span = self.wait_span();
+        self.comm.record_wait(self.tag, true);
         let deadline = Instant::now() + timeout;
         let size = self.comm.size();
         let mut out = Vec::with_capacity(size * self.chunk);
@@ -97,6 +100,7 @@ impl<T: Clone + Send + 'static> Request<T> {
     /// `size · chunk` (avoids the concatenation allocation on hot paths).
     pub fn wait_into(self, out: &mut [T]) {
         let _span = self.wait_span();
+        self.comm.record_wait(self.tag, false);
         let size = self.comm.size();
         assert_eq!(out.len(), size * self.chunk, "output buffer size mismatch");
         for src in 0..size {

@@ -277,7 +277,7 @@ impl<T: Real> GpuFftBuilder<T> {
             .iter()
             .map(|d| d.free_bytes())
             .min()
-            .expect("non-empty device list");
+            .ok_or(PipelineError::NoDevices)?;
         let np = match self.np {
             Some(0) => return Err(PipelineError::InvalidNp { np: 0 }),
             Some(np) => {
@@ -308,8 +308,11 @@ impl<T: Real> GpuFftBuilder<T> {
             })?,
         };
         if let Some(t) = &self.tracer {
+            // Derive the per-rank view directly rather than re-reading it
+            // back out of the communicator (set_tracer stores the same
+            // `for_rank` projection).
+            let rank_tracer = t.for_rank(comm.rank());
             comm.set_tracer(t);
-            let rank_tracer = comm.tracer().cloned().expect("tracer just attached");
             for d in &self.devices {
                 d.attach_tracer(&rank_tracer);
             }
@@ -467,6 +470,8 @@ fn rw_device(buffer: u64, len: usize) -> Vec<Access> {
 }
 
 fn group_of(groups: &[Group], ip: usize) -> usize {
+    // `make_groups` partitions 0..np into contiguous pencil ranges, so every
+    // in-range pencil index is covered by construction.
     groups
         .iter()
         .position(|g| g.pencils.contains(&ip))
@@ -666,6 +671,7 @@ impl<T: Real> GpuSlabFft<T> {
             let _ = fft.cross_product(&zeros, &zeros);
             Ok(log)
         });
+        // Universe::run(1, ..) returns exactly one closure result.
         results.pop().expect("one shadow rank")
     }
 
@@ -798,22 +804,30 @@ impl<T: Real> GpuSlabFft<T> {
     /// shares the collective sequence counter, so device and degraded
     /// paths interleave collectives correctly.
     fn host_backend(&mut self) -> &mut GpuSlabFft<T> {
-        if self.host.is_none() {
+        // Snapshot the builder inputs up front so the lazy-init closure does
+        // not contend with `self.host`'s mutable borrow.
+        let (shape, comm) = (self.shape, self.comm.clone());
+        let (np, nv, mode, threads) = (
+            self.config.np,
+            self.nv_hint,
+            self.config.a2a_mode,
+            self.host_threads,
+        );
+        self.host.get_or_insert_with(|| {
             // Ledger-only capacity: the host executor borrows ordinary heap
             // memory, so give the degraded twin room for any slab size.
             let dev = Device::with_kind(BackendKind::Host, DeviceConfig::tiny(1 << 44));
-            let fft = GpuSlabFft::<T>::builder(self.shape)
-                .comm(self.comm.clone())
+            let fft = GpuSlabFft::<T>::builder(shape)
+                .comm(comm)
                 .devices(vec![dev])
-                .np(self.config.np)
-                .nv(self.nv_hint)
-                .a2a_mode(self.config.a2a_mode)
-                .host_threads(self.host_threads)
+                .np(np)
+                .nv(nv)
+                .a2a_mode(mode)
+                .host_threads(threads)
                 .build()
                 .expect("host-backend fallback always fits its ledger");
-            self.host = Some(Box::new(fft));
-        }
-        self.host.as_mut().expect("just installed")
+            Box::new(fft)
+        })
     }
 
     /// Surface any sticky asynchronous device error (e.g. a copy-engine
@@ -1124,6 +1138,7 @@ impl<T: Real> GpuSlabFft<T> {
         // into a typed CommError::Timeout instead of an infinite hang.
         let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
         for (gi, r) in requests.into_iter().enumerate() {
+            // Every slot was filled by the sweep-up post loop above.
             let buf =
                 PinnedBuffer::from_vec(r.expect("posted").wait_watchdog().map_err(Error::Comm)?);
             self.log_staging(&buf, &format!("recv_buf[{gi}]"));
@@ -1582,6 +1597,7 @@ impl<T: Real> GpuSlabFft<T> {
 
         let mut recv_bufs: Vec<PinnedBuffer<Complex<T>>> = Vec::with_capacity(requests.len());
         for (gi, r) in requests.into_iter().enumerate() {
+            // Every slot was filled by the sweep-up post loop above.
             let buf =
                 PinnedBuffer::from_vec(r.expect("posted").wait_watchdog().map_err(Error::Comm)?);
             self.log_staging(&buf, &format!("recv_buf[{gi}]"));

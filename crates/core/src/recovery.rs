@@ -338,7 +338,7 @@ fn decode_held_stream(data: &[u8]) -> Vec<Vec<u8>> {
     let read_u64 = |pos: &mut usize| -> Option<u64> {
         let s = data.get(*pos..*pos + 8)?;
         *pos += 8;
-        Some(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        Some(u64::from_le_bytes(<[u8; 8]>::try_from(s).ok()?))
     };
     while pos < data.len() {
         let Some(count) = read_u64(&mut pos) else {
@@ -606,10 +606,13 @@ where
                     let best = best.ok_or(RecoveryError::CoverageLost { survivors })?;
                     let mut chosen: Vec<Checkpoint> = Vec::new();
                     for r in 0..p {
+                        // The coverage scan above proved every rank has a
+                        // part at `best`; surface a typed error anyway
+                        // rather than trusting the invariant with a panic.
                         let ck = parts
                             .iter()
                             .find(|c| c.step == best && c.rank == r)
-                            .expect("coverage verified");
+                            .ok_or(RecoveryError::CoverageLost { survivors })?;
                         chosen.push(ck.clone());
                     }
                     let new_p = largest_divisor_at_most(n, survivors);

@@ -145,6 +145,9 @@ pub(crate) struct DeviceInner {
     /// Sticky asynchronous error, like a CUDA context error: set when a copy
     /// fails after retries, observed (and cleared) via [`Device::take_error`].
     pub error: psdns_sync::Mutex<Option<DeviceError>>,
+    /// Optional cross-rank ordering recorder: fences log deadline-flagged
+    /// local waits for [`psdns_analyze::analyze_global`].
+    pub global_recorder: psdns_sync::Mutex<Option<psdns_analyze::RankRecorder>>,
 }
 
 impl Drop for DeviceInner {
@@ -256,8 +259,24 @@ impl Device {
                 tracer: psdns_sync::Mutex::new(None),
                 chaos: psdns_sync::Mutex::new(None),
                 error: psdns_sync::Mutex::new(None),
+                global_recorder: psdns_sync::Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach this rank's [`psdns_analyze::RankRecorder`]: every subsequent
+    /// fence on this device's streams logs a deadline-flagged local wait
+    /// (and, on completion, its `done-local` retirement) into the global
+    /// cross-rank ordering log. An un-watchdogged fence records an
+    /// *unbounded* wait — exactly what `analyze_global`'s `UnboundedWait`
+    /// lint exists to flag.
+    pub fn attach_global_recorder(&self, rec: &psdns_analyze::RankRecorder) {
+        *self.inner.global_recorder.lock() = Some(rec.clone());
+    }
+
+    /// The attached cross-rank recorder, if any.
+    pub fn global_recorder(&self) -> Option<psdns_analyze::RankRecorder> {
+        self.inner.global_recorder.lock().clone()
     }
 
     /// The executor behind this handle.

@@ -349,10 +349,22 @@ impl Stream {
             return Err(self.device_lost_error());
         }
         let wd = health.watchdog();
+        // Cross-rank ordering log: a fence is a local wait whose deadline
+        // bit is "is a watchdog armed" — the unbounded form is what
+        // `analyze_global` lints.
+        let grec = self.device().and_then(|d| d.global_recorder());
+        let fence_site = format!("fence:{}", self.name);
+        if let Some(rec) = &grec {
+            rec.wait_local(&fence_site, wd.is_some());
+        }
         // Fast path: no watchdog and no armed fault — the historical
         // unbounded fence, byte-for-byte.
         if wd.is_none() && !health.lost_injected() && !self.hang_armed() {
-            return self.queue.fence();
+            let out = self.queue.fence();
+            if let (Some(rec), Ok(())) = (&grec, &out) {
+                rec.done_local(&fence_site);
+            }
+            return out;
         }
         let deadline = wd.as_ref().map(|w| w.deadline());
         let policy = self
@@ -373,6 +385,9 @@ impl Stream {
                     if let Some(w) = &wd {
                         w.observe(t0.elapsed());
                     }
+                    if let Some(rec) = &grec {
+                        rec.done_local(&fence_site);
+                    }
                     return Ok(());
                 }
                 FenceWait::TimedOut => {
@@ -389,6 +404,9 @@ impl Stream {
                     if !ok {
                         health.condemn(self.id, HealthCause::ProbeFailed);
                         self.trace_health("condemned");
+                        if let Some(rec) = &grec {
+                            rec.note(&format!("{fence_site}: condemned (probe failed)"));
+                        }
                         let err = self.device_lost_error();
                         if let Some(dev) = self.device() {
                             dev.set_error(err.clone());
@@ -400,6 +418,9 @@ impl Stream {
                         // wedged through the whole retry budget.
                         health.condemn(self.id, HealthCause::RetriesExhausted);
                         self.trace_health("condemned");
+                        if let Some(rec) = &grec {
+                            rec.note(&format!("{fence_site}: condemned (retries exhausted)"));
+                        }
                         let err = DeviceError::QueueHung {
                             stream: self.name.clone(),
                             deadline: deadline.unwrap_or_default(),

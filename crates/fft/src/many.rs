@@ -406,6 +406,9 @@ impl<T: Real> ManyPlan<T> {
                             dir,
                         );
                     }
+                    // SAFETY: writes back exactly the element set this tile
+                    // read above — same disjointness and bounds argument as
+                    // the forward copy.
                     unsafe {
                         tile::copy_grid_raw(
                             tilebuf.as_ptr(),

@@ -158,7 +158,16 @@ impl WorkerPool {
         }
         let _one_job_at_a_time = self.run_lock.lock();
         self.shared.jobs.fetch_add(1, Ordering::Relaxed);
-        self.shared.cursor.store(0, Ordering::Relaxed);
+        // Release pairs with the workers' AcqRel claims: a worker that claims
+        // a chunk of job N+1 is guaranteed to see everything the caller did
+        // before resetting the cursor. The state-mutex handshake below makes
+        // this edge redundant on the happy path (the checked model in
+        // `psdns-verify::models::pool` proves the mutex alone suffices), but
+        // the cursor must not be the one all-Relaxed link in the chain: the
+        // model checker flags exactly that pairing the moment any fast path
+        // reads the cursor as a completion hint (see the seeded
+        // `RelaxedCursorFastPath` regression).
+        self.shared.cursor.store(0, Ordering::Release);
         // SAFETY: erases the closure's lifetime. `run` does not return until
         // `active == 0`, i.e. no worker holds the pointer any more.
         let task_static: &'static Task = unsafe {
@@ -181,7 +190,9 @@ impl WorkerPool {
         // The caller participates in its own job; catch panics so unwinding
         // cannot tear down the closure while workers still reference it.
         let caller = catch_unwind(AssertUnwindSafe(|| loop {
-            let lo = self.shared.cursor.fetch_add(chunk, Ordering::Relaxed);
+            // AcqRel: acquire the job-reset edge (see `run`'s cursor store),
+            // release this claim to later claimants across job boundaries.
+            let lo = self.shared.cursor.fetch_add(chunk, Ordering::AcqRel);
             if lo >= total {
                 break;
             }
@@ -244,7 +255,10 @@ fn worker_loop(shared: &Shared) {
         // is alive for the whole drain loop.
         let task = unsafe { &*job.task };
         let result = catch_unwind(AssertUnwindSafe(|| loop {
-            let lo = shared.cursor.fetch_add(job.chunk, Ordering::Relaxed);
+            // AcqRel for the same reason as the caller's claim loop: the
+            // cursor participates in the job-boundary release chain instead
+            // of being an unordered Relaxed island.
+            let lo = shared.cursor.fetch_add(job.chunk, Ordering::AcqRel);
             if lo >= job.total {
                 break;
             }

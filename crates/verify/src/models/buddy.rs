@@ -1,0 +1,122 @@
+//! BuddyStore replication-exchange model.
+//!
+//! Mirrors `crates/core/src/recovery.rs::BuddyStore::protect_checkpoint`:
+//! every rank sends its checkpoint to its cyclic successor and receives its
+//! predecessor's, all in the same protection round. The real transport uses
+//! *buffered* sends (`send_system` copies into the peer's mailbox and
+//! returns) — that buffering is exactly what makes the symmetric exchange
+//! deadlock-free, and `BuddyStore`'s docs promise it only by convention.
+//!
+//! [`check_buddy_buffered`] transcribes the buffered protocol over three
+//! rank threads and proves every schedule terminates with each rank holding
+//! its own blob plus its predecessor's.
+//!
+//! [`check_buddy_rendezvous`] swaps in rendezvous (synchronous) sends that
+//! block until the receiver consumes — the classic symmetric-exchange
+//! cycle. The checker must report all three ranks deadlocked, naming them.
+
+use std::sync::Arc;
+
+use crate::shim::{thread, Condvar, Mutex};
+use crate::{explore, Config, Report};
+
+const RANKS: usize = 3;
+
+/// One rank's mailbox: (from, payload) pairs, buffered.
+struct Mailbox {
+    inbox: Mutex<Vec<(usize, usize)>>,
+    cv: Condvar,
+    /// Rendezvous mode only: count of deposits not yet consumed; senders
+    /// wait for their deposit to be taken.
+    pending: Mutex<usize>,
+    pending_cv: Condvar,
+}
+
+impl Mailbox {
+    fn new(rank: usize) -> Self {
+        Self {
+            inbox: Mutex::named(&format!("buddy.inbox[{rank}]"), Vec::new()),
+            cv: Condvar::named(&format!("buddy.inbox_cv[{rank}]")),
+            pending: Mutex::named(&format!("buddy.pending[{rank}]"), 0),
+            pending_cv: Condvar::named(&format!("buddy.pending_cv[{rank}]")),
+        }
+    }
+
+    /// Buffered send: deposit and return (recovery.rs `send_system`).
+    fn send_buffered(&self, from: usize, payload: usize) {
+        let mut inbox = self.inbox.lock();
+        inbox.push((from, payload));
+        self.cv.notify_all();
+    }
+
+    /// Rendezvous send: deposit, then block until the receiver consumes.
+    fn send_rendezvous(&self, from: usize, payload: usize) {
+        {
+            let mut n = self.pending.lock();
+            *n += 1;
+        }
+        self.send_buffered(from, payload);
+        let mut n = self.pending.lock();
+        while *n > 0 {
+            self.pending_cv.wait(&mut n);
+        }
+    }
+
+    /// Receive the message sent by `from`, blocking until it arrives.
+    fn recv_from(&self, from: usize, rendezvous: bool) -> usize {
+        let payload = {
+            let mut inbox = self.inbox.lock();
+            loop {
+                if let Some(pos) = inbox.iter().position(|&(f, _)| f == from) {
+                    break inbox.remove(pos).1;
+                }
+                self.cv.wait(&mut inbox);
+            }
+        };
+        if rendezvous {
+            let mut n = self.pending.lock();
+            *n -= 1;
+            self.pending_cv.notify_all();
+        }
+        payload
+    }
+}
+
+fn run(rendezvous: bool, cfg: &Config) -> Report {
+    explore(cfg, move || {
+        let boxes: Arc<Vec<Mailbox>> = Arc::new((0..RANKS).map(Mailbox::new).collect());
+
+        let mut handles = Vec::new();
+        for r in 0..RANKS {
+            let boxes = Arc::clone(&boxes);
+            handles.push(thread::spawn_named(&format!("buddy.r{r}"), move || {
+                // protect_checkpoint, K = 1: send to (r + 1) % N, then
+                // receive the blob of (r + N - 1) % N.
+                let succ = (r + 1) % RANKS;
+                let pred = (r + RANKS - 1) % RANKS;
+                if rendezvous {
+                    boxes[succ].send_rendezvous(r, r);
+                } else {
+                    boxes[succ].send_buffered(r, r);
+                }
+                let got = boxes[r].recv_from(pred, rendezvous);
+                assert_eq!(got, pred, "rank {r} received the wrong buddy blob");
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    })
+}
+
+/// Buffered exchange (the shipped protocol): deadlock-free, every rank ends
+/// holding `{own, predecessor}` — exhaustively checked.
+pub fn check_buddy_buffered(cfg: &Config) -> Report {
+    run(false, cfg)
+}
+
+/// Rendezvous exchange (the seeded bug): all ranks block in-send waiting on
+/// each other — the checker must report the cycle.
+pub fn check_buddy_rendezvous(cfg: &Config) -> Report {
+    run(true, cfg)
+}

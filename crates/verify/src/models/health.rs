@@ -1,0 +1,122 @@
+//! HealthMonitor state-machine model.
+//!
+//! Mirrors `crates/device/src/health.rs`: an `AtomicU8` driven purely by
+//! CAS transitions (`mark_suspect`: Healthy→Suspect, `mark_recovered`:
+//! Suspect→Healthy, `condemn`: unconditional swap to Lost) plus the
+//! release latch (`Mutex<bool>` + `Condvar`) that `condemn` must open so
+//! threads parked in `block_until_released` can proceed.
+//!
+//! [`check_health_race`] races a watchdog flapping suspect/recover against
+//! a condemner and a latch waiter and asserts, under every schedule, that
+//! `Lost` is sticky (no recover CAS can resurrect a condemned device) and
+//! that the waiter always gets out (checker-level deadlock detection).
+//!
+//! [`check_condemn_without_release`] is the seeded bug: condemn forgets to
+//! open the latch. The checker must report the waiter (and the joiner
+//! behind it) as deadlocked — the invariant PR 7 enforces by convention,
+//! now machine-checked.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::shim::{thread, AtomicU8, Condvar, Mutex};
+use crate::{explore, Config, Report};
+
+const HEALTHY: u8 = 0;
+const SUSPECT: u8 = 1;
+const LOST: u8 = 2;
+
+struct Monitor {
+    state: AtomicU8,
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Monitor {
+    fn new() -> Self {
+        Self {
+            state: AtomicU8::named("health.state", HEALTHY),
+            released: Mutex::named("health.latch", false),
+            cv: Condvar::named("health.latch_cv"),
+        }
+    }
+
+    fn mark_suspect(&self) -> bool {
+        self.state
+            .compare_exchange(HEALTHY, SUSPECT, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn mark_recovered(&self) -> bool {
+        self.state
+            .compare_exchange(SUSPECT, HEALTHY, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn condemn(&self, release: bool) {
+        self.state.swap(LOST, Ordering::SeqCst);
+        if release {
+            let mut g = self.released.lock();
+            *g = true;
+            self.cv.notify_all();
+        }
+    }
+
+    fn block_until_released(&self) {
+        let mut g = self.released.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+fn run(release_on_condemn: bool, cfg: &Config) -> Report {
+    explore(cfg, move || {
+        let mon = Arc::new(Monitor::new());
+
+        let flapper = {
+            let mon = Arc::clone(&mon);
+            thread::spawn_named("health.watchdog", move || {
+                // A deadline miss followed by an observed completion.
+                mon.mark_suspect();
+                mon.mark_recovered();
+            })
+        };
+        let condemner = {
+            let mon = Arc::clone(&mon);
+            thread::spawn_named("health.condemner", move || {
+                mon.condemn(release_on_condemn);
+            })
+        };
+        let waiter = {
+            let mon = Arc::clone(&mon);
+            thread::spawn_named("health.waiter", move || {
+                mon.block_until_released();
+            })
+        };
+
+        flapper.join();
+        condemner.join();
+        waiter.join();
+
+        // Sticky Lost: whatever interleaving of the suspect/recover CAS pair
+        // ran against the swap, a condemned device can never read back as
+        // anything but Lost (recover's CAS expects Suspect, not Lost).
+        assert_eq!(
+            mon.state.load(Ordering::SeqCst),
+            LOST,
+            "condemned monitor resurrected"
+        );
+        assert!(*mon.released.lock(), "condemn left the latch closed");
+    })
+}
+
+/// Shipped protocol: condemn releases the latch. Must be exhaustively clean.
+pub fn check_health_race(cfg: &Config) -> Report {
+    run(true, cfg)
+}
+
+/// Seeded bug: condemn without the latch release — the waiter deadlocks.
+pub fn check_condemn_without_release(cfg: &Config) -> Report {
+    run(false, cfg)
+}

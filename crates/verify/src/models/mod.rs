@@ -1,0 +1,14 @@
+//! Checked protocol models of the runtime's concurrency cores.
+//!
+//! Each model is a faithful, shrunken transcription of one production
+//! protocol into [`crate::shim`] primitives, small enough for exhaustive
+//! bounded exploration yet keeping every ordering edge the real code relies
+//! on. Each module documents the file it mirrors; seeded-bug variants
+//! (`*FastPath`, `CondemnWithoutRelease`, rendezvous buddy sends) exist so
+//! CI can prove the checker still *catches* the bug class, not just that
+//! the shipped protocol passes.
+
+pub mod buddy;
+pub mod health;
+pub mod pool;
+pub mod queue;

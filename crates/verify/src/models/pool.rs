@@ -1,0 +1,176 @@
+//! WorkerPool job/cursor protocol model.
+//!
+//! Mirrors `crates/sync/src/pool.rs`: a caller publishes a job under the
+//! state mutex (epoch bump + `work` notify), workers claim chunk indices
+//! from a shared atomic `cursor` via `fetch_add`, write their output slots,
+//! then decrement `active` under the mutex and signal `done`; the caller
+//! resets `cursor` to 0 between jobs. The output slots are [`RaceCell`]s:
+//! if any schedule lets the caller read a slot without a happens-before
+//! edge from the worker's write — or lets job *N+1*'s writes overlap job
+//! *N*'s reads — the checker reports a data race.
+//!
+//! Variants:
+//! * [`PoolVariant::Shipped`] — the post-fix protocol (cursor reset
+//!   `Release`, claims `AcqRel`, caller waits `active == 0` under the
+//!   mutex). Two workers × two jobs, exhaustively clean: this is the
+//!   "two-job reuse" schedule ISSUE 8 requires covered.
+//! * [`PoolVariant::RelaxedCursorFastPath`] — seeded reintroduction of the
+//!   all-`Relaxed` cursor bug: the caller treats `cursor.load(Relaxed) >=
+//!   total` as job completion and skips the mutex handshake. `Relaxed`
+//!   carries no edge, so reading the output slots races with the worker's
+//!   writes.
+//! * [`PoolVariant::AcquireCursorFastPath`] — the subtler protocol bug that
+//!   survives even correct orderings: the cursor counts *claims*, not
+//!   *completions*, so `cursor >= total` can be true while a claimed slot
+//!   is still being written. The checker flags the write-after-read race
+//!   against the caller's early slot read.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::shim::{thread, AtomicUsize, Condvar, Mutex, RaceCell};
+use crate::{explore, Config, Report};
+
+/// Which cursor protocol to model-check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolVariant {
+    /// Post-fix protocol: `Release` reset / `AcqRel` claim / mutex handshake.
+    Shipped,
+    /// Seeded bug: all-`Relaxed` cursor + completion inferred from the cursor.
+    RelaxedCursorFastPath,
+    /// Seeded bug: correct orderings, but completion still inferred from the
+    /// claim cursor.
+    AcquireCursorFastPath,
+}
+
+struct PoolState {
+    epoch: usize,
+    job_total: usize,
+    active: usize,
+    shutdown: bool,
+}
+
+/// Explore the pool protocol under `cfg`. `Shipped` runs 2 workers × 2 jobs
+/// (the job-reuse schedule); the fast-path variants run 1 worker × 1 job —
+/// the smallest configuration whose race witness fits the preemption bound.
+pub fn check_pool(variant: PoolVariant, cfg: &Config) -> Report {
+    let (workers, jobs, total) = match variant {
+        PoolVariant::Shipped => (2usize, 2usize, 2usize),
+        _ => (1, 1, 2),
+    };
+    let (reset_ord, claim_ord, probe_ord) = match variant {
+        PoolVariant::RelaxedCursorFastPath => {
+            (Ordering::Relaxed, Ordering::Relaxed, Ordering::Relaxed)
+        }
+        _ => (Ordering::Release, Ordering::AcqRel, Ordering::Acquire),
+    };
+
+    explore(cfg, move || {
+        let state = Arc::new(Mutex::named(
+            "pool.state",
+            PoolState {
+                epoch: 0,
+                job_total: 0,
+                active: 0,
+                shutdown: false,
+            },
+        ));
+        let work = Arc::new(Condvar::named("pool.work"));
+        let done = Arc::new(Condvar::named("pool.done"));
+        let cursor = Arc::new(AtomicUsize::named("pool.cursor", 0));
+        let out: Arc<Vec<RaceCell<usize>>> = Arc::new(
+            (0..total)
+                .map(|i| RaceCell::named(&format!("pool.out[{i}]"), 0))
+                .collect(),
+        );
+
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let state = Arc::clone(&state);
+            let work = Arc::clone(&work);
+            let done = Arc::clone(&done);
+            let cursor = Arc::clone(&cursor);
+            let out = Arc::clone(&out);
+            handles.push(thread::spawn_named(&format!("pool.w{w}"), move || {
+                let mut seen_epoch = 0;
+                loop {
+                    // Mirrors pool.rs worker_loop: sleep until a new epoch
+                    // or shutdown is published.
+                    let job_total;
+                    {
+                        let mut st = state.lock();
+                        while !st.shutdown && st.epoch == seen_epoch {
+                            work.wait(&mut st);
+                        }
+                        if st.shutdown {
+                            return;
+                        }
+                        seen_epoch = st.epoch;
+                        job_total = st.job_total;
+                    }
+                    // Claim-and-run: chunk size 1.
+                    loop {
+                        let i = cursor.fetch_add(1, claim_ord);
+                        if i >= job_total {
+                            break;
+                        }
+                        out[i].set(seen_epoch);
+                    }
+                    let mut st = state.lock();
+                    st.active -= 1;
+                    if st.active == 0 {
+                        done.notify_all();
+                    }
+                }
+            }));
+        }
+
+        for job in 1..=jobs {
+            // Job publish: reset the cursor, then advertise the new epoch
+            // under the mutex (pool.rs run()).
+            cursor.store(0, reset_ord);
+            {
+                let mut st = state.lock();
+                st.epoch = job;
+                st.job_total = total;
+                st.active = workers;
+                work.notify_all();
+            }
+
+            match variant {
+                PoolVariant::Shipped => {
+                    let mut st = state.lock();
+                    while st.active > 0 {
+                        done.wait(&mut st);
+                    }
+                }
+                PoolVariant::RelaxedCursorFastPath | PoolVariant::AcquireCursorFastPath => {
+                    // Seeded bug: "everything claimed" read straight off the
+                    // cursor, taken as "everything completed".
+                    if cursor.load(probe_ord) < total {
+                        let mut st = state.lock();
+                        while st.active > 0 {
+                            done.wait(&mut st);
+                        }
+                    }
+                }
+            }
+
+            for slot in out.iter() {
+                let v = slot.get();
+                if variant == PoolVariant::Shipped {
+                    assert_eq!(v, job, "pool output slot missed job epoch {job}");
+                }
+            }
+        }
+
+        {
+            let mut st = state.lock();
+            st.shutdown = true;
+            work.notify_all();
+        }
+        for h in handles {
+            h.join();
+        }
+    })
+}

@@ -1,0 +1,208 @@
+//! ExecQueue submit/fence vs HealthMonitor condemn model.
+//!
+//! Mirrors `crates/device/src/stream.rs` (`ExecQueue` FIFO worker +
+//! `guarded_fence`) and `crates/device/src/health.rs` (deadline-bounded
+//! fence waits escalating `Healthy → Suspect → Lost`, with the condemn path
+//! releasing the hang latch so a wedged worker can drain and join).
+//!
+//! Scenarios:
+//! * [`QueueScenario::CondemnDrains`] — a `Hang` item wedges the worker on
+//!   the latch; the host's fence deadline fires, it marks the queue
+//!   suspect, condemns it, and releases the latch. Invariants checked
+//!   under every schedule: FIFO order of executed work survives, the final
+//!   state is `Lost`, and the worker drains and joins (no schedule leaks a
+//!   blocked worker — that would surface as a model deadlock).
+//! * [`QueueScenario::RecoverOnCompletion`] — no hang. The fence deadline
+//!   may still fire spuriously (model time is schedule order); the host
+//!   marks the queue suspect, then on observed completion marks it
+//!   recovered. If its bounded retries exhaust first it condemns. Checked:
+//!   `completed ⇒ Healthy`, `!completed ⇒ Lost ∧ latch released`, and the
+//!   single task always executes exactly once before join.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::shim::{thread, AtomicU8, Condvar, Mutex, RaceCell};
+use crate::{explore, Config, Report};
+
+/// Health states, numbered as in `psdns_device::health::HealthState`.
+const HEALTHY: u8 = 0;
+const SUSPECT: u8 = 1;
+const LOST: u8 = 2;
+
+/// Which fence-vs-condemn scenario to model-check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueScenario {
+    /// Worker wedges on the latch; condemn must release it and preserve FIFO.
+    CondemnDrains,
+    /// Worker is live; spurious deadline must end in recover (or a clean
+    /// condemn if retries exhaust first).
+    RecoverOnCompletion,
+}
+
+#[derive(Clone, Copy)]
+enum Item {
+    Task(usize),
+    Hang,
+    Fence,
+}
+
+struct QState {
+    fifo: Vec<Item>,
+    shutdown: bool,
+}
+
+struct Latch {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+pub fn check_queue(scenario: QueueScenario, cfg: &Config) -> Report {
+    explore(cfg, move || {
+        let q = Arc::new(Mutex::named(
+            "queue.fifo",
+            QState {
+                fifo: Vec::new(),
+                shutdown: false,
+            },
+        ));
+        let qcv = Arc::new(Condvar::named("queue.cv"));
+        let log = Arc::new(Mutex::named("queue.log", Vec::<usize>::new()));
+        let ticket = Arc::new(Mutex::named("fence.ticket", false));
+        let tcv = Arc::new(Condvar::named("fence.cv"));
+        let state = Arc::new(AtomicU8::named("health.state", HEALTHY));
+        let latch = Arc::new(Latch {
+            released: Mutex::named("health.latch", false),
+            cv: Condvar::named("health.latch_cv"),
+        });
+        // Plain (non-atomic) flag the host reads after join: catches any
+        // schedule where the join edge fails to order the worker's last write.
+        let drained = Arc::new(RaceCell::named("queue.drained", false));
+
+        let worker = {
+            let q = Arc::clone(&q);
+            let qcv = Arc::clone(&qcv);
+            let log = Arc::clone(&log);
+            let ticket = Arc::clone(&ticket);
+            let tcv = Arc::clone(&tcv);
+            let latch = Arc::clone(&latch);
+            let drained = Arc::clone(&drained);
+            thread::spawn_named("queue.worker", move || {
+                loop {
+                    let item = {
+                        let mut st = q.lock();
+                        while st.fifo.is_empty() && !st.shutdown {
+                            qcv.wait(&mut st);
+                        }
+                        if st.fifo.is_empty() {
+                            drained.set(true);
+                            return;
+                        }
+                        st.fifo.remove(0)
+                    };
+                    match item {
+                        Item::Task(i) => log.lock().push(i),
+                        Item::Hang => {
+                            // Models a kernel stuck on a device that never
+                            // replies: only the health latch frees it.
+                            let mut g = latch.released.lock();
+                            while !*g {
+                                latch.cv.wait(&mut g);
+                            }
+                        }
+                        Item::Fence => {
+                            let mut t = ticket.lock();
+                            *t = true;
+                            tcv.notify_all();
+                        }
+                    }
+                }
+            })
+        };
+
+        let submit = |item: Item| {
+            let mut st = q.lock();
+            st.fifo.push(item);
+            qcv.notify_all();
+        };
+
+        submit(Item::Task(1));
+        if scenario == QueueScenario::CondemnDrains {
+            submit(Item::Hang);
+            submit(Item::Task(2));
+        }
+        submit(Item::Fence);
+
+        // guarded_fence: deadline-bounded wait with a small retry budget
+        // (stream.rs guarded_fence + RetryPolicy).
+        let completed = {
+            let mut t = ticket.lock();
+            let mut attempts = 0usize;
+            loop {
+                if *t {
+                    break true;
+                }
+                let timed_out = tcv.wait_timeout(&mut t, Duration::from_millis(1));
+                if *t {
+                    break true;
+                }
+                if timed_out {
+                    // First deadline miss: escalate Healthy -> Suspect.
+                    let _ = state.compare_exchange(
+                        HEALTHY,
+                        SUSPECT,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    attempts += 1;
+                    if attempts >= 2 {
+                        break false;
+                    }
+                }
+            }
+        };
+
+        if completed {
+            // Observed completion: un-suspect if the deadline fired spuriously.
+            let _ = state.compare_exchange(SUSPECT, HEALTHY, Ordering::SeqCst, Ordering::SeqCst);
+        } else {
+            // Retries exhausted: condemn (sticky) and open the hang latch so
+            // the worker can drain — the exact PR-7 release invariant.
+            state.swap(LOST, Ordering::SeqCst);
+            let mut g = latch.released.lock();
+            *g = true;
+            latch.cv.notify_all();
+        }
+
+        {
+            let mut st = q.lock();
+            st.shutdown = true;
+            qcv.notify_all();
+        }
+        worker.join();
+
+        assert!(drained.get(), "worker exited without draining the queue");
+        let final_state = state.load(Ordering::SeqCst);
+        let executed = log.lock().clone();
+        match scenario {
+            QueueScenario::CondemnDrains => {
+                // The hang item can only ever be passed via the condemn
+                // path, so the fence can't have completed in time.
+                assert!(!completed, "fence completed past an un-released hang");
+                assert_eq!(final_state, LOST, "condemned queue must stay Lost");
+                assert_eq!(executed, vec![1, 2], "FIFO order broken across condemn");
+                assert!(*latch.released.lock(), "condemn left the latch closed");
+            }
+            QueueScenario::RecoverOnCompletion => {
+                assert_eq!(executed, vec![1], "task must run exactly once");
+                if completed {
+                    assert_eq!(final_state, HEALTHY, "completed fence must recover");
+                } else {
+                    assert_eq!(final_state, LOST, "exhausted retries must condemn");
+                    assert!(*latch.released.lock(), "condemn left the latch closed");
+                }
+            }
+        }
+    })
+}

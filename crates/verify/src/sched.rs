@@ -1,0 +1,1227 @@
+//! The bounded deterministic scheduler behind [`explore`].
+//!
+//! Model code runs on real OS threads, but only **one thread executes at a
+//! time**: every shimmed synchronization operation (see [`crate::shim`]) is
+//! a *schedule point* where the running thread declares its next operation
+//! and hands control to the scheduler, which picks the next runnable thread
+//! from the set of *enabled* ones (a thread blocked on a held mutex, an
+//! un-notified condvar or an unfinished join is not enabled). Replaying the
+//! same sequence of choices replays the same execution, so the explorer can
+//! walk the whole schedule tree:
+//!
+//! * **DFS over choice prefixes** — each iteration re-runs the model with a
+//!   forced choice prefix, records the frontier decisions it makes past the
+//!   prefix, and backtracks to the deepest node with an untried alternative.
+//! * **Preemption bounding** (CHESS-style iterative context bounding) — a
+//!   context switch away from a still-enabled thread costs one preemption;
+//!   schedules exceeding [`Config::preemption_bound`] are pruned. Most
+//!   concurrency bugs need very few preemptions, so a small bound buys an
+//!   exhaustive-in-practice search at polynomial cost.
+//! * **Sleep sets** (the "DPOR-lite" reduction) — after fully exploring
+//!   choice `t` at a node, `t` is put to sleep for the sibling branches and
+//!   only woken when a dependent operation executes, so commuting
+//!   interleavings are explored once.
+//!
+//! Detected violations ([`Violation`]):
+//!
+//! * **Deadlock** — some threads are unfinished and none are enabled.
+//! * **Data race** — a [`crate::shim::RaceCell`] access with no
+//!   happens-before edge to a conflicting prior access. Happens-before is
+//!   tracked with vector clocks: mutex unlock→lock, `Release`
+//!   store→`Acquire` load (RMWs continue release sequences), spawn and join
+//!   create edges; `Relaxed` operations create none.
+//! * **Panic** — any model assertion failure, reported with the schedule.
+//!
+//! What is *not* modeled: weak-memory stale reads (atomics are
+//! sequentially consistent in value; the vector clocks only decide which
+//! *plain* accesses race) and spurious condvar wakeups. `wait_timeout` is
+//! modeled nondeterministically — the timeout may fire at any schedule
+//! point where the mutex is free — so both the timed-out and the notified
+//! path are explored.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard, OnceLock};
+
+/// Thread id inside one model execution (0 is the model's main thread).
+pub type Tid = usize;
+
+/// Panic payload used to tear down a branch that the explorer abandoned
+/// (prune, violation elsewhere). Never escapes [`explore`].
+pub(crate) struct BranchAbort;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, Tid)>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Unique id per [`Execution`] so shim objects can detect being reused
+/// across iterations (a model bug: state would leak between schedules).
+static EXEC_IDS: AtomicU64 = AtomicU64::new(1);
+
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Branch teardown and in-model assertion failures are expected
+            // control flow here (they become Violations); keep stderr quiet.
+            if info.payload().is::<BranchAbort>() || IN_MODEL.with(|f| f.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, Tid) -> R) -> R {
+    CURRENT.with(|c| {
+        let slot = c.borrow();
+        let (exec, tid) = slot
+            .as_ref()
+            .expect("psdns-verify shim primitive used outside explore()");
+        f(exec, *tid)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Operations, objects, threads
+// ---------------------------------------------------------------------------
+
+/// The operation a thread has declared at its current schedule point. Only
+/// metadata — effects are applied by the shim layer once the thread is
+/// granted the step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    Start,
+    Finish,
+    Spawn { child: Tid },
+    Join { target: Tid },
+    MutexLock { m: usize },
+    MutexUnlock { m: usize },
+    CondEnqueue { cv: usize, m: usize },
+    CondReacquire { cv: usize, m: usize, timed: bool },
+    Notify { cv: usize, all: bool },
+    AtomicLoad { a: usize, ord: Ordering },
+    AtomicStore { a: usize, ord: Ordering },
+    AtomicRmw { a: usize, ord: Ordering },
+    CellRead { c: usize },
+    CellWrite { c: usize },
+}
+
+impl Op {
+    /// Object ids this op touches (for the dependence relation).
+    fn objs(&self) -> (Option<usize>, Option<usize>) {
+        match *self {
+            Op::MutexLock { m } | Op::MutexUnlock { m } => (Some(m), None),
+            Op::CondEnqueue { cv, m } | Op::CondReacquire { cv, m, .. } => (Some(cv), Some(m)),
+            Op::Notify { cv, .. } => (Some(cv), None),
+            Op::AtomicLoad { a, .. } | Op::AtomicStore { a, .. } | Op::AtomicRmw { a, .. } => {
+                (Some(a), None)
+            }
+            Op::CellRead { c } | Op::CellWrite { c } => (Some(c), None),
+            _ => (None, None),
+        }
+    }
+}
+
+/// Two declared ops are *dependent* when their order can matter. Used only
+/// to wake sleeping threads, so being conservatively `true` is sound (it
+/// just prunes less).
+fn dependent(a: &Op, b: &Op) -> bool {
+    match (a, b) {
+        (Op::AtomicLoad { .. }, Op::AtomicLoad { .. }) => false,
+        (Op::CellRead { .. }, Op::CellRead { .. }) => false,
+        _ => {
+            let (a0, a1) = a.objs();
+            let (b0, b1) = b.objs();
+            let (av, bv) = ([a0, a1], [b0, b1]);
+            let shares = av
+                .iter()
+                .flatten()
+                .any(|x| bv.iter().flatten().any(|y| x == y));
+            // Ops with no object footprint (spawn/join/finish) are treated
+            // as dependent with everything.
+            shares || av.iter().all(|o| o.is_none()) || bv.iter().all(|o| o.is_none())
+        }
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+type VClock = Vec<u64>;
+
+fn vc_join(a: &mut VClock, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &x) in b.iter().enumerate() {
+        if a[i] < x {
+            a[i] = x;
+        }
+    }
+}
+
+fn vc_get(a: &[u64], i: usize) -> u64 {
+    a.get(i).copied().unwrap_or(0)
+}
+
+pub(crate) enum ObjState {
+    Mutex {
+        owner: Option<Tid>,
+        vc: VClock,
+        name: String,
+    },
+    Cond {
+        waiters: Vec<Tid>,
+        name: String,
+    },
+    Atomic {
+        val: u64,
+        /// Release-sequence clock: set by `Release` stores, accumulated by
+        /// release RMWs, kept (not extended) by relaxed RMWs, cleared by
+        /// relaxed stores. Acquire loads join it into the reader's clock.
+        sync_vc: VClock,
+        name: String,
+    },
+    Cell {
+        write: Option<(Tid, u64)>,
+        reads: Vec<u64>,
+        name: String,
+    },
+}
+
+impl ObjState {
+    pub(crate) fn new_mutex(name: &str) -> Self {
+        ObjState::Mutex {
+            owner: None,
+            vc: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    pub(crate) fn new_cond(name: &str) -> Self {
+        ObjState::Cond {
+            waiters: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    pub(crate) fn new_atomic(name: &str, val: u64) -> Self {
+        ObjState::Atomic {
+            val,
+            sync_vc: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    pub(crate) fn new_cell(name: &str) -> Self {
+        ObjState::Cell {
+            write: None,
+            reads: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            ObjState::Mutex { name, .. }
+            | ObjState::Cond { name, .. }
+            | ObjState::Atomic { name, .. }
+            | ObjState::Cell { name, .. } => name,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Registered by `spawn`, runnable once the parent's Spawn op executes.
+    NotStarted,
+    Ready,
+    Finished,
+}
+
+struct ThreadInfo {
+    name: String,
+    status: Status,
+    pending: Option<Op>,
+    /// Set by the scheduler when this thread is given the step; consumed by
+    /// the thread when it executes its pending op. Distinguishes "I am the
+    /// running thread declaring my next op" from "I was already granted a
+    /// step I have not consumed yet" (a freshly spawned thread can observe
+    /// the latter).
+    granted: bool,
+    /// For condvar waiters: set by a Notify op, consumed by CondReacquire.
+    notified: bool,
+    vc: VClock,
+}
+
+// ---------------------------------------------------------------------------
+// Violations & reports
+// ---------------------------------------------------------------------------
+
+/// A property violation found on some schedule, with the schedule itself.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    /// Executed schedule, one line per step (`t1(worker) lock(state)`).
+    pub trace: Vec<String>,
+}
+
+#[derive(Clone, Debug)]
+pub enum ViolationKind {
+    /// Unfinished threads exist but none is enabled.
+    Deadlock { waiting: Vec<String> },
+    /// Conflicting plain accesses with no happens-before edge.
+    DataRace {
+        object: String,
+        access: String,
+        prior: String,
+    },
+    /// A model thread panicked (assertion failure).
+    Panic { thread: String, message: String },
+    /// The execution exceeded [`Config::max_steps`] (livelock or an
+    /// unbounded spin loop — models must not poll).
+    StepLimit,
+    /// A replayed prefix diverged: the model is not deterministic.
+    Nondeterminism,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::Deadlock { waiting } => {
+                writeln!(f, "deadlock: no enabled thread; waiting:")?;
+                for w in waiting {
+                    writeln!(f, "  {w}")?;
+                }
+            }
+            ViolationKind::DataRace {
+                object,
+                access,
+                prior,
+            } => {
+                writeln!(
+                    f,
+                    "data race on `{object}`: {access} unordered with {prior}"
+                )?;
+            }
+            ViolationKind::Panic { thread, message } => {
+                writeln!(f, "panic in {thread}: {message}")?;
+            }
+            ViolationKind::StepLimit => writeln!(f, "step limit exceeded (livelock?)")?,
+            ViolationKind::Nondeterminism => {
+                writeln!(f, "schedule replay diverged: model is nondeterministic")?
+            }
+        }
+        writeln!(f, "schedule ({} steps):", self.trace.len())?;
+        let skip = self.trace.len().saturating_sub(60);
+        if skip > 0 {
+            writeln!(f, "  ... {skip} earlier steps elided ...")?;
+        }
+        for line in &self.trace[skip..] {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration knobs. The defaults fit the in-tree protocol models.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Max preemptive context switches per schedule (`None` = unbounded).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; exceeding it leaves
+    /// [`Report::complete`] false.
+    pub max_iterations: u64,
+    /// Hard cap on steps per schedule (catches accidental spin loops).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: Some(2),
+            max_iterations: 200_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_bound(bound: usize) -> Self {
+        Self {
+            preemption_bound: Some(bound),
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules executed (including pruned ones).
+    pub iterations: u64,
+    /// Branches abandoned by sleep-set / preemption-bound pruning.
+    pub pruned: u64,
+    /// The DFS drained the whole bounded schedule tree.
+    pub complete: bool,
+    /// Deepest schedule (steps) seen.
+    pub max_depth: usize,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panic (with the offending schedule) unless the exploration completed
+    /// with no violation.
+    pub fn assert_clean(&self, what: &str) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model `{what}`: violation after {} schedules:\n{v}",
+                self.iterations
+            );
+        }
+        assert!(
+            self.complete,
+            "model `{what}`: exploration did not complete within the iteration budget \
+             ({} schedules run)",
+            self.iterations
+        );
+    }
+
+    /// Panic unless a violation was found; returns it otherwise.
+    pub fn expect_violation(&self, what: &str) -> &Violation {
+        self.violation.as_ref().unwrap_or_else(|| {
+            panic!(
+                "model `{what}`: expected a violation, but {} schedules were clean (complete: {})",
+                self.iterations, self.complete
+            )
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct PrefixStep {
+    chosen: Tid,
+    /// Exhausted sibling choices put to sleep for this branch.
+    sleep_add: Vec<Tid>,
+}
+
+/// A frontier decision recorded during one run.
+struct NodeSnapshot {
+    enabled: Vec<Tid>,
+    sleep: BTreeSet<Tid>,
+    running_before: Option<Tid>,
+    preemptions_before: usize,
+    chosen: Tid,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadInfo>,
+    objects: Vec<ObjState>,
+    running: Option<Tid>,
+    last_running: Option<Tid>,
+    prefix: Vec<PrefixStep>,
+    new_nodes: Vec<NodeSnapshot>,
+    schedule_len: usize,
+    /// Multi-choice steps taken so far (indexes into `prefix`); steps with a
+    /// single enabled thread are not decision points and are not recorded.
+    decisions: usize,
+    sleep: BTreeSet<Tid>,
+    preemptions: usize,
+    trace: Vec<String>,
+    violation: Option<Violation>,
+    abort: bool,
+    pruned: bool,
+    all_done: bool,
+    live_threads: usize,
+    /// OS threads (not counting the driver) that have not yet exited.
+    os_live: usize,
+    os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    bound: Option<usize>,
+    max_steps: usize,
+}
+
+impl ExecState {
+    fn is_enabled(&self, t: Tid) -> bool {
+        let th = &self.threads[t];
+        if th.status != Status::Ready {
+            return false;
+        }
+        let Some(op) = &th.pending else { return false };
+        match *op {
+            Op::MutexLock { m } => self.mutex_free(m),
+            Op::CondReacquire { m, timed, .. } => (th.notified || timed) && self.mutex_free(m),
+            Op::Join { target } => self.threads[target].status == Status::Finished,
+            _ => true,
+        }
+    }
+
+    fn mutex_free(&self, m: usize) -> bool {
+        matches!(&self.objects[m], ObjState::Mutex { owner: None, .. })
+    }
+
+    fn thread_label(&self, t: Tid) -> String {
+        format!("t{t}({})", self.threads[t].name)
+    }
+
+    fn op_desc(&self, op: &Op) -> String {
+        let on = |i: usize| self.objects[i].name().to_string();
+        match *op {
+            Op::Start => "start".into(),
+            Op::Finish => "finish".into(),
+            Op::Spawn { child } => format!("spawn(t{child})"),
+            Op::Join { target } => format!("join(t{target})"),
+            Op::MutexLock { m } => format!("lock({})", on(m)),
+            Op::MutexUnlock { m } => format!("unlock({})", on(m)),
+            Op::CondEnqueue { cv, .. } => format!("wait-enqueue({})", on(cv)),
+            Op::CondReacquire { cv, timed, .. } => {
+                if timed {
+                    format!("wait-wake-timed({})", on(cv))
+                } else {
+                    format!("wait-wake({})", on(cv))
+                }
+            }
+            Op::Notify { cv, all } => {
+                if all {
+                    format!("notify_all({})", on(cv))
+                } else {
+                    format!("notify_one({})", on(cv))
+                }
+            }
+            Op::AtomicLoad { a, ord } => format!("load({}, {ord:?})", on(a)),
+            Op::AtomicStore { a, ord } => format!("store({}, {ord:?})", on(a)),
+            Op::AtomicRmw { a, ord } => format!("rmw({}, {ord:?})", on(a)),
+            Op::CellRead { c } => format!("read({})", on(c)),
+            Op::CellWrite { c } => format!("write({})", on(c)),
+        }
+    }
+
+    fn register_thread(&mut self, name: &str, status: Status, pending: Option<Op>) -> Tid {
+        let tid = self.threads.len();
+        assert!(tid < 16, "model spawned too many threads");
+        self.threads.push(ThreadInfo {
+            name: name.to_string(),
+            status,
+            pending,
+            granted: false,
+            notified: false,
+            vc: vec![0; tid + 1],
+        });
+        self.os_handles.push(None);
+        tid
+    }
+
+    fn register_object(&mut self, obj: ObjState) -> usize {
+        self.objects.push(obj);
+        self.objects.len() - 1
+    }
+
+    fn tick(&mut self, t: Tid) {
+        let vc = &mut self.threads[t].vc;
+        if vc.len() <= t {
+            vc.resize(t + 1, 0);
+        }
+        vc[t] += 1;
+    }
+
+    // -- effect helpers (called by the shim while holding the state lock) --
+
+    pub(crate) fn mutex_lock_effect(&mut self, t: Tid, m: usize) {
+        let mvc = match &mut self.objects[m] {
+            ObjState::Mutex { owner, vc, .. } => {
+                debug_assert!(owner.is_none());
+                *owner = Some(t);
+                vc.clone()
+            }
+            _ => unreachable!("not a mutex"),
+        };
+        vc_join(&mut self.threads[t].vc, &mvc);
+    }
+
+    pub(crate) fn mutex_unlock_effect(&mut self, t: Tid, m: usize) {
+        let tvc = self.threads[t].vc.clone();
+        match &mut self.objects[m] {
+            ObjState::Mutex { owner, vc, .. } => {
+                debug_assert_eq!(*owner, Some(t));
+                *owner = None;
+                vc_join(vc, &tvc);
+            }
+            _ => unreachable!("not a mutex"),
+        }
+    }
+
+    /// Direct release with no schedule point — used by guard drops during
+    /// branch teardown (panic unwinding).
+    pub(crate) fn mutex_force_release(&mut self, t: Tid, m: usize) {
+        if let ObjState::Mutex { owner, .. } = &mut self.objects[m] {
+            if *owner == Some(t) {
+                *owner = None;
+            }
+        }
+    }
+
+    pub(crate) fn cond_enqueue_effect(&mut self, t: Tid, cv: usize, m: usize) {
+        self.threads[t].notified = false;
+        match &mut self.objects[cv] {
+            ObjState::Cond { waiters, .. } => waiters.push(t),
+            _ => unreachable!("not a condvar"),
+        }
+        self.mutex_unlock_effect(t, m);
+    }
+
+    /// Returns `true` if the wakeup was a notification (vs a timeout).
+    pub(crate) fn cond_reacquire_effect(&mut self, t: Tid, cv: usize, m: usize) -> bool {
+        let was_notified = self.threads[t].notified;
+        self.threads[t].notified = false;
+        if !was_notified {
+            // Timed out: leave the wait queue ourselves.
+            if let ObjState::Cond { waiters, .. } = &mut self.objects[cv] {
+                waiters.retain(|&w| w != t);
+            }
+        }
+        self.mutex_lock_effect(t, m);
+        was_notified
+    }
+
+    pub(crate) fn notify_effect(&mut self, cv: usize, all: bool) {
+        let woken: Vec<Tid> = match &mut self.objects[cv] {
+            ObjState::Cond { waiters, .. } => {
+                if all {
+                    std::mem::take(waiters)
+                } else if waiters.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![waiters.remove(0)]
+                }
+            }
+            _ => unreachable!("not a condvar"),
+        };
+        for w in woken {
+            self.threads[w].notified = true;
+        }
+    }
+
+    pub(crate) fn atomic_load_effect(&mut self, t: Tid, a: usize, ord: Ordering) -> u64 {
+        let (val, svc) = match &self.objects[a] {
+            ObjState::Atomic { val, sync_vc, .. } => (*val, sync_vc.clone()),
+            _ => unreachable!("not an atomic"),
+        };
+        if is_acquire(ord) {
+            vc_join(&mut self.threads[t].vc, &svc);
+        }
+        val
+    }
+
+    pub(crate) fn atomic_store_effect(&mut self, t: Tid, a: usize, ord: Ordering, v: u64) {
+        let tvc = self.threads[t].vc.clone();
+        match &mut self.objects[a] {
+            ObjState::Atomic { val, sync_vc, .. } => {
+                *val = v;
+                if is_release(ord) {
+                    *sync_vc = tvc;
+                } else {
+                    // A plain relaxed store heads a new release sequence
+                    // with no release edge.
+                    sync_vc.clear();
+                }
+            }
+            _ => unreachable!("not an atomic"),
+        }
+    }
+
+    pub(crate) fn atomic_rmw_effect(
+        &mut self,
+        t: Tid,
+        a: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let svc = match &self.objects[a] {
+            ObjState::Atomic { sync_vc, .. } => sync_vc.clone(),
+            _ => unreachable!("not an atomic"),
+        };
+        if is_acquire(ord) {
+            vc_join(&mut self.threads[t].vc, &svc);
+        }
+        let tvc = self.threads[t].vc.clone();
+        match &mut self.objects[a] {
+            ObjState::Atomic { val, sync_vc, .. } => {
+                let old = *val;
+                *val = f(old);
+                if is_release(ord) {
+                    // RMWs extend the release sequence: accumulate.
+                    vc_join(sync_vc, &tvc);
+                }
+                old
+            }
+            _ => unreachable!("not an atomic"),
+        }
+    }
+
+    /// Compare-exchange; returns `Ok(old)` on success, `Err(old)` otherwise.
+    pub(crate) fn atomic_cas_effect(
+        &mut self,
+        t: Tid,
+        a: usize,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let (old, _svc) = match &self.objects[a] {
+            ObjState::Atomic { val, sync_vc, .. } => (*val, sync_vc.clone()),
+            _ => unreachable!("not an atomic"),
+        };
+        if old == current {
+            self.atomic_rmw_effect(t, a, success, |_| new);
+            Ok(old)
+        } else {
+            if is_acquire(failure) {
+                let svc = match &self.objects[a] {
+                    ObjState::Atomic { sync_vc, .. } => sync_vc.clone(),
+                    _ => unreachable!(),
+                };
+                vc_join(&mut self.threads[t].vc, &svc);
+            }
+            Err(old)
+        }
+    }
+
+    /// Race-check a plain-cell access. `Err` carries the violation to raise.
+    pub(crate) fn cell_access_effect(
+        &mut self,
+        t: Tid,
+        c: usize,
+        is_write: bool,
+    ) -> Result<(), ViolationKind> {
+        let tvc = self.threads[t].vc.clone();
+        let me = self.thread_label(t);
+        let (name, write, reads) = match &mut self.objects[c] {
+            ObjState::Cell {
+                name, write, reads, ..
+            } => (name.clone(), write, reads),
+            _ => unreachable!("not a race cell"),
+        };
+        if let Some((wt, we)) = *write {
+            if wt != t && vc_get(&tvc, wt) < we {
+                return Err(ViolationKind::DataRace {
+                    object: name,
+                    access: format!("{} by {me}", if is_write { "write" } else { "read" }),
+                    prior: format!("write by t{wt}"),
+                });
+            }
+        }
+        if is_write {
+            for (rt, &re) in reads.iter().enumerate() {
+                if re > 0 && rt != t && vc_get(&tvc, rt) < re {
+                    return Err(ViolationKind::DataRace {
+                        object: name,
+                        access: format!("write by {me}"),
+                        prior: format!("read by t{rt}"),
+                    });
+                }
+            }
+            *write = Some((t, vc_get(&tvc, t)));
+            reads.clear();
+        } else {
+            if reads.len() <= t {
+                reads.resize(t + 1, 0);
+            }
+            reads[t] = vc_get(&tvc, t);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution (the per-iteration controller)
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Execution {
+    pub(crate) id: u64,
+    state: OsMutex<ExecState>,
+    cv: OsCondvar,
+}
+
+impl Execution {
+    fn new(prefix: Vec<PrefixStep>, bound: Option<usize>, max_steps: usize) -> Self {
+        Self {
+            id: EXEC_IDS.fetch_add(1, Ordering::Relaxed),
+            state: OsMutex::new(ExecState {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                running: None,
+                last_running: None,
+                prefix,
+                new_nodes: Vec::new(),
+                schedule_len: 0,
+                decisions: 0,
+                sleep: BTreeSet::new(),
+                preemptions: 0,
+                trace: Vec::new(),
+                violation: None,
+                abort: false,
+                pruned: false,
+                all_done: false,
+                live_threads: 0,
+                os_live: 0,
+                os_handles: Vec::new(),
+                bound,
+                max_steps,
+            }),
+            cv: OsCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> OsGuard<'_, ExecState> {
+        // The inner mutex is never poisoned observably: branch teardown
+        // releases it before unwinding past lock scopes.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register_object(&self, obj: ObjState) -> usize {
+        self.lock().register_object(obj)
+    }
+
+    /// Record a violation and tear the branch down.
+    pub(crate) fn raise(&self, st: &mut ExecState, kind: ViolationKind) {
+        if st.violation.is_none() && !st.pruned {
+            st.violation = Some(Violation {
+                kind,
+                trace: st.trace.clone(),
+            });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Declare `op` for `tid`, yield to the scheduler, and return the state
+    /// lock once the step is granted. The caller applies the op's effects
+    /// under the returned guard and then continues running model code.
+    pub(crate) fn acquire(&self, tid: Tid, op: Op) -> OsGuard<'_, ExecState> {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(BranchAbort);
+        }
+        st.threads[tid].pending = Some(op);
+        if st.running == Some(tid) && !st.threads[tid].granted {
+            // We are the running thread yielding at a schedule point.
+            self.pick_next(&mut st);
+        }
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(BranchAbort);
+            }
+            if st.running == Some(tid) && st.threads[tid].granted {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        // Granted: consume the pending op, record it, advance the clock and
+        // wake dependent sleepers.
+        st.threads[tid].granted = false;
+        let op = st.threads[tid].pending.take().expect("granted without op");
+        st.tick(tid);
+        let line = format!("{} {}", st.thread_label(tid), st.op_desc(&op));
+        st.trace.push(line);
+        let sleepers: Vec<Tid> = st.sleep.iter().copied().collect();
+        for u in sleepers {
+            let dep = match &st.threads[u].pending {
+                Some(p) => dependent(&op, p),
+                None => true,
+            };
+            if dep {
+                st.sleep.remove(&u);
+            }
+        }
+        st
+    }
+
+    /// The scheduling decision: called with the state locked, by the thread
+    /// that is giving up the step.
+    fn pick_next(&self, st: &mut ExecState) {
+        st.running = None;
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| st.is_enabled(t))
+            .collect();
+        if enabled.is_empty() {
+            if st.live_threads == 0 {
+                st.all_done = true;
+            } else {
+                let waiting = (0..st.threads.len())
+                    .filter(|&t| st.threads[t].status != Status::Finished)
+                    .map(|t| {
+                        let opd = st.threads[t]
+                            .pending
+                            .as_ref()
+                            .map(|o| st.op_desc(o))
+                            .unwrap_or_else(|| "<no pending op>".into());
+                        format!("{} blocked at {opd}", st.thread_label(t))
+                    })
+                    .collect();
+                self.raise(st, ViolationKind::Deadlock { waiting });
+                return;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.schedule_len >= st.max_steps {
+            self.raise(st, ViolationKind::StepLimit);
+            return;
+        }
+        let cands: Vec<Tid> = enabled
+            .iter()
+            .copied()
+            .filter(|t| !st.sleep.contains(t))
+            .collect();
+        if cands.is_empty() {
+            // Every enabled thread is asleep: this branch only replays
+            // already-covered interleavings — abandon it.
+            st.pruned = true;
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        let choice = if enabled.len() == 1 {
+            // Not a decision point: exactly one thread can move.
+            enabled[0]
+        } else if st.decisions < st.prefix.len() {
+            let ps = st.prefix[st.decisions].clone();
+            st.decisions += 1;
+            for s in ps.sleep_add {
+                st.sleep.insert(s);
+            }
+            if !enabled.contains(&ps.chosen) {
+                self.raise(st, ViolationKind::Nondeterminism);
+                return;
+            }
+            ps.chosen
+        } else {
+            st.decisions += 1;
+            let last_enabled = st.last_running.is_some_and(|l| enabled.contains(&l));
+            let pick = if let Some(l) = st.last_running.filter(|l| cands.contains(l)) {
+                Some(l)
+            } else {
+                let cost = usize::from(last_enabled);
+                if st.bound.is_none_or(|b| st.preemptions + cost <= b) {
+                    cands.first().copied()
+                } else {
+                    None
+                }
+            };
+            let Some(c) = pick else {
+                // Bound-blocked: every fresh candidate would exceed the
+                // preemption budget — abandon the branch.
+                st.pruned = true;
+                st.abort = true;
+                self.cv.notify_all();
+                return;
+            };
+            st.new_nodes.push(NodeSnapshot {
+                enabled: enabled.clone(),
+                sleep: st.sleep.clone(),
+                running_before: st.last_running,
+                preemptions_before: st.preemptions,
+                chosen: c,
+            });
+            c
+        };
+        if let Some(l) = st.last_running {
+            if l != choice && enabled.contains(&l) {
+                st.preemptions += 1;
+            }
+        }
+        st.schedule_len += 1;
+        st.sleep.remove(&choice);
+        st.threads[choice].granted = true;
+        st.running = Some(choice);
+        st.last_running = Some(choice);
+        self.cv.notify_all();
+    }
+
+    /// Thread body wrapper for spawned model threads.
+    fn thread_main(self: Arc<Self>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&self), tid)));
+        IN_MODEL.with(|m| m.set(true));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Consume the Start grant through the normal acquire path before
+            // any model code runs. Without this, a grant issued for the
+            // always-enabled Start placeholder would be stolen by the
+            // closure's first real op — which may be disabled (e.g. a lock on
+            // a held mutex), breaking the scheduler's enabledness invariant.
+            drop(self.acquire(tid, Op::Start));
+            f();
+        }));
+        match result {
+            Ok(()) => {
+                let _ = catch_unwind(AssertUnwindSafe(|| self.retire(tid)));
+            }
+            Err(payload) => self.handle_panic(tid, payload),
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        IN_MODEL.with(|m| m.set(false));
+        let mut st = self.lock();
+        st.os_live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Declare and execute the Finish op, then hand the step off without
+    /// waiting for another grant (this thread is done).
+    fn retire(&self, tid: Tid) {
+        let mut st = self.acquire(tid, Op::Finish);
+        st.threads[tid].status = Status::Finished;
+        st.live_threads -= 1;
+        self.pick_next(&mut st);
+    }
+
+    fn handle_panic(&self, tid: Tid, payload: Box<dyn std::any::Any + Send>) {
+        if payload.is::<BranchAbort>() {
+            // Teardown of an abandoned branch: account the thread as gone so
+            // deadlock detection on other (still live) paths stays accurate.
+            let mut st = self.lock();
+            if st.threads[tid].status != Status::Finished {
+                st.threads[tid].status = Status::Finished;
+                st.live_threads -= 1;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".into());
+        let mut st = self.lock();
+        let thread = st.thread_label(tid);
+        if st.threads[tid].status != Status::Finished {
+            st.threads[tid].status = Status::Finished;
+            st.live_threads -= 1;
+        }
+        self.raise(&mut st, ViolationKind::Panic { thread, message });
+    }
+
+    /// Called by the shim `spawn`: allocate the child, schedule the Spawn
+    /// op, then start the OS thread.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        parent: Tid,
+        name: &str,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> Tid {
+        let child = {
+            let mut st = self.lock();
+            let child = st.register_thread(name, Status::NotStarted, Some(Op::Start));
+            st.live_threads += 1;
+            child
+        };
+        {
+            let mut st = self.acquire(parent, Op::Spawn { child });
+            // Child inherits the parent's clock (spawn edge) and becomes
+            // schedulable; its first granted op is the no-op Start.
+            let pvc = st.threads[parent].vc.clone();
+            vc_join(&mut st.threads[child].vc, &pvc);
+            st.threads[child].status = Status::Ready;
+            st.os_live += 1;
+        }
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("model-{name}"))
+            .spawn(move || exec.thread_main(child, f))
+            .expect("spawn model thread");
+        self.lock().os_handles[child] = Some(handle);
+        child
+    }
+
+    /// Scheduler half of `JoinHandle::join`: blocks (in model time) until
+    /// the target finished, then creates the join edge.
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        let mut st = self.acquire(me, Op::Join { target });
+        let cvc = st.threads[target].vc.clone();
+        vc_join(&mut st.threads[me].vc, &cvc);
+    }
+
+    pub(crate) fn take_os_handle(&self, target: Tid) -> Option<std::thread::JoinHandle<()>> {
+        self.lock().os_handles[target].take()
+    }
+
+    /// Release a mutex without a schedule point — guard drops during branch
+    /// teardown (unwinding) must not panic again.
+    pub(crate) fn force_release(&self, tid: Tid, m: usize) {
+        self.lock().mutex_force_release(tid, m);
+    }
+
+    /// Wait until every spawned OS thread has exited (normally or via
+    /// branch teardown).
+    fn wait_quiescent(&self) {
+        let mut st = self.lock();
+        while st.os_live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+struct StackNode {
+    enabled: Vec<Tid>,
+    sleep: BTreeSet<Tid>,
+    running_before: Option<Tid>,
+    preemptions_before: usize,
+    chosen: Tid,
+    tried: BTreeSet<Tid>,
+}
+
+fn next_candidate(n: &StackNode, bound: Option<usize>) -> Option<Tid> {
+    let mut order: Vec<Tid> = Vec::with_capacity(n.enabled.len());
+    if let Some(l) = n.running_before {
+        if n.enabled.contains(&l) {
+            order.push(l);
+        }
+    }
+    for &t in &n.enabled {
+        if Some(t) != n.running_before {
+            order.push(t);
+        }
+    }
+    for c in order {
+        if n.tried.contains(&c) || n.sleep.contains(&c) {
+            continue;
+        }
+        let cost = match n.running_before {
+            Some(l) if l != c && n.enabled.contains(&l) => 1,
+            _ => 0,
+        };
+        if bound.is_none_or(|b| n.preemptions_before + cost <= b) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Exhaustively explore the model's thread interleavings within
+/// [`Config::preemption_bound`], stopping at the first violation.
+///
+/// The closure is run once per schedule and must be deterministic apart
+/// from scheduling: all inter-thread communication must go through the
+/// [`crate::shim`] primitives, and it must not spin-poll (use condvars).
+pub fn explore<F: Fn()>(cfg: &Config, model: F) -> Report {
+    install_panic_hook();
+    let mut stack: Vec<StackNode> = Vec::new();
+    let mut report = Report {
+        iterations: 0,
+        pruned: 0,
+        complete: false,
+        max_depth: 0,
+        violation: None,
+    };
+    loop {
+        if report.iterations >= cfg.max_iterations {
+            break;
+        }
+        report.iterations += 1;
+        let prefix: Vec<PrefixStep> = stack
+            .iter()
+            .map(|n| PrefixStep {
+                chosen: n.chosen,
+                sleep_add: n.tried.iter().copied().filter(|&c| c != n.chosen).collect(),
+            })
+            .collect();
+        let exec = Arc::new(Execution::new(prefix, cfg.preemption_bound, cfg.max_steps));
+        {
+            let mut st = exec.lock();
+            st.register_thread("main", Status::Ready, None);
+            st.live_threads = 1;
+            st.running = Some(0);
+            st.last_running = Some(0);
+        }
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+        IN_MODEL.with(|m| m.set(true));
+        let result = catch_unwind(AssertUnwindSafe(&model));
+        match result {
+            Ok(()) => {
+                let _ = catch_unwind(AssertUnwindSafe(|| exec.retire(0)));
+            }
+            Err(payload) => exec.handle_panic(0, payload),
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        IN_MODEL.with(|m| m.set(false));
+        exec.wait_quiescent();
+        // Reap any OS threads the model did not join.
+        let handles: Vec<_> = {
+            let mut st = exec.lock();
+            st.os_handles.iter_mut().filter_map(|h| h.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let (violation, pruned, new_nodes, depth) = {
+            let mut st = exec.lock();
+            (
+                st.violation.take(),
+                st.pruned,
+                std::mem::take(&mut st.new_nodes),
+                st.schedule_len,
+            )
+        };
+        report.max_depth = report.max_depth.max(depth);
+        if let Some(v) = violation {
+            report.violation = Some(v);
+            break;
+        }
+        if pruned {
+            report.pruned += 1;
+        }
+        for n in new_nodes {
+            let mut tried = BTreeSet::new();
+            tried.insert(n.chosen);
+            stack.push(StackNode {
+                enabled: n.enabled,
+                sleep: n.sleep,
+                running_before: n.running_before,
+                preemptions_before: n.preemptions_before,
+                chosen: n.chosen,
+                tried,
+            });
+        }
+        // Backtrack to the deepest node with an untried, in-budget sibling.
+        let advanced = loop {
+            let Some(top) = stack.last_mut() else {
+                break false;
+            };
+            if let Some(c) = next_candidate(top, cfg.preemption_bound) {
+                top.tried.insert(c);
+                top.chosen = c;
+                break true;
+            }
+            stack.pop();
+        };
+        if !advanced {
+            report.complete = true;
+            break;
+        }
+    }
+    report
+}

@@ -1,0 +1,442 @@
+//! Shimmed synchronization primitives for model code.
+//!
+//! Drop-in lookalikes of `psdns_sync::{Mutex, Condvar}` and
+//! `std::sync::atomic::*` whose every operation is a schedule point of the
+//! [`crate::sched`] controller, plus [`RaceCell`] — a plain (non-atomic)
+//! cell whose accesses are race-checked with vector clocks. Model code must
+//! use these exclusively for inter-thread communication; each object is
+//! bound to the iteration that created it and panics if reused across
+//! [`crate::explore`] iterations.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::sched::{with_current, BranchAbort, ExecState, Execution, ObjState, Op, Tid};
+
+fn check_exec(exec: &Execution, exec_id: u64) {
+    assert_eq!(
+        exec.id, exec_id,
+        "psdns-verify shim object reused across explore() iterations \
+         (construct all model state inside the model closure)"
+    );
+}
+
+fn raise_and_abort(
+    exec: &Execution,
+    mut st: std::sync::MutexGuard<'_, ExecState>,
+    kind: crate::sched::ViolationKind,
+) -> ! {
+    exec.raise(&mut st, kind);
+    drop(st);
+    std::panic::panic_any(BranchAbort)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+/// A model mutex with the same non-poisoning surface as `psdns_sync::Mutex`.
+pub struct Mutex<T> {
+    exec_id: u64,
+    id: usize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs exactly one model thread at a time and the
+// lock discipline (enabledness of `MutexLock`) guarantees mutually
+// exclusive access to `value`; every handoff between threads synchronizes
+// through the controller's own `std::sync::Mutex`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only exposes `value` through `lock()`,
+// which the scheduler serializes.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self::named("mutex", value)
+    }
+
+    pub fn named(name: &str, value: T) -> Self {
+        with_current(|exec, _| Self {
+            exec_id: exec.id,
+            id: exec.register_object(ObjState::new_mutex(name)),
+            value: UnsafeCell::new(value),
+        })
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::MutexLock { m: self.id });
+            st.mutex_lock_effect(tid, self.id);
+        });
+        MutexGuard { mutex: self }
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: this thread holds the model lock (guard invariant), so the
+        // scheduler admits no other accessor until the guard unlocks.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive access for the critical section.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        with_current(|exec, tid| {
+            if std::thread::panicking() {
+                // Branch teardown (or a model assertion unwinding): release
+                // directly, with no schedule point — panicking here would
+                // abort the process.
+                exec.force_release(tid, self.mutex.id);
+            } else {
+                let mut st = exec.acquire(tid, Op::MutexUnlock { m: self.mutex.id });
+                st.mutex_unlock_effect(tid, self.mutex.id);
+            }
+        });
+    }
+}
+
+/// A model condvar mirroring `psdns_sync::Condvar`. `wait_timeout` is
+/// nondeterministic: the scheduler explores both the notified and the
+/// timed-out wakeup.
+pub struct Condvar {
+    exec_id: u64,
+    id: usize,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self::named("condvar")
+    }
+
+    pub fn named(name: &str) -> Self {
+        with_current(|exec, _| Self {
+            exec_id: exec.id,
+            id: exec.register_object(ObjState::new_cond(name)),
+        })
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let m = guard.mutex.id;
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            {
+                let mut st = exec.acquire(tid, Op::CondEnqueue { cv: self.id, m });
+                st.cond_enqueue_effect(tid, self.id, m);
+            }
+            let mut st = exec.acquire(
+                tid,
+                Op::CondReacquire {
+                    cv: self.id,
+                    m,
+                    timed: false,
+                },
+            );
+            st.cond_reacquire_effect(tid, self.id, m);
+        });
+    }
+
+    /// Returns `true` if the wakeup was a timeout (the duration itself is
+    /// ignored — model time is schedule order).
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, _limit: Duration) -> bool {
+        let m = guard.mutex.id;
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            {
+                let mut st = exec.acquire(tid, Op::CondEnqueue { cv: self.id, m });
+                st.cond_enqueue_effect(tid, self.id, m);
+            }
+            let mut st = exec.acquire(
+                tid,
+                Op::CondReacquire {
+                    cv: self.id,
+                    m,
+                    timed: true,
+                },
+            );
+            !st.cond_reacquire_effect(tid, self.id, m)
+        })
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(false);
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(true);
+    }
+
+    fn notify(&self, all: bool) {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::Notify { cv: self.id, all });
+            st.notify_effect(self.id, all);
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+struct AtomicInner {
+    exec_id: u64,
+    id: usize,
+}
+
+impl AtomicInner {
+    fn new(name: &str, init: u64) -> Self {
+        with_current(|exec, _| Self {
+            exec_id: exec.id,
+            id: exec.register_object(ObjState::new_atomic(name, init)),
+        })
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::AtomicLoad { a: self.id, ord });
+            st.atomic_load_effect(tid, self.id, ord)
+        })
+    }
+
+    fn store(&self, v: u64, ord: Ordering) {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::AtomicStore { a: self.id, ord });
+            st.atomic_store_effect(tid, self.id, ord, v);
+        });
+    }
+
+    fn rmw(&self, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::AtomicRmw { a: self.id, ord });
+            st.atomic_rmw_effect(tid, self.id, ord, f)
+        })
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(
+                tid,
+                Op::AtomicRmw {
+                    a: self.id,
+                    ord: success,
+                },
+            );
+            st.atomic_cas_effect(tid, self.id, current, new, success, failure)
+        })
+    }
+}
+
+macro_rules! shim_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Model atomic: sequentially consistent in *value*; orderings only
+        /// control which happens-before edges the access contributes.
+        pub struct $name(AtomicInner);
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                Self::named(stringify!($name), v)
+            }
+
+            pub fn named(name: &str, v: $ty) -> Self {
+                Self(AtomicInner::new(name, v as u64))
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                self.0.load(ord) as $ty
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                self.0.store(v as u64, ord);
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.rmw(ord, |_| v as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.rmw(ord, |old| old.wrapping_add(v as u64)) as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                self.0.rmw(ord, |old| old.wrapping_sub(v as u64)) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicUsize, usize);
+shim_atomic!(AtomicU64, u64);
+shim_atomic!(AtomicU8, u8);
+
+/// Model `AtomicBool` (stored as 0/1).
+pub struct AtomicBool(AtomicInner);
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        Self::named("AtomicBool", v)
+    }
+
+    pub fn named(name: &str, v: bool) -> Self {
+        Self(AtomicInner::new(name, u64::from(v)))
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(u64::from(v), ord);
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.0.rmw(ord, |_| u64::from(v)) != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell
+// ---------------------------------------------------------------------------
+
+/// Plain (non-atomic) shared data. Conflicting accesses with no
+/// happens-before edge are reported as a [`crate::ViolationKind::DataRace`]
+/// — this is the model-world stand-in for the raw buffers the real code
+/// hands to worker threads.
+pub struct RaceCell<T> {
+    exec_id: u64,
+    id: usize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: every access goes through a scheduler grant (`get`/`set`), and the
+// scheduler runs one model thread at a time with controller-mutex
+// synchronization between steps, so accesses are exclusive in real time even
+// when they race in model time.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    pub fn new(v: T) -> Self {
+        Self::named("cell", v)
+    }
+
+    pub fn named(name: &str, v: T) -> Self {
+        with_current(|exec, _| Self {
+            exec_id: exec.id,
+            id: exec.register_object(ObjState::new_cell(name)),
+            value: UnsafeCell::new(v),
+        })
+    }
+
+    pub fn get(&self) -> T {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::CellRead { c: self.id });
+            match st.cell_access_effect(tid, self.id, false) {
+                // SAFETY: one model thread executes at a time; the read is
+                // exclusive in real time (the race, if any, is in *model*
+                // time and was just reported).
+                Ok(()) => unsafe { *self.value.get() },
+                Err(kind) => raise_and_abort(exec, st, kind),
+            }
+        })
+    }
+
+    pub fn set(&self, v: T) {
+        with_current(|exec, tid| {
+            check_exec(exec, self.exec_id);
+            let mut st = exec.acquire(tid, Op::CellWrite { c: self.id });
+            match st.cell_access_effect(tid, self.id, true) {
+                // SAFETY: as in `get` — real-time exclusive access.
+                Ok(()) => unsafe { *self.value.get() = v },
+                Err(kind) => raise_and_abort(exec, st, kind),
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Model threads: spawned under the scheduler, joined in model time.
+pub mod thread {
+    use super::*;
+
+    pub struct JoinHandle {
+        pub(crate) exec: Arc<Execution>,
+        pub(crate) tid: Tid,
+    }
+
+    impl JoinHandle {
+        pub fn join(self) {
+            with_current(|exec, me| {
+                check_exec(exec, self.exec.id);
+                exec.join_thread(me, self.tid);
+            });
+            if let Some(h) = self.exec.take_os_handle(self.tid) {
+                let _ = h.join();
+            }
+        }
+    }
+
+    pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+        spawn_named("worker", f)
+    }
+
+    pub fn spawn_named<F: FnOnce() + Send + 'static>(name: &str, f: F) -> JoinHandle {
+        with_current(|exec, tid| {
+            let child = exec.spawn_thread(tid, name, Box::new(f));
+            JoinHandle {
+                exec: Arc::clone(exec),
+                tid: child,
+            }
+        })
+    }
+}

@@ -1,0 +1,224 @@
+//! Model-check regression suite — the `model-check` CI stage.
+//!
+//! Each test either proves a shipped protocol clean under exhaustive
+//! bounded exploration, or proves the checker still catches a seeded
+//! reintroduction of a known bug class. Budget: the whole file must run in
+//! well under 60s in CI (see ci.sh stage timings).
+
+use psdns_verify::models::{
+    buddy::{check_buddy_buffered, check_buddy_rendezvous},
+    health::{check_condemn_without_release, check_health_race},
+    pool::{check_pool, PoolVariant},
+    queue::{check_queue, QueueScenario},
+};
+use psdns_verify::{explore, shim, Config, ViolationKind};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Scheduler self-tests: prove the explorer itself finds what it claims to.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explorer_sees_both_orders_of_two_writers() {
+    // A two-writer mutex program has exactly two serializations; the
+    // explorer must visit more than one schedule to have seen both.
+    let report = explore(&Config::with_bound(2), || {
+        let v = Arc::new(shim::Mutex::named("v", 0usize));
+        let v2 = Arc::clone(&v);
+        let h = shim::thread::spawn(move || *v2.lock() = 1);
+        *v.lock() = 2;
+        h.join();
+        let got = *v.lock();
+        assert!(got == 1 || got == 2);
+    });
+    report.assert_clean("two-writer mutex");
+    assert!(report.complete, "exploration should exhaust the space");
+    assert!(
+        report.iterations >= 2,
+        "expected both serializations, saw {} schedule(s)",
+        report.iterations
+    );
+}
+
+#[test]
+fn explorer_flags_unsynchronized_plain_access() {
+    // The canonical missing-edge bug: a plain cell written by a spawned
+    // thread and read by the parent with no ordering between them.
+    let report = explore(&Config::with_bound(2), || {
+        let c = Arc::new(shim::RaceCell::named("c", 0usize));
+        let c2 = Arc::clone(&c);
+        let h = shim::thread::spawn(move || c2.set(1));
+        let _ = c.get();
+        h.join();
+    });
+    let v = report.expect_violation("parent/child plain-cell race");
+    assert!(
+        matches!(v.kind, ViolationKind::DataRace { .. }),
+        "expected a data race, got: {v}"
+    );
+}
+
+#[test]
+fn explorer_flags_lost_wakeup_deadlock() {
+    // Signal-before-wait with no predicate re-check: if the notify lands
+    // first, the waiter sleeps forever. The checker must find that schedule.
+    let report = explore(&Config::with_bound(2), || {
+        let m = Arc::new(shim::Mutex::named("m", ()));
+        let cv = Arc::new(shim::Condvar::named("cv"));
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = shim::thread::spawn(move || {
+            let _g = m2.lock();
+            cv2.notify_one();
+        });
+        {
+            let mut g = m.lock();
+            // Deliberately no predicate: waits unconditionally.
+            cv.wait(&mut g);
+        }
+        h.join();
+    });
+    let v = report.expect_violation("lost wakeup");
+    assert!(
+        matches!(v.kind, ViolationKind::Deadlock { .. }),
+        "expected a deadlock, got: {v}"
+    );
+}
+
+#[test]
+fn release_acquire_edge_suppresses_race() {
+    // Same shape as the race test, but the handoff is published through a
+    // Release store and consumed behind an Acquire load — clean.
+    let report = explore(&Config::with_bound(2), || {
+        use std::sync::atomic::Ordering;
+        let c = Arc::new(shim::RaceCell::named("c", 0usize));
+        let flag = Arc::new(shim::AtomicBool::named("flag", false));
+        let (c2, f2) = (Arc::clone(&c), Arc::clone(&flag));
+        let h = shim::thread::spawn(move || {
+            c2.set(1);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(c.get(), 1);
+        }
+        h.join();
+    });
+    report.assert_clean("release/acquire publication");
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool job/cursor protocol (ISSUE 8 satellite 1 regression).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pool_shipped_two_job_reuse_is_clean() {
+    let report = check_pool(PoolVariant::Shipped, &Config::with_bound(2));
+    report.assert_clean("pool shipped protocol, 2 workers x 2 jobs");
+    assert!(
+        report.complete,
+        "pool exploration must exhaust the bounded space"
+    );
+    assert!(
+        report.iterations >= 50,
+        "suspiciously few schedules ({}) — scheduler regression?",
+        report.iterations
+    );
+}
+
+#[test]
+fn pool_relaxed_cursor_bug_is_caught() {
+    // Seeded reintroduction of the pre-PR-8 all-Relaxed cursor: no
+    // release/acquire edge between a worker's slot write and the caller's
+    // cursor probe, so the fast-path read races.
+    let report = check_pool(PoolVariant::RelaxedCursorFastPath, &Config::with_bound(2));
+    let v = report.expect_violation("relaxed-cursor fast path");
+    assert!(
+        matches!(v.kind, ViolationKind::DataRace { .. }),
+        "expected a data race, got: {v}"
+    );
+}
+
+#[test]
+fn pool_claim_counter_as_completion_is_caught() {
+    // Even with correct orderings, the cursor counts *claims*: a claimed
+    // slot may still be mid-write when cursor >= total. Protocol bug, and
+    // the reason the shipped pool keeps the mutex handshake.
+    let report = check_pool(PoolVariant::AcquireCursorFastPath, &Config::with_bound(2));
+    let v = report.expect_violation("claim-counter-as-completion fast path");
+    assert!(
+        matches!(v.kind, ViolationKind::DataRace { .. }),
+        "expected a data race, got: {v}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// ExecQueue fence vs condemn.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn queue_condemn_drains_and_preserves_fifo() {
+    let report = check_queue(QueueScenario::CondemnDrains, &Config::with_bound(2));
+    report.assert_clean("queue condemn-drains scenario");
+    assert!(report.complete);
+}
+
+#[test]
+fn queue_spurious_deadline_recovers() {
+    let report = check_queue(QueueScenario::RecoverOnCompletion, &Config::with_bound(2));
+    report.assert_clean("queue recover-on-completion scenario");
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor suspect/recover/condemn.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn health_condemn_is_sticky_and_releases() {
+    let report = check_health_race(&Config::with_bound(2));
+    report.assert_clean("health suspect/recover vs condemn race");
+    assert!(report.complete);
+}
+
+#[test]
+fn health_condemn_without_release_deadlocks() {
+    let report = check_condemn_without_release(&Config::with_bound(2));
+    let v = report.expect_violation("condemn without latch release");
+    match &v.kind {
+        ViolationKind::Deadlock { waiting } => {
+            assert!(
+                waiting.iter().any(|w| w.contains("health.waiter")),
+                "deadlock report must name the latch waiter: {waiting:?}"
+            );
+        }
+        other => panic!("expected a deadlock, got: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BuddyStore replication exchange.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn buddy_buffered_exchange_is_clean() {
+    let report = check_buddy_buffered(&Config::with_bound(2));
+    report.assert_clean("buddy buffered exchange");
+    assert!(report.complete);
+}
+
+#[test]
+fn buddy_rendezvous_exchange_deadlocks_all_ranks() {
+    let report = check_buddy_rendezvous(&Config::with_bound(2));
+    let v = report.expect_violation("buddy rendezvous exchange");
+    match &v.kind {
+        ViolationKind::Deadlock { waiting } => {
+            for r in 0..3 {
+                assert!(
+                    waiting.iter().any(|w| w.contains(&format!("buddy.r{r}"))),
+                    "deadlock report must name rank {r}: {waiting:?}"
+                );
+            }
+        }
+        other => panic!("expected a deadlock, got: {other:?}"),
+    }
+}

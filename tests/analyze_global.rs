@@ -1,0 +1,240 @@
+//! Acceptance: the cross-rank deadlock analyzer over *recorded real runs*.
+//!
+//! A [`psdns::analyze::GlobalRecorder`] is attached to every rank's
+//! communicator (and, in the hot-swap scenario, to the device) while two
+//! fault-injected campaigns from earlier PRs execute for real:
+//!
+//! (a) a 2-rank shrink-and-continue recovery (rank 1 crashes mid-campaign,
+//!     rank 0 heals and finishes alone), and
+//! (b) a 2-rank device hot-swap (rank 0's queue hangs mid-step; both ranks
+//!     vote and re-run on the host twin).
+//!
+//! Both recorded runs must analyze deadlock-cycle-free. Mutating the
+//! shrink-recovery log by deleting a single collective post from one rank —
+//! the "failing rank skipped a group a2a post" hazard the recovery path
+//! must never produce — must yield a typed [`DeadlockReport`] naming both
+//! ranks.
+
+use std::time::Duration;
+
+use psdns::analyze::{analyze_global, DeadlockKind, GlobalLint, GlobalRecorder, RankLog, RankOp};
+use psdns::chaos::{ChaosConfig, ChaosEngine, FaultPlan, WatchdogPolicy};
+use psdns::comm::Universe;
+use psdns::core::{
+    run_self_healing, taylor_green, A2aMode, GpuSlabFft, LocalShape, NsConfig, PhysicalField,
+    SelfHealingConfig, SlabFftCpu, TimeScheme,
+};
+use psdns::device::{Device, DeviceConfig};
+
+/// Run the PR-5 shrink-recovery campaign on 2 ranks with a recorder on
+/// every communicator, returning the merged per-rank logs.
+fn record_shrink_recovery() -> Vec<RankLog> {
+    let hub = GlobalRecorder::new();
+    let rec = hub.clone();
+    let mut chaos = ChaosConfig::new(11);
+    chaos.crash_rank = Some(1);
+    chaos.crash = FaultPlan::at(9);
+    Universe::run_resilient(2, ChaosEngine::new(chaos), move |mut comm| {
+        comm.set_global_recorder(&rec);
+        let heal = SelfHealingConfig {
+            until_step: 5,
+            protect_every: 1,
+            replicas: 1,
+            ..Default::default()
+        };
+        let cfg = NsConfig {
+            nu: 0.05,
+            dt: 1e-3,
+            scheme: TimeScheme::Rk2,
+            forcing: None,
+            dealias: true,
+            phase_shift: false,
+        };
+        run_self_healing(
+            comm,
+            8,
+            cfg,
+            heal,
+            SlabFftCpu::<f64>::new,
+            taylor_green::<f64>,
+        )
+        .map(|r| r.map(|r| r.step))
+    })
+    .expect("resilient job never aborts at the universe level");
+    hub.snapshot()
+}
+
+/// Run the PR-6/7 device hot-swap scenario on 2 ranks with recorders on
+/// both the communicators and the (chaos-faulted) devices.
+fn record_hotswap() -> Vec<RankLog> {
+    let hub = GlobalRecorder::new();
+    let rec = hub.clone();
+    Universe::run(2, move |mut comm| {
+        comm.set_global_recorder(&rec);
+        let rank = comm.rank();
+        let shape = LocalShape::new(16, 2, rank);
+        let dev = Device::new(DeviceConfig::tiny(1 << 22));
+        dev.attach_global_recorder(comm.global_recorder().expect("recorder just attached"));
+        if rank == 0 {
+            let mut cfg = ChaosConfig {
+                seed: 42,
+                ..ChaosConfig::default()
+            };
+            cfg.retry.max_retries = 2;
+            cfg.retry.backoff = Duration::from_micros(100);
+            cfg.device_hang = FaultPlan::at(3);
+            dev.attach_chaos(&ChaosEngine::new(cfg));
+        }
+        let mut gpu = GpuSlabFft::<f64>::builder(shape)
+            .comm(comm)
+            .devices(vec![dev])
+            .np(4)
+            .nv(1)
+            .a2a_mode(A2aMode::PerPencil)
+            .cpu_fallback(true)
+            .watchdog(WatchdogPolicy {
+                floor: Duration::from_millis(40),
+                factor: 8,
+            })
+            .build()
+            .expect("valid pipeline");
+        let phys: Vec<PhysicalField<f64>> = vec![PhysicalField::from_data(
+            shape,
+            (0..shape.phys_len())
+                .map(|i| ((i + 17 * rank) as f64 * 0.0137).sin())
+                .collect(),
+        )];
+        let specs = gpu
+            .try_physical_to_fourier(&phys)
+            .expect("hot-swap must complete the call");
+        assert!(gpu.degraded().is_some(), "hot-swap must have engaged");
+        specs.len()
+    });
+    hub.snapshot()
+}
+
+#[test]
+fn recorded_shrink_recovery_run_is_deadlock_cycle_free() {
+    let logs = record_shrink_recovery();
+    assert_eq!(logs.len(), 2, "both ranks recorded");
+    assert!(
+        logs.iter().all(|l| !l.ops.is_empty()),
+        "both ranks produced ops"
+    );
+    let report = analyze_global(&logs);
+    assert!(
+        !report
+            .deadlocks
+            .iter()
+            .any(|d| d.kind == DeadlockKind::Cycle),
+        "recorded recovery must have no wait-for cycle:\n{:?}",
+        report.deadlocks
+    );
+    // What the log *does* show: rank 0's first collective after rank 1's
+    // death reads as a wait on a terminated peer — the exact hang the
+    // runtime converted into a typed RankFailed error. The analyzer must
+    // attribute it to the dead rank, not invent a cycle.
+    for d in &report.deadlocks {
+        assert_eq!(d.kind, DeadlockKind::TerminatedPeer, "{d}");
+        assert!(d.ranks.contains(&1), "dead rank must be named: {d}");
+    }
+    // A log that simply ends (the crash) is not a skipped post.
+    assert!(
+        !report
+            .lints
+            .iter()
+            .any(|l| matches!(l, GlobalLint::SkippedGroupPost { .. })),
+        "a crashed rank is not a skipper: {:?}",
+        report.lints
+    );
+}
+
+#[test]
+fn recorded_hotswap_run_is_deadlock_cycle_free_and_fences_are_bounded() {
+    let logs = record_hotswap();
+    assert_eq!(logs.len(), 2, "both ranks recorded");
+    let report = analyze_global(&logs);
+    assert!(
+        report.is_deadlock_free(),
+        "recorded hot-swap must be hang-free:\n{:?}",
+        report.deadlocks
+    );
+    // The watchdogged pipeline bounds every device fence, so the
+    // unbounded-wait lint must not fire for any fence site.
+    assert!(
+        !report.lints.iter().any(|l| matches!(
+            l,
+            GlobalLint::UnboundedWait { site, .. } if site.contains("fence")
+        )),
+        "watchdogged fences must be deadline-bounded: {:?}",
+        report.lints
+    );
+    // The condemned stream's teardown shows up as recorded evidence.
+    let rank0_notes: Vec<&RankOp> = logs[0]
+        .ops
+        .iter()
+        .filter(|op| matches!(op, RankOp::Note { text } if text.contains("condemned")))
+        .collect();
+    assert!(
+        !rank0_notes.is_empty(),
+        "rank 0's condemned fence must be in the log: {:?}",
+        logs[0].ops
+    );
+}
+
+/// The ISSUE's mutation requirement: delete one group collective post from
+/// one rank's recorded log (while that rank keeps using the communicator)
+/// and the analyzer must produce a typed report naming *both* ranks.
+#[test]
+fn deleting_one_collective_post_names_both_ranks() {
+    let mut logs = record_shrink_recovery();
+    // Find a 2-member a2a post on rank 0 that is *not* its last on that
+    // context, and delete the whole exchange (post + completion wait) —
+    // rank 0 then skips the round but keeps posting later ones, exactly
+    // the forbidden recovery interleaving.
+    let target = logs[0]
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            RankOp::Post {
+                ctx, seq, group, ..
+            } if group.len() == 2 => Some((*ctx, *seq)),
+            _ => None,
+        })
+        .next()
+        .expect("the recorded run contains 2-rank collectives");
+    let (ctx, seq) = target;
+    logs[0].ops.retain(|op| match op {
+        RankOp::Post { ctx: c, seq: s, .. } => !(*c == ctx && *s == seq),
+        RankOp::WaitCollective { ctx: c, seq: s, .. } => !(*c == ctx && *s == seq),
+        _ => true,
+    });
+
+    let report = analyze_global(&logs);
+    assert!(!report.is_deadlock_free(), "mutation must be detected");
+    let deadlock = report
+        .deadlocks
+        .iter()
+        .find(|d| d.ranks.contains(&0) && d.ranks.contains(&1))
+        .unwrap_or_else(|| panic!("report must name both ranks: {:?}", report.deadlocks));
+    assert_eq!(
+        deadlock.kind,
+        DeadlockKind::Cycle,
+        "a skip while both ranks keep going is a mutual wait: {deadlock}"
+    );
+    assert_eq!(
+        deadlock.ops.len(),
+        deadlock.ranks.len(),
+        "one blocked-op line per involved rank: {deadlock}"
+    );
+    // The lint pinpoints the skipping rank and the exact collective.
+    assert!(
+        report.lints.iter().any(|l| matches!(
+            l,
+            GlobalLint::SkippedGroupPost { rank: 0, ctx: c, seq: s, .. }
+                if *c == ctx && *s == seq
+        )),
+        "missing SkippedGroupPost lint: {:?}",
+        report.lints
+    );
+}

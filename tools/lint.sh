@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Repo lint: forbid *new* `.unwrap()` / `.expect(` in the production sources
-# of the comm, device, core and chaos crates (the layers whose failures must
-# surface as typed errors — CommError / DeviceError / psdns_core::Error,
-# including the recovery modules' RecoveryError — not panics).
+# Repo lint, two stages:
 #
-# The checked-in allowlist (tools/unwrap_allowlist.txt) pins today's per-file
-# occurrence counts. A file exceeding its pinned count (or a new file using
-# unwrap/expect at all) fails CI; after deliberately removing call sites,
-# refresh the pin with `tools/lint.sh --regen`.
+# 1. unwrap/expect budget — forbid *new* `.unwrap()` / `.expect(` in the
+#    production sources of the comm, device, core and chaos crates (the
+#    layers whose failures must surface as typed errors — CommError /
+#    DeviceError / psdns_core::Error, including the recovery modules'
+#    RecoveryError — not panics). The checked-in allowlist
+#    (tools/unwrap_allowlist.txt) pins today's per-file occurrence counts.
+#    A file exceeding its pinned count (or a new file using unwrap/expect
+#    at all) fails CI; after deliberately removing call sites, refresh the
+#    pin with `tools/lint.sh --regen`.
+#
+# 2. SAFETY comments — every `unsafe` block / `unsafe impl` across all
+#    crates must carry a `// SAFETY:` justification on the same line or
+#    within the 3 preceding lines; every `unsafe fn` declaration must be
+#    documented by a `# Safety` doc section within the 10 preceding lines.
+#    New bare `unsafe` fails CI with the offending file:line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,3 +58,40 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "unwrap/expect lint OK"
+
+# --- Stage 2: SAFETY-comment lint over every crate's sources ---------------
+#
+# awk state machine, per file: remember the line number of the most recent
+# `SAFETY` / `# Safety` marker; when an `unsafe` site appears, require the
+# marker within the allowed window (3 lines for blocks/impls, 10 for fn
+# declarations, to span the doc comment between a `# Safety` section and the
+# signature). String/char literals containing "unsafe" are rare enough in
+# this tree that the token match is exact in practice.
+safety_fail=0
+while IFS= read -r f; do
+    out=$(awk '
+        /SAFETY:|# Safety/ { marker = NR }
+        # A multi-line justification (or doc section followed by attributes)
+        # extends the marker through the contiguous comment/attribute block.
+        marker && NR == marker + 1 && /^[[:space:]]*(\/\/|#\[)/ { marker = NR }
+        /(^|[^[:alnum:]_"])unsafe[[:space:]]+fn[[:space:]]/ {
+            if (!(/SAFETY:/) && (marker == 0 || NR - marker > 10))
+                printf "%s:%d: unsafe fn without a `# Safety` doc section\n", FILENAME, NR
+            next
+        }
+        /(^|[^[:alnum:]_"])unsafe([[:space:]]*\{|[[:space:]]+impl)/ {
+            if (!(/SAFETY:/) && (marker == 0 || NR - marker > 3))
+                printf "%s:%d: bare `unsafe` without a // SAFETY: comment\n", FILENAME, NR
+        }
+    ' "$f")
+    if [ -n "$out" ]; then
+        echo "$out" >&2
+        safety_fail=1
+    fi
+done < <(find crates -path '*/src/*.rs' | sort)
+
+if [ "$safety_fail" -ne 0 ]; then
+    echo "LINT: annotate each unsafe site with // SAFETY: (or # Safety docs)" >&2
+    exit 1
+fi
+echo "SAFETY-comment lint OK"
