@@ -114,7 +114,11 @@ timeout 600 cargo test --offline -q --test device_hotswap
 echo "==> bench smoke (perf regression gate vs committed baselines)"
 # One timed iteration per benchmark, compared against BENCH_fft.json /
 # BENCH_pipeline.json at the repo root; any benchmark more than 2x slower
-# than its committed ns_per_iter fails. Regenerate the baselines with
+# than its committed ns_per_iter fails. Two structural gates ride along:
+# the batched r2c path must stay >= 1.5x the strided c2c batch of the same
+# geometry (always), and 4-thread dispatch must reach >= 2x the 1-thread
+# rate (skipped with a notice on boxes with < 4 cores, where scaling is
+# unmeasurable). Regenerate the baselines with
 #   cargo run --release -p psdns-bench --bin baseline
 cargo run --release -p psdns-bench --bin baseline --offline -q -- --smoke --check
 

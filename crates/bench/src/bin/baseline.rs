@@ -26,7 +26,11 @@ use psdns_core::{
     A2aMode, GpuSlabFft, LocalShape, PencilFftCpu, PhysicalField, SlabFftCpu, Transform3d,
 };
 use psdns_device::{Device, DeviceConfig};
-use psdns_fft::{fft_3d, Complex64, Dims3, Direction, FftPlan, ManyPlan, ReferencePlan};
+use psdns_fft::simd::{set_codelet_mode, CodeletMode};
+use psdns_fft::{
+    fft_3d, Complex64, Dims3, Direction, FftPlan, ManyPlan, ManyRealPlan, RealFftPlan,
+    ReferencePlan,
+};
 
 struct Opts {
     smoke: bool,
@@ -136,6 +140,38 @@ fn bench_fft(smoke: bool) -> Vec<BenchRecord> {
         recs.push(record("fft_c2c_1d", &format!("reference/{n}"), ns, n));
     }
 
+    // 1-D r2c: the half-length packed real transform vs the full c2c at the
+    // same length (the x-direction transform of the velocity fields).
+    for n in [256usize, 768] {
+        let iters = if smoke { 20 } else { 5000 };
+        let plan = RealFftPlan::<f64>::new(n);
+        let reals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut spec = vec![Complex64::zero(); n / 2 + 1];
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        let ns = time_ns(iters, || {
+            plan.forward_with_scratch(&reals, &mut spec, &mut scratch)
+        });
+        recs.push(record("fft_r2c_1d", &format!("packed/{n}"), ns, n));
+    }
+
+    // SIMD lane A/B: the same 1-D c2c with the vectorized codelets against
+    // the forced 1-lane instantiation (what `PSDNS_SIMD=off` gives).
+    {
+        let n = 256usize;
+        let iters = if smoke { 20 } else { 5000 };
+        let plan = FftPlan::<f64>::new(n);
+        let mut data = test_signal(n);
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len().max(n)];
+        for (mode, label) in [(CodeletMode::Auto, "auto"), (CodeletMode::Scalar, "scalar")] {
+            set_codelet_mode(mode);
+            let ns = time_ns(iters, || {
+                plan.execute_with_scratch(&mut data, &mut scratch, Direction::Forward)
+            });
+            recs.push(record("fft_simd", &format!("{label}/{n}"), ns, n));
+        }
+        set_codelet_mode(CodeletMode::Auto);
+    }
+
     // Serial 3-D c2c — the acceptance benchmark: 256^3 single-rank, new
     // kernel vs pre-PR kernel.
     for n in [128usize, 256] {
@@ -190,13 +226,34 @@ fn bench_fft(smoke: bool) -> Vec<BenchRecord> {
         ));
     }
 
+    // Batched r2c over dense pencil lines — the layout every distributed
+    // x-transform now uses. Same geometry as the strided c2c batch above so
+    // the half-length work saving shows up directly in the elems/s ratio.
+    {
+        let (n, count) = (256usize, 64usize);
+        let iters = if smoke { 5 } else { 500 };
+        let plan = ManyRealPlan::<f64>::contiguous(n, count);
+        let reals: Vec<f64> = (0..n * count).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+        let mut scratch = vec![Complex64::zero(); plan.scratch_len()];
+        let ns = time_ns(iters, || {
+            plan.forward_with_scratch(&reals, &mut spec, &mut scratch)
+        });
+        recs.push(record(
+            "fft_r2c_many",
+            &format!("packed/{n}x{count}"),
+            ns,
+            n * count,
+        ));
+    }
+
     // Contiguous batch on the persistent worker pool.
     {
         let (n, count) = (512usize, 256usize);
         let iters = if smoke { 3 } else { 100 };
         let plan = ManyPlan::<f64>::contiguous(n, count);
         let mut data = test_signal(n * count);
-        for threads in [1usize, 4] {
+        for threads in [1usize, 4, 8] {
             let ns = time_ns(iters, || {
                 plan.execute_parallel(&mut data, Direction::Forward, threads)
             });
@@ -344,6 +401,9 @@ fn main() {
                 .unwrap_or_else(|e| panic!("--check needs committed {}: {e}", path.display()));
             let baseline = parse_bench_file(&committed);
             failures.extend(regressions(&baseline, &fresh, opts.factor));
+            if file == "BENCH_fft.json" {
+                failures.extend(check_invariants(&fresh));
+            }
         } else {
             std::fs::write(&path, render_bench_file(&fresh))
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
@@ -363,6 +423,69 @@ fn main() {
         }
         std::process::exit(1);
     }
+}
+
+/// Perf invariants beyond the per-benchmark regression factor, enforced on
+/// the *fresh* numbers by the `bench-smoke` CI stage:
+///
+/// * the batched r2c path must beat the strided c2c batch of the same
+///   geometry by at least 1.5x in per-element throughput (the half-length
+///   packing does ~half the butterfly work) — always;
+/// * 4-thread dispatch must reach at least 2x the single-thread rate —
+///   only on machines that actually have >= 4 cores to scale across.
+fn check_invariants(fresh: &[BenchRecord]) -> Vec<String> {
+    let mut fails = Vec::new();
+    let find = |group: &str, bench: &str| {
+        fresh
+            .iter()
+            .find(|r| r.group == group && r.bench == bench)
+            .and_then(|r| r.elems_per_sec)
+    };
+
+    match (
+        find("fft_r2c_many", "packed/256x64"),
+        find("fft_strided_many", "tiled/256x64"),
+    ) {
+        (Some(r2c), Some(c2c)) => {
+            if r2c < 1.5 * c2c {
+                fails.push(format!(
+                    "fft_r2c_many packed/256x64 ({:.1} Melem/s) below 1.5x \
+                     fft_strided_many tiled/256x64 ({:.1} Melem/s)",
+                    r2c / 1e6,
+                    c2c / 1e6
+                ));
+            }
+        }
+        _ => fails.push("r2c-vs-c2c gate: benchmarks missing from fresh run".to_string()),
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        match (
+            find("fft_parallel", "threads/1"),
+            find("fft_parallel", "threads/4"),
+        ) {
+            (Some(t1), Some(t4)) => {
+                if t4 < 2.0 * t1 {
+                    fails.push(format!(
+                        "fft_parallel threads/4 ({:.1} Melem/s) below 2x \
+                         threads/1 ({:.1} Melem/s) on a {cores}-core machine",
+                        t4 / 1e6,
+                        t1 / 1e6
+                    ));
+                }
+            }
+            _ => fails.push("parallel-efficiency gate: benchmarks missing from fresh run".into()),
+        }
+    } else {
+        println!(
+            "bench-smoke: SKIP parallel-efficiency gate — only {cores} core(s) \
+             available, cannot measure 4-thread scaling on this machine"
+        );
+    }
+    fails
 }
 
 fn report_speedup(opts: &Opts) {

@@ -14,7 +14,7 @@
 
 use psdns_comm::Communicator;
 use psdns_domain::transpose::{apply_chunks, SlabTranspose};
-use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+use psdns_fft::{Complex, Direction, ManyPlan, ManyRealPlan, Real};
 use psdns_trace::SpanKind;
 
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
@@ -26,14 +26,15 @@ pub struct SlabFftCpu<T: Real> {
     comm: Communicator,
     plan_y: ManyPlan<T>,
     plan_z: ManyPlan<T>,
-    plan_x: RealFftPlan<T>,
+    /// Batched x-direction r2c/c2r over every line of the y-slab at once:
+    /// `my·n` dense real lines of length `n` against `my·n` dense
+    /// half-spectrum lines of length `nxh`.
+    plan_x: ManyRealPlan<T>,
     scratch: Vec<Complex<T>>,
     /// Reusable per-call workspaces (sized on first use, then steady-state
-    /// reuse: repeated transforms perform no send/slab/line allocations).
+    /// reuse: repeated transforms perform no send/slab allocations).
     send: Vec<Complex<T>>,
     yslab: Vec<Complex<T>>,
-    line: Vec<T>,
-    spec_line: Vec<Complex<T>>,
     /// Within-rank worker threads for the batched 1-D FFTs — the paper's
     /// hybrid MPI+OpenMP layer (§3.1: "a hybrid approach to further
     /// parallelize within a slab").
@@ -49,7 +50,9 @@ impl<T: Real> SlabFftCpu<T> {
         let plan_y = ManyPlan::new(n, nxh, 1, nxh);
         // z lines on the y-slab: stride nxh·my, one batch per (x, yl).
         let plan_z = ManyPlan::new(n, nxh * my, 1, nxh * my);
-        let plan_x = RealFftPlan::new(n);
+        // x lines: real side dense in the physical field (dist n), complex
+        // side dense in the y-slab (dist nxh) — one batch per (yl, z).
+        let plan_x = ManyRealPlan::new(n, my * n, 1, n, 1, nxh);
         let scratch_len = plan_y
             .scratch_len()
             .max(plan_z.scratch_len())
@@ -63,8 +66,6 @@ impl<T: Real> SlabFftCpu<T> {
             scratch: vec![Complex::zero(); scratch_len],
             send: Vec::new(),
             yslab: Vec::new(),
-            line: Vec::new(),
-            spec_line: Vec::new(),
             threads: 1,
         }
     }
@@ -166,31 +167,24 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         let mut yslab = std::mem::take(&mut self.yslab);
         yslab.clear();
         yslab.resize(t.yslab_len(), Complex::zero());
-        let mut line = std::mem::take(&mut self.line);
-        line.clear();
-        line.resize(s.n, T::ZERO);
         for v in 0..nv {
             for src in 0..s.p {
                 apply_chunks(&t.unpack_to_yslab(src, v, 0..s.my), &recv, &mut yslab);
             }
             self.z_transform(&mut yslab, Direction::Inverse);
             let mut phys = PhysicalField::zeros(s);
-            for z in 0..s.n {
-                for yl in 0..s.my {
-                    let base = s.nxh * (yl + s.my * z);
-                    self.plan_x.inverse_with_scratch(
-                        &yslab[base..base + s.nxh],
-                        &mut line,
-                        &mut self.scratch,
-                    );
-                    let dst = s.phys_idx(0, yl, z);
-                    phys.data[dst..dst + s.n].copy_from_slice(&line);
-                }
+            // Batched x c2r: every (yl, z) line of the slab in one call,
+            // written in place into the physical field.
+            if self.threads > 1 {
+                self.plan_x
+                    .inverse_parallel(&yslab, &mut phys.data, self.threads);
+            } else {
+                self.plan_x
+                    .inverse_with_scratch(&yslab, &mut phys.data, &mut self.scratch);
             }
             out.push(phys);
         }
         self.yslab = yslab;
-        self.line = line;
         drop(span);
         out
     }
@@ -212,22 +206,16 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         let mut yslab = std::mem::take(&mut self.yslab);
         yslab.clear();
         yslab.resize(t.yslab_len(), Complex::zero());
-        let mut spec_line = std::mem::take(&mut self.spec_line);
-        spec_line.clear();
-        spec_line.resize(s.nxh, Complex::zero());
         for (v, f) in phys.iter().enumerate() {
             assert_eq!(f.shape, s, "field shape mismatch");
-            for z in 0..s.n {
-                for yl in 0..s.my {
-                    let src = s.phys_idx(0, yl, z);
-                    self.plan_x.forward_with_scratch(
-                        &f.data[src..src + s.n],
-                        &mut spec_line,
-                        &mut self.scratch,
-                    );
-                    let base = s.nxh * (yl + s.my * z);
-                    yslab[base..base + s.nxh].copy_from_slice(&spec_line);
-                }
+            // Batched x r2c: the whole physical slab into the y-slab's
+            // half-spectrum lines in one call.
+            if self.threads > 1 {
+                self.plan_x
+                    .forward_parallel(&f.data, &mut yslab, self.threads);
+            } else {
+                self.plan_x
+                    .forward_with_scratch(&f.data, &mut yslab, &mut self.scratch);
             }
             self.z_transform(&mut yslab, Direction::Forward);
             for d in 0..s.p {
@@ -241,7 +229,6 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         let recv = self.comm.alltoall(&send);
         self.send = send;
         self.yslab = yslab;
-        self.spec_line = spec_line;
 
         // 3. Unpack to z-slabs and y-forward.
         let span = tracer

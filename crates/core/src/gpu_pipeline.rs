@@ -42,7 +42,7 @@ use psdns_device::{
     Stream,
 };
 use psdns_domain::decomp::{GpuSplit, PencilSplit};
-use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan, ScratchPool};
+use psdns_fft::{Complex, Direction, ManyPlan, ManyRealPlan, Real};
 use psdns_sync::Mutex;
 
 use crate::error::{Error, PipelineError};
@@ -383,9 +383,12 @@ pub struct GpuSlabFft<T: Real> {
     /// (transfer, compute) stream pair per device.
     streams: Vec<(Stream, Stream)>,
     config: GpuFftConfig,
-    plan_x: Arc<RealFftPlan<T>>,
     #[allow(clippy::type_complexity)]
     plan_cache: Mutex<HashMap<(usize, usize), Arc<ManyPlan<T>>>>,
+    /// Batched r2c/c2r plans keyed by line count (`yw * n` varies per
+    /// device and pencil group); layout params are fixed by the shape.
+    #[allow(clippy::type_complexity)]
+    real_plan_cache: Mutex<HashMap<usize, Arc<ManyRealPlan<T>>>>,
     /// Degrade to the host-backend path when slot-buffer allocation fails
     /// (see [`GpuFftBuilder::cpu_fallback`]).
     fallback_to_cpu: bool,
@@ -404,10 +407,6 @@ pub struct GpuSlabFft<T: Real> {
     /// Worker threads for the host-side compute stages of the simulated
     /// kernels (1 = serial); see [`GpuFftBuilder::host_threads`].
     host_threads: usize,
-    /// Pooled workspace for the c2r/r2c kernel closures — shared across
-    /// launches so steady-state kernels allocate nothing.
-    kscratch: Arc<ScratchPool<Complex<T>>>,
-    kline: Arc<ScratchPool<T>>,
 }
 
 struct CallBuffers<T: Real> {
@@ -522,15 +521,13 @@ impl<T: Real> GpuSlabFft<T> {
             devices,
             streams,
             config,
-            plan_x: Arc::new(RealFftPlan::new(shape.n)),
             plan_cache: Mutex::new(HashMap::new()),
+            real_plan_cache: Mutex::new(HashMap::new()),
             fallback_to_cpu: false,
             host: None,
             nv_hint: 1,
             recorder: None,
             host_threads: 1,
-            kscratch: Arc::new(ScratchPool::new()),
-            kline: Arc::new(ScratchPool::new()),
         }
     }
 
@@ -719,6 +716,19 @@ impl<T: Real> GpuSlabFft<T> {
             cache
                 .entry((stride, count))
                 .or_insert_with(|| Arc::new(ManyPlan::new(self.shape.n, stride, 1, count))),
+        )
+    }
+
+    /// Batched x-direction real plan over `count` dense lines (real dist
+    /// `n`, spectral dist `nxh`). Counts vary with the per-device y-width,
+    /// so plans are cached per count like [`Self::plan_many`].
+    fn plan_real(&self, count: usize) -> Arc<ManyRealPlan<T>> {
+        let s = self.shape;
+        let mut cache = self.real_plan_cache.lock();
+        Arc::clone(
+            cache
+                .entry(count)
+                .or_insert_with(|| Arc::new(ManyRealPlan::new(s.n, count, 1, s.n, 1, s.nxh))),
         )
     }
 
@@ -1198,13 +1208,10 @@ impl<T: Real> GpuSlabFft<T> {
                         // z-inverse then x c2r on the compute stream.
                         cstream.wait_event(&h2d_done);
                         let plan_z = self.plan_many(s.nxh * yw, s.nxh * yw);
-                        let plan_x = Arc::clone(&self.plan_x);
+                        let plan_x = self.plan_real(yw * s.n);
                         let (cb, rb) = (cbuf.clone(), rbuf.clone());
-                        let (n, nxh, myw) = (s.n, s.nxh, yw);
-                        let rpiece = n * yw * n;
+                        let rpiece = s.n * yw * s.n;
                         let ht = self.host_threads;
-                        let kscratch = Arc::clone(&self.kscratch);
-                        let kline = Arc::clone(&self.kline);
                         let mut accesses = rw_device(cbuf.id(), nv * piece);
                         accesses.push(Access::write(
                             rbuf.id(),
@@ -1215,8 +1222,6 @@ impl<T: Real> GpuSlabFft<T> {
                         cstream.launch_traced("fft-z-inverse+x-c2r", accesses, move || {
                             let mut c = cb.lock_mut();
                             let mut r = rb.lock_mut();
-                            let mut scratch = kscratch.take(plan_x.scratch_len());
-                            let mut line = kline.take(n);
                             for v in 0..nv {
                                 let base = v * piece;
                                 plan_z.execute_parallel(
@@ -1224,21 +1229,12 @@ impl<T: Real> GpuSlabFft<T> {
                                     Direction::Inverse,
                                     ht,
                                 );
-                                for z in 0..n {
-                                    for yl in 0..myw {
-                                        let sb = base + nxh * (yl + myw * z);
-                                        plan_x.inverse_with_scratch(
-                                            &c[sb..sb + nxh],
-                                            &mut line[..n],
-                                            &mut scratch,
-                                        );
-                                        let db = v * rpiece + n * (yl + myw * z);
-                                        r[db..db + n].copy_from_slice(&line[..n]);
-                                    }
-                                }
+                                plan_x.inverse_parallel(
+                                    &c[base..base + piece],
+                                    &mut r[v * rpiece..(v + 1) * rpiece],
+                                    ht,
+                                );
                             }
-                            kscratch.give(scratch);
-                            kline.give(line);
                         });
                         cstream.record(&compute2_done[jp][g]);
                     }
@@ -1482,11 +1478,9 @@ impl<T: Real> GpuSlabFft<T> {
 
                     cstream.wait_event(&h2d_done);
                     let plan_z = self.plan_many(s.nxh * yw, s.nxh * yw);
-                    let plan_x = Arc::clone(&self.plan_x);
+                    let plan_x = self.plan_real(yw * s.n);
                     let (cb, rb) = (cbuf.clone(), rbuf.clone());
-                    let (n, nxh, myw) = (s.n, s.nxh, yw);
                     let ht = self.host_threads;
-                    let kscratch = Arc::clone(&self.kscratch);
                     let mut accesses = rw_device(cbuf.id(), nv * piece);
                     accesses.push(Access::read(
                         rbuf.id(),
@@ -1497,30 +1491,19 @@ impl<T: Real> GpuSlabFft<T> {
                     cstream.launch_traced("fft-x-r2c+z-forward", accesses, move || {
                         let r = rb.lock();
                         let mut c = cb.lock_mut();
-                        let mut scratch = kscratch.take(plan_x.scratch_len());
-                        let mut line = kscratch.take(nxh);
                         for v in 0..nv {
                             let base = v * piece;
-                            for z in 0..n {
-                                for yl in 0..myw {
-                                    let sb = v * rpiece + n * (yl + myw * z);
-                                    plan_x.forward_with_scratch(
-                                        &r[sb..sb + n],
-                                        &mut line[..nxh],
-                                        &mut scratch,
-                                    );
-                                    let db = base + nxh * (yl + myw * z);
-                                    c[db..db + nxh].copy_from_slice(&line[..nxh]);
-                                }
-                            }
+                            plan_x.forward_parallel(
+                                &r[v * rpiece..(v + 1) * rpiece],
+                                &mut c[base..base + piece],
+                                ht,
+                            );
                             plan_z.execute_parallel(
                                 &mut c[base..base + piece],
                                 Direction::Forward,
                                 ht,
                             );
                         }
-                        kscratch.give(scratch);
-                        kscratch.give(line);
                     });
                     cstream.record(&compute_done[jp][g]);
                 }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use psdns_comm::Communicator;
 use psdns_device::{Copy2d, Device, PinnedBuffer, Stream};
 use psdns_domain::transpose::SlabTranspose;
-use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+use psdns_fft::{Complex, Direction, ManyPlan, ManyRealPlan, Real};
 
 use crate::error::Error;
 use crate::field::{LocalShape, PhysicalField, SpectralField, Transform3d};
@@ -22,7 +22,9 @@ pub struct GpuSyncSlabFft<T: Real> {
     stream: Stream,
     plan_y: Arc<ManyPlan<T>>,
     plan_z: Arc<ManyPlan<T>>,
-    plan_x: Arc<RealFftPlan<T>>,
+    /// Batched x r2c/c2r over one variable's whole slab (`my·n` dense
+    /// lines) per call — the cuFFT-style many-plan the paper uses on device.
+    plan_x: Arc<ManyRealPlan<T>>,
 }
 
 impl<T: Real> GpuSyncSlabFft<T> {
@@ -36,7 +38,7 @@ impl<T: Real> GpuSyncSlabFft<T> {
             stream,
             plan_y: Arc::new(ManyPlan::new(n, nxh, 1, nxh)),
             plan_z: Arc::new(ManyPlan::new(n, nxh * my, 1, nxh * my)),
-            plan_x: Arc::new(RealFftPlan::new(n)),
+            plan_x: Arc::new(ManyRealPlan::new(n, my * n, 1, n, 1, nxh)),
         }
     }
 
@@ -170,20 +172,13 @@ impl<T: Real> GpuSyncSlabFft<T> {
             let a = cin.lock();
             let mut b = rout.lock_mut();
             let mut scratch = vec![Complex::<T>::zero(); plan_x.scratch_len()];
-            let mut line = vec![T::ZERO; shape.n];
+            // Batched c2r: one call per variable covers every (yl, z) line.
             for v in 0..nv {
-                for z in 0..shape.n {
-                    for yl in 0..shape.my {
-                        let sbase = v * ylen + shape.nxh * (yl + shape.my * z);
-                        plan_x.inverse_with_scratch(
-                            &a[sbase..sbase + shape.nxh],
-                            &mut line,
-                            &mut scratch,
-                        );
-                        let dbase = v * plen + shape.phys_idx(0, yl, z);
-                        b[dbase..dbase + shape.n].copy_from_slice(&line);
-                    }
-                }
+                plan_x.inverse_with_scratch(
+                    &a[v * ylen..(v + 1) * ylen],
+                    &mut b[v * plen..(v + 1) * plen],
+                    &mut scratch,
+                );
             }
         });
         self.stream
@@ -236,20 +231,13 @@ impl<T: Real> GpuSyncSlabFft<T> {
             let a = rin.lock();
             let mut b = cout.lock_mut();
             let mut scratch = vec![Complex::<T>::zero(); plan_x.scratch_len()];
-            let mut line = vec![Complex::<T>::zero(); shape.nxh];
+            // Batched r2c: one call per variable covers every (yl, z) line.
             for v in 0..nv {
-                for z in 0..shape.n {
-                    for yl in 0..shape.my {
-                        let sbase = v * plen + shape.phys_idx(0, yl, z);
-                        plan_x.forward_with_scratch(
-                            &a[sbase..sbase + shape.n],
-                            &mut line,
-                            &mut scratch,
-                        );
-                        let dbase = v * ylen + shape.nxh * (yl + shape.my * z);
-                        b[dbase..dbase + shape.nxh].copy_from_slice(&line);
-                    }
-                }
+                plan_x.forward_with_scratch(
+                    &a[v * plen..(v + 1) * plen],
+                    &mut b[v * ylen..(v + 1) * ylen],
+                    &mut scratch,
+                );
             }
         });
         let (plan_z, buf) = (Arc::clone(&self.plan_z), dev_yslab.clone());

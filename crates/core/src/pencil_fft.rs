@@ -17,7 +17,7 @@
 
 use psdns_comm::Communicator;
 use psdns_domain::decomp::{split_even, Pencil2d};
-use psdns_fft::{Complex, Direction, ManyPlan, Real, RealFftPlan};
+use psdns_fft::{Complex, Direction, ManyPlan, ManyRealPlan, Real};
 
 use crate::field::LocalShape;
 
@@ -32,7 +32,10 @@ pub struct PencilFftCpu<T: Real> {
     nxh: usize,
     /// x range owned in the Fourier/mid phases (split of nxh over pr).
     xr: std::ops::Range<usize>,
-    plan_x: RealFftPlan<T>,
+    /// Batched x r2c/c2r over every (yl, zl) line of an x-pencil at once:
+    /// dense real lines (dist n) against dense half-spectrum lines
+    /// (dist nxh).
+    plan_x: ManyRealPlan<T>,
     /// y lines on y-pencils: stride xw, one batch per x (per z plane).
     plan_y: ManyPlan<T>,
     /// z lines on z-pencils: stride xw·yw, one batch per (x, yl).
@@ -56,7 +59,9 @@ impl<T: Real> PencilFftCpu<T> {
         let col_comm = world.split(pr + coords.1, coords.0);
         let nxh = n / 2 + 1;
         let xr = split_even(nxh, pr, coords.0);
-        let plan_x = RealFftPlan::new(n);
+        let my2 = n / pr;
+        let zw = n / pc;
+        let plan_x = ManyRealPlan::new(n, my2 * zw, 1, n, 1, nxh);
         let scratch = vec![Complex::zero(); plan_x.scratch_len() + 4 * n];
         let xw = xr.len();
         let yw = n / pc;
@@ -256,20 +261,14 @@ impl<T: Real> PencilFftCpu<T> {
             }
             offset += rcounts[s];
         }
-        let mut line_out = vec![T::ZERO; n];
         for l in &lines {
             let mut phys = vec![T::ZERO; self.phys_len()];
-            for zl in 0..zw {
-                for yl in 0..my2 {
-                    let base = self.nxh * (yl + my2 * zl);
-                    self.plan_x.inverse_with_scratch(
-                        &l[base..base + self.nxh],
-                        &mut line_out,
-                        &mut self.scratch,
-                    );
-                    let dst = self.phys_idx(0, yl, zl);
-                    phys[dst..dst + n].copy_from_slice(&line_out);
-                }
+            // Batched x c2r: every (yl, zl) line of the pencil in one call.
+            if self.threads > 1 {
+                self.plan_x.inverse_parallel(l, &mut phys, self.threads);
+            } else {
+                self.plan_x
+                    .inverse_with_scratch(l, &mut phys, &mut self.scratch);
             }
             out.push(phys);
         }
@@ -286,23 +285,16 @@ impl<T: Real> PencilFftCpu<T> {
         let zw = n / pc;
         let my2 = n / pr;
 
-        // 1. x r2c on x-pencils.
+        // 1. x r2c on x-pencils — batched over every (yl, zl) line at once.
         let mut lines: Vec<Vec<Complex<T>>> = Vec::with_capacity(nv);
-        let mut spec_line = vec![Complex::<T>::zero(); self.nxh];
         for f in phys {
             assert_eq!(f.len(), self.phys_len());
             let mut l = vec![Complex::<T>::zero(); self.nxh * my2 * zw];
-            for zl in 0..zw {
-                for yl in 0..my2 {
-                    let src = self.phys_idx(0, yl, zl);
-                    self.plan_x.forward_with_scratch(
-                        &f[src..src + n],
-                        &mut spec_line,
-                        &mut self.scratch,
-                    );
-                    let dst = self.nxh * (yl + my2 * zl);
-                    l[dst..dst + self.nxh].copy_from_slice(&spec_line);
-                }
+            if self.threads > 1 {
+                self.plan_x.forward_parallel(f, &mut l, self.threads);
+            } else {
+                self.plan_x
+                    .forward_with_scratch(f, &mut l, &mut self.scratch);
             }
             lines.push(l);
         }

@@ -263,6 +263,23 @@ pub fn as_scalars_mut<T: Real>(data: &mut [Complex<T>]) -> &mut [T] {
     unsafe { core::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut T, data.len() * 2) }
 }
 
+/// Reinterpret an even-length slice of interleaved scalars as complex
+/// numbers — the inverse of [`as_scalars_mut`]. Panics on odd length.
+///
+/// This is what lets the batched real transforms run *in place* inside a
+/// caller's real-typed line: `n = 2h` reals are exactly the `h` packed
+/// complex values of the half-length trick.
+pub fn as_complexes_mut<T: Real>(data: &mut [T]) -> &mut [Complex<T>] {
+    assert!(
+        data.len().is_multiple_of(2),
+        "complex reinterpretation needs an even scalar count"
+    );
+    // SAFETY: Complex<T> is repr(C) with two T fields, so its size is 2·T
+    // and its alignment equals T's — any even-length &mut [T] has the same
+    // layout as &mut [Complex<T>] of half the length.
+    unsafe { core::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut Complex<T>, data.len() / 2) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,16 +49,19 @@ pub mod bluestein;
 pub mod complex;
 pub mod dft;
 pub mod many;
+pub mod many_real;
 pub mod nd;
 pub mod plan;
 pub mod real;
 pub mod reference;
 pub mod scratch;
+pub mod simd;
 pub mod tile;
 
 pub use complex::{Complex, Complex32, Complex64, Real};
 pub use dft::{dft_naive, idft_naive};
 pub use many::ManyPlan;
+pub use many_real::ManyRealPlan;
 pub use nd::{fft_2d, fft_3d, Dims3};
 pub use plan::{Direction, FftPlan};
 pub use real::RealFftPlan;

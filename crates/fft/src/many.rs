@@ -14,8 +14,9 @@
 
 use crate::complex::{Complex, Real};
 use crate::plan::{Direction, FftPlan};
-use crate::scratch::ScratchPool;
+use crate::scratch::{AlignedVec, ScratchPool};
 use crate::tile;
+use psdns_sync::Mutex;
 
 /// A plan that executes `count` transforms of length `n` over a strided
 /// layout: element `i` of batch `b` lives at `data[b·dist + i·stride]`.
@@ -32,6 +33,11 @@ pub struct ManyPlan<T: Real> {
     /// Reusable workspace for the allocating entry points and the parallel
     /// path (one parked buffer per concurrent user after warm-up).
     scratch: ScratchPool<Complex<T>>,
+    /// Cached per-participant scratch slots for the parallel path: taken
+    /// whole per job, so steady-state `execute_parallel` touches no
+    /// allocator and each participant keeps one cache-line-aligned buffer
+    /// for its entire chunk stream.
+    slots: Mutex<Vec<AlignedVec<Complex<T>>>>,
 }
 
 impl<T: Real> ManyPlan<T> {
@@ -49,6 +55,7 @@ impl<T: Real> ManyPlan<T> {
             count,
             tile: (8192 / n).clamp(4, 64).min(count.max(1)),
             scratch: ScratchPool::new(),
+            slots: Mutex::new(Vec::new()),
         }
     }
 
@@ -294,6 +301,9 @@ mod tests {
     }
 }
 
+/// Chunk-body callback for `run_slotted`: `(lo, hi, per-participant scratch)`.
+type SlotBody<'a, T> = dyn Fn(usize, usize, &mut [Complex<T>]) + Sync + 'a;
+
 /// Raw-pointer wrapper so disjoint batches can be processed by the worker
 /// pool (the "OpenMP within an MPI rank" layer of the paper's hybrid
 /// parallelism, §3.1/§4.1).
@@ -352,81 +362,134 @@ impl<T: Real> ManyPlan<T> {
         let pool = psdns_sync::pool::global();
         let ptr = SendPtr(data.as_mut_ptr());
         if self.stride == 1 {
-            // Unit-stride lines: chunk whole batches. A few chunks per
-            // participant keeps the cursor contention negligible while the
-            // dynamic schedule still absorbs stragglers.
-            let chunk = self.count.div_ceil(threads * 4).max(1);
-            pool.run(self.count, chunk, threads, &|lo, hi| {
-                let mut scratch = self.scratch.take(self.plan.scratch_len());
-                for b in lo..hi {
-                    // SAFETY: batch b occupies data[b·dist .. b·dist+n],
-                    // disjoint across b (`batches_disjoint`), in bounds by
-                    // the required_len assertion above.
-                    let line = unsafe {
-                        std::slice::from_raw_parts_mut(ptr.get().add(b * self.dist), self.n)
-                    };
-                    self.plan.execute_with_scratch(line, &mut scratch, dir);
-                }
-                self.scratch.give(scratch);
-            });
+            // Unit-stride lines: chunk whole batches at tile granularity —
+            // big enough that a participant amortizes its scratch reuse over
+            // a cache-resident run of lines, small enough (≥ ~4 chunks per
+            // participant) that the dynamic schedule absorbs stragglers.
+            let chunk = self
+                .tile
+                .min(self.count)
+                .max(self.count.div_ceil(threads * 4));
+            self.run_slotted(
+                pool,
+                self.count,
+                chunk,
+                threads,
+                self.plan.scratch_len(),
+                &|lo, hi, scratch| {
+                    for b in lo..hi {
+                        // SAFETY: batch b occupies data[b·dist .. b·dist+n],
+                        // disjoint across b (`batches_disjoint`), in bounds by
+                        // the required_len assertion above.
+                        let line = unsafe {
+                            std::slice::from_raw_parts_mut(ptr.get().add(b * self.dist), self.n)
+                        };
+                        self.plan.execute_with_scratch(line, scratch, dir);
+                    }
+                },
+            );
         } else {
             // Strided lines: parallelize over cache-blocked tiles. Each
-            // participant owns a private tile buffer from the pool and the
-            // tiles' element sets are pairwise disjoint.
+            // participant owns a private tile buffer for the whole job and
+            // the tiles' element sets are pairwise disjoint. Chunks of
+            // tiles (~4 per participant) keep cursor traffic low when the
+            // tile count is large.
             let ntiles = self.count.div_ceil(self.tile);
-            pool.run(ntiles, 1, threads, &|lo, hi| {
-                let mut scratch = self.scratch.take(self.scratch_len());
-                let (tilebuf, inner) = scratch.split_at_mut(self.tile * self.n);
-                for ti in lo..hi {
-                    let b0 = ti * self.tile;
-                    let t = self.tile.min(self.count - b0);
-                    // SAFETY: tile ti touches exactly the indices
-                    // {(b0+l)·dist + i·stride | l < t, i < n}; batches are
-                    // pairwise disjoint and tiles partition the batches, so
-                    // concurrent tiles never alias. All indices are in
-                    // bounds by the required_len assertion.
-                    unsafe {
-                        tile::copy_grid_raw(
-                            ptr.get() as *const Complex<T>,
-                            b0 * self.dist,
-                            self.dist,
-                            self.stride,
-                            tilebuf.as_mut_ptr(),
-                            0,
-                            self.n,
-                            1,
-                            t,
-                            self.n,
-                        );
+            let chunk = ntiles.div_ceil(threads * 4).max(1);
+            self.run_slotted(
+                pool,
+                ntiles,
+                chunk,
+                threads,
+                self.scratch_len(),
+                &|lo, hi, scratch| {
+                    let (tilebuf, inner) = scratch.split_at_mut(self.tile * self.n);
+                    for ti in lo..hi {
+                        let b0 = ti * self.tile;
+                        let t = self.tile.min(self.count - b0);
+                        // SAFETY: tile ti touches exactly the indices
+                        // {(b0+l)·dist + i·stride | l < t, i < n}; batches are
+                        // pairwise disjoint and tiles partition the batches, so
+                        // concurrent tiles never alias. All indices are in
+                        // bounds by the required_len assertion.
+                        unsafe {
+                            tile::copy_grid_raw(
+                                ptr.get() as *const Complex<T>,
+                                b0 * self.dist,
+                                self.dist,
+                                self.stride,
+                                tilebuf.as_mut_ptr(),
+                                0,
+                                self.n,
+                                1,
+                                t,
+                                self.n,
+                            );
+                        }
+                        for l in 0..t {
+                            self.plan.execute_with_scratch(
+                                &mut tilebuf[l * self.n..(l + 1) * self.n],
+                                inner,
+                                dir,
+                            );
+                        }
+                        // SAFETY: writes back exactly the element set this tile
+                        // read above — same disjointness and bounds argument as
+                        // the forward copy.
+                        unsafe {
+                            tile::copy_grid_raw(
+                                tilebuf.as_ptr(),
+                                0,
+                                self.n,
+                                1,
+                                ptr.get(),
+                                b0 * self.dist,
+                                self.dist,
+                                self.stride,
+                                t,
+                                self.n,
+                            );
+                        }
                     }
-                    for l in 0..t {
-                        self.plan.execute_with_scratch(
-                            &mut tilebuf[l * self.n..(l + 1) * self.n],
-                            inner,
-                            dir,
-                        );
-                    }
-                    // SAFETY: writes back exactly the element set this tile
-                    // read above — same disjointness and bounds argument as
-                    // the forward copy.
-                    unsafe {
-                        tile::copy_grid_raw(
-                            tilebuf.as_ptr(),
-                            0,
-                            self.n,
-                            1,
-                            ptr.get(),
-                            b0 * self.dist,
-                            self.dist,
-                            self.stride,
-                            t,
-                            self.n,
-                        );
-                    }
-                }
-                self.scratch.give(scratch);
-            });
+                },
+            );
         }
+    }
+
+    /// Fan a chunked range out over the pool with one pre-taken, cache-line
+    /// aligned scratch slot per participant. Compared to take/give inside
+    /// the task body this removes all per-chunk pool-mutex traffic, and the
+    /// aligned slots guarantee no two participants' scratch shares a cache
+    /// line (the false-sharing mode of allocator-packed buffers).
+    fn run_slotted(
+        &self,
+        pool: &psdns_sync::pool::WorkerPool,
+        total: usize,
+        chunk: usize,
+        threads: usize,
+        slot_len: usize,
+        body: &SlotBody<'_, T>,
+    ) {
+        let limit = pool.max_participants(threads);
+        // Reuse the cached slot vector: after warm-up this whole setup is
+        // allocation-free (a concurrent caller on the same plan finds the
+        // cache taken and pays a one-off allocation — correct, just slower).
+        let mut slots = std::mem::take(&mut *self.slots.lock());
+        while slots.len() < limit {
+            slots.push(AlignedVec::new());
+        }
+        for s in slots.iter_mut().take(limit) {
+            s.ensure_len(slot_len);
+        }
+        let slotp = SendPtr(slots.as_mut_ptr());
+        pool.run_with_id(total, chunk, threads, &|id, lo, hi| {
+            // SAFETY: participant ids are dense, unique per job, and
+            // < max_participants, so each participant has exclusive access
+            // to its slot for the job's duration.
+            let scratch = unsafe { &mut *slotp.get().add(id) };
+            body(lo, hi, scratch);
+        });
+        *self.slots.lock() = slots;
     }
 }
 

@@ -1,0 +1,786 @@
+//! Batched real-to-complex / complex-to-real transforms — the real-input
+//! counterpart of [`crate::ManyPlan`].
+//!
+//! The solver's x-direction transforms are real↔complex (conjugate symmetry
+//! of real velocity fields, paper §3.3), and every pencil or slab holds
+//! hundreds of x-lines. Looping a scalar [`crate::RealFftPlan`] over those
+//! lines re-pays the pack/combine bookkeeping per line and streams each line
+//! through cache alone. `ManyRealPlan` instead mirrors `ManyPlan`'s
+//! strided/batched ("advanced data layout") interface: contiguous lines run
+//! in place inside the caller's buffers with zero staging copies, and
+//! strided layouts gather whole tiles of lines through the cache-blocked
+//! copy kernel in [`crate::tile`], transform them back-to-back while hot,
+//! and scatter the results.
+//!
+//! Layout: real element `j` of batch `b` lives at
+//! `reals[b·rdist + j·rstride]`; complex (half-spectrum) element `k` of
+//! batch `b` lives at `spec[b·cdist + k·cstride]`, `k ∈ [0, n/2]`.
+//! Conventions match [`crate::RealFftPlan`]: the forward transform is
+//! unnormalized, the inverse carries the `1/n`.
+
+use crate::complex::{as_complexes_mut, as_scalars, as_scalars_mut, Complex, Real};
+use crate::plan::{Direction, FftPlan};
+use crate::scratch::{AlignedVec, ScratchPool};
+use crate::tile;
+use psdns_sync::Mutex;
+
+/// A plan executing `count` real transforms of even length `n` over strided
+/// real/complex layouts.
+pub struct ManyRealPlan<T: Real> {
+    n: usize,
+    /// Half length `n/2`: the packed complex transform size.
+    h: usize,
+    inner: FftPlan<T>,
+    /// `exp(-2πi·k/n)` for `k ∈ [0, h]` — same table as `RealFftPlan`.
+    twiddle: Vec<Complex<T>>,
+    count: usize,
+    rstride: usize,
+    rdist: usize,
+    cstride: usize,
+    cdist: usize,
+    /// Lines per tile on the strided path (same sizing policy as
+    /// `ManyPlan`: keep a tile within a few hundred KiB of cache).
+    tile: usize,
+    scratch: ScratchPool<Complex<T>>,
+    /// Cached per-participant scratch slots for the parallel paths (see
+    /// `ManyPlan::slots`): keeps steady-state `*_parallel` allocation-free.
+    slots: Mutex<Vec<AlignedVec<Complex<T>>>>,
+}
+
+impl<T: Real> ManyRealPlan<T> {
+    pub fn new(
+        n: usize,
+        count: usize,
+        rstride: usize,
+        rdist: usize,
+        cstride: usize,
+        cdist: usize,
+    ) -> Self {
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "real FFT length must be even, got {n}"
+        );
+        assert!(count > 0 && rstride > 0 && cstride > 0);
+        assert!(
+            count == 1 || (rdist > 0 && cdist > 0),
+            "dists must be positive for count > 1"
+        );
+        let h = n / 2;
+        let twiddle = (0..=h)
+            .map(|k| {
+                let ang = -2.0 * core::f64::consts::PI * k as f64 / n as f64;
+                Complex::from_f64(ang.cos(), ang.sin())
+            })
+            .collect();
+        Self {
+            n,
+            h,
+            inner: FftPlan::new(h),
+            twiddle,
+            count,
+            rstride,
+            rdist,
+            cstride,
+            cdist,
+            tile: (8192 / (h + 1)).clamp(4, 64).min(count),
+            scratch: ScratchPool::new(),
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Dense batch layout: real line `b` occupies `reals[b·n .. (b+1)·n]`,
+    /// spectrum line `b` occupies `spec[b·(n/2+1) ..]`.
+    pub fn contiguous(n: usize, count: usize) -> Self {
+        Self::new(n, count, 1, n, 1, n / 2 + 1)
+    }
+
+    /// Logical (real) transform length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Complex outputs per line: `n/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.h + 1
+    }
+
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Minimum length of the real-side buffer.
+    pub fn required_real_len(&self) -> usize {
+        (self.count - 1) * self.rdist + (self.n - 1) * self.rstride + 1
+    }
+
+    /// Minimum length of the complex-side buffer.
+    pub fn required_spec_len(&self) -> usize {
+        (self.count - 1) * self.cdist + self.h * self.cstride + 1
+    }
+
+    /// True when both sides store each line contiguously — the zero-copy
+    /// fast path (transform runs in place inside the caller's buffers).
+    fn dense_lines(&self) -> bool {
+        self.rstride == 1 && self.cstride == 1
+    }
+
+    /// Scratch requirement (complex elements) for the `_with_scratch`
+    /// entry points.
+    pub fn scratch_len(&self) -> usize {
+        if self.dense_lines() {
+            self.inner.scratch_len()
+        } else {
+            self.tile * (self.h + 1) + self.inner.scratch_len()
+        }
+    }
+
+    /// Forward transform of all batches: `reals` → half spectra in `spec`.
+    /// Pooled scratch; no steady-state allocation.
+    pub fn forward(&self, reals: &[T], spec: &mut [Complex<T>]) {
+        let mut scratch = self.scratch.take(self.scratch_len());
+        self.forward_with_scratch(reals, spec, &mut scratch);
+        self.scratch.give(scratch);
+    }
+
+    /// Inverse transform of all batches (includes the `1/n`): half spectra
+    /// in `spec` → `reals`. Pooled scratch; no steady-state allocation.
+    pub fn inverse(&self, spec: &[Complex<T>], reals: &mut [T]) {
+        let mut scratch = self.scratch.take(self.scratch_len());
+        self.inverse_with_scratch(spec, reals, &mut scratch);
+        self.scratch.give(scratch);
+    }
+
+    /// Forward transform with caller-provided scratch.
+    pub fn forward_with_scratch(
+        &self,
+        reals: &[T],
+        spec: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        self.check_lens(reals.len(), spec.len(), scratch.len());
+        if self.dense_lines() {
+            for b in 0..self.count {
+                self.forward_line_dense(reals, spec, scratch, b);
+            }
+        } else {
+            let (tilebuf, inner) = scratch.split_at_mut(self.tile * (self.h + 1));
+            let mut b0 = 0;
+            while b0 < self.count {
+                let t = self.tile.min(self.count - b0);
+                self.forward_tile(reals, spec, tilebuf, inner, b0, t);
+                b0 += t;
+            }
+        }
+    }
+
+    /// Inverse transform with caller-provided scratch.
+    pub fn inverse_with_scratch(
+        &self,
+        spec: &[Complex<T>],
+        reals: &mut [T],
+        scratch: &mut [Complex<T>],
+    ) {
+        self.check_lens(reals.len(), spec.len(), scratch.len());
+        if self.dense_lines() {
+            for b in 0..self.count {
+                self.inverse_line_dense(spec, reals, scratch, b);
+            }
+        } else {
+            let (tilebuf, inner) = scratch.split_at_mut(self.tile * (self.h + 1));
+            let mut b0 = 0;
+            while b0 < self.count {
+                let t = self.tile.min(self.count - b0);
+                self.inverse_tile(spec, reals, tilebuf, inner, b0, t);
+                b0 += t;
+            }
+        }
+    }
+
+    fn check_lens(&self, rlen: usize, clen: usize, slen: usize) {
+        assert!(
+            rlen >= self.required_real_len(),
+            "real buffer too small: {rlen} < {}",
+            self.required_real_len()
+        );
+        assert!(
+            clen >= self.required_spec_len(),
+            "spectrum buffer too small: {clen} < {}",
+            self.required_spec_len()
+        );
+        assert!(slen >= self.scratch_len());
+    }
+
+    /// Dense-line forward: pack the 2h input reals straight into the output
+    /// spectrum line's first h complex slots, transform in place, and expand
+    /// to the h+1 half-spectrum values — no staging buffer at all.
+    fn forward_line_dense(
+        &self,
+        reals: &[T],
+        spec: &mut [Complex<T>],
+        inner_scratch: &mut [Complex<T>],
+        b: usize,
+    ) {
+        let line = &mut spec[b * self.cdist..b * self.cdist + self.h + 1];
+        as_scalars_mut(&mut line[..self.h])
+            .copy_from_slice(&reals[b * self.rdist..b * self.rdist + self.n]);
+        self.inner
+            .execute_with_scratch(&mut line[..self.h], inner_scratch, Direction::Forward);
+        self.combine_in_place(line);
+    }
+
+    /// Dense-line inverse: unpack the spectrum line directly into the output
+    /// real line viewed as h packed complexes, then transform in place.
+    fn inverse_line_dense(
+        &self,
+        spec: &[Complex<T>],
+        reals: &mut [T],
+        inner_scratch: &mut [Complex<T>],
+        b: usize,
+    ) {
+        let line = &spec[b * self.cdist..b * self.cdist + self.h + 1];
+        let packed = as_complexes_mut(&mut reals[b * self.rdist..b * self.rdist + self.n]);
+        self.uncombine_into(line, packed);
+        self.inner
+            .execute_with_scratch(packed, inner_scratch, Direction::Inverse);
+    }
+
+    /// Gather `t` strided real lines into the tile buffer, transform them
+    /// back-to-back, and scatter the spectra.
+    fn forward_tile(
+        &self,
+        reals: &[T],
+        spec: &mut [Complex<T>],
+        tilebuf: &mut [Complex<T>],
+        inner: &mut [Complex<T>],
+        b0: usize,
+        t: usize,
+    ) {
+        let w = self.h + 1;
+        // Each tile row holds h+1 complexes = 2(h+1) scalars; the n = 2h
+        // input reals fill the first 2h scalar slots (packed layout).
+        tile::copy_grid(
+            reals,
+            b0 * self.rdist,
+            self.rdist,
+            self.rstride,
+            as_scalars_mut(tilebuf),
+            0,
+            2 * w,
+            1,
+            t,
+            self.n,
+        );
+        for l in 0..t {
+            let line = &mut tilebuf[l * w..(l + 1) * w];
+            self.inner
+                .execute_with_scratch(&mut line[..self.h], inner, Direction::Forward);
+            self.combine_in_place(line);
+        }
+        tile::copy_grid(
+            tilebuf,
+            0,
+            w,
+            1,
+            spec,
+            b0 * self.cdist,
+            self.cdist,
+            self.cstride,
+            t,
+            w,
+        );
+    }
+
+    /// Gather `t` strided spectrum lines, inverse-transform them in the tile
+    /// buffer, and scatter the real lines.
+    fn inverse_tile(
+        &self,
+        spec: &[Complex<T>],
+        reals: &mut [T],
+        tilebuf: &mut [Complex<T>],
+        inner: &mut [Complex<T>],
+        b0: usize,
+        t: usize,
+    ) {
+        let w = self.h + 1;
+        tile::copy_grid(
+            spec,
+            b0 * self.cdist,
+            self.cdist,
+            self.cstride,
+            tilebuf,
+            0,
+            w,
+            1,
+            t,
+            w,
+        );
+        for l in 0..t {
+            let line = &mut tilebuf[l * w..(l + 1) * w];
+            self.uncombine_in_place(line);
+            self.inner
+                .execute_with_scratch(&mut line[..self.h], inner, Direction::Inverse);
+        }
+        tile::copy_grid(
+            as_scalars(tilebuf),
+            0,
+            2 * w,
+            1,
+            reals,
+            b0 * self.rdist,
+            self.rdist,
+            self.rstride,
+            t,
+            self.n,
+        );
+    }
+
+    /// Expand the in-place packed FFT (`line[0..h]`) into the `h+1`
+    /// half-spectrum values, in place. Same math as
+    /// `RealFftPlan::forward_with_scratch`, reorganized pairwise so every
+    /// value is read before either of its pair slots is written:
+    /// `out[k] = E + W·O` and `out[h-k] = conj(E - W·O)` share one twiddle
+    /// multiply per pair. The middle self-pair (`k = h-k`) writes twice with
+    /// values equal up to rounding, so the uniform loop is in-place safe.
+    fn combine_in_place(&self, line: &mut [Complex<T>]) {
+        let half = T::from_f64(0.5);
+        let h = self.h;
+        let z0 = line[0];
+        // k = 0 and k = h both derive from packed[0]: even = Re, odd = Im.
+        let even = Complex::new(z0.re, T::ZERO);
+        let odd = Complex::new(z0.im, T::ZERO);
+        line[0] = even + self.twiddle[0] * odd;
+        line[h] = even + self.twiddle[h] * odd;
+        for k in 1..=h / 2 {
+            let zk = line[k];
+            let zr = line[h - k].conj();
+            let even = (zk + zr).scale(half);
+            // odd = (zk - zr) / (2i) = (zk - zr)·(-i/2)
+            let odd = (zk - zr).mul_neg_i().scale(half);
+            let p = self.twiddle[k] * odd;
+            line[k] = even + p;
+            line[h - k] = (even - p).conj();
+        }
+    }
+
+    /// Collapse a half spectrum (`line`, `h+1` values) into the `h` packed
+    /// inputs of the half-length inverse, writing into `packed`. Matches
+    /// `RealFftPlan::inverse_with_scratch` including the `k = 0` edge that
+    /// reads `line[h]`.
+    fn uncombine_into(&self, line: &[Complex<T>], packed: &mut [Complex<T>]) {
+        let half = T::from_f64(0.5);
+        let h = self.h;
+        {
+            let xk = line[0];
+            let xr = line[h].conj();
+            let even = (xk + xr).scale(half);
+            let odd = (xk - xr).scale(half) * self.twiddle[0].conj();
+            packed[0] = even + odd.mul_i();
+        }
+        for k in 1..=h / 2 {
+            let xk = line[k];
+            let xr = line[h - k].conj();
+            let even = (xk + xr).scale(half);
+            // odd = (xk - xr)/2 · e^{+2πik/n} = (xk - xr)/2 · conj(twiddle).
+            let odd = (xk - xr).scale(half) * self.twiddle[k].conj();
+            packed[k] = even + odd.mul_i();
+            // packed[h-k] = conj(even_k) + conj(odd_k)·i = conj(even - i·odd).
+            packed[h - k] = (even + odd.mul_neg_i()).conj();
+        }
+    }
+
+    /// In-place [`uncombine_into`]: `line[0..h]` becomes the packed input,
+    /// `line[h]` is consumed. The `k = 0` step runs first (it alone reads
+    /// slot `h`); each later pair reads both its slots before writing them,
+    /// and the middle self-pair's two writes agree up to rounding.
+    fn uncombine_in_place(&self, line: &mut [Complex<T>]) {
+        let half = T::from_f64(0.5);
+        let h = self.h;
+        {
+            let xk = line[0];
+            let xr = line[h].conj();
+            let even = (xk + xr).scale(half);
+            let odd = (xk - xr).scale(half) * self.twiddle[0].conj();
+            line[0] = even + odd.mul_i();
+        }
+        for k in 1..=h / 2 {
+            let xk = line[k];
+            let xr = line[h - k].conj();
+            let even = (xk + xr).scale(half);
+            let odd = (xk - xr).scale(half) * self.twiddle[k].conj();
+            line[k] = even + odd.mul_i();
+            line[h - k] = (even + odd.mul_neg_i()).conj();
+        }
+    }
+}
+
+/// Chunk-body callback for `run_slotted`: `(lo, hi, per-participant scratch)`.
+type SlotBody<'a, T> = dyn Fn(usize, usize, &mut [Complex<T>]) + Sync + 'a;
+
+/// Raw-pointer wrapper mirroring `many::SendPtr`: lets the worker pool's
+/// participants write pairwise-disjoint line sets of one output buffer.
+struct SendPtr<T>(*mut T);
+// SAFETY: accessed only through pairwise-disjoint batch index sets,
+// partitioned by the pool's chunk cursor before any access.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T: Real> ManyRealPlan<T> {
+    /// True when distinct batches touch pairwise-disjoint complex elements.
+    pub fn spec_batches_disjoint(&self) -> bool {
+        let w = self.h + 1;
+        self.count == 1
+            || (self.cstride == 1 && self.cdist >= w)
+            || (self.cdist == 1 && self.cstride >= self.count)
+            || self.cdist > self.h * self.cstride
+    }
+
+    /// True when distinct batches touch pairwise-disjoint real elements.
+    pub fn real_batches_disjoint(&self) -> bool {
+        self.count == 1
+            || (self.rstride == 1 && self.rdist >= self.n)
+            || (self.rdist == 1 && self.rstride >= self.count)
+            || self.rdist > (self.n - 1) * self.rstride
+    }
+
+    /// Forward transform fanned out over the persistent worker pool (up to
+    /// `threads` participants, calling thread included). Requires disjoint
+    /// output (spectrum) lines; falls back to serial otherwise.
+    pub fn forward_parallel(&self, reals: &[T], spec: &mut [Complex<T>], threads: usize) {
+        if threads <= 1 || self.count < 2 || !self.spec_batches_disjoint() {
+            self.forward(reals, spec);
+            return;
+        }
+        self.check_lens(reals.len(), spec.len(), self.scratch_len());
+        let pool = psdns_sync::pool::global();
+        let sp = SendPtr(spec.as_mut_ptr());
+        let speclen = spec.len();
+        if self.dense_lines() {
+            let chunk = self.dense_chunk(threads);
+            self.run_slotted(pool, self.count, chunk, threads, &|lo, hi, scratch| {
+                for b in lo..hi {
+                    // SAFETY: spectrum line b is in bounds (checked above)
+                    // and disjoint across b (`spec_batches_disjoint`).
+                    let spec = unsafe { std::slice::from_raw_parts_mut(sp.get(), speclen) };
+                    self.forward_line_dense(reals, spec, scratch, b);
+                }
+            });
+        } else {
+            let ntiles = self.count.div_ceil(self.tile);
+            let chunk = self.tile_chunk(ntiles, threads);
+            self.run_slotted(pool, ntiles, chunk, threads, &|lo, hi, scratch| {
+                let (tilebuf, inner) = scratch.split_at_mut(self.tile * (self.h + 1));
+                for ti in lo..hi {
+                    let b0 = ti * self.tile;
+                    let t = self.tile.min(self.count - b0);
+                    // SAFETY: tile ti writes exactly the spectrum lines of
+                    // batches [b0, b0+t); tiles partition the batches and
+                    // batches are pairwise disjoint, so concurrent tiles
+                    // never alias. Bounds hold per check_lens above.
+                    let spec = unsafe { std::slice::from_raw_parts_mut(sp.get(), speclen) };
+                    self.forward_tile(reals, spec, tilebuf, inner, b0, t);
+                }
+            });
+        }
+    }
+
+    /// Inverse counterpart of [`forward_parallel`](Self::forward_parallel):
+    /// requires disjoint output (real) lines; serial fallback otherwise.
+    pub fn inverse_parallel(&self, spec: &[Complex<T>], reals: &mut [T], threads: usize) {
+        if threads <= 1 || self.count < 2 || !self.real_batches_disjoint() {
+            self.inverse(spec, reals);
+            return;
+        }
+        self.check_lens(reals.len(), spec.len(), self.scratch_len());
+        let pool = psdns_sync::pool::global();
+        let rp = SendPtr(reals.as_mut_ptr());
+        let rlen = reals.len();
+        if self.dense_lines() {
+            let chunk = self.dense_chunk(threads);
+            self.run_slotted(pool, self.count, chunk, threads, &|lo, hi, scratch| {
+                for b in lo..hi {
+                    // SAFETY: real line b is in bounds (checked above) and
+                    // disjoint across b (`real_batches_disjoint`).
+                    let reals = unsafe { std::slice::from_raw_parts_mut(rp.get(), rlen) };
+                    self.inverse_line_dense(spec, reals, scratch, b);
+                }
+            });
+        } else {
+            let ntiles = self.count.div_ceil(self.tile);
+            let chunk = self.tile_chunk(ntiles, threads);
+            self.run_slotted(pool, ntiles, chunk, threads, &|lo, hi, scratch| {
+                let (tilebuf, inner) = scratch.split_at_mut(self.tile * (self.h + 1));
+                for ti in lo..hi {
+                    let b0 = ti * self.tile;
+                    let t = self.tile.min(self.count - b0);
+                    // SAFETY: same partition argument as forward_parallel,
+                    // on the real side.
+                    let reals = unsafe { std::slice::from_raw_parts_mut(rp.get(), rlen) };
+                    self.inverse_tile(spec, reals, tilebuf, inner, b0, t);
+                }
+            });
+        }
+    }
+
+    /// Chunk size for dense-line batches: tile-sized chunks preserve
+    /// locality, but never fewer than ~4 chunks per participant so the
+    /// dynamic schedule can absorb stragglers.
+    fn dense_chunk(&self, threads: usize) -> usize {
+        self.tile
+            .min(self.count)
+            .max(self.count.div_ceil(threads * 4))
+    }
+
+    /// Chunk size over tiles: aim for ~4 chunks per participant.
+    fn tile_chunk(&self, ntiles: usize, threads: usize) -> usize {
+        ntiles.div_ceil(threads * 4).max(1)
+    }
+
+    /// Fan a chunked range out over the pool with one pre-taken, cache-line
+    /// aligned scratch slot per participant — no per-chunk pool traffic and
+    /// no false sharing between participants' slots.
+    fn run_slotted(
+        &self,
+        pool: &psdns_sync::pool::WorkerPool,
+        total: usize,
+        chunk: usize,
+        threads: usize,
+        body: &SlotBody<'_, T>,
+    ) {
+        let limit = pool.max_participants(threads);
+        // Reuse the cached slot vector: after warm-up this whole setup is
+        // allocation-free (a concurrent caller on the same plan finds the
+        // cache taken and pays a one-off allocation — correct, just slower).
+        let mut slots = std::mem::take(&mut *self.slots.lock());
+        while slots.len() < limit {
+            slots.push(AlignedVec::new());
+        }
+        for s in slots.iter_mut().take(limit) {
+            s.ensure_len(self.scratch_len());
+        }
+        let slotp = SendPtr(slots.as_mut_ptr());
+        pool.run_with_id(total, chunk, threads, &|id, lo, hi| {
+            // SAFETY: participant ids are dense, unique per job, and
+            // < max_participants, so each participant has exclusive access
+            // to its slot for the job's duration.
+            let scratch = unsafe { &mut *slotp.get().add(id) };
+            body(lo, hi, scratch);
+        });
+        *self.slots.lock() = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::RealFftPlan;
+    use crate::Complex64;
+
+    fn wave(i: usize) -> f64 {
+        (i as f64 * 0.37).sin() + (i as f64 * 0.11).cos() * 0.5
+    }
+
+    /// Reference: run the scalar RealFftPlan line by line over the same
+    /// strided layout.
+    fn scalar_forward(plan: &ManyRealPlan<f64>, reals: &[f64], spec: &mut [Complex64]) {
+        let rp = RealFftPlan::<f64>::new(plan.n);
+        let mut line = vec![0.0; plan.n];
+        let mut out = vec![Complex64::zero(); plan.h + 1];
+        for b in 0..plan.count {
+            for i in 0..plan.n {
+                line[i] = reals[b * plan.rdist + i * plan.rstride];
+            }
+            rp.forward(&line, &mut out);
+            for (k, v) in out.iter().enumerate() {
+                spec[b * plan.cdist + k * plan.cstride] = *v;
+            }
+        }
+    }
+
+    fn scalar_inverse(plan: &ManyRealPlan<f64>, spec: &[Complex64], reals: &mut [f64]) {
+        let rp = RealFftPlan::<f64>::new(plan.n);
+        let mut line = vec![Complex64::zero(); plan.h + 1];
+        let mut out = vec![0.0; plan.n];
+        for b in 0..plan.count {
+            for (k, v) in line.iter_mut().enumerate() {
+                *v = spec[b * plan.cdist + k * plan.cstride];
+            }
+            rp.inverse(&line, &mut out);
+            for (i, v) in out.iter().enumerate() {
+                reals[b * plan.rdist + i * plan.rstride] = *v;
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_matches_scalar_plan() {
+        for n in [2usize, 4, 6, 8, 16, 64, 96] {
+            let count = 5;
+            let plan = ManyRealPlan::<f64>::contiguous(n, count);
+            let reals: Vec<f64> = (0..n * count).map(wave).collect();
+            let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+            let mut want = spec.clone();
+            plan.forward(&reals, &mut spec);
+            scalar_forward(&plan, &reals, &mut want);
+            for (a, b) in spec.iter().zip(&want) {
+                assert!((*a - *b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip_identity() {
+        for n in [4usize, 6, 16, 48, 128] {
+            let count = 7;
+            let plan = ManyRealPlan::<f64>::contiguous(n, count);
+            let reals: Vec<f64> = (0..n * count).map(wave).collect();
+            let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+            plan.forward(&reals, &mut spec);
+            let mut back = vec![0.0; n * count];
+            plan.inverse(&spec, &mut back);
+            for (a, b) in back.iter().zip(&reals) {
+                assert!((a - b).abs() < 1e-10, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_columns_match_scalar_plan() {
+        // Real lines as interleaved columns (x-lines of a y-fastest grid):
+        // rstride = count, rdist = 1; spectra likewise column-interleaved.
+        let n = 32;
+        let count = 10;
+        let plan = ManyRealPlan::<f64>::new(n, count, count, 1, count, 1);
+        let reals: Vec<f64> = (0..n * count).map(wave).collect();
+        let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+        let mut want = spec.clone();
+        plan.forward(&reals, &mut spec);
+        scalar_forward(&plan, &reals, &mut want);
+        for (i, (a, b)) in spec.iter().zip(&want).enumerate() {
+            assert!((*a - *b).abs() < 1e-10, "i={i}");
+        }
+        // And back.
+        let mut back = vec![0.0; reals.len()];
+        plan.inverse(&spec, &mut back);
+        for (a, b) in back.iter().zip(&reals) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mixed_layout_dense_reals_strided_spectra() {
+        let n = 24;
+        let count = 9;
+        let plan = ManyRealPlan::<f64>::new(n, count, 1, n, count, 1);
+        let reals: Vec<f64> = (0..n * count).map(wave).collect();
+        let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+        let mut want = spec.clone();
+        plan.forward(&reals, &mut spec);
+        scalar_forward(&plan, &reals, &mut want);
+        for (a, b) in spec.iter().zip(&want) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+        let mut back = vec![0.0; reals.len()];
+        let mut wantr = back.clone();
+        plan.inverse(&spec, &mut back);
+        scalar_inverse(&plan, &spec, &mut wantr);
+        for (a, b) in back.iter().zip(&wantr) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn many_tiles_with_ragged_tail() {
+        let n = 8; // tile = 8192/5 → 64; count forces 3 tiles incl. ragged
+        let count = 150;
+        let plan = ManyRealPlan::<f64>::new(n, count, count, 1, count, 1);
+        assert!(plan.count() > plan.tile);
+        let reals: Vec<f64> = (0..n * count).map(wave).collect();
+        let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+        let mut want = spec.clone();
+        plan.forward(&reals, &mut spec);
+        scalar_forward(&plan, &reals, &mut want);
+        for (a, b) in spec.iter().zip(&want) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_dense_and_strided() {
+        for (rs, rd, cs, cd) in [(1, 64, 1, 33), (12, 1, 12, 1)] {
+            let n = 64;
+            let count = 12;
+            let plan = ManyRealPlan::<f64>::new(n, count, rs, rd, cs, cd);
+            let reals: Vec<f64> = (0..plan.required_real_len()).map(wave).collect();
+            let mut a = vec![Complex64::zero(); plan.required_spec_len()];
+            let mut b = a.clone();
+            plan.forward(&reals, &mut a);
+            plan.forward_parallel(&reals, &mut b, 4);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((*x - *y).abs() < 1e-12);
+            }
+            let mut ra = vec![0.0; plan.required_real_len()];
+            let mut rb = ra.clone();
+            plan.inverse(&a, &mut ra);
+            plan.inverse_parallel(&a, &mut rb, 4);
+            for (x, y) in ra.iter().zip(&rb) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_parks_after_use() {
+        let plan = ManyRealPlan::<f64>::contiguous(16, 4);
+        let reals: Vec<f64> = (0..64).map(wave).collect();
+        let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+        plan.forward(&reals, &mut spec);
+        plan.forward(&reals, &mut spec);
+        assert_eq!(plan.scratch.idle(), 1);
+    }
+
+    #[test]
+    fn disjointness_detection() {
+        let p = ManyRealPlan::<f64>::contiguous(8, 4);
+        assert!(p.spec_batches_disjoint() && p.real_batches_disjoint());
+        // Spectrum lines packed tighter than h+1: overlapping.
+        let q = ManyRealPlan::<f64>::new(8, 4, 1, 8, 1, 3);
+        assert!(!q.spec_batches_disjoint());
+        assert!(q.real_batches_disjoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        let _ = ManyRealPlan::<f64>::new(9, 2, 1, 9, 1, 5);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let n = 48;
+        let count = 6;
+        let plan = ManyRealPlan::<f32>::contiguous(n, count);
+        let reals: Vec<f32> = (0..n * count).map(|i| wave(i) as f32).collect();
+        let mut spec = vec![Complex::<f32>::zero(); plan.required_spec_len()];
+        plan.forward(&reals, &mut spec);
+        let mut back = vec![0.0f32; n * count];
+        plan.inverse(&spec, &mut back);
+        for (a, b) in back.iter().zip(&reals) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

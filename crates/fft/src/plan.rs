@@ -14,6 +14,7 @@
 use crate::bluestein::BluesteinPlan;
 use crate::complex::{Complex, Real};
 use crate::scratch::ScratchPool;
+use crate::simd::Vc;
 
 /// Transform direction. Forward is unnormalized; Inverse applies `1/n`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -147,16 +148,6 @@ fn dirw<T: Real, const INV: bool>(w: Complex<T>) -> Complex<T> {
     }
 }
 
-/// `∓i·z`: forward rotates by `-i`, inverse by `+i`.
-#[inline(always)]
-fn rot90<T: Real, const INV: bool>(z: Complex<T>) -> Complex<T> {
-    if INV {
-        z.mul_i()
-    } else {
-        z.mul_neg_i()
-    }
-}
-
 impl<T: Real> Stage<T> {
     fn new(radix: usize, n_cur: usize, s: usize) -> Self {
         let m = n_cur / radix;
@@ -193,93 +184,158 @@ impl<T: Real> Stage<T> {
     }
 
     fn run(&self, src: &[Complex<T>], dst: &mut [Complex<T>], dir: Direction) {
-        match (self.radix, dir) {
-            (2, Direction::Forward) => self.r2::<false>(src, dst),
-            (2, Direction::Inverse) => self.r2::<true>(src, dst),
-            (3, Direction::Forward) => self.r3::<false>(src, dst),
-            (3, Direction::Inverse) => self.r3::<true>(src, dst),
-            (4, Direction::Forward) => self.r4::<false>(src, dst),
-            (4, Direction::Inverse) => self.r4::<true>(src, dst),
-            (5, Direction::Forward) => self.r5::<false>(src, dst),
-            (5, Direction::Inverse) => self.r5::<true>(src, dst),
-            (8, Direction::Forward) => self.r8::<false>(src, dst),
-            (8, Direction::Inverse) => self.r8::<true>(src, dst),
-            (_, Direction::Forward) => self.generic::<false>(src, dst),
-            (_, Direction::Inverse) => self.generic::<true>(src, dst),
+        let lanes = crate::simd::lanes_for(self.s);
+        match dir {
+            Direction::Forward => self.dispatch::<false>(src, dst, lanes),
+            Direction::Inverse => self.dispatch::<true>(src, dst, lanes),
         }
     }
 
-    fn r2<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+    /// Select the codelet instantiation: lane count from the stage stride
+    /// (`s % 4 == 0` → 4-wide, even → 2-wide, else scalar) and `TW = false`
+    /// for `m == 1` stages, whose only twiddle row is all ones — always the
+    /// case for the final Stockham pass, which skips `radix − 1` complex
+    /// multiplies per butterfly there.
+    fn dispatch<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>], lanes: usize) {
+        macro_rules! go {
+            ($f:ident) => {
+                match (lanes, self.m == 1) {
+                    (4, false) => self.$f::<INV, 4, true>(src, dst),
+                    (4, true) => self.$f::<INV, 4, false>(src, dst),
+                    (2, false) => self.$f::<INV, 2, true>(src, dst),
+                    (2, true) => self.$f::<INV, 2, false>(src, dst),
+                    (_, false) => self.$f::<INV, 1, true>(src, dst),
+                    (_, true) => self.$f::<INV, 1, false>(src, dst),
+                }
+            };
+        }
+        match self.radix {
+            2 => go!(r2),
+            3 => go!(r3),
+            4 => go!(r4),
+            5 => go!(r5),
+            8 => go!(r8),
+            _ => self.generic::<INV>(src, dst),
+        }
+    }
+
+    /// Twiddle `k` of butterfly row `tb`, or exact unity when the stage is
+    /// twiddle-free (`TW = false`). The unity branch is const-folded away.
+    #[inline(always)]
+    fn tw<const INV: bool, const TW: bool>(&self, tb: usize, k: usize) -> Complex<T> {
+        if TW {
+            dirw::<T, INV>(self.twiddles[tb + k])
+        } else {
+            Complex::one()
+        }
+    }
+
+    fn r2<const INV: bool, const C: usize, const TW: bool>(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+    ) {
         let (m, s) = (self.m, self.s);
         for p in 0..m {
-            let w1 = dirw::<T, INV>(self.twiddles[p]);
+            let w1 = self.tw::<INV, TW>(p, 0);
             let i0 = s * p;
             let i1 = s * (p + m);
             let o = s * 2 * p;
-            for q in 0..s {
-                let a = src[i0 + q];
-                let b = src[i1 + q];
-                dst[o + q] = a + b;
-                dst[o + s + q] = (a - b) * w1;
+            let mut q = 0;
+            while q < s {
+                let a = Vc::<T, C>::load(src, i0 + q);
+                let b = Vc::<T, C>::load(src, i1 + q);
+                (a + b).store(dst, o + q);
+                let y1 = a - b;
+                let y1 = if TW { y1.cmul(w1) } else { y1 };
+                y1.store(dst, o + s + q);
+                q += C;
             }
         }
     }
 
-    fn r3<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+    fn r3<const INV: bool, const C: usize, const TW: bool>(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+    ) {
         let (m, s) = (self.m, self.s);
         let half = T::from_f64(0.5);
         let rt3h = T::from_f64(0.866_025_403_784_438_6); // √3/2
         for p in 0..m {
-            let w1 = dirw::<T, INV>(self.twiddles[2 * p]);
-            let w2 = dirw::<T, INV>(self.twiddles[2 * p + 1]);
+            let tb = 2 * p;
+            let w1 = self.tw::<INV, TW>(tb, 0);
+            let w2 = self.tw::<INV, TW>(tb, 1);
             let i0 = s * p;
             let i1 = s * (p + m);
             let i2 = s * (p + 2 * m);
             let o = s * 3 * p;
-            for q in 0..s {
-                let a = src[i0 + q];
-                let b = src[i1 + q];
-                let c = src[i2 + q];
+            let mut q = 0;
+            while q < s {
+                let a = Vc::<T, C>::load(src, i0 + q);
+                let b = Vc::<T, C>::load(src, i1 + q);
+                let c = Vc::<T, C>::load(src, i2 + q);
                 let sum = b + c;
                 let re_part = a - sum.scale(half);
-                let rot = rot90::<T, INV>((b - c).scale(rt3h));
-                dst[o + q] = a + sum;
-                dst[o + s + q] = (re_part + rot) * w1;
-                dst[o + 2 * s + q] = (re_part - rot) * w2;
+                let rot = (b - c).scale(rt3h).rot90::<INV>();
+                (a + sum).store(dst, o + q);
+                let y1 = re_part + rot;
+                let y2 = re_part - rot;
+                let y1 = if TW { y1.cmul(w1) } else { y1 };
+                let y2 = if TW { y2.cmul(w2) } else { y2 };
+                y1.store(dst, o + s + q);
+                y2.store(dst, o + 2 * s + q);
+                q += C;
             }
         }
     }
 
-    fn r4<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+    fn r4<const INV: bool, const C: usize, const TW: bool>(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+    ) {
         let (m, s) = (self.m, self.s);
         for p in 0..m {
             let tb = 3 * p;
-            let w1 = dirw::<T, INV>(self.twiddles[tb]);
-            let w2 = dirw::<T, INV>(self.twiddles[tb + 1]);
-            let w3 = dirw::<T, INV>(self.twiddles[tb + 2]);
+            let w1 = self.tw::<INV, TW>(tb, 0);
+            let w2 = self.tw::<INV, TW>(tb, 1);
+            let w3 = self.tw::<INV, TW>(tb, 2);
             let i0 = s * p;
             let i1 = s * (p + m);
             let i2 = s * (p + 2 * m);
             let i3 = s * (p + 3 * m);
             let o = s * 4 * p;
-            for q in 0..s {
-                let a0 = src[i0 + q];
-                let a1 = src[i1 + q];
-                let a2 = src[i2 + q];
-                let a3 = src[i3 + q];
+            let mut q = 0;
+            while q < s {
+                let a0 = Vc::<T, C>::load(src, i0 + q);
+                let a1 = Vc::<T, C>::load(src, i1 + q);
+                let a2 = Vc::<T, C>::load(src, i2 + q);
+                let a3 = Vc::<T, C>::load(src, i3 + q);
                 let t0 = a0 + a2;
                 let t1 = a0 - a2;
                 let t2 = a1 + a3;
-                let t3 = rot90::<T, INV>(a1 - a3);
-                dst[o + q] = t0 + t2;
-                dst[o + s + q] = (t1 + t3) * w1;
-                dst[o + 2 * s + q] = (t0 - t2) * w2;
-                dst[o + 3 * s + q] = (t1 - t3) * w3;
+                let t3 = (a1 - a3).rot90::<INV>();
+                (t0 + t2).store(dst, o + q);
+                let y1 = t1 + t3;
+                let y2 = t0 - t2;
+                let y3 = t1 - t3;
+                let y1 = if TW { y1.cmul(w1) } else { y1 };
+                let y2 = if TW { y2.cmul(w2) } else { y2 };
+                let y3 = if TW { y3.cmul(w3) } else { y3 };
+                y1.store(dst, o + s + q);
+                y2.store(dst, o + 2 * s + q);
+                y3.store(dst, o + 3 * s + q);
+                q += C;
             }
         }
     }
 
-    fn r5<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+    fn r5<const INV: bool, const C: usize, const TW: bool>(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+    ) {
         let (m, s) = (self.m, self.s);
         let c1 = T::from_f64(0.309_016_994_374_947_45); // cos(2π/5)
         let c2 = T::from_f64(-0.809_016_994_374_947_5); // cos(4π/5)
@@ -287,40 +343,54 @@ impl<T: Real> Stage<T> {
         let s2 = T::from_f64(0.587_785_252_292_473_1); // sin(4π/5)
         for p in 0..m {
             let tb = 4 * p;
-            let w1 = dirw::<T, INV>(self.twiddles[tb]);
-            let w2 = dirw::<T, INV>(self.twiddles[tb + 1]);
-            let w3 = dirw::<T, INV>(self.twiddles[tb + 2]);
-            let w4 = dirw::<T, INV>(self.twiddles[tb + 3]);
+            let w1 = self.tw::<INV, TW>(tb, 0);
+            let w2 = self.tw::<INV, TW>(tb, 1);
+            let w3 = self.tw::<INV, TW>(tb, 2);
+            let w4 = self.tw::<INV, TW>(tb, 3);
             let i0 = s * p;
             let i1 = s * (p + m);
             let i2 = s * (p + 2 * m);
             let i3 = s * (p + 3 * m);
             let i4 = s * (p + 4 * m);
             let o = s * 5 * p;
-            for q in 0..s {
-                let a0 = src[i0 + q];
-                let a1 = src[i1 + q];
-                let a2 = src[i2 + q];
-                let a3 = src[i3 + q];
-                let a4 = src[i4 + q];
+            let mut q = 0;
+            while q < s {
+                let a0 = Vc::<T, C>::load(src, i0 + q);
+                let a1 = Vc::<T, C>::load(src, i1 + q);
+                let a2 = Vc::<T, C>::load(src, i2 + q);
+                let a3 = Vc::<T, C>::load(src, i3 + q);
+                let a4 = Vc::<T, C>::load(src, i4 + q);
                 let t1 = a1 + a4;
                 let t2 = a2 + a3;
                 let t3 = a1 - a4;
                 let t4 = a2 - a3;
                 let m1 = a0 + t1.scale(c1) + t2.scale(c2);
                 let m2 = a0 + t1.scale(c2) + t2.scale(c1);
-                let u1 = rot90::<T, INV>(t3.scale(s1) + t4.scale(s2));
-                let u2 = rot90::<T, INV>(t3.scale(s2) - t4.scale(s1));
-                dst[o + q] = a0 + t1 + t2;
-                dst[o + s + q] = (m1 + u1) * w1;
-                dst[o + 2 * s + q] = (m2 + u2) * w2;
-                dst[o + 3 * s + q] = (m2 - u2) * w3;
-                dst[o + 4 * s + q] = (m1 - u1) * w4;
+                let u1 = (t3.scale(s1) + t4.scale(s2)).rot90::<INV>();
+                let u2 = (t3.scale(s2) - t4.scale(s1)).rot90::<INV>();
+                (a0 + t1 + t2).store(dst, o + q);
+                let y1 = m1 + u1;
+                let y2 = m2 + u2;
+                let y3 = m2 - u2;
+                let y4 = m1 - u1;
+                let y1 = if TW { y1.cmul(w1) } else { y1 };
+                let y2 = if TW { y2.cmul(w2) } else { y2 };
+                let y3 = if TW { y3.cmul(w3) } else { y3 };
+                let y4 = if TW { y4.cmul(w4) } else { y4 };
+                y1.store(dst, o + s + q);
+                y2.store(dst, o + 2 * s + q);
+                y3.store(dst, o + 3 * s + q);
+                y4.store(dst, o + 4 * s + q);
+                q += C;
             }
         }
     }
 
-    fn r8<const INV: bool>(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+    fn r8<const INV: bool, const C: usize, const TW: bool>(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+    ) {
         let (m, s) = (self.m, self.s);
         let h = T::from_f64(std::f64::consts::FRAC_1_SQRT_2); // √2/2
         for p in 0..m {
@@ -329,21 +399,22 @@ impl<T: Real> Stage<T> {
             let (i0, i1, i2, i3) = (i(0), i(1), i(2), i(3));
             let (i4, i5, i6, i7) = (i(4), i(5), i(6), i(7));
             let o = s * 8 * p;
-            for q in 0..s {
-                let a0 = src[i0 + q];
-                let a1 = src[i1 + q];
-                let a2 = src[i2 + q];
-                let a3 = src[i3 + q];
-                let a4 = src[i4 + q];
-                let a5 = src[i5 + q];
-                let a6 = src[i6 + q];
-                let a7 = src[i7 + q];
+            let mut q = 0;
+            while q < s {
+                let a0 = Vc::<T, C>::load(src, i0 + q);
+                let a1 = Vc::<T, C>::load(src, i1 + q);
+                let a2 = Vc::<T, C>::load(src, i2 + q);
+                let a3 = Vc::<T, C>::load(src, i3 + q);
+                let a4 = Vc::<T, C>::load(src, i4 + q);
+                let a5 = Vc::<T, C>::load(src, i5 + q);
+                let a6 = Vc::<T, C>::load(src, i6 + q);
+                let a7 = Vc::<T, C>::load(src, i7 + q);
                 // Even / odd 4-point DFTs (decimation in time within the
                 // codelet).
                 let e_t0 = a0 + a4;
                 let e_t1 = a0 - a4;
                 let e_t2 = a2 + a6;
-                let e_t3 = rot90::<T, INV>(a2 - a6);
+                let e_t3 = (a2 - a6).rot90::<INV>();
                 let e0 = e_t0 + e_t2;
                 let e1 = e_t1 + e_t3;
                 let e2 = e_t0 - e_t2;
@@ -351,33 +422,177 @@ impl<T: Real> Stage<T> {
                 let o_t0 = a1 + a5;
                 let o_t1 = a1 - a5;
                 let o_t2 = a3 + a7;
-                let o_t3 = rot90::<T, INV>(a3 - a7);
+                let o_t3 = (a3 - a7).rot90::<INV>();
                 let o0 = o_t0 + o_t2;
                 let o1 = o_t1 + o_t3;
                 let o2 = o_t0 - o_t2;
                 let o3 = o_t1 - o_t3;
                 // w8^k·o_k for k = 1..4: w8 = (1 ∓ i)/√2, w8² = ∓i,
                 // w8³ = (-1 ∓ i)/√2.
-                let w8o1 = (o1 + rot90::<T, INV>(o1)).scale(h);
-                let w8o2 = rot90::<T, INV>(o2);
-                let w8o3 = (rot90::<T, INV>(o3) - o3).scale(h);
-                let b0 = e0 + o0;
-                let b4 = e0 - o0;
-                let b1 = e1 + w8o1;
-                let b5 = e1 - w8o1;
-                let b2 = e2 + w8o2;
-                let b6 = e2 - w8o2;
-                let b3 = e3 + w8o3;
-                let b7 = e3 - w8o3;
-                dst[o + q] = b0;
-                dst[o + s + q] = b1 * dirw::<T, INV>(self.twiddles[tb]);
-                dst[o + 2 * s + q] = b2 * dirw::<T, INV>(self.twiddles[tb + 1]);
-                dst[o + 3 * s + q] = b3 * dirw::<T, INV>(self.twiddles[tb + 2]);
-                dst[o + 4 * s + q] = b4 * dirw::<T, INV>(self.twiddles[tb + 3]);
-                dst[o + 5 * s + q] = b5 * dirw::<T, INV>(self.twiddles[tb + 4]);
-                dst[o + 6 * s + q] = b6 * dirw::<T, INV>(self.twiddles[tb + 5]);
-                dst[o + 7 * s + q] = b7 * dirw::<T, INV>(self.twiddles[tb + 6]);
+                let w8o1 = (o1 + o1.rot90::<INV>()).scale(h);
+                let w8o2 = o2.rot90::<INV>();
+                let w8o3 = (o3.rot90::<INV>() - o3).scale(h);
+                (e0 + o0).store(dst, o + q);
+                let y1 = e1 + w8o1;
+                let y2 = e2 + w8o2;
+                let y3 = e3 + w8o3;
+                let y4 = e0 - o0;
+                let y5 = e1 - w8o1;
+                let y6 = e2 - w8o2;
+                let y7 = e3 - w8o3;
+                let y1 = if TW {
+                    y1.cmul(self.tw::<INV, TW>(tb, 0))
+                } else {
+                    y1
+                };
+                let y2 = if TW {
+                    y2.cmul(self.tw::<INV, TW>(tb, 1))
+                } else {
+                    y2
+                };
+                let y3 = if TW {
+                    y3.cmul(self.tw::<INV, TW>(tb, 2))
+                } else {
+                    y3
+                };
+                let y4 = if TW {
+                    y4.cmul(self.tw::<INV, TW>(tb, 3))
+                } else {
+                    y4
+                };
+                let y5 = if TW {
+                    y5.cmul(self.tw::<INV, TW>(tb, 4))
+                } else {
+                    y5
+                };
+                let y6 = if TW {
+                    y6.cmul(self.tw::<INV, TW>(tb, 5))
+                } else {
+                    y6
+                };
+                let y7 = if TW {
+                    y7.cmul(self.tw::<INV, TW>(tb, 6))
+                } else {
+                    y7
+                };
+                y1.store(dst, o + s + q);
+                y2.store(dst, o + 2 * s + q);
+                y3.store(dst, o + 3 * s + q);
+                y4.store(dst, o + 4 * s + q);
+                y5.store(dst, o + 5 * s + q);
+                y6.store(dst, o + 6 * s + q);
+                y7.store(dst, o + 7 * s + q);
+                q += C;
             }
+        }
+    }
+
+    /// True when this stage can run via [`run_in_place`](Self::run_in_place).
+    /// Final (`m == 1`) passes read and write the *same* index set
+    /// `{k·s + q}`, so they need no second buffer — which lets odd-length
+    /// stage chains skip the upfront data→scratch copy entirely.
+    fn supports_in_place(&self) -> bool {
+        self.m == 1 && matches!(self.radix, 2 | 4 | 8)
+    }
+
+    /// Twiddle-free final pass applied in place: all lanes of one `q` group
+    /// are loaded into registers before any store, so the overlapping
+    /// read/write sets never conflict.
+    fn run_in_place(&self, buf: &mut [Complex<T>], dir: Direction) {
+        debug_assert!(self.supports_in_place());
+        let lanes = crate::simd::lanes_for(self.s);
+        macro_rules! go {
+            ($f:ident) => {
+                match (lanes, dir) {
+                    (4, Direction::Forward) => self.$f::<false, 4>(buf),
+                    (4, Direction::Inverse) => self.$f::<true, 4>(buf),
+                    (2, Direction::Forward) => self.$f::<false, 2>(buf),
+                    (2, Direction::Inverse) => self.$f::<true, 2>(buf),
+                    (_, Direction::Forward) => self.$f::<false, 1>(buf),
+                    (_, Direction::Inverse) => self.$f::<true, 1>(buf),
+                }
+            };
+        }
+        match self.radix {
+            2 => go!(r2_ip),
+            4 => go!(r4_ip),
+            _ => go!(r8_ip),
+        }
+    }
+
+    fn r2_ip<const INV: bool, const C: usize>(&self, buf: &mut [Complex<T>]) {
+        let s = self.s;
+        let mut q = 0;
+        while q < s {
+            let a = Vc::<T, C>::load(buf, q);
+            let b = Vc::<T, C>::load(buf, s + q);
+            (a + b).store(buf, q);
+            (a - b).store(buf, s + q);
+            q += C;
+        }
+    }
+
+    fn r4_ip<const INV: bool, const C: usize>(&self, buf: &mut [Complex<T>]) {
+        let s = self.s;
+        let mut q = 0;
+        while q < s {
+            let a0 = Vc::<T, C>::load(buf, q);
+            let a1 = Vc::<T, C>::load(buf, s + q);
+            let a2 = Vc::<T, C>::load(buf, 2 * s + q);
+            let a3 = Vc::<T, C>::load(buf, 3 * s + q);
+            let t0 = a0 + a2;
+            let t1 = a0 - a2;
+            let t2 = a1 + a3;
+            let t3 = (a1 - a3).rot90::<INV>();
+            (t0 + t2).store(buf, q);
+            (t1 + t3).store(buf, s + q);
+            (t0 - t2).store(buf, 2 * s + q);
+            (t1 - t3).store(buf, 3 * s + q);
+            q += C;
+        }
+    }
+
+    fn r8_ip<const INV: bool, const C: usize>(&self, buf: &mut [Complex<T>]) {
+        let s = self.s;
+        let h = T::from_f64(std::f64::consts::FRAC_1_SQRT_2); // √2/2
+        let mut q = 0;
+        while q < s {
+            let a0 = Vc::<T, C>::load(buf, q);
+            let a1 = Vc::<T, C>::load(buf, s + q);
+            let a2 = Vc::<T, C>::load(buf, 2 * s + q);
+            let a3 = Vc::<T, C>::load(buf, 3 * s + q);
+            let a4 = Vc::<T, C>::load(buf, 4 * s + q);
+            let a5 = Vc::<T, C>::load(buf, 5 * s + q);
+            let a6 = Vc::<T, C>::load(buf, 6 * s + q);
+            let a7 = Vc::<T, C>::load(buf, 7 * s + q);
+            let e_t0 = a0 + a4;
+            let e_t1 = a0 - a4;
+            let e_t2 = a2 + a6;
+            let e_t3 = (a2 - a6).rot90::<INV>();
+            let e0 = e_t0 + e_t2;
+            let e1 = e_t1 + e_t3;
+            let e2 = e_t0 - e_t2;
+            let e3 = e_t1 - e_t3;
+            let o_t0 = a1 + a5;
+            let o_t1 = a1 - a5;
+            let o_t2 = a3 + a7;
+            let o_t3 = (a3 - a7).rot90::<INV>();
+            let o0 = o_t0 + o_t2;
+            let o1 = o_t1 + o_t3;
+            let o2 = o_t0 - o_t2;
+            let o3 = o_t1 - o_t3;
+            let w8o1 = (o1 + o1.rot90::<INV>()).scale(h);
+            let w8o2 = o2.rot90::<INV>();
+            let w8o3 = (o3.rot90::<INV>() - o3).scale(h);
+            (e0 + o0).store(buf, q);
+            (e1 + w8o1).store(buf, s + q);
+            (e2 + w8o2).store(buf, 2 * s + q);
+            (e3 + w8o3).store(buf, 3 * s + q);
+            (e0 - o0).store(buf, 4 * s + q);
+            (e1 - w8o1).store(buf, 5 * s + q);
+            (e2 - w8o2).store(buf, 6 * s + q);
+            (e3 - w8o3).store(buf, 7 * s + q);
+            q += C;
         }
     }
 
@@ -493,20 +708,32 @@ impl<T: Real> FftPlan<T> {
             return;
         }
         let scratch = &mut scratch[..self.n];
-        // Ping-pong so the final stage writes into `data`: an odd stage
-        // count starts from a copy in scratch, an even one from data.
-        let (mut src, mut dst): (&mut [Complex<T>], &mut [Complex<T>]) =
-            if self.stages.len() % 2 == 1 {
-                scratch.copy_from_slice(data);
-                (scratch, data)
-            } else {
-                (data, scratch)
-            };
-        for st in &self.stages {
+        // Ping-pong so the final stage writes into `data`. An odd stage
+        // count would need to start from a copy in scratch; when the final
+        // (always twiddle-free) stage has an in-place codelet we instead run
+        // the even-length body chain from `data` and finish in place,
+        // skipping the copy altogether.
+        let odd = self.stages.len() % 2 == 1;
+        let in_place_last = odd && self.stages.last().is_some_and(Stage::supports_in_place);
+        let body = if in_place_last {
+            &self.stages[..self.stages.len() - 1]
+        } else {
+            &self.stages[..]
+        };
+        let (mut src, mut dst): (&mut [Complex<T>], &mut [Complex<T>]) = if odd && !in_place_last {
+            scratch.copy_from_slice(data);
+            (scratch, data)
+        } else {
+            (data, scratch)
+        };
+        for st in body {
             st.run(src, dst, dir);
             std::mem::swap(&mut src, &mut dst);
         }
         // After the last swap `src` aliases `data`.
+        if in_place_last {
+            self.stages[self.stages.len() - 1].run_in_place(src, dir);
+        }
         if dir == Direction::Inverse {
             let inv = T::ONE / T::from_usize(self.n);
             for v in src.iter_mut() {

@@ -9,12 +9,143 @@
 //! take/give is a mutex-guarded `Vec::pop`/`push` with no heap traffic —
 //! this is what makes the zero-allocation guarantee of
 //! `ManyPlan::execute_parallel` hold.
+//!
+//! Buffers are [`AlignedVec`]s: every allocation starts on its own
+//! [`SCRATCH_ALIGN`]-byte (cache-line) boundary, so when the worker pool
+//! hands one slot to each participant, no two threads' scratch ever shares a
+//! line — the false-sharing failure mode of `Vec`-based slots, whose
+//! allocator-placed headers can pack adjacent buffers into one line.
 
 use psdns_sync::Mutex;
+use std::alloc::{alloc, dealloc, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) of every scratch allocation: one x86 cache line / half
+/// an Apple-silicon line. Also comfortably covers any vector-lane alignment
+/// the autovectorized codelets might profit from.
+pub const SCRATCH_ALIGN: usize = 64;
+
+/// A fixed-capacity heap buffer aligned to [`SCRATCH_ALIGN`], dereferencing
+/// to `[U]`. Grows only through [`ensure_len`](Self::ensure_len); contents
+/// are scratch semantics (unspecified after growth except that every element
+/// is initialized).
+pub struct AlignedVec<U> {
+    ptr: NonNull<U>,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively, so it is Send/Sync
+// exactly when its element type is.
+unsafe impl<U: Send> Send for AlignedVec<U> {}
+unsafe impl<U: Sync> Sync for AlignedVec<U> {}
+
+impl<U> AlignedVec<U> {
+    pub const fn new() -> Self {
+        Self {
+            ptr: NonNull::dangling(),
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(
+            cap * std::mem::size_of::<U>(),
+            std::mem::align_of::<U>().max(SCRATCH_ALIGN),
+        )
+        .expect("scratch layout overflow")
+    }
+}
+
+impl<U> Default for AlignedVec<U> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<U: Copy + Default> AlignedVec<U> {
+    /// A buffer of `len` default-filled elements.
+    pub fn with_len(len: usize) -> Self {
+        let mut v = Self::new();
+        v.ensure_len(len);
+        v
+    }
+
+    /// Make the buffer at least `len` elements long. Newly exposed elements
+    /// are default-filled; existing contents are *not* preserved across a
+    /// reallocation (scratch semantics).
+    pub fn ensure_len(&mut self, len: usize) {
+        if len > self.cap {
+            let new_cap = len.max(self.cap * 2);
+            // SAFETY: non-zero size (len > cap >= 0 so len > 0), layout from
+            // a valid size/align pair; the old block — if any — is freed
+            // with the same layout it was allocated with.
+            unsafe {
+                let new = alloc(Self::layout(new_cap)) as *mut U;
+                let new = NonNull::new(new).expect("scratch allocation failed");
+                if self.cap > 0 {
+                    dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap));
+                }
+                self.ptr = new;
+            }
+            self.cap = new_cap;
+            self.len = 0; // contents lost; refill below
+        }
+        if len > self.len {
+            // SAFETY: [len, cap) is allocated but uninitialized (or stale);
+            // U: Copy means no drop obligations when overwriting.
+            unsafe {
+                for i in self.len..len {
+                    self.ptr.as_ptr().add(i).write(U::default());
+                }
+            }
+        }
+        self.len = self.len.max(len);
+    }
+}
+
+impl<U> Drop for AlignedVec<U> {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: allocated in ensure_len with this exact layout;
+            // elements are Copy-constrained at creation so need no drop.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.cap)) }
+        }
+    }
+}
+
+impl<U> Deref for AlignedVec<U> {
+    type Target = [U];
+    fn deref(&self) -> &[U] {
+        // SAFETY: [0, len) is initialized (ensure_len) and uniquely owned.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<U> DerefMut for AlignedVec<U> {
+    fn deref_mut(&mut self) -> &mut [U] {
+        // SAFETY: see Deref; &mut self gives exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
 
 /// A small stack of reusable buffers, one per concurrent user.
 pub struct ScratchPool<U> {
-    bufs: Mutex<Vec<Vec<U>>>,
+    bufs: Mutex<Vec<AlignedVec<U>>>,
 }
 
 impl<U> Default for ScratchPool<U> {
@@ -36,21 +167,19 @@ impl<U> ScratchPool<U> {
     }
 }
 
-impl<U: Clone + Default> ScratchPool<U> {
-    /// Borrow a buffer of at least `len` elements (zero-filled on growth;
+impl<U: Copy + Default> ScratchPool<U> {
+    /// Borrow a buffer of at least `len` elements (default-filled on growth;
     /// contents are otherwise whatever the previous user left — scratch
     /// semantics). Steady state performs no allocation: the popped buffer
     /// already has the required capacity.
-    pub fn take(&self, len: usize) -> Vec<U> {
+    pub fn take(&self, len: usize) -> AlignedVec<U> {
         let mut buf = self.bufs.lock().pop().unwrap_or_default();
-        if buf.len() < len {
-            buf.resize(len, U::default());
-        }
+        buf.ensure_len(len);
         buf
     }
 
     /// Return a buffer for reuse.
-    pub fn give(&self, buf: Vec<U>) {
+    pub fn give(&self, buf: AlignedVec<U>) {
         self.bufs.lock().push(buf);
     }
 }
@@ -82,5 +211,32 @@ mod tests {
         pool.give(a);
         pool.give(b);
         assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn buffers_are_cache_line_aligned() {
+        let pool = ScratchPool::<f64>::new();
+        for len in [1usize, 7, 64, 1000] {
+            let buf = pool.take(len);
+            assert_eq!(buf.as_ptr() as usize % SCRATCH_ALIGN, 0, "len={len}");
+            assert_eq!(buf.len(), len);
+            pool.give(buf);
+        }
+    }
+
+    #[test]
+    fn growth_default_fills_and_slices_work() {
+        let mut v = AlignedVec::<u32>::with_len(4);
+        assert_eq!(&v[..], &[0, 0, 0, 0]);
+        v[2] = 7;
+        v.ensure_len(3); // shrink request: no-op
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[2], 7);
+        v.ensure_len(100);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().skip(4).all(|&x| x == 0));
+        let (a, b) = v.split_at_mut(10);
+        assert_eq!(a.len(), 10);
+        assert_eq!(b.len(), 90);
     }
 }

@@ -1,0 +1,225 @@
+//! Portable SIMD lane vectors for the Stockham codelets.
+//!
+//! A [`Vc<T, C>`] is a small fixed array of `C` interleaved complex values —
+//! one register-group's worth of the unit-stride `q` loop in a Stockham
+//! pass. Every operation is a plain element-wise loop over the `C` lanes, so
+//! the compiler fully unrolls it and (because `Complex<T>` is `repr(C)` over
+//! two scalars) sees a flat `2·C`-wide scalar kernel it can map onto packed
+//! mul/add/shuffle instructions on any target — no nightly features, no
+//! intrinsics, and `C = 1` *is* the scalar fallback rather than a separate
+//! code path.
+//!
+//! The complex multiply is phrased in lane form: with `swap_ri` exchanging
+//! the re/im pair inside each lane (a `vpermilpd`-shaped shuffle) and
+//! [`Vc::mul_ri`] scaling the re/im halves by independent factors,
+//! `z·w = z·(wr, wr) + swap(z)·(−wi, wi)` — two packed multiplies, one
+//! packed add, one shuffle per lane group, which is exactly the interleaved
+//! complex-product idiom vector ISAs are built around.
+
+use crate::complex::{Complex, Real};
+use core::ops::{Add, Sub};
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// `C` complex lanes processed together by one codelet butterfly.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(transparent)]
+pub struct Vc<T, const C: usize>(pub [Complex<T>; C]);
+
+impl<T: Real, const C: usize> Vc<T, C> {
+    /// Load `C` consecutive complex values starting at `src[off]`.
+    #[inline(always)]
+    pub fn load(src: &[Complex<T>], off: usize) -> Self {
+        let mut v = [Complex::zero(); C];
+        v.copy_from_slice(&src[off..off + C]);
+        Self(v)
+    }
+
+    /// Store the lanes to `C` consecutive slots starting at `dst[off]`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [Complex<T>], off: usize) {
+        dst[off..off + C].copy_from_slice(&self.0);
+    }
+
+    /// Multiply every lane by the real scalar `f`.
+    #[inline(always)]
+    pub fn scale(self, f: T) -> Self {
+        let mut v = self.0;
+        for z in &mut v {
+            *z = z.scale(f);
+        }
+        Self(v)
+    }
+
+    /// Swap the re/im halves of every lane: `(x, y) → (y, x)`.
+    #[inline(always)]
+    pub fn swap_ri(self) -> Self {
+        let mut v = self.0;
+        for z in &mut v {
+            *z = Complex::new(z.im, z.re);
+        }
+        Self(v)
+    }
+
+    /// Scale the re half of every lane by `fr` and the im half by `fi`.
+    #[inline(always)]
+    pub fn mul_ri(self, fr: T, fi: T) -> Self {
+        let mut v = self.0;
+        for z in &mut v {
+            *z = Complex::new(z.re * fr, z.im * fi);
+        }
+        Self(v)
+    }
+
+    /// Lane-wise complex multiply by the (broadcast) twiddle `w`.
+    #[inline(always)]
+    pub fn cmul(self, w: Complex<T>) -> Self {
+        self.mul_ri(w.re, w.re) + self.swap_ri().mul_ri(-w.im, w.im)
+    }
+
+    /// Lane-wise `∓i·z`: forward (`INV = false`) rotates by `−i`, inverse by
+    /// `+i` — the same convention as the scalar codelets' `rot90`.
+    #[inline(always)]
+    pub fn rot90<const INV: bool>(self) -> Self {
+        if INV {
+            self.swap_ri().mul_ri(-T::ONE, T::ONE)
+        } else {
+            self.swap_ri().mul_ri(T::ONE, -T::ONE)
+        }
+    }
+}
+
+impl<T: Real, const C: usize> Add for Vc<T, C> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut v = self.0;
+        for (a, b) in v.iter_mut().zip(rhs.0) {
+            *a += b;
+        }
+        Self(v)
+    }
+}
+
+impl<T: Real, const C: usize> Sub for Vc<T, C> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut v = self.0;
+        for (a, b) in v.iter_mut().zip(rhs.0) {
+            *a -= b;
+        }
+        Self(v)
+    }
+}
+
+/// Codelet dispatch mode for the vectorized Stockham passes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CodeletMode {
+    /// Pick the widest lane count the stage stride admits (default).
+    Auto,
+    /// Force the 1-lane instantiation everywhere — the A/B baseline the
+    /// `fft_simd` bench group and the equivalence proptests compare against.
+    Scalar,
+}
+
+/// 0 = unresolved (consult `PSDNS_SIMD` on first use), 1 = Auto, 2 = Scalar.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Current codelet mode. Resolved once from the `PSDNS_SIMD` environment
+/// variable (`0` / `off` / `scalar` force [`CodeletMode::Scalar`]) unless
+/// overridden by [`set_codelet_mode`].
+pub fn codelet_mode() -> CodeletMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => CodeletMode::Auto,
+        2 => CodeletMode::Scalar,
+        _ => {
+            let mode = match std::env::var("PSDNS_SIMD") {
+                Ok(v) if matches!(v.as_str(), "0" | "off" | "scalar") => CodeletMode::Scalar,
+                _ => CodeletMode::Auto,
+            };
+            set_codelet_mode(mode);
+            mode
+        }
+    }
+}
+
+/// Override the codelet mode for the whole process — used by the bench
+/// runner's simd-vs-scalar A/B and by the equivalence proptests.
+pub fn set_codelet_mode(mode: CodeletMode) {
+    let v = match mode {
+        CodeletMode::Auto => 1,
+        CodeletMode::Scalar => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Widest lane count admitted for a stage with unit-stride run length `s`:
+/// 4 when `s` is a multiple of 4, 2 when even, else scalar. [`Scalar`
+/// mode](CodeletMode::Scalar) pins this to 1.
+#[inline]
+pub fn lanes_for(s: usize) -> usize {
+    if codelet_mode() == CodeletMode::Scalar {
+        1
+    } else if s.is_multiple_of(4) {
+        4
+    } else if s.is_multiple_of(2) {
+        2
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    fn sample() -> Vc<f64, 2> {
+        Vc([Complex64::new(1.5, -2.0), Complex64::new(-0.25, 3.0)])
+    }
+
+    #[test]
+    fn cmul_matches_scalar_complex_multiply() {
+        let w = Complex64::new(0.6, -0.8);
+        let v = sample().cmul(w);
+        for (lane, z) in v.0.iter().zip(sample().0) {
+            let expect = z * w;
+            assert!((lane.re - expect.re).abs() < 1e-15);
+            assert!((lane.im - expect.im).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rot90_matches_mul_i_conventions() {
+        let v = sample();
+        let fwd = v.rot90::<false>();
+        let inv = v.rot90::<true>();
+        for i in 0..2 {
+            assert_eq!(fwd.0[i], v.0[i].mul_neg_i());
+            assert_eq!(inv.0[i], v.0[i].mul_i());
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src: Vec<Complex64> = (0..6)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        let v = Vc::<f64, 4>::load(&src, 1);
+        let mut dst = vec![Complex64::zero(); 6];
+        v.store(&mut dst, 2);
+        assert_eq!(&dst[2..6], &src[1..5]);
+    }
+
+    #[test]
+    fn lane_width_follows_stride() {
+        set_codelet_mode(CodeletMode::Auto);
+        assert_eq!(lanes_for(1), 1);
+        assert_eq!(lanes_for(2), 2);
+        assert_eq!(lanes_for(6), 2);
+        assert_eq!(lanes_for(8), 4);
+        set_codelet_mode(CodeletMode::Scalar);
+        assert_eq!(lanes_for(8), 1);
+        set_codelet_mode(CodeletMode::Auto);
+    }
+}

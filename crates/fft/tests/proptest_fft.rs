@@ -2,7 +2,23 @@
 //! for *every* length, including awkward primes served by Bluestein.
 
 use proptest::prelude::*;
-use psdns_fft::{dft_naive, Complex, Complex64, Direction, FftPlan, ManyPlan, RealFftPlan};
+use psdns_fft::simd::{set_codelet_mode, CodeletMode};
+use psdns_fft::{
+    dft_naive, Complex, Complex64, Direction, FftPlan, ManyPlan, ManyRealPlan, RealFftPlan,
+};
+
+/// Units-in-last-place distance between two doubles (0 when bit-identical).
+fn ulps(a: f64, b: f64) -> u64 {
+    let ord = |x: f64| -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    };
+    (ord(a) - ord(b)).unsigned_abs()
+}
 
 fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
     prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), n..=n)
@@ -163,6 +179,137 @@ proptest! {
         plan.execute(&mut ser, Direction::Forward);
         for i in 0..len {
             prop_assert!((par[i] - ser[i]).abs() < 1e-12, "i={}", i);
+        }
+    }
+
+    /// The vectorized codelets must agree with the forced 1-lane
+    /// instantiation to within 2 ulp on every radix-2/4/8-factor length:
+    /// lanes only batch independent columns, they never reorder the
+    /// per-element arithmetic.
+    #[test]
+    fn simd_matches_scalar_within_2_ulp(exp in 1u32..10, seed in 0u64..1000) {
+        let n = 1usize << exp;
+        let plan = FftPlan::<f64>::new(n);
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed.wrapping_add(11)) as f64;
+                Complex64::new((t * 1e-3).sin(), (t * 7e-4).cos())
+            })
+            .collect();
+        set_codelet_mode(CodeletMode::Scalar);
+        let mut ys = x.clone();
+        plan.execute(&mut ys, Direction::Forward);
+        set_codelet_mode(CodeletMode::Auto);
+        let mut ya = x;
+        plan.execute(&mut ya, Direction::Forward);
+        for k in 0..n {
+            prop_assert!(
+                ulps(ya[k].re, ys[k].re) <= 2 && ulps(ya[k].im, ys[k].im) <= 2,
+                "n={} k={}: auto {:?} vs scalar {:?}", n, k, ya[k], ys[k]
+            );
+        }
+    }
+
+    /// Batched r2c/c2r over an arbitrary disjoint strided layout — dense
+    /// rows or strided columns on either side, independently — must match
+    /// the scalar single-line real plan gathered over the same layout, and
+    /// round-trip back to the input.
+    #[test]
+    fn many_real_matches_scalar_f64(
+        h in 1usize..12,
+        count in 1usize..6,
+        rpad in 0usize..3,
+        cpad in 0usize..3,
+        rcolumns in 0usize..2,
+        ccolumns in 0usize..2,
+    ) {
+        let n = 2 * h;
+        let (rstride, rdist) = if rcolumns == 1 { (count + rpad, 1) } else { (1, n + rpad) };
+        let (cstride, cdist) = if ccolumns == 1 { (count + cpad, 1) } else { (1, h + 1 + cpad) };
+        let plan = ManyRealPlan::<f64>::new(n, count, rstride, rdist, cstride, cdist);
+        let reals: Vec<f64> = (0..plan.required_real_len())
+            .map(|i| ((i * 31 % 113) as f64) * 0.017 - 0.9)
+            .collect();
+        let mut spec = vec![Complex64::zero(); plan.required_spec_len()];
+        plan.forward(&reals, &mut spec);
+
+        let scalar = RealFftPlan::<f64>::new(n);
+        let mut line = vec![0.0f64; n];
+        let mut line_spec = vec![Complex64::zero(); h + 1];
+        for b in 0..count {
+            for (j, l) in line.iter_mut().enumerate() {
+                *l = reals[b * rdist + j * rstride];
+            }
+            scalar.forward(&line, &mut line_spec);
+            for (k, l) in line_spec.iter().enumerate() {
+                let got = spec[b * cdist + k * cstride];
+                prop_assert!(
+                    (got - *l).abs() < 1e-10 * (1.0 + l.abs()),
+                    "b={} k={}: {:?} vs {:?}", b, k, got, l
+                );
+            }
+        }
+
+        let mut back = vec![0.0f64; plan.required_real_len()];
+        plan.inverse(&spec, &mut back);
+        for b in 0..count {
+            for j in 0..n {
+                let i = b * rdist + j * rstride;
+                prop_assert!(
+                    (back[i] - reals[i]).abs() < 1e-10 * (1.0 + reals[i].abs()),
+                    "b={} j={}", b, j
+                );
+            }
+        }
+    }
+
+    /// Single-precision twin of `many_real_matches_scalar_f64`.
+    #[test]
+    fn many_real_matches_scalar_f32(
+        h in 1usize..12,
+        count in 1usize..6,
+        rpad in 0usize..3,
+        cpad in 0usize..3,
+        rcolumns in 0usize..2,
+        ccolumns in 0usize..2,
+    ) {
+        let n = 2 * h;
+        let (rstride, rdist) = if rcolumns == 1 { (count + rpad, 1) } else { (1, n + rpad) };
+        let (cstride, cdist) = if ccolumns == 1 { (count + cpad, 1) } else { (1, h + 1 + cpad) };
+        let plan = ManyRealPlan::<f32>::new(n, count, rstride, rdist, cstride, cdist);
+        let reals: Vec<f32> = (0..plan.required_real_len())
+            .map(|i| ((i * 31 % 113) as f32) * 0.017 - 0.9)
+            .collect();
+        let mut spec = vec![Complex::<f32>::zero(); plan.required_spec_len()];
+        plan.forward(&reals, &mut spec);
+
+        let scalar = RealFftPlan::<f32>::new(n);
+        let mut line = vec![0.0f32; n];
+        let mut line_spec = vec![Complex::<f32>::zero(); h + 1];
+        for b in 0..count {
+            for (j, l) in line.iter_mut().enumerate() {
+                *l = reals[b * rdist + j * rstride];
+            }
+            scalar.forward(&line, &mut line_spec);
+            for (k, l) in line_spec.iter().enumerate() {
+                let got = spec[b * cdist + k * cstride];
+                prop_assert!(
+                    (got - *l).abs() < 1e-3 * (1.0 + l.abs()),
+                    "b={} k={}: {:?} vs {:?}", b, k, got, l
+                );
+            }
+        }
+
+        let mut back = vec![0.0f32; plan.required_real_len()];
+        plan.inverse(&spec, &mut back);
+        for b in 0..count {
+            for j in 0..n {
+                let i = b * rdist + j * rstride;
+                prop_assert!(
+                    (back[i] - reals[i]).abs() < 1e-3 * (1.0 + reals[i].abs()),
+                    "b={} j={}", b, j
+                );
+            }
         }
     }
 

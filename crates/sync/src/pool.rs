@@ -24,7 +24,11 @@ use std::thread::JoinHandle;
 
 use crate::{Condvar, Mutex};
 
-type Task = dyn Fn(usize, usize) + Sync;
+/// A published parallel-for body: `(participant, lo, hi)`. The participant
+/// index is dense in `[0, max_threads)` for one job — 0 is the caller,
+/// workers get `1 + join order` — so callers can pre-assign per-participant
+/// resources (scratch slots) without any per-chunk synchronization.
+type Task = dyn Fn(usize, usize, usize) + Sync;
 
 /// One published parallel-for: a borrowed closure and its iteration space.
 #[derive(Copy, Clone)]
@@ -61,16 +65,43 @@ struct Shared {
     threads_spawned: AtomicU64,
     jobs: AtomicU64,
     chunks: AtomicU64,
+    /// Chunks retired per OS thread: slot 0 aggregates every *caller*
+    /// thread, slot `1 + i` is pool worker `i`. Relaxed counters only —
+    /// they are observability, not part of the checked dispatch protocol.
+    thread_chunks: Vec<AtomicU64>,
 }
 
-/// Counters exposed for tests and perf baselines: `threads_spawned` must stay
-/// constant after warm-up, proving dispatch never spawns.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+/// Counters exposed for tests, perf baselines, and the trace report's
+/// `pool_stats` line: `threads_spawned` must stay constant after warm-up,
+/// proving dispatch never spawns.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PoolStats {
     pub workers: usize,
     pub threads_spawned: u64,
     pub jobs: u64,
     pub chunks: u64,
+    /// Per-thread chunk counts: index 0 aggregates all caller threads,
+    /// index `1 + i` is pool worker `i`. A heavily skewed distribution
+    /// means chunk granularity is too coarse for the batch size (one
+    /// participant hogged the cursor) — the imbalance signal the trace
+    /// overlap report surfaces.
+    pub per_worker_chunks: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Render the per-thread distribution as `caller:c w0:c w1:c ...`.
+    pub fn chunk_distribution(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, c) in self.per_worker_chunks.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "caller:{c}");
+            } else {
+                let _ = write!(out, " w{}:{c}", i - 1);
+            }
+        }
+        out
+    }
 }
 
 /// A spawn-once team of worker threads executing chunked index ranges.
@@ -103,6 +134,7 @@ impl WorkerPool {
             threads_spawned: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
+            thread_chunks: (0..workers + 1).map(|_| AtomicU64::new(0)).collect(),
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -110,7 +142,7 @@ impl WorkerPool {
             sh.threads_spawned.fetch_add(1, Ordering::Relaxed);
             let h = std::thread::Builder::new()
                 .name(format!("psdns-pool-{i}"))
-                .spawn(move || worker_loop(&sh))
+                .spawn(move || worker_loop(&sh, i))
                 .expect("spawn pool worker");
             handles.push(h);
         }
@@ -133,7 +165,20 @@ impl WorkerPool {
             threads_spawned: self.shared.threads_spawned.load(Ordering::Relaxed),
             jobs: self.shared.jobs.load(Ordering::Relaxed),
             chunks: self.shared.chunks.load(Ordering::Relaxed),
+            per_worker_chunks: self
+                .shared
+                .thread_chunks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
+    }
+
+    /// Number of participants a `run` with this `max_threads` can actually
+    /// field: the caller plus however many helpers the pool can supply.
+    /// Callers use this to pre-size per-participant scratch slots.
+    pub fn max_participants(&self, max_threads: usize) -> usize {
+        1 + max_threads.saturating_sub(1).min(self.workers)
     }
 
     /// Execute `task(lo, hi)` over disjoint chunks covering `0..total`,
@@ -147,13 +192,28 @@ impl WorkerPool {
         max_threads: usize,
         task: &(dyn Fn(usize, usize) + Sync + '_),
     ) {
+        self.run_with_id(total, chunk, max_threads, &|_, lo, hi| task(lo, hi));
+    }
+
+    /// Like [`run`](Self::run), but the task also receives a dense
+    /// participant index: 0 for the calling thread, `1 + join order` for
+    /// helpers — always `< max_participants(max_threads)`. This lets the
+    /// caller hand each participant a private, pre-taken scratch slot
+    /// instead of bouncing buffers through a shared pool on every chunk.
+    pub fn run_with_id(
+        &self,
+        total: usize,
+        chunk: usize,
+        max_threads: usize,
+        task: &(dyn Fn(usize, usize, usize) + Sync + '_),
+    ) {
         if total == 0 {
             return;
         }
         let chunk = chunk.max(1);
         let helpers = max_threads.saturating_sub(1).min(self.workers);
         if helpers == 0 || total <= chunk {
-            task(0, total);
+            task(0, 0, total);
             return;
         }
         let _one_job_at_a_time = self.run_lock.lock();
@@ -168,10 +228,11 @@ impl WorkerPool {
         // reads the cursor as a completion hint (see the seeded
         // `RelaxedCursorFastPath` regression).
         self.shared.cursor.store(0, Ordering::Release);
-        // SAFETY: erases the closure's lifetime. `run` does not return until
-        // `active == 0`, i.e. no worker holds the pointer any more.
+        // SAFETY: erases the closure's lifetime. `run_with_id` does not
+        // return until `active == 0`, i.e. no worker holds the pointer any
+        // more.
         let task_static: &'static Task = unsafe {
-            std::mem::transmute::<&(dyn Fn(usize, usize) + Sync + '_), &'static Task>(task)
+            std::mem::transmute::<&(dyn Fn(usize, usize, usize) + Sync + '_), &'static Task>(task)
         };
         {
             let mut st = self.shared.state.lock();
@@ -197,7 +258,8 @@ impl WorkerPool {
                 break;
             }
             self.shared.chunks.fetch_add(1, Ordering::Relaxed);
-            task(lo, (lo + chunk).min(total));
+            self.shared.thread_chunks[0].fetch_add(1, Ordering::Relaxed);
+            task(0, lo, (lo + chunk).min(total));
         }));
         let panicked = {
             let mut st = self.shared.state.lock();
@@ -229,10 +291,10 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     let mut seen = 0u64;
     loop {
-        let job = {
+        let (job, pid) = {
             let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
@@ -244,7 +306,9 @@ fn worker_loop(shared: &Shared) {
                         if st.joined < st.limit {
                             st.joined += 1;
                             st.active += 1;
-                            break job;
+                            // Participant 0 is the caller; joiners take the
+                            // next dense indices in join order.
+                            break (job, st.joined);
                         }
                     }
                 }
@@ -263,7 +327,8 @@ fn worker_loop(shared: &Shared) {
                 break;
             }
             shared.chunks.fetch_add(1, Ordering::Relaxed);
-            task(lo, (lo + job.chunk).min(job.total));
+            shared.thread_chunks[1 + worker].fetch_add(1, Ordering::Relaxed);
+            task(pid, lo, (lo + job.chunk).min(job.total));
         }));
         let mut st = shared.state.lock();
         if result.is_err() {
@@ -377,6 +442,49 @@ mod tests {
             sum.fetch_add(hi - lo, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn participant_ids_dense_and_range_covered() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let by_id: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_with_id(200, 3, 4, &|id, lo, hi| {
+            assert!(id < 4, "participant id {id} out of range");
+            by_id[id].fetch_add(hi - lo, Ordering::Relaxed);
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let sum: usize = by_id.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(sum, 200);
+    }
+
+    #[test]
+    fn per_worker_chunk_counts_sum_to_global() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..10 {
+            pool.run(64, 2, 3, &|_, _| {});
+        }
+        let st = pool.stats();
+        assert_eq!(st.per_worker_chunks.len(), 3);
+        assert_eq!(st.per_worker_chunks.iter().sum::<u64>(), st.chunks);
+        // The distribution renders one entry per thread.
+        let rendered = st.chunk_distribution();
+        assert!(rendered.starts_with("caller:"), "{rendered}");
+        assert!(
+            rendered.contains("w0:") && rendered.contains("w1:"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn max_participants_counts_caller() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.max_participants(1), 1);
+        assert_eq!(pool.max_participants(2), 2);
+        assert_eq!(pool.max_participants(16), 4);
     }
 
     #[test]

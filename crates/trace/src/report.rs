@@ -200,6 +200,17 @@ pub(crate) fn summary(spans: &[TraceSpan], tracer: &Tracer) -> String {
             );
         }
     }
+    // Worker-pool observability: how evenly the FFT hot loop's chunks were
+    // spread over the caller + pool workers during the traced phases.
+    let pool = psdns_sync::pool::global().stats();
+    let _ = writeln!(
+        out,
+        "pool_stats: workers {}, jobs {}, chunks {} [{}]",
+        pool.workers,
+        pool.jobs,
+        pool.chunks,
+        pool.chunk_distribution()
+    );
     out
 }
 
@@ -304,5 +315,6 @@ mod tests {
         assert!(s.contains("step"));
         assert!(s.contains("2"));
         assert!(s.contains("network 1234 B"));
+        assert!(s.contains("pool_stats: workers"), "{s}");
     }
 }

@@ -9,7 +9,9 @@ use psdns::device::{Device, DeviceConfig, SpanKind};
 
 #[test]
 fn real_pipeline_trace_has_fig4_structure() {
-    let n = 32;
+    // Large enough that the batched x/z kernels take measurable time —
+    // at n=32 the compute spans are too short to reliably overlap copies.
+    let n = 64;
     let np = 4;
     let spans = Universe::run(1, move |comm| {
         let shape = LocalShape::new(n, 1, 0);

@@ -241,7 +241,9 @@ fn traced_roundtrip(mode: A2aMode, np: usize) -> Tracer {
     let tracer = Tracer::new();
     let t = tracer.clone();
     Universe::run(2, move |comm| {
-        let shape = LocalShape::new(32, 2, comm.rank());
+        // 64^3 keeps per-pencil compute long enough to hide network time
+        // now that the x-direction r2c/c2r runs through the batched plan.
+        let shape = LocalShape::new(64, 2, comm.rank());
         let mut fft = GpuSlabFft::<f32>::builder(shape)
             .comm(comm)
             .devices(vec![Device::new(DeviceConfig::tiny(64 << 20))])

@@ -68,6 +68,15 @@ echo "unwrap/expect lint OK"
 # signature). String/char literals containing "unsafe" are rare enough in
 # this tree that the token match is exact in practice.
 safety_fail=0
+# The FFT SIMD lane codelets and the aligned-scratch allocator are the
+# densest unsafe surfaces in the tree (pointer lane casts, raw allocation);
+# fail loudly if the glob ever stops covering them.
+for must in crates/fft/src/simd.rs crates/fft/src/scratch.rs; do
+    if ! find crates -path '*/src/*.rs' | grep -qx "$must"; then
+        echo "LINT: SAFETY stage no longer scans $must" >&2
+        exit 1
+    fi
+done
 while IFS= read -r f; do
     out=$(awk '
         /SAFETY:|# Safety/ { marker = NR }
