@@ -111,6 +111,18 @@ echo "==> chaos-device soak (hung queues / lost devices -> typed error or hot-sw
 timeout 600 cargo test --offline -q -p psdns-device --test health
 timeout 600 cargo test --offline -q --test device_hotswap
 
+echo "==> chaos-sdc soak (silent corruption -> detect -> localize -> heal)"
+# Numerical-integrity acceptance: seeded single-bit / single-value
+# corruption at every instrumented site class (checksummed collective
+# payloads, transpose staging buffers, the cross-product kernel) of a
+# 2-rank solve must be detected by the owning layer (ABFT sidecar or the
+# physics invariant monitors) and healed back onto the fault-free
+# trajectory byte for byte; persistent corruption must surface as a typed
+# error on every rank — never a hang or a silently wrong spectrum. The
+# integrity proptests (Parseval never-false-positives on fault-free fields,
+# checksums always catching flips) ride the workspace test stage above.
+timeout 600 cargo test --offline -q --test sdc_recovery
+
 echo "==> bench smoke (perf regression gate vs committed baselines)"
 # One timed iteration per benchmark, compared against BENCH_fft.json /
 # BENCH_pipeline.json at the repo root; any benchmark more than 2x slower

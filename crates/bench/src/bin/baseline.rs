@@ -23,7 +23,8 @@ use std::time::Instant;
 use psdns_bench::{parse_bench_file, regressions, render_bench_file, BenchRecord};
 use psdns_comm::{Universe, WatchdogPolicy};
 use psdns_core::{
-    A2aMode, GpuSlabFft, LocalShape, PencilFftCpu, PhysicalField, SlabFftCpu, Transform3d,
+    taylor_green, A2aMode, GpuSlabFft, IntegrityConfig, LocalShape, NavierStokes, NsConfig,
+    PencilFftCpu, PhysicalField, SlabFftCpu, TimeScheme, Transform3d,
 };
 use psdns_device::{Device, DeviceConfig};
 use psdns_fft::simd::{set_codelet_mode, CodeletMode};
@@ -379,6 +380,45 @@ fn bench_pipeline(smoke: bool) -> Vec<BenchRecord> {
     });
     recs.push(record("pipeline_roundtrip", "pencil_cpu_2x2", ns, elems));
 
+    // Full solver steps with and without the numerical-integrity monitors
+    // armed: the steady-state price of SDC *readiness* (invariant sums fused
+    // into loops the nonlinear term already runs, the per-step verdict
+    // allreduce, the NaN scan in the transpose staging) when nothing ever
+    // corrupts. The armed/baseline ratio is gated by
+    // `check_pipeline_invariants`; the absolute numbers by the committed
+    // baseline like every other benchmark.
+    let solver_steps = 2usize;
+    let solver_elems = N * N * N * 3 * solver_steps;
+    let solver_ns = |armed: bool| {
+        time_ns(iters, || {
+            Universe::run(P, move |comm| {
+                let shape = LocalShape::new(N, P, comm.rank());
+                let mut ns = NavierStokes::new(
+                    SlabFftCpu::<f64>::new(shape, comm),
+                    NsConfig {
+                        nu: 0.02,
+                        dt: 1e-3,
+                        scheme: TimeScheme::Rk2,
+                        forcing: None,
+                        dealias: true,
+                        phase_shift: false,
+                    },
+                    taylor_green::<f64>(shape),
+                );
+                if armed {
+                    ns.set_integrity(IntegrityConfig::armed());
+                }
+                for _ in 0..solver_steps {
+                    ns.step_verified().expect("fault-free run");
+                }
+            });
+        })
+    };
+    let ns = solver_ns(false);
+    recs.push(record("solver_step", "baseline", ns, solver_elems));
+    let ns = solver_ns(true);
+    recs.push(record("solver_step", "integrity_armed", ns, solver_elems));
+
     recs
 }
 
@@ -403,6 +443,9 @@ fn main() {
             failures.extend(regressions(&baseline, &fresh, opts.factor));
             if file == "BENCH_fft.json" {
                 failures.extend(check_invariants(&fresh));
+            }
+            if file == "BENCH_pipeline.json" {
+                failures.extend(check_pipeline_invariants(&fresh));
             }
         } else {
             std::fs::write(&path, render_bench_file(&fresh))
@@ -486,6 +529,30 @@ fn check_invariants(fresh: &[BenchRecord]) -> Vec<String> {
         );
     }
     fails
+}
+
+/// Pipeline-suite invariant, enforced on the *fresh* numbers like the FFT
+/// gates above: arming the numerical-integrity monitors on a fault-free
+/// solve must cost well under 2x — the monitors add energy/orthogonality
+/// accumulation passes, one verdict allreduce and a pre-step state clone
+/// per step (~20% at this laptop-scale problem, amortizing toward noise as
+/// N grows since the transposes dominate). Mirrors the `hotswap_armed`
+/// readiness benchmark: the price of being *ready* to heal is bounded.
+fn check_pipeline_invariants(fresh: &[BenchRecord]) -> Vec<String> {
+    let find = |bench: &str| {
+        fresh
+            .iter()
+            .find(|r| r.group == "solver_step" && r.bench == bench)
+            .map(|r| r.ns_per_iter)
+    };
+    match (find("baseline"), find("integrity_armed")) {
+        (Some(base), Some(armed)) if armed > 2.0 * base => vec![format!(
+            "solver_step integrity_armed ({armed:.0} ns/iter) above 2x \
+             baseline ({base:.0} ns/iter): integrity monitors too expensive"
+        )],
+        (Some(_), Some(_)) => Vec::new(),
+        _ => vec!["integrity-overhead gate: benchmarks missing from fresh run".to_string()],
+    }
 }
 
 fn report_speedup(opts: &Opts) {

@@ -121,6 +121,16 @@ pub enum FaultKind {
     CorruptCheckpoint,
     /// Interrupted write: checkpoint file is truncated.
     TruncateCheckpoint,
+    /// Silent data corruption: one bit of a data payload flips in transit
+    /// or in a staging buffer (collective payloads, device copies). The
+    /// flipped bit is chosen deterministically via [`ChaosEngine::draw`].
+    /// One-shot (`FaultPlan::at`) or intermittent, per-site counters like
+    /// [`FaultKind::DeviceHang`].
+    BitFlip,
+    /// Silent compute corruption: a kernel writes one wrong output value
+    /// (an SEU in an ALU / register file). Distinct from [`FaultKind::BitFlip`]
+    /// so campaigns can arm transport and compute corruption independently.
+    ComputeCorrupt,
 }
 
 impl FaultKind {
@@ -140,6 +150,8 @@ impl FaultKind {
             FaultKind::WriteFault => "write-fault",
             FaultKind::CorruptCheckpoint => "corrupt-checkpoint",
             FaultKind::TruncateCheckpoint => "truncate-checkpoint",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::ComputeCorrupt => "compute-corrupt",
         }
     }
 }
@@ -409,6 +421,19 @@ pub struct ChaosConfig {
     pub write_fault: FaultPlan,
     pub corrupt_checkpoint: FaultPlan,
     pub truncate_checkpoint: FaultPlan,
+    // -- silent data corruption ---------------------------------------------
+    /// Single-bit payload corruption (messages, staging buffers, copies).
+    pub bit_flip: FaultPlan,
+    /// Restrict bit flips to sites with this prefix (None = every BitFlip
+    /// site). Lets one campaign target exactly one site class — e.g.
+    /// `"flip:"` for in-transit messages, `"buf:"` for staging buffers —
+    /// without perturbing the other classes' occurrence counters (mirrors
+    /// `crash_rank`: non-matching sites are filtered before the counter).
+    pub bit_flip_site: Option<String>,
+    /// Single wrong kernel output value (compute SEU).
+    pub compute_corrupt: FaultPlan,
+    /// Site-prefix filter for compute corruption, like `bit_flip_site`.
+    pub compute_corrupt_site: Option<String>,
     // -- recovery knobs -----------------------------------------------------
     pub retry: RetryPolicy,
 }
@@ -437,6 +462,10 @@ impl ChaosConfig {
             write_fault: FaultPlan::OFF,
             corrupt_checkpoint: FaultPlan::OFF,
             truncate_checkpoint: FaultPlan::OFF,
+            bit_flip: FaultPlan::OFF,
+            bit_flip_site: None,
+            compute_corrupt: FaultPlan::OFF,
+            compute_corrupt_site: None,
             retry: RetryPolicy::default(),
         }
     }
@@ -457,6 +486,17 @@ impl ChaosConfig {
             FaultKind::WriteFault => self.write_fault,
             FaultKind::CorruptCheckpoint => self.corrupt_checkpoint,
             FaultKind::TruncateCheckpoint => self.truncate_checkpoint,
+            FaultKind::BitFlip => self.bit_flip,
+            FaultKind::ComputeCorrupt => self.compute_corrupt,
+        }
+    }
+
+    /// Site-prefix filter for `kind`, if the campaign restricts it.
+    fn site_filter(&self, kind: FaultKind) -> Option<&str> {
+        match kind {
+            FaultKind::BitFlip => self.bit_flip_site.as_deref(),
+            FaultKind::ComputeCorrupt => self.compute_corrupt_site.as_deref(),
+            _ => None,
         }
     }
 }
@@ -553,9 +593,22 @@ impl ChaosEngine {
     /// per-`(site, kind)` counter even when the plan windows it out, so
     /// occurrence numbering is stable across config changes.
     pub fn check(&self, rank: usize, site: &str, kind: FaultKind) -> bool {
+        self.check_seq(rank, site, kind).is_some()
+    }
+
+    /// Like [`check`](Self::check), but returns the per-`(site, kind)`
+    /// occurrence index at which the fault fired. Corruption sites feed the
+    /// index into [`draw`](Self::draw) to choose *which* bit/value to damage
+    /// from a stream decorrelated from the fire/no-fire decision.
+    pub fn check_seq(&self, rank: usize, site: &str, kind: FaultKind) -> Option<u64> {
         let plan = self.inner.config.plan_for(kind);
         if plan.is_off() {
-            return false;
+            return None;
+        }
+        if let Some(prefix) = self.inner.config.site_filter(kind) {
+            if !site.starts_with(prefix) {
+                return None;
+            }
         }
         self.check_plans(rank, site, kind, &[plan])
     }
@@ -563,8 +616,15 @@ impl ChaosEngine {
     /// Evaluate one occurrence against several plans sharing one counter:
     /// the per-`(site, kind)` counter advances exactly once, and each plan
     /// is judged against the same occurrence index `k` (and the same random
-    /// draw). Callers must pass only non-off plans.
-    fn check_plans(&self, rank: usize, site: &str, kind: FaultKind, plans: &[FaultPlan]) -> bool {
+    /// draw). Callers must pass only non-off plans. Returns the occurrence
+    /// index when any plan fired.
+    fn check_plans(
+        &self,
+        rank: usize,
+        site: &str,
+        kind: FaultKind,
+        plans: &[FaultPlan],
+    ) -> Option<u64> {
         let site_hash = fnv1a(site.as_bytes()) ^ fnv1a(kind.label().as_bytes()).rotate_left(17);
         let k = {
             let mut counters = self.inner.counters.lock();
@@ -581,8 +641,19 @@ impl ChaosEngine {
         });
         if fired {
             self.record(rank, site, kind, k);
+            Some(k)
+        } else {
+            None
         }
-        fired
+    }
+
+    /// Deterministic payload-selection draw for a fired corruption fault:
+    /// a pure function of `(seed, site, kind, occurrence)`, mixed with a
+    /// distinct salt so it is decorrelated from the fire/no-fire stream.
+    /// Same-seed runs corrupt the same bit of the same element.
+    pub fn draw(&self, site: &str, kind: FaultKind, k: u64) -> u64 {
+        let site_hash = fnv1a(site.as_bytes()) ^ fnv1a(kind.label().as_bytes()).rotate_left(17);
+        splitmix64(self.inner.config.seed ^ site_hash.rotate_left(31) ^ k ^ 0x5344_435f_6472_7721)
     }
 
     /// Rank-crash probe; callers invoke this once per collective call.
@@ -608,6 +679,7 @@ impl ChaosEngine {
             return false;
         }
         self.check_plans(rank, &format!("coll:r{rank}"), FaultKind::Crash, &plans)
+            .is_some()
     }
 
     /// Rank-stall probe; callers invoke this once per a2a call. Returns the
@@ -826,6 +898,45 @@ mod tests {
         let mut cfg = ChaosConfig::new(123);
         cfg.retry.jitter_seed = 55;
         assert_eq!(ChaosEngine::new(cfg).retry().jitter_seed, 55);
+    }
+
+    #[test]
+    fn bit_flip_site_prefix_filters_without_advancing() {
+        let mut cfg = ChaosConfig::new(5);
+        cfg.bit_flip = FaultPlan::at(0);
+        cfg.bit_flip_site = Some("buf:".to_string());
+        let e = ChaosEngine::new(cfg);
+        // Non-matching site class never fires and never advances a counter.
+        assert_eq!(e.check_seq(0, "flip:0->1", FaultKind::BitFlip), None);
+        assert_eq!(e.check_seq(0, "flip:0->1", FaultKind::BitFlip), None);
+        // The matching class still sees its occurrence 0.
+        assert_eq!(e.check_seq(0, "buf:a2a:r0", FaultKind::BitFlip), Some(0));
+        assert_eq!(e.check_seq(0, "buf:a2a:r0", FaultKind::BitFlip), None);
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_decorrelated() {
+        let e = ChaosEngine::new(ChaosConfig::new(77));
+        let a = e.draw("flip:0->1", FaultKind::BitFlip, 3);
+        assert_eq!(a, e.draw("flip:0->1", FaultKind::BitFlip, 3));
+        assert_ne!(a, e.draw("flip:0->1", FaultKind::BitFlip, 4));
+        assert_ne!(a, e.draw("flip:1->0", FaultKind::BitFlip, 3));
+        assert_ne!(a, e.draw("flip:0->1", FaultKind::ComputeCorrupt, 3));
+        let f = ChaosEngine::new(ChaosConfig::new(78));
+        assert_ne!(a, f.draw("flip:0->1", FaultKind::BitFlip, 3));
+    }
+
+    #[test]
+    fn compute_corrupt_one_shot_fires_once_per_site() {
+        let mut cfg = ChaosConfig::new(2);
+        cfg.compute_corrupt = FaultPlan::at(1);
+        let e = ChaosEngine::new(cfg);
+        let fired: Vec<Option<u64>> = (0..4)
+            .map(|_| e.check_seq(0, "kernel:cross:r0", FaultKind::ComputeCorrupt))
+            .collect();
+        assert_eq!(fired, vec![None, Some(1), None, None]);
+        assert_eq!(e.log().len(), 1);
+        assert_eq!(e.log()[0].kind, FaultKind::ComputeCorrupt);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum CommError {
     /// [`Communicator::agree_on_failures`], [`Communicator::shrink`] and
     /// continue (the ULFM revoke/shrink/agree shape).
     RankFailed { rank: usize, epoch: u64 },
+    /// An ABFT-checksummed payload from `rank` failed verification in
+    /// `block` (of [`crate::AbftData`]-element blocks) and every bounded
+    /// retransmission under the [`crate::RetryPolicy`] failed too — the
+    /// silent-data-corruption analogue of an unrecoverable network error.
+    /// Single flips never reach here: the first clean resend heals them.
+    Corrupted { rank: usize, block: usize },
 }
 
 impl fmt::Display for CommError {
@@ -58,6 +64,10 @@ impl fmt::Display for CommError {
             CommError::RankFailed { rank, epoch } => {
                 write!(f, "rank {rank} failed at collective epoch {epoch}")
             }
+            CommError::Corrupted { rank, block } => write!(
+                f,
+                "payload from rank {rank} corrupted in block {block}: checksum mismatch persisted through retransmission"
+            ),
         }
     }
 }
@@ -136,6 +146,10 @@ pub struct Communicator {
     /// rank); collectives and request waits log [`psdns_analyze::RankOp`]s
     /// for the cross-rank deadlock analyzer.
     pub(crate) recorder: Option<psdns_analyze::RankRecorder>,
+    /// ABFT checksumming of collective payloads (see
+    /// [`Communicator::set_abft_checksums`]). Off by default — the healthy
+    /// path pays nothing unless integrity is armed.
+    pub(crate) abft: bool,
 }
 
 impl Communicator {
@@ -154,7 +168,25 @@ impl Communicator {
             a2a_adaptive: None,
             verifier: None,
             recorder: None,
+            abft: false,
         }
+    }
+
+    /// Arm (or disarm) ABFT checksums on this rank's collectives: every
+    /// `alltoall`/`allgather`-family payload then carries a per-block FNV
+    /// sidecar, verified on receipt. A mismatch triggers a bounded
+    /// retransmission from the sender's retained clean copy under the
+    /// chaos [`crate::RetryPolicy`]; exhaustion surfaces as a typed
+    /// [`CommError::Corrupted`]. Arm it on *every* rank of the
+    /// communicator (like any collective contract); clones, splits and
+    /// shrinks inherit the setting.
+    pub fn set_abft_checksums(&mut self, on: bool) {
+        self.abft = on;
+    }
+
+    /// True when ABFT collective checksums are armed on this handle.
+    pub fn abft_checksums(&self) -> bool {
+        self.abft
     }
 
     /// Attach a [`psdns_analyze::GlobalRecorder`]: this rank's collectives
@@ -311,6 +343,42 @@ impl Communicator {
     }
 
     pub(crate) fn send_raw<T: Clone + Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.send_packet(dst, tag, data, None);
+    }
+
+    /// Checksummed collective send: computes the ABFT sidecar, retains a
+    /// clean copy for retransmission, then exposes the in-flight payload to
+    /// seeded bit-flip injection (site `flip:{gsrc}->{gdst}`). The flip
+    /// happens strictly *after* the sidecar is computed, so any transit
+    /// corruption — any bit, any block — is detectable on receipt.
+    pub(crate) fn send_coll<T: crate::AbftData>(&self, dst: usize, tag: u64, mut data: Vec<T>) {
+        if !self.abft {
+            return self.send_raw(dst, tag, data);
+        }
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        let gdst = self.members[dst];
+        let gsrc = self.members[self.rank];
+        let crcs = crate::abft::block_checksums(&data);
+        self.shared
+            .retx
+            .lock()
+            .insert((self.ctx, tag, gsrc, gdst), Box::new(data.clone()));
+        if let Some(ch) = &self.shared.chaos {
+            let site = format!("flip:{gsrc}->{gdst}");
+            if let Some(k) = ch.check_seq(gsrc, &site, FaultKind::BitFlip) {
+                crate::abft::flip_payload_bit(&mut data, ch.draw(&site, FaultKind::BitFlip, k));
+            }
+        }
+        self.send_packet(dst, tag, data, Some(crcs));
+    }
+
+    fn send_packet<T: Clone + Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+        crcs: Option<Vec<u64>>,
+    ) {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         let gdst = self.members[dst];
         let gsrc = self.members[self.rank];
@@ -321,6 +389,7 @@ impl Communicator {
                 tag,
                 uid: 0,
                 dup: false,
+                crcs,
                 payload: Box::new(data),
             };
             self.push_packet(gsrc, gdst, pkt);
@@ -356,6 +425,7 @@ impl Communicator {
             tag,
             uid,
             dup,
+            crcs: crcs.clone(),
             payload: Box::new(data.clone()),
         });
         let pkt = Packet {
@@ -363,6 +433,7 @@ impl Communicator {
             tag,
             uid,
             dup,
+            crcs,
             payload: Box::new(data),
         };
         if ch.check(gsrc, &site, FaultKind::Reorder) {
@@ -416,6 +487,18 @@ impl Communicator {
         tag: u64,
         deadline: Option<Instant>,
     ) -> Result<Vec<T>, CommError> {
+        self.recv_match_deadline_crc(src, tag, deadline)
+            .map(|(v, _)| v)
+    }
+
+    /// Like [`Self::recv_match_deadline`] but keeps the ABFT sidecar (if
+    /// the sender attached one) alongside the payload.
+    pub(crate) fn recv_match_deadline_crc<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<T>, Option<Vec<u64>>), CommError> {
         assert!(src < self.size(), "source rank {src} out of range");
         let gsrc = self.members[src];
         let gme = self.members[self.rank];
@@ -428,7 +511,7 @@ impl Communicator {
                 let mut pend = self.shared.pending[gme][gsrc].lock();
                 if let Some(pos) = pend.iter().position(|p| p.ctx == self.ctx && p.tag == tag) {
                     let pkt = pend.remove(pos).expect("position valid");
-                    return downcast(pkt, src, tag);
+                    return downcast_crc(pkt, src, tag);
                 }
             }
             // Pull from the channel (blocking or polling).
@@ -465,7 +548,7 @@ impl Communicator {
                 Some(pkt) => {
                     if let Some(pkt) = self.shared.ingest(gme, pkt) {
                         if pkt.ctx == self.ctx && pkt.tag == tag {
-                            return downcast(pkt, src, tag);
+                            return downcast_crc(pkt, src, tag);
                         }
                         self.shared.pending[gme][gsrc].lock().push_back(pkt);
                     }
@@ -509,12 +592,81 @@ impl Communicator {
                         {
                             let pkt = pend.remove(pos).expect("position valid");
                             drop(pend);
-                            return downcast(pkt, src, tag);
+                            return downcast_crc(pkt, src, tag);
                         }
                         return Err(CommError::RankFailed { rank: gsrc, epoch });
                     }
                 }
             }
+        }
+    }
+
+    /// Verified collective receive: blocks like [`Self::recv_raw`], then
+    /// checks the ABFT sidecar (when present) and heals corruption by
+    /// bounded retransmission. Panics on unrecoverable errors, like
+    /// `recv_raw` — the typed path is [`Self::recv_coll_deadline`].
+    pub(crate) fn recv_coll<T: crate::AbftData>(&self, src: usize, tag: u64) -> Vec<T> {
+        match self.recv_coll_deadline(src, tag, None) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Verified collective receive with an optional deadline. On a checksum
+    /// mismatch the receiver pulls the sender's retained clean copy from
+    /// the retransmission store — itself exposed to seeded bit-flip
+    /// injection at site `retx:{gsrc}->{gme}`, so a persistently corrupt
+    /// link stays representable — up to `RetryPolicy::max_retries` times;
+    /// exhaustion yields a typed [`CommError::Corrupted`].
+    pub(crate) fn recv_coll_deadline<T: crate::AbftData>(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<T>, CommError> {
+        let (mut data, crcs) = self.recv_match_deadline_crc(src, tag, deadline)?;
+        let Some(crcs) = crcs else {
+            return Ok(data);
+        };
+        let gsrc = self.members[src];
+        let gme = self.members[self.rank];
+        let key = (self.ctx, tag, gsrc, gme);
+        let policy = self
+            .shared
+            .chaos
+            .as_ref()
+            .map(|c| c.retry())
+            .unwrap_or_default();
+        let mut attempt = 0u32;
+        loop {
+            let Some(block) = crate::abft::first_corrupt_block(&data, &crcs) else {
+                self.shared.retx.lock().remove(&key);
+                return Ok(data);
+            };
+            if let Some(t) = &self.tracer {
+                t.incr_faults();
+            }
+            if attempt >= policy.max_retries {
+                self.shared.retx.lock().remove(&key);
+                return Err(CommError::Corrupted { rank: src, block });
+            }
+            // "Retransmit": take a fresh copy of the sender's clean
+            // payload. A missing or mistyped entry means the store itself
+            // was damaged — treat it as unrecoverable corruption.
+            data = {
+                let retx = self.shared.retx.lock();
+                let Some(clean) = retx.get(&key).and_then(|b| b.downcast_ref::<Vec<T>>()) else {
+                    return Err(CommError::Corrupted { rank: src, block });
+                };
+                clean.clone()
+            };
+            if let Some(ch) = &self.shared.chaos {
+                let site = format!("retx:{gsrc}->{gme}");
+                if let Some(k) = ch.check_seq(gme, &site, FaultKind::BitFlip) {
+                    crate::abft::flip_payload_bit(&mut data, ch.draw(&site, FaultKind::BitFlip, k));
+                }
+            }
+            attempt += 1;
         }
     }
 
@@ -702,6 +854,7 @@ impl Communicator {
                 .as_ref()
                 .map(|s| crate::verify::VerifierState::new(s.v.clone())),
             recorder: self.recorder.clone(),
+            abft: self.abft,
         }
     }
 
@@ -767,14 +920,24 @@ impl Communicator {
                 .as_ref()
                 .map(|s| crate::verify::VerifierState::new(s.v.clone())),
             recorder: self.recorder.clone(),
+            abft: self.abft,
         }
     }
 }
 
 fn downcast<T: Send + 'static>(pkt: Packet, src: usize, tag: u64) -> Result<Vec<T>, CommError> {
+    downcast_crc(pkt, src, tag).map(|(v, _)| v)
+}
+
+fn downcast_crc<T: Send + 'static>(
+    pkt: Packet,
+    src: usize,
+    tag: u64,
+) -> Result<(Vec<T>, Option<Vec<u64>>), CommError> {
+    let crcs = pkt.crcs;
     pkt.payload
         .downcast::<Vec<T>>()
-        .map(|b| *b)
+        .map(|b| (*b, crcs))
         .map_err(|_| CommError::TypeMismatch { src, tag })
 }
 

@@ -31,12 +31,14 @@
 //! assert_eq!(sums, vec![6, 6, 6, 6]); // 0+1+2+3 from every peer
 //! ```
 
+mod abft;
 mod coll;
 mod comm;
 mod request;
 mod universe;
 mod verify;
 
+pub use abft::AbftData;
 pub use comm::{AdaptiveWatchdog, CommError, Communicator};
 pub use psdns_chaos::WatchdogPolicy;
 pub use request::Request;

@@ -16,7 +16,7 @@ pub struct Request<T> {
     _marker: std::marker::PhantomData<T>,
 }
 
-impl<T: Clone + Send + 'static> Request<T> {
+impl<T: crate::AbftData> Request<T> {
     pub(crate) fn new(comm: Communicator, tag: u64, chunk: usize) -> Self {
         Self {
             comm,
@@ -46,7 +46,7 @@ impl<T: Clone + Send + 'static> Request<T> {
         let size = self.comm.size();
         let mut out = Vec::with_capacity(size * self.chunk);
         for src in 0..size {
-            let piece = self.comm.recv_raw::<T>(src, self.tag);
+            let piece = self.comm.recv_coll::<T>(src, self.tag);
             debug_assert_eq!(piece.len(), self.chunk);
             out.extend(piece);
         }
@@ -67,7 +67,7 @@ impl<T: Clone + Send + 'static> Request<T> {
         for src in 0..size {
             let piece = self
                 .comm
-                .recv_match_deadline::<T>(src, self.tag, Some(deadline))?;
+                .recv_coll_deadline::<T>(src, self.tag, Some(deadline))?;
             debug_assert_eq!(piece.len(), self.chunk);
             out.extend(piece);
         }
@@ -104,7 +104,7 @@ impl<T: Clone + Send + 'static> Request<T> {
         let size = self.comm.size();
         assert_eq!(out.len(), size * self.chunk, "output buffer size mismatch");
         for src in 0..size {
-            let piece = self.comm.recv_raw::<T>(src, self.tag);
+            let piece = self.comm.recv_coll::<T>(src, self.tag);
             debug_assert_eq!(piece.len(), self.chunk);
             out[src * self.chunk..(src + 1) * self.chunk].clone_from_slice(&piece);
         }

@@ -2,7 +2,7 @@
 //! thread per rank.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,6 +25,10 @@ pub(crate) struct Packet {
     /// True when this message was duplicated by the chaos layer (both the
     /// original and the copy carry the flag; the second arrival is dropped).
     pub dup: bool,
+    /// ABFT sidecar: one FNV-1a checksum per payload block, computed by the
+    /// sender *before* any in-transit corruption can occur. `None` on
+    /// unchecksummed traffic (point-to-point, non-ABFT collectives).
+    pub crcs: Option<Vec<u64>>,
     /// The payload, a `Vec<T>` behind `Any`.
     pub payload: Box<dyn Any + Send>,
 }
@@ -76,7 +80,16 @@ pub(crate) struct Shared {
     /// observe directly (e.g. a non-root rank waiting on a root that bailed
     /// out of a rooted barrier).
     revoked: Mutex<HashSet<u64>>,
+    /// Retransmission store for ABFT collectives: the sender's clean payload
+    /// (a `Vec<T>` behind `Any`), keyed by `(ctx, tag, gsrc, gdst)`. Each
+    /// collective draws a unique tag, so the key identifies one message.
+    /// The receiver removes the entry once the checksums verify; a mismatch
+    /// pulls a fresh copy from here (the bounded "resend").
+    pub retx: Mutex<RetxStore>,
 }
+
+/// Key: `(ctx, tag, gsrc, gdst)`; value: the sender's clean payload.
+pub type RetxStore = HashMap<(u64, u64, usize, usize), Box<dyn Any + Send>>;
 
 /// Death record of one rank.
 #[derive(Clone, Debug)]
@@ -126,6 +139,7 @@ impl Shared {
             coll_epoch: (0..size).map(|_| AtomicU64::new(0)).collect(),
             departed: Mutex::new(BTreeMap::new()),
             revoked: Mutex::new(HashSet::new()),
+            retx: Mutex::new(HashMap::new()),
         })
     }
 

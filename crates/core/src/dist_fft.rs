@@ -39,6 +39,13 @@ pub struct SlabFftCpu<T: Real> {
     /// hybrid MPI+OpenMP layer (§3.1: "a hybrid approach to further
     /// parallelize within a slab").
     threads: usize,
+    /// Fused non-finite staging scan (see
+    /// [`Transform3d::set_scan_nonfinite`]): when armed, each packed send
+    /// buffer is scanned right before its all-to-all, so corruption is
+    /// counted at the rank that produced it rather than after it has fanned
+    /// out across the decomposition.
+    scan_nonfinite: bool,
+    nonfinite_count: u64,
 }
 
 impl<T: Real> SlabFftCpu<T> {
@@ -67,6 +74,17 @@ impl<T: Real> SlabFftCpu<T> {
             send: Vec::new(),
             yslab: Vec::new(),
             threads: 1,
+            scan_nonfinite: false,
+            nonfinite_count: 0,
+        }
+    }
+
+    /// Seeded corruption injection plus (when armed) the fused non-finite
+    /// scan, applied to a packed send buffer on its way into an all-to-all.
+    fn stage_send(&mut self, class: &str, send: &mut [Complex<T>]) {
+        crate::integrity::inject_buf_flip(&self.comm, class, send);
+        if self.scan_nonfinite {
+            self.nonfinite_count += crate::integrity::count_nonfinite_buf(send);
         }
     }
 
@@ -120,6 +138,14 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         &self.comm
     }
 
+    fn set_scan_nonfinite(&mut self, on: bool) {
+        self.scan_nonfinite = on;
+    }
+
+    fn take_nonfinite(&mut self) -> u64 {
+        std::mem::take(&mut self.nonfinite_count)
+    }
+
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>> {
         let nv = specs.len();
         assert!(nv > 0);
@@ -156,6 +182,7 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
             }
         }
         drop(span);
+        self.stage_send("z2y", &mut send);
         let recv = self.comm.alltoall(&send);
         self.send = send; // park for reuse
 
@@ -226,6 +253,7 @@ impl<T: Real> Transform3d<T> for SlabFftCpu<T> {
         drop(span);
 
         // 2. Transpose back.
+        self.stage_send("y2z", &mut send);
         let recv = self.comm.alltoall(&send);
         self.send = send;
         self.yslab = yslab;

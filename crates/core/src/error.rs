@@ -83,6 +83,8 @@ pub enum Error {
     /// The self-healing supervisor could not recover a campaign (see
     /// [`crate::run_self_healing`]).
     Recovery(crate::recovery::RecoveryError),
+    /// A numerical-integrity monitor tripped (see [`crate::integrity`]).
+    Integrity(crate::integrity::IntegrityError),
 }
 
 impl fmt::Display for Error {
@@ -95,6 +97,7 @@ impl fmt::Display for Error {
             Error::Csv(e) => write!(f, "run log error: {e}"),
             Error::Hazard(h) => write!(f, "schedule hazard: {h}"),
             Error::Recovery(e) => write!(f, "recovery error: {e}"),
+            Error::Integrity(e) => write!(f, "integrity error: {e}"),
         }
     }
 }
@@ -109,6 +112,7 @@ impl std::error::Error for Error {
             Error::Csv(e) => Some(e),
             Error::Hazard(h) => Some(h.as_ref()),
             Error::Recovery(e) => Some(e),
+            Error::Integrity(e) => Some(e),
         }
     }
 }
@@ -152,6 +156,12 @@ impl From<CsvError> for Error {
 impl From<crate::recovery::RecoveryError> for Error {
     fn from(e: crate::recovery::RecoveryError) -> Self {
         Error::Recovery(e)
+    }
+}
+
+impl From<crate::integrity::IntegrityError> for Error {
+    fn from(e: crate::integrity::IntegrityError) -> Self {
+        Error::Integrity(e)
     }
 }
 

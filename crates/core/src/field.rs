@@ -192,6 +192,18 @@ pub trait Transform3d<T: Real> {
         Ok(())
     }
 
+    /// Arm or disarm the backend's fused non-finite scan of its transpose
+    /// staging buffers (see [`crate::IntegrityConfig::scan_nonfinite`]).
+    /// Backends without a staging scan ignore this; the solver-level
+    /// post-step state scan still runs.
+    fn set_scan_nonfinite(&mut self, _on: bool) {}
+
+    /// Drain the count of non-finite values the fused staging scan has seen
+    /// since the last drain. Backends without a scan report zero.
+    fn take_nonfinite(&mut self) -> u64 {
+        0
+    }
+
     /// Transform `nv` spectral fields to physical space together (the paper
     /// moves 3 variables per all-to-all; one call = one logical transpose).
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>>;
@@ -224,6 +236,7 @@ pub trait Transform3d<T: Real> {
             nl[1].data[i] = u2 * w0 - u0 * w2;
             nl[2].data[i] = u0 * w1 - u1 * w0;
         }
+        crate::integrity::inject_kernel_corrupt(self.comm(), "cross", &mut nl);
         nl
     }
 }

@@ -407,6 +407,12 @@ pub struct GpuSlabFft<T: Real> {
     /// Worker threads for the host-side compute stages of the simulated
     /// kernels (1 = serial); see [`GpuFftBuilder::host_threads`].
     host_threads: usize,
+    /// When armed, the unstaged call outputs are scanned for NaN/Inf and a
+    /// hit fails the call with [`crate::IntegrityError::NonFinite`] — which
+    /// the end-of-call vote ([`Self::finish_call`]) turns into a host-twin
+    /// re-run, exactly like a device fault. The scan runs *after* the
+    /// call's full collective sequence, so peers never block.
+    scan_nonfinite: bool,
 }
 
 struct CallBuffers<T: Real> {
@@ -528,7 +534,19 @@ impl<T: Real> GpuSlabFft<T> {
             nv_hint: 1,
             recorder: None,
             host_threads: 1,
+            scan_nonfinite: false,
         }
+    }
+
+    /// Armed output-staging scan: count NaN/Inf in an unstaged buffer and
+    /// fail the call (typed, post-collective) on any hit.
+    fn scan_unstaged(&self, count: u64) -> Result<(), Error> {
+        if self.scan_nonfinite && count > 0 {
+            return Err(Error::Integrity(
+                crate::integrity::IntegrityError::NonFinite { count },
+            ));
+        }
+        Ok(())
     }
 
     /// Log a host-track operation (staging-buffer access by the driving
@@ -823,7 +841,8 @@ impl<T: Real> GpuSlabFft<T> {
             self.config.a2a_mode,
             self.host_threads,
         );
-        self.host.get_or_insert_with(|| {
+        let scan = self.scan_nonfinite;
+        let twin = self.host.get_or_insert_with(|| {
             // Ledger-only capacity: the host executor borrows ordinary heap
             // memory, so give the degraded twin room for any slab size.
             let dev = Device::with_kind(BackendKind::Host, DeviceConfig::tiny(1 << 44));
@@ -837,7 +856,9 @@ impl<T: Real> GpuSlabFft<T> {
                 .build()
                 .expect("host-backend fallback always fits its ledger");
             Box::new(fft)
-        })
+        });
+        twin.scan_nonfinite = scan;
+        twin
     }
 
     /// Surface any sticky asynchronous device error (e.g. a copy-engine
@@ -1302,6 +1323,7 @@ impl<T: Real> GpuSlabFft<T> {
             )],
         );
         let flat = host_phys.snapshot();
+        self.scan_unstaged(flat.iter().filter(|v| !v.to_f64().is_finite()).count() as u64)?;
         Ok((0..nv)
             .map(|v| PhysicalField::from_data(s, flat[v * plen..(v + 1) * plen].to_vec()))
             .collect())
@@ -1368,7 +1390,9 @@ impl<T: Real> GpuSlabFft<T> {
                 send_bufs[gi].len(),
             )],
         );
-        requests[gi] = Some(self.comm.ialltoall(&send_bufs[gi].snapshot()));
+        let mut send = send_bufs[gi].snapshot();
+        crate::integrity::inject_buf_flip(&self.comm, &format!("pipe{gi}"), &mut send);
+        requests[gi] = Some(self.comm.ialltoall(&send));
     }
 
     /// Fallible physical → Fourier transform (mirror of
@@ -1724,6 +1748,7 @@ impl<T: Real> GpuSlabFft<T> {
             )],
         );
         let flat = host_spec.snapshot();
+        self.scan_unstaged(crate::integrity::count_nonfinite_buf(&flat))?;
         Ok((0..nv)
             .map(|v| SpectralField::from_data(s, flat[v * zlen..(v + 1) * zlen].to_vec()))
             .collect())
@@ -1741,6 +1766,15 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
 
     fn verify_schedule(&self) -> Result<(), Error> {
         self.analyze_schedule().map(|_| ())
+    }
+
+    fn set_scan_nonfinite(&mut self, on: bool) {
+        self.scan_nonfinite = on;
+        // The degraded twin re-runs this pipeline's calls; keep its scan in
+        // the same state so a heal is checked the same way.
+        if let Some(h) = self.host.as_deref_mut() {
+            h.scan_nonfinite = on;
+        }
     }
 
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>> {
@@ -1897,11 +1931,13 @@ impl<T: Real> Transform3d<T> for GpuSlabFft<T> {
             )],
         );
         let flat = host_out.snapshot();
-        [
+        let mut nl = [
             PhysicalField::from_data(s, flat[..plen].to_vec()),
             PhysicalField::from_data(s, flat[plen..2 * plen].to_vec()),
             PhysicalField::from_data(s, flat[2 * plen..].to_vec()),
-        ]
+        ];
+        crate::integrity::inject_kernel_corrupt(&self.comm, "cross", &mut nl);
+        nl
     }
 }
 

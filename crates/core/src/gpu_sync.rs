@@ -25,6 +25,10 @@ pub struct GpuSyncSlabFft<T: Real> {
     /// Batched x r2c/c2r over one variable's whole slab (`my·n` dense
     /// lines) per call — the cuFFT-style many-plan the paper uses on device.
     plan_x: Arc<ManyRealPlan<T>>,
+    /// Fused non-finite staging scan of the D2H'd send buffers (see
+    /// [`Transform3d::set_scan_nonfinite`]).
+    scan_nonfinite: bool,
+    nonfinite_count: u64,
 }
 
 impl<T: Real> GpuSyncSlabFft<T> {
@@ -39,6 +43,17 @@ impl<T: Real> GpuSyncSlabFft<T> {
             plan_y: Arc::new(ManyPlan::new(n, nxh, 1, nxh)),
             plan_z: Arc::new(ManyPlan::new(n, nxh * my, 1, nxh * my)),
             plan_x: Arc::new(ManyRealPlan::new(n, my * n, 1, n, 1, nxh)),
+            scan_nonfinite: false,
+            nonfinite_count: 0,
+        }
+    }
+
+    /// Seeded corruption injection plus (when armed) the fused non-finite
+    /// scan, applied to a D2H'd send buffer on its way into an all-to-all.
+    fn stage_send(&mut self, class: &str, send: &mut [Complex<T>]) {
+        crate::integrity::inject_buf_flip(&self.comm, class, send);
+        if self.scan_nonfinite {
+            self.nonfinite_count += crate::integrity::count_nonfinite_buf(send);
         }
     }
 
@@ -129,7 +144,9 @@ impl<T: Real> GpuSyncSlabFft<T> {
         self.stream.synchronize()?;
 
         // Blocking all-to-all on the host (Fig. 2 has no overlap).
-        let recv = self.comm.alltoall(&host_send.snapshot());
+        let mut send = host_send.snapshot();
+        self.stage_send("z2y", &mut send);
+        let recv = self.comm.alltoall(&send);
         host_recv.write_from(&recv);
 
         // H2D of the transposed data, unpack on the device.
@@ -271,7 +288,9 @@ impl<T: Real> GpuSyncSlabFft<T> {
         self.stream
             .memcpy_d2h_async(&dev_pack, 0, &host_send, 0, t.buf_len());
         self.stream.synchronize()?;
-        let recv = self.comm.alltoall(&host_send.snapshot());
+        let mut send = host_send.snapshot();
+        self.stage_send("y2z", &mut send);
+        let recv = self.comm.alltoall(&send);
         host_recv.write_from(&recv);
 
         // H2D, unpack, y-forward, D2H.
@@ -324,6 +343,14 @@ impl<T: Real> Transform3d<T> for GpuSyncSlabFft<T> {
 
     fn comm(&self) -> &Communicator {
         &self.comm
+    }
+
+    fn set_scan_nonfinite(&mut self, on: bool) {
+        self.scan_nonfinite = on;
+    }
+
+    fn take_nonfinite(&mut self) -> u64 {
+        std::mem::take(&mut self.nonfinite_count)
     }
 
     fn fourier_to_physical(&mut self, specs: &[SpectralField<T>]) -> Vec<PhysicalField<T>> {

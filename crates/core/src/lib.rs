@@ -37,6 +37,7 @@ pub mod forcing;
 pub mod gpu_pipeline;
 pub mod gpu_sync;
 pub mod init;
+pub mod integrity;
 pub mod io;
 pub mod ns;
 pub mod ops;
@@ -54,6 +55,7 @@ pub use forcing::Forcing;
 pub use gpu_pipeline::{A2aMode, GpuFftBuilder, GpuFftConfig, GpuSlabFft};
 pub use gpu_sync::GpuSyncSlabFft;
 pub use init::{normalize_energy, random_solenoidal, taylor_green};
+pub use integrity::{IntegrityCheck, IntegrityConfig, IntegrityError, IntegrityEvent};
 pub use io::{spectrum_csv, CsvError, LogEntry, RunLog};
 pub use ns::{apply_phase_shift, project_and_dealias, NavierStokes, NsConfig, TimeScheme};
 pub use ops::{curl, divergence, gradient, laplacian};
@@ -63,7 +65,7 @@ pub use recovery::{
     BuddyStore, CheckpointStore, HealedRun, RecoveryError, RecoveryEvent, SelfHealingConfig,
 };
 pub use scalar::{scalar_single_mode, PassiveScalar};
-pub use spectrum::{energy_spectrum, transfer_spectrum};
-pub use stats::{gradient_moments, FlowStats};
+pub use spectrum::{energy_spectrum, transfer_spectrum, try_energy_spectrum};
+pub use stats::{flow_stats, gradient_moments, try_flow_stats, FlowStats};
 
 pub use psdns_analyze::{AnalysisReport, Hazard, HazardKind, OrderingLog};

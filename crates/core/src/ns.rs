@@ -16,6 +16,9 @@ use psdns_trace::SpanKind;
 
 use crate::field::{SpectralField, Transform3d};
 use crate::forcing::Forcing;
+use crate::integrity::{
+    self, IntegrityAccumulator, IntegrityConfig, IntegrityError, IntegrityEvent,
+};
 
 /// Explicit Runge–Kutta scheme (paper §2: RK2 or RK4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -64,6 +67,14 @@ pub struct NavierStokes<T: Real, B: Transform3d<T>> {
     pub u: [SpectralField<T>; 3],
     pub step_count: usize,
     pub time: f64,
+    /// Integrity monitors driving [`Self::step_verified`] (default:
+    /// disarmed — the plain `step` path pays nothing).
+    integrity: IntegrityConfig,
+    /// All-integer log of violations, retries and heals, appended by
+    /// [`Self::step_verified`]. Byte-identical across same-seed reruns.
+    pub integrity_events: Vec<IntegrityEvent>,
+    /// Per-step invariant sums filled by [`Self::nonlinear`] while armed.
+    acc: IntegrityAccumulator,
 }
 
 impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
@@ -78,6 +89,9 @@ impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
             u,
             step_count: 0,
             time: 0.0,
+            integrity: IntegrityConfig::default(),
+            integrity_events: Vec::new(),
+            acc: IntegrityAccumulator::default(),
         };
         // Make the initial condition admissible: solenoidal and dealiased.
         solver.project_and_dealias_state();
@@ -106,13 +120,34 @@ impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
                 apply_phase_shift(f, true);
             }
         }
+        // Parseval bookkeeping for [`Self::step_verified`]: the transforms
+        // are exact, so the energy entering each direction must come out the
+        // other side. Both directions share one accumulator pair.
+        let parseval = self.integrity.parseval_tol.is_some();
+        if parseval {
+            self.acc.spec_energy += integrity::spectral_energy_local(&fields);
+        }
         let phys = self.backend.fourier_to_physical(&fields);
+        if parseval {
+            self.acc.phys_energy += integrity::physical_energy_local(&phys);
+        }
         let (up, wp) = phys.split_at(3);
 
         // Cross product u × ω pointwise in physical space — on the device
         // for accelerator backends (see Transform3d::cross_product).
         let nl = self.backend.cross_product(up, wp);
+        if self.integrity.cross_tol.is_some() {
+            let r = integrity::cross_orthogonality_local(up, wp, &nl);
+            self.acc.ortho_max = self.acc.ortho_max.max(r);
+        }
+        if parseval {
+            self.acc.phys_energy += integrity::physical_energy_local(&nl);
+        }
         let mut spec = self.backend.physical_to_fourier(&nl);
+        if parseval {
+            // Before extraction/projection — those drop energy legitimately.
+            self.acc.spec_energy += integrity::spectral_energy_local(&spec);
+        }
         let mut out: [SpectralField<T>; 3] = [spec.remove(0), spec.remove(0), spec.remove(0)];
         if self.cfg.phase_shift {
             for f in out.iter_mut() {
@@ -191,6 +226,161 @@ impl<T: Real, B: Transform3d<T>> NavierStokes<T, B> {
         }
         self.step_count += 1;
         self.time += self.cfg.dt;
+    }
+
+    /// Arm (or disarm) the integrity monitors used by
+    /// [`Self::step_verified`]. Also arms the backend's fused non-finite
+    /// staging scan when the config asks for it.
+    pub fn set_integrity(&mut self, cfg: IntegrityConfig) {
+        self.backend.set_scan_nonfinite(cfg.scan_nonfinite);
+        self.integrity = cfg;
+    }
+
+    /// The active integrity configuration.
+    pub fn integrity(&self) -> &IntegrityConfig {
+        &self.integrity
+    }
+
+    /// Advance one time step under the integrity monitors: detect a silent
+    /// corruption of this step (NaN/Inf, Parseval imbalance, kernel
+    /// orthogonality, divergence), localize it to the step, and recover by
+    /// re-running the step from the in-memory pre-step state. A transient
+    /// fault (an SEU does not repeat) re-executes cleanly and the healed
+    /// trajectory is byte-identical to a fault-free run; a persistent fault
+    /// exhausts [`IntegrityConfig::max_step_retries`] and surfaces as a
+    /// typed [`IntegrityError::RetriesExhausted`] on *every* rank — the
+    /// verdict comes from globally reduced sums, so the reduction is the
+    /// agreement round and no rank can diverge from the others.
+    ///
+    /// With the monitors disarmed this is exactly [`Self::step`].
+    pub fn step_verified(&mut self) -> Result<(), IntegrityError> {
+        if !self.integrity.enabled() {
+            self.step();
+            return Ok(());
+        }
+        let snap = (self.u.clone(), self.time, self.cfg.forcing.clone());
+        let from_step = self.step_count;
+        let mut attempt: u32 = 0;
+        loop {
+            self.acc = IntegrityAccumulator::default();
+            // Discard staging-scan counts from unverified activity (e.g.
+            // diagnostics between steps) so they cannot taint this step.
+            let _ = self.backend.take_nonfinite();
+            self.step();
+            match self.check_step() {
+                Ok(()) => {
+                    if attempt > 0 {
+                        self.integrity_events.push(IntegrityEvent::Healed {
+                            step: from_step,
+                            attempts: attempt,
+                        });
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.integrity_events.push(IntegrityEvent::Violation {
+                        step: from_step,
+                        attempt,
+                        check: e.check(),
+                    });
+                    if attempt >= self.integrity.max_step_retries {
+                        // Leave the solver on the pre-step state (not the
+                        // corrupted post-step one) so callers escalating to
+                        // checkpoint rollback start from something sane.
+                        let (u, time, forcing) = snap;
+                        self.u = u;
+                        self.time = time;
+                        self.step_count = from_step;
+                        self.cfg.forcing = forcing;
+                        return Err(IntegrityError::RetriesExhausted {
+                            step: from_step,
+                            attempts: attempt + 1,
+                            last: e.check(),
+                        });
+                    }
+                    attempt += 1;
+                    self.integrity_events.push(IntegrityEvent::Retry {
+                        step: from_step,
+                        attempt,
+                    });
+                    let (u, time, forcing) = snap.clone();
+                    self.u = u;
+                    self.time = time;
+                    self.step_count = from_step;
+                    self.cfg.forcing = forcing;
+                }
+            }
+        }
+    }
+
+    /// Evaluate every armed monitor against the step that just ran. Two
+    /// global reductions; all inputs to the verdict are globally agreed
+    /// values, so every rank returns the same result.
+    fn check_step(&mut self) -> Result<(), IntegrityError> {
+        let cfg = self.integrity.clone();
+        let mut nf_local = self.backend.take_nonfinite();
+        if cfg.scan_nonfinite {
+            nf_local += integrity::count_nonfinite_spec(&self.u);
+        }
+        let (div_num, div_den) = if cfg.divergence_tol.is_some() {
+            integrity::divergence_sums_local(&self.u)
+        } else {
+            (0.0, 0.0)
+        };
+        let sums = self.backend.comm().allreduce_vec(
+            &[
+                self.acc.spec_energy,
+                self.acc.phys_energy,
+                div_num,
+                div_den,
+                nf_local as f64,
+            ],
+            |a, b| a + b,
+        );
+        let ortho = if cfg.cross_tol.is_some() {
+            self.backend.comm().allreduce(self.acc.ortho_max, f64::max)
+        } else {
+            0.0
+        };
+        // Non-finite first: its count stays a finite integer even when the
+        // state is NaN and every residual below is meaningless.
+        if sums[4] > 0.0 {
+            return Err(IntegrityError::NonFinite {
+                count: sums[4] as u64,
+            });
+        }
+        let fails = |resid: f64, tol: f64| !resid.is_finite() || resid > tol;
+        if let Some(tol) = cfg.parseval_tol {
+            let resid = (sums[0] - sums[1]).abs() / sums[0].abs().max(1e-30);
+            if fails(resid, tol) {
+                return Err(IntegrityError::Parseval {
+                    residual_bits: resid.to_bits(),
+                    tol_bits: tol.to_bits(),
+                });
+            }
+        }
+        if let Some(tol) = cfg.cross_tol {
+            if fails(ortho, tol) {
+                return Err(IntegrityError::CrossOrthogonality {
+                    residual_bits: ortho.to_bits(),
+                    tol_bits: tol.to_bits(),
+                });
+            }
+        }
+        if let Some(tol) = cfg.divergence_tol {
+            let resid = if sums[3] > 0.0 {
+                (sums[2] / sums[3]).sqrt()
+            } else {
+                0.0
+            };
+            if fails(resid, tol) {
+                return Err(IntegrityError::Divergence {
+                    residual_bits: resid.to_bits(),
+                    tol_bits: tol.to_bits(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Heun RK2 with exact viscous integrating factor:

@@ -191,6 +191,7 @@ impl<T: Real> PencilFftCpu<T> {
                 }
             }
         }
+        crate::integrity::inject_buf_flip(&self.row_comm, "row-inv", &mut send);
         let recv = self.row_comm.alltoall(&send);
         // Mid layout (y-pencils): (xw, n, zw); y from source s covers s·yw….
         let mid_len = xw * n * zw;
@@ -362,6 +363,7 @@ impl<T: Real> PencilFftCpu<T> {
                 }
             }
         }
+        crate::integrity::inject_buf_flip(&self.row_comm, "row-fwd", &mut send);
         let recv = self.row_comm.alltoall(&send);
         let mut out: Vec<Vec<Complex<T>>> = (0..nv)
             .map(|_| vec![Complex::zero(); self.spec_len()])

@@ -32,6 +32,7 @@ use psdns_sync::Mutex;
 
 use crate::checkpoint::{reslice, Checkpoint, CheckpointError};
 use crate::field::{LocalShape, SpectralField, Transform3d};
+use crate::integrity::{IntegrityConfig, IntegrityError, IntegrityEvent};
 use crate::ns::{NavierStokes, NsConfig};
 
 /// One checkpoint slot per rank, shared by all clones — the stand-in for a
@@ -315,14 +316,26 @@ impl BuddyStore {
         Ok(())
     }
 
+    /// The protected step and blob this rank holds for decomposition rank
+    /// `rank`, if any — used by the integrity escalation path to roll its
+    /// own slab back without a collective.
+    pub fn held_blob(&self, rank: usize) -> Option<(usize, &[u8])> {
+        self.held.get(&rank).map(|(s, b)| (*s, b.as_slice()))
+    }
+
     /// Frame every held blob for the reassembly gather: `count` then
-    /// `len, bytes` per entry, in writer-rank order.
+    /// `len, crc32(bytes), bytes` per entry, in writer-rank order. The
+    /// per-entry CRC protects the *framing* across the exchange — the blob
+    /// itself also carries the checkpoint container's own trailing CRC, so
+    /// a corrupted entry is dropped at decode instead of desynchronizing
+    /// the whole stream.
     fn encode_held(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(self.held.len() as u64).to_le_bytes());
         for rank in self.held_ranks() {
             let (_, bytes) = &self.held[&rank];
             buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&(crate::checkpoint::crc32(bytes) as u64).to_le_bytes());
             buf.extend_from_slice(bytes);
         }
         buf
@@ -354,11 +367,19 @@ fn decode_held_stream(data: &[u8]) -> Vec<Vec<u8>> {
             let Some(len) = read_u64(&mut pos) else {
                 return out;
             };
+            let Some(crc) = read_u64(&mut pos) else {
+                return out;
+            };
             let Some(bytes) = data.get(pos..pos + len as usize) else {
                 return out;
             };
             pos += len as usize;
-            out.push(bytes.to_vec());
+            // Verify the frame sidecar; a corrupted entry is skipped (its
+            // writer's state is recovered from another replica or surfaces
+            // as CoverageLost) rather than decoded into garbage.
+            if u64::from(crate::checkpoint::crc32(bytes)) == crc {
+                out.push(bytes.to_vec());
+            }
         }
     }
     out
@@ -411,6 +432,10 @@ pub enum RecoveryError {
     Restore(CheckpointError),
     /// More failures than the configured budget.
     TooManyFailures { heals: u32 },
+    /// A persistent integrity violation survived both in-place step retries
+    /// and the configured rollback budget (see
+    /// [`SelfHealingConfig::max_rollbacks`]).
+    Integrity(IntegrityError),
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -426,6 +451,7 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::TooManyFailures { heals } => {
                 write!(f, "aborting after {heals} recoveries")
             }
+            RecoveryError::Integrity(e) => write!(f, "integrity rollback budget exhausted: {e}"),
         }
     }
 }
@@ -446,6 +472,13 @@ pub struct SelfHealingConfig {
     pub agree_deadline: Duration,
     /// Abort (typed) after this many successful recoveries.
     pub max_heals: u32,
+    /// Numerical-integrity monitors for the step loop (default: disarmed).
+    /// When armed, the campaign escalates detect → in-place step retry
+    /// ([`crate::NavierStokes::step_verified`]) → buddy-checkpoint rollback.
+    pub integrity: IntegrityConfig,
+    /// Abort (typed) after this many integrity-driven rollbacks to the last
+    /// buddy checkpoint.
+    pub max_rollbacks: u32,
 }
 
 impl Default for SelfHealingConfig {
@@ -456,6 +489,8 @@ impl Default for SelfHealingConfig {
             replicas: 1,
             agree_deadline: Duration::from_secs(10),
             max_heals: 4,
+            integrity: IntegrityConfig::default(),
+            max_rollbacks: 2,
         }
     }
 }
@@ -473,6 +508,10 @@ pub struct HealedRun<T: Real> {
     pub heals: u32,
     /// The recovery state machine's transition log.
     pub events: Vec<RecoveryEvent>,
+    /// The integrity monitors' violation/retry/heal/rollback log, spanning
+    /// every solver incarnation of the campaign. All-integer — a same-seed
+    /// rerun's log is byte-identical.
+    pub integrity_events: Vec<IntegrityEvent>,
 }
 
 /// Record one recovery-epoch span with a *logical* timestamp, so the trace
@@ -538,7 +577,9 @@ where
     let mut p = active_comm.size();
     assert!(n.is_multiple_of(p), "initial rank count must divide n");
     let mut heals = 0u32;
+    let mut rollbacks = 0u32;
     let mut events: Vec<RecoveryEvent> = Vec::new();
+    let mut integrity_log: Vec<IntegrityEvent> = Vec::new();
     let mut logical = 0u64;
     let mut known_failed = active_comm.departed().len();
     let mut buddy = BuddyStore::new(heal.replicas);
@@ -550,6 +591,7 @@ where
         cfg.clone(),
         init(shape),
     );
+    ns.set_integrity(heal.integrity.clone());
     buddy
         .protect(&active_comm, &ns)
         .map_err(RecoveryError::Protect)?;
@@ -642,11 +684,14 @@ where
                     let u: [SpectralField<T>; 3] = fields
                         .try_into()
                         .map_err(|_| RecoveryError::Restore(CheckpointError::Truncated))?;
+                    // Carry the integrity log across solver incarnations.
+                    integrity_log.append(&mut ns.integrity_events);
                     ns = NavierStokes::new(
                         make_backend(shape, active_comm.clone()),
                         cfg.clone(),
                         u.clone(),
                     );
+                    ns.set_integrity(heal.integrity.clone());
                     // Bit-exact resume, as in restore_or_init: bypass the
                     // constructor's re-projection.
                     ns.u = u;
@@ -662,7 +707,38 @@ where
                 }
 
                 while ns.step_count < heal.until_step {
-                    ns.step();
+                    if let Err(e) = ns.step_verified() {
+                        // In-place step retries are exhausted: escalate to
+                        // the last buddy checkpoint. The verdict came from
+                        // globally reduced sums, so every active rank takes
+                        // this branch together — the rollback is lockstep
+                        // without any extra agreement round.
+                        rollbacks += 1;
+                        if rollbacks > heal.max_rollbacks {
+                            return Err(RecoveryError::Integrity(e));
+                        }
+                        let shape = ns.backend.shape();
+                        let from_step = ns.step_count;
+                        let ck = {
+                            let (_, blob) = buddy
+                                .held_blob(shape.rank)
+                                .ok_or(RecoveryError::Restore(CheckpointError::Truncated))?;
+                            Checkpoint::decode(blob).map_err(RecoveryError::Restore)?
+                        };
+                        let fields = ck.restore::<T>(shape).map_err(RecoveryError::Restore)?;
+                        let u: [SpectralField<T>; 3] = fields
+                            .try_into()
+                            .map_err(|_| RecoveryError::Restore(CheckpointError::Truncated))?;
+                        ns.u = u;
+                        ns.step_count = ck.step;
+                        ns.time = ck.time;
+                        ns.integrity_events.push(IntegrityEvent::Rollback {
+                            from_step,
+                            to_step: ck.step,
+                        });
+                        recovery_span(&active_comm, &mut logical, "integrity-rollback");
+                        continue;
+                    }
                     if ns.step_count.is_multiple_of(heal.protect_every)
                         || ns.step_count == heal.until_step
                     {
@@ -676,6 +752,7 @@ where
         ));
         match attempt {
             Ok(Ok(StepOutcome::Done)) => {
+                integrity_log.append(&mut ns.integrity_events);
                 return Ok(Some(HealedRun {
                     rank: active_comm.rank(),
                     u: ns.u,
@@ -684,6 +761,7 @@ where
                     p,
                     heals,
                     events,
+                    integrity_events: integrity_log,
                 }));
             }
             Ok(Ok(StepOutcome::Idle)) => return Ok(None),

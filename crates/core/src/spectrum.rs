@@ -7,23 +7,71 @@ use psdns_domain::grid::shell_index;
 use psdns_fft::Real;
 
 use crate::field::SpectralField;
+use crate::integrity::IntegrityError;
+
+/// Warn (via the tracer, when one is attached) that `nf` non-finite modes
+/// were skipped while binning `what`.
+fn warn_nonfinite(comm: &Communicator, what: &str, nf: u64) {
+    if nf == 0 {
+        return;
+    }
+    if let Some(t) = comm.tracer() {
+        t.incr_faults();
+        t.span(
+            psdns_trace::SpanKind::Fault,
+            what,
+            &format!("nonfinite-skipped[{nf}]"),
+        )
+        .finish();
+    }
+}
 
 /// Spherically binned energy spectrum `E(k)`, reduced over all ranks.
 ///
 /// Returned in *mathematical* units: `Σ_k E(k) = ½⟨|u|²⟩`. Shell `k`
 /// collects modes with `round(|k|) == k`.
+///
+/// Non-finite (corrupted) modes are skipped rather than poisoning their
+/// whole shell; the skip count is traced as a fault. Use
+/// [`try_energy_spectrum`] to turn any corruption into a typed error.
 pub fn energy_spectrum<T: Real>(u: &[SpectralField<T>; 3], comm: &Communicator) -> Vec<f64> {
+    let (spec, nf) = energy_spectrum_impl(u, comm);
+    warn_nonfinite(comm, "spectrum", nf);
+    spec
+}
+
+/// Like [`energy_spectrum`] but a non-finite mode anywhere in the global
+/// field is a typed [`IntegrityError::NonFinite`] instead of a silently
+/// partial spectrum.
+pub fn try_energy_spectrum<T: Real>(
+    u: &[SpectralField<T>; 3],
+    comm: &Communicator,
+) -> Result<Vec<f64>, IntegrityError> {
+    let (spec, count) = energy_spectrum_impl(u, comm);
+    if count > 0 {
+        return Err(IntegrityError::NonFinite { count });
+    }
+    Ok(spec)
+}
+
+fn energy_spectrum_impl<T: Real>(
+    u: &[SpectralField<T>; 3],
+    comm: &Communicator,
+) -> (Vec<f64>, u64) {
     let s = u[0].shape;
     let grid = s.grid();
     let n6 = ((s.n as f64).powi(3)).powi(2);
-    let mut local = vec![0.0f64; grid.shell_count()];
+    // Last slot carries the non-finite skip count so the verdict rides the
+    // same collective as the shells (identical sequence on every rank).
+    let mut local = vec![0.0f64; grid.shell_count() + 1];
+    let nf_slot = local.len() - 1;
     for zl in 0..s.mz {
         let z = s.z_global(zl);
         for y in 0..s.n {
             for x in 0..s.nxh {
                 let [kx, ky, kz] = grid.k_vec(x, y, z);
                 let shell = shell_index(kx as i64, ky as i64, kz as i64);
-                if shell >= local.len() {
+                if shell >= local.len() - 1 {
                     continue;
                 }
                 let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
@@ -35,11 +83,17 @@ pub fn energy_spectrum<T: Real>(u: &[SpectralField<T>; 3], comm: &Communicator) 
                 let e = u[0].data[i].norm_sqr().to_f64()
                     + u[1].data[i].norm_sqr().to_f64()
                     + u[2].data[i].norm_sqr().to_f64();
+                if !e.is_finite() {
+                    local[nf_slot] += 1.0;
+                    continue;
+                }
                 local[shell] += 0.5 * w * e / n6;
             }
         }
     }
-    comm.allreduce_vec(&local, |a, b| a + b)
+    let mut spec = comm.allreduce_vec(&local, |a, b| a + b);
+    let nf = spec.pop().unwrap_or(0.0) as u64;
+    (spec, nf)
 }
 
 /// Spectral energy-transfer function `T(k) = Σ_shell 2·Re(û*·N̂)` where
@@ -55,14 +109,15 @@ pub fn transfer_spectrum<T: Real>(
     let s = u[0].shape;
     let grid = s.grid();
     let n6 = ((s.n as f64).powi(3)).powi(2);
-    let mut local = vec![0.0f64; grid.shell_count()];
+    let mut local = vec![0.0f64; grid.shell_count() + 1];
+    let nf_slot = local.len() - 1;
     for zl in 0..s.mz {
         let z = s.z_global(zl);
         for y in 0..s.n {
             for x in 0..s.nxh {
                 let [kx, ky, kz] = grid.k_vec(x, y, z);
                 let shell = shell_index(kx as i64, ky as i64, kz as i64);
-                if shell >= local.len() {
+                if shell >= local.len() - 1 {
                     continue;
                 }
                 let w = if x == 0 || (s.n.is_multiple_of(2) && x == s.nxh - 1) {
@@ -78,11 +133,18 @@ pub fn transfer_spectrum<T: Real>(
                     // Re(conj(û)·N̂)
                     t += (a.re * b.re + a.im * b.im).to_f64();
                 }
+                if !t.is_finite() {
+                    local[nf_slot] += 1.0;
+                    continue;
+                }
                 local[shell] += w * t / n6;
             }
         }
     }
-    comm.allreduce_vec(&local, |a, b| a + b)
+    let mut spec = comm.allreduce_vec(&local, |a, b| a + b);
+    let nf = spec.pop().unwrap_or(0.0) as u64;
+    warn_nonfinite(comm, "transfer", nf);
+    spec
 }
 
 #[cfg(test)]
@@ -142,6 +204,29 @@ mod tests {
             assert!(
                 total.abs() < 1e-10 * scale,
                 "nonlinear transfer not conservative: Σ T = {total:.3e} vs |T| = {scale:.3e}"
+            );
+        }
+    }
+
+    /// A corrupted mode is excluded from its shell instead of poisoning it,
+    /// and surfaces as a typed error through the `try_` API.
+    #[test]
+    fn corrupted_mode_does_not_poison_shell() {
+        let out = Universe::run(2, |comm| {
+            let shape = LocalShape::new(16, 2, comm.rank());
+            let mut u = taylor_green::<f64>(shape);
+            if comm.rank() == 0 {
+                u[2].data[5] = psdns_fft::Complex::new(0.0, f64::NAN);
+            }
+            let spec = energy_spectrum(&u, &comm);
+            let err = try_energy_spectrum(&u, &comm).unwrap_err();
+            (spec, err)
+        });
+        for (spec, err) in out {
+            assert!(spec.iter().all(|e| e.is_finite()), "{spec:?}");
+            assert_eq!(
+                err,
+                crate::integrity::IntegrityError::NonFinite { count: 1 }
             );
         }
     }

@@ -1,9 +1,18 @@
 //! Global flow statistics (reduced across ranks).
+//!
+//! Corruption-aware: a NaN/Inf mode would classically poison every moment
+//! and print as a wall of `NaN` — here non-finite contributions are skipped
+//! and *counted*, the count rides the same global reduction as the sums
+//! (keeping every rank's collective sequence identical), and callers choose
+//! between the `try_` variants (typed [`IntegrityError::NonFinite`]) and
+//! the plain ones (best-effort stats over the finite modes, with a traced
+//! warning span and fault count).
 
 use psdns_comm::Communicator;
 use psdns_fft::Real;
 
 use crate::field::SpectralField;
+use crate::integrity::IntegrityError;
 
 /// Bulk statistics of a velocity field, in mathematical units
 /// (`E = ½⟨|u|²⟩` over the 2π-periodic box).
@@ -24,14 +33,54 @@ pub struct FlowStats {
     pub re_lambda: f64,
 }
 
-/// Compute [`FlowStats`] for a spectral velocity triple.
+/// Compute [`FlowStats`] for a spectral velocity triple, tolerating
+/// corrupted modes: non-finite contributions are skipped (the returned
+/// stats cover the finite modes only) and reported through a traced
+/// warning span plus the tracer's fault counter. Use [`try_flow_stats`] to
+/// get a typed error instead.
 pub fn flow_stats<T: Real>(u: &[SpectralField<T>; 3], nu: f64, comm: &Communicator) -> FlowStats {
+    let (stats, nf) = flow_stats_impl(u, nu, comm);
+    if nf > 0 {
+        if let Some(t) = comm.tracer() {
+            t.incr_faults();
+            t.span(
+                psdns_trace::SpanKind::Fault,
+                "stats",
+                &format!("nonfinite-skipped[{nf}]"),
+            )
+            .finish();
+        }
+    }
+    stats
+}
+
+/// Like [`flow_stats`] but a non-finite mode anywhere in the (global)
+/// field is a typed [`IntegrityError::NonFinite`] instead of a silently
+/// partial answer.
+pub fn try_flow_stats<T: Real>(
+    u: &[SpectralField<T>; 3],
+    nu: f64,
+    comm: &Communicator,
+) -> Result<FlowStats, IntegrityError> {
+    let (stats, count) = flow_stats_impl(u, nu, comm);
+    if count > 0 {
+        return Err(IntegrityError::NonFinite { count });
+    }
+    Ok(stats)
+}
+
+fn flow_stats_impl<T: Real>(
+    u: &[SpectralField<T>; 3],
+    nu: f64,
+    comm: &Communicator,
+) -> (FlowStats, u64) {
     let s = u[0].shape;
     let grid = s.grid();
     let n6 = ((s.n as f64).powi(3)).powi(2);
     let mut energy = 0.0f64;
     let mut enstrophy = 0.0f64;
     let mut div_sq = 0.0f64;
+    let mut nf = 0u64;
     for zl in 0..s.mz {
         let z = s.z_global(zl);
         for y in 0..s.n {
@@ -46,6 +95,10 @@ pub fn flow_stats<T: Real>(u: &[SpectralField<T>; 3], nu: f64, comm: &Communicat
                 let i = s.spec_idx(x, y, zl);
                 let (a, b, c) = (u[0].data[i], u[1].data[i], u[2].data[i]);
                 let e = a.norm_sqr().to_f64() + b.norm_sqr().to_f64() + c.norm_sqr().to_f64();
+                if !e.is_finite() {
+                    nf += 1;
+                    continue;
+                }
                 energy += 0.5 * w * e / n6;
                 enstrophy += 0.5 * w * k2 * e / n6;
                 if k2 > 0.0 {
@@ -57,9 +110,11 @@ pub fn flow_stats<T: Real>(u: &[SpectralField<T>; 3], nu: f64, comm: &Communicat
             }
         }
     }
-    let energy = comm.allreduce(energy, |a, b| a + b);
-    let enstrophy = comm.allreduce(enstrophy, |a, b| a + b);
-    let div_sq = comm.allreduce(div_sq, |a, b| a + b);
+    // One reduction for sums *and* the skip count: every rank sees the same
+    // totals and the same corruption verdict with an identical collective
+    // sequence, corrupt data or not.
+    let sums = comm.allreduce_vec(&[energy, enstrophy, div_sq, nf as f64], |a, b| a + b);
+    let (energy, enstrophy, div_sq, nf) = (sums[0], sums[1], sums[2], sums[3] as u64);
     let max_divergence = if enstrophy > 0.0 {
         (div_sq / (2.0 * enstrophy)).sqrt()
     } else {
@@ -74,14 +129,17 @@ pub fn flow_stats<T: Real>(u: &[SpectralField<T>; 3], nu: f64, comm: &Communicat
     } else {
         0.0
     };
-    FlowStats {
-        energy,
-        enstrophy,
-        dissipation,
-        max_divergence,
-        u_rms,
-        re_lambda,
-    }
+    (
+        FlowStats {
+            energy,
+            enstrophy,
+            dissipation,
+            max_divergence,
+            u_rms,
+            re_lambda,
+        },
+        nf,
+    )
 }
 
 /// Longitudinal velocity-gradient moments: `(skewness, flatness)` of
@@ -117,6 +175,9 @@ pub fn gradient_moments<T: Real, B: crate::field::Transform3d<T>>(
     for f in &phys {
         for &v in &f.data {
             let v = v.to_f64();
+            if !v.is_finite() {
+                continue;
+            }
             m2 += v * v;
             m3 += v * v * v;
             m4 += v * v * v * v;
@@ -127,7 +188,7 @@ pub fn gradient_moments<T: Real, B: crate::field::Transform3d<T>>(
         .comm()
         .allreduce_vec(&[m2, m3, m4, count], |a, b| a + b);
     let (m2, m3, m4, count) = (sums[0], sums[1], sums[2], sums[3]);
-    if m2 <= 0.0 {
+    if m2 <= 0.0 || count <= 0.0 {
         return (0.0, 0.0);
     }
     let var = m2 / count;
@@ -218,6 +279,46 @@ mod tests {
             assert!(skew0.abs() < 0.15, "random phases ≈ symmetric: {skew0}");
             assert!(skew1 < -0.15, "no cascade skewness developed: {skew1}");
             assert!(flat1 > 2.5, "gradient flatness collapsed: {flat1}");
+        }
+    }
+
+    /// A single NaN mode must not print as a wall of NaN: the plain API
+    /// saturates to the finite modes, the `try_` API reports it as a typed
+    /// error, and both agree across ranks.
+    #[test]
+    fn nan_mode_is_skipped_and_typed() {
+        let out = Universe::run(2, |comm| {
+            let shape = LocalShape::new(16, 2, comm.rank());
+            let mut u = taylor_green::<f64>(shape);
+            if comm.rank() == 1 {
+                u[0].data[3] = psdns_fft::Complex::new(f64::NAN, 0.0);
+            }
+            let st = flow_stats(&u, 0.1, &comm);
+            let err = try_flow_stats(&u, 0.1, &comm).unwrap_err();
+            (st, err)
+        });
+        for (st, err) in out {
+            assert!(st.energy.is_finite() && st.enstrophy.is_finite());
+            assert!(st.energy > 0.0, "finite modes still counted");
+            assert_eq!(err, IntegrityError::NonFinite { count: 1 });
+        }
+    }
+
+    #[test]
+    fn gradient_moments_tolerate_nan_mode() {
+        use crate::dist_fft::SlabFftCpu;
+        let out = Universe::run(2, |comm| {
+            let shape = LocalShape::new(16, 2, comm.rank());
+            let mut fft = SlabFftCpu::<f64>::new(shape, comm);
+            let mut u = taylor_green(shape);
+            // An Inf spectral mode smears over all of physical space after
+            // the transform; the moments must still come back finite (here:
+            // zeroed, since every physical point is poisoned).
+            u[1].data[0] = psdns_fft::Complex::new(f64::INFINITY, 0.0);
+            gradient_moments(&mut fft, &u)
+        });
+        for (skew, flat) in out {
+            assert!(skew.is_finite() && flat.is_finite());
         }
     }
 

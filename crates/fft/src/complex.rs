@@ -50,10 +50,21 @@ pub trait Real:
     }
     /// Unit-roundoff scale used by tests to set tolerances.
     fn epsilon() -> Self;
+
+    /// Width of the IEEE-754 representation in bits (32 or 64). Together
+    /// with [`Real::to_bits_u64`]/[`Real::from_bits_u64`] this gives
+    /// integrity layers (ABFT checksums, seeded bit-flip injection) access
+    /// to the exact bit pattern without knowing the concrete type.
+    const BITS: u32;
+    /// The IEEE-754 bit pattern, widened to `u64` (zero-extended for `f32`).
+    fn to_bits_u64(self) -> u64;
+    /// Inverse of [`Real::to_bits_u64`]; the upper 32 bits are ignored for
+    /// `f32`.
+    fn from_bits_u64(bits: u64) -> Self;
 }
 
 macro_rules! impl_real {
-    ($t:ty) => {
+    ($t:ty, $bits:ty) => {
         impl Real for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -92,12 +103,22 @@ macro_rules! impl_real {
             fn epsilon() -> Self {
                 <$t>::EPSILON
             }
+
+            const BITS: u32 = <$bits>::BITS;
+            #[inline]
+            fn to_bits_u64(self) -> u64 {
+                self.to_bits() as u64
+            }
+            #[inline]
+            fn from_bits_u64(bits: u64) -> Self {
+                <$t>::from_bits(bits as $bits)
+            }
         }
     };
 }
 
-impl_real!(f32);
-impl_real!(f64);
+impl_real!(f32, u32);
+impl_real!(f64, u64);
 
 /// A complex number. Layout-compatible with `[T; 2]` (`repr(C)`), so slices
 /// of `Complex<T>` can be reinterpreted as interleaved scalar buffers — the
